@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! The genetic encoding of the bi-objective resource-allocation problem
+//! (§IV-D): genes, chromosomes, crossover, and mutation.
+//!
+//! * A **gene** represents one task: the machine it runs on and its global
+//!   scheduling order (the arrival time lives in the trace; gene *i* of
+//!   every chromosome is the *i*-th task in arrival order).
+//! * A **chromosome** is a complete resource allocation —
+//!   [`hetsched_sim::Allocation`] is reused directly as the genome type.
+//! * **Crossover** picks two gene indices uniformly at random and swaps the
+//!   whole range between two parents (machines *and* order keys).
+//! * **Mutation** re-maps one random gene to a random *feasible* machine
+//!   and swaps the order keys of two random genes.
+//!
+//! Objectives handed to the engine are `[-utility, energy]`, both
+//! minimised.
+
+pub mod dvfs_problem;
+pub mod makespan;
+pub mod problem;
+pub mod refine;
+
+pub use dvfs_problem::DvfsAllocationProblem;
+pub use makespan::{MakespanProblem, TaskBag};
+pub use problem::AllocationProblem;
+pub use refine::{pareto_local_search, Refined};

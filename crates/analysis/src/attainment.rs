@@ -1,0 +1,159 @@
+//! Empirical attainment summaries over *replicated* stochastic runs.
+//!
+//! A single NSGA-II run yields one front; rerunning with different RNG
+//! seeds yields a band of fronts. The attainment curve at level `k/n`
+//! answers: "what trade-off is attained by at least `k` of the `n` runs?" —
+//! the standard way to report MOEA results beyond a single lucky run. The
+//! median attainment (k = ⌈n/2⌉) is the robust analogue of the paper's
+//! plotted fronts.
+
+use crate::front::{FrontPoint, ParetoFront};
+
+/// Attainment summary over a set of replicate fronts.
+#[derive(Debug, Clone)]
+pub struct AttainmentSummary {
+    fronts: Vec<ParetoFront>,
+}
+
+impl AttainmentSummary {
+    /// Collects replicate fronts (at least one).
+    pub fn new(fronts: Vec<ParetoFront>) -> Option<Self> {
+        (!fronts.is_empty()).then_some(AttainmentSummary { fronts })
+    }
+
+    /// Number of replicates.
+    pub fn replicates(&self) -> usize {
+        self.fronts.len()
+    }
+
+    /// Whether `(utility, energy)` is attained (weakly dominated) by at
+    /// least `k` replicates.
+    pub fn attained_by(&self, utility: f64, energy: f64, k: usize) -> bool {
+        let goal = FrontPoint { utility, energy };
+        let count = self
+            .fronts
+            .iter()
+            .filter(|f| f.points().iter().any(|p| p.dominates(&goal) || *p == goal))
+            .count();
+        count >= k
+    }
+
+    /// The `k`-of-`n` attainment curve sampled at `grid` energy levels
+    /// between the global min and max energy of all fronts: for each level,
+    /// the highest utility attained by ≥ `k` replicates at ≤ that energy
+    /// (`None` where fewer than `k` replicates reach that energy at all).
+    pub fn attainment_curve(&self, k: usize, grid: usize) -> Vec<(f64, Option<f64>)> {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for f in &self.fronts {
+            for p in f.points() {
+                lo = lo.min(p.energy);
+                hi = hi.max(p.energy);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() || grid == 0 {
+            return Vec::new();
+        }
+        (0..grid)
+            .map(|i| {
+                let e = lo + (hi - lo) * i as f64 / (grid.max(2) - 1) as f64;
+                // For each replicate, the best utility at energy <= e.
+                let mut bests: Vec<f64> = self
+                    .fronts
+                    .iter()
+                    .filter_map(|f| {
+                        f.points()
+                            .iter()
+                            .take_while(|p| p.energy <= e + 1e-12)
+                            .map(|p| p.utility)
+                            .fold(None, |acc: Option<f64>, u| {
+                                Some(acc.map_or(u, |a| a.max(u)))
+                            })
+                    })
+                    .collect();
+                if bests.len() < k {
+                    return (e, None);
+                }
+                // k-th best across replicates (descending): the utility
+                // attained by at least k runs.
+                bests.sort_by(|a, b| b.total_cmp(a));
+                (e, Some(bests[k - 1]))
+            })
+            .collect()
+    }
+
+    /// The median attainment curve (`k = ⌈n/2⌉`).
+    pub fn median_curve(&self, grid: usize) -> Vec<(f64, Option<f64>)> {
+        self.attainment_curve(self.fronts.len().div_ceil(2), grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn front(points: &[(f64, f64)]) -> ParetoFront {
+        ParetoFront::from_points(points.iter().copied())
+    }
+
+    fn three_replicates() -> AttainmentSummary {
+        AttainmentSummary::new(vec![
+            front(&[(2.0, 1.0), (6.0, 5.0)]),
+            front(&[(3.0, 1.0), (7.0, 5.0)]),
+            front(&[(1.0, 1.0), (5.0, 5.0)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn requires_at_least_one_front() {
+        assert!(AttainmentSummary::new(vec![]).is_none());
+        assert!(AttainmentSummary::new(vec![front(&[(1.0, 1.0)])]).is_some());
+    }
+
+    #[test]
+    fn attained_by_counts_replicates() {
+        let s = three_replicates();
+        // Utility 1 at energy 1 is attained by all three.
+        assert!(s.attained_by(1.0, 1.0, 3));
+        // Utility 3 at energy 1 only by the second replicate.
+        assert!(s.attained_by(3.0, 1.0, 1));
+        assert!(!s.attained_by(3.0, 1.0, 2));
+        // Nothing attains utility 10.
+        assert!(!s.attained_by(10.0, 5.0, 1));
+    }
+
+    #[test]
+    fn median_curve_sits_between_best_and_worst() {
+        let s = three_replicates();
+        let best = s.attainment_curve(1, 5);
+        let median = s.median_curve(5);
+        let worst = s.attainment_curve(3, 5);
+        for ((_, b), ((_, m), (_, w))) in best.iter().zip(median.iter().zip(&worst)) {
+            match (b, m, w) {
+                (Some(b), Some(m), Some(w)) => {
+                    assert!(b >= m && m >= w, "ordering violated: {b} {m} {w}");
+                }
+                _ => {
+                    // If the worst curve is undefined here, the others may
+                    // be too; only ordering of defined values matters.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn curve_at_max_energy_reaches_each_replicates_peak() {
+        let s = three_replicates();
+        let any = s.attainment_curve(1, 3);
+        let last = any.last().unwrap();
+        assert_eq!(last.1, Some(7.0)); // best single replicate peak
+        let all = s.attainment_curve(3, 3);
+        assert_eq!(all.last().unwrap().1, Some(5.0)); // worst replicate peak
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_curve() {
+        let s = three_replicates();
+        assert!(s.attainment_curve(1, 0).is_empty());
+    }
+}

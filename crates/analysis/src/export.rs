@@ -1,0 +1,218 @@
+//! CSV / JSON export of fronts and figure data series, consumed by the CLI
+//! (`hetsched figure N`) and the benchmark harness. The CSV column layout
+//! matches the figures: one row per allocation with its population label
+//! and snapshot iteration, so any plotting tool reproduces the subplots
+//! directly.
+
+use crate::front::ParetoFront;
+use serde::{Deserialize, Serialize};
+
+/// One plotted point of a figure series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Total utility earned.
+    pub utility: f64,
+    /// Total energy consumed (joules).
+    pub energy: f64,
+}
+
+/// One marker series of a figure: a population's front at one snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Population label (seed heuristic name).
+    pub label: String,
+    /// NSGA-II iteration count at the snapshot.
+    pub iterations: usize,
+    /// The front's points.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl FigureSeries {
+    /// Wraps a front into a labelled series.
+    pub fn from_front(label: impl Into<String>, iterations: usize, front: &ParetoFront) -> Self {
+        FigureSeries {
+            label: label.into(),
+            iterations,
+            points: front
+                .points()
+                .iter()
+                .map(|p| SeriesPoint { utility: p.utility, energy: p.energy })
+                .collect(),
+        }
+    }
+}
+
+/// Renders series as CSV with header
+/// `label,iterations,energy_megajoules,utility`.
+/// Energy is reported in megajoules to match the figures' x-axes.
+pub fn series_to_csv(series: &[FigureSeries]) -> String {
+    let mut out = String::from("label,iterations,energy_megajoules,utility\n");
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6}\n",
+                s.label,
+                s.iterations,
+                p.energy / 1.0e6,
+                p.utility
+            ));
+        }
+    }
+    out
+}
+
+/// Renders series as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates `serde_json` failures (cannot occur for these plain types but
+/// the signature stays honest).
+pub fn series_to_json(series: &[FigureSeries]) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(series)
+}
+
+/// Emits a gnuplot script that renders the series CSV (written by
+/// [`series_to_csv`] to `csv_path`) in the paper's layout: one subplot per
+/// snapshot iteration count, energy (MJ) on x, utility on y, one marker
+/// style per population.
+pub fn gnuplot_script(series: &[FigureSeries], csv_path: &str, title: &str) -> String {
+    let mut iterations: Vec<usize> = series.iter().map(|s| s.iterations).collect();
+    iterations.sort_unstable();
+    iterations.dedup();
+    let mut labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+
+    let mut out = String::new();
+    out.push_str("set datafile separator ','\n");
+    out.push_str(&format!("set term pngcairo size 1200,900\nset output '{title}.png'\n"));
+    let (rows, cols) = match iterations.len() {
+        0 | 1 => (1, 1),
+        2 => (1, 2),
+        3 | 4 => (2, 2),
+        n => (n.div_ceil(3), 3),
+    };
+    out.push_str(&format!(
+        "set multiplot layout {rows},{cols} title '{title}'\n"
+    ));
+    for it in &iterations {
+        out.push_str(&format!(
+            "set title '{it} iterations'\nset xlabel 'energy (MJ)'\nset ylabel 'utility'\nplot \\\n"
+        ));
+        let plots: Vec<String> = labels
+            .iter()
+            .enumerate()
+            .map(|(k, label)| {
+                format!(
+                    "  '{csv_path}' using ($3):((stringcolumn(1) eq '{label}' && $2 == {it}) ? $4 : NaN) \\\n    with points pt {} title '{label}'",
+                    k + 4
+                )
+            })
+            .collect();
+        out.push_str(&plots.join(", \\\n"));
+        out.push('\n');
+    }
+    out.push_str("unset multiplot\n");
+    out
+}
+
+/// Parses the CSV produced by [`series_to_csv`] back into series (used by
+/// tests and by downstream tooling that stores figure data on disk).
+pub fn series_from_csv(csv: &str) -> Option<Vec<FigureSeries>> {
+    let mut series: Vec<FigureSeries> = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let label = fields.next()?.to_string();
+        let iterations: usize = fields.next()?.parse().ok()?;
+        let energy_mj: f64 = fields.next()?.parse().ok()?;
+        let utility: f64 = fields.next()?.parse().ok()?;
+        let point = SeriesPoint { utility, energy: energy_mj * 1.0e6 };
+        match series.last_mut() {
+            Some(s) if s.label == label && s.iterations == iterations => s.points.push(point),
+            _ => series.push(FigureSeries { label, iterations, points: vec![point] }),
+        }
+    }
+    Some(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FigureSeries> {
+        let front = ParetoFront::from_points([(10.0, 2.0e6), (20.0, 5.0e6)]);
+        vec![
+            FigureSeries::from_front("min-energy", 100, &front),
+            FigureSeries::from_front("random", 100, &front),
+        ]
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = series_to_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "label,iterations,energy_megajoules,utility");
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("min-energy,100,2.000000,10.000000"), "{first}");
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let series = sample();
+        let csv = series_to_csv(&series);
+        let back = series_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].label, "min-energy");
+        assert_eq!(back[0].points.len(), 2);
+        assert!((back[0].points[1].energy - 5.0e6).abs() < 1.0);
+        assert!((back[0].points[1].utility - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let series = sample();
+        let json = series_to_json(&series).unwrap();
+        let back: Vec<FigureSeries> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn gnuplot_script_structure() {
+        let script = gnuplot_script(&sample(), "fig.csv", "fig3");
+        assert!(script.contains("set multiplot layout 1,1 title 'fig3'"));
+        assert!(script.contains("set output 'fig3.png'"));
+        assert!(script.contains("'fig.csv'"));
+        assert!(script.contains("min-energy"));
+        assert!(script.contains("random"));
+        assert!(script.contains("unset multiplot"));
+        // One subplot per distinct iteration count (sample has only 100).
+        assert_eq!(script.matches("set title '").count(), 1);
+    }
+
+    #[test]
+    fn gnuplot_layout_scales_with_snapshots() {
+        let front = ParetoFront::from_points([(1.0, 1.0)]);
+        let series: Vec<FigureSeries> = [10usize, 100, 1000, 10000]
+            .iter()
+            .map(|&it| FigureSeries::from_front("random", it, &front))
+            .collect();
+        let script = gnuplot_script(&series, "f.csv", "fig");
+        assert!(script.contains("layout 2,2"));
+        assert_eq!(script.matches("set title '").count(), 4);
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        assert!(series_from_csv("label,iterations\nbroken").is_none());
+    }
+
+    #[test]
+    fn empty_csv_gives_empty_series() {
+        let s = series_from_csv("label,iterations,energy_megajoules,utility\n").unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Pareto fronts in (utility ↑, energy ↓) space.
+
+use serde::{Deserialize, Serialize};
+
+/// One resource allocation's objective values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontPoint {
+    /// Total utility earned (maximised).
+    pub utility: f64,
+    /// Total energy consumed (minimised).
+    pub energy: f64,
+}
+
+impl FrontPoint {
+    /// Whether `self` dominates `other` (≥ utility, ≤ energy, strict in one).
+    #[inline]
+    pub fn dominates(&self, other: &FrontPoint) -> bool {
+        (self.utility >= other.utility && self.energy <= other.energy)
+            && (self.utility > other.utility || self.energy < other.energy)
+    }
+}
+
+/// A nondominated set, stored sorted by ascending energy. Along a valid
+/// front utility is then non-decreasing (spending more energy can only buy
+/// more utility — otherwise the point would be dominated).
+///
+/// ```
+/// use hetsched_analysis::ParetoFront;
+///
+/// // (utility, energy): the middle point is dominated by the first.
+/// let front = ParetoFront::from_points([(10.0, 3.0), (8.0, 4.0), (15.0, 9.0)]);
+/// assert_eq!(front.len(), 2);
+/// assert_eq!(front.min_energy().unwrap().energy, 3.0);
+/// assert_eq!(front.max_utility().unwrap().utility, 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFront {
+    points: Vec<FrontPoint>,
+}
+
+impl ParetoFront {
+    /// Builds a front from arbitrary points: filters to the nondominated
+    /// subset, deduplicates, and sorts by energy.
+    pub fn from_points(points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let candidates: Vec<FrontPoint> = points
+            .into_iter()
+            .map(|(utility, energy)| FrontPoint { utility, energy })
+            .collect();
+        let mut kept: Vec<FrontPoint> = Vec::new();
+        'outer: for (i, p) in candidates.iter().enumerate() {
+            for (j, q) in candidates.iter().enumerate() {
+                if q.dominates(p) || (j < i && q == p) {
+                    continue 'outer;
+                }
+            }
+            kept.push(*p);
+        }
+        kept.sort_by(|a, b| a.energy.total_cmp(&b.energy).then(a.utility.total_cmp(&b.utility)));
+        ParetoFront { points: kept }
+    }
+
+    /// Builds a front from engine objectives `[-utility, energy]`.
+    pub fn from_objectives<'a>(objectives: impl IntoIterator<Item = &'a [f64; 2]>) -> Self {
+        ParetoFront::from_points(objectives.into_iter().map(|o| (-o[0], o[1])))
+    }
+
+    /// The points, ascending in energy (and utility).
+    #[inline]
+    pub fn points(&self) -> &[FrontPoint] {
+        &self.points
+    }
+
+    /// Number of nondominated points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The minimum-energy end of the front.
+    pub fn min_energy(&self) -> Option<FrontPoint> {
+        self.points.first().copied()
+    }
+
+    /// The maximum-utility end of the front.
+    pub fn max_utility(&self) -> Option<FrontPoint> {
+        self.points.last().copied()
+    }
+
+    /// Merges two fronts into the nondominated union — used to accumulate a
+    /// best-known reference front across many runs.
+    pub fn merge(&self, other: &ParetoFront) -> ParetoFront {
+        ParetoFront::from_points(
+            self.points.iter().chain(&other.points).map(|p| (p.utility, p.energy)),
+        )
+    }
+
+    /// Fraction of `other`'s points that are dominated by some point of
+    /// `self` — the two-set coverage metric C(self, other) of Zitzler &
+    /// Thiele. 1.0 means `self` completely covers `other`.
+    pub fn coverage_of(&self, other: &ParetoFront) -> f64 {
+        if other.is_empty() {
+            return 0.0;
+        }
+        let covered = other
+            .points
+            .iter()
+            .filter(|q| self.points.iter().any(|p| p.dominates(q)))
+            .count();
+        covered as f64 / other.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_dominated_points() {
+        // (utility, energy): B=(6,7) dominated by A=(8,5); C=(4,3) trades off.
+        let front = ParetoFront::from_points([(8.0, 5.0), (6.0, 7.0), (4.0, 3.0)]);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front.points()[0], FrontPoint { utility: 4.0, energy: 3.0 });
+        assert_eq!(front.points()[1], FrontPoint { utility: 8.0, energy: 5.0 });
+    }
+
+    #[test]
+    fn utility_non_decreasing_along_front() {
+        let raw: Vec<(f64, f64)> =
+            (0..100).map(|i| ((i * 37 % 41) as f64, (i * 17 % 43) as f64)).collect();
+        let front = ParetoFront::from_points(raw);
+        for w in front.points().windows(2) {
+            assert!(w[0].energy <= w[1].energy);
+            assert!(w[0].utility <= w[1].utility);
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse_to_one() {
+        let front = ParetoFront::from_points([(5.0, 5.0), (5.0, 5.0), (5.0, 5.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn from_objectives_negates_utility() {
+        let objs = [[-10.0, 3.0], [-5.0, 1.0]];
+        let front = ParetoFront::from_objectives(objs.iter());
+        assert_eq!(front.len(), 2);
+        assert_eq!(front.max_utility().unwrap().utility, 10.0);
+        assert_eq!(front.min_energy().unwrap().energy, 1.0);
+    }
+
+    #[test]
+    fn empty_front() {
+        let front = ParetoFront::from_points(std::iter::empty());
+        assert!(front.is_empty());
+        assert!(front.min_energy().is_none());
+        assert!(front.max_utility().is_none());
+    }
+
+    #[test]
+    fn merge_keeps_union_nondominated() {
+        let a = ParetoFront::from_points([(10.0, 10.0), (5.0, 4.0)]);
+        let b = ParetoFront::from_points([(11.0, 10.0), (2.0, 1.0)]);
+        let m = a.merge(&b);
+        // (10,10) dominated by (11,10); rest survive.
+        assert_eq!(m.len(), 3);
+        assert!(m.points().iter().all(|p| p.utility != 10.0));
+    }
+
+    #[test]
+    fn coverage_metric() {
+        let strong = ParetoFront::from_points([(10.0, 1.0)]);
+        let weak = ParetoFront::from_points([(5.0, 2.0), (4.0, 1.5)]);
+        assert_eq!(strong.coverage_of(&weak), 1.0);
+        assert_eq!(weak.coverage_of(&strong), 0.0);
+        assert_eq!(strong.coverage_of(&ParetoFront::from_points(std::iter::empty())), 0.0);
+    }
+
+    #[test]
+    fn point_dominance_rules() {
+        let a = FrontPoint { utility: 5.0, energy: 3.0 };
+        let b = FrontPoint { utility: 5.0, energy: 4.0 };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a));
+    }
+}

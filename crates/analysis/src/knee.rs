@@ -1,0 +1,95 @@
+//! Knee-point detection — a complementary way to pick "the" operating
+//! point from a front. Where the Fig. 5 utility-per-energy peak rewards
+//! absolute efficiency, the knee rewards *marginal* efficiency: the point
+//! where spending one more joule starts buying noticeably less utility.
+//! For the paper's fronts the two usually bracket the same region.
+
+use crate::front::{FrontPoint, ParetoFront};
+
+/// The knee of a front, computed by the maximum-distance-to-chord rule:
+/// normalise both objectives to `[0, 1]`, draw the chord between the
+/// front's two extremes, and pick the point farthest above it.
+///
+/// Returns `None` for fronts with fewer than three points (no interior) or
+/// degenerate spans.
+pub fn knee_point(front: &ParetoFront) -> Option<(usize, FrontPoint)> {
+    let pts = front.points();
+    if pts.len() < 3 {
+        return None;
+    }
+    let first = pts[0];
+    let last = pts[pts.len() - 1];
+    let e_span = last.energy - first.energy;
+    let u_span = last.utility - first.utility;
+    if e_span <= 0.0 || u_span <= 0.0 {
+        return None;
+    }
+    // Normalised chord from (0, 0) to (1, 1): signed elevation of a point
+    // above the chord is u_norm - e_norm (scaled distance; the constant
+    // 1/√2 factor does not change the argmax).
+    let mut best: Option<(usize, f64)> = None;
+    for (i, p) in pts.iter().enumerate().skip(1).take(pts.len() - 2) {
+        let e_norm = (p.energy - first.energy) / e_span;
+        let u_norm = (p.utility - first.utility) / u_span;
+        let elevation = u_norm - e_norm;
+        match best {
+            Some((_, b)) if b >= elevation => {}
+            _ => best = Some((i, elevation)),
+        }
+    }
+    // A knee must actually rise above the chord; a convex (bowed-down)
+    // front has no knee.
+    let (i, elevation) = best?;
+    (elevation > 0.0).then_some((i, pts[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concave_front_has_interior_knee() {
+        // utility = sqrt(energy): strongly concave, knee in the interior.
+        let front = ParetoFront::from_points((1..=100).map(|e| ((e as f64).sqrt(), e as f64)));
+        let (i, p) = knee_point(&front).expect("knee exists");
+        assert!(i > 0 && i < front.len() - 1);
+        // Analytic knee of sqrt on [1, 100] normalised: maximise
+        // (sqrt(e)-1)/9 - (e-1)/99 → derivative zero at sqrt(e) = 99/18.
+        let expect = (99.0f64 / 18.0).powi(2);
+        assert!((p.energy - expect).abs() < 1.0, "knee at {} expected ~{expect}", p.energy);
+    }
+
+    #[test]
+    fn linear_front_has_no_strict_knee() {
+        let front = ParetoFront::from_points((0..10).map(|i| (i as f64, i as f64)));
+        // All elevations are exactly zero: no point rises above the chord.
+        assert!(knee_point(&front).is_none());
+    }
+
+    #[test]
+    fn convex_front_has_no_knee() {
+        // utility = energy²: marginal utility *increases*, no knee.
+        let front = ParetoFront::from_points((1..=50).map(|e| {
+            let e = e as f64;
+            (e * e, e)
+        }));
+        assert!(knee_point(&front).is_none());
+    }
+
+    #[test]
+    fn tiny_fronts_yield_none() {
+        assert!(knee_point(&ParetoFront::from_points([])).is_none());
+        assert!(knee_point(&ParetoFront::from_points([(1.0, 1.0)])).is_none());
+        assert!(knee_point(&ParetoFront::from_points([(1.0, 1.0), (2.0, 2.0)])).is_none());
+    }
+
+    #[test]
+    fn knee_is_on_the_front() {
+        let front = ParetoFront::from_points((1..=30).map(|e| {
+            let e = e as f64;
+            (100.0 * (1.0 - (-e / 8.0).exp()), e)
+        }));
+        let (i, p) = knee_point(&front).expect("saturating curve has a knee");
+        assert_eq!(front.points()[i], p);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Pareto-front analysis: everything a system administrator reads off the
+//! paper's figures.
+//!
+//! This crate deliberately works on plain `(utility, energy)` pairs rather
+//! than engine types so it can analyse fronts from any source — NSGA-II
+//! populations, baseline heuristics, or recorded CSV data.
+//!
+//! * [`front`] — nondominated extraction, merging, and the [`ParetoFront`]
+//!   invariants (energy-ascending, utility-ascending).
+//! * [`upe`] — the Fig. 5 analysis: utility-per-energy curves, the peak,
+//!   and the "most efficient operating region" of a front.
+//! * [`metrics`] — hypervolume, generational distance, and spread for
+//!   comparing fronts quantitatively (used by the seeding-comparison
+//!   benches).
+//! * [`export`] — CSV/JSON serialisation of fronts and figure series.
+
+pub mod attainment;
+pub mod export;
+pub mod front;
+pub mod knee;
+pub mod metrics;
+pub mod upe;
+
+pub use attainment::AttainmentSummary;
+pub use export::{FigureSeries, SeriesPoint};
+pub use front::{FrontPoint, ParetoFront};
+pub use knee::knee_point;
+pub use metrics::{epsilon_indicator, generational_distance, hypervolume, spread};
+pub use upe::UpeAnalysis;

@@ -1,0 +1,233 @@
+//! Quantitative front-comparison metrics, used by the seeding-comparison
+//! experiments ("our seeded populations are finding solutions that dominate
+//! those found by the random population") and the ablation benches.
+
+use crate::front::ParetoFront;
+
+/// 2-D hypervolume of a front in (utility ↑, energy ↓) space relative to a
+/// reference point `(ref_utility, ref_energy)` that every front point must
+/// dominate (`utility ≥ ref_utility`, `energy ≤ ref_energy`); points that
+/// do not are ignored. Larger is better.
+///
+/// Computed as the area of the union of rectangles
+/// `[ref_utility, uᵢ] × [eᵢ, ref_energy]`, swept in ascending energy.
+pub fn hypervolume(front: &ParetoFront, ref_utility: f64, ref_energy: f64) -> f64 {
+    let mut area = 0.0;
+    let mut prev_utility = ref_utility;
+    for p in front.points() {
+        // points() ascends in energy and utility.
+        if p.utility < ref_utility || p.energy > ref_energy {
+            continue;
+        }
+        if p.utility > prev_utility {
+            area += (p.utility - prev_utility) * (ref_energy - p.energy);
+            prev_utility = p.utility;
+        }
+    }
+    area
+}
+
+/// Generational distance: average Euclidean distance from each point of
+/// `front` to its nearest neighbour on `reference` (the best-known front).
+/// Zero means `front` lies on the reference. Objectives should be on
+/// comparable scales; pass `(utility_scale, energy_scale)` to normalise.
+pub fn generational_distance(
+    front: &ParetoFront,
+    reference: &ParetoFront,
+    scales: (f64, f64),
+) -> f64 {
+    if front.is_empty() || reference.is_empty() {
+        return f64::INFINITY;
+    }
+    let (us, es) = scales;
+    let sum: f64 = front
+        .points()
+        .iter()
+        .map(|p| {
+            reference
+                .points()
+                .iter()
+                .map(|r| {
+                    let du = (p.utility - r.utility) / us;
+                    let de = (p.energy - r.energy) / es;
+                    (du * du + de * de).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    sum / front.len() as f64
+}
+
+/// Additive ε-indicator: the smallest `ε ≥ 0` such that shifting every
+/// point of `front` by `ε` toward better (utility + ε, energy − ε) makes it
+/// weakly dominate every point of `reference`. Zero means `front` already
+/// covers the reference; larger = worse. Objectives should be pre-scaled to
+/// comparable units by the caller (pass `scales` as for
+/// [`generational_distance`]).
+pub fn epsilon_indicator(
+    front: &ParetoFront,
+    reference: &ParetoFront,
+    scales: (f64, f64),
+) -> f64 {
+    if reference.is_empty() {
+        return 0.0;
+    }
+    if front.is_empty() {
+        return f64::INFINITY;
+    }
+    let (us, es) = scales;
+    reference
+        .points()
+        .iter()
+        .map(|r| {
+            // ε needed for the best point of `front` against r.
+            front
+                .points()
+                .iter()
+                .map(|p| {
+                    let need_u = (r.utility - p.utility) / us; // >0 if p earns less
+                    let need_e = (p.energy - r.energy) / es; // >0 if p spends more
+                    need_u.max(need_e).max(0.0)
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// Deb's spread indicator Δ: how evenly the front's points are distributed.
+/// 0 is perfectly even; values near 1 indicate heavy clustering. Needs at
+/// least three points (returns 0 otherwise — a two-point front is trivially
+/// "even").
+pub fn spread(front: &ParetoFront) -> f64 {
+    let pts = front.points();
+    if pts.len() < 3 {
+        return 0.0;
+    }
+    // Consecutive gaps in normalised objective space.
+    let u_span = (pts.last().unwrap().utility - pts[0].utility).max(1e-300);
+    let e_span = (pts.last().unwrap().energy - pts[0].energy).max(1e-300);
+    let gaps: Vec<f64> = pts
+        .windows(2)
+        .map(|w| {
+            let du = (w[1].utility - w[0].utility) / u_span;
+            let de = (w[1].energy - w[0].energy) / e_span;
+            (du * du + de * de).sqrt()
+        })
+        .collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    gaps.iter().map(|g| (g - mean).abs()).sum::<f64>() / (gaps.len() as f64 * mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypervolume_of_single_point() {
+        let front = ParetoFront::from_points([(10.0, 4.0)]);
+        // Rectangle [0,10] x [4,20] = 10 * 16.
+        assert_eq!(hypervolume(&front, 0.0, 20.0), 160.0);
+    }
+
+    #[test]
+    fn hypervolume_of_staircase() {
+        // Points (4,2) and (10,8) vs ref (0, 10):
+        // (4-0)*(10-2) + (10-4)*(10-8) = 32 + 12 = 44.
+        let front = ParetoFront::from_points([(4.0, 2.0), (10.0, 8.0)]);
+        assert_eq!(hypervolume(&front, 0.0, 10.0), 44.0);
+    }
+
+    #[test]
+    fn hypervolume_ignores_points_outside_reference() {
+        let front = ParetoFront::from_points([(4.0, 2.0), (10.0, 12.0)]);
+        // Second point has energy above the reference: contributes nothing.
+        assert_eq!(hypervolume(&front, 0.0, 10.0), 32.0);
+        // Empty front has zero volume.
+        assert_eq!(hypervolume(&ParetoFront::from_points([]), 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn dominating_front_has_larger_hypervolume() {
+        let strong = ParetoFront::from_points([(8.0, 2.0), (12.0, 5.0)]);
+        let weak = ParetoFront::from_points([(6.0, 3.0), (10.0, 6.0)]);
+        let hv_s = hypervolume(&strong, 0.0, 10.0);
+        let hv_w = hypervolume(&weak, 0.0, 10.0);
+        assert!(hv_s > hv_w);
+    }
+
+    #[test]
+    fn gd_zero_on_reference_itself() {
+        let f = ParetoFront::from_points([(1.0, 1.0), (2.0, 3.0), (5.0, 8.0)]);
+        assert_eq!(generational_distance(&f, &f, (1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn gd_measures_offset() {
+        let reference = ParetoFront::from_points([(0.0, 0.0)]);
+        let off = ParetoFront::from_points([(3.0, 4.0)]);
+        assert!((generational_distance(&off, &reference, (1.0, 1.0)) - 5.0).abs() < 1e-12);
+        // Scales normalise the distance.
+        assert!(
+            (generational_distance(&off, &reference, (3.0, 4.0)) - 2.0f64.sqrt()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn gd_of_empty_front_is_infinite() {
+        let empty = ParetoFront::from_points([]);
+        let f = ParetoFront::from_points([(1.0, 1.0)]);
+        assert!(generational_distance(&empty, &f, (1.0, 1.0)).is_infinite());
+        assert!(generational_distance(&f, &empty, (1.0, 1.0)).is_infinite());
+    }
+
+    #[test]
+    fn epsilon_zero_when_front_covers_reference() {
+        let strong = ParetoFront::from_points([(10.0, 1.0), (20.0, 5.0)]);
+        let weak = ParetoFront::from_points([(9.0, 2.0), (18.0, 6.0)]);
+        assert_eq!(epsilon_indicator(&strong, &weak, (1.0, 1.0)), 0.0);
+        // The weak front needs a positive shift to cover the strong one.
+        assert!(epsilon_indicator(&weak, &strong, (1.0, 1.0)) > 0.0);
+    }
+
+    #[test]
+    fn epsilon_measures_exact_gap() {
+        let a = ParetoFront::from_points([(5.0, 5.0)]);
+        let b = ParetoFront::from_points([(7.0, 5.0)]);
+        // a needs +2 utility to cover b.
+        assert!((epsilon_indicator(&a, &b, (1.0, 1.0)) - 2.0).abs() < 1e-12);
+        // Scaling utility by 2 halves the needed ε.
+        assert!((epsilon_indicator(&a, &b, (2.0, 1.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_edge_cases() {
+        let f = ParetoFront::from_points([(1.0, 1.0)]);
+        let empty = ParetoFront::from_points([]);
+        assert_eq!(epsilon_indicator(&f, &empty, (1.0, 1.0)), 0.0);
+        assert!(epsilon_indicator(&empty, &f, (1.0, 1.0)).is_infinite());
+    }
+
+    #[test]
+    fn spread_zero_for_even_front() {
+        let even = ParetoFront::from_points((0..10).map(|i| (i as f64, i as f64)));
+        assert!(spread(&even) < 1e-12);
+    }
+
+    #[test]
+    fn spread_larger_for_clustered_front() {
+        let clustered = ParetoFront::from_points(
+            [(0.0, 0.0), (0.1, 0.1), (0.2, 0.2), (10.0, 10.0)],
+        );
+        let even = ParetoFront::from_points((0..4).map(|i| (i as f64, i as f64)));
+        assert!(spread(&clustered) > spread(&even));
+    }
+
+    #[test]
+    fn spread_of_tiny_fronts_is_zero() {
+        assert_eq!(spread(&ParetoFront::from_points([(1.0, 1.0)])), 0.0);
+        assert_eq!(spread(&ParetoFront::from_points([(1.0, 1.0), (2.0, 2.0)])), 0.0);
+    }
+}

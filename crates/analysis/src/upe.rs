@@ -1,0 +1,163 @@
+//! The Fig. 5 analysis: locating the region of a Pareto front where
+//! *utility earned per energy spent* is maximised — "the location where the
+//! system is operating as efficiently as possible".
+//!
+//! Subplot B of the paper plots UPE against utility, subplot C against
+//! energy; the peaks of both identify the same front point, which is then
+//! translated back onto the front (subplot A).
+
+use crate::front::{FrontPoint, ParetoFront};
+use serde::{Deserialize, Serialize};
+
+/// Utility-per-energy analysis of one front.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpeAnalysis {
+    /// UPE value per front point (same order as the front: energy
+    /// ascending).
+    pub upe: Vec<f64>,
+    /// Index of the peak-UPE point.
+    pub peak_index: usize,
+    /// The peak point itself.
+    pub peak: FrontPoint,
+    /// Peak utility-per-energy value.
+    pub peak_upe: f64,
+}
+
+impl UpeAnalysis {
+    /// Computes the UPE curve and peak of a front. Returns `None` for an
+    /// empty front or one with only non-positive energies (impossible for
+    /// real allocations).
+    pub fn of(front: &ParetoFront) -> Option<Self> {
+        if front.is_empty() {
+            return None;
+        }
+        let upe: Vec<f64> = front
+            .points()
+            .iter()
+            .map(|p| if p.energy > 0.0 { p.utility / p.energy } else { f64::NEG_INFINITY })
+            .collect();
+        let (peak_index, &peak_upe) = upe
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        if !peak_upe.is_finite() {
+            return None;
+        }
+        Some(UpeAnalysis { peak: front.points()[peak_index], upe, peak_index, peak_upe })
+    }
+
+    /// The "circled region" of the figures: all front indices whose UPE is
+    /// within `tolerance` (relative) of the peak, e.g. 0.05 for 5 %.
+    pub fn peak_region(&self, tolerance: f64) -> Vec<usize> {
+        let cutoff = self.peak_upe * (1.0 - tolerance);
+        self.upe
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u >= cutoff)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The (utility, UPE) series of subplot 5.B.
+    pub fn upe_vs_utility(&self, front: &ParetoFront) -> Vec<(f64, f64)> {
+        front.points().iter().zip(&self.upe).map(|(p, &u)| (p.utility, u)).collect()
+    }
+
+    /// The (energy, UPE) series of subplot 5.C.
+    pub fn upe_vs_energy(&self, front: &ParetoFront) -> Vec<(f64, f64)> {
+        front.points().iter().zip(&self.upe).map(|(p, &u)| (p.energy, u)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic concave front: utility = √energy (diminishing returns),
+    /// over energies 1..=100. UPE = 1/√e is maximised at the lowest energy.
+    fn concave_front() -> ParetoFront {
+        ParetoFront::from_points((1..=100).map(|e| ((e as f64).sqrt(), e as f64)))
+    }
+
+    /// A front with an interior efficiency peak: slow start, steep middle,
+    /// saturating end (logistic-ish) — the shape the paper's figures show.
+    fn s_front() -> ParetoFront {
+        ParetoFront::from_points((1..=100).map(|i| {
+            let e = i as f64;
+            let u = 100.0 / (1.0 + (-(e - 30.0) / 4.0).exp());
+            (u, e)
+        }))
+    }
+
+    #[test]
+    fn concave_front_peaks_at_min_energy() {
+        let front = concave_front();
+        let a = UpeAnalysis::of(&front).unwrap();
+        assert_eq!(a.peak_index, 0);
+        assert_eq!(a.peak.energy, 1.0);
+    }
+
+    #[test]
+    fn s_front_peak_is_interior() {
+        let front = s_front();
+        let a = UpeAnalysis::of(&front).unwrap();
+        assert!(a.peak_index > 0 && a.peak_index < front.len() - 1);
+        // For u(e) = 100/(1+exp(-(e-30)/4)), u/e peaks a little past the
+        // inflection point; verify by brute force against the curve.
+        let brute = (1..=100)
+            .map(|i| {
+                let e = i as f64;
+                (100.0 / (1.0 + (-(e - 30.0) / 4.0).exp())) / e
+            })
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+        assert_eq!(a.peak_index, brute);
+    }
+
+    #[test]
+    fn peak_region_contains_peak_and_respects_tolerance() {
+        let front = s_front();
+        let a = UpeAnalysis::of(&front).unwrap();
+        let region = a.peak_region(0.05);
+        assert!(region.contains(&a.peak_index));
+        for &i in &region {
+            assert!(a.upe[i] >= a.peak_upe * 0.95 - 1e-12);
+        }
+        // Zero tolerance shrinks the region to the peak (ties aside).
+        let tight = a.peak_region(0.0);
+        assert!(tight.contains(&a.peak_index));
+        assert!(tight.len() <= region.len());
+    }
+
+    #[test]
+    fn subplot_series_align_with_front() {
+        let front = s_front();
+        let a = UpeAnalysis::of(&front).unwrap();
+        let by_u = a.upe_vs_utility(&front);
+        let by_e = a.upe_vs_energy(&front);
+        assert_eq!(by_u.len(), front.len());
+        assert_eq!(by_e.len(), front.len());
+        // The peak of both series is the same UPE value (the paper's solid
+        // and dashed lines meet the same front point).
+        let max_u = by_u.iter().map(|&(_, u)| u).fold(f64::NEG_INFINITY, f64::max);
+        let max_e = by_e.iter().map(|&(_, u)| u).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(max_u, a.peak_upe);
+        assert_eq!(max_e, a.peak_upe);
+    }
+
+    #[test]
+    fn empty_front_yields_none() {
+        let empty = ParetoFront::from_points(std::iter::empty());
+        assert!(UpeAnalysis::of(&empty).is_none());
+    }
+
+    #[test]
+    fn single_point_front() {
+        let front = ParetoFront::from_points([(10.0, 2.0)]);
+        let a = UpeAnalysis::of(&front).unwrap();
+        assert_eq!(a.peak_upe, 5.0);
+        assert_eq!(a.peak_index, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! One benchmark per paper table/figure. Each bench regenerates the
+//! corresponding artifact; the figure experiments run at a reduced
+//! iteration scale (the paper's 10⁵–10⁶-iteration schedules are a cluster
+//! workload, and Criterion repeats every body dozens of times). Shape
+//! checks are asserted inside the bodies so a bench run doubles as a
+//! regression test of the figures; paper-vs-measured numbers live in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsched_core::figures;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_machines", |b| {
+        b.iter(|| {
+            let t = figures::table1();
+            assert_eq!(t.len(), 9);
+            black_box(t)
+        })
+    });
+    c.bench_function("table2_programs", |b| {
+        b.iter(|| {
+            let t = figures::table2();
+            assert_eq!(t.len(), 5);
+            black_box(t)
+        })
+    });
+    c.bench_function("table3_inventory", |b| {
+        b.iter(|| {
+            let t = figures::table3();
+            assert_eq!(t.iter().map(|(_, n)| n).sum::<u32>(), 30);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_fig1_fig2(c: &mut Criterion) {
+    c.bench_function("fig1_tuf_curve", |b| {
+        b.iter(|| {
+            let curve = figures::fig1_curve(200);
+            // Monotone non-increasing utility.
+            assert!(curve.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9));
+            black_box(curve)
+        })
+    });
+    c.bench_function("fig2_dominance", |b| {
+        b.iter(|| black_box(figures::fig2_points()))
+    });
+}
+
+/// Shared shape assertions for the front figures: every population yields a
+/// front at every snapshot, and the nondominated union spans a real
+/// energy/utility trade-off.
+fn assert_front_figure(report: &hetsched_core::AnalysisReport) {
+    assert_eq!(report.runs.len(), 5);
+    let combined = report.combined_front();
+    let lo = combined.min_energy().expect("front non-empty");
+    let hi = combined.max_utility().expect("front non-empty");
+    assert!(hi.energy >= lo.energy);
+    assert!(hi.utility >= lo.utility);
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dataset1");
+    group.sample_size(10);
+    group.bench_function("scale_1e-4", |b| {
+        b.iter(|| {
+            let (report, series) = figures::fig3(0.0001).expect("fig3 runs");
+            assert_front_figure(&report);
+            black_box(series)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig4_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_fig5_dataset2");
+    group.sample_size(10);
+    group.bench_function("scale_1e-5", |b| {
+        b.iter(|| {
+            let (report, series) = figures::fig4(0.00001).expect("fig4 runs");
+            assert_front_figure(&report);
+            let f5 = figures::fig5(&report).expect("front non-empty");
+            assert_eq!(f5.front.len(), f5.upe_vs_energy.len());
+            black_box((series, f5))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dataset3");
+    group.sample_size(10);
+    group.bench_function("scale_2e-6", |b| {
+        b.iter(|| {
+            let (report, series) = figures::fig6(0.000002).expect("fig6 runs");
+            assert_front_figure(&report);
+            black_box(series)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures_benches,
+    bench_tables,
+    bench_fig1_fig2,
+    bench_fig3,
+    bench_fig4_fig5,
+    bench_fig6
+);
+criterion_main!(figures_benches);

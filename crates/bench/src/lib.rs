@@ -1,0 +1,40 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The benches come in three groups:
+//!
+//! * `benches/figures.rs` — one benchmark per paper table/figure, each
+//!   regenerating the corresponding data (at a reduced iteration scale; the
+//!   measured quantity is the generation cost of the experiment pipeline,
+//!   and the bench body also sanity-checks the shape criteria recorded in
+//!   EXPERIMENTS.md).
+//! * `benches/engine.rs` — micro-benchmarks of the hot paths: fitness
+//!   evaluation, fast nondominated sort, crowding distance, one NSGA-II
+//!   generation, Gram-Charlier sampling.
+//! * `benches/ablations.rs` — design-choice ablations from DESIGN.md:
+//!   seeded vs random populations, parallel vs serial evaluation, mutation
+//!   rates, Gram-Charlier vs plain-normal sampling.
+
+use hetsched_data::{real_system, HcSystem};
+use hetsched_workload::{Trace, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic data-set-1-style fixture with `tasks` tasks.
+pub fn ds1_fixture(tasks: usize) -> (HcSystem, Trace) {
+    let system = real_system();
+    let trace = TraceGenerator::new(tasks, 900.0, system.task_type_count())
+        .generate(&mut StdRng::seed_from_u64(0xBE7C))
+        .expect("fixture parameters are valid");
+    (system, trace)
+}
+
+/// A deterministic data-set-2-style fixture (synthetic 30×13 system).
+pub fn ds2_fixture(tasks: usize, duration: f64) -> (HcSystem, Trace) {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let system =
+        hetsched_synth::builder::dataset2_system(&mut rng).expect("synthesis succeeds");
+    let trace = TraceGenerator::new(tasks, duration, system.task_type_count())
+        .generate(&mut rng)
+        .expect("fixture parameters are valid");
+    (system, trace)
+}

@@ -1,0 +1,410 @@
+//! Command implementations.
+
+use crate::options::Options;
+use hetsched_analysis::export::{series_to_csv, series_to_json};
+use hetsched_core::figures;
+use hetsched_core::{DatasetId, ExperimentConfig, Framework};
+use hetsched_data::{MachineTypeId, TaskTypeId};
+use hetsched_heuristics::SeedKind;
+use hetsched_sim::Evaluator;
+use std::fmt::Write as _;
+
+fn dataset_id(set: u8) -> DatasetId {
+    match set {
+        1 => DatasetId::One,
+        2 => DatasetId::Two,
+        _ => DatasetId::Three,
+    }
+}
+
+fn config_from(options: &Options) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::scaled(dataset_id(options.set), options.scale);
+    if let Some(tasks) = options.tasks {
+        cfg.tasks = tasks;
+    }
+    cfg.population = options.population;
+    cfg.rng_seed = options.rng_seed;
+    cfg
+}
+
+/// `hetsched dataset`: print the system's machines, task types, and the
+/// ETC/EPC matrices.
+pub fn dataset(options: &Options) -> Result<(), String> {
+    let cfg = config_from(options);
+    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let sys = fw.system();
+    let mut out = String::new();
+    let _ = writeln!(out, "data set {} — {} machines over {} machine types, {} task types",
+        options.set, sys.machine_count(), sys.machine_type_count(), sys.task_type_count());
+    let _ = writeln!(out, "\nmachine types (Table I / III):");
+    for m in 0..sys.machine_type_count() {
+        let mt = MachineTypeId(m as u16);
+        let count = sys.inventory().count(mt);
+        let _ = writeln!(out, "  {:>2}  {:<32} × {}", m, sys.machine_type_name(mt), count);
+    }
+    let _ = writeln!(out, "\ntask types (Table II + synthetic):");
+    for t in 0..sys.task_type_count() {
+        let tt = TaskTypeId(t as u16);
+        let row_avg = sys.etc().0.row_average(tt).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "  {:>2}  {:<32} row-average ETC {:.1} s",
+            t,
+            sys.task_type_name(tt),
+            row_avg
+        );
+    }
+    options.emit(&out)
+}
+
+/// `hetsched figure N`: regenerate one figure's data.
+pub fn figure(which: u8, options: &Options) -> Result<(), String> {
+    match which {
+        1 => {
+            let mut out = String::from("time_s,utility\n");
+            for (t, u) in figures::fig1_curve(200) {
+                let _ = writeln!(out, "{t:.2},{u:.4}");
+            }
+            options.emit(&out)
+        }
+        2 => {
+            let mut out = String::from("label,energy,utility\n");
+            for (label, e, u) in figures::fig2_points() {
+                let _ = writeln!(out, "{label},{e},{u}");
+            }
+            options.emit(&out)
+        }
+        3 | 4 | 6 => {
+            let result = match which {
+                3 => figures::fig3(options.scale),
+                4 => figures::fig4(options.scale),
+                _ => figures::fig6(options.scale),
+            };
+            let (_, series) = result.map_err(|e| e.to_string())?;
+            let rendered = if options.json {
+                series_to_json(&series).map_err(|e| e.to_string())?
+            } else {
+                series_to_csv(&series)
+            };
+            // When writing to a file, also drop a gnuplot script next to it
+            // so `gnuplot figN.gp` reproduces the subplot layout directly.
+            if let Some(path) = &options.out {
+                let gp = hetsched_analysis::export::gnuplot_script(
+                    &series,
+                    path,
+                    &format!("figure{which}"),
+                );
+                let gp_path = format!("{path}.gp");
+                std::fs::write(&gp_path, gp).map_err(|e| format!("cannot write {gp_path}: {e}"))?;
+            }
+            options.emit(&rendered)
+        }
+        5 => {
+            let (report, _) = figures::fig4(options.scale).map_err(|e| e.to_string())?;
+            let data = figures::fig5(&report).ok_or("figure 5: empty front")?;
+            let mut out = String::from("subplot,x,y\n");
+            for (e, u) in &data.front {
+                let _ = writeln!(out, "A,{:.6},{:.6}", e / 1.0e6, u);
+            }
+            for (u, upe) in &data.upe_vs_utility {
+                let _ = writeln!(out, "B,{u:.6},{upe:.9}");
+            }
+            for (e, upe) in &data.upe_vs_energy {
+                let _ = writeln!(out, "C,{:.6},{:.9}", e / 1.0e6, upe);
+            }
+            let _ = writeln!(out, "peak,{:.6},{:.6}", data.peak.1 / 1.0e6, data.peak.0);
+            options.emit(&out)
+        }
+        other => Err(format!("unknown figure {other} (valid: 1-6)")),
+    }
+}
+
+/// `hetsched run`: full multi-population experiment; prints a per-seed
+/// summary plus the combined front and its UPE peak.
+pub fn run_experiment(options: &Options) -> Result<(), String> {
+    let cfg = config_from(options);
+    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let report = fw.run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "data set {} — {} tasks, population {}, snapshots {:?}",
+        options.set, fw.config().tasks, fw.config().population, fw.config().snapshots
+    );
+    for run in &report.runs {
+        let front = run.final_front();
+        let (min_e, max_u) = (front.min_energy().unwrap(), front.max_utility().unwrap());
+        let _ = writeln!(
+            out,
+            "  {:<24} front {:>3} pts   energy [{:.3}, {:.3}] MJ   utility [{:.1}, {:.1}]",
+            run.seed.label(),
+            front.len(),
+            min_e.energy / 1e6,
+            max_u.energy / 1e6,
+            min_e.utility,
+            max_u.utility
+        );
+    }
+    let combined = report.combined_front();
+    let _ = writeln!(out, "combined front: {} points", combined.len());
+    if let Some(upe) = report.upe() {
+        let _ = writeln!(
+            out,
+            "max utility-per-energy: {:.3} utility/MJ at utility {:.1}, energy {:.3} MJ",
+            upe.peak_upe * 1e6,
+            upe.peak.utility,
+            upe.peak.energy / 1e6
+        );
+    }
+    options.emit(&out)
+}
+
+/// `hetsched gantt`: render the Min-Min allocation of the data set as an
+/// ASCII Gantt chart (a quick visual sanity check of the simulator).
+pub fn gantt(options: &Options) -> Result<(), String> {
+    let cfg = config_from(options);
+    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let alloc = hetsched_heuristics::min_min_completion_time(fw.system(), fw.trace());
+    let detailed = hetsched_sim::DetailedOutcome::evaluate(fw.system(), fw.trace(), &alloc)
+        .map_err(|e| e.to_string())?;
+    let mut out = hetsched_sim::render_gantt(fw.system(), &detailed, 80);
+    let _ = writeln!(
+        out,
+        "min-min schedule: utility {:.1}, energy {:.3} MJ, makespan {:.1} s",
+        detailed.utility,
+        detailed.energy / 1e6,
+        detailed.makespan
+    );
+    options.emit(&out)
+}
+
+/// `hetsched online`: sweep energy budgets through the online greedy
+/// scheduler (the framework's downstream consumer) and print the
+/// utility-vs-budget curve.
+pub fn online(options: &Options) -> Result<(), String> {
+    let cfg = config_from(options);
+    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let unconstrained = hetsched_sim::schedule_online(
+        fw.system(),
+        fw.trace(),
+        &hetsched_sim::OnlineConfig::default(),
+    );
+    let mut out = String::from("budget_fraction,energy_megajoules,utility,accepted,rejected\n");
+    for pct in [100u32, 90, 75, 60, 50, 40, 30, 20, 10] {
+        let budget = unconstrained.energy * pct as f64 / 100.0;
+        let o = hetsched_sim::schedule_online(
+            fw.system(),
+            fw.trace(),
+            &hetsched_sim::OnlineConfig { energy_budget: budget, drop_threshold: 0.0 },
+        );
+        let _ = writeln!(
+            out,
+            "{:.2},{:.6},{:.3},{},{}",
+            pct as f64 / 100.0,
+            o.energy / 1e6,
+            o.utility,
+            o.accepted,
+            o.rejected.len()
+        );
+    }
+    options.emit(&out)
+}
+
+/// `hetsched verify-synth`: generate a large synthetic ETC matrix and
+/// report how well the §III-D2 pipeline preserved the real data's
+/// heterogeneity (moments + Kolmogorov-Smirnov distance of the ratio
+/// distributions).
+pub fn verify_synth(options: &Options) -> Result<(), String> {
+    use hetsched_data::{real_etc, TypeMatrix};
+    use rand::SeedableRng;
+    let n = options.tasks.unwrap_or(500);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(options.rng_seed);
+    let sys = hetsched_synth::DatasetBuilder::from_real()
+        .new_task_types(n)
+        .build(&mut rng)
+        .map_err(|e| e.to_string())?;
+    // Synthetic rows only, general columns only.
+    let mut synth = TypeMatrix::filled(n, 9, 0.0);
+    for t in 0..n {
+        for m in 0..9 {
+            synth.set(
+                TaskTypeId(t as u16),
+                MachineTypeId(m as u16),
+                sys.etc().time(TaskTypeId((t + 5) as u16), MachineTypeId(m as u16)),
+            );
+        }
+    }
+    let real = real_etc().0;
+    let report = hetsched_synth::HeterogeneityReport::compare(&real, &synth)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "heterogeneity preservation report ({n} synthetic task types)");
+    let s = &report.source_row_avg;
+    let g = &report.generated_row_avg;
+    let _ = writeln!(
+        out,
+        "row averages   real: mean {:.1}  CV {:.3}  skew {:+.3}  kurt {:+.3}",
+        s.mean,
+        s.coefficient_of_variation(),
+        s.skewness,
+        s.kurtosis
+    );
+    let _ = writeln!(
+        out,
+        "              synth: mean {:.1}  CV {:.3}  skew {:+.3}  kurt {:+.3}",
+        g.mean,
+        g.coefficient_of_variation(),
+        g.skewness,
+        g.kurtosis
+    );
+    let _ = writeln!(out, "worst per-machine ratio-moment discrepancy: {:.3}", report.worst_ratio_discrepancy());
+    // KS distance between real and synthetic ratio samples, per machine.
+    let real_ratio = hetsched_synth::ratios::ratio_matrix(&real).map_err(|e| e.to_string())?;
+    let synth_ratio = hetsched_synth::ratios::ratio_matrix(&synth).map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "per-machine KS distance (real vs synthetic ratios):");
+    for m in 0..9u16 {
+        let a: Vec<f64> = real_ratio.column(MachineTypeId(m)).filter(|v| v.is_finite()).collect();
+        let b: Vec<f64> =
+            synth_ratio.column(MachineTypeId(m)).filter(|v| v.is_finite()).collect();
+        let d = hetsched_stats::ks_statistic(&a, &b).map_err(|e| e.to_string())?;
+        let crit = hetsched_stats::ks_critical_value(a.len(), b.len(), 0.05)
+            .map_err(|e| e.to_string())?;
+        let verdict = if d <= crit { "ok" } else { "differs" };
+        let _ = writeln!(out, "  machine {m}: D = {d:.3} (crit@5% {crit:.3}) {verdict}");
+    }
+    options.emit(&out)
+}
+
+/// `hetsched report`: run the whole reproduction suite (figures 3-6, the
+/// seeding table, and the claim checks) at the given scale and emit a
+/// self-contained markdown report.
+pub fn report(options: &Options) -> Result<(), String> {
+    use hetsched_core::suite::verify_dataset;
+    let mut out = String::new();
+    let _ = writeln!(out, "# hetsched reproduction report\n");
+    let _ = writeln!(
+        out,
+        "iteration scale: {} of the paper's schedule; master seed {:#x}\n",
+        options.scale, options.rng_seed
+    );
+
+    for set in 1..=3u8 {
+        let dataset = dataset_id(set);
+        let _ = writeln!(out, "## data set {set}\n");
+        // Seeding heuristics table.
+        let cfg = {
+            let mut cfg = ExperimentConfig::scaled(dataset, options.scale);
+            cfg.rng_seed = options.rng_seed;
+            cfg
+        };
+        let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+        let mut ev = Evaluator::new(fw.system(), fw.trace());
+        let _ = writeln!(out, "| heuristic | utility | energy (MJ) | makespan (s) |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for kind in SeedKind::ALL {
+            if let Some(alloc) = kind.seeds(fw.system(), fw.trace()).first() {
+                let o = ev.evaluate(alloc);
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.1} | {:.3} | {:.1} |",
+                    kind.label(),
+                    o.utility,
+                    o.energy / 1e6,
+                    o.makespan
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "| *bounds* | {:.1} | {:.3} | |\n",
+            ev.max_possible_utility(),
+            ev.min_possible_energy() / 1e6
+        );
+
+        // Claim checks (runs the full multi-population experiment).
+        let verdict = verify_dataset(dataset, options.scale).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "claim checks:\n");
+        for c in &verdict.checks {
+            let _ = writeln!(
+                out,
+                "- **{}** {} — {}",
+                if c.passed { "pass" } else { "FAIL" },
+                c.name,
+                c.evidence
+            );
+        }
+        let _ = writeln!(out);
+    }
+    options.emit(&out)
+}
+
+/// `hetsched attain`: run the experiment `--reps` times (default 5) and
+/// print each seed's median attainment curve — the robust across-run view
+/// of the trade-off.
+pub fn attain(options: &Options) -> Result<(), String> {
+    let cfg = config_from(options);
+    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let replicates = 5;
+    let summaries = fw.run_replicated(replicates);
+    let mut out = String::from("seed,energy_megajoules,median_utility\n");
+    for (seed, summary) in &summaries {
+        for (e, u) in summary.median_curve(12) {
+            let _ = writeln!(
+                out,
+                "{},{:.6},{}",
+                seed.label(),
+                e / 1e6,
+                u.map(|v| format!("{v:.3}")).unwrap_or_else(|| "NA".to_string())
+            );
+        }
+    }
+    options.emit(&out)
+}
+
+/// `hetsched verify`: run the reproduction suite's claim checks for the
+/// selected data set at the given scale.
+pub fn verify(options: &Options) -> Result<(), String> {
+    let dataset = dataset_id(options.set);
+    let verdict = hetsched_core::verify_dataset(dataset, options.scale)
+        .map_err(|e| e.to_string())?;
+    let mut out = verdict.to_string();
+    out.push_str(if verdict.all_passed() {
+        "all claims supported\n"
+    } else {
+        "SOME CLAIMS FAILED\n"
+    });
+    options.emit(&out)?;
+    if verdict.all_passed() {
+        Ok(())
+    } else {
+        Err("claim checks failed".to_string())
+    }
+}
+
+/// `hetsched seeds`: evaluate the four greedy heuristics on the data set.
+pub fn seeds(options: &Options) -> Result<(), String> {
+    let cfg = config_from(options);
+    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let mut ev = Evaluator::new(fw.system(), fw.trace());
+    let mut out = String::from("heuristic,utility,energy_megajoules,makespan_s\n");
+    for kind in SeedKind::ALL {
+        let seeds = kind.seeds(fw.system(), fw.trace());
+        let Some(alloc) = seeds.first() else { continue };
+        let o = ev.evaluate(alloc);
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.6},{:.1}",
+            kind.label(),
+            o.utility,
+            o.energy / 1e6,
+            o.makespan
+        );
+    }
+    let _ = writeln!(
+        out,
+        "bounds,{:.3},{:.6},",
+        ev.max_possible_utility(),
+        ev.min_possible_energy() / 1e6
+    );
+    options.emit(&out)
+}

@@ -1,0 +1,148 @@
+//! `hetsched` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! hetsched dataset --set <1|2|3>            print the system (Tables I-III)
+//! hetsched figure <1|2|3|4|5|6> [options]   emit a figure's data as CSV/JSON
+//! hetsched run [options]                    run one experiment, print fronts
+//! hetsched seeds [options]                  evaluate the four seeding heuristics
+//!
+//! common options:
+//!   --set <1|2|3>      data set (default 1)
+//!   --scale <f>        fraction of the paper's iteration schedule (default 0.001)
+//!   --tasks <n>        override the trace length
+//!   --pop <n>          population size (default 100)
+//!   --rng <seed>       master RNG seed (default 0x5EED)
+//!   --out <path>       write output to a file instead of stdout
+//!   --json             emit JSON instead of CSV (figures only)
+//! ```
+
+mod commands;
+mod options;
+
+use options::Options;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `hetsched help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let options = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "dataset" => commands::dataset(&options),
+        "figure" => {
+            let which = options
+                .positional
+                .first()
+                .ok_or("figure requires a number (1-6)")?
+                .parse::<u8>()
+                .map_err(|_| "figure number must be 1-6".to_string())?;
+            commands::figure(which, &options)
+        }
+        "run" => commands::run_experiment(&options),
+        "seeds" => commands::seeds(&options),
+        "gantt" => commands::gantt(&options),
+        "online" => commands::online(&options),
+        "verify-synth" => commands::verify_synth(&options),
+        "verify" => commands::verify(&options),
+        "attain" => commands::attain(&options),
+        "report" => commands::report(&options),
+        "help" | "--help" | "-h" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const HELP: &str = "\
+hetsched — energy/utility trade-off analysis framework
+
+USAGE:
+    hetsched dataset [--set 1|2|3] [--rng SEED]
+    hetsched figure <1|2|3|4|5|6> [--scale F] [--out PATH] [--json]
+    hetsched run [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--rng SEED]
+    hetsched seeds [--set 1|2|3] [--tasks N] [--rng SEED]
+    hetsched gantt [--set 1|2|3] [--tasks N]
+    hetsched online [--set 1|2|3] [--tasks N]
+    hetsched verify-synth [--tasks N] [--rng SEED]
+    hetsched verify [--set 1|2|3] [--scale F]
+    hetsched attain [--set 1|2|3] [--tasks N] [--pop N] [--scale F]
+    hetsched report [--scale F] [--out PATH]
+    hetsched help";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&argv("bogus")).is_err());
+    }
+
+    #[test]
+    fn figure_requires_valid_number() {
+        assert!(run(&argv("figure")).is_err());
+        assert!(run(&argv("figure nine")).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(run(&argv("help")).is_ok());
+    }
+
+    #[test]
+    fn dataset_one_prints() {
+        assert!(run(&argv("dataset --set 1")).is_ok());
+    }
+
+    #[test]
+    fn tiny_run_completes() {
+        assert!(run(&argv("run --set 1 --tasks 20 --pop 8 --scale 0.00002")).is_ok());
+    }
+
+    #[test]
+    fn seeds_command_completes() {
+        assert!(run(&argv("seeds --set 1 --tasks 25")).is_ok());
+    }
+
+    #[test]
+    fn gantt_online_and_verify_synth_complete() {
+        assert!(run(&argv("gantt --set 1 --tasks 15")).is_ok());
+        assert!(run(&argv("online --set 1 --tasks 20")).is_ok());
+        assert!(run(&argv("verify-synth --tasks 60")).is_ok());
+    }
+
+    #[test]
+    fn attain_completes_on_mini_experiment() {
+        assert!(run(&argv("attain --set 1 --tasks 15 --pop 8 --scale 0.00002")).is_ok());
+    }
+
+    #[test]
+    fn verify_suite_passes_at_tiny_scale() {
+        assert!(run(&argv("verify --set 1 --scale 0.0002")).is_ok());
+    }
+
+    #[test]
+    fn figure_one_and_two_print() {
+        assert!(run(&argv("figure 1")).is_ok());
+        assert!(run(&argv("figure 2")).is_ok());
+    }
+}

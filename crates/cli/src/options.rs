@@ -1,0 +1,148 @@
+//! Minimal flag parser — the CLI's surface is small enough that a
+//! hand-rolled parser beats pulling in a dependency.
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// Data set selector (1-3).
+    pub set: u8,
+    /// Iteration-schedule scale factor.
+    pub scale: f64,
+    /// Trace-length override.
+    pub tasks: Option<usize>,
+    /// Population size.
+    pub population: usize,
+    /// Master RNG seed.
+    pub rng_seed: u64,
+    /// Output path (stdout when absent).
+    pub out: Option<String>,
+    /// Emit JSON instead of CSV.
+    pub json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            positional: Vec::new(),
+            set: 1,
+            scale: 0.001,
+            tasks: None,
+            population: 100,
+            rng_seed: 0x5EED,
+            out: None,
+            json: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses flags; unknown flags are errors, anything without a leading
+    /// `--` is positional.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |flag: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("--{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--set" => {
+                    opts.set = value_for("set")?
+                        .parse()
+                        .map_err(|_| "--set must be 1, 2, or 3".to_string())?;
+                    if !(1..=3).contains(&opts.set) {
+                        return Err("--set must be 1, 2, or 3".into());
+                    }
+                }
+                "--scale" => {
+                    opts.scale = value_for("scale")?
+                        .parse()
+                        .map_err(|_| "--scale must be a number".to_string())?;
+                    if opts.scale <= 0.0 || opts.scale.is_nan() {
+                        return Err("--scale must be > 0".into());
+                    }
+                }
+                "--tasks" => {
+                    opts.tasks = Some(
+                        value_for("tasks")?
+                            .parse()
+                            .map_err(|_| "--tasks must be a positive integer".to_string())?,
+                    );
+                }
+                "--pop" => {
+                    opts.population = value_for("pop")?
+                        .parse()
+                        .map_err(|_| "--pop must be a positive integer".to_string())?;
+                }
+                "--rng" => {
+                    opts.rng_seed = value_for("rng")?
+                        .parse()
+                        .map_err(|_| "--rng must be an integer seed".to_string())?;
+                }
+                "--out" => {
+                    opts.out = Some(value_for("out")?.clone());
+                }
+                "--json" => opts.json = true,
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                positional => opts.positional.push(positional.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Writes `content` to `--out` or stdout.
+    pub fn emit(&self, content: &str) -> Result<(), String> {
+        match &self.out {
+            Some(path) => std::fs::write(path, content)
+                .map_err(|e| format!("cannot write {path}: {e}")),
+            None => {
+                println!("{content}");
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.set, 1);
+        assert_eq!(o.population, 100);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = Options::parse(&argv("5 --set 2 --scale 0.5 --tasks 42 --pop 10 --rng 7 --json"))
+            .unwrap();
+        assert_eq!(o.positional, vec!["5"]);
+        assert_eq!(o.set, 2);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.tasks, Some(42));
+        assert_eq!(o.population, 10);
+        assert_eq!(o.rng_seed, 7);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(Options::parse(&argv("--set 4")).is_err());
+        assert!(Options::parse(&argv("--set x")).is_err());
+        assert!(Options::parse(&argv("--scale 0")).is_err());
+        assert!(Options::parse(&argv("--scale -1")).is_err());
+        assert!(Options::parse(&argv("--tasks")).is_err());
+        assert!(Options::parse(&argv("--frobnicate 1")).is_err());
+    }
+}

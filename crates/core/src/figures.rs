@@ -1,0 +1,212 @@
+//! One function per table/figure of the paper's evaluation, producing the
+//! data the original plots show. The CLI (`hetsched figure N`) and the
+//! bench harness are thin wrappers around these.
+
+use crate::config::{DatasetId, ExperimentConfig};
+use crate::framework::Framework;
+use crate::report::AnalysisReport;
+use crate::Result;
+use hetsched_analysis::{FigureSeries, UpeAnalysis};
+use hetsched_data::inventory::dataset2_inventory;
+use hetsched_data::{MachineTypeId, REAL_MACHINE_NAMES, REAL_TASK_NAMES};
+use hetsched_heuristics::SeedKind;
+use hetsched_workload::{Tuf, TufBuilder, UtilityClass};
+
+/// Table I: the nine benchmark machines.
+pub fn table1() -> Vec<&'static str> {
+    REAL_MACHINE_NAMES.to_vec()
+}
+
+/// Table II: the five benchmark programs.
+pub fn table2() -> Vec<&'static str> {
+    REAL_TASK_NAMES.to_vec()
+}
+
+/// Table III: (machine type name, number of machines) for data sets 2/3.
+pub fn table3() -> Vec<(String, u32)> {
+    let inv = dataset2_inventory();
+    hetsched_data::inventory::dataset2_machine_type_names()
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, inv.count(MachineTypeId(i as u16))))
+        .collect()
+}
+
+/// The Fig. 1 sample time-utility function: priority 12, three
+/// characteristic classes, earning ≈12 units when finishing at t = 20 and
+/// ≈7 units at t = 47.
+pub fn fig1_tuf() -> Tuf {
+    TufBuilder::new(12.0)
+        .urgency(0.012)
+        .class(UtilityClass {
+            duration: 30.0,
+            begin_fraction: 1.0,
+            end_fraction: 0.75,
+            urgency_modifier: 1.0,
+        })
+        .class(UtilityClass {
+            duration: 30.0,
+            begin_fraction: 0.7,
+            end_fraction: 0.4,
+            urgency_modifier: 1.5,
+        })
+        .class(UtilityClass {
+            duration: 40.0,
+            begin_fraction: 0.35,
+            end_fraction: 0.0,
+            urgency_modifier: 2.5,
+        })
+        .build()
+        .expect("figure TUF is valid")
+}
+
+/// Samples the Fig. 1 curve on `[0, horizon]` with `samples` points.
+pub fn fig1_curve(samples: usize) -> Vec<(f64, f64)> {
+    let tuf = fig1_tuf();
+    let horizon = tuf.horizon() * 1.1;
+    (0..samples)
+        .map(|i| {
+            let t = horizon * i as f64 / (samples.max(2) - 1) as f64;
+            (t, tuf.utility(t))
+        })
+        .collect()
+}
+
+/// The Fig. 2 dominance illustration: three labelled `(energy, utility)`
+/// points where A dominates B and is incomparable with C.
+pub fn fig2_points() -> [(&'static str, f64, f64); 3] {
+    [("A", 5.0, 8.0), ("B", 7.0, 6.0), ("C", 3.0, 4.0)]
+}
+
+/// Runs the Fig. 3 experiment (data set 1: real 5×9 data, 250 tasks /
+/// 15 min, five seeded populations) at `scale` × the paper's iteration
+/// schedule and returns the marker series of all four subplots.
+///
+/// # Errors
+///
+/// Propagates configuration/data failures.
+pub fn fig3(scale: f64) -> Result<(AnalysisReport, Vec<FigureSeries>)> {
+    run_figure(DatasetId::One, scale)
+}
+
+/// Fig. 4: data set 2 (1000 tasks / 15 min on the 30-machine synthetic
+/// system).
+///
+/// # Errors
+///
+/// Propagates configuration/data failures.
+pub fn fig4(scale: f64) -> Result<(AnalysisReport, Vec<FigureSeries>)> {
+    run_figure(DatasetId::Two, scale)
+}
+
+/// Fig. 6: data set 3 (4000 tasks / 1 h).
+///
+/// # Errors
+///
+/// Propagates configuration/data failures.
+pub fn fig6(scale: f64) -> Result<(AnalysisReport, Vec<FigureSeries>)> {
+    run_figure(DatasetId::Three, scale)
+}
+
+fn run_figure(dataset: DatasetId, scale: f64) -> Result<(AnalysisReport, Vec<FigureSeries>)> {
+    let config = ExperimentConfig::scaled(dataset, scale);
+    let framework = Framework::new(&config)?;
+    let report = framework.run();
+    let series = report.to_series();
+    Ok((report, series))
+}
+
+/// The three subplots of Fig. 5, computed from the max-utility-per-energy
+/// population of a data-set-2 report (falling back to the combined front if
+/// that population was not run).
+#[derive(Debug, Clone)]
+pub struct Fig5Data {
+    /// Subplot A: the final Pareto front `(energy, utility)`.
+    pub front: Vec<(f64, f64)>,
+    /// Subplot B: `(utility, utility-per-energy)`.
+    pub upe_vs_utility: Vec<(f64, f64)>,
+    /// Subplot C: `(energy, utility-per-energy)`.
+    pub upe_vs_energy: Vec<(f64, f64)>,
+    /// The peak `(utility, energy)` marked by the solid/dashed lines.
+    pub peak: (f64, f64),
+    /// Indices of the "circled region" (within 5 % of peak efficiency).
+    pub peak_region: Vec<usize>,
+}
+
+/// Computes Fig. 5 from an existing report.
+pub fn fig5(report: &AnalysisReport) -> Option<Fig5Data> {
+    let front = match report.run(SeedKind::MaxUtilityPerEnergy) {
+        Some(run) => run.final_front().clone(),
+        None => report.combined_front(),
+    };
+    let upe = UpeAnalysis::of(&front)?;
+    Some(Fig5Data {
+        front: front.points().iter().map(|p| (p.energy, p.utility)).collect(),
+        upe_vs_utility: upe.upe_vs_utility(&front),
+        upe_vs_energy: upe.upe_vs_energy(&front),
+        peak: (upe.peak.utility, upe.peak.energy),
+        peak_region: upe.peak_region(0.05),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_paper_counts() {
+        assert_eq!(table1().len(), 9);
+        assert_eq!(table2().len(), 5);
+        let t3 = table3();
+        assert_eq!(t3.len(), 13);
+        assert_eq!(t3.iter().map(|(_, c)| c).sum::<u32>(), 30);
+        assert_eq!(t3[0].0, "Special-purpose machine A");
+        assert_eq!(t3[4], ("AMD A8-3870K".to_string(), 2));
+        assert_eq!(t3[11], ("Intel Core i7 3770K".to_string(), 5));
+    }
+
+    #[test]
+    fn fig1_matches_paper_readings() {
+        let tuf = fig1_tuf();
+        // "if a task finished at time 20, it would earn twelve units" —
+        // within the first class, close to full priority.
+        let u20 = tuf.utility(20.0);
+        assert!((u20 - 12.0).abs() < 3.0, "u(20) = {u20}");
+        // "if the task finished at time 47, it would only earn seven units".
+        let u47 = tuf.utility(47.0);
+        assert!((u47 - 7.0).abs() < 2.0, "u(47) = {u47}");
+        // Monotone to zero.
+        assert_eq!(tuf.utility(1e4), 0.0);
+    }
+
+    #[test]
+    fn fig1_curve_is_monotone_grid() {
+        let curve = fig1_curve(200);
+        assert_eq!(curve.len(), 200);
+        for w in curve.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 >= w[1].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig2_relations() {
+        let [(_, ea, ua), (_, eb, ub), (_, ec, uc)] = fig2_points();
+        // A dominates B: less energy, more utility.
+        assert!(ea < eb && ua > ub);
+        // A and C incomparable: C cheaper but earns less.
+        assert!(ec < ea && uc < ua);
+    }
+
+    #[test]
+    fn fig3_miniature_run() {
+        // Tiny scale keeps the test fast while exercising the whole path.
+        let (report, series) = fig3(0.0001).unwrap();
+        assert_eq!(report.runs.len(), 5);
+        // 5 populations × snapshots (scale collapses to one snapshot).
+        assert_eq!(series.len(), 5 * report.snapshots.len());
+        let f5 = fig5(&report).unwrap();
+        assert!(!f5.front.is_empty());
+        assert!(f5.peak_region.iter().all(|&i| i < f5.front.len()));
+    }
+}

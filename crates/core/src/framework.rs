@@ -1,0 +1,312 @@
+//! The [`Framework`]: builds a data set + trace and runs one NSGA-II
+//! population per seed configuration, collecting fronts at the configured
+//! snapshot iterations.
+
+use crate::config::{DatasetId, ExperimentConfig};
+use crate::report::{AnalysisReport, PopulationRun};
+use crate::Result;
+use hetsched_alloc::AllocationProblem;
+use hetsched_analysis::ParetoFront;
+use hetsched_data::{real_system, HcSystem};
+use hetsched_heuristics::SeedKind;
+use hetsched_moea::{Individual, Nsga2, Nsga2Config};
+use hetsched_sim::Allocation;
+use hetsched_workload::{Trace, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// A bound experiment: system + trace + configuration.
+pub struct Framework {
+    system: HcSystem,
+    trace: Trace,
+    config: ExperimentConfig,
+}
+
+impl Framework {
+    /// Builds the experiment for the configured data set (the `dataset`
+    /// field selects real vs synthetic system construction).
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation plus data/trace generation failures.
+    pub fn new(config: &ExperimentConfig) -> Result<Self> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.rng_seed);
+        let system = match config.dataset {
+            DatasetId::One => real_system(),
+            DatasetId::Two | DatasetId::Three => hetsched_synth::builder::dataset2_system(&mut rng)?,
+        };
+        let trace = TraceGenerator::new(config.tasks, config.duration, system.task_type_count())
+            .generate(&mut rng)?;
+        Ok(Framework { system, trace, config: config.clone() })
+    }
+
+    /// Convenience constructor pinning the config's dataset to
+    /// [`DatasetId::One`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Framework::new`].
+    pub fn dataset1(config: &ExperimentConfig) -> Result<Self> {
+        let mut config = config.clone();
+        config.dataset = DatasetId::One;
+        Framework::new(&config)
+    }
+
+    /// As [`Framework::dataset1`] for data set 2.
+    ///
+    /// # Errors
+    ///
+    /// See [`Framework::new`].
+    pub fn dataset2(config: &ExperimentConfig) -> Result<Self> {
+        let mut config = config.clone();
+        config.dataset = DatasetId::Two;
+        Framework::new(&config)
+    }
+
+    /// As [`Framework::dataset1`] for data set 3.
+    ///
+    /// # Errors
+    ///
+    /// See [`Framework::new`].
+    pub fn dataset3(config: &ExperimentConfig) -> Result<Self> {
+        let mut config = config.clone();
+        config.dataset = DatasetId::Three;
+        Framework::new(&config)
+    }
+
+    /// Wraps an externally built system and trace — the "take traces from
+    /// any given system" entry point of the paper's conclusion.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation only; `tasks`/`duration` in the config are
+    /// overridden by the trace's actual values.
+    pub fn custom(system: HcSystem, trace: Trace, config: &ExperimentConfig) -> Result<Self> {
+        let mut config = config.clone();
+        config.tasks = trace.len();
+        config.duration = trace.duration();
+        config.validate()?;
+        Ok(Framework { system, trace, config })
+    }
+
+    /// The system under analysis.
+    pub fn system(&self) -> &HcSystem {
+        &self.system
+    }
+
+    /// The trace under analysis.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs one NSGA-II population per configured seed kind (in parallel
+    /// across populations) and collects the per-snapshot Pareto fronts.
+    pub fn run(&self) -> AnalysisReport {
+        let runs: Vec<PopulationRun> = self
+            .config
+            .seeds
+            .par_iter()
+            .enumerate()
+            .map(|(i, &seed)| self.run_population(seed, i as u64))
+            .collect();
+        AnalysisReport { runs, snapshots: self.config.snapshots.clone() }
+    }
+
+    /// Runs the whole experiment `replicates` times with decorrelated RNG
+    /// streams and summarises each seed configuration's final fronts as an
+    /// [`hetsched_analysis::AttainmentSummary`] — the robust, across-run
+    /// view of the trade-off curve (one stochastic run can get lucky; the
+    /// median attainment cannot).
+    pub fn run_replicated(
+        &self,
+        replicates: usize,
+    ) -> Vec<(SeedKind, hetsched_analysis::AttainmentSummary)> {
+        let reports: Vec<AnalysisReport> = (0..replicates.max(1) as u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&r| {
+                let mut config = self.config.clone();
+                config.rng_seed = self.config.rng_seed.wrapping_add(r.wrapping_mul(0xA5A5_1234));
+                // Reuse this framework's system and trace; only the engine
+                // streams differ between replicates.
+                let fw = Framework {
+                    system: self.system.clone(),
+                    trace: self.trace.clone(),
+                    config,
+                };
+                fw.run()
+            })
+            .collect();
+        self.config
+            .seeds
+            .iter()
+            .map(|&seed| {
+                let fronts = reports
+                    .iter()
+                    .filter_map(|rep| rep.run(seed).map(|r| r.final_front().clone()))
+                    .collect();
+                let summary = hetsched_analysis::AttainmentSummary::new(fronts)
+                    .expect("at least one replicate ran");
+                (seed, summary)
+            })
+            .collect()
+    }
+
+    /// Runs a single seeded population.
+    pub fn run_population(&self, seed: SeedKind, stream: u64) -> PopulationRun {
+        let problem = AllocationProblem::new(&self.system, &self.trace);
+        let engine_cfg = Nsga2Config {
+            population: self.config.population,
+            mutation_rate: self.config.mutation_rate,
+            generations: self.config.generations(),
+            parallel: self.config.parallel,
+            ..Default::default()
+        };
+        let engine = Nsga2::new(&problem, engine_cfg);
+        let seeds: Vec<Allocation> = seed.seeds(&self.system, &self.trace);
+        let mut fronts: Vec<(usize, ParetoFront)> = Vec::new();
+        // One deterministic RNG stream per population (stable across runs
+        // and independent of rayon scheduling).
+        let engine_seed = self.config.rng_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1));
+        let final_pop = engine.run_with_snapshots(
+            seeds,
+            engine_seed,
+            &self.config.snapshots[..self.config.snapshots.len() - 1],
+            |generation, population| {
+                fronts.push((generation, front_of(population)));
+            },
+        );
+        fronts.push((self.config.generations(), front_of(&final_pop)));
+        PopulationRun { seed, fronts }
+    }
+}
+
+fn front_of(population: &[Individual<Allocation>]) -> ParetoFront {
+    ParetoFront::from_objectives(population.iter().map(|i| &i.objectives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(dataset: DatasetId) -> ExperimentConfig {
+        let mut cfg = match dataset {
+            DatasetId::One => ExperimentConfig::dataset1(),
+            DatasetId::Two => ExperimentConfig::dataset2(),
+            DatasetId::Three => ExperimentConfig::dataset3(),
+        };
+        cfg.tasks = 30;
+        cfg.population = 12;
+        cfg.snapshots = vec![2, 6];
+        cfg
+    }
+
+    #[test]
+    fn dataset1_builds_real_system() {
+        let fw = Framework::new(&tiny(DatasetId::One)).unwrap();
+        assert_eq!(fw.system().machine_count(), 9);
+        assert_eq!(fw.trace().len(), 30);
+    }
+
+    #[test]
+    fn dataset2_builds_synthetic_system() {
+        let fw = Framework::new(&tiny(DatasetId::Two)).unwrap();
+        assert_eq!(fw.system().machine_count(), 30);
+        assert_eq!(fw.system().task_type_count(), 30);
+    }
+
+    #[test]
+    fn run_produces_one_population_per_seed() {
+        let fw = Framework::new(&tiny(DatasetId::One)).unwrap();
+        let report = fw.run();
+        assert_eq!(report.runs.len(), 5);
+        for run in &report.runs {
+            assert_eq!(run.fronts.len(), 2, "{:?}", run.seed);
+            assert_eq!(run.fronts[0].0, 2);
+            assert_eq!(run.fronts[1].0, 6);
+            for (_, front) in &run.fronts {
+                assert!(!front.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = tiny(DatasetId::One);
+        let a = Framework::new(&cfg).unwrap().run();
+        let b = Framework::new(&cfg).unwrap().run();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.seed, rb.seed);
+            for ((ia, fa), (ib, fb)) in ra.fronts.iter().zip(&rb.fronts) {
+                assert_eq!(ia, ib);
+                assert_eq!(fa, fb);
+            }
+        }
+    }
+
+    #[test]
+    fn different_rng_seeds_differ() {
+        let cfg = tiny(DatasetId::One);
+        let mut cfg2 = cfg.clone();
+        cfg2.rng_seed = 999;
+        let a = Framework::new(&cfg).unwrap().run();
+        let b = Framework::new(&cfg2).unwrap().run();
+        // The random population's final front will almost surely differ.
+        let fa = &a.runs.last().unwrap().fronts.last().unwrap().1;
+        let fb = &b.runs.last().unwrap().fronts.last().unwrap().1;
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn custom_framework_overrides_trace_parameters() {
+        let system = real_system();
+        let trace = TraceGenerator::new(12, 300.0, system.task_type_count())
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let mut cfg = tiny(DatasetId::One);
+        cfg.tasks = 9999; // will be overridden
+        let fw = Framework::custom(system, trace, &cfg).unwrap();
+        assert_eq!(fw.config().tasks, 12);
+        assert_eq!(fw.config().duration, 300.0);
+    }
+
+    #[test]
+    fn replicated_runs_summarise_per_seed() {
+        let mut cfg = tiny(DatasetId::One);
+        cfg.seeds = vec![SeedKind::MinEnergy, SeedKind::Random];
+        let fw = Framework::new(&cfg).unwrap();
+        let summaries = fw.run_replicated(3);
+        assert_eq!(summaries.len(), 2);
+        for (seed, summary) in &summaries {
+            assert_eq!(summary.replicates(), 3, "{seed:?}");
+            let curve = summary.median_curve(8);
+            assert_eq!(curve.len(), 8);
+        }
+        // The min-energy summary attains the energy bound in all runs.
+        let bound = hetsched_sim::Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
+        let (_, me) = &summaries[0];
+        assert!(me.attained_by(0.0, bound * 1.0001, 3));
+    }
+
+    #[test]
+    fn min_energy_population_starts_at_energy_bound() {
+        // The min-energy-seeded population's first-snapshot front must
+        // include the provably minimal energy value.
+        let mut cfg = tiny(DatasetId::One);
+        cfg.seeds = vec![SeedKind::MinEnergy];
+        cfg.snapshots = vec![1, 2];
+        let fw = Framework::new(&cfg).unwrap();
+        let report = fw.run();
+        let bound = hetsched_sim::Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
+        let first_front = &report.runs[0].fronts[0].1;
+        let min_e = first_front.min_energy().unwrap().energy;
+        assert!((min_e - bound).abs() < 1e-6, "min energy {min_e} vs bound {bound}");
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! The analysis framework of the paper: wire a data set, a trace, the
+//! seeding heuristics, and NSGA-II together; run one population per seed
+//! configuration; and analyse the resulting Pareto fronts.
+//!
+//! ```
+//! use hetsched_core::{ExperimentConfig, Framework};
+//!
+//! // A miniature data set 1 run (250-task version shrunk for doc tests).
+//! let config = ExperimentConfig {
+//!     tasks: 40,
+//!     population: 16,
+//!     snapshots: vec![5, 10],
+//!     ..ExperimentConfig::dataset1()
+//! };
+//! let framework = Framework::dataset1(&config).unwrap();
+//! let report = framework.run();
+//! assert_eq!(report.runs.len(), 5); // four seeds + the random population
+//! let front = report.combined_front();
+//! assert!(!front.is_empty());
+//! ```
+
+pub mod config;
+pub mod figures;
+pub mod framework;
+pub mod report;
+pub mod suite;
+
+pub use config::{DatasetId, ExperimentConfig};
+pub use framework::Framework;
+pub use report::{AnalysisReport, PopulationRun};
+pub use suite::{check_report, verify_dataset, Check, DatasetVerdict};
+
+use hetsched_synth::SynthError;
+use hetsched_workload::WorkloadError;
+use std::fmt;
+
+/// Errors produced when assembling or running experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Synthetic data generation failed.
+    Synth(SynthError),
+    /// Trace generation failed.
+    Workload(WorkloadError),
+    /// The experiment configuration is inconsistent.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Synth(e) => write!(f, "synthetic data error: {e}"),
+            CoreError::Workload(e) => write!(f, "workload error: {e}"),
+            CoreError::InvalidConfig(what) => write!(f, "invalid config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Synth(e) => Some(e),
+            CoreError::Workload(e) => Some(e),
+            CoreError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<SynthError> for CoreError {
+    fn from(e: SynthError) -> Self {
+        CoreError::Synth(e)
+    }
+}
+
+impl From<WorkloadError> for CoreError {
+    fn from(e: WorkloadError) -> Self {
+        CoreError::Workload(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

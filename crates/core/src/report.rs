@@ -1,0 +1,188 @@
+//! Experiment results: per-population snapshot fronts plus the analyses a
+//! system administrator reads off them.
+
+use hetsched_analysis::{FigureSeries, ParetoFront, UpeAnalysis};
+use hetsched_heuristics::SeedKind;
+
+/// One seeded population's evolution: the Pareto front at each snapshot.
+#[derive(Debug, Clone)]
+pub struct PopulationRun {
+    /// The seed configuration of this population.
+    pub seed: SeedKind,
+    /// `(iterations, front)` pairs, ascending in iterations; the last entry
+    /// is the final population's front.
+    pub fronts: Vec<(usize, ParetoFront)>,
+}
+
+impl PopulationRun {
+    /// The final front of this population.
+    pub fn final_front(&self) -> &ParetoFront {
+        &self.fronts.last().expect("runs always have at least one snapshot").1
+    }
+
+    /// The front at a specific snapshot, if captured.
+    pub fn front_at(&self, iterations: usize) -> Option<&ParetoFront> {
+        self.fronts.iter().find(|(i, _)| *i == iterations).map(|(_, f)| f)
+    }
+}
+
+/// A complete experiment result.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// One run per seed configuration, in config order.
+    pub runs: Vec<PopulationRun>,
+    /// The snapshot schedule shared by all runs.
+    pub snapshots: Vec<usize>,
+}
+
+impl AnalysisReport {
+    /// The run for a given seed kind.
+    pub fn run(&self, seed: SeedKind) -> Option<&PopulationRun> {
+        self.runs.iter().find(|r| r.seed == seed)
+    }
+
+    /// The nondominated union of every population's final front — the
+    /// best-known overall trade-off curve.
+    pub fn combined_front(&self) -> ParetoFront {
+        self.runs
+            .iter()
+            .map(|r| r.final_front().clone())
+            .reduce(|a, b| a.merge(&b))
+            .unwrap_or_else(|| ParetoFront::from_points(std::iter::empty()))
+    }
+
+    /// The Fig. 5 utility-per-energy analysis of the combined front.
+    pub fn upe(&self) -> Option<UpeAnalysis> {
+        UpeAnalysis::of(&self.combined_front())
+    }
+
+    /// Flattens the report into figure series (one per population per
+    /// snapshot) — the exact data behind Figs. 3, 4, and 6.
+    pub fn to_series(&self) -> Vec<FigureSeries> {
+        let mut out = Vec::new();
+        for run in &self.runs {
+            for (iterations, front) in &run.fronts {
+                out.push(FigureSeries::from_front(run.seed.label(), *iterations, front));
+            }
+        }
+        out
+    }
+
+    /// Convergence summary: for each snapshot, the hypervolume of every
+    /// population's front relative to a shared reference point (the worst
+    /// corner across the whole report). Used by the seeding-comparison
+    /// analysis ("seeded populations dominate the random population").
+    pub fn hypervolume_table(&self) -> Vec<(SeedKind, Vec<f64>)> {
+        // Shared reference: min utility and max energy over all fronts.
+        let mut ref_u = f64::INFINITY;
+        let mut ref_e = f64::NEG_INFINITY;
+        for run in &self.runs {
+            for (_, front) in &run.fronts {
+                for p in front.points() {
+                    ref_u = ref_u.min(p.utility);
+                    ref_e = ref_e.max(p.energy);
+                }
+            }
+        }
+        self.runs
+            .iter()
+            .map(|run| {
+                let hvs = run
+                    .fronts
+                    .iter()
+                    .map(|(_, f)| hetsched_analysis::hypervolume(f, ref_u, ref_e))
+                    .collect();
+                (run.seed, hvs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_front(points: &[(f64, f64)]) -> ParetoFront {
+        ParetoFront::from_points(points.iter().copied())
+    }
+
+    fn sample_report() -> AnalysisReport {
+        AnalysisReport {
+            runs: vec![
+                PopulationRun {
+                    seed: SeedKind::MinEnergy,
+                    fronts: vec![
+                        (10, mk_front(&[(1.0, 1.0)])),
+                        (100, mk_front(&[(2.0, 1.0), (5.0, 4.0)])),
+                    ],
+                },
+                PopulationRun {
+                    seed: SeedKind::Random,
+                    fronts: vec![
+                        (10, mk_front(&[(0.5, 2.0)])),
+                        (100, mk_front(&[(4.0, 3.0), (6.0, 8.0)])),
+                    ],
+                },
+            ],
+            snapshots: vec![10, 100],
+        }
+    }
+
+    #[test]
+    fn combined_front_merges_final_fronts() {
+        let report = sample_report();
+        let combined = report.combined_front();
+        // (2,1), (4,3), (5,4), (6,8): (5,4) is dominated by... no: (4,3) has
+        // less utility than (5,4) but less energy too → trade-off, all stay.
+        assert_eq!(combined.len(), 4);
+        assert_eq!(combined.min_energy().unwrap().energy, 1.0);
+        assert_eq!(combined.max_utility().unwrap().utility, 6.0);
+    }
+
+    #[test]
+    fn run_lookup_and_front_at() {
+        let report = sample_report();
+        let run = report.run(SeedKind::MinEnergy).unwrap();
+        assert!(run.front_at(10).is_some());
+        assert!(run.front_at(55).is_none());
+        assert_eq!(run.final_front().len(), 2);
+        assert!(report.run(SeedKind::MaxUtility).is_none());
+    }
+
+    #[test]
+    fn series_cover_all_runs_and_snapshots() {
+        let report = sample_report();
+        let series = report.to_series();
+        assert_eq!(series.len(), 4);
+        assert!(series.iter().any(|s| s.label == "min-energy" && s.iterations == 10));
+        assert!(series.iter().any(|s| s.label == "random" && s.iterations == 100));
+    }
+
+    #[test]
+    fn hypervolume_table_grows_with_iterations() {
+        let report = sample_report();
+        let table = report.hypervolume_table();
+        assert_eq!(table.len(), 2);
+        for (_, hvs) in &table {
+            assert_eq!(hvs.len(), 2);
+            assert!(hvs[1] >= hvs[0], "hypervolume should not shrink: {hvs:?}");
+        }
+    }
+
+    #[test]
+    fn upe_of_combined_front() {
+        let report = sample_report();
+        let upe = report.upe().unwrap();
+        // Best utility/energy among (2,1)=2, (4,3)≈1.33, (5,4)=1.25,
+        // (6,8)=0.75.
+        assert_eq!(upe.peak_upe, 2.0);
+        assert_eq!(upe.peak.utility, 2.0);
+    }
+
+    #[test]
+    fn empty_report_combined_front_is_empty() {
+        let report = AnalysisReport { runs: vec![], snapshots: vec![] };
+        assert!(report.combined_front().is_empty());
+        assert!(report.upe().is_none());
+    }
+}

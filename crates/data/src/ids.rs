@@ -1,0 +1,104 @@
+//! Strongly-typed identifiers for task types, machine types, and machine
+//! instances. Newtypes prevent the classic "task index used as machine
+//! index" bug that plagues matrix-indexed scheduling code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a *task type* τ (a row of the ETC/EPC matrices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskTypeId(pub u16);
+
+/// Identifier of a *machine type* μ (a column of the ETC/EPC matrices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineTypeId(pub u16);
+
+/// Identifier of a concrete machine instance in the suite. Several machines
+/// may share one machine type (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+impl TaskTypeId {
+    /// Zero-based row index into ETC/EPC.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MachineTypeId {
+    /// Zero-based column index into ETC/EPC.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MachineId {
+    /// Zero-based index into the machine suite.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "μ{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u16> for TaskTypeId {
+    fn from(v: u16) -> Self {
+        TaskTypeId(v)
+    }
+}
+
+impl From<u16> for MachineTypeId {
+    fn from(v: u16) -> Self {
+        MachineTypeId(v)
+    }
+}
+
+impl From<u32> for MachineId {
+    fn from(v: u32) -> Self {
+        MachineId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TaskTypeId(3).to_string(), "τ3");
+        assert_eq!(MachineTypeId(7).to_string(), "μ7");
+        assert_eq!(MachineId(12).to_string(), "m12");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(TaskTypeId(5).index(), 5);
+        assert_eq!(MachineTypeId::from(9).index(), 9);
+        assert_eq!(MachineId::from(1000).index(), 1000);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(TaskTypeId(1) < TaskTypeId(2));
+        assert!(MachineId(0) < MachineId(10));
+    }
+}

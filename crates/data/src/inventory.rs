@@ -1,0 +1,153 @@
+//! Machine inventory: how many concrete machines of each machine type make
+//! up the suite. Data sets 2 and 3 use the Table III break-up (30 machines
+//! over 13 machine types, four of them special-purpose).
+
+use crate::ids::{MachineId, MachineTypeId};
+use crate::system::Machine;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Counts of machines per machine type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineInventory {
+    /// `counts[i]` = number of machines whose type is `MachineTypeId(i)`.
+    counts: Vec<u32>,
+}
+
+impl MachineInventory {
+    /// Inventory with exactly one machine per machine type (data set 1).
+    pub fn one_of_each(machine_types: usize) -> Self {
+        MachineInventory { counts: vec![1; machine_types] }
+    }
+
+    /// Inventory from explicit per-type counts.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidInventory`] when empty or all-zero.
+    pub fn from_counts(counts: Vec<u32>) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(DataError::InvalidInventory("no machine types"));
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return Err(DataError::InvalidInventory("no machines"));
+        }
+        Ok(MachineInventory { counts })
+    }
+
+    /// Number of machine types covered (including zero-count types).
+    #[inline]
+    pub fn machine_types(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of machines of type `m`.
+    #[inline]
+    pub fn count(&self, m: MachineTypeId) -> u32 {
+        self.counts[m.index()]
+    }
+
+    /// Total machine count.
+    pub fn total_machines(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Materialises the suite: machines are numbered consecutively grouped
+    /// by machine type, matching the paper's "suite of M machines".
+    pub fn machines(&self) -> Vec<Machine> {
+        let mut out = Vec::with_capacity(self.total_machines());
+        let mut next = 0u32;
+        for (ty, &count) in self.counts.iter().enumerate() {
+            for _ in 0..count {
+                out.push(Machine { id: MachineId(next), machine_type: MachineTypeId(ty as u16) });
+                next += 1;
+            }
+        }
+        out
+    }
+}
+
+/// The Table III break-up for data sets 2 and 3: four special-purpose
+/// machine types (one machine each) followed by the nine real machine types.
+///
+/// Column order matches [`dataset2_machine_type_names`]: machine types 0–3
+/// are Special-purpose A–D and types 4–12 are the nine Table I machines, so
+/// this inventory is intended for ETC/EPC matrices whose first four columns
+/// are the special-purpose types.
+pub fn dataset2_inventory() -> MachineInventory {
+    MachineInventory::from_counts(vec![
+        1, // Special-purpose machine A
+        1, // Special-purpose machine B
+        1, // Special-purpose machine C
+        1, // Special-purpose machine D
+        2, // AMD A8-3870K
+        3, // AMD FX-8159
+        3, // Intel Core i3 2120
+        3, // Intel Core i5 2400S
+        2, // Intel Core i5 2500K
+        4, // Intel Core i7 3960X
+        2, // Intel Core i7 3960X @ 4.2 GHz
+        5, // Intel Core i7 3770K
+        2, // Intel Core i7 3770K @ 4.3 GHz
+    ])
+    .expect("static inventory is valid")
+}
+
+/// Machine-type names matching [`dataset2_inventory`] column order.
+pub fn dataset2_machine_type_names() -> Vec<String> {
+    let mut names: Vec<String> = (b'A'..=b'D')
+        .map(|c| format!("Special-purpose machine {}", c as char))
+        .collect();
+    names.extend(crate::real::REAL_MACHINE_NAMES.iter().map(|s| s.to_string()));
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals_thirty_machines_over_thirteen_types() {
+        let inv = dataset2_inventory();
+        assert_eq!(inv.machine_types(), 13);
+        assert_eq!(inv.total_machines(), 30);
+        assert_eq!(dataset2_machine_type_names().len(), 13);
+    }
+
+    #[test]
+    fn machines_are_grouped_and_consecutive() {
+        let inv = MachineInventory::from_counts(vec![2, 0, 3]).unwrap();
+        let ms = inv.machines();
+        assert_eq!(ms.len(), 5);
+        assert_eq!(ms[0].machine_type, MachineTypeId(0));
+        assert_eq!(ms[1].machine_type, MachineTypeId(0));
+        assert_eq!(ms[2].machine_type, MachineTypeId(2));
+        for (i, m) in ms.iter().enumerate() {
+            assert_eq!(m.id, MachineId(i as u32));
+        }
+    }
+
+    #[test]
+    fn one_of_each() {
+        let inv = MachineInventory::one_of_each(4);
+        assert_eq!(inv.total_machines(), 4);
+        assert_eq!(inv.count(MachineTypeId(3)), 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_inventories() {
+        assert!(MachineInventory::from_counts(vec![]).is_err());
+        assert!(MachineInventory::from_counts(vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn table3_specials_have_one_machine_each() {
+        let inv = dataset2_inventory();
+        for ty in 0..4u16 {
+            assert_eq!(inv.count(MachineTypeId(ty)), 1);
+        }
+        // Most machines are general-purpose, per §III-B.
+        let specials: u32 = (0..4u16).map(|t| inv.count(MachineTypeId(t))).sum();
+        assert!(inv.total_machines() as u32 - specials > specials);
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! System-characteristics substrate: machine/task typing, ETC/EPC/EEC
+//! matrices, the paper's real benchmark data set (Tables I & II), and the
+//! Table III machine inventory.
+//!
+//! The paper assumes (§III-D) that per-type performance and power data are
+//! available as an **Estimated Time to Compute** matrix `ETC(τ, μ)` and an
+//! **Estimated Power Consumption** matrix `EPC(τ, μ)`; the per-task energy
+//! is their product, the **Expected Energy Consumption**
+//! `EEC(τ, μ) = ETC(τ, μ) · EPC(τ, μ)` (Eq. 2).
+//!
+//! Special-purpose machine types execute only a small subset of task types;
+//! incompatibility is encoded as `ETC = +∞`, which the allocation layer
+//! treats as "not a feasible target".
+
+pub mod ids;
+pub mod inventory;
+pub mod matrix;
+pub mod real;
+pub mod system;
+
+pub use ids::{MachineId, MachineTypeId, TaskTypeId};
+pub use inventory::MachineInventory;
+pub use matrix::{Epc, Etc, TypeMatrix};
+pub use real::{real_epc, real_etc, real_system, REAL_MACHINE_NAMES, REAL_TASK_NAMES};
+pub use system::{HcSystem, Machine};
+
+use std::fmt;
+
+/// Errors produced by the data substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// Matrix dimensions do not match (ETC vs EPC, or index out of range).
+    DimensionMismatch {
+        /// Human-readable description of what mismatched.
+        what: &'static str,
+    },
+    /// A matrix value violates its domain (negative time/power, NaN, ...).
+    InvalidValue {
+        /// Description of the offending value.
+        what: &'static str,
+    },
+    /// A task type has no machine type that can execute it.
+    UnexecutableTaskType(TaskTypeId),
+    /// The machine inventory is empty or references an unknown type.
+    InvalidInventory(&'static str),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DimensionMismatch { what } => write!(f, "dimension mismatch: {what}"),
+            DataError::InvalidValue { what } => write!(f, "invalid value: {what}"),
+            DataError::UnexecutableTaskType(t) => {
+                write!(f, "task type {t} cannot execute on any machine type")
+            }
+            DataError::InvalidInventory(what) => write!(f, "invalid inventory: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

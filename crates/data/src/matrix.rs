@@ -1,0 +1,336 @@
+//! Task-type × machine-type matrices: the generic [`TypeMatrix`] plus the
+//! semantic wrappers [`Etc`] (estimated time to compute, seconds) and
+//! [`Epc`] (estimated power consumption, watts).
+//!
+//! Storage is a dense row-major `Vec<f64>` — task types are rows, machine
+//! types are columns, matching the paper's `ETC(τ, μ)` notation.
+//! Incompatible (task type, machine type) pairs hold `+∞` in the ETC; every
+//! accessor that aggregates over machines skips non-finite entries.
+
+use crate::ids::{MachineTypeId, TaskTypeId};
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix indexed by `(TaskTypeId, MachineTypeId)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeMatrix {
+    task_types: usize,
+    machine_types: usize,
+    /// `+∞` (incompatible pair) is serialised as `null` because JSON has no
+    /// infinity literal; the deserialiser maps `null` back to `+∞`.
+    #[serde(with = "serde_inf")]
+    data: Vec<f64>,
+}
+
+/// Serde adapter mapping non-finite entries to `null` and back to `+∞`.
+mod serde_inf {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(data: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let opt: Vec<Option<f64>> =
+            data.iter().map(|&v| if v.is_finite() { Some(v) } else { None }).collect();
+        opt.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let opt = Vec::<Option<f64>>::deserialize(d)?;
+        Ok(opt.into_iter().map(|v| v.unwrap_or(f64::INFINITY)).collect())
+    }
+}
+
+impl TypeMatrix {
+    /// Creates a matrix filled with `fill`.
+    pub fn filled(task_types: usize, machine_types: usize, fill: f64) -> Self {
+        TypeMatrix { task_types, machine_types, data: vec![fill; task_types * machine_types] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::DimensionMismatch`] when `data.len()` differs from
+    /// `task_types * machine_types`.
+    pub fn from_rows(task_types: usize, machine_types: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != task_types * machine_types {
+            return Err(DataError::DimensionMismatch { what: "row-major data length" });
+        }
+        Ok(TypeMatrix { task_types, machine_types, data })
+    }
+
+    /// Number of task types (rows).
+    #[inline]
+    pub fn task_types(&self) -> usize {
+        self.task_types
+    }
+
+    /// Number of machine types (columns).
+    #[inline]
+    pub fn machine_types(&self) -> usize {
+        self.machine_types
+    }
+
+    #[inline]
+    fn offset(&self, t: TaskTypeId, m: MachineTypeId) -> usize {
+        debug_assert!(t.index() < self.task_types && m.index() < self.machine_types);
+        t.index() * self.machine_types + m.index()
+    }
+
+    /// Value at `(t, m)`.
+    #[inline]
+    pub fn get(&self, t: TaskTypeId, m: MachineTypeId) -> f64 {
+        self.data[self.offset(t, m)]
+    }
+
+    /// Sets the value at `(t, m)`.
+    #[inline]
+    pub fn set(&mut self, t: TaskTypeId, m: MachineTypeId, v: f64) {
+        let off = self.offset(t, m);
+        self.data[off] = v;
+    }
+
+    /// Row slice for task type `t` (one entry per machine type).
+    pub fn row(&self, t: TaskTypeId) -> &[f64] {
+        let start = t.index() * self.machine_types;
+        &self.data[start..start + self.machine_types]
+    }
+
+    /// Iterator over the column for machine type `m`.
+    pub fn column(&self, m: MachineTypeId) -> impl Iterator<Item = f64> + '_ {
+        self.data[m.index()..].iter().copied().step_by(self.machine_types)
+    }
+
+    /// Mean of the *finite* entries of row `t` — the paper's "row average"
+    /// (average execution time across all machines that can run the task).
+    /// Returns `None` when the row has no finite entry.
+    pub fn row_average(&self, t: TaskTypeId) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &v in self.row(t) {
+            if v.is_finite() {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// All row averages, in task-type order (skipping none; rows with no
+    /// finite entry yield `None`).
+    pub fn row_averages(&self) -> Vec<Option<f64>> {
+        (0..self.task_types).map(|t| self.row_average(TaskTypeId(t as u16))).collect()
+    }
+
+    /// Appends a new row, returning its [`TaskTypeId`].
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::DimensionMismatch`] when the row length differs from
+    /// the machine-type count.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<TaskTypeId> {
+        if row.len() != self.machine_types {
+            return Err(DataError::DimensionMismatch { what: "pushed row length" });
+        }
+        let id = TaskTypeId(self.task_types as u16);
+        self.data.extend_from_slice(row);
+        self.task_types += 1;
+        Ok(id)
+    }
+
+    /// Appends a new column, returning its [`MachineTypeId`].
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::DimensionMismatch`] when the column length differs from
+    /// the task-type count.
+    pub fn push_column(&mut self, col: &[f64]) -> Result<MachineTypeId> {
+        if col.len() != self.task_types {
+            return Err(DataError::DimensionMismatch { what: "pushed column length" });
+        }
+        let id = MachineTypeId(self.machine_types as u16);
+        let old_cols = self.machine_types;
+        let mut data = Vec::with_capacity(self.task_types * (old_cols + 1));
+        for (t, &extra) in col.iter().enumerate() {
+            data.extend_from_slice(&self.data[t * old_cols..(t + 1) * old_cols]);
+            data.push(extra);
+        }
+        self.data = data;
+        self.machine_types += 1;
+        Ok(id)
+    }
+
+    /// Validates that every entry is either finite-positive or `+∞`.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidValue`] on NaN, negative, zero, or `-∞` entries.
+    pub fn validate_positive(&self) -> Result<()> {
+        for &v in &self.data {
+            if v.is_nan() || v <= 0.0 {
+                return Err(DataError::InvalidValue { what: "entries must be > 0 or +inf" });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Estimated Time to Compute matrix (seconds). `+∞` marks an incompatible
+/// (task type, machine type) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Etc(pub TypeMatrix);
+
+/// Estimated Power Consumption matrix (watts, average while executing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Epc(pub TypeMatrix);
+
+impl Etc {
+    /// Execution time of task type `t` on machine type `m` (seconds).
+    #[inline]
+    pub fn time(&self, t: TaskTypeId, m: MachineTypeId) -> f64 {
+        self.0.get(t, m)
+    }
+
+    /// Whether machine type `m` can execute task type `t`.
+    #[inline]
+    pub fn compatible(&self, t: TaskTypeId, m: MachineTypeId) -> bool {
+        self.0.get(t, m).is_finite()
+    }
+
+    /// Machine types able to execute `t`.
+    pub fn compatible_machine_types(&self, t: TaskTypeId) -> Vec<MachineTypeId> {
+        (0..self.0.machine_types())
+            .map(|m| MachineTypeId(m as u16))
+            .filter(|&m| self.compatible(t, m))
+            .collect()
+    }
+}
+
+impl Epc {
+    /// Average power draw of task type `t` on machine type `m` (watts).
+    #[inline]
+    pub fn power(&self, t: TaskTypeId, m: MachineTypeId) -> f64 {
+        self.0.get(t, m)
+    }
+}
+
+/// Computes the Expected Energy Consumption matrix `EEC = ETC ⊙ EPC`
+/// (element-wise product, joules). Incompatible pairs stay `+∞`.
+///
+/// # Errors
+///
+/// [`DataError::DimensionMismatch`] when the two matrices disagree in shape.
+pub fn eec(etc: &Etc, epc: &Epc) -> Result<TypeMatrix> {
+    if etc.0.task_types() != epc.0.task_types() || etc.0.machine_types() != epc.0.machine_types() {
+        return Err(DataError::DimensionMismatch { what: "ETC vs EPC shape" });
+    }
+    let mut out = TypeMatrix::filled(etc.0.task_types(), etc.0.machine_types(), 0.0);
+    for t in 0..etc.0.task_types() {
+        let t = TaskTypeId(t as u16);
+        for m in 0..etc.0.machine_types() {
+            let m = MachineTypeId(m as u16);
+            out.set(t, m, etc.time(t, m) * epc.power(t, m));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TypeMatrix {
+        TypeMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = sample();
+        assert_eq!(m.get(TaskTypeId(1), MachineTypeId(2)), 6.0);
+        m.set(TaskTypeId(0), MachineTypeId(1), 9.5);
+        assert_eq!(m.get(TaskTypeId(0), MachineTypeId(1)), 9.5);
+    }
+
+    #[test]
+    fn row_and_column_views() {
+        let m = sample();
+        assert_eq!(m.row(TaskTypeId(1)), &[4.0, 5.0, 6.0]);
+        let col: Vec<f64> = m.column(MachineTypeId(1)).collect();
+        assert_eq!(col, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn row_average_skips_infinite() {
+        let m = TypeMatrix::from_rows(1, 3, vec![2.0, f64::INFINITY, 4.0]).unwrap();
+        assert_eq!(m.row_average(TaskTypeId(0)), Some(3.0));
+    }
+
+    #[test]
+    fn row_average_none_for_all_infinite() {
+        let m = TypeMatrix::from_rows(1, 2, vec![f64::INFINITY, f64::INFINITY]).unwrap();
+        assert_eq!(m.row_average(TaskTypeId(0)), None);
+    }
+
+    #[test]
+    fn push_row_and_column() {
+        let mut m = sample();
+        let t = m.push_row(&[7.0, 8.0, 9.0]).unwrap();
+        assert_eq!(t, TaskTypeId(2));
+        assert_eq!(m.task_types(), 3);
+        let c = m.push_column(&[10.0, 11.0, 12.0]).unwrap();
+        assert_eq!(c, MachineTypeId(3));
+        assert_eq!(m.get(TaskTypeId(0), MachineTypeId(3)), 10.0);
+        assert_eq!(m.get(TaskTypeId(2), MachineTypeId(3)), 12.0);
+        assert_eq!(m.get(TaskTypeId(2), MachineTypeId(0)), 7.0);
+        assert!(m.push_row(&[1.0]).is_err());
+        assert!(m.push_column(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_checks_length() {
+        assert!(TypeMatrix::from_rows(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn validate_positive_rejects_bad_values() {
+        let ok = TypeMatrix::from_rows(1, 2, vec![1.0, f64::INFINITY]).unwrap();
+        assert!(ok.validate_positive().is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+            let m = TypeMatrix::from_rows(1, 1, vec![bad]).unwrap();
+            assert!(m.validate_positive().is_err(), "value {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn eec_is_elementwise_product() {
+        let etc = Etc(TypeMatrix::from_rows(1, 2, vec![2.0, f64::INFINITY]).unwrap());
+        let epc = Epc(TypeMatrix::from_rows(1, 2, vec![100.0, 50.0]).unwrap());
+        let e = eec(&etc, &epc).unwrap();
+        assert_eq!(e.get(TaskTypeId(0), MachineTypeId(0)), 200.0);
+        assert!(e.get(TaskTypeId(0), MachineTypeId(1)).is_infinite());
+    }
+
+    #[test]
+    fn eec_rejects_shape_mismatch() {
+        let etc = Etc(TypeMatrix::filled(1, 2, 1.0));
+        let epc = Epc(TypeMatrix::filled(2, 2, 1.0));
+        assert!(eec(&etc, &epc).is_err());
+    }
+
+    #[test]
+    fn compatible_machine_types_filters_infinity() {
+        let etc = Etc(TypeMatrix::from_rows(1, 3, vec![1.0, f64::INFINITY, 2.0]).unwrap());
+        assert!(etc.compatible(TaskTypeId(0), MachineTypeId(0)));
+        assert!(!etc.compatible(TaskTypeId(0), MachineTypeId(1)));
+        assert_eq!(
+            etc.compatible_machine_types(TaskTypeId(0)),
+            vec![MachineTypeId(0), MachineTypeId(2)]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: TypeMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

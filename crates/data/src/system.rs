@@ -1,0 +1,329 @@
+//! The heterogeneous computing system: a machine suite plus its ETC/EPC/EEC
+//! characteristics. This is the immutable "hardware" object every other
+//! crate (workload, simulator, heuristics, NSGA-II) operates against.
+
+use crate::ids::{MachineId, MachineTypeId, TaskTypeId};
+use crate::inventory::MachineInventory;
+use crate::matrix::{eec, Epc, Etc, TypeMatrix};
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A concrete machine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Suite-wide machine identifier.
+    pub id: MachineId,
+    /// The machine's type (ETC/EPC column).
+    pub machine_type: MachineTypeId,
+}
+
+/// A heterogeneous suite of machines with per-type execution-time and power
+/// characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HcSystem {
+    etc: Etc,
+    epc: Epc,
+    eec: TypeMatrix,
+    inventory: MachineInventory,
+    machines: Vec<Machine>,
+    task_type_names: Vec<String>,
+    machine_type_names: Vec<String>,
+    /// `feasible[t]` = machine ids able to execute task type `t`.
+    feasible: Vec<Vec<MachineId>>,
+}
+
+impl HcSystem {
+    /// Builds and validates a system.
+    ///
+    /// # Errors
+    ///
+    /// * [`DataError::DimensionMismatch`] — ETC/EPC/inventory/name shapes
+    ///   disagree.
+    /// * [`DataError::InvalidValue`] — non-positive or NaN matrix entries.
+    /// * [`DataError::UnexecutableTaskType`] — a task type has no feasible
+    ///   machine in the inventory.
+    pub fn new(
+        etc: Etc,
+        epc: Epc,
+        inventory: MachineInventory,
+        task_type_names: Vec<String>,
+        machine_type_names: Vec<String>,
+    ) -> Result<Self> {
+        let eec = eec(&etc, &epc)?;
+        etc.0.validate_positive()?;
+        epc.0.validate_positive()?;
+        if inventory.machine_types() != etc.0.machine_types() {
+            return Err(DataError::DimensionMismatch { what: "inventory vs ETC machine types" });
+        }
+        if task_type_names.len() != etc.0.task_types() {
+            return Err(DataError::DimensionMismatch { what: "task names vs ETC rows" });
+        }
+        if machine_type_names.len() != etc.0.machine_types() {
+            return Err(DataError::DimensionMismatch { what: "machine names vs ETC columns" });
+        }
+        let machines = inventory.machines();
+        let mut feasible = Vec::with_capacity(etc.0.task_types());
+        for t in 0..etc.0.task_types() {
+            let t = TaskTypeId(t as u16);
+            let ms: Vec<MachineId> = machines
+                .iter()
+                .filter(|m| etc.compatible(t, m.machine_type))
+                .map(|m| m.id)
+                .collect();
+            if ms.is_empty() {
+                return Err(DataError::UnexecutableTaskType(t));
+            }
+            feasible.push(ms);
+        }
+        Ok(HcSystem {
+            etc,
+            epc,
+            eec,
+            inventory,
+            machines,
+            task_type_names,
+            machine_type_names,
+            feasible,
+        })
+    }
+
+    /// The ETC matrix.
+    #[inline]
+    pub fn etc(&self) -> &Etc {
+        &self.etc
+    }
+
+    /// The EPC matrix.
+    #[inline]
+    pub fn epc(&self) -> &Epc {
+        &self.epc
+    }
+
+    /// Expected energy consumption `EEC(τ, μ) = ETC · EPC` in joules (Eq. 2).
+    #[inline]
+    pub fn eec(&self, t: TaskTypeId, m: MachineTypeId) -> f64 {
+        self.eec.get(t, m)
+    }
+
+    /// The machine suite, ordered by [`MachineId`].
+    #[inline]
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// The inventory the suite was materialised from.
+    #[inline]
+    pub fn inventory(&self) -> &MachineInventory {
+        &self.inventory
+    }
+
+    /// Machine type of machine `m`.
+    #[inline]
+    pub fn machine_type(&self, m: MachineId) -> MachineTypeId {
+        self.machines[m.index()].machine_type
+    }
+
+    /// Number of task types.
+    #[inline]
+    pub fn task_type_count(&self) -> usize {
+        self.etc.0.task_types()
+    }
+
+    /// Number of machine types.
+    #[inline]
+    pub fn machine_type_count(&self) -> usize {
+        self.etc.0.machine_types()
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Execution time of task type `t` on machine `m` (seconds).
+    #[inline]
+    pub fn exec_time(&self, t: TaskTypeId, m: MachineId) -> f64 {
+        self.etc.time(t, self.machine_type(m))
+    }
+
+    /// Energy consumed by task type `t` on machine `m` (joules).
+    #[inline]
+    pub fn energy(&self, t: TaskTypeId, m: MachineId) -> f64 {
+        self.eec(t, self.machine_type(m))
+    }
+
+    /// Machines able to execute task type `t` (never empty).
+    #[inline]
+    pub fn feasible_machines(&self, t: TaskTypeId) -> &[MachineId] {
+        &self.feasible[t.index()]
+    }
+
+    /// Whether machine `m` can execute task type `t`.
+    #[inline]
+    pub fn is_feasible(&self, t: TaskTypeId, m: MachineId) -> bool {
+        self.exec_time(t, m).is_finite()
+    }
+
+    /// Display name of task type `t`.
+    pub fn task_type_name(&self, t: TaskTypeId) -> &str {
+        &self.task_type_names[t.index()]
+    }
+
+    /// Display name of machine type `m`.
+    pub fn machine_type_name(&self, m: MachineTypeId) -> &str {
+        &self.machine_type_names[m.index()]
+    }
+
+    /// Sum over task types of the minimum possible energy — a lower bound on
+    /// the energy objective of any allocation of one task per task type.
+    /// Multiplying by per-type task counts bounds a whole trace.
+    pub fn min_energy_per_type(&self, t: TaskTypeId) -> f64 {
+        self.feasible_machines(t)
+            .iter()
+            .map(|&m| self.energy(t, m))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Rebuilds the system with a different machine inventory over the same
+    /// machine types — the what-if entry point for capacity planning
+    /// ("what happens to the trade-off curve if we decommission the
+    /// special-purpose machines / add two more i7s?").
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`HcSystem::new`]; in particular a task type that
+    /// only the removed machines could execute is rejected.
+    pub fn with_inventory(&self, inventory: MachineInventory) -> Result<HcSystem> {
+        HcSystem::new(
+            self.etc.clone(),
+            self.epc.clone(),
+            inventory,
+            self.task_type_names.clone(),
+            self.machine_type_names.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::TypeMatrix;
+
+    fn tiny_system() -> HcSystem {
+        // 2 task types × 2 machine types; type 1 is "special": task 0 cannot
+        // run there.
+        let etc = Etc(TypeMatrix::from_rows(2, 2, vec![10.0, f64::INFINITY, 20.0, 2.0]).unwrap());
+        let epc = Epc(TypeMatrix::from_rows(2, 2, vec![100.0, 50.0, 100.0, 50.0]).unwrap());
+        let inv = MachineInventory::from_counts(vec![2, 1]).unwrap();
+        HcSystem::new(
+            etc,
+            epc,
+            inv,
+            vec!["t0".into(), "t1".into()],
+            vec!["general".into(), "special".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn feasibility_respects_infinity() {
+        let sys = tiny_system();
+        assert_eq!(sys.feasible_machines(TaskTypeId(0)), &[MachineId(0), MachineId(1)]);
+        assert_eq!(
+            sys.feasible_machines(TaskTypeId(1)),
+            &[MachineId(0), MachineId(1), MachineId(2)]
+        );
+        assert!(!sys.is_feasible(TaskTypeId(0), MachineId(2)));
+        assert!(sys.is_feasible(TaskTypeId(1), MachineId(2)));
+    }
+
+    #[test]
+    fn exec_time_and_energy_dispatch_through_machine_type() {
+        let sys = tiny_system();
+        assert_eq!(sys.exec_time(TaskTypeId(1), MachineId(2)), 2.0);
+        assert_eq!(sys.energy(TaskTypeId(1), MachineId(2)), 100.0);
+        assert_eq!(sys.energy(TaskTypeId(0), MachineId(0)), 1000.0);
+    }
+
+    #[test]
+    fn unexecutable_task_type_is_rejected() {
+        let etc = Etc(TypeMatrix::from_rows(1, 1, vec![f64::INFINITY]).unwrap());
+        let epc = Epc(TypeMatrix::from_rows(1, 1, vec![100.0]).unwrap());
+        let inv = MachineInventory::from_counts(vec![1]).unwrap();
+        let err = HcSystem::new(etc, epc, inv, vec!["t".into()], vec!["m".into()]).unwrap_err();
+        assert_eq!(err, DataError::UnexecutableTaskType(TaskTypeId(0)));
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let etc = Etc(TypeMatrix::filled(1, 2, 1.0));
+        let epc = Epc(TypeMatrix::filled(1, 2, 1.0));
+        let bad_inv = MachineInventory::from_counts(vec![1]).unwrap();
+        assert!(HcSystem::new(
+            etc.clone(),
+            epc.clone(),
+            bad_inv,
+            vec!["t".into()],
+            vec!["a".into(), "b".into()]
+        )
+        .is_err());
+
+        let inv = MachineInventory::from_counts(vec![1, 1]).unwrap();
+        assert!(HcSystem::new(
+            etc.clone(),
+            epc.clone(),
+            inv.clone(),
+            vec![],
+            vec!["a".into(), "b".into()]
+        )
+        .is_err());
+        assert!(HcSystem::new(etc, epc, inv, vec!["t".into()], vec!["a".into()]).is_err());
+    }
+
+    #[test]
+    fn min_energy_per_type() {
+        let sys = tiny_system();
+        assert_eq!(sys.min_energy_per_type(TaskTypeId(0)), 1000.0);
+        assert_eq!(sys.min_energy_per_type(TaskTypeId(1)), 100.0);
+    }
+
+    #[test]
+    fn with_inventory_rebuilds_feasibility() {
+        let sys = tiny_system();
+        // Drop the special machine (type 1): task 1 loses an option but
+        // remains executable on the generals.
+        let reduced = sys.with_inventory(MachineInventory::from_counts(vec![2, 0]).unwrap())
+            .unwrap();
+        assert_eq!(reduced.machine_count(), 2);
+        assert_eq!(reduced.feasible_machines(TaskTypeId(1)).len(), 2);
+        // Growing the suite adds options.
+        let grown = sys.with_inventory(MachineInventory::from_counts(vec![3, 2]).unwrap())
+            .unwrap();
+        assert_eq!(grown.machine_count(), 5);
+        assert_eq!(grown.feasible_machines(TaskTypeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn with_inventory_rejects_stranded_task_types() {
+        // A system where task 1 runs ONLY on machine type 1; removing that
+        // type must fail validation.
+        let etc = Etc(TypeMatrix::from_rows(2, 2, vec![10.0, 20.0, f64::INFINITY, 2.0]).unwrap());
+        let epc = Epc(TypeMatrix::filled(2, 2, 100.0));
+        let inv = MachineInventory::from_counts(vec![1, 1]).unwrap();
+        let sys = HcSystem::new(etc, epc, inv, vec!["a".into(), "b".into()],
+            vec!["g".into(), "s".into()]).unwrap();
+        let err = sys
+            .with_inventory(MachineInventory::from_counts(vec![1, 0]).unwrap())
+            .unwrap_err();
+        assert_eq!(err, DataError::UnexecutableTaskType(TaskTypeId(1)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sys = tiny_system();
+        let json = serde_json::to_string(&sys).unwrap();
+        let back: HcSystem = serde_json::from_str(&json).unwrap();
+        assert_eq!(sys, back);
+    }
+}

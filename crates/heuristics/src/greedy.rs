@@ -1,0 +1,154 @@
+//! Single-stage greedy heuristics (§V-B1–B3). All three walk the tasks in
+//! arrival order (ties already resolved by the trace's id assignment) and
+//! greedily pick a machine for each; the global scheduling order is the
+//! arrival order.
+
+use hetsched_data::{HcSystem, MachineId};
+use hetsched_sim::Allocation;
+use hetsched_workload::Trace;
+
+/// Min Energy (§V-B1): maps each task to the feasible machine with the
+/// smallest EEC. Produces *the* minimum-energy allocation (energy is
+/// assignment-only, so the greedy choice is globally optimal in energy).
+pub fn min_energy(system: &HcSystem, trace: &Trace) -> Allocation {
+    let machine = trace
+        .tasks()
+        .iter()
+        .map(|t| {
+            *system
+                .feasible_machines(t.task_type)
+                .iter()
+                .min_by(|&&a, &&b| {
+                    system.energy(t.task_type, a).total_cmp(&system.energy(t.task_type, b))
+                })
+                .expect("validated systems leave no task type unexecutable")
+        })
+        .collect();
+    Allocation::with_arrival_order(machine)
+}
+
+/// Shared skeleton of the queue-aware greedy heuristics: walks tasks in
+/// arrival order, tracking when each machine becomes free, and picks the
+/// machine maximising `score(utility, energy)` for the task at hand.
+fn queue_aware_greedy(
+    system: &HcSystem,
+    trace: &Trace,
+    score: impl Fn(f64, f64) -> f64,
+) -> Allocation {
+    let mut machine_free = vec![0.0f64; system.machine_count()];
+    let mut assignment = Vec::with_capacity(trace.len());
+    for task in trace.tasks() {
+        let mut best: Option<(f64, MachineId, f64)> = None;
+        for &m in system.feasible_machines(task.task_type) {
+            let start = machine_free[m.index()].max(task.arrival);
+            let finish = start + system.exec_time(task.task_type, m);
+            let utility = task.tuf.utility(finish - task.arrival);
+            let energy = system.energy(task.task_type, m);
+            let s = score(utility, energy);
+            // Ties broken toward lower energy, then lower machine id (the
+            // iteration order), keeping the heuristic deterministic.
+            let better = match best {
+                None => true,
+                Some((bs, _, be)) => s > bs || (s == bs && energy < be),
+            };
+            if better {
+                best = Some((s, m, energy));
+            }
+        }
+        let (_, m, _) = best.expect("at least one feasible machine");
+        machine_free[m.index()] =
+            machine_free[m.index()].max(task.arrival) + system.exec_time(task.task_type, m);
+        assignment.push(m);
+    }
+    Allocation::with_arrival_order(assignment)
+}
+
+/// Max Utility (§V-B2): maps each task to the machine maximising the
+/// utility it would earn given current queue completion times. No global
+/// optimality guarantee (the paper notes the same).
+pub fn max_utility(system: &HcSystem, trace: &Trace) -> Allocation {
+    queue_aware_greedy(system, trace, |utility, _| utility)
+}
+
+/// Max Utility-per-Energy (§V-B3): maps each task to the machine with the
+/// best utility earned per joule spent.
+pub fn max_utility_per_energy(system: &HcSystem, trace: &Trace) -> Allocation {
+    queue_aware_greedy(system, trace, |utility, energy| utility / energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_data::real_system;
+    use hetsched_sim::Evaluator;
+    use hetsched_workload::TraceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize) -> (HcSystem, Trace) {
+        let sys = real_system();
+        let trace = TraceGenerator::new(n, 900.0, sys.task_type_count())
+            .generate(&mut StdRng::seed_from_u64(55))
+            .unwrap();
+        (sys, trace)
+    }
+
+    #[test]
+    fn min_energy_achieves_theoretical_bound() {
+        let (sys, trace) = setup(80);
+        let alloc = min_energy(&sys, &trace);
+        assert!(alloc.validate(&sys, &trace).is_ok());
+        let mut ev = Evaluator::new(&sys, &trace);
+        let out = ev.evaluate(&alloc);
+        assert!((out.energy - ev.min_possible_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_utility_beats_min_energy_on_utility() {
+        let (sys, trace) = setup(150);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let mu = ev.evaluate(&max_utility(&sys, &trace));
+        let me = ev.evaluate(&min_energy(&sys, &trace));
+        assert!(
+            mu.utility > me.utility,
+            "max-utility {} should beat min-energy {}",
+            mu.utility,
+            me.utility
+        );
+    }
+
+    #[test]
+    fn upe_sits_between_the_extremes_in_energy() {
+        let (sys, trace) = setup(150);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let me = ev.evaluate(&min_energy(&sys, &trace));
+        let mu = ev.evaluate(&max_utility(&sys, &trace));
+        let upe = ev.evaluate(&max_utility_per_energy(&sys, &trace));
+        assert!(upe.energy >= me.energy - 1e-9);
+        // UPE should not spend more than the pure utility chaser.
+        assert!(upe.energy <= mu.energy + 1e-9);
+    }
+
+    #[test]
+    fn all_greedy_allocations_are_feasible_and_deterministic() {
+        let (sys, trace) = setup(60);
+        for f in [min_energy, max_utility, max_utility_per_energy] {
+            let a = f(&sys, &trace);
+            let b = f(&sys, &trace);
+            assert_eq!(a, b);
+            assert!(a.validate(&sys, &trace).is_ok());
+            assert_eq!(a.order, (0..60u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn queue_awareness_spreads_load() {
+        // Max Utility must not pile every task onto the single fastest
+        // machine: queue growth makes later completions lose utility, so at
+        // least two machines get used on a busy trace.
+        let (sys, trace) = setup(100);
+        let alloc = max_utility(&sys, &trace);
+        let distinct: std::collections::HashSet<_> = alloc.machine.iter().collect();
+        assert!(distinct.len() > 1, "all tasks mapped to one machine");
+    }
+}

@@ -1,0 +1,97 @@
+//! [`SeedKind`]: the five initial-population configurations compared in the
+//! paper's figures (four heuristic seeds plus the all-random population).
+
+use crate::{max_utility, max_utility_per_energy, min_energy, min_min_completion_time};
+use hetsched_data::HcSystem;
+use hetsched_sim::Allocation;
+use hetsched_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Which seed (if any) to inject into an NSGA-II initial population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeedKind {
+    /// Diamond marker in the figures.
+    MinEnergy,
+    /// Circle marker.
+    MaxUtility,
+    /// Triangle marker.
+    MaxUtilityPerEnergy,
+    /// Square marker.
+    MinMinCompletionTime,
+    /// Star marker: completely random initial population.
+    Random,
+}
+
+impl SeedKind {
+    /// All five configurations, in the paper's figure-legend order.
+    pub const ALL: [SeedKind; 5] = [
+        SeedKind::MinEnergy,
+        SeedKind::MinMinCompletionTime,
+        SeedKind::MaxUtility,
+        SeedKind::MaxUtilityPerEnergy,
+        SeedKind::Random,
+    ];
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeedKind::MinEnergy => "min-energy",
+            SeedKind::MaxUtility => "max-utility",
+            SeedKind::MaxUtilityPerEnergy => "max-utility-per-energy",
+            SeedKind::MinMinCompletionTime => "min-min",
+            SeedKind::Random => "random",
+        }
+    }
+
+    /// Generates the seed chromosomes for this configuration (empty for
+    /// [`SeedKind::Random`] — the engine fills the population randomly).
+    pub fn seeds(self, system: &HcSystem, trace: &Trace) -> Vec<Allocation> {
+        match self {
+            SeedKind::MinEnergy => vec![min_energy(system, trace)],
+            SeedKind::MaxUtility => vec![max_utility(system, trace)],
+            SeedKind::MaxUtilityPerEnergy => vec![max_utility_per_energy(system, trace)],
+            SeedKind::MinMinCompletionTime => vec![min_min_completion_time(system, trace)],
+            SeedKind::Random => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for SeedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_data::real_system;
+    use hetsched_workload::TraceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeds_are_feasible_or_empty() {
+        let sys = real_system();
+        let trace = TraceGenerator::new(50, 900.0, sys.task_type_count())
+            .generate(&mut StdRng::seed_from_u64(77))
+            .unwrap();
+        for kind in SeedKind::ALL {
+            let seeds = kind.seeds(&sys, &trace);
+            if kind == SeedKind::Random {
+                assert!(seeds.is_empty());
+            } else {
+                assert_eq!(seeds.len(), 1);
+                assert!(seeds[0].validate(&sys, &trace).is_ok(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            SeedKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(SeedKind::MinEnergy.to_string(), "min-energy");
+    }
+}

@@ -1,0 +1,79 @@
+//! Pareto dominance for bi-objective minimisation (§IV-C, Fig. 2).
+
+/// A point in the bi-objective space. Both components are minimised.
+pub type Objectives = [f64; 2];
+
+/// Returns `true` when `a` dominates `b`: `a` is no worse in both
+/// objectives and strictly better in at least one (§IV-C: "it must be
+/// better than the other solution in at least one objective, and better
+/// than or equal in the other").
+#[inline]
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    (a[0] <= b[0] && a[1] <= b[1]) && (a[0] < b[0] || a[1] < b[1])
+}
+
+/// Mutual non-dominance: neither point dominates the other (both lie on a
+/// common front, or they are identical).
+#[inline]
+pub fn incomparable(a: &Objectives, b: &Objectives) -> bool {
+    !dominates(a, b) && !dominates(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper's Fig. 2 scenario, translated to minimisation: objective 0
+    // is energy (min), objective 1 is -utility (min). A earns more utility
+    // and uses less energy than B; C uses less energy than A but earns less
+    // utility.
+    const A: Objectives = [5.0, -8.0];
+    const B: Objectives = [7.0, -6.0];
+    const C: Objectives = [3.0, -4.0];
+
+    #[test]
+    fn fig2_a_dominates_b() {
+        assert!(dominates(&A, &B));
+        assert!(!dominates(&B, &A));
+    }
+
+    #[test]
+    fn fig2_a_and_c_incomparable() {
+        assert!(incomparable(&A, &C));
+        assert!(!dominates(&A, &C));
+        assert!(!dominates(&C, &A));
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate() {
+        assert!(!dominates(&A, &A));
+        assert!(incomparable(&A, &A));
+    }
+
+    #[test]
+    fn weak_improvement_in_one_objective_suffices() {
+        let p = [1.0, 2.0];
+        let q = [1.0, 3.0];
+        assert!(dominates(&p, &q));
+        assert!(!dominates(&q, &p));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let pts = [[0.0, 0.0], [1.0, -1.0], [-1.0, 1.0], [2.0, 2.0], [0.5, 0.5]];
+        for p in &pts {
+            assert!(!dominates(p, p));
+            for q in &pts {
+                assert!(!(dominates(p, q) && dominates(q, p)));
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_transitive() {
+        let p = [0.0, 0.0];
+        let q = [1.0, 1.0];
+        let r = [2.0, 2.0];
+        assert!(dominates(&p, &q) && dominates(&q, &r) && dominates(&p, &r));
+    }
+}

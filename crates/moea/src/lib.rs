@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Multi-objective evolutionary algorithm engine.
+//!
+//! Implements the **Nondominated Sorting Genetic Algorithm II** (Deb et al.,
+//! IEEE TEC 2002) as adapted by the paper (§IV-D, Algorithm 1): elitist
+//! (μ+λ) survival driven by fast nondominated sorting and crowding-distance
+//! truncation, with *uniform-random* mating selection (the paper selects
+//! crossover parents uniformly at random rather than by crowded tournament).
+//!
+//! The engine is generic over a [`Problem`]: the allocation crate binds it
+//! to the utility/energy scheduling problem, and the test-suite binds it to
+//! analytic benchmark problems (SCH, ZDT1) with known Pareto fronts.
+//!
+//! Objectives are always **minimised**; the scheduling problem feeds
+//! `(-utility, energy)`.
+
+pub mod baselines;
+pub mod dominance;
+pub mod moead;
+pub mod nsga2;
+pub mod problem;
+pub mod sort;
+pub mod spea2;
+
+pub use dominance::{dominates, Objectives};
+pub use nsga2::{pareto_front, Individual, Mating, Nsga2, Nsga2Config, Stagnation, Survival};
+pub use moead::{moead, MoeadConfig};
+pub use problem::Problem;
+pub use spea2::{spea2, Spea2Config};
+pub use sort::{crowding_distance, fast_nondominated_sort};

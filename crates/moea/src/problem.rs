@@ -1,0 +1,192 @@
+//! The problem abstraction the NSGA-II engine evolves over.
+
+use crate::dominance::Objectives;
+use rand::RngCore;
+
+/// A bi-objective optimisation problem with genetic operators.
+///
+/// Evaluation is split into a per-thread [`Problem::Evaluator`] so the
+/// engine can evaluate populations in parallel while each worker reuses its
+/// own scratch buffers (the scheduling evaluator sorts a sequence buffer
+/// and tracks machine-free times; sharing those across threads would race).
+pub trait Problem: Sync {
+    /// A candidate solution (the chromosome).
+    type Genome: Clone + Send + Sync;
+    /// Per-thread evaluation context.
+    type Evaluator: Send;
+
+    /// Creates a fresh evaluation context.
+    fn evaluator(&self) -> Self::Evaluator;
+
+    /// Evaluates a genome into minimisation objectives.
+    fn evaluate(&self, ev: &mut Self::Evaluator, genome: &Self::Genome) -> Objectives;
+
+    /// Samples a uniformly random genome.
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Self::Genome;
+
+    /// Produces two offspring from two parents.
+    fn crossover(
+        &self,
+        rng: &mut dyn RngCore,
+        a: &Self::Genome,
+        b: &Self::Genome,
+    ) -> (Self::Genome, Self::Genome);
+
+    /// Mutates a genome in place.
+    fn mutate(&self, rng: &mut dyn RngCore, genome: &mut Self::Genome);
+}
+
+/// Schaffer's single-variable problem (SCH): minimise `(x², (x−2)²)`.
+/// Its exact Pareto-optimal set is `x ∈ [0, 2]`; the classic smoke test
+/// for NSGA-II implementations (used by Deb et al. 2002 itself).
+#[derive(Debug, Clone, Copy)]
+pub struct Schaffer {
+    /// Genome search range `[-range, range]`.
+    pub range: f64,
+    /// Gaussian-ish mutation step.
+    pub step: f64,
+}
+
+impl Default for Schaffer {
+    fn default() -> Self {
+        Schaffer { range: 1000.0, step: 0.5 }
+    }
+}
+
+impl Problem for Schaffer {
+    type Genome = f64;
+    type Evaluator = ();
+
+    fn evaluator(&self) {}
+
+    fn evaluate(&self, _ev: &mut (), genome: &f64) -> Objectives {
+        [genome * genome, (genome - 2.0) * (genome - 2.0)]
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> f64 {
+        use rand::Rng;
+        rng.gen_range(-self.range..=self.range)
+    }
+
+    fn crossover(&self, rng: &mut dyn RngCore, a: &f64, b: &f64) -> (f64, f64) {
+        use rand::Rng;
+        // Blend crossover.
+        let w = rng.gen::<f64>();
+        (w * a + (1.0 - w) * b, (1.0 - w) * a + w * b)
+    }
+
+    fn mutate(&self, rng: &mut dyn RngCore, genome: &mut f64) {
+        use rand::Rng;
+        *genome += rng.gen_range(-self.step..=self.step);
+        *genome = genome.clamp(-self.range, self.range);
+    }
+}
+
+/// ZDT1: a 30-variable benchmark with Pareto front `f₂ = 1 − √f₁` at
+/// `g = 1` (all tail variables zero). Exercises convergence pressure on a
+/// high-dimensional genome.
+#[derive(Debug, Clone, Copy)]
+pub struct Zdt1 {
+    /// Number of decision variables (≥ 2).
+    pub vars: usize,
+}
+
+impl Default for Zdt1 {
+    fn default() -> Self {
+        Zdt1 { vars: 30 }
+    }
+}
+
+impl Problem for Zdt1 {
+    type Genome = Vec<f64>;
+    type Evaluator = ();
+
+    fn evaluator(&self) {}
+
+    fn evaluate(&self, _ev: &mut (), x: &Vec<f64>) -> Objectives {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (x.len() - 1) as f64;
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        [f1, f2]
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Vec<f64> {
+        use rand::Rng;
+        (0..self.vars).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    fn crossover(
+        &self,
+        rng: &mut dyn RngCore,
+        a: &Vec<f64>,
+        b: &Vec<f64>,
+    ) -> (Vec<f64>, Vec<f64>) {
+        use rand::Rng;
+        // Single-point crossover.
+        let cut = rng.gen_range(1..self.vars);
+        let mut c = a.clone();
+        let mut d = b.clone();
+        c[cut..].copy_from_slice(&b[cut..]);
+        d[cut..].copy_from_slice(&a[cut..]);
+        (c, d)
+    }
+
+    fn mutate(&self, rng: &mut dyn RngCore, x: &mut Vec<f64>) {
+        use rand::Rng;
+        let i = rng.gen_range(0..x.len());
+        x[i] = (x[i] + rng.gen_range(-0.1..=0.1)).clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schaffer_objectives() {
+        let p = Schaffer::default();
+        assert_eq!(p.evaluate(&mut (), &0.0), [0.0, 4.0]);
+        assert_eq!(p.evaluate(&mut (), &2.0), [4.0, 0.0]);
+        assert_eq!(p.evaluate(&mut (), &1.0), [1.0, 1.0]);
+    }
+
+    #[test]
+    fn schaffer_operators_stay_in_range() {
+        let p = Schaffer::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let mut g = p.random_genome(&mut rng);
+            assert!(g.abs() <= p.range);
+            p.mutate(&mut rng, &mut g);
+            assert!(g.abs() <= p.range);
+        }
+    }
+
+    #[test]
+    fn zdt1_front_at_g_equals_one() {
+        let p = Zdt1 { vars: 5 };
+        let mut x = vec![0.0; 5];
+        x[0] = 0.25;
+        let [f1, f2] = p.evaluate(&mut (), &x);
+        assert_eq!(f1, 0.25);
+        assert!((f2 - (1.0 - 0.25f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt1_crossover_preserves_length_and_genes() {
+        let p = Zdt1 { vars: 6 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = vec![0.0; 6];
+        let b = vec![1.0; 6];
+        let (c, d) = p.crossover(&mut rng, &a, &b);
+        assert_eq!(c.len(), 6);
+        assert_eq!(d.len(), 6);
+        // Each position holds a gene from one of the parents, and the two
+        // children complement each other.
+        for i in 0..6 {
+            assert!((c[i] == 0.0 || c[i] == 1.0) && (c[i] + d[i] == 1.0));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Fast nondominated sorting and crowding distance (Deb et al. 2002, §III).
+
+use crate::dominance::{dominates, Objectives};
+
+/// Partitions point indices into Pareto fronts. `fronts[0]` is the
+/// nondominated set (the paper's rank-1 solutions), `fronts[1]` the set
+/// nondominated once `fronts[0]` is removed, and so on. Every index appears
+/// in exactly one front.
+///
+/// Complexity O(M·N²) with M = 2 objectives, as in the original paper.
+pub fn fast_nondominated_sort(points: &[Objectives]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[p] = how many points dominate p;
+    // dominating[p] = indices p dominates.
+    let mut dominated_by = vec![0usize; n];
+    let mut dominating: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if dominates(&points[p], &points[q]) {
+                dominating[p].push(q);
+                dominated_by[q] += 1;
+            } else if dominates(&points[q], &points[p]) {
+                dominating[q].push(p);
+                dominated_by[p] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&p| dominated_by[p] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominating[p] {
+                dominated_by[q] -= 1;
+                if dominated_by[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of each member of one front (Deb et al. 2002):
+/// boundary solutions get `+∞`; interior ones the sum over objectives of
+/// the normalised gap between their neighbours. Larger = less crowded =
+/// preferred at truncation.
+pub fn crowding_distance(front: &[usize], points: &[Objectives]) -> Vec<f64> {
+    let n = front.len();
+    let mut distance = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    // Positions of front members, sortable per objective.
+    let mut idx: Vec<usize> = (0..n).collect();
+    #[allow(clippy::needless_range_loop)] // `obj` indexes a fixed-size objective tuple
+    for obj in 0..2 {
+        idx.sort_unstable_by(|&a, &b| points[front[a]][obj].total_cmp(&points[front[b]][obj]));
+        let lo = points[front[idx[0]]][obj];
+        let hi = points[front[idx[n - 1]]][obj];
+        distance[idx[0]] = f64::INFINITY;
+        distance[idx[n - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue; // all equal in this objective: contributes nothing
+        }
+        for w in 1..n - 1 {
+            let prev = points[front[idx[w - 1]]][obj];
+            let next = points[front[idx[w + 1]]][obj];
+            distance[idx[w]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+/// Rank (1-based front index) per point, convenience over
+/// [`fast_nondominated_sort`].
+pub fn ranks(points: &[Objectives]) -> Vec<usize> {
+    let fronts = fast_nondominated_sort(points);
+    let mut out = vec![0usize; points.len()];
+    for (r, front) in fronts.iter().enumerate() {
+        for &p in front {
+            out[p] = r + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_front_one() {
+        let fronts = fast_nondominated_sort(&[[1.0, 2.0]]);
+        assert_eq!(fronts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fast_nondominated_sort(&[]).is_empty());
+    }
+
+    #[test]
+    fn chain_of_dominated_points_forms_layers() {
+        // p0 dominates p1 dominates p2.
+        let pts = [[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]];
+        let fronts = fast_nondominated_sort(&pts);
+        assert_eq!(fronts, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(ranks(&pts), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tradeoff_points_share_front_one() {
+        let pts = [[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]];
+        let fronts = fast_nondominated_sort(&pts);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 4);
+    }
+
+    #[test]
+    fn mixed_layers() {
+        // Front 1: (0,2), (2,0). Front 2: (1,3), (3,1). Front 3: (4,4).
+        let pts = [[0.0, 2.0], [2.0, 0.0], [1.0, 3.0], [3.0, 1.0], [4.0, 4.0]];
+        let fronts = fast_nondominated_sort(&pts);
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1]);
+        let mut f1 = fronts[1].clone();
+        f1.sort_unstable();
+        assert_eq!(f1, vec![2, 3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn every_index_in_exactly_one_front() {
+        let pts: Vec<Objectives> = (0..40)
+            .map(|i| {
+                let x = (i * 7 % 13) as f64;
+                let y = (i * 11 % 17) as f64;
+                [x, y]
+            })
+            .collect();
+        let fronts = fast_nondominated_sort(&pts);
+        let mut seen = vec![false; pts.len()];
+        for f in &fronts {
+            for &p in f {
+                assert!(!seen[p], "index {p} in two fronts");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn front_members_are_mutually_nondominated() {
+        let pts: Vec<Objectives> =
+            (0..30).map(|i| [(i % 6) as f64, ((i * 5) % 7) as f64]).collect();
+        for front in fast_nondominated_sort(&pts) {
+            for &a in &front {
+                for &b in &front {
+                    assert!(!dominates(&pts[a], &pts[b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let pts = [[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]];
+        let front = vec![0, 1, 2, 3];
+        let d = crowding_distance(&front, &pts);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        // Evenly spaced: interior distances are equal.
+        assert!((d[1] - d[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_rewards_isolation() {
+        // Points at x = 0, 1, 2, 9, 10 on a line (y mirrors x reversed).
+        let pts = [[0.0, 10.0], [1.0, 9.0], [2.0, 8.0], [9.0, 1.0], [10.0, 0.0]];
+        let front = vec![0, 1, 2, 3, 4];
+        let d = crowding_distance(&front, &pts);
+        // Index 3 sits in the sparse region: larger crowding distance than
+        // the packed index 1.
+        assert!(d[3] > d[1]);
+    }
+
+    #[test]
+    fn tiny_fronts_are_all_infinite() {
+        let pts = [[0.0, 1.0], [1.0, 0.0]];
+        assert_eq!(crowding_distance(&[0, 1], &pts), vec![f64::INFINITY; 2]);
+        assert_eq!(crowding_distance(&[0], &pts), vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn degenerate_objective_span_is_handled() {
+        // All points share objective 0; crowding falls back to objective 1.
+        let pts = [[5.0, 0.0], [5.0, 1.0], [5.0, 2.0], [5.0, 3.0]];
+        let d = crowding_distance(&[0, 1, 2, 3], &pts);
+        assert!(d.iter().all(|v| !v.is_nan()));
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+    }
+}

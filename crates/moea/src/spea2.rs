@@ -1,0 +1,283 @@
+//! SPEA2 (Zitzler, Laumanns & Thiele, 2001) — the other canonical Pareto
+//! MOEA of NSGA-II's generation, implemented over the same [`Problem`]
+//! interface so the benches can compare engine designs on the scheduling
+//! problem. Differences from NSGA-II:
+//!
+//! * fitness = *raw strength* (sum of strengths of dominators) + a k-th
+//!   nearest-neighbour density term, instead of front rank + crowding;
+//! * a fixed-size external **archive** of nondominated solutions survives
+//!   between generations and is truncated by repeated nearest-neighbour
+//!   removal;
+//! * mating selection is binary tournament on the archive.
+
+use crate::dominance::{dominates, Objectives};
+use crate::nsga2::Individual;
+use crate::problem::Problem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SPEA2 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spea2Config {
+    /// Working population size.
+    pub population: usize,
+    /// Archive size (commonly equal to the population size).
+    pub archive: usize,
+    /// Per-offspring mutation probability.
+    pub mutation_rate: f64,
+    /// Number of generations.
+    pub generations: usize,
+}
+
+impl Default for Spea2Config {
+    fn default() -> Self {
+        Spea2Config { population: 100, archive: 100, mutation_rate: 0.5, generations: 100 }
+    }
+}
+
+/// Runs SPEA2 and returns the final archive (the nondominated memory).
+pub fn spea2<P: Problem>(
+    problem: &P,
+    config: Spea2Config,
+    seeds: Vec<P::Genome>,
+    seed: u64,
+) -> Vec<Individual<P::Genome>> {
+    assert!(config.population >= 2 && config.archive >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ev = problem.evaluator();
+    let evaluate = |genome: P::Genome, ev: &mut P::Evaluator| {
+        let objectives = problem.evaluate(ev, &genome);
+        Individual { genome, objectives }
+    };
+
+    let mut population: Vec<Individual<P::Genome>> = seeds
+        .into_iter()
+        .take(config.population)
+        .map(|g| evaluate(g, &mut ev))
+        .collect();
+    while population.len() < config.population {
+        let g = problem.random_genome(&mut rng);
+        population.push(evaluate(g, &mut ev));
+    }
+    let mut archive: Vec<Individual<P::Genome>> = Vec::new();
+
+    for _ in 0..config.generations {
+        // Union of population and archive; compute SPEA2 fitness.
+        let mut union: Vec<Individual<P::Genome>> = archive.clone();
+        union.extend(population.iter().cloned());
+        let points: Vec<Objectives> = union.iter().map(|i| i.objectives).collect();
+        let fitness = spea2_fitness(&points);
+
+        // Environmental selection: nondominated members (fitness < 1).
+        let mut selected: Vec<usize> =
+            (0..union.len()).filter(|&i| fitness[i] < 1.0).collect();
+        if selected.len() > config.archive {
+            truncate_by_nearest_neighbour(&mut selected, &points, config.archive);
+        } else {
+            // Fill with the best dominated members.
+            let mut rest: Vec<usize> =
+                (0..union.len()).filter(|&i| fitness[i] >= 1.0).collect();
+            rest.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+            for i in rest {
+                if selected.len() == config.archive {
+                    break;
+                }
+                selected.push(i);
+            }
+        }
+        archive = selected.iter().map(|&i| union[i].clone()).collect();
+
+        // Mating: binary tournament on the archive by fitness.
+        let arch_points: Vec<Objectives> = archive.iter().map(|i| i.objectives).collect();
+        let arch_fit = spea2_fitness(&arch_points);
+        let mut offspring = Vec::with_capacity(config.population + 1);
+        while offspring.len() < config.population {
+            let pick = |rng: &mut StdRng| {
+                let a = rng.gen_range(0..archive.len());
+                let b = rng.gen_range(0..archive.len());
+                if arch_fit[a] <= arch_fit[b] {
+                    a
+                } else {
+                    b
+                }
+            };
+            let (i, j) = (pick(&mut rng), pick(&mut rng));
+            let (mut a, mut b) =
+                problem.crossover(&mut rng, &archive[i].genome, &archive[j].genome);
+            if rng.gen::<f64>() < config.mutation_rate {
+                problem.mutate(&mut rng, &mut a);
+            }
+            if rng.gen::<f64>() < config.mutation_rate {
+                problem.mutate(&mut rng, &mut b);
+            }
+            offspring.push(a);
+            offspring.push(b);
+        }
+        offspring.truncate(config.population);
+        population = offspring.into_iter().map(|g| evaluate(g, &mut ev)).collect();
+    }
+    archive
+}
+
+/// SPEA2 fitness: `R(i) + 1/(σᵏᵢ + 2)` where `R` is the raw dominated
+/// strength sum and `σᵏ` the distance to the k-th nearest neighbour
+/// (k = √N). Nondominated solutions have fitness < 1.
+fn spea2_fitness(points: &[Objectives]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Strength: how many points each one dominates.
+    let mut strength = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dominates(&points[i], &points[j]) {
+                strength[i] += 1;
+            }
+        }
+    }
+    // Raw fitness: sum of strengths of dominators.
+    let mut raw = vec![0.0f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dominates(&points[j], &points[i]) {
+                raw[i] += strength[j] as f64;
+            }
+        }
+    }
+    // Density: 1 / (distance to k-th nearest neighbour + 2).
+    let k = (n as f64).sqrt() as usize;
+    let mut fitness = Vec::with_capacity(n);
+    let mut dists = Vec::with_capacity(n);
+    for i in 0..n {
+        dists.clear();
+        for (j, q) in points.iter().enumerate() {
+            if i != j {
+                let dx = points[i][0] - q[0];
+                let dy = points[i][1] - q[1];
+                dists.push(dx * dx + dy * dy);
+            }
+        }
+        dists.sort_by(f64::total_cmp);
+        let sigma = dists.get(k.min(dists.len().saturating_sub(1))).copied().unwrap_or(0.0);
+        fitness.push(raw[i] + 1.0 / (sigma.sqrt() + 2.0));
+    }
+    fitness
+}
+
+/// Archive truncation: repeatedly remove the member with the smallest
+/// nearest-neighbour distance until `target` members remain.
+fn truncate_by_nearest_neighbour(
+    selected: &mut Vec<usize>,
+    points: &[Objectives],
+    target: usize,
+) {
+    while selected.len() > target {
+        let mut worst = 0usize;
+        let mut worst_d = f64::INFINITY;
+        for (si, &i) in selected.iter().enumerate() {
+            let mut nn = f64::INFINITY;
+            for &j in selected.iter() {
+                if i != j {
+                    let dx = points[i][0] - points[j][0];
+                    let dy = points[i][1] - points[j][1];
+                    nn = nn.min(dx * dx + dy * dy);
+                }
+            }
+            if nn < worst_d {
+                worst_d = nn;
+                worst = si;
+            }
+        }
+        selected.swap_remove(worst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Schaffer;
+
+    #[test]
+    fn archive_members_are_nondominated() {
+        let problem = Schaffer::default();
+        let cfg = Spea2Config {
+            population: 40,
+            archive: 40,
+            mutation_rate: 0.7,
+            generations: 60,
+        };
+        let archive = spea2(&problem, cfg, vec![], 3);
+        assert!(!archive.is_empty());
+        assert!(archive.len() <= 40);
+        for a in &archive {
+            for b in &archive {
+                assert!(!dominates(&a.objectives, &b.objectives) || a.objectives == b.objectives);
+            }
+        }
+    }
+
+    #[test]
+    fn converges_on_schaffer() {
+        let problem = Schaffer::default();
+        let cfg = Spea2Config {
+            population: 50,
+            archive: 50,
+            mutation_rate: 0.8,
+            generations: 120,
+        };
+        let archive = spea2(&problem, cfg, vec![], 7);
+        // On the true front √f1 + √f2 = 2.
+        let mut on_front = 0;
+        for ind in &archive {
+            let s = ind.objectives[0].max(0.0).sqrt() + ind.objectives[1].max(0.0).sqrt();
+            if (s - 2.0).abs() < 0.2 {
+                on_front += 1;
+            }
+        }
+        assert!(
+            on_front * 2 >= archive.len(),
+            "only {on_front} of {} near the true front",
+            archive.len()
+        );
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let problem = Schaffer::default();
+        let cfg = Spea2Config {
+            population: 20,
+            archive: 20,
+            mutation_rate: 0.5,
+            generations: 15,
+        };
+        let a = spea2(&problem, cfg, vec![], 11);
+        let b = spea2(&problem, cfg, vec![], 11);
+        let pa: Vec<Objectives> = a.iter().map(|i| i.objectives).collect();
+        let pb: Vec<Objectives> = b.iter().map(|i| i.objectives).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn fitness_identifies_nondominated() {
+        let points = [[0.0, 2.0], [2.0, 0.0], [3.0, 3.0]];
+        let f = spea2_fitness(&points);
+        assert!(f[0] < 1.0);
+        assert!(f[1] < 1.0);
+        assert!(f[2] >= 1.0, "dominated point must have fitness >= 1, got {}", f[2]);
+    }
+
+    #[test]
+    fn truncation_keeps_target_count_and_extremes_spread() {
+        let points: Vec<Objectives> =
+            (0..20).map(|i| [i as f64, 20.0 - i as f64]).collect();
+        let mut selected: Vec<usize> = (0..20).collect();
+        truncate_by_nearest_neighbour(&mut selected, &points, 8);
+        assert_eq!(selected.len(), 8);
+    }
+
+    #[test]
+    fn empty_fitness() {
+        assert!(spea2_fitness(&[]).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! ASCII Gantt rendering of a [`DetailedOutcome`], for the examples and the
+//! CLI — a quick way to *see* what an allocation on the front actually
+//! does to the machines.
+
+use crate::detail::DetailedOutcome;
+use hetsched_data::HcSystem;
+use std::fmt::Write as _;
+
+/// Renders a fixed-width Gantt chart: one row per machine, `width` columns
+/// spanning `[0, makespan]`. Busy cells show `#`, idle cells `.`; the
+/// right margin carries per-machine busy totals.
+pub fn render_gantt(system: &HcSystem, outcome: &DetailedOutcome, width: usize) -> String {
+    let width = width.max(10);
+    let horizon = outcome.makespan.max(1e-9);
+    let mut rows = vec![vec![b'.'; width]; system.machine_count()];
+    for r in &outcome.tasks {
+        let lo = ((r.start / horizon) * width as f64).floor() as usize;
+        let hi = ((r.finish / horizon) * width as f64).ceil() as usize;
+        let row = &mut rows[r.machine.index()];
+        for cell in row.iter_mut().take(hi.min(width)).skip(lo.min(width)) {
+            *cell = b'#';
+        }
+    }
+    let busy = outcome.machine_busy_time(system.machine_count());
+    let mut out = String::new();
+    let _ = writeln!(out, "gantt [0 .. {:.0} s], {} tasks", horizon, outcome.tasks.len());
+    for (m, row) in rows.iter().enumerate() {
+        let bar = String::from_utf8(row.clone()).expect("ASCII only");
+        let util = 100.0 * busy[m] / horizon;
+        let _ = writeln!(
+            out,
+            "m{m:<3} |{bar}| {:>6.1}s busy ({util:>4.1}%)",
+            busy[m]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Allocation;
+    use hetsched_data::{real_system, MachineId};
+    use hetsched_workload::TraceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_outcome() -> (HcSystem, DetailedOutcome) {
+        let sys = real_system();
+        let trace = TraceGenerator::new(20, 900.0, sys.task_type_count())
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let alloc = Allocation::with_arrival_order(
+            (0..20).map(|i| MachineId((i % 3) as u32)).collect(),
+        );
+        let outcome = DetailedOutcome::evaluate(&sys, &trace, &alloc).unwrap();
+        (sys, outcome)
+    }
+
+    #[test]
+    fn renders_one_row_per_machine() {
+        let (sys, outcome) = sample_outcome();
+        let chart = render_gantt(&sys, &outcome, 60);
+        // Header + 9 machine rows.
+        assert_eq!(chart.lines().count(), 1 + sys.machine_count());
+        for m in 0..sys.machine_count() {
+            assert!(chart.contains(&format!("m{m}")), "missing machine row {m}");
+        }
+    }
+
+    #[test]
+    fn only_used_machines_show_busy_cells() {
+        let (sys, outcome) = sample_outcome();
+        let chart = render_gantt(&sys, &outcome, 60);
+        let lines: Vec<&str> = chart.lines().skip(1).collect();
+        // Machines 0..3 were used and must contain '#'; machine 5 was not.
+        for (m, line) in lines.iter().enumerate().take(3) {
+            assert!(line.contains('#'), "machine {m} should be busy");
+        }
+        assert!(!lines[5].contains('#'), "machine 5 should be idle");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let (sys, outcome) = sample_outcome();
+        let chart = render_gantt(&sys, &outcome, 0); // clamps to 10
+        let second_line = chart.lines().nth(1).expect("has rows");
+        let bar_len = second_line.split('|').nth(1).expect("bar present").len();
+        assert_eq!(bar_len, 10);
+    }
+}

@@ -1,0 +1,206 @@
+//! Cornish-Fisher quantile transform — the standard alternative to the
+//! Gram-Charlier *density* expansion when sampling from a four-moment
+//! specification. Instead of building (and clamping) a density, it warps
+//! standard-normal quantiles directly:
+//!
+//! ```text
+//! z' = z + γ₁/6·(z²−1) + γ₂/24·(z³−3z) − γ₁²/36·(2z³−5z)
+//! x  = μ + σ·z'
+//! ```
+//!
+//! The warp is monotone only for moderate (γ₁, γ₂); outside that region the
+//! implementation falls back to clamping the warp's derivative at zero by
+//! sorting the tabulated quantiles, which preserves a valid distribution.
+//! The ablation benches compare this sampler against [`crate::GramCharlier`]
+//! on heterogeneity-preservation error.
+
+use crate::moments::Moments;
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// A Cornish-Fisher sampler for a four-moment target.
+#[derive(Debug, Clone)]
+pub struct CornishFisher {
+    mean: f64,
+    std_dev: f64,
+    /// Tabulated, monotonised quantiles of the warped standard normal.
+    table: Vec<f64>,
+}
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation,
+/// |relative error| < 1.2e-9 on (0, 1)).
+pub fn normal_quantile(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p = p.clamp(1e-300, 1.0 - 1e-16);
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+impl CornishFisher {
+    /// Builds the sampler for the target moments.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] on non-finite moments or
+    /// non-positive variance.
+    pub fn new(target: &Moments) -> Result<Self> {
+        if !(target.mean.is_finite()
+            && target.variance.is_finite()
+            && target.skewness.is_finite()
+            && target.kurtosis.is_finite())
+        {
+            return Err(StatsError::InvalidParameter("non-finite moment"));
+        }
+        if target.variance <= 0.0 {
+            return Err(StatsError::InvalidParameter("variance must be > 0"));
+        }
+        let (g1, g2) = (target.skewness, target.kurtosis);
+        let cells = 4096;
+        let mut table: Vec<f64> = (0..=cells)
+            .map(|i| {
+                let p = (i as f64 + 0.5) / (cells as f64 + 1.0);
+                let z = normal_quantile(p);
+                let z2 = z * z;
+                let z3 = z2 * z;
+                z + g1 / 6.0 * (z2 - 1.0) + g2 / 24.0 * (z3 - 3.0 * z)
+                    - g1 * g1 / 36.0 * (2.0 * z3 - 5.0 * z)
+            })
+            .collect();
+        // Monotonise (the warp can fold back for extreme shape values).
+        for i in 1..table.len() {
+            if table[i] < table[i - 1] {
+                table[i] = table[i - 1];
+            }
+        }
+        Ok(CornishFisher { mean: target.mean, std_dev: target.variance.sqrt(), table })
+    }
+
+    /// Quantile at `u ∈ [0, 1]` (linear interpolation on the table).
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let pos = u * (self.table.len() - 1) as f64;
+        let i = (pos.floor() as usize).min(self.table.len() - 2);
+        let frac = pos - i as f64;
+        let z = self.table[i] * (1.0 - frac) + self.table[i + 1] * frac;
+        self.mean + self.std_dev * z
+    }
+
+    /// Draws one value.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    /// Draws one value clamped to be strictly positive (execution times).
+    #[inline]
+    pub fn sample_positive<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample(rng).max(self.mean * 1e-3).max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_shape_reduces_to_normal() {
+        let m = Moments::from_measures(10.0, 4.0, 0.0, 0.0).unwrap();
+        let cf = CornishFisher::new(&m).unwrap();
+        // Median = mean; 97.5% quantile = mean + 1.96 sd.
+        assert!((cf.quantile(0.5) - 10.0).abs() < 1e-2);
+        assert!((cf.quantile(0.975) - (10.0 + 1.96 * 2.0)).abs() < 0.05);
+    }
+
+    #[test]
+    fn sampled_moments_track_target() {
+        let target = Moments::from_measures(50.0, 100.0, 0.6, 0.5).unwrap();
+        let cf = CornishFisher::new(&target).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let sample: Vec<f64> = (0..200_000).map(|_| cf.sample(&mut rng)).collect();
+        let got = Moments::from_sample(&sample).unwrap();
+        assert!((got.mean - 50.0).abs() < 0.5, "mean {}", got.mean);
+        assert!((got.std_dev() - 10.0).abs() < 0.5, "sd {}", got.std_dev());
+        assert!((got.skewness - 0.6).abs() < 0.15, "skew {}", got.skewness);
+    }
+
+    #[test]
+    fn quantile_is_monotone_even_for_extreme_shapes() {
+        let target = Moments::from_measures(0.0, 1.0, 2.5, 8.0).unwrap();
+        let cf = CornishFisher::new(&target).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=1000 {
+            let q = cf.quantile(i as f64 / 1000.0);
+            assert!(q >= prev, "fold-back at {i}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn positive_sampling() {
+        let target = Moments::from_measures(1.0, 25.0, -1.0, 2.0).unwrap();
+        let cf = CornishFisher::new(&target).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5000 {
+            assert!(cf.sample_positive(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_targets() {
+        assert!(Moments::from_measures(1.0, 0.0, 0.0, 0.0).is_err());
+        let broken = Moments { mean: f64::NAN, variance: 1.0, skewness: 0.0, kurtosis: 0.0, count: 0 };
+        assert!(CornishFisher::new(&broken).is_err());
+    }
+}

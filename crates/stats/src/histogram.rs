@@ -1,0 +1,207 @@
+//! Fixed-width histogram used by tests, benches, and the CLI to inspect
+//! sampled distributions (e.g. comparing a Gram-Charlier sample against the
+//! real data it was fitted to).
+
+use crate::{Result, StatsError};
+
+/// A histogram over `[lo, hi)` with uniform bin width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    underflow: u64,
+    /// Observations at or above `hi`.
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if the interval is empty/non-finite
+    /// or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            return Err(StatsError::InvalidParameter("histogram interval must be non-empty"));
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("bins must be > 0"));
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = (((x - self.lo) / (self.hi - self.lo)) * self.counts.len() as f64) as usize;
+            // Floating point can land exactly on len() for x just below hi.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Records every observation in `sample`.
+    pub fn record_all(&mut self, sample: &[f64]) {
+        for &x in sample {
+            self.record(x);
+        }
+    }
+
+    /// Count in bin `i`.
+    #[inline]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All bin counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations outside the range (under, over).
+    #[inline]
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Total number of recorded observations, including outliers.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width()
+    }
+
+    /// Empirical density estimate at bin `i` (count / (total · width)).
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / (total as f64 * self.width())
+    }
+
+    /// L1 distance between the normalised bin masses of two histograms with
+    /// identical binning — a simple distribution-similarity score.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if binning differs.
+    pub fn l1_distance(&self, other: &Histogram) -> Result<f64> {
+        if self.bins() != other.bins() || self.lo != other.lo || self.hi != other.hi {
+            return Err(StatsError::InvalidParameter("histogram binning mismatch"));
+        }
+        let (ta, tb) = (self.total() as f64, other.total() as f64);
+        if ta == 0.0 || tb == 0.0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let mut d = 0.0;
+        for i in 0..self.bins() {
+            d += (self.counts[i] as f64 / ta - other.counts[i] as f64 / tb).abs();
+        }
+        d += (self.underflow as f64 / ta - other.underflow as f64 / tb).abs();
+        d += (self.overflow as f64 / ta - other.overflow as f64 / tb).abs();
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.5);
+        h.record(9.999);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn outliers_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(2.0);
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn density_integrates_to_one_without_outliers() {
+        let mut h = Histogram::new(0.0, 2.0, 8).unwrap();
+        for i in 0..1000 {
+            h.record((i % 200) as f64 / 100.0);
+        }
+        let integral: f64 = (0..h.bins()).map(|i| h.density(i) * h.width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_distance_zero_for_identical() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let mut b = Histogram::new(0.0, 1.0, 4).unwrap();
+        for x in [0.1, 0.3, 0.7] {
+            a.record(x);
+            b.record(x);
+        }
+        assert_eq!(a.l1_distance(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn l1_distance_max_for_disjoint() {
+        let mut a = Histogram::new(0.0, 1.0, 2).unwrap();
+        let mut b = Histogram::new(0.0, 1.0, 2).unwrap();
+        a.record(0.25);
+        b.record(0.75);
+        assert!((a.l1_distance(&b).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_binning_is_rejected() {
+        let a = Histogram::new(0.0, 1.0, 2).unwrap();
+        let b = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert!(a.l1_distance(&b).is_err());
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::INFINITY, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bin_center() {
+        let h = Histogram::new(0.0, 10.0, 10).unwrap();
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+}

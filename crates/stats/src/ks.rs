@@ -1,0 +1,121 @@
+//! Two-sample Kolmogorov-Smirnov statistic, used to verify that a
+//! synthetic sample is distributed like the data it was fitted to — a
+//! stricter check than matching the four moments.
+
+use crate::{Result, StatsError};
+
+/// The two-sample KS statistic `D = sup |F₁(x) − F₂(x)|` over the empirical
+/// CDFs of `a` and `b`.
+///
+/// # Errors
+///
+/// [`StatsError::InsufficientData`] when either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Ok(d)
+}
+
+/// The asymptotic two-sample KS critical value at significance `alpha`
+/// (commonly 0.05): `c(α)·√((n₁+n₂)/(n₁·n₂))` with
+/// `c(α) = √(−ln(α/2)/2)`. Reject "same distribution" when the statistic
+/// exceeds this.
+///
+/// # Errors
+///
+/// [`StatsError::InvalidParameter`] for `alpha` outside (0, 1) or empty
+/// samples sizes.
+pub fn ks_critical_value(n1: usize, n2: usize, alpha: f64) -> Result<f64> {
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter("alpha must be in (0, 1)"));
+    }
+    if n1 == 0 || n2 == 0 {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    let (n1, n2) = (n1 as f64, n2 as f64);
+    Ok(c * ((n1 + n2) / (n1 * n2)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert!((ks_statistic(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // F_a jumps at 1,3 (0.5 each); F_b jumps at 2,4.
+        // sup diff = 0.5 (between 1 and 2).
+        let a = [1.0, 3.0];
+        let b = [2.0, 4.0];
+        assert!((ks_statistic(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_stays_under_critical_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let d = ks_statistic(&a, &b).unwrap();
+        let crit = ks_critical_value(2000, 2000, 0.01).unwrap();
+        assert!(d < crit, "d = {d}, crit = {crit}");
+    }
+
+    #[test]
+    fn different_distributions_exceed_critical_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>() * 0.6).collect();
+        let d = ks_statistic(&a, &b).unwrap();
+        let crit = ks_critical_value(2000, 2000, 0.05).unwrap();
+        assert!(d > crit, "d = {d}, crit = {crit}");
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [0.5, 1.5, 2.5, 9.0];
+        let b = [0.4, 2.0, 3.0];
+        assert_eq!(ks_statistic(&a, &b).unwrap(), ks_statistic(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(ks_statistic(&[], &[1.0]).is_err());
+        assert!(ks_statistic(&[1.0], &[]).is_err());
+        assert!(ks_critical_value(0, 5, 0.05).is_err());
+        assert!(ks_critical_value(5, 5, 0.0).is_err());
+        assert!(ks_critical_value(5, 5, 1.0).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! Statistical substrate for the `hetsched` workspace.
+//!
+//! The synthetic data-set generator of the paper (§III-D2) characterises a
+//! sample of execution times (or power draws) by four *heterogeneity
+//! measures* — mean, coefficient of variation, skewness, and kurtosis — and
+//! then reconstructs a probability density with those same moments using the
+//! **Gram-Charlier type-A expansion** so that arbitrarily many new values can
+//! be drawn while preserving the heterogeneity of the original data.
+//!
+//! This crate provides:
+//!
+//! * [`Moments`] / [`MomentAccumulator`] — one-pass central-moment
+//!   computation (mean, variance, CV, skewness, excess kurtosis),
+//! * [`GramCharlier`] — the expansion itself, with density evaluation,
+//! * [`TabulatedSampler`] — grid-based inverse-CDF sampling from any
+//!   non-negative-clamped density,
+//! * [`Histogram`] — fixed-width binning used by tests and benches to verify
+//!   that sampled data reproduces the target moments.
+
+pub mod cornish_fisher;
+pub mod gram_charlier;
+pub mod histogram;
+pub mod ks;
+pub mod moments;
+pub mod sampler;
+
+pub use cornish_fisher::CornishFisher;
+pub use gram_charlier::GramCharlier;
+pub use histogram::Histogram;
+pub use ks::{ks_critical_value, ks_statistic};
+pub use moments::{MomentAccumulator, Moments};
+pub use sampler::TabulatedSampler;
+
+use std::fmt;
+
+/// Errors produced by the statistics substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input sample was empty or too small for the requested statistic.
+    InsufficientData {
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations supplied.
+        got: usize,
+    },
+    /// The sample variance is zero, so shape statistics are undefined.
+    ZeroVariance,
+    /// A parameter was not finite or out of its documented domain.
+    InvalidParameter(&'static str),
+    /// The (clamped) density integrated to zero over the support grid.
+    DegenerateDensity,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: need at least {needed} values, got {got}")
+            }
+            StatsError::ZeroVariance => write!(f, "sample variance is zero"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::DegenerateDensity => {
+                write!(f, "density integrates to zero over the support grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

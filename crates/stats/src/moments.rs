@@ -1,0 +1,333 @@
+//! Heterogeneity measures: mean, variance, coefficient of variation,
+//! skewness, and kurtosis (the paper's "mvsk" quadruple, §III-D2).
+//!
+//! Skewness and kurtosis follow the conventional moment-ratio definitions
+//! used by the heterogeneity-quantification literature the paper cites
+//! (Al-Qawasmeh et al., *The Journal of Supercomputing* 57(1)):
+//!
+//! * skewness  γ₁ = m₃ / m₂^{3/2}
+//! * kurtosis  γ₂ = m₄ / m₂² − 3   (excess kurtosis; 0 for a Gaussian)
+//!
+//! where mₖ is the k-th central sample moment with 1/n normalisation.
+
+use crate::{Result, StatsError};
+
+/// The four heterogeneity measures of a sample, plus the raw central moments
+/// they derive from.
+///
+/// ```
+/// use hetsched_stats::Moments;
+///
+/// let m = Moments::from_sample(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((m.mean - 5.0).abs() < 1e-12);
+/// assert!((m.variance - 4.0).abs() < 1e-12);
+/// assert!((m.coefficient_of_variation() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (1/n normalisation).
+    pub variance: f64,
+    /// Moment skewness γ₁.
+    pub skewness: f64,
+    /// *Excess* kurtosis γ₂ (Gaussian ⇒ 0).
+    pub kurtosis: f64,
+    /// Number of observations the moments were computed from.
+    pub count: usize,
+}
+
+impl Moments {
+    /// Computes the heterogeneity measures of `sample`.
+    ///
+    /// Requires at least two observations (variance) and non-zero variance
+    /// for the shape statistics to be defined.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InsufficientData`] for samples shorter than 2 and
+    /// [`StatsError::ZeroVariance`] when every observation is identical.
+    pub fn from_sample(sample: &[f64]) -> Result<Self> {
+        let mut acc = MomentAccumulator::new();
+        for &x in sample {
+            acc.push(x);
+        }
+        acc.finish()
+    }
+
+    /// Standard deviation √variance.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Coefficient of variation σ/μ — the paper's dispersion-based
+    /// heterogeneity measure. Undefined (NaN) for zero mean.
+    #[inline]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        self.std_dev() / self.mean
+    }
+
+    /// Builds a `Moments` directly from the four measures, for use as a
+    /// *target* when constructing a [`crate::GramCharlier`] density without
+    /// an underlying sample.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when any value is non-finite or the
+    /// variance is not strictly positive.
+    pub fn from_measures(mean: f64, variance: f64, skewness: f64, kurtosis: f64) -> Result<Self> {
+        if !(mean.is_finite() && variance.is_finite() && skewness.is_finite() && kurtosis.is_finite())
+        {
+            return Err(StatsError::InvalidParameter("non-finite moment"));
+        }
+        if variance <= 0.0 {
+            return Err(StatsError::InvalidParameter("variance must be > 0"));
+        }
+        Ok(Moments { mean, variance, skewness, kurtosis, count: 0 })
+    }
+
+    /// Largest relative discrepancy between `self` and `other` over the four
+    /// measures, used to verify heterogeneity preservation. Mean and
+    /// standard deviation are compared relatively; skewness and kurtosis
+    /// absolutely (they are already scale-free and may be near zero).
+    pub fn max_discrepancy(&self, other: &Moments) -> f64 {
+        let rel = |a: f64, b: f64| ((a - b) / a.abs().max(1e-12)).abs();
+        let mean_d = rel(self.mean, other.mean);
+        let sd_d = rel(self.std_dev(), other.std_dev());
+        let skew_d = (self.skewness - other.skewness).abs();
+        let kurt_d = (self.kurtosis - other.kurtosis).abs();
+        mean_d.max(sd_d).max(skew_d).max(kurt_d)
+    }
+}
+
+/// One-pass accumulator for the first four central moments.
+///
+/// Uses the numerically stable pairwise update of Pébay (2008); this is the
+/// same family of formulas as Welford's online variance, extended to the
+/// third and fourth moments, so it is safe to stream millions of values
+/// without catastrophic cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct MomentAccumulator {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl MomentAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of observations pushed so far.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Merges another accumulator into this one (parallel reduction step).
+    pub fn merge(&mut self, other: &MomentAccumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let mean = self.mean + delta * nb / n;
+
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+    }
+
+    /// Finalises the accumulator into a [`Moments`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Moments::from_sample`].
+    pub fn finish(&self) -> Result<Moments> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData { needed: 2, got: self.n });
+        }
+        let n = self.n as f64;
+        let variance = self.m2 / n;
+        if variance <= 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        let m3 = self.m3 / n;
+        let m4 = self.m4 / n;
+        Ok(Moments {
+            mean: self.mean,
+            variance,
+            skewness: m3 / variance.powf(1.5),
+            kurtosis: m4 / (variance * variance) - 3.0,
+            count: self.n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_moments(sample: &[f64]) -> Moments {
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let ck = |k: i32| sample.iter().map(|x| (x - mean).powi(k)).sum::<f64>() / n;
+        let var = ck(2);
+        Moments {
+            mean,
+            variance: var,
+            skewness: ck(3) / var.powf(1.5),
+            kurtosis: ck(4) / (var * var) - 3.0,
+            count: sample.len(),
+        }
+    }
+
+    #[test]
+    fn matches_naive_two_pass() {
+        let sample = [3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3, 2.3, 8.4];
+        let got = Moments::from_sample(&sample).unwrap();
+        let want = naive_moments(&sample);
+        assert!((got.mean - want.mean).abs() < 1e-12);
+        assert!((got.variance - want.variance).abs() < 1e-12);
+        assert!((got.skewness - want.skewness).abs() < 1e-10);
+        assert!((got.kurtosis - want.kurtosis).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_variance() {
+        assert_eq!(Moments::from_sample(&[7.0; 8]), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn too_short_sample_is_rejected() {
+        assert_eq!(
+            Moments::from_sample(&[1.0]),
+            Err(StatsError::InsufficientData { needed: 2, got: 1 })
+        );
+        assert_eq!(
+            Moments::from_sample(&[]),
+            Err(StatsError::InsufficientData { needed: 2, got: 0 })
+        );
+    }
+
+    #[test]
+    fn symmetric_sample_has_zero_skew() {
+        let m = Moments::from_sample(&[-2.0, -1.0, 0.0, 1.0, 2.0]).unwrap();
+        assert!(m.skewness.abs() < 1e-12);
+        assert!((m.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_excess_kurtosis_is_negative() {
+        // Discrete uniform over many points approaches excess kurtosis -1.2.
+        let sample: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let m = Moments::from_sample(&sample).unwrap();
+        assert!((m.kurtosis + 1.2).abs() < 0.01, "kurtosis = {}", m.kurtosis);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let sample: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.71).collect();
+        let mut whole = MomentAccumulator::new();
+        for &x in &sample {
+            whole.push(x);
+        }
+        let mut a = MomentAccumulator::new();
+        let mut b = MomentAccumulator::new();
+        for (i, &x) in sample.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        let w = whole.finish().unwrap();
+        let m = a.finish().unwrap();
+        assert!((w.mean - m.mean).abs() < 1e-10);
+        assert!((w.variance - m.variance).abs() < 1e-8);
+        assert!((w.skewness - m.skewness).abs() < 1e-8);
+        assert!((w.kurtosis - m.kurtosis).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = MomentAccumulator::new();
+        a.push(1.0);
+        a.push(2.0);
+        a.push(4.0);
+        let before = a.finish().unwrap();
+        a.merge(&MomentAccumulator::new());
+        assert_eq!(a.finish().unwrap(), before);
+
+        let mut empty = MomentAccumulator::new();
+        empty.merge(&a);
+        assert_eq!(empty.finish().unwrap(), before);
+    }
+
+    #[test]
+    fn cv_is_scale_free() {
+        let base = [2.0, 3.0, 5.0, 9.0];
+        let scaled: Vec<f64> = base.iter().map(|x| x * 42.0).collect();
+        let a = Moments::from_sample(&base).unwrap();
+        let b = Moments::from_sample(&scaled).unwrap();
+        assert!((a.coefficient_of_variation() - b.coefficient_of_variation()).abs() < 1e-12);
+        assert!((a.skewness - b.skewness).abs() < 1e-12);
+        assert!((a.kurtosis - b.kurtosis).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_measures_validates() {
+        assert!(Moments::from_measures(1.0, 0.0, 0.0, 0.0).is_err());
+        assert!(Moments::from_measures(1.0, f64::NAN, 0.0, 0.0).is_err());
+        assert!(Moments::from_measures(1.0, 2.0, 0.5, -0.5).is_ok());
+    }
+
+    #[test]
+    fn max_discrepancy_of_self_is_zero() {
+        let m = Moments::from_sample(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        assert_eq!(m.max_discrepancy(&m), 0.0);
+    }
+}

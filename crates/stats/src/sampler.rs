@@ -1,0 +1,179 @@
+//! Grid-based inverse-CDF sampling of an arbitrary one-dimensional density.
+//!
+//! The Gram-Charlier expansion has no closed-form quantile function, so the
+//! synthetic-data pipeline tabulates the (clamped) density on a uniform grid,
+//! builds the cumulative distribution by the trapezoid rule, and samples by
+//! binary search plus linear interpolation. Construction is O(cells); each
+//! sample is O(log cells) with zero allocation.
+
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Inverse-CDF sampler over a tabulated density.
+#[derive(Debug, Clone)]
+pub struct TabulatedSampler {
+    lo: f64,
+    step: f64,
+    /// Normalised CDF at grid nodes; `cdf[0] == 0`, `cdf[last] == 1`.
+    cdf: Vec<f64>,
+}
+
+impl TabulatedSampler {
+    /// Tabulates `density` (assumed non-negative) on `[lo, hi]` using
+    /// `cells` uniform cells (`cells + 1` nodes).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] for an invalid interval or
+    /// `cells == 0`, [`StatsError::DegenerateDensity`] when the density is
+    /// zero everywhere on the grid.
+    pub fn from_density<F: Fn(f64) -> f64>(
+        density: F,
+        lo: f64,
+        hi: f64,
+        cells: usize,
+    ) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            return Err(StatsError::InvalidParameter("interval must be finite and non-empty"));
+        }
+        if cells == 0 {
+            return Err(StatsError::InvalidParameter("cells must be > 0"));
+        }
+        let step = (hi - lo) / cells as f64;
+        let mut pdf = Vec::with_capacity(cells + 1);
+        for i in 0..=cells {
+            let f = density(lo + i as f64 * step);
+            debug_assert!(f >= 0.0, "density must be non-negative, got {f}");
+            pdf.push(f.max(0.0));
+        }
+        // Trapezoid-rule cumulative integral.
+        let mut cdf = Vec::with_capacity(cells + 1);
+        cdf.push(0.0);
+        let mut acc = 0.0;
+        for w in pdf.windows(2) {
+            acc += 0.5 * (w[0] + w[1]) * step;
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("cdf has cells+1 >= 2 entries");
+        if total <= 0.0 || !total.is_finite() {
+            return Err(StatsError::DegenerateDensity);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against round-off at the top end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Ok(TabulatedSampler { lo, step, cdf })
+    }
+
+    /// Lower bound of the support grid.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the support grid.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.lo + self.step * (self.cdf.len() - 1) as f64
+    }
+
+    /// Quantile function: maps `u ∈ [0, 1]` to a support value.
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        // partition_point returns the first index with cdf[i] >= u; we want
+        // the cell [i-1, i] bracketing u.
+        let idx = self.cdf.partition_point(|&c| c < u).clamp(1, self.cdf.len() - 1);
+        let (c0, c1) = (self.cdf[idx - 1], self.cdf[idx]);
+        let frac = if c1 > c0 { (u - c0) / (c1 - c0) } else { 0.0 };
+        self.lo + self.step * ((idx - 1) as f64 + frac)
+    }
+
+    /// Draws one value.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    /// Draws `n` values into a fresh vector.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::Moments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_density_gives_uniform_samples() {
+        let s = TabulatedSampler::from_density(|_| 1.0, 0.0, 10.0, 100).unwrap();
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert!((s.quantile(0.5) - 5.0).abs() < 1e-9);
+        assert!((s.quantile(1.0) - 10.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = s.sample_n(&mut rng, 100_000);
+        let m = Moments::from_sample(&sample).unwrap();
+        assert!((m.mean - 5.0).abs() < 0.05);
+        assert!((m.variance - 100.0 / 12.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn triangular_density_quantiles() {
+        // f(x) = 2x on [0,1]; CDF = x², quantile = sqrt(u).
+        let s = TabulatedSampler::from_density(|x| 2.0 * x, 0.0, 1.0, 4096).unwrap();
+        for &u in &[0.1, 0.25, 0.5, 0.81, 0.99] {
+            assert!((s.quantile(u) - u.sqrt()).abs() < 1e-3, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_intervals() {
+        assert!(TabulatedSampler::from_density(|_| 1.0, 1.0, 1.0, 10).is_err());
+        assert!(TabulatedSampler::from_density(|_| 1.0, 2.0, 1.0, 10).is_err());
+        assert!(TabulatedSampler::from_density(|_| 1.0, f64::NAN, 1.0, 10).is_err());
+        assert!(TabulatedSampler::from_density(|_| 1.0, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_density() {
+        assert_eq!(
+            TabulatedSampler::from_density(|_| 0.0, 0.0, 1.0, 16).unwrap_err(),
+            StatsError::DegenerateDensity
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let s = TabulatedSampler::from_density(|x| (-x).exp(), 0.5, 9.5, 256).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = s.sample(&mut rng);
+            assert!((0.5..=9.5).contains(&v), "v = {v}");
+        }
+        assert_eq!(s.lo(), 0.5);
+        assert!((s.hi() - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let s = TabulatedSampler::from_density(|x| 1.0 + (3.0 * x).sin().abs(), 0.0, 5.0, 512)
+            .unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=1000 {
+            let q = s.quantile(i as f64 / 1000.0);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_u() {
+        let s = TabulatedSampler::from_density(|_| 1.0, 0.0, 1.0, 8).unwrap();
+        assert_eq!(s.quantile(-0.5), 0.0);
+        assert_eq!(s.quantile(1.5), 1.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Assembles complete synthetic [`HcSystem`]s (data sets 2 and 3 of §V-A):
+//! the real 5×9 data extended to 30 task types, plus four special-purpose
+//! machine types, over the Table III inventory of 30 machines.
+
+use crate::ratios::RatioModel;
+use crate::rowavg::RowAverageModel;
+use crate::special::{special_epc_column, special_etc_column};
+use crate::{Result, SynthError};
+use hetsched_data::inventory::{dataset2_inventory, dataset2_machine_type_names};
+use hetsched_data::{
+    real_epc, real_etc, Epc, Etc, HcSystem, MachineInventory, TaskTypeId, TypeMatrix,
+    REAL_MACHINE_NAMES, REAL_TASK_NAMES,
+};
+use rand::Rng;
+
+/// Specification of one special-purpose machine type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecialSpec {
+    /// Task types (indices into the *final* task-type list) this machine
+    /// executes ~10× faster; all other task types are incompatible.
+    pub accelerated: Vec<TaskTypeId>,
+}
+
+impl SpecialSpec {
+    /// Draws a spec accelerating `count` distinct task types chosen
+    /// uniformly from `total_task_types`.
+    pub fn random<R: Rng + ?Sized>(count: usize, total_task_types: usize, rng: &mut R) -> Self {
+        debug_assert!(count <= total_task_types);
+        let mut chosen = Vec::with_capacity(count);
+        while chosen.len() < count {
+            let t = TaskTypeId(rng.gen_range(0..total_task_types) as u16);
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        chosen.sort();
+        SpecialSpec { accelerated: chosen }
+    }
+}
+
+/// Builder for heterogeneity-preserving synthetic data sets.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    base_etc: Etc,
+    base_epc: Epc,
+    base_task_names: Vec<String>,
+    base_machine_names: Vec<String>,
+    new_task_types: usize,
+    specials: Vec<SpecialSpec>,
+    /// Machines per *general* machine type (defaults to one each).
+    general_counts: Vec<u32>,
+}
+
+impl DatasetBuilder {
+    /// Starts from the real 5×9 benchmark data.
+    pub fn from_real() -> Self {
+        DatasetBuilder {
+            base_etc: real_etc(),
+            base_epc: real_epc(),
+            base_task_names: REAL_TASK_NAMES.iter().map(|s| s.to_string()).collect(),
+            base_machine_names: REAL_MACHINE_NAMES.iter().map(|s| s.to_string()).collect(),
+            new_task_types: 0,
+            specials: Vec::new(),
+            general_counts: vec![1; 9],
+        }
+    }
+
+    /// Starts from arbitrary base matrices.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::InvalidRequest`] on name/shape mismatches.
+    pub fn from_base(
+        etc: Etc,
+        epc: Epc,
+        task_names: Vec<String>,
+        machine_names: Vec<String>,
+    ) -> Result<Self> {
+        if task_names.len() != etc.0.task_types() || machine_names.len() != etc.0.machine_types() {
+            return Err(SynthError::InvalidRequest("name count does not match matrix shape"));
+        }
+        let general = etc.0.machine_types();
+        Ok(DatasetBuilder {
+            base_etc: etc,
+            base_epc: epc,
+            base_task_names: task_names,
+            base_machine_names: machine_names,
+            new_task_types: 0,
+            specials: Vec::new(),
+            general_counts: vec![1; general],
+        })
+    }
+
+    /// Number of *additional* synthetic task types to create.
+    pub fn new_task_types(mut self, n: usize) -> Self {
+        self.new_task_types = n;
+        self
+    }
+
+    /// Adds a special-purpose machine type.
+    pub fn special(mut self, spec: SpecialSpec) -> Self {
+        self.specials.push(spec);
+        self
+    }
+
+    /// Sets machines-per-general-type counts (must match the base machine
+    /// type count; checked at [`DatasetBuilder::build`]).
+    pub fn general_counts(mut self, counts: Vec<u32>) -> Self {
+        self.general_counts = counts;
+        self
+    }
+
+    /// Total task types of the system being built.
+    pub fn total_task_types(&self) -> usize {
+        self.base_etc.0.task_types() + self.new_task_types
+    }
+
+    /// Builds the system: fits the Gram-Charlier models, samples the new
+    /// task-type rows, prepends the special-purpose columns, and validates
+    /// the result.
+    ///
+    /// # Errors
+    ///
+    /// Statistics failures (degenerate base data), invalid special specs,
+    /// or system-validation failures all propagate.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<HcSystem> {
+        if self.general_counts.len() != self.base_etc.0.machine_types() {
+            return Err(SynthError::InvalidRequest("general_counts shape mismatch"));
+        }
+
+        // Steps 1 + 2: extend the task-type rows of both matrices.
+        let mut etc = self.base_etc.0.clone();
+        let mut epc = self.base_epc.0.clone();
+        if self.new_task_types > 0 {
+            let etc_rowavg = RowAverageModel::fit(&etc)?;
+            let etc_ratios = RatioModel::fit(&etc)?;
+            let epc_rowavg = RowAverageModel::fit(&epc)?;
+            let epc_ratios = RatioModel::fit(&epc)?;
+            for _ in 0..self.new_task_types {
+                let avg_t = etc_rowavg.sample(rng);
+                etc.push_row(&etc_ratios.sample_row(avg_t, rng))?;
+                let avg_p = epc_rowavg.sample(rng);
+                epc.push_row(&epc_ratios.sample_row(avg_p, rng))?;
+            }
+        }
+
+        // Step 3: special-purpose columns, *prepended* so the machine-type
+        // ordering matches `dataset2_inventory` (specials A–D first).
+        let mut spec_etc_cols = Vec::with_capacity(self.specials.len());
+        let mut spec_epc_cols = Vec::with_capacity(self.specials.len());
+        for spec in &self.specials {
+            spec_etc_cols.push(special_etc_column(&etc, &spec.accelerated)?);
+            spec_epc_cols.push(special_epc_column(&epc, &spec.accelerated)?);
+        }
+        let task_types = etc.task_types();
+        let machine_types = self.specials.len() + etc.machine_types();
+        let assemble = |specials: &[Vec<f64>], general: &TypeMatrix| -> Result<TypeMatrix> {
+            let mut data = Vec::with_capacity(task_types * machine_types);
+            for t in 0..task_types {
+                for col in specials {
+                    data.push(col[t]);
+                }
+                data.extend_from_slice(general.row(TaskTypeId(t as u16)));
+            }
+            Ok(TypeMatrix::from_rows(task_types, machine_types, data)?)
+        };
+        let etc = Etc(assemble(&spec_etc_cols, &etc)?);
+        let epc = Epc(assemble(&spec_epc_cols, &epc)?);
+
+        // Inventory: one machine per special type, then the general counts.
+        let mut counts = vec![1u32; self.specials.len()];
+        counts.extend_from_slice(&self.general_counts);
+        let inventory = MachineInventory::from_counts(counts)?;
+
+        // Names.
+        let mut task_names = self.base_task_names.clone();
+        for i in 0..self.new_task_types {
+            task_names.push(format!("Synthetic task {}", i + 1));
+        }
+        let mut machine_names: Vec<String> = (0..self.specials.len())
+            .map(|i| format!("Special-purpose machine {}", (b'A' + i as u8) as char))
+            .collect();
+        machine_names.extend(self.base_machine_names.iter().cloned());
+
+        Ok(HcSystem::new(etc, epc, inventory, task_names, machine_names)?)
+    }
+}
+
+/// The data set 2/3 system of §V-A: 25 synthetic task types on top of the
+/// five real ones (30 total), four special-purpose machine types each
+/// accelerating 2–3 task types, and the Table III inventory (30 machines
+/// over 13 machine types).
+///
+/// # Errors
+///
+/// Propagates any pipeline failure (none occur with the shipped real data).
+pub fn dataset2_system<R: Rng + ?Sized>(rng: &mut R) -> Result<HcSystem> {
+    let total_types = 30;
+    let mut builder = DatasetBuilder::from_real()
+        .new_task_types(25)
+        // Table III general-purpose machine counts.
+        .general_counts(vec![2, 3, 3, 3, 2, 4, 2, 5, 2]);
+    for i in 0..4 {
+        let count = 2 + (i % 2); // alternate 2 / 3 accelerated task types
+        builder = builder.special(SpecialSpec::random(count, total_types, rng));
+    }
+    let system = builder.build(rng)?;
+    debug_assert_eq!(system.machine_count(), 30);
+    debug_assert_eq!(system.machine_type_count(), 13);
+    debug_assert_eq!(system.task_type_count(), 30);
+    // The builder's column ordering must agree with the canonical Table III
+    // inventory and its names.
+    debug_assert_eq!(system.inventory(), &dataset2_inventory());
+    debug_assert_eq!(
+        (0..13u16)
+            .map(|m| system.machine_type_name(hetsched_data::MachineTypeId(m)).to_string())
+            .collect::<Vec<_>>(),
+        dataset2_machine_type_names()
+    );
+    Ok(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_data::{MachineId, MachineTypeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dataset2_shape_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sys = dataset2_system(&mut rng).unwrap();
+        assert_eq!(sys.task_type_count(), 30);
+        assert_eq!(sys.machine_type_count(), 13);
+        assert_eq!(sys.machine_count(), 30);
+    }
+
+    #[test]
+    fn real_data_is_embedded_unchanged() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sys = dataset2_system(&mut rng).unwrap();
+        let real = real_etc();
+        // Real machine types occupy columns 4..13; real task types rows 0..5.
+        for t in 0..5u16 {
+            for m in 0..9u16 {
+                assert_eq!(
+                    sys.etc().time(TaskTypeId(t), MachineTypeId(m + 4)),
+                    real.time(TaskTypeId(t), MachineTypeId(m)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specials_accelerate_two_or_three_types_ten_x() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sys = dataset2_system(&mut rng).unwrap();
+        for mt in 0..4u16 {
+            let mt = MachineTypeId(mt);
+            let mut compatible = 0;
+            for t in 0..30u16 {
+                let t = TaskTypeId(t);
+                let v = sys.etc().time(t, mt);
+                if v.is_finite() {
+                    compatible += 1;
+                    // ~10x faster than the general-machine row average.
+                    let general_avg: f64 = (4..13u16)
+                        .map(|g| sys.etc().time(t, MachineTypeId(g)))
+                        .sum::<f64>()
+                        / 9.0;
+                    assert!(
+                        (v - general_avg / 10.0).abs() / (general_avg / 10.0) < 1e-9,
+                        "special ETC {v} vs rowavg/10 {}",
+                        general_avg / 10.0
+                    );
+                }
+            }
+            assert!((2..=3).contains(&compatible), "special {mt} executes {compatible} types");
+        }
+    }
+
+    #[test]
+    fn every_task_type_remains_executable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sys = dataset2_system(&mut rng).unwrap();
+        for t in 0..30u16 {
+            assert!(!sys.feasible_machines(TaskTypeId(t)).is_empty());
+        }
+    }
+
+    #[test]
+    fn special_machines_exist_as_single_instances() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sys = dataset2_system(&mut rng).unwrap();
+        // First four machines are the specials A-D (one each).
+        for i in 0..4u32 {
+            assert_eq!(sys.machine_type(MachineId(i)), MachineTypeId(i as u16));
+        }
+        assert_eq!(sys.machine_type_name(MachineTypeId(0)), "Special-purpose machine A");
+        assert_eq!(sys.machine_type_name(MachineTypeId(3)), "Special-purpose machine D");
+        assert_eq!(sys.machine_type_name(MachineTypeId(4)), "AMD A8-3870K");
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = dataset2_system(&mut StdRng::seed_from_u64(7)).unwrap();
+        let b = dataset2_system(&mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synthetic_rows_are_positive_finite_on_general_machines() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sys = dataset2_system(&mut rng).unwrap();
+        for t in 5..30u16 {
+            for m in 4..13u16 {
+                let v = sys.etc().time(TaskTypeId(t), MachineTypeId(m));
+                assert!(v.is_finite() && v > 0.0);
+                let p = sys.epc().power(TaskTypeId(t), MachineTypeId(m));
+                assert!(p.is_finite() && p > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn random_special_spec_has_distinct_sorted_types() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let s = SpecialSpec::random(3, 10, &mut rng);
+            assert_eq!(s.accelerated.len(), 3);
+            for w in s.accelerated.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_base_rejects_name_mismatch() {
+        let etc = real_etc();
+        let epc = real_epc();
+        assert!(DatasetBuilder::from_base(etc, epc, vec!["x".into()], vec!["y".into()]).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_wrong_general_counts() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let b = DatasetBuilder::from_real().general_counts(vec![1, 2]);
+        assert!(b.build(&mut rng).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! Heterogeneity-preserving synthetic data generation (§III-D2).
+//!
+//! Starting from the real 5×9 ETC/EPC matrices, the paper derives larger
+//! data sets in three steps, each reproduced by a module here:
+//!
+//! 1. [`rowavg`] — compute the *row average* (mean across machines) of each
+//!    real task type, fit a Gram-Charlier density to the mean / variance /
+//!    skewness / kurtosis of those averages, and sample row averages for
+//!    new task types.
+//! 2. [`ratios`] — for each machine type, compute the *task type execution
+//!    time ratio* (entry ÷ row average) of the real task types, fit a
+//!    per-machine Gram-Charlier density to those ratios, and sample ratios
+//!    for the new task types; `ETC(new τ, μ) = ratio × row-average(new τ)`.
+//! 3. [`special`] — create special-purpose machine types that execute a
+//!    small subset of task types ~10× faster than the across-machine
+//!    average (EPC is *not* divided by ten).
+//!
+//! [`builder::DatasetBuilder`] wires the steps into complete [`HcSystem`]s;
+//! [`verify`] quantifies how well a generated set preserves the original
+//! heterogeneity measures.
+
+pub mod builder;
+pub mod measures;
+pub mod ranges;
+pub mod ratios;
+pub mod rowavg;
+pub mod special;
+pub mod verify;
+
+pub use builder::{DatasetBuilder, SpecialSpec};
+pub use measures::{matrix_heterogeneity, MatrixHeterogeneity};
+pub use ranges::{range_based_etc, HeterogeneityClass};
+pub use verify::HeterogeneityReport;
+
+use hetsched_data::DataError;
+use hetsched_data::HcSystem;
+use hetsched_stats::StatsError;
+use std::fmt;
+
+// Re-exported for doc-links above.
+#[allow(unused_imports)]
+use hetsched_data as _;
+#[allow(unused_imports)]
+pub(crate) type _SystemAlias = HcSystem;
+
+/// Errors produced by the synthetic-data pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// A statistics step failed (degenerate sample, bad moments, ...).
+    Stats(StatsError),
+    /// A matrix/system construction step failed.
+    Data(DataError),
+    /// The generation request itself is inconsistent.
+    InvalidRequest(&'static str),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Stats(e) => write!(f, "statistics error: {e}"),
+            SynthError::Data(e) => write!(f, "data error: {e}"),
+            SynthError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Stats(e) => Some(e),
+            SynthError::Data(e) => Some(e),
+            SynthError::InvalidRequest(_) => None,
+        }
+    }
+}
+
+impl From<StatsError> for SynthError {
+    fn from(e: StatsError) -> Self {
+        SynthError::Stats(e)
+    }
+}
+
+impl From<DataError> for SynthError {
+    fn from(e: DataError) -> Self {
+        SynthError::Data(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SynthError>;

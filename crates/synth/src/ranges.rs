@@ -1,0 +1,145 @@
+//! The range-based ETC generation method of Ali et al. (*Tamkang J. Sci.
+//! Eng.* 3(3), 2000) — the paper's reference \[15\] for "representing task and
+//! machine heterogeneities". Where §III-D2 grows a data set *from real
+//! measurements*, this classic method synthesises one *from scratch* given
+//! a heterogeneity class, and is the standard baseline the literature
+//! (including the paper's related work) evaluates against.
+//!
+//! `ETC(τ, μ) = τ_b(τ) × ρ(τ, μ)` with `τ_b ~ U(1, R_task)` a per-task
+//! baseline and `ρ ~ U(1, R_machine)` a per-entry machine factor. High/low
+//! values of the two ranges give the four canonical classes (hi-hi, hi-lo,
+//! lo-hi, lo-lo).
+
+use hetsched_data::{TaskTypeId, TypeMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Task/machine heterogeneity class (Ali et al. Table 1 conventions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeterogeneityClass {
+    /// High task heterogeneity, high machine heterogeneity.
+    HiHi,
+    /// High task, low machine.
+    HiLo,
+    /// Low task, high machine.
+    LoHi,
+    /// Low task, low machine.
+    LoLo,
+}
+
+impl HeterogeneityClass {
+    /// `(R_task, R_machine)` upper bounds for the uniform ranges; the
+    /// customary values from the consistent-ETC literature.
+    pub fn ranges(self) -> (f64, f64) {
+        match self {
+            HeterogeneityClass::HiHi => (3000.0, 1000.0),
+            HeterogeneityClass::HiLo => (3000.0, 10.0),
+            HeterogeneityClass::LoHi => (100.0, 1000.0),
+            HeterogeneityClass::LoLo => (100.0, 10.0),
+        }
+    }
+
+    /// All four classes.
+    pub const ALL: [HeterogeneityClass; 4] = [
+        HeterogeneityClass::HiHi,
+        HeterogeneityClass::HiLo,
+        HeterogeneityClass::LoHi,
+        HeterogeneityClass::LoLo,
+    ];
+}
+
+/// Generates an inconsistent range-based ETC matrix of the given class.
+pub fn range_based_etc<R: Rng + ?Sized>(
+    task_types: usize,
+    machine_types: usize,
+    class: HeterogeneityClass,
+    rng: &mut R,
+) -> TypeMatrix {
+    let (r_task, r_machine) = class.ranges();
+    let mut m = TypeMatrix::filled(task_types, machine_types, 0.0);
+    for t in 0..task_types {
+        let baseline = rng.gen_range(1.0..r_task);
+        for c in 0..machine_types {
+            let factor = rng.gen_range(1.0..r_machine);
+            m.set(TaskTypeId(t as u16), hetsched_data::MachineTypeId(c as u16), baseline * factor);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratios::ratio_matrix;
+    use crate::rowavg::row_averages;
+    use hetsched_stats::Moments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrices_are_positive_and_shaped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in HeterogeneityClass::ALL {
+            let m = range_based_etc(20, 8, class, &mut rng);
+            assert_eq!(m.task_types(), 20);
+            assert_eq!(m.machine_types(), 8);
+            assert!(m.validate_positive().is_ok());
+        }
+    }
+
+    #[test]
+    fn hihi_has_more_task_spread_than_lolo() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hi = range_based_etc(200, 8, HeterogeneityClass::HiHi, &mut rng);
+        let lo = range_based_etc(200, 8, HeterogeneityClass::LoLo, &mut rng);
+        let cv = |m: &TypeMatrix| {
+            let avgs = row_averages(m).unwrap();
+            Moments::from_sample(&avgs).unwrap().coefficient_of_variation()
+        };
+        assert!(
+            cv(&hi) > cv(&lo),
+            "hi-hi task CV {} should exceed lo-lo {}",
+            cv(&hi),
+            cv(&lo)
+        );
+    }
+
+    #[test]
+    fn machine_heterogeneity_shows_in_ratio_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hi = range_based_etc(200, 8, HeterogeneityClass::LoHi, &mut rng);
+        let lo = range_based_etc(200, 8, HeterogeneityClass::LoLo, &mut rng);
+        // Within-row spread across machines: std of ratios pooled.
+        let pooled_ratio_sd = |m: &TypeMatrix| {
+            let r = ratio_matrix(m).unwrap();
+            let vals: Vec<f64> = (0..m.task_types())
+                .flat_map(|t| r.row(TaskTypeId(t as u16)).to_vec())
+                .collect();
+            Moments::from_sample(&vals).unwrap().std_dev()
+        };
+        assert!(pooled_ratio_sd(&hi) > pooled_ratio_sd(&lo));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = range_based_etc(10, 5, HeterogeneityClass::HiHi, &mut StdRng::seed_from_u64(7));
+        let b = range_based_etc(10, 5, HeterogeneityClass::HiHi, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    /// The §III-D2 pipeline can fit and regrow a range-based matrix too —
+    /// the two generation methods compose.
+    #[test]
+    fn gram_charlier_pipeline_accepts_range_based_base() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = range_based_etc(10, 6, HeterogeneityClass::HiHi, &mut rng);
+        let model = crate::rowavg::RowAverageModel::fit(&base).unwrap();
+        let ratios = crate::ratios::RatioModel::fit(&base).unwrap();
+        for _ in 0..50 {
+            let avg = model.sample(&mut rng);
+            let row = ratios.sample_row(avg, &mut rng);
+            assert_eq!(row.len(), 6);
+            assert!(row.iter().all(|v| *v > 0.0 && v.is_finite()));
+        }
+    }
+}

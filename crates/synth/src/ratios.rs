@@ -1,0 +1,178 @@
+//! Step 2 of §III-D2: per-machine *task type execution time ratios*.
+//!
+//! The ratio of a (task type, machine type) pair is its matrix entry divided
+//! by the task type's row average — values below 1 mark machines faster
+//! than average for that task, above 1 slower. For each machine type the
+//! ratios of the *real* task types are fitted with a Gram-Charlier density;
+//! sampling it yields ratios for new task types on that machine, preserving
+//! both the machine's relative performance and the task heterogeneity
+//! across it.
+
+use crate::rowavg::row_averages;
+use crate::{Result, SynthError};
+use hetsched_data::{MachineTypeId, TaskTypeId, TypeMatrix};
+use hetsched_stats::{GramCharlier, Moments, TabulatedSampler};
+use rand::Rng;
+
+/// Per-machine ratio models fitted to a source matrix.
+#[derive(Debug, Clone)]
+pub struct RatioModel {
+    /// One target-moments record per machine type (for verification).
+    pub targets: Vec<Moments>,
+    samplers: Vec<TabulatedSampler>,
+}
+
+/// Computes the ratio matrix entry ÷ row-average for all finite entries;
+/// infinite entries (incompatible pairs) are preserved.
+///
+/// # Errors
+///
+/// [`SynthError::InvalidRequest`] when a row has no finite entry.
+pub fn ratio_matrix(matrix: &TypeMatrix) -> Result<TypeMatrix> {
+    let avgs = row_averages(matrix)?;
+    let mut out = TypeMatrix::filled(matrix.task_types(), matrix.machine_types(), 0.0);
+    for (t, &avg) in avgs.iter().enumerate() {
+        let tid = TaskTypeId(t as u16);
+        for m in 0..matrix.machine_types() {
+            let mid = MachineTypeId(m as u16);
+            let v = matrix.get(tid, mid);
+            out.set(tid, mid, if v.is_finite() { v / avg } else { f64::INFINITY });
+        }
+    }
+    Ok(out)
+}
+
+impl RatioModel {
+    /// Fits one Gram-Charlier ratio density per machine type.
+    ///
+    /// # Errors
+    ///
+    /// Propagates moment/sampler failures; a machine column needs at least
+    /// two finite ratios with non-zero variance.
+    pub fn fit(matrix: &TypeMatrix) -> Result<Self> {
+        let ratios = ratio_matrix(matrix)?;
+        let mut targets = Vec::with_capacity(matrix.machine_types());
+        let mut samplers = Vec::with_capacity(matrix.machine_types());
+        for m in 0..matrix.machine_types() {
+            let col: Vec<f64> = ratios
+                .column(MachineTypeId(m as u16))
+                .filter(|v| v.is_finite())
+                .collect();
+            let target = Moments::from_sample(&col)?;
+            let gc = GramCharlier::new(&target)?;
+            samplers.push(gc.positive_sampler()?);
+            targets.push(target);
+        }
+        Ok(RatioModel { targets, samplers })
+    }
+
+    /// Number of machine types modelled.
+    pub fn machine_types(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Samples an execution-time ratio for a new task type on machine `m`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, m: MachineTypeId, rng: &mut R) -> f64 {
+        self.samplers[m.index()].sample(rng)
+    }
+
+    /// Samples a full new-task-type row given its row average: one ratio per
+    /// machine type, multiplied by the row average.
+    pub fn sample_row<R: Rng + ?Sized>(&self, row_average: f64, rng: &mut R) -> Vec<f64> {
+        (0..self.samplers.len())
+            .map(|m| self.sample(MachineTypeId(m as u16), rng) * row_average)
+            .collect()
+    }
+}
+
+/// Convenience: returns `(RowAverage ratios were taken from, RatioModel)`
+/// fitted from the same matrix, guaranteeing consistency.
+pub fn fit_ratio_model(matrix: &TypeMatrix) -> Result<RatioModel> {
+    if matrix.task_types() < 2 {
+        return Err(SynthError::InvalidRequest("need at least two task types to fit ratios"));
+    }
+    RatioModel::fit(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_data::real_etc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_example_ratios() {
+        // Task takes 8 min on A, 12 min on B, row average 10 → ratios .8 / 1.2.
+        let m = TypeMatrix::from_rows(1, 2, vec![8.0, 12.0]).unwrap();
+        let r = ratio_matrix(&m).unwrap();
+        assert!((r.get(TaskTypeId(0), MachineTypeId(0)) - 0.8).abs() < 1e-12);
+        assert!((r.get(TaskTypeId(0), MachineTypeId(1)) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_average_to_one_per_row() {
+        let r = ratio_matrix(&real_etc().0).unwrap();
+        for t in 0..5 {
+            let avg = r.row_average(TaskTypeId(t as u16)).unwrap();
+            assert!((avg - 1.0).abs() < 1e-12, "row {t} ratio average {avg}");
+        }
+    }
+
+    #[test]
+    fn fast_machines_have_ratios_below_one() {
+        let r = ratio_matrix(&real_etc().0).unwrap();
+        // Machine 6 (3960X @ 4.2 GHz) is fastest on every task.
+        for v in r.column(MachineTypeId(6)) {
+            assert!(v < 1.0);
+        }
+        // Machine 0 (A8-3870K) is slowest on every task.
+        for v in r.column(MachineTypeId(0)) {
+            assert!(v > 1.0);
+        }
+    }
+
+    #[test]
+    fn infinite_entries_stay_infinite() {
+        let m = TypeMatrix::from_rows(2, 2, vec![2.0, f64::INFINITY, 3.0, 6.0]).unwrap();
+        let r = ratio_matrix(&m).unwrap();
+        assert!(r.get(TaskTypeId(0), MachineTypeId(1)).is_infinite());
+        // Row 0 average is 2.0 (only finite entry), so ratio is 1.0.
+        assert!((r.get(TaskTypeId(0), MachineTypeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_ratios_preserve_machine_ordering_in_expectation() {
+        let model = fit_ratio_model(&real_etc().0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 20_000;
+        let mean_ratio = |m: u16, rng: &mut StdRng| -> f64 {
+            (0..n).map(|_| model.sample(MachineTypeId(m), rng)).sum::<f64>() / n as f64
+        };
+        let fast = mean_ratio(6, &mut rng);
+        let slow = mean_ratio(0, &mut rng);
+        assert!(
+            fast < slow,
+            "fast machine mean ratio {fast} should stay below slow machine {slow}"
+        );
+        assert!(fast < 1.0 && slow > 1.0);
+    }
+
+    #[test]
+    fn sample_row_scales_by_row_average() {
+        let model = fit_ratio_model(&real_etc().0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let row = model.sample_row(100.0, &mut rng);
+        assert_eq!(row.len(), 9);
+        for v in row {
+            assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn single_row_matrix_is_rejected() {
+        let m = TypeMatrix::from_rows(1, 2, vec![1.0, 2.0]).unwrap();
+        assert!(fit_ratio_model(&m).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Step 3 of §III-D2: special-purpose machine types.
+//!
+//! "Special-purpose machine types are modeled to perform around 10× faster
+//! than the general-purpose machine types for a small number of task types
+//! (two to three for each special purpose machine type). ... The average
+//! execution time for each task type is divided by ten and is then used as
+//! the ETC value for the special-purpose machine type. When calculating EPC
+//! values, the average power consumption across the machines is not divided
+//! by ten."
+
+use crate::rowavg::row_averages;
+use crate::{Result, SynthError};
+use hetsched_data::{TaskTypeId, TypeMatrix};
+
+/// The paper's special-purpose speed-up factor.
+pub const SPECIAL_SPEEDUP: f64 = 10.0;
+
+/// Builds the ETC column for one special-purpose machine type: row-average
+/// ÷ 10 for the accelerated task types, `+∞` (incompatible) for the rest.
+///
+/// # Errors
+///
+/// [`SynthError::InvalidRequest`] when `accelerated` is empty or references
+/// an out-of-range task type.
+pub fn special_etc_column(etc: &TypeMatrix, accelerated: &[TaskTypeId]) -> Result<Vec<f64>> {
+    if accelerated.is_empty() {
+        return Err(SynthError::InvalidRequest("special machine accelerates no task types"));
+    }
+    if accelerated.iter().any(|t| t.index() >= etc.task_types()) {
+        return Err(SynthError::InvalidRequest("accelerated task type out of range"));
+    }
+    let avgs = row_averages(etc)?;
+    let mut col = vec![f64::INFINITY; etc.task_types()];
+    for &t in accelerated {
+        col[t.index()] = avgs[t.index()] / SPECIAL_SPEEDUP;
+    }
+    Ok(col)
+}
+
+/// Builds the EPC column for one special-purpose machine type: row-average
+/// power for the accelerated task types (NOT divided by ten). Entries for
+/// task types the machine cannot execute are filled with the same average
+/// power — they are never read because the corresponding ETC is `+∞`, but
+/// keeping them finite-positive lets the whole matrix pass validation.
+///
+/// # Errors
+///
+/// Same conditions as [`special_etc_column`].
+pub fn special_epc_column(epc: &TypeMatrix, accelerated: &[TaskTypeId]) -> Result<Vec<f64>> {
+    if accelerated.is_empty() {
+        return Err(SynthError::InvalidRequest("special machine accelerates no task types"));
+    }
+    if accelerated.iter().any(|t| t.index() >= epc.task_types()) {
+        return Err(SynthError::InvalidRequest("accelerated task type out of range"));
+    }
+    let avgs = row_averages(epc)?;
+    Ok(avgs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn etc() -> TypeMatrix {
+        TypeMatrix::from_rows(3, 2, vec![10.0, 30.0, 40.0, 60.0, 5.0, 15.0]).unwrap()
+    }
+
+    #[test]
+    fn etc_column_divides_row_average_by_ten() {
+        let col = special_etc_column(&etc(), &[TaskTypeId(0), TaskTypeId(2)]).unwrap();
+        assert!((col[0] - 2.0).abs() < 1e-12); // rowavg 20 / 10
+        assert!(col[1].is_infinite());
+        assert!((col[2] - 1.0).abs() < 1e-12); // rowavg 10 / 10
+    }
+
+    #[test]
+    fn epc_column_keeps_row_average_power() {
+        let epc = TypeMatrix::from_rows(2, 2, vec![100.0, 140.0, 80.0, 120.0]).unwrap();
+        let col = special_epc_column(&epc, &[TaskTypeId(0)]).unwrap();
+        assert!((col[0] - 120.0).abs() < 1e-12);
+        assert!((col[1] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn special_is_faster_than_every_general_machine() {
+        let m = etc();
+        let col = special_etc_column(&m, &[TaskTypeId(1)]).unwrap();
+        for mt in 0..2 {
+            let general = m.get(TaskTypeId(1), hetsched_data::MachineTypeId(mt));
+            assert!(col[1] < general, "special {} vs general {general}", col[1]);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_out_of_range() {
+        assert!(special_etc_column(&etc(), &[]).is_err());
+        assert!(special_etc_column(&etc(), &[TaskTypeId(9)]).is_err());
+        let epc = TypeMatrix::filled(2, 2, 100.0);
+        assert!(special_epc_column(&epc, &[]).is_err());
+        assert!(special_epc_column(&epc, &[TaskTypeId(5)]).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Trace import/export — the adoption path the paper's conclusion promises
+//! ("provides the ability to take traces from any given system").
+//!
+//! The CSV schema is one row per task:
+//!
+//! ```text
+//! task_type,arrival_s,priority,urgency
+//! 3,12.75,8.0,0.004
+//! ```
+//!
+//! TUF characteristic classes are policy, not trace, data: on import each
+//! task's priority/urgency is combined with a caller-supplied class
+//! template (usually [`crate::TufPolicy`]-style), mirroring how the ESSC
+//! separates administrator policy from per-task parameters.
+
+use crate::trace::{Task, TaskId, Trace};
+use crate::tuf::{TufBuilder, UtilityClass};
+use crate::{Result, WorkloadError};
+use hetsched_data::TaskTypeId;
+use std::fmt::Write as _;
+
+/// Exports a trace to the CSV schema above.
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from("task_type,arrival_s,priority,urgency\n");
+    for t in trace.tasks() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            t.task_type.0,
+            t.arrival,
+            t.tuf.priority(),
+            t.tuf.urgency()
+        );
+    }
+    out
+}
+
+/// Imports a trace from CSV, attaching the given characteristic-class
+/// template and final fraction to every task's (priority, urgency) pair.
+///
+/// # Errors
+///
+/// [`WorkloadError::InvalidTrace`] on malformed rows;
+/// [`WorkloadError::InvalidTuf`] / [`WorkloadError::NonMonotoneTuf`] when a
+/// row's parameters cannot form a valid TUF with the template.
+pub fn trace_from_csv(
+    csv: &str,
+    duration: f64,
+    classes: &[UtilityClass],
+    final_fraction: f64,
+) -> Result<Trace> {
+    let mut tasks = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut field = |name: &'static str| {
+            fields
+                .next()
+                .ok_or(WorkloadError::InvalidTrace(name))
+                .and_then(|v| v.trim().parse::<f64>().map_err(|_| WorkloadError::InvalidTrace(name)))
+        };
+        let task_type = field("task_type")? as u16;
+        let arrival = field("arrival_s")?;
+        let priority = field("priority")?;
+        let urgency = field("urgency")?;
+        let mut builder = TufBuilder::new(priority).urgency(urgency);
+        for c in classes {
+            builder = builder.class(*c);
+        }
+        let tuf = builder.final_fraction(final_fraction).build()?;
+        tasks.push(Task {
+            id: TaskId(tasks.len() as u32),
+            task_type: TaskTypeId(task_type),
+            arrival,
+            tuf,
+        });
+    }
+    Trace::new(tasks, duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn template() -> Vec<UtilityClass> {
+        vec![UtilityClass {
+            duration: 600.0,
+            begin_fraction: 1.0,
+            end_fraction: 0.0,
+            urgency_modifier: 1.0,
+        }]
+    }
+
+    #[test]
+    fn roundtrip_preserves_task_parameters() {
+        let trace = TraceGenerator::new(25, 900.0, 5)
+            .generate(&mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let csv = trace_to_csv(&trace);
+        let back = trace_from_csv(&csv, 900.0, &template(), 0.0).unwrap();
+        assert_eq!(back.len(), 25);
+        for (a, b) in trace.tasks().iter().zip(back.tasks()) {
+            assert_eq!(a.task_type, b.task_type);
+            assert!((a.arrival - b.arrival).abs() < 1e-12);
+            assert!((a.tuf.priority() - b.tuf.priority()).abs() < 1e-12);
+            assert!((a.tuf.urgency() - b.tuf.urgency()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn import_sorts_by_arrival() {
+        let csv = "task_type,arrival_s,priority,urgency\n1,500,1,0.01\n0,100,2,0.01\n";
+        let trace = trace_from_csv(csv, 900.0, &template(), 0.0).unwrap();
+        assert_eq!(trace.tasks()[0].arrival, 100.0);
+        assert_eq!(trace.tasks()[0].id, TaskId(0));
+        assert_eq!(trace.tasks()[1].arrival, 500.0);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let missing = "task_type,arrival_s,priority,urgency\n1,500,1\n";
+        assert!(trace_from_csv(missing, 900.0, &template(), 0.0).is_err());
+        let garbage = "task_type,arrival_s,priority,urgency\nx,500,1,0.01\n";
+        assert!(trace_from_csv(garbage, 900.0, &template(), 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_tuf_parameters() {
+        // Negative priority fails TUF validation.
+        let csv = "task_type,arrival_s,priority,urgency\n1,500,-2,0.01\n";
+        assert!(trace_from_csv(csv, 900.0, &template(), 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_window_arrival() {
+        let csv = "task_type,arrival_s,priority,urgency\n1,950,1,0.01\n";
+        assert!(trace_from_csv(csv, 900.0, &template(), 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_body_is_invalid() {
+        let csv = "task_type,arrival_s,priority,urgency\n";
+        assert!(trace_from_csv(csv, 900.0, &template(), 0.0).is_err());
+    }
+}

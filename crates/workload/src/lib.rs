@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Workload substrate: tasks, arrival traces, and time-utility functions.
+//!
+//! The paper's system performance metric is **total utility earned** (§IV-B1):
+//! every task carries a monotonically-decreasing *time-utility function*
+//! (TUF) parameterised by **priority** (maximum obtainable utility),
+//! **urgency** (decay rate), and a sequence of **utility characteristic
+//! classes** (discrete intervals with begin/end percentages of maximum
+//! priority and an urgency modifier).
+//!
+//! Because the analysis is a *post-mortem static* study, the workload is a
+//! **trace**: a list of tasks with known arrival times over a fixed window
+//! (250 tasks / 15 min, 1000 tasks / 15 min, 4000 tasks / 1 h in the paper's
+//! three data sets).
+
+pub mod io;
+pub mod policy;
+pub mod trace;
+pub mod tuf;
+
+pub use io::{trace_from_csv, trace_to_csv};
+pub use policy::TufPolicy;
+pub use trace::{ArrivalProcess, Task, TaskId, Trace, TraceGenerator};
+pub use tuf::{Tuf, TufBuilder, UtilityClass};
+
+use std::fmt;
+
+/// Errors produced by the workload substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A TUF parameter violates its domain.
+    InvalidTuf(&'static str),
+    /// The constructed TUF would not be monotonically non-increasing.
+    NonMonotoneTuf {
+        /// Index of the offending class.
+        class: usize,
+    },
+    /// Trace generation parameters are inconsistent.
+    InvalidTrace(&'static str),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidTuf(what) => write!(f, "invalid TUF: {what}"),
+            WorkloadError::NonMonotoneTuf { class } => {
+                write!(f, "TUF not monotone at class {class}")
+            }
+            WorkloadError::InvalidTrace(what) => write!(f, "invalid trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

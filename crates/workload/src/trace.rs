@@ -1,0 +1,416 @@
+//! Task traces (§III-C, §V-A).
+//!
+//! A trace records every task that arrived in a fixed window — its type,
+//! arrival time, and TUF — making the allocation problem *static*: all
+//! information is known a priori, as in the paper's post-mortem analysis.
+
+use crate::policy::TufPolicy;
+use crate::tuf::Tuf;
+use crate::{Result, WorkloadError};
+use hetsched_data::TaskTypeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task within a trace. Task ids are assigned in arrival
+/// order, so `TaskId(i)` is the i-th task to arrive — the convention the
+/// chromosome encoding relies on ("the ith gene in every chromosome
+/// corresponds to the ith task ordered based on task arrival times").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Zero-based index into the trace.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One task in the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Trace-wide identifier (arrival rank).
+    pub id: TaskId,
+    /// The task's type (ETC/EPC row).
+    pub task_type: TaskTypeId,
+    /// Arrival time in seconds from the start of the window.
+    pub arrival: f64,
+    /// The task's time-utility function.
+    pub tuf: Tuf,
+}
+
+/// A complete trace over a time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    tasks: Vec<Task>,
+    /// Window length in seconds.
+    duration: f64,
+}
+
+impl Trace {
+    /// Builds a trace from tasks, sorting by arrival and re-assigning ids in
+    /// arrival order.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidTrace`] for an empty task list, non-positive
+    /// duration, or arrivals outside `[0, duration]`.
+    pub fn new(mut tasks: Vec<Task>, duration: f64) -> Result<Self> {
+        if tasks.is_empty() {
+            return Err(WorkloadError::InvalidTrace("no tasks"));
+        }
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err(WorkloadError::InvalidTrace("duration must be finite and > 0"));
+        }
+        if tasks.iter().any(|t| !t.arrival.is_finite() || t.arrival < 0.0 || t.arrival > duration)
+        {
+            return Err(WorkloadError::InvalidTrace("arrival outside [0, duration]"));
+        }
+        tasks.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        for (i, t) in tasks.iter_mut().enumerate() {
+            t.id = TaskId(i as u32);
+        }
+        Ok(Trace { tasks, duration })
+    }
+
+    /// The tasks, sorted by arrival time.
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks (the chromosome length `T`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the trace is empty (never true for a validated trace).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Window length in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Task by id.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Upper bound on total utility: every task earns its full priority.
+    pub fn max_possible_utility(&self) -> f64 {
+        self.tasks.iter().map(|t| t.tuf.priority()).sum()
+    }
+
+    /// Restores derived TUF state after serde deserialisation.
+    pub fn after_deserialize(mut self) -> Self {
+        for t in &mut self.tasks {
+            let tuf = std::mem::replace(&mut t.tuf, Tuf::constant(1.0));
+            t.tuf = tuf.after_deserialize();
+        }
+        self
+    }
+}
+
+/// Arrival-time processes for synthetic traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// A Poisson process conditioned on the task count: arrivals are i.i.d.
+    /// uniform over the window (order statistics property). The paper's
+    /// "tasks arrive dynamically throughout the day" default.
+    PoissonConditioned,
+    /// Evenly spaced arrivals (deterministic, useful for tests).
+    Even,
+    /// `bursts` equally-spaced bursts; tasks cluster near burst centres
+    /// with the given spread (seconds). Models diurnal submission spikes.
+    Bursty {
+        /// Number of bursts in the window.
+        bursts: u8,
+        /// Gaussian spread of each burst (seconds).
+        spread: f64,
+    },
+    /// A smoothly varying intensity `λ(t) ∝ 1 + amplitude·sin²(πt/T)`
+    /// sampled by thinning — a single work-day hump (quiet edges, busy
+    /// middle) without the hard clustering of [`ArrivalProcess::Bursty`].
+    Diurnal {
+        /// Peak-to-trough intensity ratio minus one (0 = uniform).
+        amplitude: f64,
+    },
+}
+
+/// Generator for synthetic traces against a system with `task_types` types.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    /// Number of tasks to generate.
+    pub tasks: usize,
+    /// Window length in seconds (paper: 900 s or 3600 s).
+    pub duration: f64,
+    /// Number of task types to draw from.
+    pub task_types: usize,
+    /// Optional relative weight per task type (uniform when `None`; length
+    /// must equal `task_types` and weights must be non-negative with a
+    /// positive sum).
+    pub type_weights: Option<Vec<f64>>,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// TUF policy.
+    pub policy: TufPolicy,
+}
+
+impl TraceGenerator {
+    /// Convenience constructor with uniform type mix, Poisson arrivals, and
+    /// the default ESSC policy.
+    pub fn new(tasks: usize, duration: f64, task_types: usize) -> Self {
+        TraceGenerator {
+            tasks,
+            duration,
+            task_types,
+            type_weights: None,
+            arrivals: ArrivalProcess::PoissonConditioned,
+            policy: TufPolicy::essc_default(),
+        }
+    }
+
+    /// Generates a trace.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidTrace`] when `tasks == 0`, `task_types == 0`,
+    /// or the duration is invalid.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Trace> {
+        if self.tasks == 0 {
+            return Err(WorkloadError::InvalidTrace("tasks must be > 0"));
+        }
+        if self.task_types == 0 {
+            return Err(WorkloadError::InvalidTrace("task_types must be > 0"));
+        }
+        if let Some(w) = &self.type_weights {
+            if w.len() != self.task_types {
+                return Err(WorkloadError::InvalidTrace("type_weights length mismatch"));
+            }
+            if w.iter().any(|&x| !x.is_finite() || x < 0.0) || w.iter().sum::<f64>() <= 0.0 {
+                return Err(WorkloadError::InvalidTrace(
+                    "type_weights must be non-negative with a positive sum",
+                ));
+            }
+        }
+        let mut tasks = Vec::with_capacity(self.tasks);
+        for i in 0..self.tasks {
+            let arrival = match self.arrivals {
+                ArrivalProcess::PoissonConditioned => rng.gen::<f64>() * self.duration,
+                ArrivalProcess::Even => {
+                    self.duration * (i as f64 + 0.5) / self.tasks as f64
+                }
+                ArrivalProcess::Bursty { bursts, spread } => {
+                    let b = rng.gen_range(0..bursts.max(1)) as f64;
+                    let centre = self.duration * (b + 0.5) / bursts.max(1) as f64;
+                    // Box-Muller normal around the burst centre.
+                    let (u1, u2) = (rng.gen::<f64>().max(1e-12), rng.gen::<f64>());
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    (centre + z * spread).clamp(0.0, self.duration)
+                }
+                ArrivalProcess::Diurnal { amplitude } => {
+                    // Thinning against the max intensity 1 + amplitude.
+                    let amplitude = amplitude.max(0.0);
+                    loop {
+                        let t = rng.gen::<f64>() * self.duration;
+                        let s = (std::f64::consts::PI * t / self.duration).sin();
+                        let intensity = 1.0 + amplitude * s * s;
+                        if rng.gen::<f64>() * (1.0 + amplitude) <= intensity {
+                            break t;
+                        }
+                    }
+                }
+            };
+            let task_type = match &self.type_weights {
+                None => TaskTypeId(rng.gen_range(0..self.task_types) as u16),
+                Some(weights) => {
+                    let total: f64 = weights.iter().sum();
+                    let mut u = rng.gen::<f64>() * total;
+                    let mut chosen = self.task_types - 1;
+                    for (t, &w) in weights.iter().enumerate() {
+                        if u < w {
+                            chosen = t;
+                            break;
+                        }
+                        u -= w;
+                    }
+                    TaskTypeId(chosen as u16)
+                }
+            };
+            tasks.push(Task {
+                id: TaskId(i as u32),
+                task_type,
+                arrival,
+                tuf: self.policy.draw(rng),
+            });
+        }
+        Trace::new(tasks, self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(n: usize, proc_: ArrivalProcess) -> Trace {
+        let mut g = TraceGenerator::new(n, 900.0, 5);
+        g.arrivals = proc_;
+        g.generate(&mut StdRng::seed_from_u64(11)).unwrap()
+    }
+
+    #[test]
+    fn tasks_sorted_by_arrival_with_rank_ids() {
+        let trace = gen(250, ArrivalProcess::PoissonConditioned);
+        assert_eq!(trace.len(), 250);
+        for (i, w) in trace.tasks().windows(2).enumerate() {
+            assert!(w[0].arrival <= w[1].arrival, "unsorted at {i}");
+        }
+        for (i, t) in trace.tasks().iter().enumerate() {
+            assert_eq!(t.id, TaskId(i as u32));
+        }
+    }
+
+    #[test]
+    fn arrivals_inside_window() {
+        for p in [
+            ArrivalProcess::PoissonConditioned,
+            ArrivalProcess::Even,
+            ArrivalProcess::Bursty { bursts: 3, spread: 60.0 },
+            ArrivalProcess::Diurnal { amplitude: 4.0 },
+        ] {
+            let trace = gen(100, p);
+            for t in trace.tasks() {
+                assert!((0.0..=900.0).contains(&t.arrival));
+            }
+        }
+    }
+
+    #[test]
+    fn even_arrivals_are_equally_spaced() {
+        let trace = gen(9, ArrivalProcess::Even);
+        let gaps: Vec<f64> =
+            trace.tasks().windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
+        for g in gaps {
+            assert!((g - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn task_types_cover_range() {
+        let trace = gen(500, ArrivalProcess::PoissonConditioned);
+        let mut seen = [false; 5];
+        for t in trace.tasks() {
+            assert!(t.task_type.index() < 5);
+            seen[t.task_type.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 5 task types should appear in 500 draws");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = TraceGenerator::new(50, 900.0, 5);
+        let a = g.generate(&mut StdRng::seed_from_u64(99)).unwrap();
+        let b = g.generate(&mut StdRng::seed_from_u64(99)).unwrap();
+        assert_eq!(a, b);
+        let c = g.generate(&mut StdRng::seed_from_u64(100)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(TraceGenerator::new(0, 900.0, 5).generate(&mut rng).is_err());
+        assert!(TraceGenerator::new(10, 900.0, 0).generate(&mut rng).is_err());
+        assert!(TraceGenerator::new(10, 0.0, 5).generate(&mut rng).is_err());
+    }
+
+    #[test]
+    fn diurnal_arrivals_concentrate_mid_window() {
+        let trace = gen(4000, ArrivalProcess::Diurnal { amplitude: 6.0 });
+        let mid = trace
+            .tasks()
+            .iter()
+            .filter(|t| (300.0..600.0).contains(&t.arrival))
+            .count() as f64;
+        let edge = trace
+            .tasks()
+            .iter()
+            .filter(|t| t.arrival < 150.0 || t.arrival > 750.0)
+            .count() as f64;
+        // Middle third should be far denser than the outer sixths combined.
+        assert!(mid > 1.5 * edge, "mid {mid} vs edge {edge}");
+    }
+
+    #[test]
+    fn weighted_mix_respects_weights() {
+        let mut g = TraceGenerator::new(6000, 900.0, 3);
+        g.type_weights = Some(vec![0.0, 3.0, 1.0]);
+        let trace = g.generate(&mut StdRng::seed_from_u64(5)).unwrap();
+        let mut counts = [0usize; 3];
+        for t in trace.tasks() {
+            counts[t.task_type.index()] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-weight type must never appear");
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "3:1 mix expected, got {ratio}");
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = TraceGenerator::new(10, 900.0, 3);
+        g.type_weights = Some(vec![1.0, 1.0]); // wrong length
+        assert!(g.generate(&mut rng).is_err());
+        g.type_weights = Some(vec![0.0, 0.0, 0.0]); // zero sum
+        assert!(g.generate(&mut rng).is_err());
+        g.type_weights = Some(vec![1.0, -1.0, 1.0]); // negative
+        assert!(g.generate(&mut rng).is_err());
+    }
+
+    #[test]
+    fn trace_new_validates_arrivals() {
+        let g = TraceGenerator::new(3, 900.0, 2);
+        let trace = g.generate(&mut StdRng::seed_from_u64(1)).unwrap();
+        let mut tasks = trace.tasks().to_vec();
+        tasks[0].arrival = -1.0;
+        assert!(Trace::new(tasks.clone(), 900.0).is_err());
+        tasks[0].arrival = 901.0;
+        assert!(Trace::new(tasks, 900.0).is_err());
+        assert!(Trace::new(vec![], 900.0).is_err());
+    }
+
+    #[test]
+    fn max_possible_utility_sums_priorities() {
+        let trace = gen(100, ArrivalProcess::Even);
+        let sum: f64 = trace.tasks().iter().map(|t| t.tuf.priority()).sum();
+        assert_eq!(trace.max_possible_utility(), sum);
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_utilities() {
+        let trace = gen(20, ArrivalProcess::PoissonConditioned);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        let back = back.after_deserialize();
+        for (a, b) in trace.tasks().iter().zip(back.tasks()) {
+            assert_eq!(a.id, b.id);
+            assert!((a.tuf.utility(123.0) - b.tuf.utility(123.0)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Time-utility functions (§IV-B1, Fig. 1).
+//!
+//! A TUF maps the time a task has spent in the system (completion time minus
+//! arrival time) to the utility it earns. It is assembled from:
+//!
+//! * **priority** P — the maximum obtainable utility,
+//! * **urgency** u — the base decay rate (1/seconds),
+//! * a sequence of **utility characteristic classes**: each class occupies a
+//!   time interval and specifies a *beginning* and *ending percentage of
+//!   maximum priority* plus an *urgency modifier* scaling the decay rate
+//!   inside that interval.
+//!
+//! Within class `i` spanning `[tᵢ, tᵢ₊₁)` the utility is
+//!
+//! ```text
+//! Υ(t) = P · max(endᵢ, beginᵢ · exp(−u·modᵢ·(t − tᵢ)))
+//! ```
+//!
+//! i.e. exponential decay from the class's begin level, floored at its end
+//! level; class boundaries may step *down* (Fig. 1 shows such drops). After
+//! the last class the utility stays at a constant `final` fraction
+//! (typically zero — a soft deadline). Monotonicity is enforced at
+//! construction: each class must begin at or below the level where the
+//! previous class can end.
+
+use crate::{Result, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+/// One utility characteristic class (a discrete interval of the TUF).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityClass {
+    /// Interval length in seconds (must be > 0).
+    pub duration: f64,
+    /// Utility at the start of the interval, as a fraction of priority.
+    pub begin_fraction: f64,
+    /// Floor utility inside the interval, as a fraction of priority.
+    pub end_fraction: f64,
+    /// Multiplier applied to the base urgency inside this interval
+    /// (0 ⇒ flat at `begin_fraction` until the floor/boundary).
+    pub urgency_modifier: f64,
+}
+
+/// A monotonically non-increasing time-utility function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuf {
+    priority: f64,
+    urgency: f64,
+    classes: Vec<UtilityClass>,
+    /// Utility fraction after the last class.
+    final_fraction: f64,
+    /// Precomputed class start offsets (len = classes.len()).
+    #[serde(skip)]
+    starts: Vec<f64>,
+}
+
+impl Tuf {
+    /// Maximum obtainable utility (the task's priority).
+    #[inline]
+    pub fn priority(&self) -> f64 {
+        self.priority
+    }
+
+    /// Base urgency (decay rate, 1/s).
+    #[inline]
+    pub fn urgency(&self) -> f64 {
+        self.urgency
+    }
+
+    /// The characteristic classes.
+    #[inline]
+    pub fn classes(&self) -> &[UtilityClass] {
+        &self.classes
+    }
+
+    /// Utility fraction earned after every class has elapsed.
+    #[inline]
+    pub fn final_fraction(&self) -> f64 {
+        self.final_fraction
+    }
+
+    /// Total span of the classes; beyond this the TUF is constant.
+    pub fn horizon(&self) -> f64 {
+        self.classes.iter().map(|c| c.duration).sum()
+    }
+
+    /// Evaluates the TUF at `elapsed` seconds since arrival. Negative input
+    /// (completion before arrival — impossible in a valid schedule) is
+    /// treated as 0.
+    pub fn utility(&self, elapsed: f64) -> f64 {
+        let t = elapsed.max(0.0);
+        // Linear scan: TUFs have a handful of classes, and this is the
+        // hot path of fitness evaluation — binary search would lose.
+        for (i, class) in self.classes.iter().enumerate() {
+            let start = self.starts[i];
+            if t < start + class.duration {
+                let decayed = class.begin_fraction
+                    * (-self.urgency * class.urgency_modifier * (t - start)).exp();
+                return self.priority * decayed.max(class.end_fraction);
+            }
+        }
+        self.priority * self.final_fraction
+    }
+
+    /// Rebuilds the precomputed offsets (used after deserialisation, where
+    /// `starts` is skipped).
+    fn rebuild_starts(&mut self) {
+        self.starts.clear();
+        let mut acc = 0.0;
+        for c in &self.classes {
+            self.starts.push(acc);
+            acc += c.duration;
+        }
+    }
+
+    /// Restores derived state after serde deserialisation.
+    pub fn after_deserialize(mut self) -> Self {
+        self.rebuild_starts();
+        self
+    }
+
+    /// A TUF that earns `priority` regardless of completion time.
+    pub fn constant(priority: f64) -> Self {
+        TufBuilder::new(priority).final_fraction(1.0).build().expect("constant TUF is valid")
+    }
+
+    /// A hard-deadline TUF: full priority until `deadline` seconds after
+    /// arrival, zero afterwards.
+    pub fn hard_deadline(priority: f64, deadline: f64) -> Result<Self> {
+        TufBuilder::new(priority)
+            .class(UtilityClass {
+                duration: deadline,
+                begin_fraction: 1.0,
+                end_fraction: 1.0,
+                urgency_modifier: 0.0,
+            })
+            .build()
+    }
+
+    /// Smallest elapsed time at which the utility has dropped to or below
+    /// `fraction` of priority (∞ if it never does). Used by the task-dropping
+    /// extension to decide whether a task is still worth scheduling.
+    pub fn time_to_fraction(&self, fraction: f64) -> f64 {
+        if self.final_fraction > fraction {
+            return f64::INFINITY;
+        }
+        let mut t = 0.0;
+        for class in &self.classes {
+            if class.end_fraction <= fraction {
+                // The drop happens inside this class (or at its start).
+                if class.begin_fraction <= fraction {
+                    return t;
+                }
+                let rate = self.urgency * class.urgency_modifier;
+                if rate > 0.0 {
+                    let dt = (class.begin_fraction / fraction.max(1e-300)).ln() / rate;
+                    if dt <= class.duration {
+                        return t + dt;
+                    }
+                }
+            }
+            t += class.duration;
+        }
+        t
+    }
+}
+
+/// Builder for [`Tuf`] with monotonicity validation.
+///
+/// ```
+/// use hetsched_workload::{TufBuilder, UtilityClass};
+///
+/// // Priority 10, decaying to nothing over a 5-minute soft deadline.
+/// let tuf = TufBuilder::new(10.0)
+///     .urgency(0.01)
+///     .class(UtilityClass {
+///         duration: 300.0,
+///         begin_fraction: 1.0,
+///         end_fraction: 0.0,
+///         urgency_modifier: 1.0,
+///     })
+///     .build()
+///     .unwrap();
+/// assert_eq!(tuf.utility(0.0), 10.0);
+/// assert!(tuf.utility(100.0) < 10.0);
+/// assert_eq!(tuf.utility(1e6), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TufBuilder {
+    priority: f64,
+    urgency: f64,
+    classes: Vec<UtilityClass>,
+    final_fraction: f64,
+}
+
+impl TufBuilder {
+    /// Starts a TUF with the given priority, base urgency 1.0, no classes,
+    /// and a final fraction of 0 (utility fully decays).
+    pub fn new(priority: f64) -> Self {
+        TufBuilder { priority, urgency: 1.0, classes: Vec::new(), final_fraction: 0.0 }
+    }
+
+    /// Sets the base urgency (decay rate, 1/s).
+    pub fn urgency(mut self, urgency: f64) -> Self {
+        self.urgency = urgency;
+        self
+    }
+
+    /// Appends a characteristic class.
+    pub fn class(mut self, class: UtilityClass) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// Sets the utility fraction earned after the last class.
+    pub fn final_fraction(mut self, fraction: f64) -> Self {
+        self.final_fraction = fraction;
+        self
+    }
+
+    /// Validates and builds the TUF.
+    ///
+    /// # Errors
+    ///
+    /// * [`WorkloadError::InvalidTuf`] — non-finite or out-of-domain
+    ///   parameters (priority ≤ 0, urgency < 0, fractions outside [0, 1],
+    ///   class duration ≤ 0, begin < end within a class).
+    /// * [`WorkloadError::NonMonotoneTuf`] — a class begins above the lowest
+    ///   level the previous class can reach, or the final fraction exceeds
+    ///   the last class's end level.
+    pub fn build(self) -> Result<Tuf> {
+        if !self.priority.is_finite() || self.priority <= 0.0 {
+            return Err(WorkloadError::InvalidTuf("priority must be finite and > 0"));
+        }
+        if !self.urgency.is_finite() || self.urgency < 0.0 {
+            return Err(WorkloadError::InvalidTuf("urgency must be finite and >= 0"));
+        }
+        if !(0.0..=1.0).contains(&self.final_fraction) {
+            return Err(WorkloadError::InvalidTuf("final fraction must be in [0, 1]"));
+        }
+        let mut prev_floor = 1.0f64;
+        for (i, c) in self.classes.iter().enumerate() {
+            if !c.duration.is_finite() || c.duration <= 0.0 {
+                return Err(WorkloadError::InvalidTuf("class duration must be > 0"));
+            }
+            if !(0.0..=1.0).contains(&c.begin_fraction) || !(0.0..=1.0).contains(&c.end_fraction) {
+                return Err(WorkloadError::InvalidTuf("class fractions must be in [0, 1]"));
+            }
+            if c.end_fraction > c.begin_fraction {
+                return Err(WorkloadError::InvalidTuf("class end above its begin"));
+            }
+            if !c.urgency_modifier.is_finite() || c.urgency_modifier < 0.0 {
+                return Err(WorkloadError::InvalidTuf("urgency modifier must be >= 0"));
+            }
+            if c.begin_fraction > prev_floor + 1e-12 {
+                return Err(WorkloadError::NonMonotoneTuf { class: i });
+            }
+            // The lowest level this class can hand to the next one: with a
+            // zero decay rate the level stays at begin_fraction, otherwise
+            // it can fall to end_fraction.
+            prev_floor = if self.urgency * c.urgency_modifier > 0.0 {
+                c.end_fraction
+            } else {
+                c.begin_fraction
+            };
+        }
+        if self.final_fraction > prev_floor + 1e-12 {
+            return Err(WorkloadError::NonMonotoneTuf { class: self.classes.len() });
+        }
+        let mut tuf = Tuf {
+            priority: self.priority,
+            urgency: self.urgency,
+            classes: self.classes,
+            final_fraction: self.final_fraction,
+            starts: Vec::new(),
+        };
+        tuf.rebuild_starts();
+        Ok(tuf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The three-class sample TUF shaped like the paper's Fig. 1 (priority
+    /// 12, value ≈12 early, ≈7 around t = 47).
+    pub(crate) fn fig1_like() -> Tuf {
+        TufBuilder::new(12.0)
+            .urgency(0.02)
+            .class(UtilityClass {
+                duration: 30.0,
+                begin_fraction: 1.0,
+                end_fraction: 0.75,
+                urgency_modifier: 1.0,
+            })
+            .class(UtilityClass {
+                duration: 30.0,
+                begin_fraction: 0.7,
+                end_fraction: 0.4,
+                urgency_modifier: 1.5,
+            })
+            .class(UtilityClass {
+                duration: 40.0,
+                begin_fraction: 0.35,
+                end_fraction: 0.0,
+                urgency_modifier: 2.0,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig1_sample_values() {
+        let tuf = fig1_like();
+        // At time 0 we earn the full priority.
+        assert!((tuf.utility(0.0) - 12.0).abs() < 1e-12);
+        // Around t = 20 the paper's figure reads ~12 units... our shape
+        // gives a decayed value strictly between the class bounds.
+        let u20 = tuf.utility(20.0);
+        assert!((0.75 * 12.0..12.0).contains(&u20));
+        // At t = 47 (second class) the figure reads ~7 units.
+        let u47 = tuf.utility(47.0);
+        assert!(u47 < u20);
+        assert!((0.4 * 12.0..=0.7 * 12.0).contains(&u47));
+        // Far beyond the horizon, utility is zero.
+        assert_eq!(tuf.utility(1e6), 0.0);
+    }
+
+    #[test]
+    fn is_monotone_non_increasing() {
+        let tuf = fig1_like();
+        let mut prev = f64::INFINITY;
+        for i in 0..=1100 {
+            let u = tuf.utility(i as f64 * 0.1);
+            assert!(u <= prev + 1e-9, "increase at t = {}", i as f64 * 0.1);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn negative_elapsed_clamps_to_zero() {
+        let tuf = fig1_like();
+        assert_eq!(tuf.utility(-5.0), tuf.utility(0.0));
+    }
+
+    #[test]
+    fn constant_tuf_never_decays() {
+        let tuf = Tuf::constant(7.5);
+        assert_eq!(tuf.utility(0.0), 7.5);
+        assert_eq!(tuf.utility(1e9), 7.5);
+    }
+
+    #[test]
+    fn hard_deadline_steps_to_zero() {
+        let tuf = Tuf::hard_deadline(10.0, 60.0).unwrap();
+        assert_eq!(tuf.utility(59.9), 10.0);
+        assert_eq!(tuf.utility(60.0), 0.0);
+        assert_eq!(tuf.utility(61.0), 0.0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_parameters() {
+        assert!(TufBuilder::new(0.0).build().is_err());
+        assert!(TufBuilder::new(-3.0).build().is_err());
+        assert!(TufBuilder::new(1.0).urgency(-1.0).build().is_err());
+        assert!(TufBuilder::new(1.0).final_fraction(1.5).build().is_err());
+        let bad_duration = UtilityClass {
+            duration: 0.0,
+            begin_fraction: 1.0,
+            end_fraction: 0.0,
+            urgency_modifier: 1.0,
+        };
+        assert!(TufBuilder::new(1.0).class(bad_duration).build().is_err());
+        let end_above_begin = UtilityClass {
+            duration: 1.0,
+            begin_fraction: 0.5,
+            end_fraction: 0.8,
+            urgency_modifier: 1.0,
+        };
+        assert!(TufBuilder::new(1.0).class(end_above_begin).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_non_monotone_class_sequence() {
+        // Second class begins above where the first can end.
+        let c1 = UtilityClass {
+            duration: 10.0,
+            begin_fraction: 1.0,
+            end_fraction: 0.3,
+            urgency_modifier: 1.0,
+        };
+        let c2 = UtilityClass {
+            duration: 10.0,
+            begin_fraction: 0.9,
+            end_fraction: 0.1,
+            urgency_modifier: 1.0,
+        };
+        let err = TufBuilder::new(1.0).class(c1).class(c2).build().unwrap_err();
+        assert_eq!(err, WorkloadError::NonMonotoneTuf { class: 1 });
+    }
+
+    #[test]
+    fn builder_rejects_final_fraction_above_last_floor() {
+        let c = UtilityClass {
+            duration: 10.0,
+            begin_fraction: 1.0,
+            end_fraction: 0.2,
+            urgency_modifier: 1.0,
+        };
+        let err = TufBuilder::new(1.0).class(c).final_fraction(0.5).build().unwrap_err();
+        assert_eq!(err, WorkloadError::NonMonotoneTuf { class: 1 });
+    }
+
+    #[test]
+    fn flat_class_keeps_begin_level_for_next() {
+        // With a zero urgency modifier the class never decays below its
+        // begin level, so the next class may begin that high.
+        let flat = UtilityClass {
+            duration: 5.0,
+            begin_fraction: 0.8,
+            end_fraction: 0.0,
+            urgency_modifier: 0.0,
+        };
+        let next = UtilityClass {
+            duration: 5.0,
+            begin_fraction: 0.8,
+            end_fraction: 0.0,
+            urgency_modifier: 1.0,
+        };
+        assert!(TufBuilder::new(1.0).class(flat).class(next).build().is_ok());
+    }
+
+    #[test]
+    fn horizon_sums_durations() {
+        assert_eq!(fig1_like().horizon(), 100.0);
+        assert_eq!(Tuf::constant(1.0).horizon(), 0.0);
+    }
+
+    #[test]
+    fn time_to_fraction() {
+        let tuf = Tuf::hard_deadline(10.0, 60.0).unwrap();
+        // Drops to ≤ 0.5 fraction exactly at the deadline.
+        assert!((tuf.time_to_fraction(0.5) - 60.0).abs() < 1e-9);
+        // Constant TUF never drops.
+        assert_eq!(Tuf::constant(1.0).time_to_fraction(0.5), f64::INFINITY);
+        // Decaying TUF drops inside the first class at ln(1/f)/rate.
+        let tuf = fig1_like();
+        let t = tuf.time_to_fraction(0.8);
+        let expect = (1.0f64 / 0.8).ln() / 0.02;
+        assert!((t - expect).abs() < 1e-9, "t = {t}, expect {expect}");
+    }
+
+    #[test]
+    fn serde_roundtrip_restores_starts() {
+        let tuf = fig1_like();
+        let json = serde_json::to_string(&tuf).unwrap();
+        let back: Tuf = serde_json::from_str(&json).unwrap();
+        let back = back.after_deserialize();
+        for t in [0.0, 10.0, 35.0, 47.0, 80.0, 200.0] {
+            assert!((tuf.utility(t) - back.utility(t)).abs() < 1e-12, "t = {t}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Capacity planning with the framework: compare the energy/utility
+//! trade-off curve of the data-set-2 system against two what-if variants —
+//! decommissioning the special-purpose machines, and doubling the
+//! overclocked i7s. This is the administrator workflow the paper's
+//! conclusion targets ("take traces from any given system ... plot and
+//! analyze the trade-offs").
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use hetsched::analysis::{hypervolume, ParetoFront};
+use hetsched::core::{DatasetId, ExperimentConfig, Framework};
+use hetsched::data::MachineInventory;
+use hetsched::synth::builder::dataset2_system;
+use hetsched::workload::TraceGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let base_system = dataset2_system(&mut rng).expect("synthesis from shipped data");
+    let trace = TraceGenerator::new(200, 900.0, base_system.task_type_count())
+        .generate(&mut rng)
+        .expect("valid generator");
+
+    // Variant A: decommission the four special-purpose machines.
+    let no_specials = base_system
+        .with_inventory(
+            MachineInventory::from_counts(vec![0, 0, 0, 0, 2, 3, 3, 3, 2, 4, 2, 5, 2])
+                .expect("valid counts"),
+        );
+
+    // Variant B: double the overclocked i7 types (indices 10 and 12).
+    let more_overclock = base_system
+        .with_inventory(
+            MachineInventory::from_counts(vec![1, 1, 1, 1, 2, 3, 3, 3, 2, 4, 4, 5, 4])
+                .expect("valid counts"),
+        )
+        .expect("no task type depends on the added machines");
+
+    let mut config = ExperimentConfig::scaled(DatasetId::Two, 0.0005);
+    config.population = 50;
+
+    let mut results: Vec<(&str, ParetoFront)> = Vec::new();
+    let mut run = |label: &'static str, system: hetsched::data::HcSystem| {
+        let fw = Framework::custom(system, trace.clone(), &config).expect("valid config");
+        let front = fw.run().combined_front();
+        println!(
+            "{label:<22} {} machines | front {:>3} pts | energy [{:.2}, {:.2}] MJ | utility [{:.0}, {:.0}]",
+            fw.system().machine_count(),
+            front.len(),
+            front.min_energy().unwrap().energy / 1e6,
+            front.max_utility().unwrap().energy / 1e6,
+            front.min_energy().unwrap().utility,
+            front.max_utility().unwrap().utility,
+        );
+        results.push((label, front));
+    };
+
+    println!("running three what-if analyses on the same 200-task trace...\n");
+    run("baseline (Table III)", base_system.clone());
+    match no_specials {
+        Ok(system) => run("no special machines", system),
+        Err(e) => println!(
+            "no special machines   infeasible: {e} (some task type runs only there)"
+        ),
+    }
+    run("more overclocked i7s", more_overclock);
+
+    // Shared-reference hypervolume comparison.
+    let ref_e = results
+        .iter()
+        .flat_map(|(_, f)| f.points())
+        .map(|p| p.energy)
+        .fold(0.0f64, f64::max)
+        * 1.01;
+    println!("\nhypervolume against a shared reference corner (bigger = better):");
+    for (label, front) in &results {
+        println!("  {label:<22} {:.4e}", hypervolume(front, 0.0, ref_e));
+    }
+    println!(
+        "\nreading: special-purpose machines mostly shape the high-utility end\n\
+         (their accelerated tasks finish 10x sooner); extra overclocked i7s\n\
+         expand the high-energy/high-utility reach but move the energy floor\n\
+         very little (the floor is set by the most efficient machines)."
+    );
+}

@@ -1,0 +1,83 @@
+//! The paper's future-work items, implemented and demonstrated: DVFS
+//! P-state selection and negligible-utility task dropping. Compares the
+//! plain bi-objective front against the extended one on the same trace.
+//!
+//! ```text
+//! cargo run --release --example dvfs_extension
+//! ```
+
+use hetsched::alloc::{AllocationProblem, DvfsAllocationProblem};
+use hetsched::analysis::ParetoFront;
+use hetsched::data::real_system;
+use hetsched::heuristics::{min_energy, min_min_completion_time};
+use hetsched::moea::{Nsga2, Nsga2Config};
+use hetsched::sim::{DvfsAllocation, DvfsTable, Evaluator};
+use hetsched::workload::TraceGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let system = real_system();
+    let trace = TraceGenerator::new(80, 900.0, system.task_type_count())
+        .generate(&mut StdRng::seed_from_u64(42))
+        .expect("valid generator");
+    let cfg = Nsga2Config {
+        population: 50,
+        mutation_rate: 0.7,
+        generations: 400,
+        parallel: true,
+        ..Default::default()
+    };
+
+    // Plain problem (the paper's §IV encoding).
+    let plain = AllocationProblem::new(&system, &trace);
+    let plain_pop = Nsga2::new(&plain, cfg).run(
+        vec![min_energy(&system, &trace), min_min_completion_time(&system, &trace)],
+        1,
+    );
+    let plain_front =
+        ParetoFront::from_objectives(plain_pop.iter().map(|i| &i.objectives));
+
+    // Extended problem: P-states (cubic power model) + task dropping.
+    let table = DvfsTable::cubic_default();
+    let ext = DvfsAllocationProblem::new(&system, &trace, table);
+    let ext_seeds = vec![
+        DvfsAllocation::nominal(min_energy(&system, &trace)),
+        DvfsAllocation::nominal(min_min_completion_time(&system, &trace)),
+    ];
+    let ext_pop = Nsga2::new(&ext, cfg).run(ext_seeds, 1);
+    let ext_front = ParetoFront::from_objectives(ext_pop.iter().map(|i| &i.objectives));
+
+    let bound = Evaluator::new(&system, &trace).min_possible_energy();
+    println!("plain problem (assignment + order only):");
+    summarize(&plain_front, bound);
+    println!("\nextended problem (+ 4 P-states with P ∝ f³, + task dropping):");
+    summarize(&ext_front, bound);
+
+    let plain_lo = plain_front.min_energy().expect("non-empty").energy;
+    let ext_under = ext_front
+        .points()
+        .iter()
+        .filter(|p| p.utility > 0.0 && p.energy < plain_lo)
+        .count();
+    println!(
+        "\n{} extended-front allocations earn positive utility below the plain\n\
+         front's minimum energy — DVFS extends the trade-off curve leftward,\n\
+         exactly the gain the paper's future-work section anticipates.",
+        ext_under
+    );
+}
+
+fn summarize(front: &ParetoFront, plain_energy_bound: f64) {
+    let lo = front.min_energy().expect("non-empty front");
+    let hi = front.max_utility().expect("non-empty front");
+    println!(
+        "  {:>3} points | energy {:>7.3}..{:<7.3} MJ | utility {:>6.1}..{:<6.1} | plain bound {:.3} MJ",
+        front.len(),
+        lo.energy / 1e6,
+        hi.energy / 1e6,
+        lo.utility,
+        hi.utility,
+        plain_energy_bound / 1e6,
+    );
+}

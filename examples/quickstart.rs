@@ -1,0 +1,63 @@
+//! Quickstart: run the paper's analysis on the real benchmark data set and
+//! read the energy/utility trade-off off the resulting Pareto front.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hetsched::core::{DatasetId, ExperimentConfig, Framework};
+
+fn main() {
+    // Data set 1: the real 5×9 ETC/EPC matrices, one machine per type,
+    // 250 tasks over 15 minutes — shrunk here to keep the example snappy.
+    // Bump `scale` (and drop the task override) for paper-size runs.
+    let mut config = ExperimentConfig::scaled(DatasetId::One, 0.01);
+    config.tasks = 100;
+    config.population = 50;
+
+    let framework = Framework::new(&config).expect("data set 1 always builds");
+    println!(
+        "system: {} machines / {} machine types / {} task types; trace: {} tasks over {} s",
+        framework.system().machine_count(),
+        framework.system().machine_type_count(),
+        framework.system().task_type_count(),
+        framework.trace().len(),
+        framework.trace().duration(),
+    );
+    println!("running {} NSGA-II generations for 5 seeded populations...", config.generations());
+
+    let report = framework.run();
+
+    // Per-population summary — the marker series of Fig. 3.
+    for run in &report.runs {
+        let front = run.final_front();
+        let lo = front.min_energy().expect("non-empty front");
+        let hi = front.max_utility().expect("non-empty front");
+        println!(
+            "  {:<24} {:>3} nondominated points | energy {:>7.3}..{:<7.3} MJ | utility {:>6.1}..{:<6.1}",
+            run.seed.label(),
+            front.len(),
+            lo.energy / 1e6,
+            hi.energy / 1e6,
+            lo.utility,
+            hi.utility,
+        );
+    }
+
+    // The combined trade-off curve and its most-efficient region (Fig. 5).
+    let combined = report.combined_front();
+    println!("\ncombined Pareto front: {} allocations", combined.len());
+    if let Some(upe) = report.upe() {
+        println!(
+            "max utility-per-energy: {:.2} utility/MJ — earn {:.1} utility for {:.3} MJ",
+            upe.peak_upe * 1e6,
+            upe.peak.utility,
+            upe.peak.energy / 1e6,
+        );
+        println!(
+            "efficient operating region: {} of {} front points within 5% of peak efficiency",
+            upe.peak_region(0.05).len(),
+            combined.len(),
+        );
+    }
+}

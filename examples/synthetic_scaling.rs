@@ -1,0 +1,70 @@
+//! The §III-D2 data-creation pipeline in isolation: grow the real 5×9
+//! matrices to progressively larger synthetic systems and verify that the
+//! heterogeneity measures (mean, CV, skewness, kurtosis) are preserved at
+//! every size.
+//!
+//! ```text
+//! cargo run --release --example synthetic_scaling
+//! ```
+
+use hetsched::data::{real_etc, MachineTypeId, TaskTypeId, TypeMatrix};
+use hetsched::stats::Moments;
+use hetsched::synth::{DatasetBuilder, HeterogeneityReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let real = real_etc().0;
+    let real_avgs: Vec<f64> = (0..real.task_types())
+        .map(|t| real.row_average(TaskTypeId(t as u16)).expect("real rows are finite"))
+        .collect();
+    let target = Moments::from_sample(&real_avgs).expect("five distinct row averages");
+    println!("real data row-average heterogeneity (5 task types):");
+    println!(
+        "  mean {:.1} s | CV {:.3} | skewness {:+.3} | kurtosis {:+.3}",
+        target.mean,
+        target.coefficient_of_variation(),
+        target.skewness,
+        target.kurtosis
+    );
+
+    println!("\n{:>6} {:>10} {:>8} {:>10} {:>10} {:>12}", "types", "mean(s)", "CV", "skewness", "kurtosis", "worst-ratio-d");
+    for &n in &[25usize, 100, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let sys = DatasetBuilder::from_real()
+            .new_task_types(n)
+            .build(&mut rng)
+            .expect("generation succeeds from shipped data");
+
+        // Collect the synthetic rows only (skip the 5 embedded real ones).
+        let mut synth = TypeMatrix::filled(n, 9, 0.0);
+        for t in 0..n {
+            for m in 0..9 {
+                synth.set(
+                    TaskTypeId(t as u16),
+                    MachineTypeId(m as u16),
+                    sys.etc().time(TaskTypeId((t + 5) as u16), MachineTypeId(m as u16)),
+                );
+            }
+        }
+        let avgs: Vec<f64> = (0..n)
+            .map(|t| synth.row_average(TaskTypeId(t as u16)).expect("finite"))
+            .collect();
+        let m = Moments::from_sample(&avgs).expect("distinct values");
+        let report =
+            HeterogeneityReport::compare(&real, &synth).expect("comparable matrices");
+        println!(
+            "{:>6} {:>10.1} {:>8.3} {:>+10.3} {:>+10.3} {:>12.3}",
+            n,
+            m.mean,
+            m.coefficient_of_variation(),
+            m.skewness,
+            m.kurtosis,
+            report.worst_ratio_discrepancy()
+        );
+    }
+
+    println!("\nthe sampled sets track the real measures; residual drift in the");
+    println!("shape statistics comes from clamping the Gram-Charlier density at");
+    println!("zero (documented in DESIGN.md) and shrinks as more types are drawn.");
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate re-exporting the `hetsched` workspace.
+//!
+//! Most users should depend on [`hetsched_core`] (re-exported as
+//! [`mod@core`]) and use [`core::Framework`]. The individual
+//! subsystem crates are re-exported here so examples and integration tests
+//! can reach every layer through a single dependency.
+
+pub use hetsched_alloc as alloc;
+pub use hetsched_analysis as analysis;
+pub use hetsched_core as core;
+pub use hetsched_data as data;
+pub use hetsched_heuristics as heuristics;
+pub use hetsched_moea as moea;
+pub use hetsched_sim as sim;
+pub use hetsched_stats as stats;
+pub use hetsched_synth as synth;
+pub use hetsched_workload as workload;

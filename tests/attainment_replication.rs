@@ -1,0 +1,82 @@
+//! Replicated-run integration: the attainment machinery must order seed
+//! configurations the same way single runs do, and its curves must be
+//! internally consistent.
+
+use hetsched::core::{DatasetId, ExperimentConfig, Framework};
+use hetsched::heuristics::SeedKind;
+
+fn mini() -> Framework {
+    let mut cfg = ExperimentConfig::scaled(DatasetId::One, 1.0);
+    cfg.tasks = 50;
+    cfg.population = 20;
+    cfg.snapshots = vec![25];
+    cfg.seeds = vec![SeedKind::MinEnergy, SeedKind::MinMinCompletionTime, SeedKind::Random];
+    cfg.rng_seed = 31;
+    Framework::new(&cfg).unwrap()
+}
+
+#[test]
+fn replicated_attainment_is_consistent() {
+    let fw = mini();
+    let summaries = fw.run_replicated(4);
+    assert_eq!(summaries.len(), 3);
+
+    for (seed, summary) in &summaries {
+        assert_eq!(summary.replicates(), 4, "{seed:?}");
+        // Any-run curve dominates the all-runs curve pointwise.
+        let any = summary.attainment_curve(1, 10);
+        let all = summary.attainment_curve(4, 10);
+        for ((ea, ua), (eb, ub)) in any.iter().zip(&all) {
+            assert_eq!(ea, eb);
+            if let (Some(ua), Some(ub)) = (ua, ub) {
+                assert!(ua >= ub, "{seed:?}: any-run {ua} below all-run {ub}");
+            }
+        }
+        // Curves are monotone in energy: more budget, no less utility.
+        for w in summary.median_curve(10).windows(2) {
+            if let (Some(a), Some(b)) = (w[0].1, w[1].1) {
+                assert!(b >= a - 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn min_energy_attains_the_bound_in_every_replicate() {
+    let fw = mini();
+    let summaries = fw.run_replicated(3);
+    let bound =
+        hetsched::sim::Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
+    let (_, me) = summaries
+        .iter()
+        .find(|(s, _)| *s == SeedKind::MinEnergy)
+        .expect("min-energy configured");
+    // At the bound's energy (with a hair of slack), utility ≥ 0 is attained
+    // by all replicates — i.e. every replicate reaches that energy at all.
+    assert!(me.attained_by(0.0, bound * (1.0 + 1e-9), 3));
+}
+
+#[test]
+fn min_min_median_beats_random_median_at_high_energy() {
+    let fw = mini();
+    let summaries = fw.run_replicated(3);
+    let curve_of = |kind: SeedKind| {
+        summaries
+            .iter()
+            .find(|(s, _)| *s == kind)
+            .map(|(_, summary)| summary.median_curve(6))
+            .expect("configured")
+    };
+    let mm = curve_of(SeedKind::MinMinCompletionTime);
+    let rnd = curve_of(SeedKind::Random);
+    // Compare the top-end utilities (last defined point of each curve).
+    let top = |curve: &[(f64, Option<f64>)]| {
+        curve.iter().rev().find_map(|(_, u)| *u).expect("some defined point")
+    };
+    assert!(
+        top(&mm) > top(&rnd),
+        "min-min median top {} should beat random {}",
+        top(&mm),
+        top(&rnd)
+    );
+}

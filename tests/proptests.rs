@@ -1,0 +1,166 @@
+//! Property-based tests on the workspace's core invariants (proptest).
+
+use hetsched::analysis::ParetoFront;
+use hetsched::data::{real_system, MachineId};
+use hetsched::moea::{crowding_distance, dominates, fast_nondominated_sort};
+use hetsched::sim::{Allocation, Evaluator};
+use hetsched::stats::{MomentAccumulator, TabulatedSampler};
+use hetsched::workload::TraceGenerator;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Moments from a merged accumulator equal moments from one stream.
+    #[test]
+    fn moment_merge_is_stream_equivalent(
+        values in prop::collection::vec(-1e3f64..1e3, 4..200),
+        split in 1usize..3,
+    ) {
+        let mut whole = MomentAccumulator::new();
+        let mut parts = vec![MomentAccumulator::new(), MomentAccumulator::new(), MomentAccumulator::new()];
+        for (i, &v) in values.iter().enumerate() {
+            whole.push(v);
+            parts[i % (split + 1)].push(v);
+        }
+        let mut merged = MomentAccumulator::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        if let (Ok(a), Ok(b)) = (whole.finish(), merged.finish()) {
+            prop_assert!((a.mean - b.mean).abs() < 1e-6);
+            prop_assert!((a.variance - b.variance).abs() / a.variance.max(1e-9) < 1e-6);
+        }
+    }
+
+    /// The quantile function of any positive tabulated density is monotone
+    /// and stays within the support.
+    #[test]
+    fn tabulated_quantile_is_monotone(
+        a in 0.1f64..5.0,
+        b in 0.0f64..3.0,
+        us in prop::collection::vec(0.0f64..1.0, 2..40),
+    ) {
+        // Density 0.05 + |sin(a x + b)| on [0, 10]: positive, irregular.
+        let sampler = TabulatedSampler::from_density(
+            |x| 0.05 + (a * x + b).sin().abs(),
+            0.0,
+            10.0,
+            512,
+        ).unwrap();
+        let mut sorted = us.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for u in sorted {
+            let q = sampler.quantile(u);
+            prop_assert!(q >= prev);
+            prop_assert!((0.0..=10.0).contains(&q));
+            prev = q;
+        }
+    }
+
+    /// Nondominated sorting partitions the input, front members are
+    /// mutually nondominated, and every front-k+1 point is dominated by
+    /// someone in front k or earlier.
+    #[test]
+    fn nondominated_sort_properties(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..60),
+    ) {
+        let objectives: Vec<[f64; 2]> = pts.iter().map(|&(a, b)| [a, b]).collect();
+        let fronts = fast_nondominated_sort(&objectives);
+        let mut seen = vec![false; objectives.len()];
+        for (k, front) in fronts.iter().enumerate() {
+            for &p in front {
+                prop_assert!(!seen[p]);
+                seen[p] = true;
+                for &q in front {
+                    prop_assert!(!dominates(&objectives[p], &objectives[q]));
+                }
+                if k > 0 {
+                    let dominated_by_earlier = fronts[..k]
+                        .iter()
+                        .flatten()
+                        .any(|&e| dominates(&objectives[e], &objectives[p]));
+                    prop_assert!(dominated_by_earlier, "front {k} point not pushed down");
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Crowding distances are non-negative and boundary points of a sorted
+    /// front get infinity.
+    #[test]
+    fn crowding_distance_properties(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 3..40),
+    ) {
+        let objectives: Vec<[f64; 2]> = pts.iter().map(|&(a, b)| [a, b]).collect();
+        let fronts = fast_nondominated_sort(&objectives);
+        for front in fronts {
+            let d = crowding_distance(&front, &objectives);
+            prop_assert_eq!(d.len(), front.len());
+            for v in &d {
+                prop_assert!(*v >= 0.0);
+            }
+            if front.len() > 2 {
+                prop_assert!(d.iter().any(|v| v.is_infinite()));
+            }
+        }
+    }
+
+    /// A ParetoFront built from arbitrary points is mutually nondominated
+    /// and sorted in both coordinates.
+    #[test]
+    fn pareto_front_invariants(
+        pts in prop::collection::vec((0.0f64..100.0, 1.0f64..100.0), 0..60),
+    ) {
+        let front = ParetoFront::from_points(pts.iter().copied());
+        for a in front.points() {
+            for b in front.points() {
+                prop_assert!(!(a != b && a.dominates(b)));
+            }
+        }
+        for w in front.points().windows(2) {
+            prop_assert!(w[0].energy <= w[1].energy);
+            prop_assert!(w[0].utility <= w[1].utility);
+        }
+        // Every input point is dominated-or-equal by something on the front.
+        for &(u, e) in &pts {
+            let q = hetsched::analysis::FrontPoint { utility: u, energy: e };
+            prop_assert!(front.points().iter().any(|p| p.dominates(&q) || *p == q));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any feasible random allocation evaluates within the theoretical
+    /// bounds, deterministically.
+    #[test]
+    fn evaluation_respects_bounds(seed in 0u64..1000) {
+        let sys = real_system();
+        let trace = TraceGenerator::new(40, 900.0, sys.task_type_count())
+            .generate(&mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let mut ev = Evaluator::new(&sys, &trace);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        use rand::Rng;
+        let machine: Vec<MachineId> = trace
+            .tasks()
+            .iter()
+            .map(|t| {
+                let feasible = sys.feasible_machines(t.task_type);
+                feasible[rng.gen_range(0..feasible.len())]
+            })
+            .collect();
+        let alloc = Allocation::with_arrival_order(machine);
+        let a = ev.evaluate(&alloc);
+        let b = ev.evaluate(&alloc);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.utility >= 0.0);
+        prop_assert!(a.utility <= ev.max_possible_utility() + 1e-9);
+        prop_assert!(a.energy >= ev.min_possible_energy() - 1e-9);
+        prop_assert!(a.makespan >= 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Robustness of the synthetic-data pipeline: arbitrary (but physically
+//! plausible) base matrices must flow through fit → sample → build without
+//! panics, producing valid systems; hostile inputs must be rejected with
+//! errors, never crashes.
+
+use hetsched::data::{Epc, Etc, TypeMatrix};
+use hetsched::synth::ratios::RatioModel;
+use hetsched::synth::rowavg::RowAverageModel;
+use hetsched::synth::DatasetBuilder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small ETC-like matrix with entries spanning three orders of
+/// magnitude — enough heterogeneity for the models to fit.
+fn arb_matrix() -> impl Strategy<Value = TypeMatrix> {
+    (3usize..8, 3usize..8).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(0.5f64..500.0, rows * cols).prop_map(move |data| {
+            TypeMatrix::from_rows(rows, cols, data).expect("shape matches data")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fitting and sampling never panics and produces positive, finite rows.
+    #[test]
+    fn pipeline_is_total_on_plausible_matrices(matrix in arb_matrix(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Degenerate samples (identical row averages, zero-variance ratio
+        // columns) are legitimate rejections; anything else must sample.
+        let Ok(rowavg) = RowAverageModel::fit(&matrix) else { return Ok(()) };
+        let Ok(ratios) = RatioModel::fit(&matrix) else { return Ok(()) };
+        for _ in 0..5 {
+            let avg = rowavg.sample(&mut rng);
+            prop_assert!(avg > 0.0 && avg.is_finite());
+            let row = ratios.sample_row(avg, &mut rng);
+            prop_assert_eq!(row.len(), matrix.machine_types());
+            for v in row {
+                prop_assert!(v > 0.0 && v.is_finite());
+            }
+        }
+    }
+
+    /// A full DatasetBuilder run over an arbitrary base yields a valid
+    /// system with the requested shape (or a clean error, never a panic).
+    #[test]
+    fn builder_is_total(matrix in arb_matrix(), extra in 1usize..12, seed in 0u64..200) {
+        let rows = matrix.task_types();
+        let cols = matrix.machine_types();
+        // EPC mirrors the ETC structurally (scaled into a watt-ish range).
+        let mut epc = TypeMatrix::filled(rows, cols, 0.0);
+        for t in 0..rows {
+            for m in 0..cols {
+                let t = hetsched::data::TaskTypeId(t as u16);
+                let m = hetsched::data::MachineTypeId(m as u16);
+                epc.set(t, m, 50.0 + matrix.get(t, m) % 200.0);
+            }
+        }
+        let task_names = (0..rows).map(|i| format!("t{i}")).collect();
+        let machine_names = (0..cols).map(|i| format!("m{i}")).collect();
+        let Ok(builder) =
+            DatasetBuilder::from_base(Etc(matrix), Epc(epc), task_names, machine_names)
+        else {
+            return Ok(());
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let builder = builder.new_task_types(extra);
+        match builder.build(&mut rng) {
+            Ok(system) => {
+                prop_assert_eq!(system.task_type_count(), rows + extra);
+                prop_assert_eq!(system.machine_type_count(), cols);
+                // Validation inside HcSystem::new guarantees positivity and
+                // feasibility; spot-check determinism as well.
+                let again = builder
+                    .build(&mut StdRng::seed_from_u64(seed))
+                    .expect("same inputs, same outcome");
+                prop_assert_eq!(system, again);
+            }
+            Err(_) => {
+                // Acceptable: degenerate statistics. The property is "no
+                // panic", which reaching this arm already demonstrates.
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_matrices_error_cleanly() {
+    // All-identical entries: zero variance everywhere.
+    let flat = TypeMatrix::filled(4, 4, 7.0);
+    assert!(RowAverageModel::fit(&flat).is_err());
+    assert!(RatioModel::fit(&flat).is_err());
+
+    // Single row: no row-average distribution to fit.
+    let single = TypeMatrix::from_rows(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+    assert!(RowAverageModel::fit(&single).is_err());
+}

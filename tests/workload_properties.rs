@@ -1,0 +1,94 @@
+//! Property-based tests on the workload substrate: arbitrary-but-valid
+//! time-utility functions must be monotone, bounded, and consistent with
+//! their construction parameters.
+
+use hetsched::workload::{Tuf, TufBuilder, UtilityClass};
+use proptest::prelude::*;
+
+/// Strategy producing a valid ladder of utility classes: fractions descend
+/// across class boundaries as the builder requires.
+fn arb_tuf() -> impl Strategy<Value = Tuf> {
+    (
+        0.1f64..100.0,                      // priority
+        0.0f64..0.1,                        // urgency
+        prop::collection::vec((1.0f64..500.0, 0.0f64..1.0, 0.0f64..4.0), 0..5),
+        0.0f64..0.2,                        // raw final fraction (scaled below)
+    )
+        .prop_map(|(priority, urgency, raw_classes, raw_final)| {
+            let mut builder = TufBuilder::new(priority).urgency(urgency);
+            // Build a descending ladder: each class spans a sub-interval of
+            // the previous floor.
+            let mut ceiling = 1.0f64;
+            for (duration, frac, modifier) in raw_classes {
+                let begin = ceiling;
+                let end = ceiling * frac;
+                builder = builder.class(UtilityClass {
+                    duration,
+                    begin_fraction: begin,
+                    end_fraction: end,
+                    urgency_modifier: modifier,
+                });
+                // Next class may begin no higher than this class's floor
+                // (for flat classes the floor is the begin level; using the
+                // end level is always safe).
+                ceiling = end;
+            }
+            builder
+                .final_fraction(ceiling * raw_final)
+                .build()
+                .expect("ladder construction is always valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn tuf_is_monotone_and_bounded(tuf in arb_tuf(), times in prop::collection::vec(0.0f64..5000.0, 1..50)) {
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = f64::INFINITY;
+        for t in sorted {
+            let u = tuf.utility(t);
+            prop_assert!(u >= 0.0);
+            prop_assert!(u <= tuf.priority() + 1e-12);
+            prop_assert!(u <= prev + 1e-9, "utility rose at t = {t}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn tuf_at_zero_is_full_or_first_class_level(tuf in arb_tuf()) {
+        let u0 = tuf.utility(0.0);
+        // At completion == arrival the task earns the first class's begin
+        // level (the ladder starts at 1.0) or, with no classes, the final
+        // fraction.
+        if tuf.classes().is_empty() {
+            prop_assert!((u0 - tuf.priority() * tuf.final_fraction()).abs() < 1e-9);
+        } else {
+            prop_assert!((u0 - tuf.priority()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tuf_beyond_horizon_is_final_fraction(tuf in arb_tuf()) {
+        let far = tuf.horizon() + 1e6;
+        let expect = tuf.priority() * tuf.final_fraction();
+        prop_assert!((tuf.utility(far) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_fraction_is_consistent(tuf in arb_tuf(), frac in 0.01f64..0.99) {
+        let t = tuf.time_to_fraction(frac);
+        if t.is_finite() {
+            // Just after t the utility is at or below the fraction.
+            let after = tuf.utility(t + 1e-6);
+            prop_assert!(
+                after <= frac * tuf.priority() + 1e-6 * tuf.priority(),
+                "utility {after} above cutoff {} just after t = {t}",
+                frac * tuf.priority()
+            );
+        } else {
+            // Never drops: even far beyond the horizon it stays above.
+            prop_assert!(tuf.utility(tuf.horizon() + 1e9) > frac * tuf.priority());
+        }
+    }
+}
