@@ -56,7 +56,11 @@ impl<'a> Problem for DvfsAllocationProblem<'a> {
     type Evaluator = DvfsEvaluator<'a>;
 
     fn evaluator(&self) -> DvfsEvaluator<'a> {
-        DvfsEvaluator { system: self.system, trace: self.trace, table: self.table.clone() }
+        DvfsEvaluator {
+            system: self.system,
+            trace: self.trace,
+            table: self.table.clone(),
+        }
     }
 
     fn evaluate(&self, ev: &mut DvfsEvaluator<'a>, genome: &DvfsAllocation) -> Objectives {
@@ -69,10 +73,16 @@ impl<'a> Problem for DvfsAllocationProblem<'a> {
     fn random_genome(&self, rng: &mut dyn RngCore) -> DvfsAllocation {
         let base: Allocation = self.base.random_genome(rng);
         let n = base.len();
-        let pstate = (0..n).map(|_| rng.gen_range(0..self.table.len()) as u8).collect();
+        let pstate = (0..n)
+            .map(|_| rng.gen_range(0..self.table.len()) as u8)
+            .collect();
         // Start with nothing dropped: dropping is an *optimisation* the GA
         // may discover, not a random prior.
-        DvfsAllocation { base, pstate, dropped: vec![false; n] }
+        DvfsAllocation {
+            base,
+            pstate,
+            dropped: vec![false; n],
+        }
     }
 
     fn crossover(

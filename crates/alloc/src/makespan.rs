@@ -69,8 +69,16 @@ pub struct MakespanEvaluator {
 impl<'a> MakespanProblem<'a> {
     /// Binds the problem.
     pub fn new(system: &'a HcSystem, bag: &'a TaskBag) -> Self {
-        let feasible = bag.tasks.iter().map(|&t| system.feasible_machines(t)).collect();
-        MakespanProblem { system, bag, feasible }
+        let feasible = bag
+            .tasks
+            .iter()
+            .map(|&t| system.feasible_machines(t))
+            .collect();
+        MakespanProblem {
+            system,
+            bag,
+            feasible,
+        }
     }
 
     /// The bag being scheduled.
@@ -97,7 +105,9 @@ impl<'a> Problem for MakespanProblem<'a> {
     type Evaluator = MakespanEvaluator;
 
     fn evaluator(&self) -> MakespanEvaluator {
-        MakespanEvaluator { machine_load: Vec::new() }
+        MakespanEvaluator {
+            machine_load: Vec::new(),
+        }
     }
 
     fn evaluate(&self, ev: &mut MakespanEvaluator, genome: &BagAssignment) -> Objectives {
@@ -106,7 +116,10 @@ impl<'a> Problem for MakespanProblem<'a> {
     }
 
     fn random_genome(&self, rng: &mut dyn RngCore) -> BagAssignment {
-        self.feasible.iter().map(|ms| ms[rng.gen_range(0..ms.len())]).collect()
+        self.feasible
+            .iter()
+            .map(|ms| ms[rng.gen_range(0..ms.len())])
+            .collect()
     }
 
     fn crossover(
@@ -150,7 +163,9 @@ mod tests {
     #[test]
     fn outcome_matches_hand_computation() {
         let sys = real_system();
-        let bag = TaskBag { tasks: vec![TaskTypeId(0), TaskTypeId(0), TaskTypeId(4)] };
+        let bag = TaskBag {
+            tasks: vec![TaskTypeId(0), TaskTypeId(0), TaskTypeId(4)],
+        };
         let problem = MakespanProblem::new(&sys, &bag);
         let mut ev = problem.evaluator();
         // Two C-Ray tasks on machine 0 (95 s each), one kernel build on
@@ -187,16 +202,21 @@ mod tests {
             })
             .collect();
         let pop = Nsga2::new(&problem, cfg).run(vec![energy_seed], 23);
-        let min_makespan = pop.iter().map(|i| i.objectives[0]).fold(f64::INFINITY, f64::min);
-        let min_energy = pop.iter().map(|i| i.objectives[1]).fold(f64::INFINITY, f64::min);
-        // The energy floor: every task on its cheapest machine.
-        let floor: f64 = bag
-            .tasks
+        let min_makespan = pop
             .iter()
-            .map(|&t| sys.min_energy_per_type(t))
-            .sum();
+            .map(|i| i.objectives[0])
+            .fold(f64::INFINITY, f64::min);
+        let min_energy = pop
+            .iter()
+            .map(|i| i.objectives[1])
+            .fold(f64::INFINITY, f64::min);
+        // The energy floor: every task on its cheapest machine.
+        let floor: f64 = bag.tasks.iter().map(|&t| sys.min_energy_per_type(t)).sum();
         assert!(min_energy >= floor - 1e-9);
-        assert!((min_energy - floor) / floor < 1e-9, "elitism must keep the seeded floor");
+        assert!(
+            (min_energy - floor) / floor < 1e-9,
+            "elitism must keep the seeded floor"
+        );
         // And a genuine trade-off: the fastest solution spends more energy
         // than the cheapest one.
         let fastest = pop

@@ -20,9 +20,16 @@ pub struct AllocationProblem<'a> {
 impl<'a> AllocationProblem<'a> {
     /// Binds the problem to a system and trace.
     pub fn new(system: &'a HcSystem, trace: &'a Trace) -> Self {
-        let feasible =
-            trace.tasks().iter().map(|t| system.feasible_machines(t.task_type)).collect();
-        AllocationProblem { system, trace, feasible }
+        let feasible = trace
+            .tasks()
+            .iter()
+            .map(|t| system.feasible_machines(t.task_type))
+            .collect();
+        AllocationProblem {
+            system,
+            trace,
+            feasible,
+        }
     }
 
     /// The bound system.
@@ -134,7 +141,11 @@ mod tests {
             assert!(g.validate(&sys, &trace).is_ok());
             let mut order = g.order.clone();
             order.sort_unstable();
-            assert_eq!(order, (0..40u32).collect::<Vec<_>>(), "order is a permutation");
+            assert_eq!(
+                order,
+                (0..40u32).collect::<Vec<_>>(),
+                "order is a permutation"
+            );
         }
     }
 
@@ -216,10 +227,14 @@ mod tests {
                 initial_best_utility = initial_best_utility.max(-ind.objectives[0]);
             }
         });
-        let final_best_energy =
-            pop.iter().map(|i| i.objectives[1]).fold(f64::INFINITY, f64::min);
-        let final_best_utility =
-            pop.iter().map(|i| -i.objectives[0]).fold(f64::NEG_INFINITY, f64::max);
+        let final_best_energy = pop
+            .iter()
+            .map(|i| i.objectives[1])
+            .fold(f64::INFINITY, f64::min);
+        let final_best_utility = pop
+            .iter()
+            .map(|i| -i.objectives[0])
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(
             final_best_energy < initial_best_energy,
             "energy end {final_best_energy} vs start {initial_best_energy}"

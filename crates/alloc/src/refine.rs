@@ -74,7 +74,11 @@ pub fn pareto_local_search(
             break;
         }
     }
-    Refined { allocation: current, objectives, moves }
+    Refined {
+        allocation: current,
+        objectives,
+        moves,
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +123,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let alloc = problem.random_genome(&mut rng);
         let refined = pareto_local_search(&problem, &alloc, 10);
-        assert!(refined.moves > 10, "only {} moves on a random allocation", refined.moves);
+        assert!(
+            refined.moves > 10,
+            "only {} moves on a random allocation",
+            refined.moves
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl FigureSeries {
             points: front
                 .points()
                 .iter()
-                .map(|p| SeriesPoint { utility: p.utility, energy: p.energy })
+                .map(|p| SeriesPoint {
+                    utility: p.utility,
+                    energy: p.energy,
+                })
                 .collect(),
         }
     }
@@ -85,7 +88,9 @@ pub fn gnuplot_script(series: &[FigureSeries], csv_path: &str, title: &str) -> S
 
     let mut out = String::new();
     out.push_str("set datafile separator ','\n");
-    out.push_str(&format!("set term pngcairo size 1200,900\nset output '{title}.png'\n"));
+    out.push_str(&format!(
+        "set term pngcairo size 1200,900\nset output '{title}.png'\n"
+    ));
     let (rows, cols) = match iterations.len() {
         0 | 1 => (1, 1),
         2 => (1, 2),
@@ -129,10 +134,17 @@ pub fn series_from_csv(csv: &str) -> Option<Vec<FigureSeries>> {
         let iterations: usize = fields.next()?.parse().ok()?;
         let energy_mj: f64 = fields.next()?.parse().ok()?;
         let utility: f64 = fields.next()?.parse().ok()?;
-        let point = SeriesPoint { utility, energy: energy_mj * 1.0e6 };
+        let point = SeriesPoint {
+            utility,
+            energy: energy_mj * 1.0e6,
+        };
         match series.last_mut() {
             Some(s) if s.label == label && s.iterations == iterations => s.points.push(point),
-            _ => series.push(FigureSeries { label, iterations, points: vec![point] }),
+            _ => series.push(FigureSeries {
+                label,
+                iterations,
+                points: vec![point],
+            }),
         }
     }
     Some(series)
@@ -154,9 +166,15 @@ mod tests {
     fn csv_layout() {
         let csv = series_to_csv(&sample());
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "label,iterations,energy_megajoules,utility");
+        assert_eq!(
+            lines.next().unwrap(),
+            "label,iterations,energy_megajoules,utility"
+        );
         let first = lines.next().unwrap();
-        assert!(first.starts_with("min-energy,100,2.000000,10.000000"), "{first}");
+        assert!(
+            first.starts_with("min-energy,100,2.000000,10.000000"),
+            "{first}"
+        );
         assert_eq!(csv.lines().count(), 5);
     }
 

@@ -55,7 +55,11 @@ impl ParetoFront {
             }
             kept.push(*p);
         }
-        kept.sort_by(|a, b| a.energy.total_cmp(&b.energy).then(a.utility.total_cmp(&b.utility)));
+        kept.sort_by(|a, b| {
+            a.energy
+                .total_cmp(&b.energy)
+                .then(a.utility.total_cmp(&b.utility))
+        });
         ParetoFront { points: kept }
     }
 
@@ -96,7 +100,10 @@ impl ParetoFront {
     /// best-known reference front across many runs.
     pub fn merge(&self, other: &ParetoFront) -> ParetoFront {
         ParetoFront::from_points(
-            self.points.iter().chain(&other.points).map(|p| (p.utility, p.energy)),
+            self.points
+                .iter()
+                .chain(&other.points)
+                .map(|p| (p.utility, p.energy)),
         )
     }
 
@@ -125,14 +132,27 @@ mod tests {
         // (utility, energy): B=(6,7) dominated by A=(8,5); C=(4,3) trades off.
         let front = ParetoFront::from_points([(8.0, 5.0), (6.0, 7.0), (4.0, 3.0)]);
         assert_eq!(front.len(), 2);
-        assert_eq!(front.points()[0], FrontPoint { utility: 4.0, energy: 3.0 });
-        assert_eq!(front.points()[1], FrontPoint { utility: 8.0, energy: 5.0 });
+        assert_eq!(
+            front.points()[0],
+            FrontPoint {
+                utility: 4.0,
+                energy: 3.0
+            }
+        );
+        assert_eq!(
+            front.points()[1],
+            FrontPoint {
+                utility: 8.0,
+                energy: 5.0
+            }
+        );
     }
 
     #[test]
     fn utility_non_decreasing_along_front() {
-        let raw: Vec<(f64, f64)> =
-            (0..100).map(|i| ((i * 37 % 41) as f64, (i * 17 % 43) as f64)).collect();
+        let raw: Vec<(f64, f64)> = (0..100)
+            .map(|i| ((i * 37 % 41) as f64, (i * 17 % 43) as f64))
+            .collect();
         let front = ParetoFront::from_points(raw);
         for w in front.points().windows(2) {
             assert!(w[0].energy <= w[1].energy);
@@ -179,13 +199,22 @@ mod tests {
         let weak = ParetoFront::from_points([(5.0, 2.0), (4.0, 1.5)]);
         assert_eq!(strong.coverage_of(&weak), 1.0);
         assert_eq!(weak.coverage_of(&strong), 0.0);
-        assert_eq!(strong.coverage_of(&ParetoFront::from_points(std::iter::empty())), 0.0);
+        assert_eq!(
+            strong.coverage_of(&ParetoFront::from_points(std::iter::empty())),
+            0.0
+        );
     }
 
     #[test]
     fn point_dominance_rules() {
-        let a = FrontPoint { utility: 5.0, energy: 3.0 };
-        let b = FrontPoint { utility: 5.0, energy: 4.0 };
+        let a = FrontPoint {
+            utility: 5.0,
+            energy: 3.0,
+        };
+        let b = FrontPoint {
+            utility: 5.0,
+            energy: 4.0,
+        };
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&a));

@@ -56,7 +56,11 @@ mod tests {
         // Analytic knee of sqrt on [1, 100] normalised: maximise
         // (sqrt(e)-1)/9 - (e-1)/99 → derivative zero at sqrt(e) = 99/18.
         let expect = (99.0f64 / 18.0).powi(2);
-        assert!((p.energy - expect).abs() < 1.0, "knee at {} expected ~{expect}", p.energy);
+        assert!(
+            (p.energy - expect).abs() < 1.0,
+            "knee at {} expected ~{expect}",
+            p.energy
+        );
     }
 
     #[test]

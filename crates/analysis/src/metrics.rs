@@ -64,11 +64,7 @@ pub fn generational_distance(
 /// covers the reference; larger = worse. Objectives should be pre-scaled to
 /// comparable units by the caller (pass `scales` as for
 /// [`generational_distance`]).
-pub fn epsilon_indicator(
-    front: &ParetoFront,
-    reference: &ParetoFront,
-    scales: (f64, f64),
-) -> f64 {
+pub fn epsilon_indicator(front: &ParetoFront, reference: &ParetoFront, scales: (f64, f64)) -> f64 {
     if reference.is_empty() {
         return 0.0;
     }
@@ -218,9 +214,8 @@ mod tests {
 
     #[test]
     fn spread_larger_for_clustered_front() {
-        let clustered = ParetoFront::from_points(
-            [(0.0, 0.0), (0.1, 0.1), (0.2, 0.2), (10.0, 10.0)],
-        );
+        let clustered =
+            ParetoFront::from_points([(0.0, 0.0), (0.1, 0.1), (0.2, 0.2), (10.0, 10.0)]);
         let even = ParetoFront::from_points((0..4).map(|i| (i as f64, i as f64)));
         assert!(spread(&clustered) > spread(&even));
     }
@@ -228,6 +223,9 @@ mod tests {
     #[test]
     fn spread_of_tiny_fronts_is_zero() {
         assert_eq!(spread(&ParetoFront::from_points([(1.0, 1.0)])), 0.0);
-        assert_eq!(spread(&ParetoFront::from_points([(1.0, 1.0), (2.0, 2.0)])), 0.0);
+        assert_eq!(
+            spread(&ParetoFront::from_points([(1.0, 1.0), (2.0, 2.0)])),
+            0.0
+        );
     }
 }

@@ -34,16 +34,24 @@ impl UpeAnalysis {
         let upe: Vec<f64> = front
             .points()
             .iter()
-            .map(|p| if p.energy > 0.0 { p.utility / p.energy } else { f64::NEG_INFINITY })
+            .map(|p| {
+                if p.energy > 0.0 {
+                    p.utility / p.energy
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
             .collect();
-        let (peak_index, &peak_upe) = upe
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let (peak_index, &peak_upe) = upe.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         if !peak_upe.is_finite() {
             return None;
         }
-        Some(UpeAnalysis { peak: front.points()[peak_index], upe, peak_index, peak_upe })
+        Some(UpeAnalysis {
+            peak: front.points()[peak_index],
+            upe,
+            peak_index,
+            peak_upe,
+        })
     }
 
     /// The "circled region" of the figures: all front indices whose UPE is
@@ -60,12 +68,22 @@ impl UpeAnalysis {
 
     /// The (utility, UPE) series of subplot 5.B.
     pub fn upe_vs_utility(&self, front: &ParetoFront) -> Vec<(f64, f64)> {
-        front.points().iter().zip(&self.upe).map(|(p, &u)| (p.utility, u)).collect()
+        front
+            .points()
+            .iter()
+            .zip(&self.upe)
+            .map(|(p, &u)| (p.utility, u))
+            .collect()
     }
 
     /// The (energy, UPE) series of subplot 5.C.
     pub fn upe_vs_energy(&self, front: &ParetoFront) -> Vec<(f64, f64)> {
-        front.points().iter().zip(&self.upe).map(|(p, &u)| (p.energy, u)).collect()
+        front
+            .points()
+            .iter()
+            .zip(&self.upe)
+            .map(|(p, &u)| (p.energy, u))
+            .collect()
     }
 }
 
@@ -141,8 +159,14 @@ mod tests {
         assert_eq!(by_e.len(), front.len());
         // The peak of both series is the same UPE value (the paper's solid
         // and dashed lines meet the same front point).
-        let max_u = by_u.iter().map(|&(_, u)| u).fold(f64::NEG_INFINITY, f64::max);
-        let max_e = by_e.iter().map(|&(_, u)| u).fold(f64::NEG_INFINITY, f64::max);
+        let max_u = by_u
+            .iter()
+            .map(|&(_, u)| u)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max_e = by_e
+            .iter()
+            .map(|&(_, u)| u)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(max_u, a.peak_upe);
         assert_eq!(max_e, a.peak_upe);
     }

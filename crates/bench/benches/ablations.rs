@@ -125,7 +125,10 @@ fn ablation_mutation_rate(c: &mut Criterion) {
         eprintln!("\n[ablation] mutation rate sweep (hypervolume at 40 generations):");
         let mut fronts = Vec::new();
         for &rate in &[0.0, 0.25, 0.5, 0.75, 1.0] {
-            fronts.push((rate, front_of(&Nsga2::new(&problem, mk(rate)).run(vec![], 13))));
+            fronts.push((
+                rate,
+                front_of(&Nsga2::new(&problem, mk(rate)).run(vec![], 13)),
+            ));
         }
         let ref_e = fronts
             .iter()
@@ -133,7 +136,11 @@ fn ablation_mutation_rate(c: &mut Criterion) {
             .map(|p| p.energy)
             .fold(0.0f64, f64::max);
         for (rate, front) in &fronts {
-            eprintln!("[ablation]   rate {:.2}: hv {:.4e}", rate, hypervolume(front, 0.0, ref_e));
+            eprintln!(
+                "[ablation]   rate {:.2}: hv {:.4e}",
+                rate,
+                hypervolume(front, 0.0, ref_e)
+            );
         }
     });
 

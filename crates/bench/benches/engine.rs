@@ -42,7 +42,9 @@ fn bench_evaluation(c: &mut Criterion) {
 fn random_points(n: usize) -> Vec<Objectives> {
     use rand::Rng;
     let mut rng = StdRng::seed_from_u64(7);
-    (0..n).map(|_| [rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0]).collect()
+    (0..n)
+        .map(|_| [rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0])
+        .collect()
 }
 
 fn bench_sorting(c: &mut Criterion) {
@@ -89,8 +91,12 @@ fn bench_heuristics(c: &mut Criterion) {
     let (system, trace) = ds2_fixture(1000, 900.0);
     let mut group = c.benchmark_group("seeding_heuristics_1000tasks");
     group.sample_size(20);
-    group.bench_function("min_energy", |b| b.iter(|| black_box(min_energy(&system, &trace))));
-    group.bench_function("max_utility", |b| b.iter(|| black_box(max_utility(&system, &trace))));
+    group.bench_function("min_energy", |b| {
+        b.iter(|| black_box(min_energy(&system, &trace)))
+    });
+    group.bench_function("max_utility", |b| {
+        b.iter(|| black_box(max_utility(&system, &trace)))
+    });
     group.bench_function("min_min", |b| {
         b.iter(|| black_box(min_min_completion_time(&system, &trace)))
     });
@@ -136,7 +142,9 @@ fn bench_engine_overhead(c: &mut Criterion) {
     let engine = Nsga2::new(&problem, cfg);
     let mut group = c.benchmark_group("engine_overhead_schaffer");
     group.sample_size(30);
-    group.bench_function("10_generations", |b| b.iter(|| black_box(engine.run(vec![], 9))));
+    group.bench_function("10_generations", |b| {
+        b.iter(|| black_box(engine.run(vec![], 9)))
+    });
     group.finish();
 }
 

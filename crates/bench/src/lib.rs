@@ -31,8 +31,7 @@ pub fn ds1_fixture(tasks: usize) -> (HcSystem, Trace) {
 /// A deterministic data-set-2-style fixture (synthetic 30×13 system).
 pub fn ds2_fixture(tasks: usize, duration: f64) -> (HcSystem, Trace) {
     let mut rng = StdRng::seed_from_u64(0xBE7C);
-    let system =
-        hetsched_synth::builder::dataset2_system(&mut rng).expect("synthesis succeeds");
+    let system = hetsched_synth::builder::dataset2_system(&mut rng).expect("synthesis succeeds");
     let trace = TraceGenerator::new(tasks, duration, system.task_type_count())
         .generate(&mut rng)
         .expect("fixture parameters are valid");

@@ -34,13 +34,25 @@ pub fn dataset(options: &Options) -> Result<(), String> {
     let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
     let sys = fw.system();
     let mut out = String::new();
-    let _ = writeln!(out, "data set {} — {} machines over {} machine types, {} task types",
-        options.set, sys.machine_count(), sys.machine_type_count(), sys.task_type_count());
+    let _ = writeln!(
+        out,
+        "data set {} — {} machines over {} machine types, {} task types",
+        options.set,
+        sys.machine_count(),
+        sys.machine_type_count(),
+        sys.task_type_count()
+    );
     let _ = writeln!(out, "\nmachine types (Table I / III):");
     for m in 0..sys.machine_type_count() {
         let mt = MachineTypeId(m as u16);
         let count = sys.inventory().count(mt);
-        let _ = writeln!(out, "  {:>2}  {:<32} × {}", m, sys.machine_type_name(mt), count);
+        let _ = writeln!(
+            out,
+            "  {:>2}  {:<32} × {}",
+            m,
+            sys.machine_type_name(mt),
+            count
+        );
     }
     let _ = writeln!(out, "\ntask types (Table II + synthetic):");
     for t in 0..sys.task_type_count() {
@@ -124,12 +136,22 @@ pub fn figure(which: u8, options: &Options) -> Result<(), String> {
 pub fn run_experiment(options: &Options) -> Result<(), String> {
     let cfg = config_from(options);
     let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
-    let report = fw.run();
+    let journal = match &options.metrics_out {
+        Some(path) => Some(
+            hetsched_core::RunJournal::create(path)
+                .map_err(|e| format!("cannot create metrics journal {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let report = fw.run_with_journal(journal.as_ref());
     let mut out = String::new();
     let _ = writeln!(
         out,
         "data set {} — {} tasks, population {}, snapshots {:?}",
-        options.set, fw.config().tasks, fw.config().population, fw.config().snapshots
+        options.set,
+        fw.config().tasks,
+        fw.config().population,
+        fw.config().snapshots
     );
     for run in &report.runs {
         let front = run.final_front();
@@ -195,7 +217,10 @@ pub fn online(options: &Options) -> Result<(), String> {
         let o = hetsched_sim::schedule_online(
             fw.system(),
             fw.trace(),
-            &hetsched_sim::OnlineConfig { energy_budget: budget, drop_threshold: 0.0 },
+            &hetsched_sim::OnlineConfig {
+                energy_budget: budget,
+                drop_threshold: 0.0,
+            },
         );
         let _ = writeln!(
             out,
@@ -230,15 +255,19 @@ pub fn verify_synth(options: &Options) -> Result<(), String> {
             synth.set(
                 TaskTypeId(t as u16),
                 MachineTypeId(m as u16),
-                sys.etc().time(TaskTypeId((t + 5) as u16), MachineTypeId(m as u16)),
+                sys.etc()
+                    .time(TaskTypeId((t + 5) as u16), MachineTypeId(m as u16)),
             );
         }
     }
     let real = real_etc().0;
-    let report = hetsched_synth::HeterogeneityReport::compare(&real, &synth)
-        .map_err(|e| e.to_string())?;
+    let report =
+        hetsched_synth::HeterogeneityReport::compare(&real, &synth).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let _ = writeln!(out, "heterogeneity preservation report ({n} synthetic task types)");
+    let _ = writeln!(
+        out,
+        "heterogeneity preservation report ({n} synthetic task types)"
+    );
     let s = &report.source_row_avg;
     let g = &report.generated_row_avg;
     let _ = writeln!(
@@ -257,20 +286,32 @@ pub fn verify_synth(options: &Options) -> Result<(), String> {
         g.skewness,
         g.kurtosis
     );
-    let _ = writeln!(out, "worst per-machine ratio-moment discrepancy: {:.3}", report.worst_ratio_discrepancy());
+    let _ = writeln!(
+        out,
+        "worst per-machine ratio-moment discrepancy: {:.3}",
+        report.worst_ratio_discrepancy()
+    );
     // KS distance between real and synthetic ratio samples, per machine.
     let real_ratio = hetsched_synth::ratios::ratio_matrix(&real).map_err(|e| e.to_string())?;
     let synth_ratio = hetsched_synth::ratios::ratio_matrix(&synth).map_err(|e| e.to_string())?;
     let _ = writeln!(out, "per-machine KS distance (real vs synthetic ratios):");
     for m in 0..9u16 {
-        let a: Vec<f64> = real_ratio.column(MachineTypeId(m)).filter(|v| v.is_finite()).collect();
-        let b: Vec<f64> =
-            synth_ratio.column(MachineTypeId(m)).filter(|v| v.is_finite()).collect();
+        let a: Vec<f64> = real_ratio
+            .column(MachineTypeId(m))
+            .filter(|v| v.is_finite())
+            .collect();
+        let b: Vec<f64> = synth_ratio
+            .column(MachineTypeId(m))
+            .filter(|v| v.is_finite())
+            .collect();
         let d = hetsched_stats::ks_statistic(&a, &b).map_err(|e| e.to_string())?;
-        let crit = hetsched_stats::ks_critical_value(a.len(), b.len(), 0.05)
-            .map_err(|e| e.to_string())?;
+        let crit =
+            hetsched_stats::ks_critical_value(a.len(), b.len(), 0.05).map_err(|e| e.to_string())?;
         let verdict = if d <= crit { "ok" } else { "differs" };
-        let _ = writeln!(out, "  machine {m}: D = {d:.3} (crit@5% {crit:.3}) {verdict}");
+        let _ = writeln!(
+            out,
+            "  machine {m}: D = {d:.3} (crit@5% {crit:.3}) {verdict}"
+        );
     }
     options.emit(&out)
 }
@@ -354,7 +395,8 @@ pub fn attain(options: &Options) -> Result<(), String> {
                 "{},{:.6},{}",
                 seed.label(),
                 e / 1e6,
-                u.map(|v| format!("{v:.3}")).unwrap_or_else(|| "NA".to_string())
+                u.map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "NA".to_string())
             );
         }
     }
@@ -365,8 +407,8 @@ pub fn attain(options: &Options) -> Result<(), String> {
 /// selected data set at the given scale.
 pub fn verify(options: &Options) -> Result<(), String> {
     let dataset = dataset_id(options.set);
-    let verdict = hetsched_core::verify_dataset(dataset, options.scale)
-        .map_err(|e| e.to_string())?;
+    let verdict =
+        hetsched_core::verify_dataset(dataset, options.scale).map_err(|e| e.to_string())?;
     let mut out = verdict.to_string();
     out.push_str(if verdict.all_passed() {
         "all claims supported\n"

@@ -15,6 +15,8 @@
 //!   --rng <seed>       master RNG seed (default 0x5EED)
 //!   --out <path>       write output to a file instead of stdout
 //!   --json             emit JSON instead of CSV (figures only)
+//!   --metrics-out <p>  write a per-generation JSONL journal (run only)
+//!   --log-level <l>    stderr tracing verbosity (default warn)
 //! ```
 
 mod commands;
@@ -40,6 +42,11 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let options = Options::parse(&args[1..])?;
+    // Route engine/framework tracing to stderr at the requested verbosity.
+    // try_init: repeated invocations (tests) keep the first subscriber.
+    let _ = tracing_subscriber::fmt()
+        .with_max_level(options.log_level)
+        .try_init();
     match command.as_str() {
         "dataset" => commands::dataset(&options),
         "figure" => {
@@ -74,6 +81,7 @@ USAGE:
     hetsched dataset [--set 1|2|3] [--rng SEED]
     hetsched figure <1|2|3|4|5|6> [--scale F] [--out PATH] [--json]
     hetsched run [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--rng SEED]
+                 [--metrics-out PATH] [--log-level error|warn|info|debug|trace]
     hetsched seeds [--set 1|2|3] [--tasks N] [--rng SEED]
     hetsched gantt [--set 1|2|3] [--tasks N]
     hetsched online [--set 1|2|3] [--tasks N]
@@ -144,5 +152,29 @@ mod tests {
     fn figure_one_and_two_print() {
         assert!(run(&argv("figure 1")).is_ok());
         assert!(run(&argv("figure 2")).is_ok());
+    }
+
+    #[test]
+    fn run_with_metrics_out_writes_one_record_per_generation() {
+        let dir = std::env::temp_dir();
+        let journal = dir.join(format!("hetsched-cli-metrics-{}.jsonl", std::process::id()));
+        let report = dir.join(format!("hetsched-cli-report-{}.txt", std::process::id()));
+        let cmd = format!(
+            "run --set 1 --tasks 20 --pop 8 --scale 0.00002 --log-level error \
+             --metrics-out {} --out {}",
+            journal.display(),
+            report.display()
+        );
+        assert!(run(&argv(&cmd)).is_ok());
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&report);
+        let cfg = hetsched_core::ExperimentConfig::scaled(hetsched_core::DatasetId::One, 0.00002);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), cfg.generations() * cfg.seeds.len());
+        for line in lines {
+            serde_json::from_str::<serde_json::Value>(line)
+                .unwrap_or_else(|e| panic!("bad journal line {line:?}: {e}"));
+        }
     }
 }

@@ -20,6 +20,10 @@ pub struct Options {
     pub out: Option<String>,
     /// Emit JSON instead of CSV.
     pub json: bool,
+    /// Per-generation metrics journal path (JSONL; `run` command only).
+    pub metrics_out: Option<String>,
+    /// Stderr log verbosity for the tracing subscriber.
+    pub log_level: tracing::Level,
 }
 
 impl Default for Options {
@@ -33,6 +37,8 @@ impl Default for Options {
             rng_seed: 0x5EED,
             out: None,
             json: false,
+            metrics_out: None,
+            log_level: tracing::Level::WARN,
         }
     }
 }
@@ -45,7 +51,8 @@ impl Options {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value_for = |flag: &str| -> Result<&String, String> {
-                it.next().ok_or_else(|| format!("--{flag} requires a value"))
+                it.next()
+                    .ok_or_else(|| format!("--{flag} requires a value"))
             };
             match arg.as_str() {
                 "--set" => {
@@ -84,6 +91,14 @@ impl Options {
                 "--out" => {
                     opts.out = Some(value_for("out")?.clone());
                 }
+                "--metrics-out" => {
+                    opts.metrics_out = Some(value_for("metrics-out")?.clone());
+                }
+                "--log-level" => {
+                    opts.log_level = value_for("log-level")?.parse().map_err(|_| {
+                        "--log-level must be error, warn, info, debug, or trace".to_string()
+                    })?;
+                }
                 "--json" => opts.json = true,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag `{flag}`"));
@@ -97,8 +112,9 @@ impl Options {
     /// Writes `content` to `--out` or stdout.
     pub fn emit(&self, content: &str) -> Result<(), String> {
         match &self.out {
-            Some(path) => std::fs::write(path, content)
-                .map_err(|e| format!("cannot write {path}: {e}")),
+            Some(path) => {
+                std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+            }
             None => {
                 println!("{content}");
                 Ok(())
@@ -125,8 +141,11 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = Options::parse(&argv("5 --set 2 --scale 0.5 --tasks 42 --pop 10 --rng 7 --json"))
-            .unwrap();
+        let o = Options::parse(&argv(
+            "5 --set 2 --scale 0.5 --tasks 42 --pop 10 --rng 7 --json \
+             --metrics-out run.jsonl --log-level debug",
+        ))
+        .unwrap();
         assert_eq!(o.positional, vec!["5"]);
         assert_eq!(o.set, 2);
         assert_eq!(o.scale, 0.5);
@@ -134,6 +153,8 @@ mod tests {
         assert_eq!(o.population, 10);
         assert_eq!(o.rng_seed, 7);
         assert!(o.json);
+        assert_eq!(o.metrics_out.as_deref(), Some("run.jsonl"));
+        assert_eq!(o.log_level, tracing::Level::DEBUG);
     }
 
     #[test]
@@ -144,5 +165,7 @@ mod tests {
         assert!(Options::parse(&argv("--scale -1")).is_err());
         assert!(Options::parse(&argv("--tasks")).is_err());
         assert!(Options::parse(&argv("--frobnicate 1")).is_err());
+        assert!(Options::parse(&argv("--log-level loud")).is_err());
+        assert!(Options::parse(&argv("--metrics-out")).is_err());
     }
 }

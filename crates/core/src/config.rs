@@ -145,16 +145,24 @@ impl ExperimentConfig {
             return Err(crate::CoreError::InvalidConfig("population must be >= 2"));
         }
         if self.snapshots.is_empty() {
-            return Err(crate::CoreError::InvalidConfig("need at least one snapshot"));
+            return Err(crate::CoreError::InvalidConfig(
+                "need at least one snapshot",
+            ));
         }
         if self.snapshots.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(crate::CoreError::InvalidConfig("snapshots must strictly ascend"));
+            return Err(crate::CoreError::InvalidConfig(
+                "snapshots must strictly ascend",
+            ));
         }
         if self.seeds.is_empty() {
-            return Err(crate::CoreError::InvalidConfig("need at least one seed kind"));
+            return Err(crate::CoreError::InvalidConfig(
+                "need at least one seed kind",
+            ));
         }
         if !(0.0..=1.0).contains(&self.mutation_rate) {
-            return Err(crate::CoreError::InvalidConfig("mutation rate must be in [0, 1]"));
+            return Err(crate::CoreError::InvalidConfig(
+                "mutation rate must be in [0, 1]",
+            ));
         }
         Ok(())
     }
@@ -172,7 +180,10 @@ mod tests {
         assert_eq!(DatasetId::Two.duration(), 900.0);
         assert_eq!(DatasetId::Three.tasks(), 4000);
         assert_eq!(DatasetId::Three.duration(), 3600.0);
-        assert_eq!(DatasetId::One.paper_snapshots(), vec![100, 1_000, 10_000, 100_000]);
+        assert_eq!(
+            DatasetId::One.paper_snapshots(),
+            vec![100, 1_000, 10_000, 100_000]
+        );
         assert_eq!(
             DatasetId::Three.paper_snapshots(),
             vec![1_000, 10_000, 100_000, 1_000_000]

@@ -141,7 +141,11 @@ pub fn fig5(report: &AnalysisReport) -> Option<Fig5Data> {
     };
     let upe = UpeAnalysis::of(&front)?;
     Some(Fig5Data {
-        front: front.points().iter().map(|p| (p.energy, p.utility)).collect(),
+        front: front
+            .points()
+            .iter()
+            .map(|p| (p.energy, p.utility))
+            .collect(),
         upe_vs_utility: upe.upe_vs_utility(&front),
         upe_vs_energy: upe.upe_vs_energy(&front),
         peak: (upe.peak.utility, upe.peak.energy),

@@ -3,12 +3,14 @@
 //! snapshot iterations.
 
 use crate::config::{DatasetId, ExperimentConfig};
+use crate::journal::{JournalObserver, RunJournal};
 use crate::report::{AnalysisReport, PopulationRun};
 use crate::Result;
 use hetsched_alloc::AllocationProblem;
 use hetsched_analysis::ParetoFront;
 use hetsched_data::{real_system, HcSystem};
 use hetsched_heuristics::SeedKind;
+use hetsched_moea::observe::{NullObserver, Observer};
 use hetsched_moea::{Individual, Nsga2, Nsga2Config};
 use hetsched_sim::Allocation;
 use hetsched_workload::{Trace, TraceGenerator};
@@ -35,11 +37,17 @@ impl Framework {
         let mut rng = StdRng::seed_from_u64(config.rng_seed);
         let system = match config.dataset {
             DatasetId::One => real_system(),
-            DatasetId::Two | DatasetId::Three => hetsched_synth::builder::dataset2_system(&mut rng)?,
+            DatasetId::Two | DatasetId::Three => {
+                hetsched_synth::builder::dataset2_system(&mut rng)?
+            }
         };
         let trace = TraceGenerator::new(config.tasks, config.duration, system.task_type_count())
             .generate(&mut rng)?;
-        Ok(Framework { system, trace, config: config.clone() })
+        Ok(Framework {
+            system,
+            trace,
+            config: config.clone(),
+        })
     }
 
     /// Convenience constructor pinning the config's dataset to
@@ -88,7 +96,11 @@ impl Framework {
         config.tasks = trace.len();
         config.duration = trace.duration();
         config.validate()?;
-        Ok(Framework { system, trace, config })
+        Ok(Framework {
+            system,
+            trace,
+            config,
+        })
     }
 
     /// The system under analysis.
@@ -109,14 +121,36 @@ impl Framework {
     /// Runs one NSGA-II population per configured seed kind (in parallel
     /// across populations) and collects the per-snapshot Pareto fronts.
     pub fn run(&self) -> AnalysisReport {
+        self.run_with_journal(None)
+    }
+
+    /// As [`Framework::run`], additionally appending every population's
+    /// per-generation [`crate::journal::JournalRecord`] to `journal` when
+    /// one is given. Populations still run in parallel; the journal
+    /// serialises appends internally.
+    pub fn run_with_journal(&self, journal: Option<&RunJournal>) -> AnalysisReport {
         let runs: Vec<PopulationRun> = self
             .config
             .seeds
             .par_iter()
             .enumerate()
-            .map(|(i, &seed)| self.run_population(seed, i as u64))
+            .map(|(i, &seed)| match journal {
+                Some(journal) => {
+                    let mut observer = JournalObserver::new(journal, seed, i as u64);
+                    self.run_population_observed(seed, i as u64, &mut observer)
+                }
+                None => self.run_population(seed, i as u64),
+            })
             .collect();
-        AnalysisReport { runs, snapshots: self.config.snapshots.clone() }
+        if let Some(journal) = journal {
+            if let Err(e) = journal.flush() {
+                tracing::warn!("journal flush failed: {e}");
+            }
+        }
+        AnalysisReport {
+            runs,
+            snapshots: self.config.snapshots.clone(),
+        }
     }
 
     /// Runs the whole experiment `replicates` times with decorrelated RNG
@@ -133,7 +167,10 @@ impl Framework {
             .par_iter()
             .map(|&r| {
                 let mut config = self.config.clone();
-                config.rng_seed = self.config.rng_seed.wrapping_add(r.wrapping_mul(0xA5A5_1234));
+                config.rng_seed = self
+                    .config
+                    .rng_seed
+                    .wrapping_add(r.wrapping_mul(0xA5A5_1234));
                 // Reuse this framework's system and trace; only the engine
                 // streams differ between replicates.
                 let fw = Framework {
@@ -161,12 +198,24 @@ impl Framework {
 
     /// Runs a single seeded population.
     pub fn run_population(&self, seed: SeedKind, stream: u64) -> PopulationRun {
+        self.run_population_observed(seed, stream, &mut NullObserver)
+    }
+
+    /// As [`Framework::run_population`], delivering per-generation metrics
+    /// to `observer` (see [`hetsched_moea::observe`]).
+    pub fn run_population_observed<O: Observer<Allocation>>(
+        &self,
+        seed: SeedKind,
+        stream: u64,
+        observer: &mut O,
+    ) -> PopulationRun {
         let problem = AllocationProblem::new(&self.system, &self.trace);
         let engine_cfg = Nsga2Config {
             population: self.config.population,
             mutation_rate: self.config.mutation_rate,
             generations: self.config.generations(),
             parallel: self.config.parallel,
+            hv_reference: Some(self.hv_reference()),
             ..Default::default()
         };
         let engine = Nsga2::new(&problem, engine_cfg);
@@ -174,17 +223,48 @@ impl Framework {
         let mut fronts: Vec<(usize, ParetoFront)> = Vec::new();
         // One deterministic RNG stream per population (stable across runs
         // and independent of rayon scheduling).
-        let engine_seed = self.config.rng_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1));
-        let final_pop = engine.run_with_snapshots(
+        let engine_seed =
+            self.config.rng_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1));
+        tracing::info!(
+            "population {} (stream {stream}): {} generations over {} tasks",
+            seed.label(),
+            self.config.generations(),
+            self.trace.len(),
+        );
+        let final_pop = engine.run_observed(
             seeds,
             engine_seed,
             &self.config.snapshots[..self.config.snapshots.len() - 1],
             |generation, population| {
                 fronts.push((generation, front_of(population)));
             },
+            observer,
         );
         fronts.push((self.config.generations(), front_of(&final_pop)));
         PopulationRun { seed, fronts }
+    }
+
+    /// The fixed hypervolume reference point journalled metrics are scored
+    /// against: the worst corner of the objective space — zero utility
+    /// (objective 0 is `-utility`, so 0.0) and every task on its most
+    /// expensive machine has an upper bound in `max_utility × machines`;
+    /// we use the simpler provable box `[ε, Σ max-energy]` padded slightly
+    /// so boundary points still contribute area.
+    fn hv_reference(&self) -> [f64; 2] {
+        let max_energy: f64 = self
+            .trace
+            .tasks()
+            .iter()
+            .map(|t| {
+                self.system
+                    .feasible_machines(t.task_type)
+                    .iter()
+                    .map(|&m| self.system.energy(t.task_type, m))
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        // Objective 0 is -utility: all points lie at or below 0.0.
+        [1e-9, max_energy * 1.000_001]
     }
 }
 
@@ -296,6 +376,35 @@ mod tests {
     }
 
     #[test]
+    fn journaled_run_writes_one_record_per_generation_per_population() {
+        let cfg = tiny(DatasetId::One);
+        let fw = Framework::new(&cfg).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "hetsched-journal-test-{}.jsonl",
+            std::process::id()
+        ));
+        let journal = RunJournal::create(&path).unwrap();
+        let report = fw.run_with_journal(Some(&journal));
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), report.runs.len() * cfg.generations());
+        for line in &lines {
+            let value: serde_json::Value = serde_json::from_str(line).unwrap();
+            let rendered = serde_json::to_string(&value).unwrap();
+            assert!(rendered.contains("\"generation\""), "{rendered}");
+            assert!(rendered.contains("\"hypervolume\""), "{rendered}");
+        }
+        // Journalling must not perturb the experiment itself.
+        let plain = fw.run();
+        for (a, b) in report.runs.iter().zip(&plain.runs) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.fronts, b.fronts);
+        }
+    }
+
+    #[test]
     fn min_energy_population_starts_at_energy_bound() {
         // The min-energy-seeded population's first-snapshot front must
         // include the provably minimal energy value.
@@ -307,6 +416,9 @@ mod tests {
         let bound = hetsched_sim::Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
         let first_front = &report.runs[0].fronts[0].1;
         let min_e = first_front.min_energy().unwrap().energy;
-        assert!((min_e - bound).abs() < 1e-6, "min energy {min_e} vs bound {bound}");
+        assert!(
+            (min_e - bound).abs() < 1e-6,
+            "min energy {min_e} vs bound {bound}"
+        );
     }
 }

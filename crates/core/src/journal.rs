@@ -1,0 +1,207 @@
+//! Run journal: serialises an experiment's per-generation trajectory to
+//! JSON Lines — one [`JournalRecord`] per generation per population.
+//!
+//! The journal is shared across the populations a [`Framework`] run
+//! executes in parallel, so appends go through a mutex; each record is
+//! written as a single line, keeping concurrent writers from interleaving
+//! within a record.
+//!
+//! [`Framework`]: crate::Framework
+
+use hetsched_heuristics::SeedKind;
+use hetsched_moea::observe::{GenerationStats, Observer};
+use hetsched_moea::Individual;
+use hetsched_sim::Allocation;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One journal line: which population produced the generation, plus the
+/// engine's metrics record.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JournalRecord {
+    /// Seeding-heuristic label of the population (e.g. `"Min Energy"`).
+    pub population: String,
+    /// The population's RNG stream index within the experiment.
+    pub stream: u64,
+    /// The engine's per-generation metrics.
+    pub stats: GenerationStats,
+}
+
+/// A JSONL sink for [`JournalRecord`]s, safe to share across the
+/// framework's parallel population runs.
+pub struct RunJournal {
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl RunJournal {
+    /// Opens (truncating) a journal file, buffered.
+    ///
+    /// # Errors
+    ///
+    /// File creation failures.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(RunJournal::to_writer(BufWriter::new(file)))
+    }
+
+    /// Wraps any writer — handy for tests and in-memory capture.
+    pub fn to_writer(writer: impl Write + Send + 'static) -> Self {
+        RunJournal {
+            sink: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Appends one record as a JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Serialisation or write failures.
+    pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut sink = self.sink.lock().expect("journal mutex poisoned");
+        writeln!(sink, "{line}")
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn flush(&self) -> io::Result<()> {
+        self.sink.lock().expect("journal mutex poisoned").flush()
+    }
+}
+
+/// Bridges one population's engine observer to a shared [`RunJournal`].
+/// Write errors are reported once via `tracing::warn!` and further appends
+/// are suppressed, so a full disk cannot abort a long experiment.
+pub struct JournalObserver<'a> {
+    journal: &'a RunJournal,
+    population: &'static str,
+    stream: u64,
+    failed: bool,
+}
+
+impl<'a> JournalObserver<'a> {
+    /// Creates the observer for one population run.
+    pub fn new(journal: &'a RunJournal, seed: SeedKind, stream: u64) -> Self {
+        JournalObserver {
+            journal,
+            population: seed.label(),
+            stream,
+            failed: false,
+        }
+    }
+}
+
+impl Observer<Allocation> for JournalObserver<'_> {
+    fn on_generation(&mut self, stats: &GenerationStats, _population: &[Individual<Allocation>]) {
+        if self.failed {
+            return;
+        }
+        let record = JournalRecord {
+            population: self.population.to_string(),
+            stream: self.stream,
+            stats: stats.clone(),
+        };
+        if let Err(e) = self.journal.append(&record) {
+            tracing::warn!(
+                "journal write failed for population {} (stream {}): {e}; disabling journal",
+                self.population,
+                self.stream,
+            );
+            self.failed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_moea::observe::PhaseTimings;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A writer whose buffer outlives the journal, for asserting output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn record(generation: usize) -> JournalRecord {
+        JournalRecord {
+            population: "Random".to_string(),
+            stream: 4,
+            stats: GenerationStats {
+                generation,
+                front_sizes: vec![3, 1],
+                ideal: [-10.0, 2.5],
+                hypervolume: Some(12.0),
+                crowding_spread: 0.5,
+                evaluations: 16,
+                timings: PhaseTimings {
+                    mating_s: 0.01,
+                    evaluation_s: 0.02,
+                    sorting_s: 0.003,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn writes_one_line_per_record() {
+        let buf = SharedBuf::default();
+        let journal = RunJournal::to_writer(buf.clone());
+        for generation in 1..=3 {
+            journal.append(&record(generation)).unwrap();
+        }
+        journal.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let value: serde_json::Value = serde_json::from_str(line).unwrap();
+            let rendered = serde_json::to_string(&value).unwrap();
+            assert!(rendered.contains("\"population\":\"Random\""), "{rendered}");
+            assert!(
+                rendered.contains(&format!("\"generation\":{}", i + 1)),
+                "{rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_appends_do_not_interleave() {
+        let buf = SharedBuf::default();
+        let journal = Arc::new(RunJournal::to_writer(buf.clone()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let journal = Arc::clone(&journal);
+                scope.spawn(move || {
+                    for generation in 1..=50 {
+                        journal.append(&record(generation)).unwrap();
+                    }
+                });
+            }
+        });
+        journal.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            serde_json::from_str::<serde_json::Value>(line)
+                .unwrap_or_else(|e| panic!("corrupt journal line {line:?}: {e}"));
+        }
+    }
+}

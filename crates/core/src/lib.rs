@@ -24,11 +24,13 @@
 pub mod config;
 pub mod figures;
 pub mod framework;
+pub mod journal;
 pub mod report;
 pub mod suite;
 
 pub use config::{DatasetId, ExperimentConfig};
 pub use framework::Framework;
+pub use journal::{JournalObserver, JournalRecord, RunJournal};
 pub use report::{AnalysisReport, PopulationRun};
 pub use suite::{check_report, verify_dataset, Check, DatasetVerdict};
 

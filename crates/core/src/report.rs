@@ -17,12 +17,19 @@ pub struct PopulationRun {
 impl PopulationRun {
     /// The final front of this population.
     pub fn final_front(&self) -> &ParetoFront {
-        &self.fronts.last().expect("runs always have at least one snapshot").1
+        &self
+            .fronts
+            .last()
+            .expect("runs always have at least one snapshot")
+            .1
     }
 
     /// The front at a specific snapshot, if captured.
     pub fn front_at(&self, iterations: usize) -> Option<&ParetoFront> {
-        self.fronts.iter().find(|(i, _)| *i == iterations).map(|(_, f)| f)
+        self.fronts
+            .iter()
+            .find(|(i, _)| *i == iterations)
+            .map(|(_, f)| f)
     }
 }
 
@@ -62,7 +69,11 @@ impl AnalysisReport {
         let mut out = Vec::new();
         for run in &self.runs {
             for (iterations, front) in &run.fronts {
-                out.push(FigureSeries::from_front(run.seed.label(), *iterations, front));
+                out.push(FigureSeries::from_front(
+                    run.seed.label(),
+                    *iterations,
+                    front,
+                ));
             }
         }
         out
@@ -154,8 +165,12 @@ mod tests {
         let report = sample_report();
         let series = report.to_series();
         assert_eq!(series.len(), 4);
-        assert!(series.iter().any(|s| s.label == "min-energy" && s.iterations == 10));
-        assert!(series.iter().any(|s| s.label == "random" && s.iterations == 100));
+        assert!(series
+            .iter()
+            .any(|s| s.label == "min-energy" && s.iterations == 10));
+        assert!(series
+            .iter()
+            .any(|s| s.label == "random" && s.iterations == 100));
     }
 
     #[test]
@@ -181,7 +196,10 @@ mod tests {
 
     #[test]
     fn empty_report_combined_front_is_empty() {
-        let report = AnalysisReport { runs: vec![], snapshots: vec![] };
+        let report = AnalysisReport {
+            runs: vec![],
+            snapshots: vec![],
+        };
         assert!(report.combined_front().is_empty());
         assert!(report.upe().is_none());
     }

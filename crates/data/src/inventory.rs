@@ -17,7 +17,9 @@ pub struct MachineInventory {
 impl MachineInventory {
     /// Inventory with exactly one machine per machine type (data set 1).
     pub fn one_of_each(machine_types: usize) -> Self {
-        MachineInventory { counts: vec![1; machine_types] }
+        MachineInventory {
+            counts: vec![1; machine_types],
+        }
     }
 
     /// Inventory from explicit per-type counts.
@@ -59,7 +61,10 @@ impl MachineInventory {
         let mut next = 0u32;
         for (ty, &count) in self.counts.iter().enumerate() {
             for _ in 0..count {
-                out.push(Machine { id: MachineId(next), machine_type: MachineTypeId(ty as u16) });
+                out.push(Machine {
+                    id: MachineId(next),
+                    machine_type: MachineTypeId(ty as u16),
+                });
                 next += 1;
             }
         }
@@ -98,7 +103,11 @@ pub fn dataset2_machine_type_names() -> Vec<String> {
     let mut names: Vec<String> = (b'A'..=b'D')
         .map(|c| format!("Special-purpose machine {}", c as char))
         .collect();
-    names.extend(crate::real::REAL_MACHINE_NAMES.iter().map(|s| s.to_string()));
+    names.extend(
+        crate::real::REAL_MACHINE_NAMES
+            .iter()
+            .map(|s| s.to_string()),
+    );
     names
 }
 

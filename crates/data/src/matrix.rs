@@ -27,21 +27,30 @@ mod serde_inf {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
     pub fn serialize<S: Serializer>(data: &[f64], s: S) -> Result<S::Ok, S::Error> {
-        let opt: Vec<Option<f64>> =
-            data.iter().map(|&v| if v.is_finite() { Some(v) } else { None }).collect();
+        let opt: Vec<Option<f64>> = data
+            .iter()
+            .map(|&v| if v.is_finite() { Some(v) } else { None })
+            .collect();
         opt.serialize(s)
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
         let opt = Vec::<Option<f64>>::deserialize(d)?;
-        Ok(opt.into_iter().map(|v| v.unwrap_or(f64::INFINITY)).collect())
+        Ok(opt
+            .into_iter()
+            .map(|v| v.unwrap_or(f64::INFINITY))
+            .collect())
     }
 }
 
 impl TypeMatrix {
     /// Creates a matrix filled with `fill`.
     pub fn filled(task_types: usize, machine_types: usize, fill: f64) -> Self {
-        TypeMatrix { task_types, machine_types, data: vec![fill; task_types * machine_types] }
+        TypeMatrix {
+            task_types,
+            machine_types,
+            data: vec![fill; task_types * machine_types],
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -52,9 +61,15 @@ impl TypeMatrix {
     /// `task_types * machine_types`.
     pub fn from_rows(task_types: usize, machine_types: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != task_types * machine_types {
-            return Err(DataError::DimensionMismatch { what: "row-major data length" });
+            return Err(DataError::DimensionMismatch {
+                what: "row-major data length",
+            });
         }
-        Ok(TypeMatrix { task_types, machine_types, data })
+        Ok(TypeMatrix {
+            task_types,
+            machine_types,
+            data,
+        })
     }
 
     /// Number of task types (rows).
@@ -96,7 +111,10 @@ impl TypeMatrix {
 
     /// Iterator over the column for machine type `m`.
     pub fn column(&self, m: MachineTypeId) -> impl Iterator<Item = f64> + '_ {
-        self.data[m.index()..].iter().copied().step_by(self.machine_types)
+        self.data[m.index()..]
+            .iter()
+            .copied()
+            .step_by(self.machine_types)
     }
 
     /// Mean of the *finite* entries of row `t` — the paper's "row average"
@@ -117,7 +135,9 @@ impl TypeMatrix {
     /// All row averages, in task-type order (skipping none; rows with no
     /// finite entry yield `None`).
     pub fn row_averages(&self) -> Vec<Option<f64>> {
-        (0..self.task_types).map(|t| self.row_average(TaskTypeId(t as u16))).collect()
+        (0..self.task_types)
+            .map(|t| self.row_average(TaskTypeId(t as u16)))
+            .collect()
     }
 
     /// Appends a new row, returning its [`TaskTypeId`].
@@ -128,7 +148,9 @@ impl TypeMatrix {
     /// the machine-type count.
     pub fn push_row(&mut self, row: &[f64]) -> Result<TaskTypeId> {
         if row.len() != self.machine_types {
-            return Err(DataError::DimensionMismatch { what: "pushed row length" });
+            return Err(DataError::DimensionMismatch {
+                what: "pushed row length",
+            });
         }
         let id = TaskTypeId(self.task_types as u16);
         self.data.extend_from_slice(row);
@@ -144,7 +166,9 @@ impl TypeMatrix {
     /// the task-type count.
     pub fn push_column(&mut self, col: &[f64]) -> Result<MachineTypeId> {
         if col.len() != self.task_types {
-            return Err(DataError::DimensionMismatch { what: "pushed column length" });
+            return Err(DataError::DimensionMismatch {
+                what: "pushed column length",
+            });
         }
         let id = MachineTypeId(self.machine_types as u16);
         let old_cols = self.machine_types;
@@ -166,7 +190,9 @@ impl TypeMatrix {
     pub fn validate_positive(&self) -> Result<()> {
         for &v in &self.data {
             if v.is_nan() || v <= 0.0 {
-                return Err(DataError::InvalidValue { what: "entries must be > 0 or +inf" });
+                return Err(DataError::InvalidValue {
+                    what: "entries must be > 0 or +inf",
+                });
             }
         }
         Ok(())
@@ -220,7 +246,9 @@ impl Epc {
 /// [`DataError::DimensionMismatch`] when the two matrices disagree in shape.
 pub fn eec(etc: &Etc, epc: &Epc) -> Result<TypeMatrix> {
     if etc.0.task_types() != epc.0.task_types() || etc.0.machine_types() != epc.0.machine_types() {
-        return Err(DataError::DimensionMismatch { what: "ETC vs EPC shape" });
+        return Err(DataError::DimensionMismatch {
+            what: "ETC vs EPC shape",
+        });
     }
     let mut out = TypeMatrix::filled(etc.0.task_types(), etc.0.machine_types(), 0.0);
     for t in 0..etc.0.task_types() {

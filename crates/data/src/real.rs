@@ -53,8 +53,7 @@ pub const REAL_TASK_TYPES: usize = 5;
 // orders matching REAL_TASK_NAMES / REAL_MACHINE_NAMES).
 const ETC_DATA: [f64; 45] = [
     // C-Ray: CPU/thread-count bound, ~3.8x spread.
-    95.0, 45.0, 88.0, 62.0, 55.0, 28.0, 25.0, 40.0, 36.0,
-    // 7-Zip Compression.
+    95.0, 45.0, 88.0, 62.0, 55.0, 28.0, 25.0, 40.0, 36.0, // 7-Zip Compression.
     150.0, 85.0, 140.0, 105.0, 95.0, 60.0, 55.0, 78.0, 71.0,
     // Warsow: GPU-assisted, spread compressed.
     210.0, 160.0, 150.0, 130.0, 115.0, 100.0, 92.0, 105.0, 96.0,
@@ -67,8 +66,7 @@ const ETC_DATA: [f64; 45] = [
 // Row-major 5×9 average system power draws in watts.
 const EPC_DATA: [f64; 45] = [
     // C-Ray.
-    128.0, 182.0, 96.0, 92.0, 124.0, 196.0, 228.0, 131.0, 157.0,
-    // 7-Zip Compression.
+    128.0, 182.0, 96.0, 92.0, 124.0, 196.0, 228.0, 131.0, 157.0, // 7-Zip Compression.
     122.0, 175.0, 93.0, 88.0, 118.0, 188.0, 219.0, 126.0, 149.0,
     // Warsow (discrete GPU active).
     221.0, 262.0, 178.0, 173.0, 206.0, 272.0, 301.0, 212.0, 233.0,
@@ -80,14 +78,18 @@ const EPC_DATA: [f64; 45] = [
 
 /// The 5×9 real ETC matrix (seconds).
 pub fn real_etc() -> Etc {
-    Etc(TypeMatrix::from_rows(REAL_TASK_TYPES, REAL_MACHINE_TYPES, ETC_DATA.to_vec())
-        .expect("static data has correct shape"))
+    Etc(
+        TypeMatrix::from_rows(REAL_TASK_TYPES, REAL_MACHINE_TYPES, ETC_DATA.to_vec())
+            .expect("static data has correct shape"),
+    )
 }
 
 /// The 5×9 real EPC matrix (watts).
 pub fn real_epc() -> Epc {
-    Epc(TypeMatrix::from_rows(REAL_TASK_TYPES, REAL_MACHINE_TYPES, EPC_DATA.to_vec())
-        .expect("static data has correct shape"))
+    Epc(
+        TypeMatrix::from_rows(REAL_TASK_TYPES, REAL_MACHINE_TYPES, EPC_DATA.to_vec())
+            .expect("static data has correct shape"),
+    )
 }
 
 /// Data set 1: the real 5×9 matrices with exactly one machine per machine
@@ -196,13 +198,17 @@ mod tests {
                 .unwrap();
             let best_energy = (0..9u16)
                 .min_by(|&a, &b| {
-                    sys.eec(t, MachineTypeId(a)).total_cmp(&sys.eec(t, MachineTypeId(b)))
+                    sys.eec(t, MachineTypeId(a))
+                        .total_cmp(&sys.eec(t, MachineTypeId(b)))
                 })
                 .unwrap();
             if best_time != best_energy {
                 differs = true;
             }
         }
-        assert!(differs, "fastest machine always cheapest: no energy/time trade-off");
+        assert!(
+            differs,
+            "fastest machine always cheapest: no energy/time trade-off"
+        );
     }
 }

@@ -53,13 +53,19 @@ impl HcSystem {
         etc.0.validate_positive()?;
         epc.0.validate_positive()?;
         if inventory.machine_types() != etc.0.machine_types() {
-            return Err(DataError::DimensionMismatch { what: "inventory vs ETC machine types" });
+            return Err(DataError::DimensionMismatch {
+                what: "inventory vs ETC machine types",
+            });
         }
         if task_type_names.len() != etc.0.task_types() {
-            return Err(DataError::DimensionMismatch { what: "task names vs ETC rows" });
+            return Err(DataError::DimensionMismatch {
+                what: "task names vs ETC rows",
+            });
         }
         if machine_type_names.len() != etc.0.machine_types() {
-            return Err(DataError::DimensionMismatch { what: "machine names vs ETC columns" });
+            return Err(DataError::DimensionMismatch {
+                what: "machine names vs ETC columns",
+            });
         }
         let machines = inventory.machines();
         let mut feasible = Vec::with_capacity(etc.0.task_types());
@@ -229,7 +235,10 @@ mod tests {
     #[test]
     fn feasibility_respects_infinity() {
         let sys = tiny_system();
-        assert_eq!(sys.feasible_machines(TaskTypeId(0)), &[MachineId(0), MachineId(1)]);
+        assert_eq!(
+            sys.feasible_machines(TaskTypeId(0)),
+            &[MachineId(0), MachineId(1)]
+        );
         assert_eq!(
             sys.feasible_machines(TaskTypeId(1)),
             &[MachineId(0), MachineId(1), MachineId(2)]
@@ -293,12 +302,14 @@ mod tests {
         let sys = tiny_system();
         // Drop the special machine (type 1): task 1 loses an option but
         // remains executable on the generals.
-        let reduced = sys.with_inventory(MachineInventory::from_counts(vec![2, 0]).unwrap())
+        let reduced = sys
+            .with_inventory(MachineInventory::from_counts(vec![2, 0]).unwrap())
             .unwrap();
         assert_eq!(reduced.machine_count(), 2);
         assert_eq!(reduced.feasible_machines(TaskTypeId(1)).len(), 2);
         // Growing the suite adds options.
-        let grown = sys.with_inventory(MachineInventory::from_counts(vec![3, 2]).unwrap())
+        let grown = sys
+            .with_inventory(MachineInventory::from_counts(vec![3, 2]).unwrap())
             .unwrap();
         assert_eq!(grown.machine_count(), 5);
         assert_eq!(grown.feasible_machines(TaskTypeId(0)).len(), 3);
@@ -311,8 +322,14 @@ mod tests {
         let etc = Etc(TypeMatrix::from_rows(2, 2, vec![10.0, 20.0, f64::INFINITY, 2.0]).unwrap());
         let epc = Epc(TypeMatrix::filled(2, 2, 100.0));
         let inv = MachineInventory::from_counts(vec![1, 1]).unwrap();
-        let sys = HcSystem::new(etc, epc, inv, vec!["a".into(), "b".into()],
-            vec!["g".into(), "s".into()]).unwrap();
+        let sys = HcSystem::new(
+            etc,
+            epc,
+            inv,
+            vec!["a".into(), "b".into()],
+            vec!["g".into(), "s".into()],
+        )
+        .unwrap();
         let err = sys
             .with_inventory(MachineInventory::from_counts(vec![1, 0]).unwrap())
             .unwrap_err();

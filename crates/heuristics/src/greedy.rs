@@ -19,7 +19,9 @@ pub fn min_energy(system: &HcSystem, trace: &Trace) -> Allocation {
                 .feasible_machines(t.task_type)
                 .iter()
                 .min_by(|&&a, &&b| {
-                    system.energy(t.task_type, a).total_cmp(&system.energy(t.task_type, b))
+                    system
+                        .energy(t.task_type, a)
+                        .total_cmp(&system.energy(t.task_type, b))
                 })
                 .expect("validated systems leave no task type unexecutable")
         })

@@ -63,7 +63,10 @@ mod tests {
         // over the other queue-aware heuristics).
         assert!(mm.makespan < me.makespan);
         for o in [&me, &mu, &upe] {
-            assert!(mm.utility >= o.utility - 1e-9, "min-min should earn the most utility");
+            assert!(
+                mm.utility >= o.utility - 1e-9,
+                "min-min should earn the most utility"
+            );
         }
 
         // Utility-per-energy of the UPE seed beats the Min Energy seed's.

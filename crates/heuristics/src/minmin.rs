@@ -38,8 +38,7 @@ pub fn min_min_completion_time(system: &HcSystem, trace: &Trace) -> Allocation {
         }
         best
     };
-    let mut cache: Vec<(f64, MachineId)> =
-        (0..n).map(|t| best_for(t, &machine_free)).collect();
+    let mut cache: Vec<(f64, MachineId)> = (0..n).map(|t| best_for(t, &machine_free)).collect();
 
     for step in 0..n {
         // Stage two: overall minimum completion time among unmapped tasks.
@@ -65,7 +64,10 @@ pub fn min_min_completion_time(system: &HcSystem, trace: &Trace) -> Allocation {
             }
         }
     }
-    Allocation { machine: assignment, order }
+    Allocation {
+        machine: assignment,
+        order,
+    }
 }
 
 /// Reference implementation: the naive O(T²·M) double loop the cached
@@ -100,7 +102,10 @@ pub fn min_min_completion_time_naive(system: &HcSystem, trace: &Trace) -> Alloca
         order[t] = step as u32;
         machine_free[m.index()] = pick_finish;
     }
-    Allocation { machine: assignment, order }
+    Allocation {
+        machine: assignment,
+        order,
+    }
 }
 
 #[cfg(test)]

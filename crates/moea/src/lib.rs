@@ -19,13 +19,15 @@ pub mod baselines;
 pub mod dominance;
 pub mod moead;
 pub mod nsga2;
+pub mod observe;
 pub mod problem;
 pub mod sort;
 pub mod spea2;
 
 pub use dominance::{dominates, Objectives};
-pub use nsga2::{pareto_front, Individual, Mating, Nsga2, Nsga2Config, Stagnation, Survival};
 pub use moead::{moead, MoeadConfig};
+pub use nsga2::{pareto_front, Individual, Mating, Nsga2, Nsga2Config, Stagnation, Survival};
+pub use observe::{GenerationStats, NullObserver, Observer, PhaseTimings, StatsLog};
 pub use problem::Problem;
-pub use spea2::{spea2, Spea2Config};
 pub use sort::{crowding_distance, fast_nondominated_sort};
+pub use spea2::{spea2, Spea2Config};

@@ -38,7 +38,12 @@ pub struct MoeadConfig {
 
 impl Default for MoeadConfig {
     fn default() -> Self {
-        MoeadConfig { subproblems: 100, neighbours: 10, mutation_rate: 0.5, generations: 100 }
+        MoeadConfig {
+            subproblems: 100,
+            neighbours: 10,
+            mutation_rate: 0.5,
+            generations: 100,
+        }
     }
 }
 
@@ -79,12 +84,8 @@ pub fn moead<P: Problem>(
         lo..lo + t
     };
 
-    // Initial population: seeds then randoms, one incumbent per subproblem.
+    // Initial population: one random incumbent per subproblem.
     let mut population: Vec<Individual<P::Genome>> = Vec::with_capacity(n);
-    for genome in seeds.into_iter().take(n) {
-        let objectives = problem.evaluate(&mut ev, &genome);
-        population.push(Individual { genome, objectives });
-    }
     while population.len() < n {
         let genome = problem.random_genome(&mut rng);
         let objectives = problem.evaluate(&mut ev, &genome);
@@ -94,6 +95,34 @@ pub fn moead<P: Problem>(
     for ind in &population {
         ideal[0] = ideal[0].min(ind.objectives[0]);
         ideal[1] = ideal[1].min(ind.objectives[1]);
+    }
+    // Seeds replace the incumbent of the subproblem whose scalarisation
+    // they minimise. Placing them by index instead (seed k at subproblem k)
+    // pins a corner optimum to the weight vector it scores *worst* on, so
+    // it is replaced within a generation and the corner is lost. The ideal
+    // point must absorb ALL seeds before any placement: under a partially
+    // updated ideal a seed's own objectives sit below z* in one coordinate,
+    // its scalarisation degenerates to 0 for every weight, and argmin ties
+    // collapse to subproblem 0.
+    let seeded: Vec<Individual<P::Genome>> = seeds
+        .into_iter()
+        .take(n)
+        .map(|genome| {
+            let objectives = problem.evaluate(&mut ev, &genome);
+            ideal[0] = ideal[0].min(objectives[0]);
+            ideal[1] = ideal[1].min(objectives[1]);
+            Individual { genome, objectives }
+        })
+        .collect();
+    for ind in seeded {
+        let best = (0..n)
+            .min_by(|&a, &b| {
+                let ga = tchebycheff(&ind.objectives, lambda[a], &ideal);
+                let gb = tchebycheff(&ind.objectives, lambda[b], &ideal);
+                ga.total_cmp(&gb)
+            })
+            .expect("at least two subproblems");
+        population[best] = ind;
     }
 
     for _ in 0..config.generations {
@@ -116,8 +145,10 @@ pub fn moead<P: Problem>(
                 if tchebycheff(&objectives, lambda[j], &ideal)
                     < tchebycheff(&population[j].objectives, lambda[j], &ideal)
                 {
-                    population[j] =
-                        Individual { genome: child.clone(), objectives };
+                    population[j] = Individual {
+                        genome: child.clone(),
+                        objectives,
+                    };
                 }
             }
         }
@@ -144,7 +175,7 @@ mod tests {
         // Pure weight on objective 0 scores only that objective.
         let g = tchebycheff(&[2.0, 100.0], (1.0, 0.0), &ideal);
         assert!((g - 2.0).abs() < 0.011, "g = {g}"); // 1e-4 floor leaks 0.01
-        // Balanced weight takes the max.
+                                                     // Balanced weight takes the max.
         let g = tchebycheff(&[2.0, 6.0], (0.5, 0.5), &ideal);
         assert_eq!(g, 3.0);
     }
@@ -221,8 +252,14 @@ mod tests {
             generations: 5,
         };
         let front = moead(&problem, cfg, vec![0.0, 2.0], 1);
-        let min_f0 = front.iter().map(|i| i.objectives[0]).fold(f64::INFINITY, f64::min);
-        let min_f1 = front.iter().map(|i| i.objectives[1]).fold(f64::INFINITY, f64::min);
+        let min_f0 = front
+            .iter()
+            .map(|i| i.objectives[0])
+            .fold(f64::INFINITY, f64::min);
+        let min_f1 = front
+            .iter()
+            .map(|i| i.objectives[1])
+            .fold(f64::INFINITY, f64::min);
         assert!(min_f0 < 0.1, "f0 corner lost: {min_f0}");
         assert!(min_f1 < 0.1, "f1 corner lost: {min_f1}");
     }

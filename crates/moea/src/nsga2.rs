@@ -1,11 +1,13 @@
 //! The NSGA-II generational loop (§IV-D, Algorithm 1).
 
 use crate::dominance::Objectives;
+use crate::observe::{GenerationStats, NullObserver, Observer, PhaseTimings};
 use crate::problem::Problem;
 use crate::sort::{crowding_distance, fast_nondominated_sort};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// An evaluated member of the population.
 #[derive(Debug, Clone)]
@@ -38,7 +40,11 @@ pub enum Survival {
 pub struct Stagnation {
     /// Number of consecutive non-improving generations required to stop.
     pub window: usize,
-    /// Minimum relative per-objective improvement that counts as progress.
+    /// Minimum per-objective improvement that counts as progress, applied
+    /// on a relative-plus-absolute scale: a generation improves objective
+    /// `o` only if it gains more than `epsilon * (1 + |best[o]|)`. The
+    /// absolute term keeps the threshold meaningful when the best value
+    /// sits at exactly 0.0 (where a purely relative threshold vanishes).
     pub epsilon: f64,
 }
 
@@ -76,6 +82,10 @@ pub struct Nsga2Config {
     pub stagnation: Option<Stagnation>,
     /// Mating-selection rule.
     pub mating: Mating,
+    /// Reference point for the hypervolume reported in
+    /// [`GenerationStats`]; `None` skips the hypervolume computation.
+    /// Only read when an enabled [`Observer`] is attached.
+    pub hv_reference: Option<[f64; 2]>,
 }
 
 impl Default for Nsga2Config {
@@ -88,6 +98,7 @@ impl Default for Nsga2Config {
             survival: Survival::Crowding,
             stagnation: None,
             mating: Mating::Uniform,
+            hv_reference: None,
         }
     }
 }
@@ -155,18 +166,31 @@ impl<'a, P: Problem> Nsga2<'a, P> {
     /// mutate each with probability `mutation_rate`, evaluate, merge with
     /// the parents, and select the next N by nondominated sorting with
     /// crowding-distance truncation.
+    ///
+    /// When `probe` is present, phase wall-clocks and the evaluation count
+    /// are recorded into it; when absent no clock is read.
     fn step(
         &self,
         parents: Vec<Individual<P::Genome>>,
         rng: &mut StdRng,
+        mut probe: Option<&mut StepProbe>,
     ) -> Vec<Individual<P::Genome>> {
+        let mut mark = probe.as_ref().map(|_| Instant::now());
+        // Records the elapsed time since the last phase boundary and resets
+        // the clock; a no-op when unobserved.
+        let mut lap = |slot: fn(&mut PhaseTimings) -> &mut f64,
+                       probe: &mut Option<&mut StepProbe>| {
+            if let (Some(t), Some(p)) = (mark.as_mut(), probe.as_mut()) {
+                *slot(&mut p.timings) += t.elapsed().as_secs_f64();
+                *t = Instant::now();
+            }
+        };
         let n = self.config.population;
         // Crowded-tournament mating needs rank + crowding of the parents.
         let tournament_keys: Option<Vec<(usize, f64)>> = match self.config.mating {
             Mating::Uniform => None,
             Mating::CrowdedTournament => {
-                let points: Vec<Objectives> =
-                    parents.iter().map(|ind| ind.objectives).collect();
+                let points: Vec<Objectives> = parents.iter().map(|ind| ind.objectives).collect();
                 let fronts = fast_nondominated_sort(&points);
                 let mut keys = vec![(0usize, 0.0f64); parents.len()];
                 for (rank, front) in fronts.iter().enumerate() {
@@ -198,8 +222,9 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         while offspring_genomes.len() < n {
             let i = pick(rng);
             let j = pick(rng);
-            let (a, b) =
-                self.problem.crossover(rng, &parents[i].genome, &parents[j].genome);
+            let (a, b) = self
+                .problem
+                .crossover(rng, &parents[i].genome, &parents[j].genome);
             offspring_genomes.push(a);
             offspring_genomes.push(b);
         }
@@ -209,8 +234,13 @@ impl<'a, P: Problem> Nsga2<'a, P> {
                 self.problem.mutate(rng, genome);
             }
         }
+        if let Some(p) = probe.as_mut() {
+            p.evaluations += offspring_genomes.len();
+        }
+        lap(|t| &mut t.mating_s, &mut probe);
         let mut meta = parents;
         meta.extend(self.evaluate_all(offspring_genomes));
+        lap(|t| &mut t.evaluation_s, &mut probe);
 
         // Survival: fronts in order, crowding truncation on the last one.
         let points: Vec<Objectives> = meta.iter().map(|ind| ind.objectives).collect();
@@ -253,6 +283,7 @@ impl<'a, P: Problem> Nsga2<'a, P> {
             }
         }
         debug_assert_eq!(survivors.len(), n);
+        lap(|t| &mut t.sorting_s, &mut probe);
         survivors
     }
 
@@ -268,28 +299,78 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         seeds: Vec<P::Genome>,
         seed: u64,
         snapshots: &[usize],
-        mut on_snapshot: impl FnMut(usize, &[Individual<P::Genome>]),
+        on_snapshot: impl FnMut(usize, &[Individual<P::Genome>]),
     ) -> Vec<Individual<P::Genome>> {
-        debug_assert!(snapshots.windows(2).all(|w| w[0] < w[1]), "snapshots must ascend");
+        self.run_observed(seeds, seed, snapshots, on_snapshot, &mut NullObserver)
+    }
+
+    /// As [`Nsga2::run_with_snapshots`], additionally delivering one
+    /// [`GenerationStats`] record per generation to `observer`. With the
+    /// default [`NullObserver`] (whose `enabled()` is `false`) no metrics
+    /// are computed and no clock is read, so the instrumented loop costs
+    /// nothing over the plain one.
+    pub fn run_observed<O: Observer<P::Genome>>(
+        &self,
+        seeds: Vec<P::Genome>,
+        seed: u64,
+        snapshots: &[usize],
+        mut on_snapshot: impl FnMut(usize, &[Individual<P::Genome>]),
+        observer: &mut O,
+    ) -> Vec<Individual<P::Genome>> {
+        debug_assert!(
+            snapshots.windows(2).all(|w| w[0] < w[1]),
+            "snapshots must ascend"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut population = self.initial_population(seeds, &mut rng);
         let mut next_snapshot = 0usize;
         let mut stagnant = 0usize;
         let mut best = best_corner(&population);
         for generation in 1..=self.config.generations {
-            population = self.step(population, &mut rng);
+            let mut probe = if observer.enabled() {
+                Some(StepProbe::default())
+            } else {
+                None
+            };
+            population = self.step(population, &mut rng, probe.as_mut());
+            if let Some(probe) = probe {
+                let stats = GenerationStats::compute(
+                    generation,
+                    &population,
+                    probe.evaluations,
+                    probe.timings,
+                    self.config.hv_reference,
+                );
+                tracing::debug!(
+                    "generation {generation}: {} ranks, front {}, ideal [{:.4}, {:.4}], {} evaluations",
+                    stats.front_sizes.len(),
+                    stats.front_sizes.first().copied().unwrap_or(0),
+                    stats.ideal[0],
+                    stats.ideal[1],
+                    stats.evaluations,
+                );
+                observer.on_generation(&stats, &population);
+            }
             if next_snapshot < snapshots.len() && snapshots[next_snapshot] == generation {
                 on_snapshot(generation, &population);
                 next_snapshot += 1;
             }
             if let Some(stop) = self.config.stagnation {
                 let corner = best_corner(&population);
-                let improved = (0..2).any(|o| {
-                    best[o] - corner[o] > stop.epsilon * best[o].abs().max(1e-300)
-                });
+                // Relative-plus-absolute threshold: the pure relative form
+                // `epsilon * |best|` collapses to ~0 when the best objective
+                // sits at 0.0 (e.g. zero utility), letting arbitrarily tiny
+                // drifts count as progress forever.
+                let improved =
+                    (0..2).any(|o| best[o] - corner[o] > stop.epsilon * (1.0 + best[o].abs()));
                 best = [best[0].min(corner[0]), best[1].min(corner[1])];
                 stagnant = if improved { 0 } else { stagnant + 1 };
                 if stagnant >= stop.window {
+                    tracing::info!(
+                        "stagnation stop at generation {generation} ({} stagnant of window {})",
+                        stagnant,
+                        stop.window,
+                    );
                     break;
                 }
             }
@@ -301,6 +382,14 @@ impl<'a, P: Problem> Nsga2<'a, P> {
     pub fn run(&self, seeds: Vec<P::Genome>, seed: u64) -> Vec<Individual<P::Genome>> {
         self.run_with_snapshots(seeds, seed, &[], |_, _| {})
     }
+}
+
+/// Per-generation measurement scratch filled by [`Nsga2::step`] when an
+/// enabled observer is attached.
+#[derive(Debug, Default)]
+struct StepProbe {
+    timings: PhaseTimings,
+    evaluations: usize,
 }
 
 /// Per-objective minima of a population (the ideal corner).
@@ -356,15 +445,24 @@ mod tests {
         // and on the true front √f1 + √f2 = 2.
         for ind in &front {
             let s = ind.objectives[0].max(0.0).sqrt() + ind.objectives[1].max(0.0).sqrt();
-            assert!((s - 2.0).abs() < 0.15, "off-front point: {:?}", ind.objectives);
+            assert!(
+                (s - 2.0).abs() < 0.15,
+                "off-front point: {:?}",
+                ind.objectives
+            );
         }
     }
 
     #[test]
     fn zdt1_improves_with_generations() {
         let problem = Zdt1 { vars: 10 };
-        let cfg =
-            Nsga2Config { population: 60, mutation_rate: 0.9, generations: 30, parallel: false, ..Default::default() };
+        let cfg = Nsga2Config {
+            population: 60,
+            mutation_rate: 0.9,
+            generations: 30,
+            parallel: false,
+            ..Default::default()
+        };
         let runner = Nsga2::new(&problem, cfg);
         let mut early: Vec<Objectives> = Vec::new();
         let pop = runner.run_with_snapshots(vec![], 3, &[5], |_, p| {
@@ -372,9 +470,8 @@ mod tests {
         });
         let late = front_points(&pop);
         // Mean g-proxy (sum of both objectives) must shrink.
-        let mean = |pts: &[Objectives]| {
-            pts.iter().map(|p| p[0] + p[1]).sum::<f64>() / pts.len() as f64
-        };
+        let mean =
+            |pts: &[Objectives]| pts.iter().map(|p| p[0] + p[1]).sum::<f64>() / pts.len() as f64;
         assert!(
             mean(&late) < mean(&early),
             "no convergence: early {} late {}",
@@ -423,8 +520,13 @@ mod tests {
     #[test]
     fn population_size_is_invariant() {
         let problem = Schaffer::default();
-        let cfg =
-            Nsga2Config { population: 30, mutation_rate: 0.5, generations: 5, parallel: false, ..Default::default() };
+        let cfg = Nsga2Config {
+            population: 30,
+            mutation_rate: 0.5,
+            generations: 5,
+            parallel: false,
+            ..Default::default()
+        };
         let runner = Nsga2::new(&problem, cfg);
         let pop = runner.run_with_snapshots(vec![], 1, &[1, 3], |_, p| {
             assert_eq!(p.len(), 30);
@@ -438,8 +540,13 @@ mod tests {
         // seed (or a descendant at least as good) must survive: the final
         // front must contain a point dominating-or-equal to the seed's.
         let problem = Schaffer::default();
-        let cfg =
-            Nsga2Config { population: 10, mutation_rate: 0.0, generations: 3, parallel: false, ..Default::default() };
+        let cfg = Nsga2Config {
+            population: 10,
+            mutation_rate: 0.0,
+            generations: 3,
+            parallel: false,
+            ..Default::default()
+        };
         let runner = Nsga2::new(&problem, cfg);
         let pop = runner.run(vec![1.0], 2); // x = 1 is on the true front
         let best = pop
@@ -463,9 +570,14 @@ mod tests {
         let runner = Nsga2::new(&problem, cfg);
         let mut best_f0 = f64::INFINITY;
         runner.run_with_snapshots(vec![], 9, &(1..=40).collect::<Vec<_>>(), |_, pop| {
-            let min_f0 =
-                pop.iter().map(|i| i.objectives[0]).fold(f64::INFINITY, f64::min);
-            assert!(min_f0 <= best_f0 + 1e-12, "best f0 regressed: {min_f0} > {best_f0}");
+            let min_f0 = pop
+                .iter()
+                .map(|i| i.objectives[0])
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                min_f0 <= best_f0 + 1e-12,
+                "best f0 regressed: {min_f0} > {best_f0}"
+            );
             best_f0 = best_f0.min(min_f0);
         });
     }
@@ -486,9 +598,12 @@ mod tests {
             let front = pareto_front(&pop);
             assert!(front.len() > 5, "{mating:?} front collapsed");
             for ind in &front {
-                let sum =
-                    ind.objectives[0].max(0.0).sqrt() + ind.objectives[1].max(0.0).sqrt();
-                assert!((sum - 2.0).abs() < 0.3, "{mating:?} off front: {:?}", ind.objectives);
+                let sum = ind.objectives[0].max(0.0).sqrt() + ind.objectives[1].max(0.0).sqrt();
+                assert!(
+                    (sum - 2.0).abs() < 0.3,
+                    "{mating:?} off front: {:?}",
+                    ind.objectives
+                );
             }
         }
     }
@@ -523,7 +638,10 @@ mod tests {
             mutation_rate: 0.0,
             generations: 10_000,
             parallel: false,
-            stagnation: Some(Stagnation { window: 5, epsilon: 1e-12 }),
+            stagnation: Some(Stagnation {
+                window: 5,
+                epsilon: 1e-12,
+            }),
             ..Default::default()
         };
         let runner = Nsga2::new(&problem, cfg);
@@ -561,5 +679,112 @@ mod tests {
     fn pareto_front_of_empty_population() {
         let empty: Vec<Individual<f64>> = Vec::new();
         assert!(pareto_front(&empty).is_empty());
+    }
+
+    /// A problem whose best objective starts at 0.0 and creeps downward by
+    /// ~1e-19 per mutation — the regression case for the stagnation
+    /// threshold: `epsilon * |best|` is ~0 near best = 0, so every creep
+    /// counted as progress and stagnation never fired.
+    struct Creep;
+
+    impl Problem for Creep {
+        type Genome = f64;
+        type Evaluator = ();
+
+        fn evaluator(&self) {}
+
+        fn evaluate(&self, _ev: &mut (), genome: &f64) -> Objectives {
+            [-genome, -genome]
+        }
+
+        fn random_genome(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+            0.0
+        }
+
+        fn crossover(&self, _rng: &mut dyn rand::RngCore, a: &f64, b: &f64) -> (f64, f64) {
+            (a.max(*b), a.max(*b))
+        }
+
+        fn mutate(&self, rng: &mut dyn rand::RngCore, genome: &mut f64) {
+            *genome += rng.gen::<f64>() * 1e-19;
+        }
+    }
+
+    #[test]
+    fn stagnation_ignores_sub_epsilon_creep_at_zero() {
+        let cfg = Nsga2Config {
+            population: 8,
+            mutation_rate: 1.0,
+            generations: 10_000,
+            parallel: false,
+            stagnation: Some(Stagnation {
+                window: 5,
+                epsilon: 1e-9,
+            }),
+            ..Default::default()
+        };
+        let mut generations_seen = 0usize;
+        let all: Vec<usize> = (1..=10_000).collect();
+        Nsga2::new(&Creep, cfg).run_with_snapshots(vec![], 1, &all, |_, _| {
+            generations_seen += 1;
+        });
+        assert_eq!(
+            generations_seen, 5,
+            "1e-19 creep below best = 0 must not count as progress"
+        );
+    }
+
+    #[test]
+    fn observer_receives_one_record_per_generation() {
+        use crate::observe::StatsLog;
+        let problem = Schaffer::default();
+        let cfg = Nsga2Config {
+            population: 16,
+            mutation_rate: 0.5,
+            generations: 12,
+            parallel: false,
+            hv_reference: Some([1e7, 1e7]),
+            ..Default::default()
+        };
+        let mut log = StatsLog::default();
+        Nsga2::new(&problem, cfg).run_observed(vec![], 4, &[], |_, _| {}, &mut log);
+        assert_eq!(log.records.len(), 12);
+        for (i, rec) in log.records.iter().enumerate() {
+            assert_eq!(rec.generation, i + 1);
+            assert_eq!(rec.front_sizes.iter().sum::<usize>(), 16);
+            assert_eq!(rec.evaluations, 16);
+            assert!(rec.ideal[0].is_finite() && rec.ideal[1].is_finite());
+            assert!(rec.hypervolume.unwrap() > 0.0);
+            assert!(rec.timings.mating_s >= 0.0 && rec.timings.evaluation_s >= 0.0);
+        }
+        // Convergence pressure: the final hypervolume beats the first (it
+        // is not strictly monotone — crowding truncation may drop front
+        // members — but over a run it must grow).
+        let first = log.records.first().unwrap().hypervolume.unwrap();
+        let last = log.records.last().unwrap().hypervolume.unwrap();
+        assert!(
+            last >= first,
+            "hypervolume regressed over the run: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn observation_does_not_perturb_the_run() {
+        use crate::observe::StatsLog;
+        let problem = Zdt1 { vars: 6 };
+        let cfg = Nsga2Config {
+            population: 20,
+            mutation_rate: 0.6,
+            generations: 15,
+            parallel: false,
+            ..Default::default()
+        };
+        let runner = Nsga2::new(&problem, cfg);
+        let plain = runner.run(vec![], 8);
+        let mut log = StatsLog::default();
+        let observed = runner.run_observed(vec![], 8, &[], |_, _| {}, &mut log);
+        let pa: Vec<Objectives> = plain.iter().map(|i| i.objectives).collect();
+        let pb: Vec<Objectives> = observed.iter().map(|i| i.objectives).collect();
+        assert_eq!(pa, pb, "metrics collection must not change the trajectory");
     }
 }

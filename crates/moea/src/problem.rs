@@ -49,7 +49,10 @@ pub struct Schaffer {
 
 impl Default for Schaffer {
     fn default() -> Self {
-        Schaffer { range: 1000.0, step: 0.5 }
+        Schaffer {
+            range: 1000.0,
+            step: 0.5,
+        }
     }
 }
 
@@ -115,12 +118,7 @@ impl Problem for Zdt1 {
         (0..self.vars).map(|_| rng.gen::<f64>()).collect()
     }
 
-    fn crossover(
-        &self,
-        rng: &mut dyn RngCore,
-        a: &Vec<f64>,
-        b: &Vec<f64>,
-    ) -> (Vec<f64>, Vec<f64>) {
+    fn crossover(&self, rng: &mut dyn RngCore, a: &Vec<f64>, b: &Vec<f64>) -> (Vec<f64>, Vec<f64>) {
         use rand::Rng;
         // Single-point crossover.
         let cut = rng.gen_range(1..self.vars);

@@ -159,8 +159,9 @@ mod tests {
 
     #[test]
     fn front_members_are_mutually_nondominated() {
-        let pts: Vec<Objectives> =
-            (0..30).map(|i| [(i % 6) as f64, ((i * 5) % 7) as f64]).collect();
+        let pts: Vec<Objectives> = (0..30)
+            .map(|i| [(i % 6) as f64, ((i * 5) % 7) as f64])
+            .collect();
         for front in fast_nondominated_sort(&pts) {
             for &a in &front {
                 for &b in &front {

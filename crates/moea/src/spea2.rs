@@ -31,7 +31,12 @@ pub struct Spea2Config {
 
 impl Default for Spea2Config {
     fn default() -> Self {
-        Spea2Config { population: 100, archive: 100, mutation_rate: 0.5, generations: 100 }
+        Spea2Config {
+            population: 100,
+            archive: 100,
+            mutation_rate: 0.5,
+            generations: 100,
+        }
     }
 }
 
@@ -69,14 +74,12 @@ pub fn spea2<P: Problem>(
         let fitness = spea2_fitness(&points);
 
         // Environmental selection: nondominated members (fitness < 1).
-        let mut selected: Vec<usize> =
-            (0..union.len()).filter(|&i| fitness[i] < 1.0).collect();
+        let mut selected: Vec<usize> = (0..union.len()).filter(|&i| fitness[i] < 1.0).collect();
         if selected.len() > config.archive {
             truncate_by_nearest_neighbour(&mut selected, &points, config.archive);
         } else {
             // Fill with the best dominated members.
-            let mut rest: Vec<usize> =
-                (0..union.len()).filter(|&i| fitness[i] >= 1.0).collect();
+            let mut rest: Vec<usize> = (0..union.len()).filter(|&i| fitness[i] >= 1.0).collect();
             rest.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
             for i in rest {
                 if selected.len() == config.archive {
@@ -114,7 +117,10 @@ pub fn spea2<P: Problem>(
             offspring.push(b);
         }
         offspring.truncate(config.population);
-        population = offspring.into_iter().map(|g| evaluate(g, &mut ev)).collect();
+        population = offspring
+            .into_iter()
+            .map(|g| evaluate(g, &mut ev))
+            .collect();
     }
     archive
 }
@@ -159,7 +165,10 @@ fn spea2_fitness(points: &[Objectives]) -> Vec<f64> {
             }
         }
         dists.sort_by(f64::total_cmp);
-        let sigma = dists.get(k.min(dists.len().saturating_sub(1))).copied().unwrap_or(0.0);
+        let sigma = dists
+            .get(k.min(dists.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(0.0);
         fitness.push(raw[i] + 1.0 / (sigma.sqrt() + 2.0));
     }
     fitness
@@ -167,11 +176,7 @@ fn spea2_fitness(points: &[Objectives]) -> Vec<f64> {
 
 /// Archive truncation: repeatedly remove the member with the smallest
 /// nearest-neighbour distance until `target` members remain.
-fn truncate_by_nearest_neighbour(
-    selected: &mut Vec<usize>,
-    points: &[Objectives],
-    target: usize,
-) {
+fn truncate_by_nearest_neighbour(selected: &mut Vec<usize>, points: &[Objectives], target: usize) {
     while selected.len() > target {
         let mut worst = 0usize;
         let mut worst_d = f64::INFINITY;
@@ -264,13 +269,16 @@ mod tests {
         let f = spea2_fitness(&points);
         assert!(f[0] < 1.0);
         assert!(f[1] < 1.0);
-        assert!(f[2] >= 1.0, "dominated point must have fitness >= 1, got {}", f[2]);
+        assert!(
+            f[2] >= 1.0,
+            "dominated point must have fitness >= 1, got {}",
+            f[2]
+        );
     }
 
     #[test]
     fn truncation_keeps_target_count_and_extremes_spread() {
-        let points: Vec<Objectives> =
-            (0..20).map(|i| [i as f64, 20.0 - i as f64]).collect();
+        let points: Vec<Objectives> = (0..20).map(|i| [i as f64, 20.0 - i as f64]).collect();
         let mut selected: Vec<usize> = (0..20).collect();
         truncate_by_nearest_neighbour(&mut selected, &points, 8);
         assert_eq!(selected.len(), 8);

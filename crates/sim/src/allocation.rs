@@ -64,7 +64,10 @@ impl Allocation {
                 return Err(SimError::UnknownMachine(m));
             }
             if !system.is_feasible(task.task_type, m) {
-                return Err(SimError::InfeasibleAssignment { task: TaskId(i as u32), machine: m });
+                return Err(SimError::InfeasibleAssignment {
+                    task: TaskId(i as u32),
+                    machine: m,
+                });
             }
         }
         Ok(())
@@ -108,7 +111,10 @@ mod tests {
         let alloc = Allocation::with_arrival_order(vec![MachineId(0); 3]);
         assert!(matches!(
             alloc.validate(&sys, &trace),
-            Err(SimError::LengthMismatch { expected: 20, got: 3 })
+            Err(SimError::LengthMismatch {
+                expected: 20,
+                got: 3
+            })
         ));
     }
 
@@ -116,6 +122,9 @@ mod tests {
     fn validate_rejects_unknown_machine() {
         let (sys, trace) = setup();
         let alloc = Allocation::with_arrival_order(vec![MachineId(99); trace.len()]);
-        assert!(matches!(alloc.validate(&sys, &trace), Err(SimError::UnknownMachine(_))));
+        assert!(matches!(
+            alloc.validate(&sys, &trace),
+            Err(SimError::UnknownMachine(_))
+        ));
     }
 }

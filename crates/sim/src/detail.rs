@@ -86,7 +86,12 @@ impl DetailedOutcome {
                 energy: e,
             };
         }
-        Ok(DetailedOutcome { utility, energy, makespan, tasks: records })
+        Ok(DetailedOutcome {
+            utility,
+            energy,
+            makespan,
+            tasks: records,
+        })
     }
 
     /// Per-machine busy time (seconds), indexed by machine id.
@@ -133,8 +138,9 @@ mod tests {
         let trace = TraceGenerator::new(30, 900.0, sys.task_type_count())
             .generate(&mut StdRng::seed_from_u64(8))
             .unwrap();
-        let machines =
-            (0..30).map(|i| MachineId((i % sys.machine_count()) as u32)).collect();
+        let machines = (0..30)
+            .map(|i| MachineId((i % sys.machine_count()) as u32))
+            .collect();
         let alloc = Allocation::with_arrival_order(machines);
         (sys, trace, alloc)
     }

@@ -44,8 +44,7 @@ impl DvfsTable {
         if states.is_empty() {
             return None;
         }
-        if (states[0].freq_scale - 1.0).abs() > 1e-12
-            || (states[0].power_scale - 1.0).abs() > 1e-12
+        if (states[0].freq_scale - 1.0).abs() > 1e-12 || (states[0].power_scale - 1.0).abs() > 1e-12
         {
             return None;
         }
@@ -62,7 +61,10 @@ impl DvfsTable {
     pub fn cubic_default() -> Self {
         let states = [1.0, 0.85, 0.7, 0.55]
             .iter()
-            .map(|&f| PState { freq_scale: f, power_scale: f * f * f })
+            .map(|&f| PState {
+                freq_scale: f,
+                power_scale: f * f * f,
+            })
             .collect();
         DvfsTable::new(states).expect("default table is valid")
     }
@@ -104,7 +106,11 @@ impl DvfsAllocation {
     /// Wraps a plain allocation at nominal frequency with nothing dropped.
     pub fn nominal(base: Allocation) -> Self {
         let n = base.len();
-        DvfsAllocation { base, pstate: vec![0; n], dropped: vec![false; n] }
+        DvfsAllocation {
+            base,
+            pstate: vec![0; n],
+            dropped: vec![false; n],
+        }
     }
 
     /// Evaluates the extended allocation.
@@ -114,12 +120,7 @@ impl DvfsAllocation {
     /// Base-allocation validation failures plus
     /// [`SimError::UnknownPState`] / [`SimError::LengthMismatch`] for the
     /// extension vectors.
-    pub fn evaluate(
-        &self,
-        system: &HcSystem,
-        trace: &Trace,
-        table: &DvfsTable,
-    ) -> Result<Outcome> {
+    pub fn evaluate(&self, system: &HcSystem, trace: &Trace, table: &DvfsTable) -> Result<Outcome> {
         self.base.validate(system, trace)?;
         if self.pstate.len() != trace.len() || self.dropped.len() != trace.len() {
             return Err(SimError::LengthMismatch {
@@ -147,8 +148,10 @@ impl DvfsAllocation {
             let machine = self.base.machine[idx];
             let ps = table.state(self.pstate[idx]).expect("checked above");
             let exec = system.exec_time(task.task_type, machine) / ps.freq_scale;
-            let power =
-                system.epc().power(task.task_type, system.machine_type(machine)) * ps.power_scale;
+            let power = system
+                .epc()
+                .power(task.task_type, system.machine_type(machine))
+                * ps.power_scale;
             let start = machine_free[machine.index()].max(task.arrival);
             let finish = start + exec;
             machine_free[machine.index()] = finish;
@@ -156,7 +159,11 @@ impl DvfsAllocation {
             energy += exec * power;
             makespan = makespan.max(finish);
         }
-        Ok(Outcome { utility, energy, makespan })
+        Ok(Outcome {
+            utility,
+            energy,
+            makespan,
+        })
     }
 }
 
@@ -200,7 +207,10 @@ mod tests {
         let on = nominal.evaluate(&sys, &trace, &table).unwrap();
         let os = slow.evaluate(&sys, &trace, &table).unwrap();
         assert!(os.energy < on.energy, "cubic power: energy must drop");
-        assert!(os.utility <= on.utility, "longer runtimes cannot earn more utility");
+        assert!(
+            os.utility <= on.utility,
+            "longer runtimes cannot earn more utility"
+        );
         assert!(os.makespan > on.makespan);
         // Energy scales as f² per task: check the exact global factor since
         // every task uses the same state.
@@ -240,11 +250,21 @@ mod tests {
     fn table_validation() {
         assert!(DvfsTable::new(vec![]).is_none());
         // First state must be nominal.
-        assert!(DvfsTable::new(vec![PState { freq_scale: 0.8, power_scale: 0.5 }]).is_none());
+        assert!(DvfsTable::new(vec![PState {
+            freq_scale: 0.8,
+            power_scale: 0.5
+        }])
+        .is_none());
         // Scales must be positive and frequency ≤ 1.
         assert!(DvfsTable::new(vec![
-            PState { freq_scale: 1.0, power_scale: 1.0 },
-            PState { freq_scale: 1.5, power_scale: 2.0 },
+            PState {
+                freq_scale: 1.0,
+                power_scale: 1.0
+            },
+            PState {
+                freq_scale: 1.5,
+                power_scale: 2.0
+            },
         ])
         .is_none());
         let ok = DvfsTable::cubic_default();

@@ -50,16 +50,55 @@ pub struct Evaluator<'a> {
     sequence: Vec<u32>,
     /// Scratch: next-free time per machine.
     machine_free: Vec<f64>,
+    /// Cached objective bounds — both are O(tasks) sums over the trace,
+    /// and callers consult them once per evaluation in hot loops.
+    min_energy: f64,
+    max_utility: f64,
+    /// Calls to [`Evaluator::evaluate`] on this instance (clones inherit
+    /// the count at the moment of cloning).
+    #[cfg(feature = "eval-counters")]
+    evaluations: u64,
 }
 
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator for the given system and trace.
     pub fn new(system: &'a HcSystem, trace: &'a Trace) -> Self {
+        let min_energy = trace
+            .tasks()
+            .iter()
+            .map(|t| system.min_energy_per_type(t.task_type))
+            .sum();
         Evaluator {
             system,
             trace,
             sequence: Vec::with_capacity(trace.len()),
             machine_free: vec![0.0; system.machine_count()],
+            min_energy,
+            max_utility: trace.max_possible_utility(),
+            #[cfg(feature = "eval-counters")]
+            evaluations: 0,
+        }
+    }
+
+    /// Number of [`Evaluator::evaluate`] calls performed by this instance.
+    /// Always 0 unless the crate is built with the `eval-counters` feature
+    /// (off by default, keeping the hot path free of bookkeeping).
+    pub fn evaluations(&self) -> u64 {
+        #[cfg(feature = "eval-counters")]
+        {
+            self.evaluations
+        }
+        #[cfg(not(feature = "eval-counters"))]
+        {
+            0
+        }
+    }
+
+    /// Resets the evaluation counter (a no-op without `eval-counters`).
+    pub fn reset_evaluations(&mut self) {
+        #[cfg(feature = "eval-counters")]
+        {
+            self.evaluations = 0;
         }
     }
 
@@ -80,13 +119,18 @@ impl<'a> Evaluator<'a> {
     /// allocations). Debug builds assert feasibility.
     pub fn evaluate(&mut self, alloc: &Allocation) -> Outcome {
         debug_assert!(alloc.validate(self.system, self.trace).is_ok());
+        #[cfg(feature = "eval-counters")]
+        {
+            self.evaluations += 1;
+        }
         let tasks = self.trace.tasks();
 
         // Rebuild the execution sequence: ascending (order key, task id).
         self.sequence.clear();
         self.sequence.extend(0..tasks.len() as u32);
         let order = &alloc.order;
-        self.sequence.sort_unstable_by_key(|&i| (order[i as usize], i));
+        self.sequence
+            .sort_unstable_by_key(|&i| (order[i as usize], i));
 
         self.machine_free.clear();
         self.machine_free.resize(self.system.machine_count(), 0.0);
@@ -107,7 +151,11 @@ impl<'a> Evaluator<'a> {
             energy += self.system.energy(task.task_type, machine);
             makespan = makespan.max(finish);
         }
-        Outcome { utility, energy, makespan }
+        Outcome {
+            utility,
+            energy,
+            makespan,
+        }
     }
 
     /// Validating wrapper around [`Evaluator::evaluate`].
@@ -122,18 +170,16 @@ impl<'a> Evaluator<'a> {
 
     /// Lower bound on the energy objective: every task on its cheapest
     /// feasible machine. The Min Energy seeding heuristic achieves exactly
-    /// this value, and no allocation can consume less.
+    /// this value, and no allocation can consume less. Computed once at
+    /// construction.
     pub fn min_possible_energy(&self) -> f64 {
-        self.trace
-            .tasks()
-            .iter()
-            .map(|t| self.system.min_energy_per_type(t.task_type))
-            .sum()
+        self.min_energy
     }
 
-    /// Upper bound on the utility objective: every task earns its priority.
+    /// Upper bound on the utility objective: every task earns its
+    /// priority. Computed once at construction.
     pub fn max_possible_utility(&self) -> f64 {
-        self.trace.max_possible_utility()
+        self.max_utility
     }
 }
 
@@ -157,14 +203,18 @@ mod tests {
     fn energy_is_order_independent() {
         let (sys, trace) = setup(50);
         let mut ev = Evaluator::new(&sys, &trace);
-        let machines: Vec<MachineId> =
-            (0..50).map(|i| MachineId((i % sys.machine_count()) as u32)).collect();
+        let machines: Vec<MachineId> = (0..50)
+            .map(|i| MachineId((i % sys.machine_count()) as u32))
+            .collect();
         let a = Allocation::with_arrival_order(machines.clone());
         let mut b = a.clone();
         b.order.reverse();
         let oa = ev.evaluate(&a);
         let ob = ev.evaluate(&b);
-        assert!((oa.energy - ob.energy).abs() < 1e-9, "energy depends only on assignment");
+        assert!(
+            (oa.energy - ob.energy).abs() < 1e-9,
+            "energy depends only on assignment"
+        );
         // Utility generally differs when execution order changes.
         assert_ne!(oa.utility, ob.utility);
     }
@@ -176,12 +226,18 @@ mod tests {
         let alloc = Allocation::with_arrival_order(vec![MachineId(0); 10]);
         let out = ev.evaluate(&alloc);
         // Makespan is at least the sum of exec times (no overlap possible).
-        let total: f64 =
-            trace.tasks().iter().map(|t| sys.exec_time(t.task_type, MachineId(0))).sum();
+        let total: f64 = trace
+            .tasks()
+            .iter()
+            .map(|t| sys.exec_time(t.task_type, MachineId(0)))
+            .sum();
         assert!(out.makespan >= total);
         // Energy equals the exact sum of EECs on machine 0.
-        let energy: f64 =
-            trace.tasks().iter().map(|t| sys.energy(t.task_type, MachineId(0))).sum();
+        let energy: f64 = trace
+            .tasks()
+            .iter()
+            .map(|t| sys.energy(t.task_type, MachineId(0)))
+            .sum();
         assert!((out.energy - energy).abs() < 1e-9);
     }
 
@@ -225,7 +281,8 @@ mod tests {
                 *sys.feasible_machines(t.task_type)
                     .iter()
                     .min_by(|&&a, &&b| {
-                        sys.energy(t.task_type, a).total_cmp(&sys.energy(t.task_type, b))
+                        sys.energy(t.task_type, a)
+                            .total_cmp(&sys.energy(t.task_type, b))
                     })
                     .unwrap()
             })
@@ -247,9 +304,8 @@ mod tests {
     fn evaluation_is_deterministic_and_reusable() {
         let (sys, trace) = setup(40);
         let mut ev = Evaluator::new(&sys, &trace);
-        let alloc = Allocation::with_arrival_order(
-            (0..40).map(|i| MachineId((i % 9) as u32)).collect(),
-        );
+        let alloc =
+            Allocation::with_arrival_order((0..40).map(|i| MachineId((i % 9) as u32)).collect());
         let a = ev.evaluate(&alloc);
         // Interleave another evaluation to dirty the buffers.
         let other = Allocation::with_arrival_order(vec![MachineId(2); 40]);
@@ -274,13 +330,47 @@ mod tests {
     }
 
     #[test]
+    fn bounds_match_directly_computed_sums() {
+        // The cached bounds must equal what a fresh traversal computes.
+        let (sys, trace) = setup(25);
+        let ev = Evaluator::new(&sys, &trace);
+        let min_e: f64 = trace
+            .tasks()
+            .iter()
+            .map(|t| sys.min_energy_per_type(t.task_type))
+            .sum();
+        assert_eq!(ev.min_possible_energy(), min_e);
+        assert_eq!(ev.max_possible_utility(), trace.max_possible_utility());
+    }
+
+    #[cfg(feature = "eval-counters")]
+    #[test]
+    fn counter_tracks_evaluate_calls() {
+        let (sys, trace) = setup(10);
+        let mut ev = Evaluator::new(&sys, &trace);
+        assert_eq!(ev.evaluations(), 0);
+        let alloc = Allocation::with_arrival_order(vec![MachineId(0); 10]);
+        for _ in 0..7 {
+            ev.evaluate(&alloc);
+        }
+        assert_eq!(ev.evaluations(), 7);
+        let clone = ev.clone();
+        assert_eq!(clone.evaluations(), 7);
+        ev.reset_evaluations();
+        assert_eq!(ev.evaluations(), 0);
+    }
+
+    #[test]
     fn order_ties_break_by_task_id() {
         let (sys, trace) = setup(4);
         let mut ev = Evaluator::new(&sys, &trace);
         // All order keys equal: tasks run in id (arrival) order — identical
         // to arrival-order keys.
         let machines = vec![MachineId(1); 4];
-        let tied = Allocation { machine: machines.clone(), order: vec![7; 4] };
+        let tied = Allocation {
+            machine: machines.clone(),
+            order: vec![7; 4],
+        };
         let arrival = Allocation::with_arrival_order(machines);
         assert_eq!(ev.evaluate(&tied), ev.evaluate(&arrival));
     }

@@ -37,7 +37,9 @@ impl PartialOrd for FreeEvent {
 
 impl Ord for FreeEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.machine.cmp(&other.machine))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.machine.cmp(&other.machine))
     }
 }
 
@@ -71,7 +73,10 @@ pub fn evaluate_event_driven(
     let mut events: BinaryHeap<Reverse<FreeEvent>> = BinaryHeap::new();
     for (m, queue) in queues.iter().enumerate() {
         if !queue.is_empty() {
-            events.push(Reverse(FreeEvent { time: 0.0, machine: m as u32 }));
+            events.push(Reverse(FreeEvent {
+                time: 0.0,
+                machine: m as u32,
+            }));
         }
     }
     let (mut utility, mut energy, mut makespan) = (0.0, 0.0, 0.0f64);
@@ -89,10 +94,17 @@ pub fn evaluate_event_driven(
         energy += system.energy(task.task_type, m);
         makespan = makespan.max(finish);
         if !queue.is_empty() {
-            events.push(Reverse(FreeEvent { time: finish, machine }));
+            events.push(Reverse(FreeEvent {
+                time: finish,
+                machine,
+            }));
         }
     }
-    Ok(Outcome { utility, energy, makespan })
+    Ok(Outcome {
+        utility,
+        energy,
+        makespan,
+    })
 }
 
 #[cfg(test)]
@@ -129,7 +141,10 @@ mod tests {
             let events = evaluate_event_driven(&sys, &trace, &alloc).unwrap();
             assert!((sweep.utility - events.utility).abs() < 1e-9, "seed {seed}");
             assert!((sweep.energy - events.energy).abs() < 1e-9, "seed {seed}");
-            assert!((sweep.makespan - events.makespan).abs() < 1e-9, "seed {seed}");
+            assert!(
+                (sweep.makespan - events.makespan).abs() < 1e-9,
+                "seed {seed}"
+            );
         }
     }
 

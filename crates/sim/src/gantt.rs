@@ -23,15 +23,16 @@ pub fn render_gantt(system: &HcSystem, outcome: &DetailedOutcome, width: usize) 
     }
     let busy = outcome.machine_busy_time(system.machine_count());
     let mut out = String::new();
-    let _ = writeln!(out, "gantt [0 .. {:.0} s], {} tasks", horizon, outcome.tasks.len());
+    let _ = writeln!(
+        out,
+        "gantt [0 .. {:.0} s], {} tasks",
+        horizon,
+        outcome.tasks.len()
+    );
     for (m, row) in rows.iter().enumerate() {
         let bar = String::from_utf8(row.clone()).expect("ASCII only");
         let util = 100.0 * busy[m] / horizon;
-        let _ = writeln!(
-            out,
-            "m{m:<3} |{bar}| {:>6.1}s busy ({util:>4.1}%)",
-            busy[m]
-        );
+        let _ = writeln!(out, "m{m:<3} |{bar}| {:>6.1}s busy ({util:>4.1}%)", busy[m]);
     }
     out
 }
@@ -50,9 +51,8 @@ mod tests {
         let trace = TraceGenerator::new(20, 900.0, sys.task_type_count())
             .generate(&mut StdRng::seed_from_u64(9))
             .unwrap();
-        let alloc = Allocation::with_arrival_order(
-            (0..20).map(|i| MachineId((i % 3) as u32)).collect(),
-        );
+        let alloc =
+            Allocation::with_arrival_order((0..20).map(|i| MachineId((i % 3) as u32)).collect());
         let outcome = DetailedOutcome::evaluate(&sys, &trace, &alloc).unwrap();
         (sys, outcome)
     }

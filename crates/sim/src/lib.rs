@@ -57,7 +57,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::LengthMismatch { expected, got } => {
-                write!(f, "allocation length {got} does not match trace length {expected}")
+                write!(
+                    f,
+                    "allocation length {got} does not match trace length {expected}"
+                )
             }
             SimError::InfeasibleAssignment { task, machine } => {
                 write!(f, "task {task} cannot execute on machine {machine}")

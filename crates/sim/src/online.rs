@@ -32,7 +32,10 @@ pub struct OnlineConfig {
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        OnlineConfig { energy_budget: f64::INFINITY, drop_threshold: 0.0 }
+        OnlineConfig {
+            energy_budget: f64::INFINITY,
+            drop_threshold: 0.0,
+        }
     }
 }
 
@@ -91,7 +94,13 @@ pub fn schedule_online(system: &HcSystem, trace: &Trace, config: &OnlineConfig) 
             _ => rejected.push(task.id.0),
         }
     }
-    OnlineOutcome { utility, energy, makespan, accepted, rejected }
+    OnlineOutcome {
+        utility,
+        energy,
+        makespan,
+        accepted,
+        rejected,
+    }
 }
 
 /// Replays the online decisions as a static [`Allocation`] over the
@@ -143,7 +152,9 @@ pub fn online_as_detailed(
                     .feasible_machines(task.task_type)
                     .iter()
                     .min_by(|&&a, &&b| {
-                        system.energy(task.task_type, a).total_cmp(&system.energy(task.task_type, b))
+                        system
+                            .energy(task.task_type, a)
+                            .total_cmp(&system.energy(task.task_type, b))
                     })
                     .expect("validated system");
                 machines.push(fallback);
@@ -188,7 +199,10 @@ mod tests {
         let out = schedule_online(
             &sys,
             &trace,
-            &OnlineConfig { energy_budget: budget, drop_threshold: 0.0 },
+            &OnlineConfig {
+                energy_budget: budget,
+                drop_threshold: 0.0,
+            },
         );
         assert!(out.energy <= budget + 1e-9);
         assert!(out.accepted < 80, "half the budget cannot fit everything");
@@ -204,7 +218,10 @@ mod tests {
             let out = schedule_online(
                 &sys,
                 &trace,
-                &OnlineConfig { energy_budget: full.energy * frac, drop_threshold: 0.0 },
+                &OnlineConfig {
+                    energy_budget: full.energy * frac,
+                    drop_threshold: 0.0,
+                },
             );
             assert!(out.utility <= prev_utility + 1e-9, "frac {frac}");
             prev_utility = out.utility;
@@ -217,7 +234,10 @@ mod tests {
         let out = schedule_online(
             &sys,
             &trace,
-            &OnlineConfig { energy_budget: 0.0, drop_threshold: 0.0 },
+            &OnlineConfig {
+                energy_budget: 0.0,
+                drop_threshold: 0.0,
+            },
         );
         assert_eq!(out.accepted, 0);
         assert_eq!(out.rejected.len(), 10);
@@ -232,7 +252,10 @@ mod tests {
         let picky = schedule_online(
             &sys,
             &trace,
-            &OnlineConfig { energy_budget: f64::INFINITY, drop_threshold: 2.0 },
+            &OnlineConfig {
+                energy_budget: f64::INFINITY,
+                drop_threshold: 2.0,
+            },
         );
         assert!(picky.accepted <= all.accepted);
         // Every accepted task contributed at least the threshold.

@@ -114,7 +114,11 @@ impl CornishFisher {
                 table[i] = table[i - 1];
             }
         }
-        Ok(CornishFisher { mean: target.mean, std_dev: target.variance.sqrt(), table })
+        Ok(CornishFisher {
+            mean: target.mean,
+            std_dev: target.variance.sqrt(),
+            table,
+        })
     }
 
     /// Quantile at `u ∈ [0, 1]` (linear interpolation on the table).
@@ -200,7 +204,13 @@ mod tests {
     #[test]
     fn rejects_invalid_targets() {
         assert!(Moments::from_measures(1.0, 0.0, 0.0, 0.0).is_err());
-        let broken = Moments { mean: f64::NAN, variance: 1.0, skewness: 0.0, kurtosis: 0.0, count: 0 };
+        let broken = Moments {
+            mean: f64::NAN,
+            variance: 1.0,
+            skewness: 0.0,
+            kurtosis: 0.0,
+            count: 0,
+        };
         assert!(CornishFisher::new(&broken).is_err());
     }
 }

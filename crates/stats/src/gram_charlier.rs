@@ -153,7 +153,9 @@ impl GramCharlier {
     ///
     /// See [`GramCharlier::sampler_on`].
     pub fn positive_sampler(&self) -> Result<TabulatedSampler> {
-        let lo = (self.mean - 6.0 * self.std_dev).max(self.mean * 1e-3).max(1e-9);
+        let lo = (self.mean - 6.0 * self.std_dev)
+            .max(self.mean * 1e-3)
+            .max(1e-9);
         let hi = self.mean + 6.0 * self.std_dev;
         self.sampler_on(lo, hi, 4096)
     }
@@ -189,7 +191,9 @@ mod tests {
         let gc = GramCharlier::new(&m).unwrap();
         let (lo, hi, n) = (10.0 - 20.0, 10.0 + 20.0, 200_000);
         let h = (hi - lo) / n as f64;
-        let integral: f64 = (0..n).map(|i| gc.density(lo + (i as f64 + 0.5) * h) * h).sum();
+        let integral: f64 = (0..n)
+            .map(|i| gc.density(lo + (i as f64 + 0.5) * h) * h)
+            .sum();
         assert!((integral - 1.0).abs() < 1e-6, "integral = {integral}");
     }
 
@@ -231,7 +235,11 @@ mod tests {
         let sample: Vec<f64> = (0..200_000).map(|_| sampler.sample(&mut rng)).collect();
         let got = Moments::from_sample(&sample).unwrap();
         assert!((got.mean - 100.0).abs() / 100.0 < 0.01, "mean {}", got.mean);
-        assert!((got.std_dev() - 20.0).abs() / 20.0 < 0.03, "sd {}", got.std_dev());
+        assert!(
+            (got.std_dev() - 20.0).abs() / 20.0 < 0.03,
+            "sd {}",
+            got.std_dev()
+        );
         assert!((got.skewness - 0.5).abs() < 0.15, "skew {}", got.skewness);
         assert!((got.kurtosis - 0.4).abs() < 0.4, "kurt {}", got.kurtosis);
     }
@@ -239,7 +247,13 @@ mod tests {
     #[test]
     fn rejects_bad_moments() {
         assert!(Moments::from_measures(1.0, -1.0, 0.0, 0.0).is_err());
-        let m = Moments { mean: 1.0, variance: 0.0, skewness: 0.0, kurtosis: 0.0, count: 5 };
+        let m = Moments {
+            mean: 1.0,
+            variance: 0.0,
+            skewness: 0.0,
+            kurtosis: 0.0,
+            count: 5,
+        };
         assert!(GramCharlier::new(&m).is_err());
     }
 

@@ -25,12 +25,20 @@ impl Histogram {
     /// or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
         if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
-            return Err(StatsError::InvalidParameter("histogram interval must be non-empty"));
+            return Err(StatsError::InvalidParameter(
+                "histogram interval must be non-empty",
+            ));
         }
         if bins == 0 {
             return Err(StatsError::InvalidParameter("bins must be > 0"));
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Number of bins.

@@ -57,7 +57,10 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: need at least {needed} values, got {got}")
+                write!(
+                    f,
+                    "insufficient data: need at least {needed} values, got {got}"
+                )
             }
             StatsError::ZeroVariance => write!(f, "sample variance is zero"),
             StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),

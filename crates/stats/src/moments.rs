@@ -77,14 +77,23 @@ impl Moments {
     /// [`StatsError::InvalidParameter`] when any value is non-finite or the
     /// variance is not strictly positive.
     pub fn from_measures(mean: f64, variance: f64, skewness: f64, kurtosis: f64) -> Result<Self> {
-        if !(mean.is_finite() && variance.is_finite() && skewness.is_finite() && kurtosis.is_finite())
+        if !(mean.is_finite()
+            && variance.is_finite()
+            && skewness.is_finite()
+            && kurtosis.is_finite())
         {
             return Err(StatsError::InvalidParameter("non-finite moment"));
         }
         if variance <= 0.0 {
             return Err(StatsError::InvalidParameter("variance must be > 0"));
         }
-        Ok(Moments { mean, variance, skewness, kurtosis, count: 0 })
+        Ok(Moments {
+            mean,
+            variance,
+            skewness,
+            kurtosis,
+            count: 0,
+        })
     }
 
     /// Largest relative discrepancy between `self` and `other` over the four
@@ -187,7 +196,10 @@ impl MomentAccumulator {
     /// See [`Moments::from_sample`].
     pub fn finish(&self) -> Result<Moments> {
         if self.n < 2 {
-            return Err(StatsError::InsufficientData { needed: 2, got: self.n });
+            return Err(StatsError::InsufficientData {
+                needed: 2,
+                got: self.n,
+            });
         }
         let n = self.n as f64;
         let variance = self.m2 / n;
@@ -237,7 +249,10 @@ mod tests {
 
     #[test]
     fn constant_sample_has_zero_variance() {
-        assert_eq!(Moments::from_sample(&[7.0; 8]), Err(StatsError::ZeroVariance));
+        assert_eq!(
+            Moments::from_sample(&[7.0; 8]),
+            Err(StatsError::ZeroVariance)
+        );
     }
 
     #[test]

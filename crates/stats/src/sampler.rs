@@ -34,7 +34,9 @@ impl TabulatedSampler {
         cells: usize,
     ) -> Result<Self> {
         if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
-            return Err(StatsError::InvalidParameter("interval must be finite and non-empty"));
+            return Err(StatsError::InvalidParameter(
+                "interval must be finite and non-empty",
+            ));
         }
         if cells == 0 {
             return Err(StatsError::InvalidParameter("cells must be > 0"));
@@ -83,7 +85,10 @@ impl TabulatedSampler {
         let u = u.clamp(0.0, 1.0);
         // partition_point returns the first index with cdf[i] >= u; we want
         // the cell [i-1, i] bracketing u.
-        let idx = self.cdf.partition_point(|&c| c < u).clamp(1, self.cdf.len() - 1);
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .clamp(1, self.cdf.len() - 1);
         let (c0, c1) = (self.cdf[idx - 1], self.cdf[idx]);
         let frac = if c1 > c0 { (u - c0) / (c1 - c0) } else { 0.0 };
         self.lo + self.step * ((idx - 1) as f64 + frac)
@@ -160,8 +165,8 @@ mod tests {
 
     #[test]
     fn quantile_is_monotone() {
-        let s = TabulatedSampler::from_density(|x| 1.0 + (3.0 * x).sin().abs(), 0.0, 5.0, 512)
-            .unwrap();
+        let s =
+            TabulatedSampler::from_density(|x| 1.0 + (3.0 * x).sin().abs(), 0.0, 5.0, 512).unwrap();
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=1000 {
             let q = s.quantile(i as f64 / 1000.0);

@@ -34,7 +34,9 @@ impl SpecialSpec {
             }
         }
         chosen.sort();
-        SpecialSpec { accelerated: chosen }
+        SpecialSpec {
+            accelerated: chosen,
+        }
     }
 }
 
@@ -77,7 +79,9 @@ impl DatasetBuilder {
         machine_names: Vec<String>,
     ) -> Result<Self> {
         if task_names.len() != etc.0.task_types() || machine_names.len() != etc.0.machine_types() {
-            return Err(SynthError::InvalidRequest("name count does not match matrix shape"));
+            return Err(SynthError::InvalidRequest(
+                "name count does not match matrix shape",
+            ));
         }
         let general = etc.0.machine_types();
         Ok(DatasetBuilder {
@@ -182,7 +186,13 @@ impl DatasetBuilder {
             .collect();
         machine_names.extend(self.base_machine_names.iter().cloned());
 
-        Ok(HcSystem::new(etc, epc, inventory, task_names, machine_names)?)
+        Ok(HcSystem::new(
+            etc,
+            epc,
+            inventory,
+            task_names,
+            machine_names,
+        )?)
     }
 }
 
@@ -213,7 +223,9 @@ pub fn dataset2_system<R: Rng + ?Sized>(rng: &mut R) -> Result<HcSystem> {
     debug_assert_eq!(system.inventory(), &dataset2_inventory());
     debug_assert_eq!(
         (0..13u16)
-            .map(|m| system.machine_type_name(hetsched_data::MachineTypeId(m)).to_string())
+            .map(|m| system
+                .machine_type_name(hetsched_data::MachineTypeId(m))
+                .to_string())
             .collect::<Vec<_>>(),
         dataset2_machine_type_names()
     );
@@ -276,7 +288,10 @@ mod tests {
                     );
                 }
             }
-            assert!((2..=3).contains(&compatible), "special {mt} executes {compatible} types");
+            assert!(
+                (2..=3).contains(&compatible),
+                "special {mt} executes {compatible} types"
+            );
         }
     }
 
@@ -297,8 +312,14 @@ mod tests {
         for i in 0..4u32 {
             assert_eq!(sys.machine_type(MachineId(i)), MachineTypeId(i as u16));
         }
-        assert_eq!(sys.machine_type_name(MachineTypeId(0)), "Special-purpose machine A");
-        assert_eq!(sys.machine_type_name(MachineTypeId(3)), "Special-purpose machine D");
+        assert_eq!(
+            sys.machine_type_name(MachineTypeId(0)),
+            "Special-purpose machine A"
+        );
+        assert_eq!(
+            sys.machine_type_name(MachineTypeId(3)),
+            "Special-purpose machine D"
+        );
         assert_eq!(sys.machine_type_name(MachineTypeId(4)), "AMD A8-3870K");
     }
 

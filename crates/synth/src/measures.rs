@@ -48,7 +48,10 @@ pub fn matrix_heterogeneity(matrix: &TypeMatrix) -> Result<MatrixHeterogeneity> 
         machine_sum += m.coefficient_of_variation();
         rows += 1;
     }
-    Ok(MatrixHeterogeneity { task, machine: machine_sum / rows as f64 })
+    Ok(MatrixHeterogeneity {
+        task,
+        machine: machine_sum / rows as f64,
+    })
 }
 
 #[cfg(test)]
@@ -74,9 +77,8 @@ mod tests {
         // U(1,3000) have nearly identical CoV — so class separation there
         // shows up in absolute dispersion, checked below.
         let mut rng = StdRng::seed_from_u64(31);
-        let mut h = |class| {
-            matrix_heterogeneity(&range_based_etc(120, 10, class, &mut rng)).unwrap()
-        };
+        let mut h =
+            |class| matrix_heterogeneity(&range_based_etc(120, 10, class, &mut rng)).unwrap();
         let hihi = h(HeterogeneityClass::HiHi);
         let hilo = h(HeterogeneityClass::HiLo);
         let lohi = h(HeterogeneityClass::LoHi);

@@ -61,7 +61,11 @@ pub fn range_based_etc<R: Rng + ?Sized>(
         let baseline = rng.gen_range(1.0..r_task);
         for c in 0..machine_types {
             let factor = rng.gen_range(1.0..r_machine);
-            m.set(TaskTypeId(t as u16), hetsched_data::MachineTypeId(c as u16), baseline * factor);
+            m.set(
+                TaskTypeId(t as u16),
+                hetsched_data::MachineTypeId(c as u16),
+                baseline * factor,
+            );
         }
     }
     m
@@ -94,7 +98,9 @@ mod tests {
         let lo = range_based_etc(200, 8, HeterogeneityClass::LoLo, &mut rng);
         let cv = |m: &TypeMatrix| {
             let avgs = row_averages(m).unwrap();
-            Moments::from_sample(&avgs).unwrap().coefficient_of_variation()
+            Moments::from_sample(&avgs)
+                .unwrap()
+                .coefficient_of_variation()
         };
         assert!(
             cv(&hi) > cv(&lo),
@@ -122,8 +128,18 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = range_based_etc(10, 5, HeterogeneityClass::HiHi, &mut StdRng::seed_from_u64(7));
-        let b = range_based_etc(10, 5, HeterogeneityClass::HiHi, &mut StdRng::seed_from_u64(7));
+        let a = range_based_etc(
+            10,
+            5,
+            HeterogeneityClass::HiHi,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = range_based_etc(
+            10,
+            5,
+            HeterogeneityClass::HiHi,
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a, b);
     }
 

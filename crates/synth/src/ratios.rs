@@ -36,7 +36,15 @@ pub fn ratio_matrix(matrix: &TypeMatrix) -> Result<TypeMatrix> {
         for m in 0..matrix.machine_types() {
             let mid = MachineTypeId(m as u16);
             let v = matrix.get(tid, mid);
-            out.set(tid, mid, if v.is_finite() { v / avg } else { f64::INFINITY });
+            out.set(
+                tid,
+                mid,
+                if v.is_finite() {
+                    v / avg
+                } else {
+                    f64::INFINITY
+                },
+            );
         }
     }
     Ok(out)
@@ -90,7 +98,9 @@ impl RatioModel {
 /// fitted from the same matrix, guaranteeing consistency.
 pub fn fit_ratio_model(matrix: &TypeMatrix) -> Result<RatioModel> {
     if matrix.task_types() < 2 {
-        return Err(SynthError::InvalidRequest("need at least two task types to fit ratios"));
+        return Err(SynthError::InvalidRequest(
+            "need at least two task types to fit ratios",
+        ));
     }
     RatioModel::fit(matrix)
 }
@@ -148,7 +158,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let n = 20_000;
         let mean_ratio = |m: u16, rng: &mut StdRng| -> f64 {
-            (0..n).map(|_| model.sample(MachineTypeId(m), rng)).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| model.sample(MachineTypeId(m), rng))
+                .sum::<f64>()
+                / n as f64
         };
         let fast = mean_ratio(6, &mut rng);
         let slow = mean_ratio(0, &mut rng);

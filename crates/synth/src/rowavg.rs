@@ -104,9 +104,11 @@ mod tests {
 
     #[test]
     fn all_infinite_row_is_rejected() {
-        let m =
-            TypeMatrix::from_rows(1, 2, vec![f64::INFINITY, f64::INFINITY]).unwrap();
-        assert!(matches!(row_averages(&m), Err(SynthError::InvalidRequest(_))));
+        let m = TypeMatrix::from_rows(1, 2, vec![f64::INFINITY, f64::INFINITY]).unwrap();
+        assert!(matches!(
+            row_averages(&m),
+            Err(SynthError::InvalidRequest(_))
+        ));
     }
 
     #[test]

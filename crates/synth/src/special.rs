@@ -24,10 +24,14 @@ pub const SPECIAL_SPEEDUP: f64 = 10.0;
 /// an out-of-range task type.
 pub fn special_etc_column(etc: &TypeMatrix, accelerated: &[TaskTypeId]) -> Result<Vec<f64>> {
     if accelerated.is_empty() {
-        return Err(SynthError::InvalidRequest("special machine accelerates no task types"));
+        return Err(SynthError::InvalidRequest(
+            "special machine accelerates no task types",
+        ));
     }
     if accelerated.iter().any(|t| t.index() >= etc.task_types()) {
-        return Err(SynthError::InvalidRequest("accelerated task type out of range"));
+        return Err(SynthError::InvalidRequest(
+            "accelerated task type out of range",
+        ));
     }
     let avgs = row_averages(etc)?;
     let mut col = vec![f64::INFINITY; etc.task_types()];
@@ -48,10 +52,14 @@ pub fn special_etc_column(etc: &TypeMatrix, accelerated: &[TaskTypeId]) -> Resul
 /// Same conditions as [`special_etc_column`].
 pub fn special_epc_column(epc: &TypeMatrix, accelerated: &[TaskTypeId]) -> Result<Vec<f64>> {
     if accelerated.is_empty() {
-        return Err(SynthError::InvalidRequest("special machine accelerates no task types"));
+        return Err(SynthError::InvalidRequest(
+            "special machine accelerates no task types",
+        ));
     }
     if accelerated.iter().any(|t| t.index() >= epc.task_types()) {
-        return Err(SynthError::InvalidRequest("accelerated task type out of range"));
+        return Err(SynthError::InvalidRequest(
+            "accelerated task type out of range",
+        ));
     }
     let avgs = row_averages(epc)?;
     Ok(avgs)

@@ -86,7 +86,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         // Generate many task types so sample moments are stable; no special
         // machines so columns align with the real data.
-        let sys = DatasetBuilder::from_real().new_task_types(500).build(&mut rng).unwrap();
+        let sys = DatasetBuilder::from_real()
+            .new_task_types(500)
+            .build(&mut rng)
+            .unwrap();
         // Compare only the synthetic rows (5..505) to isolate the sampler.
         let gen = {
             let mut m = TypeMatrix::filled(500, 9, 0.0);

@@ -1,0 +1,332 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Provides the benchmarking surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the `criterion_group!`/`criterion_main!` macros — as a minimal
+//! wall-clock harness. Each benchmark warms up briefly, then times batches
+//! of iterations and reports the per-iteration mean, spread, and iteration
+//! count to stdout.
+//!
+//! No statistical regression analysis, plots, or saved baselines; results
+//! are indicative timings, which is what the workspace's benches need in
+//! this offline environment. `--bench` style CLI filters are accepted and
+//! matched as substrings against benchmark names.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `size/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    /// Mean per-iteration time of the measured run, set by `iter`.
+    measured: Option<Measurement>,
+    sample_size: usize,
+}
+
+/// One benchmark's timing result.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, warming up first, then sampling `sample_size`
+    /// batches whose sizes adapt to the routine's speed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~50ms to stabilise caches/frequency and estimate
+        // the per-iteration cost.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+
+        // Batch size: aim for ~10ms per sample so Instant overhead is noise.
+        let batch = ((0.010 / est.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        let samples = self.sample_size.clamp(2, 100);
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed / batch as u32;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += elapsed;
+            iterations += batch;
+        }
+        self.measured = Some(Measurement {
+            mean: total / iterations.max(1) as u32,
+            min,
+            max,
+            iterations,
+        });
+    }
+}
+
+/// The benchmark driver: registers and runs benchmarks.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Accept (and use) a trailing CLI filter like `cargo bench -- sort`;
+        // ignore criterion flags such as `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `routine` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkName, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            None,
+            &name.into_name(),
+            self.filter.as_deref(),
+            self.sample_size,
+            routine,
+        );
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            filter: self.filter.clone(),
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches itself.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` as a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkName, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            Some(&self.name),
+            &name.into_name(),
+            self.filter.as_deref(),
+            self.sample_size,
+            routine,
+        );
+        self
+    }
+
+    /// Runs a parameterised benchmark; the input is passed to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            Some(&self.name),
+            &id.name,
+            self.filter.as_deref(),
+            self.sample_size,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(group: Option<&str>, name: &str, filter: Option<&str>, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full_name = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if let Some(pat) = filter {
+        if !full_name.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        measured: None,
+        sample_size,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some(m) => println!(
+            "{full_name:<50} {:>12} /iter  (min {}, max {}, {} iters)",
+            fmt_duration(m.mean),
+            fmt_duration(m.min),
+            fmt_duration(m.max),
+            m.iterations,
+        ),
+        None => println!("{full_name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the named benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            measured: None,
+            sample_size: 3,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        let m = b.measured.expect("measured");
+        assert!(m.iterations > 0);
+        assert!(m.mean <= m.max);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("sort", 1024).name, "sort/1024");
+        assert_eq!(BenchmarkId::from_parameter(64).name, "64");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

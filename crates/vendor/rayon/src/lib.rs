@@ -1,0 +1,258 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate supplies
+//! the small rayon API surface the workspace uses — `par_iter()`,
+//! `into_par_iter()`, `enumerate`, `map`, `map_init`, `collect` — backed by
+//! `std::thread::scope`. Semantics match rayon where it matters here:
+//! results are collected **in input order**, so parallel and serial
+//! evaluation produce identical populations.
+//!
+//! Unlike real rayon, adapters are eager: each `map`/`map_init` call runs
+//! the closure over all items (in parallel chunks) before returning. That
+//! is semantically equivalent for the pure closures this workspace passes.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// The adapter and trait exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads to use for `n` items.
+fn worker_count(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Applies `f` to every item in parallel, preserving input order.
+fn par_map<T: Send, U: Send, I, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<U>
+where
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = worker_count(n);
+    if threads <= 1 || n < 2 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<U>> = Vec::new();
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let mut rest_in = slots.as_mut_slice();
+        let mut rest_out = results.as_mut_slice();
+        while !rest_in.is_empty() {
+            let take = chunk_len.min(rest_in.len());
+            let (chunk_in, tail_in) = rest_in.split_at_mut(take);
+            let (chunk_out, tail_out) = rest_out.split_at_mut(take);
+            rest_in = tail_in;
+            rest_out = tail_out;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                for (slot, out) in chunk_in.iter_mut().zip(chunk_out.iter_mut()) {
+                    let item = slot.take().expect("item taken once");
+                    *out = Some(f(&mut state, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// An eager "parallel iterator" over an owned buffer of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs each item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel (order-preserving).
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, || (), |_, item| f(item)),
+        }
+    }
+
+    /// Applies `f` with a per-worker state created by `init` — the rayon
+    /// idiom for thread-local scratch (e.g. one evaluator per thread).
+    pub fn map_init<I, U: Send, INIT, F>(self, init: INIT, f: F) -> ParIter<U>
+    where
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, init, f),
+        }
+    }
+
+    /// Keeps items passing the predicate (parallel, order-preserving).
+    pub fn filter<F>(self, keep: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let kept = par_map(
+            self.items,
+            || (),
+            |_, item| if keep(&item) { Some(item) } else { None },
+        );
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects the items into any `FromIterator` container, in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Types convertible into a by-value parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references yield a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Borrows into a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_runs_init_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    7usize
+                },
+                |state, x| x + *state,
+            )
+            .collect();
+        assert_eq!(out[0], 7);
+        assert_eq!(out[99], 106);
+        let workers = inits.load(Ordering::SeqCst);
+        assert!(workers >= 1);
+    }
+
+    #[test]
+    fn par_iter_with_enumerate() {
+        let v = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x + 1)).collect();
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<i32> = vec![5].into_par_iter().map(|x| x * x).collect();
+        assert_eq!(one, vec![25]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

@@ -1,0 +1,571 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the serde API surface the workspace uses, built around an explicit
+//! [`Value`] data model instead of serde's visitor machinery:
+//!
+//! * [`Serialize`] / [`Serializer`] and [`Deserialize`] / [`Deserializer`]
+//!   traits with upstream-compatible signatures (generic `serialize<S>`,
+//!   `deserialize<'de, D>`, associated `Ok`/`Error` types) so hand-written
+//!   adapters like `#[serde(with = "...")]` modules compile unchanged;
+//! * `#[derive(Serialize, Deserialize)]` re-exported from the companion
+//!   `serde_derive` proc-macro crate, supporting named structs (including
+//!   `#[serde(skip)]` and `#[serde(with = "module")]` fields), tuple
+//!   structs, and unit-variant enums — the only shapes in this workspace;
+//! * impls for the std types the workspace serialises (integers, floats,
+//!   `bool`, `String`, `Option`, `Vec`, slices).
+//!
+//! JSON text encoding/decoding lives in the companion `serde_json` shim.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped number: integers keep their exact representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy above 2⁵³).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+/// The self-describing data model every type serialises into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion-ordered so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64`, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The unsigned integer content, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::U(v)) => Some(*v),
+            Value::Num(Number::I(v)) if *v >= 0 => Some(*v as u64),
+            Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Short human description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// The concrete error produced by [`ValueDeserializer`] and friends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Deserialization-side traits and errors.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a deserializer can report (mirror of `serde::de::Error`).
+    pub trait Error: Sized + Display {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::Error {
+                msg: msg.to_string(),
+            }
+        }
+    }
+}
+
+/// Serialization-side traits (mirror of `serde::ser`).
+pub mod ser {
+    /// Marker for serializer errors. The shim's serializers are infallible,
+    /// so this carries no requirements.
+    pub trait Error {}
+    impl Error for std::convert::Infallible {}
+    impl Error for super::Error {}
+}
+
+/// A data format a [`Serialize`] type can write itself into.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Consumes one fully-built [`Value`].
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format a [`Deserialize`] type can read itself from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Yields the input as one self-describing [`Value`].
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can serialise itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serialises `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can deserialise itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserialisable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The canonical serializer: produces a [`Value`], never fails.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = std::convert::Infallible;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Self::Error> {
+        Ok(value)
+    }
+}
+
+/// The canonical deserializer: reads from an owned [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}
+
+/// Serialises any value into the [`Value`] data model (cannot fail).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Deserialises a type from a [`Value`].
+///
+/// # Errors
+///
+/// Shape or domain mismatches between the value and the target type.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Num(Number::U(*self as u64)))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let num = if v >= 0 { Number::U(v as u64) } else { Number::I(v) };
+                serializer.serialize_value(Value::Num(num))
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Num(Number::F(*self)))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Num(Number::F(*self as f64)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_value(to_value(v)),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+fn type_error<E: de::Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = v.as_u64().ok_or_else(|| type_error::<D::Error>("unsigned integer", &v))?;
+                <$t>::try_from(n).map_err(|_| de::Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n: i64 = match &v {
+                    Value::Num(Number::I(i)) => *i,
+                    Value::Num(Number::U(u)) => i64::try_from(*u)
+                        .map_err(|_| de::Error::custom(format!("{u} out of range for i64")))?,
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(type_error::<D::Error>("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| de::Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_f64()
+            .ok_or_else(|| type_error::<D::Error>("number", &v))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| type_error::<D::Error>("number", &v))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_error::<D::Error>("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_error::<D::Error>("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other)
+                .map(Some)
+                .map_err(|e| de::Error::custom(e)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(|e| de::Error::custom(e)))
+                .collect(),
+            other => Err(type_error::<D::Error>("array", &other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| de::Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+/// Helpers used by generated derive code. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{de, Value};
+    pub use super::{from_value, to_value, ValueDeserializer, ValueSerializer};
+
+    /// Unwraps a value into its object entries, or reports a type error.
+    pub fn into_object<E: de::Error>(
+        value: Value,
+        type_name: &str,
+    ) -> Result<Vec<(String, Value)>, E> {
+        match value {
+            Value::Object(entries) => Ok(entries),
+            other => Err(E::custom(format!(
+                "expected object for {type_name}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwraps a value into its array elements, or reports a type error.
+    pub fn into_array<E: de::Error>(value: Value, type_name: &str) -> Result<Vec<Value>, E> {
+        match value {
+            Value::Array(items) => Ok(items),
+            other => Err(E::custom(format!(
+                "expected array for {type_name}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Removes and returns the named field from an object's entries.
+    pub fn take_field<E: de::Error>(
+        entries: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<Value, E> {
+        match entries.iter().position(|(k, _)| k == name) {
+            Some(i) => Ok(entries.swap_remove(i).1),
+            None => Err(E::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Removes and deserialises the named field.
+    pub fn from_field<T: super::DeserializeOwned, E: de::Error>(
+        entries: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, E> {
+        let value = take_field::<E>(entries, name)?;
+        super::from_value(value).map_err(|e| E::custom(format!("field `{name}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(from_value::<u16>(to_value(&7u16)).unwrap(), 7);
+        assert_eq!(from_value::<i64>(to_value(&-9i64)).unwrap(), -9);
+        assert_eq!(from_value::<f64>(to_value(&1.25f64)).unwrap(), 1.25);
+        assert_eq!(from_value::<bool>(to_value(&true)).unwrap(), true);
+        assert_eq!(from_value::<String>(to_value("hi")).unwrap(), "hi");
+        assert_eq!(
+            from_value::<Option<u8>>(to_value(&None::<u8>)).unwrap(),
+            None
+        );
+        assert_eq!(
+            from_value::<Option<u8>>(to_value(&Some(3u8))).unwrap(),
+            Some(3)
+        );
+        let xs = vec![1.0f64, f64::INFINITY];
+        let back: Vec<f64> = from_value(to_value(&xs)).unwrap();
+        assert_eq!(back[0], 1.0);
+        assert!(back[1].is_infinite());
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(from_value::<u8>(to_value(&300u16)).is_err());
+        assert!(from_value::<u32>(to_value(&-1i32)).is_err());
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(from_value::<bool>(to_value(&1u8)).is_err());
+        assert!(from_value::<Vec<f64>>(to_value("nope")).is_err());
+        assert!(from_value::<String>(to_value(&1.0f64)).is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![("a".into(), Value::Num(Number::U(1)))]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert!(v.get("b").is_none());
+        assert_eq!(v.kind(), "object");
+    }
+}

@@ -1,0 +1,571 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the companion vendored `serde` crate's [`Value`]-based data model. No
+//! `syn`/`quote` (unavailable offline): the item is parsed by walking the
+//! raw token trees, and code is generated as strings.
+//!
+//! Supported shapes — the complete set used in this workspace:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]` (field omitted on
+//!   write, `Default::default()` on read) and `#[serde(with = "module")]`
+//!   (delegates to `module::serialize` / `module::deserialize`);
+//! * tuple structs (newtypes serialise transparently as their inner value;
+//!   wider tuples as arrays);
+//! * enums whose variants are all unit-like (serialised as the variant name
+//!   string, serde's externally-tagged unit representation).
+//!
+//! Generics and data-carrying enum variants are rejected with a compile
+//! error naming this file, so a future need is an explicit decision rather
+//! than silent breakage.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field metadata extracted from `#[serde(...)]` attributes.
+#[derive(Debug, Clone, Default)]
+struct FieldAttr {
+    skip: bool,
+    with: Option<String>,
+}
+
+/// One enum variant: unit (`A`) or struct-like (`A { x: T }`).
+struct Variant {
+    name: String,
+    /// `None` for unit variants; field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+/// The parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<(String, FieldAttr)>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Unit {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for (field, attr) in fields {
+                if attr.skip {
+                    continue;
+                }
+                let value_expr = match &attr.with {
+                    Some(module) => format!(
+                        "match {module}::serialize(&self.{field}, serde::__private::ValueSerializer) \
+                         {{ ::core::result::Result::Ok(v) => v, ::core::result::Result::Err(e) => match e {{}} }}"
+                    ),
+                    None => format!("serde::__private::to_value(&self.{field})"),
+                };
+                pushes.push_str(&format!(
+                    "__entries.push((\"{field}\".to_string(), {value_expr}));\n"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         let mut __entries: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         serde::Serializer::serialize_value(__s, serde::Value::Object(__entries))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple { name, arity } if *arity == 1 => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                     -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                     serde::Serializer::serialize_value(__s, serde::__private::to_value(&self.0))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::__private::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         serde::Serializer::serialize_value(__s, serde::Value::Array(vec![{}]))\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::Unit { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                     -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                     serde::Serializer::serialize_value(__s, serde::Value::Null)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            // Externally tagged, as upstream: unit variants serialise to the
+            // variant name string, struct variants to `{"Name": {fields…}}`.
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => serde::Value::Str(\"{v}\".to_string())",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binders = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), serde::__private::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binders} }} => serde::Value::Object(vec![\
+                                (\"{v}\".to_string(), serde::Value::Object(vec![{}]))]) ",
+                            pushes.join(", "),
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+                         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         let __value = match self {{ {} }};\n\
+                         serde::Serializer::serialize_value(__s, __value)\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for (field, attr) in fields {
+                let init = if attr.skip {
+                    format!("{field}: ::core::default::Default::default(),\n")
+                } else if let Some(module) = &attr.with {
+                    format!(
+                        "{field}: {{\n\
+                             let __fv = serde::__private::take_field::<__D::Error>(&mut __entries, \"{field}\")?;\n\
+                             {module}::deserialize(serde::__private::ValueDeserializer::new(__fv))\n\
+                                 .map_err(|e| <__D::Error as serde::de::Error>::custom(\
+                                     format!(\"field `{field}`: {{e}}\")))?\n\
+                         }},\n"
+                    )
+                } else {
+                    format!(
+                        "{field}: serde::__private::from_field(&mut __entries, \"{field}\")?,\n"
+                    )
+                };
+                inits.push_str(&init);
+            }
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+                         -> ::core::result::Result<Self, __D::Error> {{\n\
+                         let __v = serde::Deserializer::take_value(__d)?;\n\
+                         let mut __entries = serde::__private::into_object::<__D::Error>(__v, \"{name}\")?;\n\
+                         let _ = &mut __entries;\n\
+                         ::core::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple { name, arity } if *arity == 1 => format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+                     -> ::core::result::Result<Self, __D::Error> {{\n\
+                     let __v = serde::Deserializer::take_value(__d)?;\n\
+                     ::core::result::Result::Ok({name}(serde::__private::from_value(__v)\
+                         .map_err(|e| <__D::Error as serde::de::Error>::custom(e))?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|_| {
+                    "serde::__private::from_value(__items.next().ok_or_else(|| \
+                         <__D::Error as serde::de::Error>::custom(\"tuple too short\"))?)\
+                         .map_err(|e| <__D::Error as serde::de::Error>::custom(e))?"
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+                         -> ::core::result::Result<Self, __D::Error> {{\n\
+                         let __v = serde::Deserializer::take_value(__d)?;\n\
+                         let __items = serde::__private::into_array::<__D::Error>(__v, \"{name}\")?;\n\
+                         let mut __items = __items.into_iter();\n\
+                         ::core::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Unit { name } => format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+                     -> ::core::result::Result<Self, __D::Error> {{\n\
+                     let _ = serde::Deserializer::take_value(__d)?;\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v})",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let fields = v.fields.as_ref()?;
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: serde::__private::from_field(&mut __fields, \"{f}\")?")
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                             let mut __fields = serde::__private::into_object::<__D::Error>(\
+                                 __body, \"{name}::{v}\")?;\n\
+                             let _ = &mut __fields;\n\
+                             ::core::result::Result::Ok({name}::{v} {{ {} }})\n\
+                         }}",
+                        inits.join(", "),
+                        v = v.name
+                    ))
+                })
+                .collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+                         -> ::core::result::Result<Self, __D::Error> {{\n\
+                         match serde::Deserializer::take_value(__d)? {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::core::result::Result::Err(\
+                                     <__D::Error as serde::de::Error>::custom(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __body) = __entries.into_iter().next()\
+                                     .expect(\"len checked\");\n\
+                                 #[allow(unused_variables)]\n\
+                                 let __body = __body;\n\
+                                 match __tag.as_str() {{\n\
+                                     {struct_arms}\n\
+                                     other => ::core::result::Result::Err(\
+                                         <__D::Error as serde::de::Error>::custom(format!(\
+                                             \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::core::result::Result::Err(\
+                                 <__D::Error as serde::de::Error>::custom(format!(\
+                                     \"expected variant for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                struct_arms = if struct_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", struct_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (doc comments, remaining derives, etc.) and
+    // visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde derive (vendored): generic type `{name}` is not supported; \
+                 extend crates/vendor/serde_derive if needed"
+            );
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Tuple {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Unit { name },
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name: name.clone(),
+                variants: parse_variants(&name, g.stream()),
+            },
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `#[serde(...)]` attribute contents into a [`FieldAttr`].
+fn apply_serde_attr(attr: &mut FieldAttr, group: TokenStream) {
+    let inner: Vec<TokenTree> = group.into_iter().collect();
+    // Contents of `serde(...)`: we only enter here for the serde ident, the
+    // group that follows holds `skip` or `with = "path"`.
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                attr.skip = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "module::path"
+                let lit = match inner.get(j + 2) {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    other => panic!("serde derive: malformed `with` attribute: {other:?}"),
+                };
+                attr.with = Some(lit.trim_matches('"').to_string());
+                j += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => panic!("serde derive (vendored): unsupported serde attribute {other:?}"),
+        }
+    }
+}
+
+/// Extracts `(name, attrs)` for each named field, skipping types.
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, FieldAttr)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut attr = FieldAttr::default();
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            apply_serde_attr(&mut attr, args.stream());
+                        }
+                    }
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name.
+        let Some(TokenTree::Ident(field_name)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let field_name = field_name.to_string();
+        i += 1;
+        // `:` then the type — skip to the next top-level comma, tracking
+        // angle-bracket depth (groups are atomic token trees already).
+        debug_assert!(matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'));
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((field_name, attr));
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Extracts variants: unit or struct-like (named fields). Tuple variants
+/// are rejected — none exist in this workspace.
+fn parse_variants(enum_name: &str, stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Attributes (doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let Some(TokenTree::Ident(variant)) = tokens.get(i) else {
+            break;
+        };
+        let variant = variant.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            None => None,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                i += 1;
+                None
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip `= expr` to the comma.
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                None
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|(name, _attr)| name)
+                    .collect();
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+                Some(names)
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde derive (vendored): enum `{enum_name}` variant `{variant}` is tuple-like; \
+                 only unit and struct variants are supported — extend crates/vendor/serde_derive \
+                 if needed"
+            ),
+            other => panic!("serde derive: unexpected token after variant `{variant}`: {other:?}"),
+        };
+        variants.push(Variant {
+            name: variant,
+            fields,
+        });
+    }
+    variants
+}

@@ -1,0 +1,508 @@
+//! Vendored stand-in for `serde_json`.
+//!
+//! Encodes/decodes JSON text over the vendored `serde` crate's [`Value`]
+//! data model. Provides the workspace's used surface: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`Error`].
+//!
+//! Floats are printed with Rust's shortest-roundtrip `Display`, matching the
+//! upstream `float_roundtrip` feature the workspace enables. Non-finite
+//! floats print as `null`, like upstream.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::{Number, Serialize};
+
+/// Error from JSON parsing or value conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+    /// 1-based line of the error, when known.
+    line: usize,
+    /// 1-based column of the error, when known.
+    column: usize,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    fn at(msg: impl Into<String>, text: &str, offset: usize) -> Self {
+        let prefix = &text[..offset.min(text.len())];
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = prefix.rfind('\n').map(|p| offset - p).unwrap_or(offset + 1);
+        Error {
+            msg: msg.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serialises a value to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors upstream.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> std::result::Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &serde::to_value(value), None, 0);
+    Ok(out)
+}
+
+/// Serialises a value to pretty-printed JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors upstream.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> std::result::Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &serde::to_value(value), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserialisable type.
+///
+/// # Errors
+///
+/// Malformed JSON, trailing input, or a shape mismatch with `T`.
+pub fn from_str<T: serde::DeserializeOwned>(text: &str) -> std::result::Result<T, Error> {
+    let value = parse(text)?;
+    serde::from_value(value).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Printer.
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write;
+    match n {
+        Number::U(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F(f) if !f.is_finite() => out.push_str("null"),
+        Number::F(f) => {
+            // Match upstream: integral floats keep a `.0` so they parse back
+            // as floats.
+            if f == f.trunc() && f.abs() < 1e16 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document into a [`Value`].
+fn parse(text: &str) -> std::result::Result<Value, Error> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at("trailing characters", text, p.pos));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Error {
+        Error::at(msg, self.text, self.pos)
+    }
+
+    fn expect(&mut self, b: u8) -> std::result::Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> std::result::Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(&b) => Err(self.error(format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> std::result::Result<Value, Error> {
+        if self.text[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> std::result::Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> std::result::Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> std::result::Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs for non-BMP characters.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.text[self.pos..].starts_with("\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.text[self.pos..];
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("invalid utf-8"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> std::result::Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = &self.text[self.pos..end];
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape digits"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> std::result::Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = &self.text[start..self.pos];
+        if !is_float {
+            if let Ok(u) = token.parse::<u64>() {
+                return Ok(Value::Num(Number::U(u)));
+            }
+            if let Ok(i) = token.parse::<i64>() {
+                return Ok(Value::Num(Number::I(i)));
+            }
+        }
+        token
+            .parse::<f64>()
+            .map(|f| Value::Num(Number::F(f)))
+            .map_err(|_| Error::at(format!("invalid number `{token}`"), self.text, start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_printing() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Num(Number::U(1))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::Str("x\"y".into())),
+        ]);
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0);
+        assert_eq!(out, r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = Value::Object(vec![(
+            "k".into(),
+            Value::Array(vec![Value::Num(Number::U(1))]),
+        )]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        for &f in &[0.1, 1.0, -2.5e-8, 123456.789, 1.0 / 3.0] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+        // Non-finite floats serialise as null, as in upstream serde_json.
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_document() {
+        let v: Value = from_str(r#" {"xs": [1, -2, 3.5], "s": "A\n", "n": null} "#).unwrap();
+        assert_eq!(v.get("xs").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("A\n"));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = from_str::<Value>("{\"a\": }").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("[] trailing").is_err());
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![1.5f64, 2.0, 3.25];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+}

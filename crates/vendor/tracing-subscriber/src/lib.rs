@@ -1,0 +1,99 @@
+//! Vendored stand-in for `tracing-subscriber`.
+//!
+//! Provides the `fmt()` builder the CLI uses to route `tracing` events to
+//! stderr: `tracing_subscriber::fmt().with_max_level(level).init()`.
+//! Each event prints as `LEVEL target: message` prefixed with the elapsed
+//! time since subscriber installation.
+
+#![warn(missing_docs)]
+
+use std::fmt::Arguments;
+use std::io::Write;
+use std::time::Instant;
+
+use tracing::{Level, Subscriber};
+
+/// Starts building an stderr formatting subscriber.
+pub fn fmt() -> SubscriberBuilder {
+    SubscriberBuilder {
+        max_level: Level::INFO,
+    }
+}
+
+/// Configures and installs the stderr subscriber.
+#[derive(Debug, Clone)]
+pub struct SubscriberBuilder {
+    max_level: Level,
+}
+
+impl SubscriberBuilder {
+    /// Sets the most verbose level that will be printed.
+    pub fn with_max_level(mut self, level: Level) -> Self {
+        self.max_level = level;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always writes to stderr.
+    pub fn with_writer<W>(self, _writer: W) -> Self {
+        self
+    }
+
+    /// Installs this subscriber globally, panicking if one exists —
+    /// matching upstream `init()` semantics.
+    pub fn init(self) {
+        self.try_init()
+            .expect("global tracing subscriber already installed");
+    }
+
+    /// Installs this subscriber globally.
+    ///
+    /// # Errors
+    ///
+    /// A subscriber was already installed.
+    pub fn try_init(self) -> Result<(), tracing::SetGlobalError> {
+        tracing::set_global_subscriber(
+            self.max_level,
+            Box::new(StderrSubscriber {
+                start: Instant::now(),
+            }),
+        )
+    }
+}
+
+struct StderrSubscriber {
+    start: Instant,
+}
+
+impl Subscriber for StderrSubscriber {
+    fn event(&self, level: Level, target: &str, message: Arguments<'_>) {
+        let elapsed = self.start.elapsed();
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        // One write per event keeps lines whole under parallel populations.
+        let _ = writeln!(
+            out,
+            "{:>10.6}s {:>5} {}: {}",
+            elapsed.as_secs_f64(),
+            level,
+            target,
+            message
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_configures_and_installs_once() {
+        let b = fmt()
+            .with_max_level(Level::DEBUG)
+            .with_writer(std::io::stderr);
+        b.try_init().expect("first install succeeds");
+        assert!(tracing::enabled(Level::DEBUG));
+        assert!(!tracing::enabled(Level::TRACE));
+        tracing::debug!("event after install: {}", 42);
+        assert!(fmt().try_init().is_err(), "second install is rejected");
+    }
+}

@@ -1,0 +1,216 @@
+//! Vendored stand-in for `tracing`.
+//!
+//! Provides leveled event macros (`error!` … `trace!`) dispatching through
+//! a process-global [`Subscriber`]. Events carry a level, the emitting
+//! module path as target, and a formatted message. With no subscriber
+//! installed every event is a cheap atomic load and a branch — the
+//! "zero-cost when disabled" property the engine's instrumentation relies
+//! on.
+//!
+//! Structured key-value fields and spans are not implemented; callers use
+//! format-string messages.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Event severity. Ordering matches upstream: `ERROR < WARN < INFO <
+/// DEBUG < TRACE`, so `level <= max` means "verbose enough to show".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable or serious failures.
+    ERROR,
+    /// Recoverable problems worth surfacing.
+    WARN,
+    /// High-level progress.
+    INFO,
+    /// Detailed diagnostic state.
+    DEBUG,
+    /// Very fine-grained tracing.
+    TRACE,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::ERROR => "ERROR",
+            Level::WARN => "WARN",
+            Level::INFO => "INFO",
+            Level::DEBUG => "DEBUG",
+            Level::TRACE => "TRACE",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Level::ERROR => 1,
+            Level::WARN => 2,
+            Level::INFO => 3,
+            Level::DEBUG => 4,
+            Level::TRACE => 5,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from parsing a [`Level`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError {
+    input: String,
+}
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown log level `{}` (expected error|warn|info|debug|trace)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::ERROR),
+            "warn" | "warning" => Ok(Level::WARN),
+            "info" => Ok(Level::INFO),
+            "debug" => Ok(Level::DEBUG),
+            "trace" => Ok(Level::TRACE),
+            _ => Err(ParseLevelError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// Receives events from the macros. Installed once per process.
+pub trait Subscriber: Send + Sync {
+    /// Handles one event.
+    fn event(&self, level: Level, target: &str, message: fmt::Arguments<'_>);
+}
+
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+/// 0 = disabled (no subscriber); otherwise the max enabled `Level::rank`.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Installs the process-global subscriber. Events at levels above
+/// `max_level` are dropped before reaching it.
+///
+/// # Errors
+///
+/// A subscriber was already installed.
+pub fn set_global_subscriber(
+    max_level: Level,
+    subscriber: Box<dyn Subscriber>,
+) -> Result<(), SetGlobalError> {
+    SUBSCRIBER.set(subscriber).map_err(|_| SetGlobalError(()))?;
+    MAX_LEVEL.store(max_level.rank(), Ordering::Release);
+    Ok(())
+}
+
+/// Error: a global subscriber was already installed.
+#[derive(Debug)]
+pub struct SetGlobalError(());
+
+impl fmt::Display for SetGlobalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a global subscriber has already been set")
+    }
+}
+
+impl std::error::Error for SetGlobalError {}
+
+/// Whether an event at `level` would reach the subscriber.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level.rank() <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{enabled, Level, SUBSCRIBER};
+
+    #[inline]
+    pub fn emit(level: Level, target: &str, message: std::fmt::Arguments<'_>) {
+        if !enabled(level) {
+            return;
+        }
+        if let Some(subscriber) = SUBSCRIBER.get() {
+            subscriber.event(level, target, message);
+        }
+    }
+}
+
+/// Emits an event at the given level with a format-string message.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $($arg:tt)+) => {
+        $crate::__private::emit($level, module_path!(), format_args!($($arg)+))
+    };
+}
+
+/// Emits an `ERROR`-level event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::ERROR, $($arg)+) };
+}
+
+/// Emits a `WARN`-level event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::WARN, $($arg)+) };
+}
+
+/// Emits an `INFO`-level event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::INFO, $($arg)+) };
+}
+
+/// Emits a `DEBUG`-level event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::DEBUG, $($arg)+) };
+}
+
+/// Emits a `TRACE`-level event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::TRACE, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::ERROR < Level::TRACE);
+        assert!(Level::INFO < Level::DEBUG);
+        assert_eq!("info".parse::<Level>().unwrap(), Level::INFO);
+        assert_eq!("WARN".parse::<Level>().unwrap(), Level::WARN);
+        assert!("loud".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        // No subscriber installed in this test binary: everything is off.
+        assert!(!enabled(Level::ERROR));
+        // Macros must still compile and be callable.
+        info!("no-op {}", 1);
+        error!("also a no-op");
+    }
+}

@@ -59,7 +59,11 @@ pub fn trace_from_csv(
             fields
                 .next()
                 .ok_or(WorkloadError::InvalidTrace(name))
-                .and_then(|v| v.trim().parse::<f64>().map_err(|_| WorkloadError::InvalidTrace(name)))
+                .and_then(|v| {
+                    v.trim()
+                        .parse::<f64>()
+                        .map_err(|_| WorkloadError::InvalidTrace(name))
+                })
         };
         let task_type = field("task_type")? as u16;
         let arrival = field("arrival_s")?;

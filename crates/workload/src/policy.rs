@@ -61,7 +61,11 @@ impl TufPolicy {
                 return Err(WorkloadError::InvalidTuf("tier urgency must be >= 0"));
             }
         }
-        let policy = TufPolicy { tiers, classes, final_fraction };
+        let policy = TufPolicy {
+            tiers,
+            classes,
+            final_fraction,
+        };
         // Probe-build one TUF per tier so an invalid template fails fast.
         for i in 0..policy.tiers.len() {
             policy.build_tuf(i)?;
@@ -76,9 +80,21 @@ impl TufPolicy {
     pub fn essc_default() -> Self {
         TufPolicy::new(
             vec![
-                PriorityTier { weight: 0.1, priority: 8.0, urgency: 0.004 },
-                PriorityTier { weight: 0.3, priority: 4.0, urgency: 0.002 },
-                PriorityTier { weight: 0.6, priority: 1.0, urgency: 0.001 },
+                PriorityTier {
+                    weight: 0.1,
+                    priority: 8.0,
+                    urgency: 0.004,
+                },
+                PriorityTier {
+                    weight: 0.3,
+                    priority: 4.0,
+                    urgency: 0.002,
+                },
+                PriorityTier {
+                    weight: 0.6,
+                    priority: 1.0,
+                    urgency: 0.001,
+                },
             ],
             vec![
                 UtilityClass {
@@ -136,7 +152,8 @@ impl TufPolicy {
             }
             u -= t.weight;
         }
-        self.build_tuf(idx).expect("policy was validated at construction")
+        self.build_tuf(idx)
+            .expect("policy was validated at construction")
     }
 }
 
@@ -176,15 +193,27 @@ mod tests {
     #[test]
     fn rejects_empty_and_invalid_tiers() {
         assert!(TufPolicy::new(vec![], vec![], 0.0).is_err());
-        let bad = PriorityTier { weight: 0.0, priority: 1.0, urgency: 0.1 };
+        let bad = PriorityTier {
+            weight: 0.0,
+            priority: 1.0,
+            urgency: 0.1,
+        };
         assert!(TufPolicy::new(vec![bad], vec![], 0.0).is_err());
-        let bad = PriorityTier { weight: 1.0, priority: -1.0, urgency: 0.1 };
+        let bad = PriorityTier {
+            weight: 1.0,
+            priority: -1.0,
+            urgency: 0.1,
+        };
         assert!(TufPolicy::new(vec![bad], vec![], 0.0).is_err());
     }
 
     #[test]
     fn invalid_class_template_fails_fast() {
-        let tier = PriorityTier { weight: 1.0, priority: 1.0, urgency: 0.1 };
+        let tier = PriorityTier {
+            weight: 1.0,
+            priority: 1.0,
+            urgency: 0.1,
+        };
         let bad_class = UtilityClass {
             duration: -1.0,
             begin_fraction: 1.0,
@@ -196,7 +225,11 @@ mod tests {
 
     #[test]
     fn single_tier_policy_is_deterministic_in_priority() {
-        let tier = PriorityTier { weight: 1.0, priority: 5.0, urgency: 0.01 };
+        let tier = PriorityTier {
+            weight: 1.0,
+            priority: 5.0,
+            urgency: 0.01,
+        };
         let policy = TufPolicy::new(vec![tier], vec![], 1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {

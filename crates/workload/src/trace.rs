@@ -66,9 +66,13 @@ impl Trace {
             return Err(WorkloadError::InvalidTrace("no tasks"));
         }
         if !(duration.is_finite() && duration > 0.0) {
-            return Err(WorkloadError::InvalidTrace("duration must be finite and > 0"));
+            return Err(WorkloadError::InvalidTrace(
+                "duration must be finite and > 0",
+            ));
         }
-        if tasks.iter().any(|t| !t.arrival.is_finite() || t.arrival < 0.0 || t.arrival > duration)
+        if tasks
+            .iter()
+            .any(|t| !t.arrival.is_finite() || t.arrival < 0.0 || t.arrival > duration)
         {
             return Err(WorkloadError::InvalidTrace("arrival outside [0, duration]"));
         }
@@ -210,9 +214,7 @@ impl TraceGenerator {
         for i in 0..self.tasks {
             let arrival = match self.arrivals {
                 ArrivalProcess::PoissonConditioned => rng.gen::<f64>() * self.duration,
-                ArrivalProcess::Even => {
-                    self.duration * (i as f64 + 0.5) / self.tasks as f64
-                }
+                ArrivalProcess::Even => self.duration * (i as f64 + 0.5) / self.tasks as f64,
                 ArrivalProcess::Bursty { bursts, spread } => {
                     let b = rng.gen_range(0..bursts.max(1)) as f64;
                     let centre = self.duration * (b + 0.5) / bursts.max(1) as f64;
@@ -290,7 +292,10 @@ mod tests {
         for p in [
             ArrivalProcess::PoissonConditioned,
             ArrivalProcess::Even,
-            ArrivalProcess::Bursty { bursts: 3, spread: 60.0 },
+            ArrivalProcess::Bursty {
+                bursts: 3,
+                spread: 60.0,
+            },
             ArrivalProcess::Diurnal { amplitude: 4.0 },
         ] {
             let trace = gen(100, p);
@@ -303,8 +308,11 @@ mod tests {
     #[test]
     fn even_arrivals_are_equally_spaced() {
         let trace = gen(9, ArrivalProcess::Even);
-        let gaps: Vec<f64> =
-            trace.tasks().windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
+        let gaps: Vec<f64> = trace
+            .tasks()
+            .windows(2)
+            .map(|w| w[1].arrival - w[0].arrival)
+            .collect();
         for g in gaps {
             assert!((g - 100.0).abs() < 1e-9);
         }
@@ -318,7 +326,10 @@ mod tests {
             assert!(t.task_type.index() < 5);
             seen[t.task_type.index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 5 task types should appear in 500 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 5 task types should appear in 500 draws"
+        );
     }
 
     #[test]
@@ -335,7 +346,9 @@ mod tests {
     fn invalid_parameters_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(TraceGenerator::new(0, 900.0, 5).generate(&mut rng).is_err());
-        assert!(TraceGenerator::new(10, 900.0, 0).generate(&mut rng).is_err());
+        assert!(TraceGenerator::new(10, 900.0, 0)
+            .generate(&mut rng)
+            .is_err());
         assert!(TraceGenerator::new(10, 0.0, 5).generate(&mut rng).is_err());
     }
 

@@ -120,7 +120,10 @@ impl Tuf {
 
     /// A TUF that earns `priority` regardless of completion time.
     pub fn constant(priority: f64) -> Self {
-        TufBuilder::new(priority).final_fraction(1.0).build().expect("constant TUF is valid")
+        TufBuilder::new(priority)
+            .final_fraction(1.0)
+            .build()
+            .expect("constant TUF is valid")
     }
 
     /// A hard-deadline TUF: full priority until `deadline` seconds after
@@ -196,7 +199,12 @@ impl TufBuilder {
     /// Starts a TUF with the given priority, base urgency 1.0, no classes,
     /// and a final fraction of 0 (utility fully decays).
     pub fn new(priority: f64) -> Self {
-        TufBuilder { priority, urgency: 1.0, classes: Vec::new(), final_fraction: 0.0 }
+        TufBuilder {
+            priority,
+            urgency: 1.0,
+            classes: Vec::new(),
+            final_fraction: 0.0,
+        }
     }
 
     /// Sets the base urgency (decay rate, 1/s).
@@ -235,7 +243,9 @@ impl TufBuilder {
             return Err(WorkloadError::InvalidTuf("urgency must be finite and >= 0"));
         }
         if !(0.0..=1.0).contains(&self.final_fraction) {
-            return Err(WorkloadError::InvalidTuf("final fraction must be in [0, 1]"));
+            return Err(WorkloadError::InvalidTuf(
+                "final fraction must be in [0, 1]",
+            ));
         }
         let mut prev_floor = 1.0f64;
         for (i, c) in self.classes.iter().enumerate() {
@@ -243,7 +253,9 @@ impl TufBuilder {
                 return Err(WorkloadError::InvalidTuf("class duration must be > 0"));
             }
             if !(0.0..=1.0).contains(&c.begin_fraction) || !(0.0..=1.0).contains(&c.end_fraction) {
-                return Err(WorkloadError::InvalidTuf("class fractions must be in [0, 1]"));
+                return Err(WorkloadError::InvalidTuf(
+                    "class fractions must be in [0, 1]",
+                ));
             }
             if c.end_fraction > c.begin_fraction {
                 return Err(WorkloadError::InvalidTuf("class end above its begin"));
@@ -264,7 +276,9 @@ impl TufBuilder {
             };
         }
         if self.final_fraction > prev_floor + 1e-12 {
-            return Err(WorkloadError::NonMonotoneTuf { class: self.classes.len() });
+            return Err(WorkloadError::NonMonotoneTuf {
+                class: self.classes.len(),
+            });
         }
         let mut tuf = Tuf {
             priority: self.priority,
@@ -395,7 +409,11 @@ mod tests {
             end_fraction: 0.1,
             urgency_modifier: 1.0,
         };
-        let err = TufBuilder::new(1.0).class(c1).class(c2).build().unwrap_err();
+        let err = TufBuilder::new(1.0)
+            .class(c1)
+            .class(c2)
+            .build()
+            .unwrap_err();
         assert_eq!(err, WorkloadError::NonMonotoneTuf { class: 1 });
     }
 
@@ -407,7 +425,11 @@ mod tests {
             end_fraction: 0.2,
             urgency_modifier: 1.0,
         };
-        let err = TufBuilder::new(1.0).class(c).final_fraction(0.5).build().unwrap_err();
+        let err = TufBuilder::new(1.0)
+            .class(c)
+            .final_fraction(0.5)
+            .build()
+            .unwrap_err();
         assert_eq!(err, WorkloadError::NonMonotoneTuf { class: 1 });
     }
 

@@ -10,8 +10,8 @@
 //! cargo run --release --example admin_analysis
 //! ```
 
-use hetsched::core::{ExperimentConfig, Framework};
 use hetsched::core::DatasetId;
+use hetsched::core::{ExperimentConfig, Framework};
 use hetsched::heuristics::SeedKind;
 use hetsched::synth::builder::dataset2_system;
 use hetsched::workload::{ArrivalProcess, TraceGenerator, TufPolicy};
@@ -28,15 +28,19 @@ fn main() {
     // 2. The workload: a bursty morning — three submission spikes over
     //    30 minutes, utility policy from the ESSC default tiers.
     let mut generator = TraceGenerator::new(150, 1800.0, system.task_type_count());
-    generator.arrivals = ArrivalProcess::Bursty { bursts: 3, spread: 120.0 };
+    generator.arrivals = ArrivalProcess::Bursty {
+        bursts: 3,
+        spread: 120.0,
+    };
     generator.policy = TufPolicy::essc_default();
-    let trace = generator.generate(&mut rng).expect("valid generator parameters");
+    let trace = generator
+        .generate(&mut rng)
+        .expect("valid generator parameters");
 
     // 3. Analyse: five seeded NSGA-II populations.
     let mut config = ExperimentConfig::scaled(DatasetId::Two, 0.002);
     config.population = 60;
-    let framework =
-        Framework::custom(system, trace, &config).expect("config validated");
+    let framework = Framework::custom(system, trace, &config).expect("config validated");
     println!(
         "analysing {} tasks over {:.0} minutes on {} machines ({} generations/population)...",
         framework.trace().len(),
@@ -75,8 +79,11 @@ fn main() {
     //    "energy constraints could then be used in conjunction with a
     //    separate online dynamic utility maximization heuristic".
     let budget = upe.peak.energy * 1.10;
-    let reachable: Vec<_> =
-        front.points().iter().filter(|p| p.energy <= budget).collect();
+    let reachable: Vec<_> = front
+        .points()
+        .iter()
+        .filter(|p| p.energy <= budget)
+        .collect();
     let best_under_budget = reachable
         .iter()
         .map(|p| p.utility)

@@ -25,11 +25,10 @@ fn main() {
         .expect("valid generator");
 
     // Variant A: decommission the four special-purpose machines.
-    let no_specials = base_system
-        .with_inventory(
-            MachineInventory::from_counts(vec![0, 0, 0, 0, 2, 3, 3, 3, 2, 4, 2, 5, 2])
-                .expect("valid counts"),
-        );
+    let no_specials = base_system.with_inventory(
+        MachineInventory::from_counts(vec![0, 0, 0, 0, 2, 3, 3, 3, 2, 4, 2, 5, 2])
+            .expect("valid counts"),
+    );
 
     // Variant B: double the overclocked i7 types (indices 10 and 12).
     let more_overclock = base_system
@@ -62,9 +61,9 @@ fn main() {
     run("baseline (Table III)", base_system.clone());
     match no_specials {
         Ok(system) => run("no special machines", system),
-        Err(e) => println!(
-            "no special machines   infeasible: {e} (some task type runs only there)"
-        ),
+        Err(e) => {
+            println!("no special machines   infeasible: {e} (some task type runs only there)")
+        }
     }
     run("more overclocked i7s", more_overclock);
 

@@ -32,11 +32,13 @@ fn main() {
     // Plain problem (the paper's §IV encoding).
     let plain = AllocationProblem::new(&system, &trace);
     let plain_pop = Nsga2::new(&plain, cfg).run(
-        vec![min_energy(&system, &trace), min_min_completion_time(&system, &trace)],
+        vec![
+            min_energy(&system, &trace),
+            min_min_completion_time(&system, &trace),
+        ],
         1,
     );
-    let plain_front =
-        ParetoFront::from_objectives(plain_pop.iter().map(|i| &i.objectives));
+    let plain_front = ParetoFront::from_objectives(plain_pop.iter().map(|i| &i.objectives));
 
     // Extended problem: P-states (cubic power model) + task dropping.
     let table = DvfsTable::cubic_default();

@@ -37,9 +37,7 @@ fn main() {
 
     // In this minimisation problem, map objectives to the front type by
     // treating -makespan as "utility" so the x-axis stays energy.
-    let front = ParetoFront::from_points(
-        pop.iter().map(|i| (-i.objectives[0], i.objectives[1])),
-    );
+    let front = ParetoFront::from_points(pop.iter().map(|i| (-i.objectives[0], i.objectives[1])));
     println!("\nPareto front ({} points):", front.len());
     println!("{:>12} {:>12}", "makespan(s)", "energy(MJ)");
     for p in front.points().iter().rev().take(12) {

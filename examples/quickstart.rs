@@ -24,7 +24,10 @@ fn main() {
         framework.trace().len(),
         framework.trace().duration(),
     );
-    println!("running {} NSGA-II generations for 5 seeded populations...", config.generations());
+    println!(
+        "running {} NSGA-II generations for 5 seeded populations...",
+        config.generations()
+    );
 
     let report = framework.run();
 

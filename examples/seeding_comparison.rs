@@ -52,7 +52,10 @@ fn main() {
         println!("  C({:<24}, random) = {:.2}", run.seed.label(), c);
     }
 
-    println!("\nearly-snapshot story (first snapshot, {} iterations):", report.snapshots[0]);
+    println!(
+        "\nearly-snapshot story (first snapshot, {} iterations):",
+        report.snapshots[0]
+    );
     for run in &report.runs {
         let front = &run.fronts[0].1;
         let lo = front.min_energy().expect("non-empty");

@@ -16,7 +16,10 @@ use rand::SeedableRng;
 fn main() {
     let real = real_etc().0;
     let real_avgs: Vec<f64> = (0..real.task_types())
-        .map(|t| real.row_average(TaskTypeId(t as u16)).expect("real rows are finite"))
+        .map(|t| {
+            real.row_average(TaskTypeId(t as u16))
+                .expect("real rows are finite")
+        })
         .collect();
     let target = Moments::from_sample(&real_avgs).expect("five distinct row averages");
     println!("real data row-average heterogeneity (5 task types):");
@@ -28,7 +31,10 @@ fn main() {
         target.kurtosis
     );
 
-    println!("\n{:>6} {:>10} {:>8} {:>10} {:>10} {:>12}", "types", "mean(s)", "CV", "skewness", "kurtosis", "worst-ratio-d");
+    println!(
+        "\n{:>6} {:>10} {:>8} {:>10} {:>10} {:>12}",
+        "types", "mean(s)", "CV", "skewness", "kurtosis", "worst-ratio-d"
+    );
     for &n in &[25usize, 100, 400, 1600] {
         let mut rng = StdRng::seed_from_u64(99);
         let sys = DatasetBuilder::from_real()
@@ -43,7 +49,8 @@ fn main() {
                 synth.set(
                     TaskTypeId(t as u16),
                     MachineTypeId(m as u16),
-                    sys.etc().time(TaskTypeId((t + 5) as u16), MachineTypeId(m as u16)),
+                    sys.etc()
+                        .time(TaskTypeId((t + 5) as u16), MachineTypeId(m as u16)),
                 );
             }
         }
@@ -51,8 +58,7 @@ fn main() {
             .map(|t| synth.row_average(TaskTypeId(t as u16)).expect("finite"))
             .collect();
         let m = Moments::from_sample(&avgs).expect("distinct values");
-        let report =
-            HeterogeneityReport::compare(&real, &synth).expect("comparable matrices");
+        let report = HeterogeneityReport::compare(&real, &synth).expect("comparable matrices");
         println!(
             "{:>6} {:>10.1} {:>8.3} {:>+10.3} {:>+10.3} {:>12.3}",
             n,

@@ -10,7 +10,11 @@ fn mini() -> Framework {
     cfg.tasks = 50;
     cfg.population = 20;
     cfg.snapshots = vec![25];
-    cfg.seeds = vec![SeedKind::MinEnergy, SeedKind::MinMinCompletionTime, SeedKind::Random];
+    cfg.seeds = vec![
+        SeedKind::MinEnergy,
+        SeedKind::MinMinCompletionTime,
+        SeedKind::Random,
+    ];
     cfg.rng_seed = 31;
     Framework::new(&cfg).unwrap()
 }
@@ -45,8 +49,7 @@ fn replicated_attainment_is_consistent() {
 fn min_energy_attains_the_bound_in_every_replicate() {
     let fw = mini();
     let summaries = fw.run_replicated(3);
-    let bound =
-        hetsched::sim::Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
+    let bound = hetsched::sim::Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
     let (_, me) = summaries
         .iter()
         .find(|(s, _)| *s == SeedKind::MinEnergy)
@@ -71,7 +74,11 @@ fn min_min_median_beats_random_median_at_high_energy() {
     let rnd = curve_of(SeedKind::Random);
     // Compare the top-end utilities (last defined point of each curve).
     let top = |curve: &[(f64, Option<f64>)]| {
-        curve.iter().rev().find_map(|(_, u)| *u).expect("some defined point")
+        curve
+            .iter()
+            .rev()
+            .find_map(|(_, u)| *u)
+            .expect("some defined point")
     };
     assert!(
         top(&mm) > top(&rnd),

@@ -98,5 +98,8 @@ fn special_purpose_machines_accelerate_their_tasks() {
             }
         }
     }
-    assert!(found, "no accelerated (task, machine) pair in the synthetic system");
+    assert!(
+        found,
+        "no accelerated (task, machine) pair in the synthetic system"
+    );
 }

@@ -40,7 +40,10 @@ fn dataset1_pipeline_produces_meaningful_tradeoff() {
     // Energy lower bound is respected and achieved.
     let bound = Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
     assert!(lo.energy >= bound - 1e-6);
-    assert!((lo.energy - bound) / bound < 0.01, "min-energy seed should pin the left end");
+    assert!(
+        (lo.energy - bound) / bound < 0.01,
+        "min-energy seed should pin the left end"
+    );
 
     // UPE analysis finds a peak on the front.
     let upe = UpeAnalysis::of(&front).unwrap();

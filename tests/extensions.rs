@@ -22,8 +22,13 @@ fn dvfs_front_extends_past_plain_front() {
     // Seed with the plain min-energy allocation at nominal frequency so the
     // comparison to the plain bound is honest.
     let seed = DvfsAllocation::nominal(min_energy(&sys, &trace));
-    let cfg =
-        Nsga2Config { population: 32, mutation_rate: 0.8, generations: 120, parallel: false, ..Default::default() };
+    let cfg = Nsga2Config {
+        population: 32,
+        mutation_rate: 0.8,
+        generations: 120,
+        parallel: false,
+        ..Default::default()
+    };
     let pop = Nsga2::new(&problem, cfg).run(vec![seed], 3);
 
     let plain_bound = Evaluator::new(&sys, &trace).min_possible_energy();
@@ -48,8 +53,13 @@ fn task_dropping_discovers_zero_utility_savings() {
         .unwrap();
     let table = DvfsTable::cubic_default();
     let problem = DvfsAllocationProblem::new(&sys, &trace, table);
-    let cfg =
-        Nsga2Config { population: 24, mutation_rate: 0.9, generations: 150, parallel: false, ..Default::default() };
+    let cfg = Nsga2Config {
+        population: 24,
+        mutation_rate: 0.9,
+        generations: 150,
+        parallel: false,
+        ..Default::default()
+    };
     let pop = Nsga2::new(&problem, cfg).run(vec![], 11);
 
     // The front must contain at least one solution that drops something
@@ -88,8 +98,14 @@ fn pstates_trade_utility_for_energy_along_front() {
         let mut ext = DvfsAllocation::nominal(base.clone());
         ext.pstate = vec![ps; trace.len()];
         let out = ext.evaluate(&sys, &trace, &table).unwrap();
-        assert!(out.energy < previous_energy, "energy must fall with deeper P-state");
-        assert!(out.utility <= previous_utility + 1e-9, "utility cannot rise when slowing down");
+        assert!(
+            out.energy < previous_energy,
+            "energy must fall with deeper P-state"
+        );
+        assert!(
+            out.utility <= previous_utility + 1e-9,
+            "utility cannot rise when slowing down"
+        );
         previous_energy = out.energy;
         previous_utility = out.utility;
     }

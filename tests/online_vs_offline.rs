@@ -30,7 +30,10 @@ fn online_respects_budget_derived_from_offline_peak() {
     let online = schedule_online(
         fw.system(),
         fw.trace(),
-        &OnlineConfig { energy_budget: budget, drop_threshold: 0.0 },
+        &OnlineConfig {
+            energy_budget: budget,
+            drop_threshold: 0.0,
+        },
     );
     assert!(online.energy <= budget + 1e-9, "budget violated");
     assert!(online.utility > 0.0);
@@ -49,10 +52,11 @@ fn offline_front_weakly_dominates_online_at_matched_energy() {
         .points()
         .iter()
         .any(|p| p.utility >= online.utility && p.energy <= online.energy);
-    let incomparable_everywhere = front
-        .points()
-        .iter()
-        .all(|p| !(online.utility >= p.utility && online.energy <= p.energy && (online.utility > p.utility || online.energy < p.energy)));
+    let incomparable_everywhere = front.points().iter().all(|p| {
+        !(online.utility >= p.utility
+            && online.energy <= p.energy
+            && (online.utility > p.utility || online.energy < p.energy))
+    });
     assert!(
         dominated || incomparable_everywhere,
         "online result strictly dominates the offline front: U={} E={}",
@@ -75,7 +79,10 @@ fn tightening_budget_traces_a_utility_curve_below_the_front() {
                 drop_threshold: 0.0,
             },
         );
-        assert!(out.utility <= prev + 1e-9, "utility must fall as budget tightens");
+        assert!(
+            out.utility <= prev + 1e-9,
+            "utility must fall as budget tightens"
+        );
         assert!(out.energy <= unconstrained.energy * frac + 1e-9);
         prev = out.utility;
     }

@@ -48,8 +48,9 @@ fn full_experiment_state_roundtrips() {
     let alloc_json = serde_json::to_string(&alloc).unwrap();
 
     let sys2: HcSystem = serde_json::from_str(&sys_json).unwrap();
-    let trace2: Trace =
-        serde_json::from_str::<Trace>(&trace_json).unwrap().after_deserialize();
+    let trace2: Trace = serde_json::from_str::<Trace>(&trace_json)
+        .unwrap()
+        .after_deserialize();
     let alloc2: Allocation = serde_json::from_str(&alloc_json).unwrap();
 
     let before = Evaluator::new(&sys, &trace).evaluate(&alloc);

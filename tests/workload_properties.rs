@@ -9,10 +9,10 @@ use proptest::prelude::*;
 /// across class boundaries as the builder requires.
 fn arb_tuf() -> impl Strategy<Value = Tuf> {
     (
-        0.1f64..100.0,                      // priority
-        0.0f64..0.1,                        // urgency
+        0.1f64..100.0, // priority
+        0.0f64..0.1,   // urgency
         prop::collection::vec((1.0f64..500.0, 0.0f64..1.0, 0.0f64..4.0), 0..5),
-        0.0f64..0.2,                        // raw final fraction (scaled below)
+        0.0f64..0.2, // raw final fraction (scaled below)
     )
         .prop_map(|(priority, urgency, raw_classes, raw_final)| {
             let mut builder = TufBuilder::new(priority).urgency(urgency);
