@@ -232,6 +232,7 @@ fn ablation_engine(c: &mut Criterion) {
         archive: 40,
         mutation_rate: 0.5,
         generations,
+        hv_reference: None,
     };
 
     let moead_cfg = hetsched_moea::MoeadConfig {
@@ -239,6 +240,7 @@ fn ablation_engine(c: &mut Criterion) {
         neighbours: 8,
         mutation_rate: 0.5,
         generations,
+        hv_reference: None,
     };
 
     REPORT.call_once(|| {

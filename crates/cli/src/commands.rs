@@ -1,13 +1,15 @@
 //! Command implementations.
 
+use crate::error::CliError;
 use crate::options::Options;
 use hetsched_analysis::export::{series_to_csv, series_to_json};
 use hetsched_core::figures;
-use hetsched_core::{DatasetId, ExperimentConfig, Framework};
+use hetsched_core::{Campaign, CampaignSpec, DatasetId, ExperimentConfig, Framework};
 use hetsched_data::{MachineTypeId, TaskTypeId};
 use hetsched_heuristics::SeedKind;
 use hetsched_sim::Evaluator;
 use std::fmt::Write as _;
+use std::path::Path;
 
 fn dataset_id(set: u8) -> DatasetId {
     match set {
@@ -24,14 +26,15 @@ fn config_from(options: &Options) -> ExperimentConfig {
     }
     cfg.population = options.population;
     cfg.rng_seed = options.rng_seed;
+    cfg.algorithm = options.algorithm;
     cfg
 }
 
 /// `hetsched dataset`: print the system's machines, task types, and the
 /// ETC/EPC matrices.
-pub fn dataset(options: &Options) -> Result<(), String> {
+pub fn dataset(options: &Options) -> Result<(), CliError> {
     let cfg = config_from(options);
-    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let fw = Framework::new(&cfg)?;
     let sys = fw.system();
     let mut out = String::new();
     let _ = writeln!(
@@ -70,7 +73,7 @@ pub fn dataset(options: &Options) -> Result<(), String> {
 }
 
 /// `hetsched figure N`: regenerate one figure's data.
-pub fn figure(which: u8, options: &Options) -> Result<(), String> {
+pub fn figure(which: u8, options: &Options) -> Result<(), CliError> {
     match which {
         1 => {
             let mut out = String::from("time_s,utility\n");
@@ -92,9 +95,9 @@ pub fn figure(which: u8, options: &Options) -> Result<(), String> {
                 4 => figures::fig4(options.scale),
                 _ => figures::fig6(options.scale),
             };
-            let (_, series) = result.map_err(|e| e.to_string())?;
+            let (_, series) = result?;
             let rendered = if options.json {
-                series_to_json(&series).map_err(|e| e.to_string())?
+                series_to_json(&series)?
             } else {
                 series_to_csv(&series)
             };
@@ -107,13 +110,14 @@ pub fn figure(which: u8, options: &Options) -> Result<(), String> {
                     &format!("figure{which}"),
                 );
                 let gp_path = format!("{path}.gp");
-                std::fs::write(&gp_path, gp).map_err(|e| format!("cannot write {gp_path}: {e}"))?;
+                std::fs::write(&gp_path, gp).map_err(|e| CliError::io(&gp_path, e))?;
             }
             options.emit(&rendered)
         }
         5 => {
-            let (report, _) = figures::fig4(options.scale).map_err(|e| e.to_string())?;
-            let data = figures::fig5(&report).ok_or("figure 5: empty front")?;
+            let (report, _) = figures::fig4(options.scale)?;
+            let data = figures::fig5(&report)
+                .ok_or_else(|| CliError::Failed("figure 5: empty front".into()))?;
             let mut out = String::from("subplot,x,y\n");
             for (e, u) in &data.front {
                 let _ = writeln!(out, "A,{:.6},{:.6}", e / 1.0e6, u);
@@ -127,32 +131,98 @@ pub fn figure(which: u8, options: &Options) -> Result<(), String> {
             let _ = writeln!(out, "peak,{:.6},{:.6}", data.peak.1 / 1.0e6, data.peak.0);
             options.emit(&out)
         }
-        other => Err(format!("unknown figure {other} (valid: 1-6)")),
+        other => Err(CliError::Usage(format!(
+            "unknown figure {other} (valid: 1-6)"
+        ))),
     }
 }
 
 /// `hetsched run`: full multi-population experiment; prints a per-seed
 /// summary plus the combined front and its UPE peak.
-pub fn run_experiment(options: &Options) -> Result<(), String> {
+///
+/// With `--replicates` or `--manifest` the experiment runs as a
+/// [`Campaign`]: one cell per (replicate, seed kind), executed in
+/// parallel, checkpointed to the manifest (when given) so a killed run
+/// resumes where it left off.
+pub fn run_experiment(options: &Options) -> Result<(), CliError> {
+    if options.replicates.is_some() || options.manifest.is_some() {
+        return run_campaign(options);
+    }
     let cfg = config_from(options);
-    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let fw = Framework::new(&cfg)?;
     let journal = match &options.metrics_out {
-        Some(path) => Some(
-            hetsched_core::RunJournal::create(path)
-                .map_err(|e| format!("cannot create metrics journal {path}: {e}"))?,
-        ),
+        Some(path) => {
+            Some(hetsched_core::RunJournal::create(path).map_err(|e| CliError::io(path, e))?)
+        }
         None => None,
     };
     let report = fw.run_with_journal(journal.as_ref());
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "data set {} — {} tasks, population {}, snapshots {:?}",
+        "data set {} — {} tasks, population {}, snapshots {:?}, engine {}",
         options.set,
         fw.config().tasks,
         fw.config().population,
-        fw.config().snapshots
+        fw.config().snapshots,
+        fw.config().algorithm
     );
+    summarise_report(&mut out, &report);
+    options.emit(&out)
+}
+
+/// The `--replicates`/`--manifest` arm of `hetsched run`.
+fn run_campaign(options: &Options) -> Result<(), CliError> {
+    if options.metrics_out.is_some() {
+        return Err(CliError::Usage(
+            "--metrics-out is not supported together with --replicates/--manifest".into(),
+        ));
+    }
+    let cfg = config_from(options);
+    let mut spec = CampaignSpec::single(&cfg);
+    spec.replicates = options.replicates.unwrap_or(1);
+    let campaign = Campaign::new(spec);
+    let outcome = campaign.run(options.manifest.as_deref().map(Path::new))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign: data set {}, engine {}, {} replicate(s) × {} seed(s) — \
+         {} executed, {} replayed from manifest",
+        options.set,
+        cfg.algorithm,
+        options.replicates.unwrap_or(1),
+        cfg.seeds.len(),
+        outcome.executed,
+        outcome.replayed
+    );
+    for report in &outcome.reports {
+        let _ = writeln!(out, "\nreplicate {}:", report.replicate);
+        summarise_report(&mut out, &report.report);
+    }
+    for record in &outcome.failed {
+        let _ = writeln!(
+            out,
+            "\nFAILED {} after {} attempt(s): {}",
+            record.cell,
+            record.attempts,
+            record.error.as_deref().unwrap_or("unknown error")
+        );
+    }
+    options.emit(&out)?;
+    if outcome.is_complete() {
+        Ok(())
+    } else {
+        Err(CliError::Failed(format!(
+            "campaign incomplete: {} cell(s) failed, {} skipped",
+            outcome.failed.len(),
+            outcome.skipped.len()
+        )))
+    }
+}
+
+/// Appends the per-seed front table, combined front, and UPE peak of one
+/// report to `out` (shared by the plain and campaign arms of `run`).
+fn summarise_report(out: &mut String, report: &hetsched_core::AnalysisReport) {
     for run in &report.runs {
         let front = run.final_front();
         let (min_e, max_u) = (front.min_energy().unwrap(), front.max_utility().unwrap());
@@ -178,17 +248,15 @@ pub fn run_experiment(options: &Options) -> Result<(), String> {
             upe.peak.energy / 1e6
         );
     }
-    options.emit(&out)
 }
 
 /// `hetsched gantt`: render the Min-Min allocation of the data set as an
 /// ASCII Gantt chart (a quick visual sanity check of the simulator).
-pub fn gantt(options: &Options) -> Result<(), String> {
+pub fn gantt(options: &Options) -> Result<(), CliError> {
     let cfg = config_from(options);
-    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let fw = Framework::new(&cfg)?;
     let alloc = hetsched_heuristics::min_min_completion_time(fw.system(), fw.trace());
-    let detailed = hetsched_sim::DetailedOutcome::evaluate(fw.system(), fw.trace(), &alloc)
-        .map_err(|e| e.to_string())?;
+    let detailed = hetsched_sim::DetailedOutcome::evaluate(fw.system(), fw.trace(), &alloc)?;
     let mut out = hetsched_sim::render_gantt(fw.system(), &detailed, 80);
     let _ = writeln!(
         out,
@@ -203,9 +271,9 @@ pub fn gantt(options: &Options) -> Result<(), String> {
 /// `hetsched online`: sweep energy budgets through the online greedy
 /// scheduler (the framework's downstream consumer) and print the
 /// utility-vs-budget curve.
-pub fn online(options: &Options) -> Result<(), String> {
+pub fn online(options: &Options) -> Result<(), CliError> {
     let cfg = config_from(options);
-    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let fw = Framework::new(&cfg)?;
     let unconstrained = hetsched_sim::schedule_online(
         fw.system(),
         fw.trace(),
@@ -239,15 +307,14 @@ pub fn online(options: &Options) -> Result<(), String> {
 /// report how well the §III-D2 pipeline preserved the real data's
 /// heterogeneity (moments + Kolmogorov-Smirnov distance of the ratio
 /// distributions).
-pub fn verify_synth(options: &Options) -> Result<(), String> {
+pub fn verify_synth(options: &Options) -> Result<(), CliError> {
     use hetsched_data::{real_etc, TypeMatrix};
     use rand::SeedableRng;
     let n = options.tasks.unwrap_or(500);
     let mut rng = rand::rngs::StdRng::seed_from_u64(options.rng_seed);
     let sys = hetsched_synth::DatasetBuilder::from_real()
         .new_task_types(n)
-        .build(&mut rng)
-        .map_err(|e| e.to_string())?;
+        .build(&mut rng)?;
     // Synthetic rows only, general columns only.
     let mut synth = TypeMatrix::filled(n, 9, 0.0);
     for t in 0..n {
@@ -261,8 +328,7 @@ pub fn verify_synth(options: &Options) -> Result<(), String> {
         }
     }
     let real = real_etc().0;
-    let report =
-        hetsched_synth::HeterogeneityReport::compare(&real, &synth).map_err(|e| e.to_string())?;
+    let report = hetsched_synth::HeterogeneityReport::compare(&real, &synth)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -292,8 +358,8 @@ pub fn verify_synth(options: &Options) -> Result<(), String> {
         report.worst_ratio_discrepancy()
     );
     // KS distance between real and synthetic ratio samples, per machine.
-    let real_ratio = hetsched_synth::ratios::ratio_matrix(&real).map_err(|e| e.to_string())?;
-    let synth_ratio = hetsched_synth::ratios::ratio_matrix(&synth).map_err(|e| e.to_string())?;
+    let real_ratio = hetsched_synth::ratios::ratio_matrix(&real)?;
+    let synth_ratio = hetsched_synth::ratios::ratio_matrix(&synth)?;
     let _ = writeln!(out, "per-machine KS distance (real vs synthetic ratios):");
     for m in 0..9u16 {
         let a: Vec<f64> = real_ratio
@@ -304,9 +370,8 @@ pub fn verify_synth(options: &Options) -> Result<(), String> {
             .column(MachineTypeId(m))
             .filter(|v| v.is_finite())
             .collect();
-        let d = hetsched_stats::ks_statistic(&a, &b).map_err(|e| e.to_string())?;
-        let crit =
-            hetsched_stats::ks_critical_value(a.len(), b.len(), 0.05).map_err(|e| e.to_string())?;
+        let d = hetsched_stats::ks_statistic(&a, &b)?;
+        let crit = hetsched_stats::ks_critical_value(a.len(), b.len(), 0.05)?;
         let verdict = if d <= crit { "ok" } else { "differs" };
         let _ = writeln!(
             out,
@@ -319,7 +384,7 @@ pub fn verify_synth(options: &Options) -> Result<(), String> {
 /// `hetsched report`: run the whole reproduction suite (figures 3-6, the
 /// seeding table, and the claim checks) at the given scale and emit a
 /// self-contained markdown report.
-pub fn report(options: &Options) -> Result<(), String> {
+pub fn report(options: &Options) -> Result<(), CliError> {
     use hetsched_core::suite::verify_dataset;
     let mut out = String::new();
     let _ = writeln!(out, "# hetsched reproduction report\n");
@@ -338,7 +403,7 @@ pub fn report(options: &Options) -> Result<(), String> {
             cfg.rng_seed = options.rng_seed;
             cfg
         };
-        let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+        let fw = Framework::new(&cfg)?;
         let mut ev = Evaluator::new(fw.system(), fw.trace());
         let _ = writeln!(out, "| heuristic | utility | energy (MJ) | makespan (s) |");
         let _ = writeln!(out, "|---|---|---|---|");
@@ -363,7 +428,7 @@ pub fn report(options: &Options) -> Result<(), String> {
         );
 
         // Claim checks (runs the full multi-population experiment).
-        let verdict = verify_dataset(dataset, options.scale).map_err(|e| e.to_string())?;
+        let verdict = verify_dataset(dataset, options.scale)?;
         let _ = writeln!(out, "claim checks:\n");
         for c in &verdict.checks {
             let _ = writeln!(
@@ -379,14 +444,14 @@ pub fn report(options: &Options) -> Result<(), String> {
     options.emit(&out)
 }
 
-/// `hetsched attain`: run the experiment `--reps` times (default 5) and
-/// print each seed's median attainment curve — the robust across-run view
-/// of the trade-off.
-pub fn attain(options: &Options) -> Result<(), String> {
+/// `hetsched attain`: run the experiment `--replicates` times (default 5)
+/// and print each seed's median attainment curve — the robust across-run
+/// view of the trade-off.
+pub fn attain(options: &Options) -> Result<(), CliError> {
     let cfg = config_from(options);
-    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
-    let replicates = 5;
-    let summaries = fw.run_replicated(replicates);
+    let fw = Framework::new(&cfg)?;
+    let replicates = options.replicates.unwrap_or(5);
+    let summaries = fw.run_replicated(replicates)?;
     let mut out = String::from("seed,energy_megajoules,median_utility\n");
     for (seed, summary) in &summaries {
         for (e, u) in summary.median_curve(12) {
@@ -405,10 +470,9 @@ pub fn attain(options: &Options) -> Result<(), String> {
 
 /// `hetsched verify`: run the reproduction suite's claim checks for the
 /// selected data set at the given scale.
-pub fn verify(options: &Options) -> Result<(), String> {
+pub fn verify(options: &Options) -> Result<(), CliError> {
     let dataset = dataset_id(options.set);
-    let verdict =
-        hetsched_core::verify_dataset(dataset, options.scale).map_err(|e| e.to_string())?;
+    let verdict = hetsched_core::verify_dataset(dataset, options.scale)?;
     let mut out = verdict.to_string();
     out.push_str(if verdict.all_passed() {
         "all claims supported\n"
@@ -419,14 +483,14 @@ pub fn verify(options: &Options) -> Result<(), String> {
     if verdict.all_passed() {
         Ok(())
     } else {
-        Err("claim checks failed".to_string())
+        Err(CliError::Failed("claim checks failed".into()))
     }
 }
 
 /// `hetsched seeds`: evaluate the four greedy heuristics on the data set.
-pub fn seeds(options: &Options) -> Result<(), String> {
+pub fn seeds(options: &Options) -> Result<(), CliError> {
     let cfg = config_from(options);
-    let fw = Framework::new(&cfg).map_err(|e| e.to_string())?;
+    let fw = Framework::new(&cfg)?;
     let mut ev = Evaluator::new(fw.system(), fw.trace());
     let mut out = String::from("heuristic,utility,energy_megajoules,makespan_s\n");
     for kind in SeedKind::ALL {

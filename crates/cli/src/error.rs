@@ -1,0 +1,161 @@
+//! The CLI's error type.
+//!
+//! Every command returns [`CliError`] instead of a stringly error so that
+//! `main` can (a) print the full cause chain — the variant's own message
+//! first, then each `source()` below it — and (b) map the failure family
+//! to a conventional exit code: `2` for usage errors, `1` for everything
+//! else.
+
+use hetsched_core::CoreError;
+use hetsched_sim::SimError;
+use hetsched_stats::StatsError;
+use hetsched_synth::SynthError;
+use std::fmt;
+
+/// Everything a `hetsched` command can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is wrong: unknown command or flag, missing
+    /// or malformed value. Exits with code 2.
+    Usage(String),
+    /// The experiment framework failed (invalid configuration, data-set
+    /// synthesis, campaign manifest, …).
+    Core(CoreError),
+    /// Stand-alone synthetic data generation failed (`verify-synth`).
+    Synth(SynthError),
+    /// A statistical routine rejected its input.
+    Stats(StatsError),
+    /// The simulator rejected an allocation.
+    Sim(SimError),
+    /// JSON rendering or parsing failed.
+    Render(serde_json::Error),
+    /// Writing an output file failed.
+    Io {
+        /// The path that could not be written.
+        path: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// A command ran to completion but its checks did not all pass
+    /// (`verify`), or a campaign left cells failed or unexecuted (`run`).
+    Failed(String),
+}
+
+impl CliError {
+    /// Convenience constructor for [`CliError::Io`].
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        CliError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The process exit code this error maps to: 2 for usage errors
+    /// (mirroring `EX_USAGE`-style conventions), 1 otherwise.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a command-line usage error (worth pointing the
+    /// user at `hetsched help`).
+    pub fn is_usage(&self) -> bool {
+        matches!(self, CliError::Usage(_))
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(what) => write!(f, "{what}"),
+            CliError::Core(_) => write!(f, "experiment failed"),
+            CliError::Synth(_) => write!(f, "synthetic data generation failed"),
+            CliError::Stats(_) => write!(f, "statistical analysis failed"),
+            CliError::Sim(_) => write!(f, "simulation failed"),
+            CliError::Render(_) => write!(f, "cannot render JSON"),
+            CliError::Io { path, .. } => write!(f, "cannot write {path}"),
+            CliError::Failed(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Core(e) => Some(e),
+            CliError::Synth(e) => Some(e),
+            CliError::Stats(e) => Some(e),
+            CliError::Sim(e) => Some(e),
+            CliError::Render(e) => Some(e),
+            CliError::Io { source, .. } => Some(source),
+            CliError::Usage(_) | CliError::Failed(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+
+impl From<SynthError> for CliError {
+    fn from(e: SynthError) -> Self {
+        CliError::Synth(e)
+    }
+}
+
+impl From<StatsError> for CliError {
+    fn from(e: StatsError) -> Self {
+        CliError::Stats(e)
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Render(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn usage_errors_exit_2_everything_else_1() {
+        assert_eq!(CliError::Usage("bad flag".into()).exit_code(), 2);
+        assert!(CliError::Usage("bad flag".into()).is_usage());
+        let core: CliError = CoreError::InvalidConfig("tasks must be > 0").into();
+        assert_eq!(core.exit_code(), 1);
+        assert!(!core.is_usage());
+        assert_eq!(
+            CliError::Failed("claim checks failed".into()).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn cause_chain_is_reachable_through_source() {
+        let err: CliError = CoreError::InvalidConfig("population must be >= 2").into();
+        let source = err.source().expect("core errors carry a source");
+        assert!(source.to_string().contains("population"));
+
+        let io = CliError::io(
+            "/nope/report.csv",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing dir"),
+        );
+        assert_eq!(io.to_string(), "cannot write /nope/report.csv");
+        assert!(io.source().unwrap().to_string().contains("missing dir"));
+
+        assert!(CliError::Usage("x".into()).source().is_none());
+    }
+}

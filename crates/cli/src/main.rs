@@ -13,15 +13,23 @@
 //!   --tasks <n>        override the trace length
 //!   --pop <n>          population size (default 100)
 //!   --rng <seed>       master RNG seed (default 0x5EED)
+//!   --algorithm <a>    MOEA family: nsga2 (default), moead, or spea2
+//!   --replicates <n>   replicate the run on decorrelated RNG streams
+//!   --manifest <p>     campaign checkpoint file; rerun to resume (run only)
 //!   --out <path>       write output to a file instead of stdout
 //!   --json             emit JSON instead of CSV (figures only)
 //!   --metrics-out <p>  write a per-generation JSONL journal (run only)
 //!   --log-level <l>    stderr tracing verbosity (default warn)
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (the cause chain is printed
+//! to stderr), 2 usage error.
 
 mod commands;
+mod error;
 mod options;
 
+use error::CliError;
 use options::Options;
 use std::process::ExitCode;
 
@@ -29,17 +37,24 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("run `hetsched help` for usage");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {err}");
+            let mut source = std::error::Error::source(&err);
+            while let Some(cause) = source {
+                eprintln!("  caused by: {cause}");
+                source = cause.source();
+            }
+            if err.is_usage() {
+                eprintln!("run `hetsched help` for usage");
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err("missing command".into());
+        return Err(CliError::Usage("missing command".into()));
     };
     let options = Options::parse(&args[1..])?;
     // Route engine/framework tracing to stderr at the requested verbosity.
@@ -53,9 +68,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let which = options
                 .positional
                 .first()
-                .ok_or("figure requires a number (1-6)")?
+                .ok_or_else(|| CliError::Usage("figure requires a number (1-6)".into()))?
                 .parse::<u8>()
-                .map_err(|_| "figure number must be 1-6".to_string())?;
+                .map_err(|_| CliError::Usage("figure number must be 1-6".into()))?;
             commands::figure(which, &options)
         }
         "run" => commands::run_experiment(&options),
@@ -70,7 +85,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", HELP);
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -81,15 +96,23 @@ USAGE:
     hetsched dataset [--set 1|2|3] [--rng SEED]
     hetsched figure <1|2|3|4|5|6> [--scale F] [--out PATH] [--json]
     hetsched run [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--rng SEED]
+                 [--algorithm nsga2|moead|spea2] [--replicates N] [--manifest PATH]
                  [--metrics-out PATH] [--log-level error|warn|info|debug|trace]
     hetsched seeds [--set 1|2|3] [--tasks N] [--rng SEED]
     hetsched gantt [--set 1|2|3] [--tasks N]
     hetsched online [--set 1|2|3] [--tasks N]
     hetsched verify-synth [--tasks N] [--rng SEED]
     hetsched verify [--set 1|2|3] [--scale F]
-    hetsched attain [--set 1|2|3] [--tasks N] [--pop N] [--scale F]
+    hetsched attain [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--replicates N]
     hetsched report [--scale F] [--out PATH]
-    hetsched help";
+    hetsched help
+
+`run --replicates N` executes the experiment as a campaign: one cell per
+(replicate, seed kind), run in parallel. Add `--manifest PATH` to
+checkpoint finished cells; rerunning the same command resumes from the
+manifest and executes only the missing cells.
+
+Exit codes: 0 success, 1 runtime failure, 2 usage error.";
 
 #[cfg(test)]
 mod tests {
@@ -103,6 +126,15 @@ mod tests {
     fn missing_command_errors() {
         assert!(run(&[]).is_err());
         assert!(run(&argv("bogus")).is_err());
+    }
+
+    #[test]
+    fn bad_command_lines_are_usage_errors_with_exit_code_2() {
+        for bad in ["", "bogus", "figure", "figure nine", "run --algorithm ga"] {
+            let err = run(&argv(bad)).unwrap_err();
+            assert!(err.is_usage(), "{bad:?} should be a usage error: {err}");
+            assert_eq!(err.exit_code(), 2);
+        }
     }
 
     #[test]
@@ -127,6 +159,74 @@ mod tests {
     }
 
     #[test]
+    fn tiny_run_completes_with_every_algorithm() {
+        for algorithm in ["nsga2", "moead", "spea2"] {
+            let cmd =
+                format!("run --set 1 --tasks 15 --pop 8 --scale 0.00002 --algorithm {algorithm}");
+            assert!(run(&argv(&cmd)).is_ok(), "{algorithm} run failed");
+        }
+    }
+
+    #[test]
+    fn replicated_run_goes_through_the_campaign_path() {
+        let out =
+            std::env::temp_dir().join(format!("hetsched-cli-camp-{}.txt", std::process::id()));
+        let cmd = format!(
+            "run --set 1 --tasks 15 --pop 8 --scale 0.00002 --algorithm spea2 \
+             --replicates 2 --out {}",
+            out.display()
+        );
+        assert!(run(&argv(&cmd)).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert!(text.contains("campaign: data set 1, engine spea2, 2 replicate(s)"));
+        assert!(text.contains("replicate 0:"));
+        assert!(text.contains("replicate 1:"));
+    }
+
+    #[test]
+    fn campaign_manifest_is_written_and_resumed() {
+        let dir = std::env::temp_dir();
+        let manifest = dir.join(format!(
+            "hetsched-cli-manifest-{}.jsonl",
+            std::process::id()
+        ));
+        let out = dir.join(format!(
+            "hetsched-cli-manifest-out-{}.txt",
+            std::process::id()
+        ));
+        let cmd = format!(
+            "run --set 1 --tasks 15 --pop 8 --scale 0.00002 --replicates 2 \
+             --manifest {} --out {}",
+            manifest.display(),
+            out.display()
+        );
+        assert!(run(&argv(&cmd)).is_ok());
+        let lines = std::fs::read_to_string(&manifest).unwrap().lines().count();
+        // Header + one record per (replicate, seed kind) cell.
+        let cells = 2 * hetsched_core::ExperimentConfig::dataset1().seeds.len();
+        assert_eq!(lines, 1 + cells);
+        // Second invocation replays every cell from the manifest.
+        assert!(run(&argv(&cmd)).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&manifest);
+        let _ = std::fs::remove_file(&out);
+        assert!(
+            text.contains(&format!("0 executed, {cells} replayed")),
+            "resume should replay all cells: {text}"
+        );
+    }
+
+    #[test]
+    fn metrics_out_is_rejected_on_the_campaign_path() {
+        let err = run(&argv(
+            "run --replicates 2 --metrics-out x.jsonl --tasks 15 --pop 8 --scale 0.00002",
+        ))
+        .unwrap_err();
+        assert!(err.is_usage());
+    }
+
+    #[test]
     fn seeds_command_completes() {
         assert!(run(&argv("seeds --set 1 --tasks 25")).is_ok());
     }
@@ -141,6 +241,11 @@ mod tests {
     #[test]
     fn attain_completes_on_mini_experiment() {
         assert!(run(&argv("attain --set 1 --tasks 15 --pop 8 --scale 0.00002")).is_ok());
+        // --replicates steers the repetition count on attain too.
+        assert!(run(&argv(
+            "attain --set 1 --tasks 15 --pop 8 --scale 0.00002 --replicates 2"
+        ))
+        .is_ok());
     }
 
     #[test]

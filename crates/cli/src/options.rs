@@ -1,6 +1,9 @@
 //! Minimal flag parser — the CLI's surface is small enough that a
 //! hand-rolled parser beats pulling in a dependency.
 
+use crate::error::CliError;
+use hetsched_core::Algorithm;
+
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -16,6 +19,14 @@ pub struct Options {
     pub population: usize,
     /// Master RNG seed.
     pub rng_seed: u64,
+    /// MOEA family to evolve with (`run`, `attain`).
+    pub algorithm: Algorithm,
+    /// Replicate count: campaign replicates for `run` (default 1), run
+    /// repetitions for `attain` (default 5).
+    pub replicates: Option<usize>,
+    /// Campaign manifest path (`run` only): checkpoint cells as they
+    /// finish and resume from the file on restart.
+    pub manifest: Option<String>,
     /// Output path (stdout when absent).
     pub out: Option<String>,
     /// Emit JSON instead of CSV.
@@ -35,6 +46,9 @@ impl Default for Options {
             tasks: None,
             population: 100,
             rng_seed: 0x5EED,
+            algorithm: Algorithm::default(),
+            replicates: None,
+            manifest: None,
             out: None,
             json: false,
             metrics_out: None,
@@ -43,50 +57,71 @@ impl Default for Options {
     }
 }
 
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
 impl Options {
     /// Parses flags; unknown flags are errors, anything without a leading
     /// `--` is positional.
-    pub fn parse(args: &[String]) -> Result<Self, String> {
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut opts = Options::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
-            let mut value_for = |flag: &str| -> Result<&String, String> {
+            let mut value_for = |flag: &str| -> Result<&String, CliError> {
                 it.next()
-                    .ok_or_else(|| format!("--{flag} requires a value"))
+                    .ok_or_else(|| usage(format!("--{flag} requires a value")))
             };
             match arg.as_str() {
                 "--set" => {
                     opts.set = value_for("set")?
                         .parse()
-                        .map_err(|_| "--set must be 1, 2, or 3".to_string())?;
+                        .map_err(|_| usage("--set must be 1, 2, or 3"))?;
                     if !(1..=3).contains(&opts.set) {
-                        return Err("--set must be 1, 2, or 3".into());
+                        return Err(usage("--set must be 1, 2, or 3"));
                     }
                 }
                 "--scale" => {
                     opts.scale = value_for("scale")?
                         .parse()
-                        .map_err(|_| "--scale must be a number".to_string())?;
+                        .map_err(|_| usage("--scale must be a number"))?;
                     if opts.scale <= 0.0 || opts.scale.is_nan() {
-                        return Err("--scale must be > 0".into());
+                        return Err(usage("--scale must be > 0"));
                     }
                 }
                 "--tasks" => {
                     opts.tasks = Some(
                         value_for("tasks")?
                             .parse()
-                            .map_err(|_| "--tasks must be a positive integer".to_string())?,
+                            .map_err(|_| usage("--tasks must be a positive integer"))?,
                     );
                 }
                 "--pop" => {
                     opts.population = value_for("pop")?
                         .parse()
-                        .map_err(|_| "--pop must be a positive integer".to_string())?;
+                        .map_err(|_| usage("--pop must be a positive integer"))?;
                 }
                 "--rng" => {
                     opts.rng_seed = value_for("rng")?
                         .parse()
-                        .map_err(|_| "--rng must be an integer seed".to_string())?;
+                        .map_err(|_| usage("--rng must be an integer seed"))?;
+                }
+                "--algorithm" => {
+                    opts.algorithm = value_for("algorithm")?
+                        .parse()
+                        .map_err(|_| usage("--algorithm must be nsga2, moead, or spea2"))?;
+                }
+                "--replicates" => {
+                    let n: usize = value_for("replicates")?
+                        .parse()
+                        .map_err(|_| usage("--replicates must be a positive integer"))?;
+                    if n == 0 {
+                        return Err(usage("--replicates must be >= 1"));
+                    }
+                    opts.replicates = Some(n);
+                }
+                "--manifest" => {
+                    opts.manifest = Some(value_for("manifest")?.clone());
                 }
                 "--out" => {
                     opts.out = Some(value_for("out")?.clone());
@@ -96,12 +131,12 @@ impl Options {
                 }
                 "--log-level" => {
                     opts.log_level = value_for("log-level")?.parse().map_err(|_| {
-                        "--log-level must be error, warn, info, debug, or trace".to_string()
+                        usage("--log-level must be error, warn, info, debug, or trace")
                     })?;
                 }
                 "--json" => opts.json = true,
                 flag if flag.starts_with("--") => {
-                    return Err(format!("unknown flag `{flag}`"));
+                    return Err(usage(format!("unknown flag `{flag}`")));
                 }
                 positional => opts.positional.push(positional.to_string()),
             }
@@ -110,11 +145,9 @@ impl Options {
     }
 
     /// Writes `content` to `--out` or stdout.
-    pub fn emit(&self, content: &str) -> Result<(), String> {
+    pub fn emit(&self, content: &str) -> Result<(), CliError> {
         match &self.out {
-            Some(path) => {
-                std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
-            }
+            Some(path) => std::fs::write(path, content).map_err(|e| CliError::io(path, e)),
             None => {
                 println!("{content}");
                 Ok(())
@@ -136,6 +169,9 @@ mod tests {
         let o = Options::parse(&[]).unwrap();
         assert_eq!(o.set, 1);
         assert_eq!(o.population, 100);
+        assert_eq!(o.algorithm, Algorithm::Nsga2);
+        assert_eq!(o.replicates, None);
+        assert!(o.manifest.is_none());
         assert!(!o.json);
     }
 
@@ -143,6 +179,7 @@ mod tests {
     fn parses_all_flags() {
         let o = Options::parse(&argv(
             "5 --set 2 --scale 0.5 --tasks 42 --pop 10 --rng 7 --json \
+             --algorithm spea2 --replicates 3 --manifest cells.jsonl \
              --metrics-out run.jsonl --log-level debug",
         ))
         .unwrap();
@@ -153,8 +190,23 @@ mod tests {
         assert_eq!(o.population, 10);
         assert_eq!(o.rng_seed, 7);
         assert!(o.json);
+        assert_eq!(o.algorithm, Algorithm::Spea2);
+        assert_eq!(o.replicates, Some(3));
+        assert_eq!(o.manifest.as_deref(), Some("cells.jsonl"));
         assert_eq!(o.metrics_out.as_deref(), Some("run.jsonl"));
         assert_eq!(o.log_level, tracing::Level::DEBUG);
+    }
+
+    #[test]
+    fn algorithm_accepts_every_engine_label() {
+        for (label, expected) in [
+            ("nsga2", Algorithm::Nsga2),
+            ("moead", Algorithm::Moead),
+            ("spea2", Algorithm::Spea2),
+        ] {
+            let o = Options::parse(&argv(&format!("--algorithm {label}"))).unwrap();
+            assert_eq!(o.algorithm, expected);
+        }
     }
 
     #[test]
@@ -167,5 +219,15 @@ mod tests {
         assert!(Options::parse(&argv("--frobnicate 1")).is_err());
         assert!(Options::parse(&argv("--log-level loud")).is_err());
         assert!(Options::parse(&argv("--metrics-out")).is_err());
+        assert!(Options::parse(&argv("--algorithm genetic")).is_err());
+        assert!(Options::parse(&argv("--replicates 0")).is_err());
+        assert!(Options::parse(&argv("--manifest")).is_err());
+    }
+
+    #[test]
+    fn parse_failures_are_usage_errors() {
+        let err = Options::parse(&argv("--algorithm genetic")).unwrap_err();
+        assert!(err.is_usage());
+        assert_eq!(err.exit_code(), 2);
     }
 }

@@ -1,0 +1,860 @@
+//! Resilient experiment campaigns: a checkpoint/resume orchestrator over
+//! the [`Engine`]-generic framework.
+//!
+//! A *campaign* is the paper's analysis workflow at full width: the grid
+//! dataset × algorithm × seed-kind × replicate, expanded into independent
+//! **cells** (one evolved population each) and executed on rayon. Each
+//! completed cell is appended to a JSONL **manifest** and flushed, so a
+//! run killed at any point resumes by replaying the manifest and
+//! executing only the missing cells — and because every cell runs on a
+//! decorrelated RNG stream derived purely from its coordinates, the
+//! resumed campaign's [`AnalysisReport`]s are bit-identical to an
+//! uninterrupted run's.
+//!
+//! Resilience properties:
+//!
+//! * **isolation** — a panicking cell is caught, retried up to the
+//!   configured attempt budget, and then recorded as failed without
+//!   sinking the rest of the campaign;
+//! * **cooperative cancellation** — a [`CancelToken`] stops new cells
+//!   from starting (in-flight cells finish and are checkpointed);
+//! * **deadline** — a wall-clock budget after which remaining cells are
+//!   skipped the same way;
+//! * **resume** — the manifest begins with a fingerprint of the
+//!   [`CampaignSpec`]; resuming with a different spec is rejected rather
+//!   than silently mixing incompatible cells, and a torn final line
+//!   (killed mid-write) is ignored.
+//!
+//! [`Engine`]: hetsched_moea::Engine
+
+use crate::config::{DatasetId, ExperimentConfig};
+use crate::framework::Framework;
+use crate::report::{AnalysisReport, PopulationRun};
+use crate::{CoreError, Result};
+use hetsched_heuristics::SeedKind;
+use hetsched_moea::Algorithm;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The grid a campaign sweeps. `base` supplies everything the grid axes
+/// don't: trace size, population, snapshot schedule, seed kinds, and the
+/// master RNG seed (`base.dataset` and `base.algorithm` are ignored in
+/// favour of the explicit axes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Template configuration shared by every cell.
+    pub base: ExperimentConfig,
+    /// Datasets to sweep (each builds one system + trace).
+    pub datasets: Vec<DatasetId>,
+    /// Engines to sweep.
+    pub algorithms: Vec<Algorithm>,
+    /// Replicates per (dataset, algorithm) point, on decorrelated RNG
+    /// streams (see [`Framework::replicate_seed`]).
+    pub replicates: usize,
+}
+
+impl CampaignSpec {
+    /// The one-point campaign equivalent to `Framework::new(&config)` +
+    /// [`Framework::run`].
+    pub fn single(config: &ExperimentConfig) -> Self {
+        CampaignSpec {
+            datasets: vec![config.dataset],
+            algorithms: vec![config.algorithm],
+            replicates: 1,
+            base: config.clone(),
+        }
+    }
+
+    /// Validates the grid and the base configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] on an empty axis, duplicate axis
+    /// entries (they would alias cells in the manifest), or an invalid
+    /// base config.
+    pub fn validate(&self) -> Result<()> {
+        self.base.validate()?;
+        if self.datasets.is_empty() {
+            return Err(CoreError::InvalidConfig("campaign needs >= 1 dataset"));
+        }
+        if self.algorithms.is_empty() {
+            return Err(CoreError::InvalidConfig("campaign needs >= 1 algorithm"));
+        }
+        if self.replicates == 0 {
+            return Err(CoreError::InvalidConfig("campaign needs >= 1 replicate"));
+        }
+        if unique_count(&self.datasets) != self.datasets.len() {
+            return Err(CoreError::InvalidConfig("duplicate dataset in campaign"));
+        }
+        if unique_count(&self.algorithms) != self.algorithms.len() {
+            return Err(CoreError::InvalidConfig("duplicate algorithm in campaign"));
+        }
+        if unique_count(&self.base.seeds) != self.base.seeds.len() {
+            return Err(CoreError::InvalidConfig("duplicate seed kind in campaign"));
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into cells, in the campaign's canonical order
+    /// (dataset, then algorithm, then replicate, then seed kind).
+    pub fn cells(&self) -> Vec<CellId> {
+        let mut out =
+            Vec::with_capacity(self.datasets.len() * self.algorithms.len() * self.replicates);
+        for &dataset in &self.datasets {
+            for &algorithm in &self.algorithms {
+                for replicate in 0..self.replicates {
+                    for &seed in &self.base.seeds {
+                        out.push(CellId {
+                            dataset,
+                            algorithm,
+                            seed,
+                            replicate,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A stable fingerprint of the spec (FNV-1a over its canonical JSON),
+    /// written as the manifest header so a manifest can never be resumed
+    /// against a different campaign.
+    pub fn fingerprint(&self) -> String {
+        let json = serde_json::to_string(self).unwrap_or_default();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in json.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+fn unique_count<T: PartialEq>(items: &[T]) -> usize {
+    items
+        .iter()
+        .enumerate()
+        .filter(|(i, item)| !items[..*i].contains(item))
+        .count()
+}
+
+/// Coordinates of one campaign cell: a single evolved population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellId {
+    /// Which dataset's system + trace the cell runs on.
+    pub dataset: DatasetId,
+    /// Which engine evolves the population.
+    pub algorithm: Algorithm,
+    /// The seeding heuristic of the population.
+    pub seed: SeedKind,
+    /// Replicate index (decorrelates the RNG stream).
+    pub replicate: usize,
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}/{}/{}/r{}",
+            self.dataset,
+            self.algorithm,
+            self.seed.label(),
+            self.replicate
+        )
+    }
+}
+
+/// One manifest line: a cell's outcome. Exactly one of `run` (success)
+/// and `error` (failed after all attempts) is set — a data-carrying enum
+/// would say this in the type, but the vendored serde derive only handles
+/// flat structs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Which cell this records.
+    pub cell: CellId,
+    /// The evolved population's snapshot fronts, on success.
+    pub run: Option<PopulationRun>,
+    /// The last attempt's panic/failure message, on failure.
+    pub error: Option<String>,
+    /// How many attempts were made.
+    pub attempts: usize,
+}
+
+/// The manifest's first line, guarding resume against spec mismatches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ManifestHeader {
+    /// [`CampaignSpec::fingerprint`] of the campaign that owns the file.
+    fingerprint: String,
+    /// Manifest format version.
+    version: usize,
+}
+
+const MANIFEST_VERSION: usize = 1;
+
+/// Cooperative cancellation flag, cloneable across threads: call
+/// [`CancelToken::cancel`] from anywhere (a ctrl-c handler, a watchdog)
+/// and the campaign stops starting new cells.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One per-(dataset, algorithm, replicate) result assembled from a
+/// campaign's cells — the campaign analogue of [`Framework::run`]'s
+/// report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The dataset axis value.
+    pub dataset: DatasetId,
+    /// The algorithm axis value.
+    pub algorithm: Algorithm,
+    /// The replicate index.
+    pub replicate: usize,
+    /// One run per seed kind, in `base.seeds` order.
+    pub report: AnalysisReport,
+}
+
+/// What a campaign invocation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// Complete reports (every seed-kind cell succeeded), in canonical
+    /// grid order. Grid points with failed or skipped cells are omitted.
+    pub reports: Vec<CampaignReport>,
+    /// Cells that exhausted their attempts, in canonical order.
+    pub failed: Vec<CellRecord>,
+    /// Cells not executed because of cancellation or the deadline.
+    pub skipped: Vec<CellId>,
+    /// Cells executed by *this* invocation.
+    pub executed: usize,
+    /// Cells replayed from the manifest instead of executed.
+    pub replayed: usize,
+}
+
+impl CampaignOutcome {
+    /// The report for one grid point, if complete.
+    pub fn report(
+        &self,
+        dataset: DatasetId,
+        algorithm: Algorithm,
+        replicate: usize,
+    ) -> Option<&AnalysisReport> {
+        self.reports
+            .iter()
+            .find(|r| r.dataset == dataset && r.algorithm == algorithm && r.replicate == replicate)
+            .map(|r| &r.report)
+    }
+
+    /// Whether every cell of the grid completed successfully.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
+}
+
+/// Per-attempt fault hook used by tests to simulate failing cells:
+/// returns `Some(message)` to fail the attempt.
+type FaultHook = dyn Fn(&CellId, usize) -> Option<String> + Send + Sync;
+
+/// The orchestrator. Construct with [`Campaign::new`], tune with the
+/// builder-style methods, then [`Campaign::run`].
+pub struct Campaign {
+    spec: CampaignSpec,
+    attempts: usize,
+    deadline: Option<Duration>,
+    cancel: CancelToken,
+    fault: Option<Arc<FaultHook>>,
+}
+
+impl Campaign {
+    /// A campaign over `spec` with default resilience settings: 2
+    /// attempts per cell, no deadline, a fresh cancel token.
+    pub fn new(spec: CampaignSpec) -> Self {
+        Campaign {
+            spec,
+            attempts: 2,
+            deadline: None,
+            cancel: CancelToken::new(),
+            fault: None,
+        }
+    }
+
+    /// The spec under execution.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Sets the per-cell attempt budget (first try + retries; min 1).
+    pub fn attempts(mut self, attempts: usize) -> Self {
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets a wall-clock budget measured from [`Campaign::run`]'s start;
+    /// cells not yet started when it expires are skipped.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Uses an external cancel token (e.g. shared with a signal handler).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A clone of the campaign's cancel token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Injects a per-attempt fault: `hook(cell, attempt)` returning
+    /// `Some(message)` makes that attempt fail. Test-only plumbing for
+    /// exercising retry and failure recording.
+    #[doc(hidden)]
+    pub fn with_fault_injection(
+        mut self,
+        hook: impl Fn(&CellId, usize) -> Option<String> + Send + Sync + 'static,
+    ) -> Self {
+        self.fault = Some(Arc::new(hook));
+        self
+    }
+
+    /// Runs the campaign, checkpointing to `manifest` when given. An
+    /// existing manifest is replayed first (resume); its successfully
+    /// recorded cells are not re-executed.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation, framework construction, manifest I/O, or a
+    /// manifest written by a different spec.
+    pub fn run(&self, manifest: Option<&Path>) -> Result<CampaignOutcome> {
+        self.spec.validate()?;
+        let cells = self.spec.cells();
+        let fingerprint = self.spec.fingerprint();
+
+        // Replay, then open for append (creating + stamping the header on
+        // a fresh file).
+        let mut known: HashMap<CellId, CellRecord> = HashMap::new();
+        let sink = match manifest {
+            Some(path) => {
+                if path.exists() {
+                    for record in read_manifest(path, &fingerprint)? {
+                        known.insert(record.cell, record);
+                    }
+                }
+                Some(open_manifest(path, &fingerprint)?)
+            }
+            None => None,
+        };
+        // Failed records get a fresh chance on resume; only successes are
+        // replayed.
+        known.retain(|_, r| r.run.is_some());
+        let replayed = cells.iter().filter(|c| known.contains_key(c)).count();
+
+        // One framework per dataset, built once and shared by its cells
+        // (the system and trace depend only on the dataset and the base
+        // master seed, never on algorithm or replicate).
+        let mut frameworks: HashMap<DatasetId, Framework> = HashMap::new();
+        for &dataset in &self.spec.datasets {
+            let mut config = self.spec.base.clone();
+            config.dataset = dataset;
+            frameworks.insert(dataset, Framework::new(&config)?);
+        }
+        let streams: HashMap<SeedKind, u64> = self
+            .spec
+            .base
+            .seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u64))
+            .collect();
+
+        let started = Instant::now();
+        let missing: Vec<CellId> = cells
+            .iter()
+            .copied()
+            .filter(|c| !known.contains_key(c))
+            .collect();
+        tracing::info!(
+            "campaign {fingerprint}: {} cells ({} replayed, {} to run)",
+            cells.len(),
+            replayed,
+            missing.len(),
+        );
+        let results: Vec<Option<CellRecord>> = missing
+            .par_iter()
+            .map(|&cell| {
+                let expired = self
+                    .deadline
+                    .is_some_and(|budget| started.elapsed() >= budget);
+                if self.cancel.is_cancelled() || expired {
+                    return None;
+                }
+                let record =
+                    self.execute_cell(&frameworks[&cell.dataset], cell, streams[&cell.seed]);
+                if let Some(sink) = &sink {
+                    if let Err(e) = sink.append(&record) {
+                        // A lost checkpoint only costs re-execution on the
+                        // next resume; the computed record is still used.
+                        tracing::warn!("manifest append failed for cell {cell}: {e}");
+                    }
+                }
+                Some(record)
+            })
+            .collect();
+
+        let executed = results.iter().flatten().count();
+        let skipped: Vec<CellId> = missing
+            .iter()
+            .zip(&results)
+            .filter(|(_, r)| r.is_none())
+            .map(|(&c, _)| c)
+            .collect();
+        for record in results.into_iter().flatten() {
+            known.insert(record.cell, record);
+        }
+
+        Ok(self.assemble(&cells, known, skipped, executed, replayed))
+    }
+
+    /// Runs one cell with the attempt budget, catching panics.
+    fn execute_cell(&self, framework: &Framework, cell: CellId, stream: u64) -> CellRecord {
+        let mut last_error = String::new();
+        for attempt in 1..=self.attempts {
+            if let Some(hook) = &self.fault {
+                if let Some(message) = hook(&cell, attempt) {
+                    tracing::warn!("cell {cell} attempt {attempt} failed (injected): {message}");
+                    last_error = message;
+                    continue;
+                }
+            }
+            let fw = framework.variant(
+                Framework::replicate_seed(self.spec.base.rng_seed, cell.replicate as u64),
+                cell.algorithm,
+            );
+            match catch_unwind(AssertUnwindSafe(|| fw.run_population(cell.seed, stream))) {
+                Ok(run) => {
+                    return CellRecord {
+                        cell,
+                        run: Some(run),
+                        error: None,
+                        attempts: attempt,
+                    }
+                }
+                Err(payload) => {
+                    last_error = panic_message(payload);
+                    tracing::warn!("cell {cell} attempt {attempt} panicked: {last_error}");
+                }
+            }
+        }
+        CellRecord {
+            cell,
+            run: None,
+            error: Some(last_error),
+            attempts: self.attempts,
+        }
+    }
+
+    /// Groups cell records into per-grid-point reports, in canonical
+    /// order — the step that makes resumed and uninterrupted campaigns
+    /// indistinguishable.
+    fn assemble(
+        &self,
+        cells: &[CellId],
+        known: HashMap<CellId, CellRecord>,
+        skipped: Vec<CellId>,
+        executed: usize,
+        replayed: usize,
+    ) -> CampaignOutcome {
+        let mut reports = Vec::new();
+        for &dataset in &self.spec.datasets {
+            for &algorithm in &self.spec.algorithms {
+                for replicate in 0..self.spec.replicates {
+                    let runs: Vec<PopulationRun> = self
+                        .spec
+                        .base
+                        .seeds
+                        .iter()
+                        .filter_map(|&seed| {
+                            let cell = CellId {
+                                dataset,
+                                algorithm,
+                                seed,
+                                replicate,
+                            };
+                            known.get(&cell).and_then(|r| r.run.clone())
+                        })
+                        .collect();
+                    if runs.len() == self.spec.base.seeds.len() {
+                        reports.push(CampaignReport {
+                            dataset,
+                            algorithm,
+                            replicate,
+                            report: AnalysisReport {
+                                runs,
+                                snapshots: self.spec.base.snapshots.clone(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        let failed: Vec<CellRecord> = cells
+            .iter()
+            .filter_map(|c| known.get(c).filter(|r| r.run.is_none()).cloned())
+            .collect();
+        CampaignOutcome {
+            reports,
+            failed,
+            skipped,
+            executed,
+            replayed,
+        }
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked (non-string payload)".to_string()
+    }
+}
+
+/// The append-side manifest: line-buffered behind a mutex, flushed per
+/// record so a kill loses at most the line being written.
+struct ManifestSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl ManifestSink {
+    fn append(&self, record: &CellRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut writer = self.writer.lock().expect("manifest mutex poisoned");
+        writeln!(writer, "{line}")?;
+        writer.flush()
+    }
+}
+
+/// Opens `path` for appending, writing the fingerprint header if the file
+/// is new or empty.
+fn open_manifest(path: &Path, fingerprint: &str) -> Result<ManifestSink> {
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| CoreError::Io(format!("open manifest {}: {e}", path.display())))?;
+    let fresh = file
+        .metadata()
+        .map(|m| m.len() == 0)
+        .map_err(|e| CoreError::Io(format!("stat manifest {}: {e}", path.display())))?;
+    let mut writer = BufWriter::new(file);
+    if fresh {
+        let header = ManifestHeader {
+            fingerprint: fingerprint.to_string(),
+            version: MANIFEST_VERSION,
+        };
+        writeln!(
+            writer,
+            "{}",
+            serde_json::to_string(&header).expect("header serialises")
+        )
+        .and_then(|()| writer.flush())
+        .map_err(|e| CoreError::Io(format!("write manifest header: {e}")))?;
+    }
+    Ok(ManifestSink {
+        writer: Mutex::new(writer),
+    })
+}
+
+/// Replays a manifest: checks the header fingerprint, then parses cell
+/// records. A torn final line (the process was killed mid-write) is
+/// tolerated; a torn or alien *header* is not.
+fn read_manifest(path: &Path, fingerprint: &str) -> Result<Vec<CellRecord>> {
+    let file = File::open(path)
+        .map_err(|e| CoreError::Io(format!("open manifest {}: {e}", path.display())))?;
+    let mut lines = BufReader::new(file).lines();
+    let header_line = match lines.next() {
+        None => return Ok(Vec::new()), // empty file: fresh manifest
+        Some(line) => line.map_err(|e| CoreError::Io(format!("read manifest: {e}")))?,
+    };
+    let header: ManifestHeader = serde_json::from_str(&header_line)
+        .map_err(|e| CoreError::Manifest(format!("corrupt manifest header: {e}")))?;
+    if header.version != MANIFEST_VERSION {
+        return Err(CoreError::Manifest(format!(
+            "manifest version {} unsupported (expected {MANIFEST_VERSION})",
+            header.version
+        )));
+    }
+    if header.fingerprint != fingerprint {
+        return Err(CoreError::Manifest(format!(
+            "manifest belongs to campaign {} but this campaign is {fingerprint}; \
+             refusing to mix cells",
+            header.fingerprint
+        )));
+    }
+    let mut records = Vec::new();
+    let mut torn = false;
+    for line in lines {
+        let line = line.map_err(|e| CoreError::Io(format!("read manifest: {e}")))?;
+        if torn {
+            // Records after a torn line can't be trusted to belong where
+            // they claim (the torn line may have swallowed a newline).
+            return Err(CoreError::Manifest(
+                "manifest has records after a torn line".to_string(),
+            ));
+        }
+        match serde_json::from_str::<CellRecord>(&line) {
+            Ok(record) => records.push(record),
+            Err(_) => torn = true, // killed mid-write: drop the tail record
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut base = ExperimentConfig::dataset1();
+        base.tasks = 25;
+        base.population = 10;
+        base.snapshots = vec![2, 4];
+        base.seeds = vec![SeedKind::MinEnergy, SeedKind::Random];
+        CampaignSpec {
+            base,
+            datasets: vec![DatasetId::One],
+            algorithms: vec![Algorithm::Nsga2, Algorithm::Spea2],
+            replicates: 2,
+        }
+    }
+
+    fn temp_manifest(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "hetsched-campaign-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn cells_cover_the_grid_in_canonical_order() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(
+            cells[0],
+            CellId {
+                dataset: DatasetId::One,
+                algorithm: Algorithm::Nsga2,
+                seed: SeedKind::MinEnergy,
+                replicate: 0,
+            }
+        );
+        // Dataset-major, then algorithm: the second half is SPEA2.
+        assert!(cells[4..].iter().all(|c| c.algorithm == Algorithm::Spea2));
+    }
+
+    #[test]
+    fn spec_validation_rejects_degenerate_grids() {
+        let mut spec = tiny_spec();
+        spec.datasets.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.replicates = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.algorithms = vec![Algorithm::Nsga2, Algorithm::Nsga2];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_spec_sensitive() {
+        let spec = tiny_spec();
+        assert_eq!(spec.fingerprint(), spec.fingerprint());
+        let mut other = tiny_spec();
+        other.base.rng_seed ^= 1;
+        assert_ne!(spec.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn single_dataset_campaign_reproduces_framework_run() {
+        let spec = CampaignSpec::single(&tiny_spec().base);
+        let outcome = Campaign::new(spec.clone()).run(None).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.reports.len(), 1);
+        let direct = Framework::new(&spec.base).unwrap().run();
+        assert_eq!(outcome.reports[0].report, direct);
+    }
+
+    #[test]
+    fn campaign_resumes_from_manifest_bit_identically() {
+        let spec = tiny_spec();
+        let uninterrupted = Campaign::new(spec.clone()).run(None).unwrap();
+        assert!(uninterrupted.is_complete());
+
+        // Write a full manifest, then simulate a kill after three cells by
+        // truncating it at a record boundary (deterministic regardless of
+        // host core count, unlike racing the cancel token).
+        let path = temp_manifest("resume");
+        let _ = std::fs::remove_file(&path);
+        Campaign::new(spec.clone()).run(Some(&path)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: String = text.lines().take(1 + 3).fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+        std::fs::write(&path, kept).unwrap();
+
+        // Second invocation replays the manifest and finishes the rest.
+        let resumed = Campaign::new(spec).run(Some(&path)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.replayed, 3);
+        assert_eq!(
+            resumed.executed + resumed.replayed,
+            uninterrupted.executed,
+            "resume re-executed replayed cells"
+        );
+        assert_eq!(resumed.reports, uninterrupted.reports);
+        // Byte-identical, not just PartialEq-identical.
+        for (a, b) in resumed.reports.iter().zip(&uninterrupted.reports) {
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn failing_cell_is_retried_then_recorded_without_sinking_the_campaign() {
+        let spec = tiny_spec();
+        let doomed = CellId {
+            dataset: DatasetId::One,
+            algorithm: Algorithm::Spea2,
+            seed: SeedKind::Random,
+            replicate: 1,
+        };
+        let flaky = CellId {
+            algorithm: Algorithm::Nsga2,
+            ..doomed
+        };
+        let outcome = Campaign::new(spec)
+            .attempts(2)
+            .with_fault_injection(move |cell, attempt| {
+                if *cell == doomed {
+                    Some("injected permanent fault".to_string())
+                } else if *cell == flaky && attempt == 1 {
+                    Some("injected transient fault".to_string())
+                } else {
+                    None
+                }
+            })
+            .run(None)
+            .unwrap();
+        assert_eq!(outcome.failed.len(), 1);
+        assert_eq!(outcome.failed[0].cell, doomed);
+        assert_eq!(outcome.failed[0].attempts, 2);
+        assert_eq!(
+            outcome.failed[0].error.as_deref(),
+            Some("injected permanent fault")
+        );
+        // The transient cell recovered on attempt 2...
+        assert!(outcome.skipped.is_empty());
+        // ...so only the grid point containing the doomed cell is missing.
+        assert_eq!(outcome.reports.len(), 3);
+        assert!(outcome
+            .report(doomed.dataset, doomed.algorithm, doomed.replicate)
+            .is_none());
+    }
+
+    #[test]
+    fn manifest_from_a_different_spec_is_rejected() {
+        let path = temp_manifest("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let spec = tiny_spec();
+        Campaign::new(spec.clone()).run(Some(&path)).unwrap();
+        let mut other = spec;
+        other.base.rng_seed ^= 0xBEEF;
+        let err = Campaign::new(other).run(Some(&path)).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            matches!(err, CoreError::Manifest(_)),
+            "expected manifest mismatch, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_reexecuted() {
+        let path = temp_manifest("torn");
+        let _ = std::fs::remove_file(&path);
+        let spec = tiny_spec();
+        let full = Campaign::new(spec.clone()).run(Some(&path)).unwrap();
+        assert!(full.is_complete());
+
+        // Simulate a kill mid-write: truncate the file inside its last
+        // record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let truncated = &text[..text.len() - 17];
+        assert!(!truncated.ends_with('\n'));
+        std::fs::write(&path, truncated).unwrap();
+
+        let resumed = Campaign::new(spec).run(Some(&path)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.executed, 1, "exactly the torn cell re-runs");
+        assert_eq!(resumed.reports, full.reports);
+    }
+
+    #[test]
+    fn cancelled_campaign_skips_every_remaining_cell() {
+        let campaign = Campaign::new(tiny_spec());
+        campaign.cancel_token().cancel();
+        let outcome = campaign.run(None).unwrap();
+        assert_eq!(outcome.executed, 0);
+        assert_eq!(outcome.skipped.len(), 8);
+        assert!(outcome.reports.is_empty());
+        assert!(!outcome.is_complete());
+    }
+
+    #[test]
+    fn expired_deadline_skips_every_cell() {
+        let outcome = Campaign::new(tiny_spec())
+            .deadline(Duration::ZERO)
+            .run(None)
+            .unwrap();
+        assert_eq!(outcome.executed, 0);
+        assert_eq!(outcome.skipped.len(), 8);
+        assert!(outcome.reports.is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 //! visible.
 
 use hetsched_heuristics::SeedKind;
+use hetsched_moea::Algorithm;
 use serde::{Deserialize, Serialize};
 
 /// Which of the paper's data sets an experiment runs on.
@@ -57,6 +58,9 @@ impl DatasetId {
 pub struct ExperimentConfig {
     /// Data set to build.
     pub dataset: DatasetId,
+    /// MOEA family the framework evolves with (default NSGA-II, the
+    /// paper's engine; see [`hetsched_moea::Engine`]).
+    pub algorithm: Algorithm,
     /// Number of tasks in the trace (paper value via [`DatasetId::tasks`]).
     pub tasks: usize,
     /// Trace window in seconds.
@@ -81,6 +85,7 @@ impl ExperimentConfig {
     fn base(dataset: DatasetId, snapshots: Vec<usize>) -> Self {
         ExperimentConfig {
             dataset,
+            algorithm: Algorithm::default(),
             tasks: dataset.tasks(),
             duration: dataset.duration(),
             population: 100,
@@ -152,6 +157,11 @@ impl ExperimentConfig {
         if self.snapshots.windows(2).any(|w| w[0] >= w[1]) {
             return Err(crate::CoreError::InvalidConfig(
                 "snapshots must strictly ascend",
+            ));
+        }
+        if self.snapshots.first() == Some(&0) {
+            return Err(crate::CoreError::InvalidConfig(
+                "snapshots must start at generation 1 or later",
             ));
         }
         if self.seeds.is_empty() {

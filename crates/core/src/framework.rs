@@ -1,17 +1,22 @@
-//! The [`Framework`]: builds a data set + trace and runs one NSGA-II
+//! The [`Framework`]: builds a data set + trace and runs one MOEA
 //! population per seed configuration, collecting fronts at the configured
 //! snapshot iterations.
+//!
+//! The engine is selected by `ExperimentConfig::algorithm` and dispatched
+//! through the [`hetsched_moea::Engine`] trait, so the same framework runs
+//! NSGA-II (the paper's engine), MOEA/D, or SPEA2 — or any external
+//! engine via [`Framework::run_population_with_engine`].
 
 use crate::config::{DatasetId, ExperimentConfig};
 use crate::journal::{JournalObserver, RunJournal};
 use crate::report::{AnalysisReport, PopulationRun};
-use crate::Result;
+use crate::{CoreError, Result};
 use hetsched_alloc::AllocationProblem;
 use hetsched_analysis::ParetoFront;
 use hetsched_data::{real_system, HcSystem};
 use hetsched_heuristics::SeedKind;
 use hetsched_moea::observe::{NullObserver, Observer};
-use hetsched_moea::{Individual, Nsga2, Nsga2Config};
+use hetsched_moea::{Engine, EngineConfig, Individual};
 use hetsched_sim::Allocation;
 use hetsched_workload::{Trace, TraceGenerator};
 use rand::rngs::StdRng;
@@ -118,6 +123,36 @@ impl Framework {
         &self.config
     }
 
+    /// The engine this framework dispatches to, assembled from the
+    /// configuration (algorithm, population, mutation rate, generation
+    /// budget) plus the experiment's hypervolume reference point.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::builder()
+            .algorithm(self.config.algorithm)
+            .population(self.config.population)
+            .mutation_rate(self.config.mutation_rate)
+            .generations(self.config.generations())
+            .parallel(self.config.parallel)
+            .hv_reference(self.hv_reference())
+            .build()
+            .expect("a validated ExperimentConfig yields a valid engine config")
+    }
+
+    /// A copy of this framework sharing the same system and trace but
+    /// running under a different master RNG seed and/or algorithm —
+    /// replicates and algorithm sweeps vary the engine streams without
+    /// re-synthesising the data set.
+    pub fn variant(&self, rng_seed: u64, algorithm: hetsched_moea::Algorithm) -> Framework {
+        let mut config = self.config.clone();
+        config.rng_seed = rng_seed;
+        config.algorithm = algorithm;
+        Framework {
+            system: self.system.clone(),
+            trace: self.trace.clone(),
+            config,
+        }
+    }
+
     /// Runs one NSGA-II population per configured seed kind (in parallel
     /// across populations) and collects the per-snapshot Pareto fronts.
     pub fn run(&self) -> AnalysisReport {
@@ -158,27 +193,29 @@ impl Framework {
     /// [`hetsched_analysis::AttainmentSummary`] — the robust, across-run
     /// view of the trade-off curve (one stochastic run can get lucky; the
     /// median attainment cannot).
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `replicates == 0` — zero
+    /// replicates would yield empty attainment summaries, which used to
+    /// surface as a panic deep inside the summary constructor.
     pub fn run_replicated(
         &self,
         replicates: usize,
-    ) -> Vec<(SeedKind, hetsched_analysis::AttainmentSummary)> {
-        let reports: Vec<AnalysisReport> = (0..replicates.max(1) as u64)
+    ) -> Result<Vec<(SeedKind, hetsched_analysis::AttainmentSummary)>> {
+        if replicates == 0 {
+            return Err(CoreError::InvalidConfig("replicates must be >= 1"));
+        }
+        let reports: Vec<AnalysisReport> = (0..replicates as u64)
             .collect::<Vec<_>>()
             .par_iter()
             .map(|&r| {
-                let mut config = self.config.clone();
-                config.rng_seed = self
-                    .config
-                    .rng_seed
-                    .wrapping_add(r.wrapping_mul(0xA5A5_1234));
                 // Reuse this framework's system and trace; only the engine
                 // streams differ between replicates.
-                let fw = Framework {
-                    system: self.system.clone(),
-                    trace: self.trace.clone(),
-                    config,
-                };
-                fw.run()
+                self.variant(
+                    Self::replicate_seed(self.config.rng_seed, r),
+                    self.config.algorithm,
+                )
+                .run()
             })
             .collect();
         self.config
@@ -190,10 +227,17 @@ impl Framework {
                     .filter_map(|rep| rep.run(seed).map(|r| r.final_front().clone()))
                     .collect();
                 let summary = hetsched_analysis::AttainmentSummary::new(fronts)
-                    .expect("at least one replicate ran");
-                (seed, summary)
+                    .ok_or(CoreError::InvalidConfig("replicates must be >= 1"))?;
+                Ok((seed, summary))
             })
             .collect()
+    }
+
+    /// The decorrelated master seed of replicate `r` — shared with the
+    /// campaign runner so a one-dataset campaign reproduces
+    /// [`Framework::run_replicated`]'s populations bit-for-bit.
+    pub fn replicate_seed(rng_seed: u64, replicate: u64) -> u64 {
+        rng_seed.wrapping_add(replicate.wrapping_mul(0xA5A5_1234))
     }
 
     /// Runs a single seeded population.
@@ -202,23 +246,32 @@ impl Framework {
     }
 
     /// As [`Framework::run_population`], delivering per-generation metrics
-    /// to `observer` (see [`hetsched_moea::observe`]).
+    /// to `observer` (see [`hetsched_moea::observe`]). Dispatches to the
+    /// engine selected by the configuration's `algorithm`.
     pub fn run_population_observed<O: Observer<Allocation>>(
         &self,
         seed: SeedKind,
         stream: u64,
         observer: &mut O,
     ) -> PopulationRun {
+        self.run_population_with_engine(&self.engine_config(), seed, stream, observer)
+    }
+
+    /// Runs one seeded population under an arbitrary [`Engine`] — the open
+    /// extension point: external engines only need to implement the trait
+    /// for the allocation problem.
+    pub fn run_population_with_engine<E, O>(
+        &self,
+        engine: &E,
+        seed: SeedKind,
+        stream: u64,
+        observer: &mut O,
+    ) -> PopulationRun
+    where
+        E: for<'p> Engine<AllocationProblem<'p>>,
+        O: Observer<Allocation>,
+    {
         let problem = AllocationProblem::new(&self.system, &self.trace);
-        let engine_cfg = Nsga2Config {
-            population: self.config.population,
-            mutation_rate: self.config.mutation_rate,
-            generations: self.config.generations(),
-            parallel: self.config.parallel,
-            hv_reference: Some(self.hv_reference()),
-            ..Default::default()
-        };
-        let engine = Nsga2::new(&problem, engine_cfg);
         let seeds: Vec<Allocation> = seed.seeds(&self.system, &self.trace);
         let mut fronts: Vec<(usize, ParetoFront)> = Vec::new();
         // One deterministic RNG stream per population (stable across runs
@@ -226,16 +279,18 @@ impl Framework {
         let engine_seed =
             self.config.rng_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1));
         tracing::info!(
-            "population {} (stream {stream}): {} generations over {} tasks",
+            "population {} (stream {stream}, {}): {} generations over {} tasks",
             seed.label(),
+            Engine::<AllocationProblem<'_>>::caps(engine).algorithm,
             self.config.generations(),
             self.trace.len(),
         );
-        let final_pop = engine.run_observed(
+        let final_pop = engine.evolve(
+            &problem,
             seeds,
             engine_seed,
             &self.config.snapshots[..self.config.snapshots.len() - 1],
-            |generation, population| {
+            &mut |generation, population| {
                 fronts.push((generation, front_of(population)));
             },
             observer,
@@ -362,7 +417,7 @@ mod tests {
         let mut cfg = tiny(DatasetId::One);
         cfg.seeds = vec![SeedKind::MinEnergy, SeedKind::Random];
         let fw = Framework::new(&cfg).unwrap();
-        let summaries = fw.run_replicated(3);
+        let summaries = fw.run_replicated(3).unwrap();
         assert_eq!(summaries.len(), 2);
         for (seed, summary) in &summaries {
             assert_eq!(summary.replicates(), 3, "{seed:?}");
@@ -401,6 +456,36 @@ mod tests {
         for (a, b) in report.runs.iter().zip(&plain.runs) {
             assert_eq!(a.seed, b.seed);
             assert_eq!(a.fronts, b.fronts);
+        }
+    }
+
+    #[test]
+    fn zero_replicates_is_an_error_not_a_panic() {
+        let fw = Framework::new(&tiny(DatasetId::One)).unwrap();
+        assert_eq!(
+            fw.run_replicated(0).unwrap_err(),
+            CoreError::InvalidConfig("replicates must be >= 1")
+        );
+    }
+
+    #[test]
+    fn every_algorithm_runs_through_the_framework() {
+        for algorithm in hetsched_moea::Algorithm::ALL {
+            let mut cfg = tiny(DatasetId::One);
+            cfg.algorithm = algorithm;
+            cfg.seeds = vec![SeedKind::MinEnergy, SeedKind::Random];
+            let fw = Framework::new(&cfg).unwrap();
+            let report = fw.run();
+            assert_eq!(report.runs.len(), 2, "{algorithm}");
+            for run in &report.runs {
+                assert_eq!(run.fronts.len(), 2, "{algorithm}/{:?}", run.seed);
+                for (_, front) in &run.fronts {
+                    assert!(!front.is_empty(), "{algorithm}/{:?}", run.seed);
+                }
+            }
+            // Same config, same report — determinism holds per engine.
+            let again = Framework::new(&cfg).unwrap().run();
+            assert_eq!(report.runs, again.runs, "{algorithm}");
         }
     }
 

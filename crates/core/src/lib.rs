@@ -21,6 +21,7 @@
 //! assert!(!front.is_empty());
 //! ```
 
+pub mod campaign;
 pub mod config;
 pub mod figures;
 pub mod framework;
@@ -28,8 +29,15 @@ pub mod journal;
 pub mod report;
 pub mod suite;
 
+pub use campaign::{
+    Campaign, CampaignOutcome, CampaignReport, CampaignSpec, CancelToken, CellId, CellRecord,
+};
 pub use config::{DatasetId, ExperimentConfig};
 pub use framework::Framework;
+// The engine API the framework is parameterised over, re-exported so
+// downstream crates (notably the CLI) need not depend on the MOEA crate
+// directly to select an algorithm.
+pub use hetsched_moea::{Algorithm, Engine, EngineCaps, EngineConfig, EngineConfigBuilder};
 pub use journal::{JournalObserver, JournalRecord, RunJournal};
 pub use report::{AnalysisReport, PopulationRun};
 pub use suite::{check_report, verify_dataset, Check, DatasetVerdict};
@@ -47,6 +55,11 @@ pub enum CoreError {
     Workload(WorkloadError),
     /// The experiment configuration is inconsistent.
     InvalidConfig(&'static str),
+    /// A campaign manifest could not be read or belongs to another
+    /// campaign.
+    Manifest(String),
+    /// An I/O failure (message form keeps the error `Clone`able).
+    Io(String),
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +68,8 @@ impl fmt::Display for CoreError {
             CoreError::Synth(e) => write!(f, "synthetic data error: {e}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),
             CoreError::InvalidConfig(what) => write!(f, "invalid config: {what}"),
+            CoreError::Manifest(what) => write!(f, "campaign manifest: {what}"),
+            CoreError::Io(what) => write!(f, "i/o error: {what}"),
         }
     }
 }
@@ -64,7 +79,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Synth(e) => Some(e),
             CoreError::Workload(e) => Some(e),
-            CoreError::InvalidConfig(_) => None,
+            CoreError::InvalidConfig(_) | CoreError::Manifest(_) | CoreError::Io(_) => None,
         }
     }
 }

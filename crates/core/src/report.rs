@@ -3,15 +3,55 @@
 
 use hetsched_analysis::{FigureSeries, ParetoFront, UpeAnalysis};
 use hetsched_heuristics::SeedKind;
+use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
 
 /// One seeded population's evolution: the Pareto front at each snapshot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopulationRun {
     /// The seed configuration of this population.
     pub seed: SeedKind,
     /// `(iterations, front)` pairs, ascending in iterations; the last entry
     /// is the final population's front.
     pub fronts: Vec<(usize, ParetoFront)>,
+}
+
+// The `(usize, ParetoFront)` pairs have no tuple representation in the
+// vendored serde data model, so the impls are written by hand: each pair
+// becomes an `{"iterations": …, "front": …}` object.
+impl Serialize for PopulationRun {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let fronts: Vec<Value> = self
+            .fronts
+            .iter()
+            .map(|(iterations, front)| {
+                Value::Object(vec![
+                    ("iterations".to_string(), serde::to_value(iterations)),
+                    ("front".to_string(), serde::to_value(front)),
+                ])
+            })
+            .collect();
+        serializer.serialize_value(Value::Object(vec![
+            ("seed".to_string(), serde::to_value(&self.seed)),
+            ("fronts".to_string(), Value::Array(fronts)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for PopulationRun {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::__private::{from_field, into_array, into_object, take_field};
+        let mut entries = into_object::<D::Error>(deserializer.take_value()?, "PopulationRun")?;
+        let seed: SeedKind = from_field(&mut entries, "seed")?;
+        let raw = take_field::<D::Error>(&mut entries, "fronts")?;
+        let mut fronts = Vec::new();
+        for item in into_array::<D::Error>(raw, "PopulationRun.fronts")? {
+            let mut pair = into_object::<D::Error>(item, "PopulationRun.fronts[]")?;
+            let iterations: usize = from_field(&mut pair, "iterations")?;
+            let front: ParetoFront = from_field(&mut pair, "front")?;
+            fronts.push((iterations, front));
+        }
+        Ok(PopulationRun { seed, fronts })
+    }
 }
 
 impl PopulationRun {
@@ -34,7 +74,7 @@ impl PopulationRun {
 }
 
 /// A complete experiment result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalysisReport {
     /// One run per seed configuration, in config order.
     pub runs: Vec<PopulationRun>,
@@ -192,6 +232,17 @@ mod tests {
         // (6,8)=0.75.
         assert_eq!(upe.peak_upe, 2.0);
         assert_eq!(upe.peak.utility, 2.0);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_deterministically() {
+        let report = sample_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        // Byte-stable: re-serialising the deserialised report reproduces
+        // the exact line — what campaign resume's bit-identity rests on.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
 
     #[test]

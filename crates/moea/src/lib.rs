@@ -17,6 +17,7 @@
 
 pub mod baselines;
 pub mod dominance;
+pub mod engine;
 pub mod moead;
 pub mod nsga2;
 pub mod observe;
@@ -25,9 +26,10 @@ pub mod sort;
 pub mod spea2;
 
 pub use dominance::{dominates, Objectives};
-pub use moead::{moead, MoeadConfig};
+pub use engine::{Algorithm, Engine, EngineCaps, EngineConfig, EngineConfigBuilder, EngineError};
+pub use moead::{moead, moead_observed, MoeadConfig};
 pub use nsga2::{pareto_front, Individual, Mating, Nsga2, Nsga2Config, Stagnation, Survival};
 pub use observe::{GenerationStats, NullObserver, Observer, PhaseTimings, StatsLog};
 pub use problem::Problem;
 pub use sort::{crowding_distance, fast_nondominated_sort};
-pub use spea2::{spea2, Spea2Config};
+pub use spea2::{spea2, spea2_observed, Spea2Config};

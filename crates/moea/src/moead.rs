@@ -18,10 +18,12 @@
 
 use crate::dominance::Objectives;
 use crate::nsga2::Individual;
+use crate::observe::{GenerationStats, NullObserver, Observer, PhaseTimings};
 use crate::problem::Problem;
 use crate::sort::fast_nondominated_sort;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// MOEA/D parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +36,10 @@ pub struct MoeadConfig {
     pub mutation_rate: f64,
     /// Number of generations.
     pub generations: usize,
+    /// Reference point for the hypervolume reported in
+    /// [`GenerationStats`]; `None` skips the hypervolume computation.
+    /// Only read when an enabled [`Observer`] is attached.
+    pub hv_reference: Option<[f64; 2]>,
 }
 
 impl Default for MoeadConfig {
@@ -43,6 +49,7 @@ impl Default for MoeadConfig {
             neighbours: 10,
             mutation_rate: 0.5,
             generations: 100,
+            hv_reference: None,
         }
     }
 }
@@ -63,6 +70,39 @@ pub fn moead<P: Problem>(
     config: MoeadConfig,
     seeds: Vec<P::Genome>,
     seed: u64,
+) -> Vec<Individual<P::Genome>> {
+    let population = moead_observed(
+        problem,
+        config,
+        seeds,
+        seed,
+        &[],
+        |_, _| {},
+        &mut NullObserver,
+    );
+    // Return the nondominated subset.
+    let points: Vec<Objectives> = population.iter().map(|i| i.objectives).collect();
+    let fronts = fast_nondominated_sort(&points);
+    match fronts.first() {
+        Some(first) => first.iter().map(|&p| population[p].clone()).collect(),
+        None => Vec::new(),
+    }
+}
+
+/// As [`moead`], but returns the **full final population** (one incumbent
+/// per subproblem, dominated members included), firing `on_snapshot` at
+/// each listed generation and delivering one [`GenerationStats`] record per
+/// generation to `observer`. Snapshot and observer hooks never touch the
+/// RNG stream, so an observed run walks the exact trajectory of an
+/// unobserved one.
+pub fn moead_observed<P: Problem, O: Observer<P::Genome>>(
+    problem: &P,
+    config: MoeadConfig,
+    seeds: Vec<P::Genome>,
+    seed: u64,
+    snapshots: &[usize],
+    mut on_snapshot: impl FnMut(usize, &[Individual<P::Genome>]),
+    observer: &mut O,
 ) -> Vec<Individual<P::Genome>> {
     assert!(config.subproblems >= 2, "need at least two subproblems");
     let n = config.subproblems;
@@ -125,7 +165,13 @@ pub fn moead<P: Problem>(
         population[best] = ind;
     }
 
-    for _ in 0..config.generations {
+    debug_assert!(
+        snapshots.windows(2).all(|w| w[0] < w[1]),
+        "snapshots must ascend"
+    );
+    let mut next_snapshot = 0usize;
+    for generation in 1..=config.generations {
+        let started = observer.enabled().then(Instant::now);
         for i in 0..n {
             // Mate within the neighbourhood.
             let hood = neighbourhood(i);
@@ -152,15 +198,25 @@ pub fn moead<P: Problem>(
                 }
             }
         }
+        if let Some(started) = started {
+            // MOEA/D interleaves mating and evaluation per subproblem, so
+            // the whole-generation wall-clock is reported as evaluation
+            // time (the dominant phase on non-trivial problems).
+            let timings = PhaseTimings {
+                evaluation_s: started.elapsed().as_secs_f64(),
+                ..Default::default()
+            };
+            let stats =
+                GenerationStats::compute(generation, &population, n, timings, config.hv_reference);
+            observer.on_generation(&stats, &population);
+        }
+        if next_snapshot < snapshots.len() && snapshots[next_snapshot] == generation {
+            on_snapshot(generation, &population);
+            next_snapshot += 1;
+        }
     }
 
-    // Return the nondominated subset.
-    let points: Vec<Objectives> = population.iter().map(|i| i.objectives).collect();
-    let fronts = fast_nondominated_sort(&points);
-    match fronts.first() {
-        Some(first) => first.iter().map(|&p| population[p].clone()).collect(),
-        None => Vec::new(),
-    }
+    population
 }
 
 #[cfg(test)]
@@ -188,6 +244,7 @@ mod tests {
             neighbours: 8,
             mutation_rate: 0.8,
             generations: 120,
+            hv_reference: None,
         };
         let front = moead(&problem, cfg, vec![], 5);
         assert!(front.len() > 10, "front collapsed to {}", front.len());
@@ -213,6 +270,7 @@ mod tests {
             neighbours: 6,
             mutation_rate: 0.5,
             generations: 40,
+            hv_reference: None,
         };
         let front = moead(&problem, cfg, vec![], 9);
         for a in &front {
@@ -230,6 +288,7 @@ mod tests {
             neighbours: 4,
             mutation_rate: 0.5,
             generations: 20,
+            hv_reference: None,
         };
         let a = moead(&problem, cfg, vec![], 3);
         let b = moead(&problem, cfg, vec![], 3);
@@ -250,6 +309,7 @@ mod tests {
             neighbours: 3,
             mutation_rate: 0.0,
             generations: 5,
+            hv_reference: None,
         };
         let front = moead(&problem, cfg, vec![0.0, 2.0], 1);
         let min_f0 = front

@@ -91,6 +91,16 @@ pub trait Observer<G> {
     fn on_generation(&mut self, stats: &GenerationStats, population: &[Individual<G>]);
 }
 
+impl<G, O: Observer<G> + ?Sized> Observer<G> for &mut O {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn on_generation(&mut self, stats: &GenerationStats, population: &[Individual<G>]) {
+        (**self).on_generation(stats, population);
+    }
+}
+
 /// The do-nothing observer: `enabled()` is `false`, so an engine run with
 /// it skips all metric computation.
 #[derive(Debug, Clone, Copy, Default)]

@@ -12,9 +12,11 @@
 
 use crate::dominance::{dominates, Objectives};
 use crate::nsga2::Individual;
+use crate::observe::{GenerationStats, NullObserver, Observer, PhaseTimings};
 use crate::problem::Problem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// SPEA2 parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +29,10 @@ pub struct Spea2Config {
     pub mutation_rate: f64,
     /// Number of generations.
     pub generations: usize,
+    /// Reference point for the hypervolume reported in
+    /// [`GenerationStats`]; `None` skips the hypervolume computation.
+    /// Only read when an enabled [`Observer`] is attached.
+    pub hv_reference: Option<[f64; 2]>,
 }
 
 impl Default for Spea2Config {
@@ -36,6 +42,7 @@ impl Default for Spea2Config {
             archive: 100,
             mutation_rate: 0.5,
             generations: 100,
+            hv_reference: None,
         }
     }
 }
@@ -47,7 +54,36 @@ pub fn spea2<P: Problem>(
     seeds: Vec<P::Genome>,
     seed: u64,
 ) -> Vec<Individual<P::Genome>> {
+    spea2_observed(
+        problem,
+        config,
+        seeds,
+        seed,
+        &[],
+        |_, _| {},
+        &mut NullObserver,
+    )
+}
+
+/// As [`spea2`], additionally firing `on_snapshot` with the archive at each
+/// listed generation and delivering one [`GenerationStats`] record per
+/// generation (computed over the post-selection archive) to `observer`.
+/// Snapshot and observer hooks never touch the RNG stream, so an observed
+/// run walks the exact trajectory of an unobserved one.
+pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
+    problem: &P,
+    config: Spea2Config,
+    seeds: Vec<P::Genome>,
+    seed: u64,
+    snapshots: &[usize],
+    mut on_snapshot: impl FnMut(usize, &[Individual<P::Genome>]),
+    observer: &mut O,
+) -> Vec<Individual<P::Genome>> {
     assert!(config.population >= 2 && config.archive >= 2);
+    debug_assert!(
+        snapshots.windows(2).all(|w| w[0] < w[1]),
+        "snapshots must ascend"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ev = problem.evaluator();
     let evaluate = |genome: P::Genome, ev: &mut P::Evaluator| {
@@ -65,8 +101,10 @@ pub fn spea2<P: Problem>(
         population.push(evaluate(g, &mut ev));
     }
     let mut archive: Vec<Individual<P::Genome>> = Vec::new();
+    let mut next_snapshot = 0usize;
 
-    for _ in 0..config.generations {
+    for generation in 1..=config.generations {
+        let started = observer.enabled().then(Instant::now);
         // Union of population and archive; compute SPEA2 fitness.
         let mut union: Vec<Individual<P::Genome>> = archive.clone();
         union.extend(population.iter().cloned());
@@ -89,6 +127,26 @@ pub fn spea2<P: Problem>(
             }
         }
         archive = selected.iter().map(|&i| union[i].clone()).collect();
+        if let Some(started) = started {
+            // Environmental selection dominates a SPEA2 generation; report
+            // the whole-generation wall-clock as sorting time.
+            let timings = PhaseTimings {
+                sorting_s: started.elapsed().as_secs_f64(),
+                ..Default::default()
+            };
+            let stats = GenerationStats::compute(
+                generation,
+                &archive,
+                config.population,
+                timings,
+                config.hv_reference,
+            );
+            observer.on_generation(&stats, &archive);
+        }
+        if next_snapshot < snapshots.len() && snapshots[next_snapshot] == generation {
+            on_snapshot(generation, &archive);
+            next_snapshot += 1;
+        }
 
         // Mating: binary tournament on the archive by fitness.
         let arch_points: Vec<Objectives> = archive.iter().map(|i| i.objectives).collect();
@@ -211,6 +269,7 @@ mod tests {
             archive: 40,
             mutation_rate: 0.7,
             generations: 60,
+            hv_reference: None,
         };
         let archive = spea2(&problem, cfg, vec![], 3);
         assert!(!archive.is_empty());
@@ -230,6 +289,7 @@ mod tests {
             archive: 50,
             mutation_rate: 0.8,
             generations: 120,
+            hv_reference: None,
         };
         let archive = spea2(&problem, cfg, vec![], 7);
         // On the true front √f1 + √f2 = 2.
@@ -255,6 +315,7 @@ mod tests {
             archive: 20,
             mutation_rate: 0.5,
             generations: 15,
+            hv_reference: None,
         };
         let a = spea2(&problem, cfg, vec![], 11);
         let b = spea2(&problem, cfg, vec![], 11);

@@ -10,7 +10,7 @@ use hetsched::alloc::{AllocationProblem, DvfsAllocationProblem};
 use hetsched::analysis::ParetoFront;
 use hetsched::data::real_system;
 use hetsched::heuristics::{min_energy, min_min_completion_time};
-use hetsched::moea::{Nsga2, Nsga2Config};
+use hetsched::moea::EngineConfig;
 use hetsched::sim::{DvfsAllocation, DvfsTable, Evaluator};
 use hetsched::workload::TraceGenerator;
 use rand::rngs::StdRng;
@@ -21,17 +21,18 @@ fn main() {
     let trace = TraceGenerator::new(80, 900.0, system.task_type_count())
         .generate(&mut StdRng::seed_from_u64(42))
         .expect("valid generator");
-    let cfg = Nsga2Config {
-        population: 50,
-        mutation_rate: 0.7,
-        generations: 400,
-        parallel: true,
-        ..Default::default()
-    };
+    let engine = EngineConfig::builder()
+        .population(50)
+        .mutation_rate(0.7)
+        .generations(400)
+        .parallel(true)
+        .build()
+        .expect("valid engine config");
 
     // Plain problem (the paper's §IV encoding).
     let plain = AllocationProblem::new(&system, &trace);
-    let plain_pop = Nsga2::new(&plain, cfg).run(
+    let plain_pop = engine.run(
+        &plain,
         vec![
             min_energy(&system, &trace),
             min_min_completion_time(&system, &trace),
@@ -47,7 +48,7 @@ fn main() {
         DvfsAllocation::nominal(min_energy(&system, &trace)),
         DvfsAllocation::nominal(min_min_completion_time(&system, &trace)),
     ];
-    let ext_pop = Nsga2::new(&ext, cfg).run(ext_seeds, 1);
+    let ext_pop = engine.run(&ext, ext_seeds, 1);
     let ext_front = ParetoFront::from_objectives(ext_pop.iter().map(|i| &i.objectives));
 
     let bound = Evaluator::new(&system, &trace).min_possible_energy();

@@ -11,7 +11,7 @@
 use hetsched::alloc::{MakespanProblem, TaskBag};
 use hetsched::analysis::{knee_point, ParetoFront};
 use hetsched::data::real_system;
-use hetsched::moea::{Nsga2, Nsga2Config};
+use hetsched::moea::EngineConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,14 +26,14 @@ fn main() {
     );
 
     let problem = MakespanProblem::new(&system, &bag);
-    let cfg = Nsga2Config {
-        population: 60,
-        mutation_rate: 0.7,
-        generations: 300,
-        parallel: true,
-        ..Default::default()
-    };
-    let pop = Nsga2::new(&problem, cfg).run(vec![], 5);
+    let engine = EngineConfig::builder()
+        .population(60)
+        .mutation_rate(0.7)
+        .generations(300)
+        .parallel(true)
+        .build()
+        .expect("valid engine config");
+    let pop = engine.run(&problem, vec![], 5);
 
     // In this minimisation problem, map objectives to the front type by
     // treating -makespan as "utility" so the x-axis stays energy.

@@ -22,7 +22,7 @@ fn mini() -> Framework {
 #[test]
 fn replicated_attainment_is_consistent() {
     let fw = mini();
-    let summaries = fw.run_replicated(4);
+    let summaries = fw.run_replicated(4).unwrap();
     assert_eq!(summaries.len(), 3);
 
     for (seed, summary) in &summaries {
@@ -48,7 +48,7 @@ fn replicated_attainment_is_consistent() {
 #[test]
 fn min_energy_attains_the_bound_in_every_replicate() {
     let fw = mini();
-    let summaries = fw.run_replicated(3);
+    let summaries = fw.run_replicated(3).unwrap();
     let bound = hetsched::sim::Evaluator::new(fw.system(), fw.trace()).min_possible_energy();
     let (_, me) = summaries
         .iter()
@@ -62,7 +62,7 @@ fn min_energy_attains_the_bound_in_every_replicate() {
 #[test]
 fn min_min_median_beats_random_median_at_high_energy() {
     let fw = mini();
-    let summaries = fw.run_replicated(3);
+    let summaries = fw.run_replicated(3).unwrap();
     let curve_of = |kind: SeedKind| {
         summaries
             .iter()
