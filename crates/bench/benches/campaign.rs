@@ -5,12 +5,20 @@
 //! dispatch, outcome assembly; no manifest). The orchestrator's target is
 //! <2% overhead at this size — the evolution itself should dwarf the
 //! bookkeeping. A once-per-process report prints the measured ratio.
+//!
+//! A third case runs the campaign with a full `TelemetryObserver`
+//! (registry, no heartbeat sink): the default `NullCampaignObserver`
+//! must stay within noise of the bare campaign, and the instrumented
+//! run shows what the per-event atomics and per-generation stats cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hetsched_core::{Campaign, CampaignSpec, ExperimentConfig, Framework};
+use hetsched_core::{
+    Campaign, CampaignObserver, CampaignSpec, ExperimentConfig, Framework, MetricsRegistry,
+    TelemetryObserver,
+};
 use hetsched_heuristics::SeedKind;
 use std::hint::black_box;
-use std::sync::Once;
+use std::sync::{Arc, Once};
 use std::time::Instant;
 
 const REPLICATES: usize = 4;
@@ -59,11 +67,23 @@ fn campaign_overhead(c: &mut Criterion) {
         let campaign = median(&|| {
             black_box(Campaign::new(spec.clone()).run(None).unwrap());
         });
+        let instrumented = median(&|| {
+            let observer = Arc::new(TelemetryObserver::new(Arc::new(MetricsRegistry::new())));
+            black_box(
+                Campaign::new(spec.clone())
+                    .with_observer(observer as Arc<dyn CampaignObserver>)
+                    .run(None)
+                    .unwrap(),
+            );
+        });
         eprintln!(
-            "\n[campaign] 8-cell workload: bare {:.1} ms, campaign {:.1} ms — overhead {:+.2}% (target < 2%)",
+            "\n[campaign] 8-cell workload: bare {:.1} ms, campaign {:.1} ms — overhead {:+.2}% (target < 2%); \
+             instrumented {:.1} ms — telemetry cost {:+.2}%",
             bare * 1e3,
             campaign * 1e3,
-            (campaign / bare - 1.0) * 100.0
+            (campaign / bare - 1.0) * 100.0,
+            instrumented * 1e3,
+            (instrumented / campaign - 1.0) * 100.0
         );
     });
 
@@ -74,6 +94,17 @@ fn campaign_overhead(c: &mut Criterion) {
     });
     group.bench_function("campaign_8_cells", |b| {
         b.iter(|| black_box(Campaign::new(spec.clone()).run(None).unwrap()))
+    });
+    group.bench_function("campaign_8_cells_with_telemetry", |b| {
+        b.iter(|| {
+            let observer = Arc::new(TelemetryObserver::new(Arc::new(MetricsRegistry::new())));
+            black_box(
+                Campaign::new(spec.clone())
+                    .with_observer(observer as Arc<dyn CampaignObserver>)
+                    .run(None)
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

@@ -4,12 +4,17 @@ use crate::error::CliError;
 use crate::options::Options;
 use hetsched_analysis::export::{series_to_csv, series_to_json};
 use hetsched_core::figures;
-use hetsched_core::{Campaign, CampaignSpec, DatasetId, ExperimentConfig, Framework};
+use hetsched_core::{
+    Campaign, CampaignObserver, CampaignSpec, DatasetId, ExperimentConfig, Framework, Heartbeat,
+    HeartbeatTicker, MetricsRegistry, TelemetryObserver,
+};
 use hetsched_data::{MachineTypeId, TaskTypeId};
 use hetsched_heuristics::SeedKind;
 use hetsched_sim::Evaluator;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn dataset_id(set: u8) -> DatasetId {
     match set {
@@ -148,6 +153,13 @@ pub fn run_experiment(options: &Options) -> Result<(), CliError> {
     if options.replicates.is_some() || options.manifest.is_some() {
         return run_campaign(options);
     }
+    if options.heartbeat_out.is_some() || options.telemetry_out.is_some() {
+        return Err(CliError::Usage(
+            "--heartbeat-out/--telemetry-out require a campaign \
+             (add --replicates or --manifest)"
+                .into(),
+        ));
+    }
     let cfg = config_from(options);
     let fw = Framework::new(&cfg)?;
     let journal = match &options.metrics_out {
@@ -181,8 +193,40 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
     let cfg = config_from(options);
     let mut spec = CampaignSpec::single(&cfg);
     spec.replicates = options.replicates.unwrap_or(1);
-    let campaign = Campaign::new(spec);
+    let mut campaign = Campaign::new(spec);
+
+    // Telemetry: one shared observer feeds the registry; the heartbeat
+    // appends progress lines (a ticker keeps them coming while cells run)
+    // and the registry is exported as Prometheus text after the run.
+    let telemetry = match (&options.heartbeat_out, &options.telemetry_out) {
+        (None, None) => None,
+        (heartbeat_out, _) => {
+            let mut observer = TelemetryObserver::new(Arc::new(MetricsRegistry::new()));
+            if let Some(path) = heartbeat_out {
+                let every = Duration::from_secs_f64(options.heartbeat_every);
+                let heartbeat =
+                    Heartbeat::create(path, every).map_err(|e| CliError::io(path, e))?;
+                observer = observer.with_heartbeat(heartbeat);
+            }
+            Some(Arc::new(observer))
+        }
+    };
+    if let Some(observer) = &telemetry {
+        campaign = campaign.with_observer(Arc::clone(observer) as Arc<dyn CampaignObserver>);
+    }
+    let ticker = match &telemetry {
+        Some(observer) if options.heartbeat_out.is_some() => {
+            Some(HeartbeatTicker::spawn(Arc::clone(observer)))
+        }
+        _ => None,
+    };
+
     let outcome = campaign.run(options.manifest.as_deref().map(Path::new))?;
+    drop(ticker);
+    if let (Some(observer), Some(path)) = (&telemetry, &options.telemetry_out) {
+        std::fs::write(path, observer.registry().prometheus())
+            .map_err(|e| CliError::io(path, e))?;
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -381,11 +425,19 @@ pub fn verify_synth(options: &Options) -> Result<(), CliError> {
     options.emit(&out)
 }
 
-/// `hetsched report`: run the whole reproduction suite (figures 3-6, the
-/// seeding table, and the claim checks) at the given scale and emit a
-/// self-contained markdown report.
+/// `hetsched report`: with a path argument, summarise a finished run
+/// without re-running anything — a campaign manifest gets a per-cell
+/// status table plus per-population convergence, a run journal gets the
+/// per-population convergence and phase-time breakdown. Without a path,
+/// run the whole reproduction suite (figures 3-6, the seeding table, and
+/// the claim checks) at the given scale and emit a self-contained
+/// markdown report.
 pub fn report(options: &Options) -> Result<(), CliError> {
     use hetsched_core::suite::verify_dataset;
+    if let Some(path) = options.positional.first() {
+        let inspection = hetsched_core::inspect_path(Path::new(path))?;
+        return options.emit(&inspection.render());
+    }
     let mut out = String::new();
     let _ = writeln!(out, "# hetsched reproduction report\n");
     let _ = writeln!(

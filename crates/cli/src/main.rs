@@ -19,8 +19,15 @@
 //!   --out <path>       write output to a file instead of stdout
 //!   --json             emit JSON instead of CSV (figures only)
 //!   --metrics-out <p>  write a per-generation JSONL journal (run only)
+//!   --heartbeat-out <p> append JSONL campaign progress lines (campaign run only)
+//!   --heartbeat-every <s> seconds between heartbeat lines (default 5)
+//!   --telemetry-out <p> write a Prometheus-style metrics snapshot (campaign run only)
 //!   --log-level <l>    stderr tracing verbosity (default warn)
 //! ```
+//!
+//! `hetsched report <manifest-or-journal>` summarises a finished run
+//! post hoc (per-cell status, per-population convergence) without
+//! re-running anything.
 //!
 //! Exit codes: 0 success, 1 runtime failure (the cause chain is printed
 //! to stderr), 2 usage error.
@@ -97,20 +104,29 @@ USAGE:
     hetsched figure <1|2|3|4|5|6> [--scale F] [--out PATH] [--json]
     hetsched run [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--rng SEED]
                  [--algorithm nsga2|moead|spea2] [--replicates N] [--manifest PATH]
-                 [--metrics-out PATH] [--log-level error|warn|info|debug|trace]
+                 [--metrics-out PATH] [--heartbeat-out PATH] [--heartbeat-every S]
+                 [--telemetry-out PATH] [--log-level error|warn|info|debug|trace]
     hetsched seeds [--set 1|2|3] [--tasks N] [--rng SEED]
     hetsched gantt [--set 1|2|3] [--tasks N]
     hetsched online [--set 1|2|3] [--tasks N]
     hetsched verify-synth [--tasks N] [--rng SEED]
     hetsched verify [--set 1|2|3] [--scale F]
     hetsched attain [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--replicates N]
-    hetsched report [--scale F] [--out PATH]
+    hetsched report [MANIFEST-OR-JOURNAL] [--scale F] [--out PATH]
     hetsched help
 
 `run --replicates N` executes the experiment as a campaign: one cell per
 (replicate, seed kind), run in parallel. Add `--manifest PATH` to
 checkpoint finished cells; rerunning the same command resumes from the
-manifest and executes only the missing cells.
+manifest and executes only the missing cells. `--heartbeat-out PATH`
+appends a tail-able JSONL progress line (cells done/total, ETA) every
+`--heartbeat-every` seconds, surviving kill-and-resume; `--telemetry-out
+PATH` writes a Prometheus-style metrics snapshot when the campaign ends.
+
+`report` with a path summarises a finished campaign manifest (per-cell
+status and durations, per-population convergence) or a `--metrics-out`
+run journal (convergence and phase-time breakdown) without re-running
+anything; without a path it runs the full reproduction suite.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error.";
 
@@ -215,6 +231,92 @@ mod tests {
             text.contains(&format!("0 executed, {cells} replayed")),
             "resume should replay all cells: {text}"
         );
+    }
+
+    #[test]
+    fn campaign_with_telemetry_writes_heartbeat_and_prometheus_snapshot() {
+        let dir = std::env::temp_dir();
+        let hb = dir.join(format!("hetsched-cli-hb-{}.jsonl", std::process::id()));
+        let prom = dir.join(format!("hetsched-cli-prom-{}.prom", std::process::id()));
+        let out = dir.join(format!("hetsched-cli-telem-out-{}.txt", std::process::id()));
+        let cmd = format!(
+            "run --set 1 --tasks 15 --pop 8 --scale 0.00002 --replicates 2 \
+             --heartbeat-out {} --heartbeat-every 0.01 --telemetry-out {} --out {}",
+            hb.display(),
+            prom.display(),
+            out.display()
+        );
+        assert!(run(&argv(&cmd)).is_ok());
+        let hb_text = std::fs::read_to_string(&hb).unwrap();
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        let _ = std::fs::remove_file(&hb);
+        let _ = std::fs::remove_file(&prom);
+        let _ = std::fs::remove_file(&out);
+        // At least the unconditional start and end lines, all valid JSON
+        // with monotone progress.
+        let cells = 2 * hetsched_core::ExperimentConfig::dataset1().seeds.len() as u64;
+        let mut last_done = 0u64;
+        let mut lines = 0;
+        for line in hb_text.lines() {
+            let hb: hetsched_core::HeartbeatLine = serde_json::from_str(line).unwrap();
+            assert!(
+                hb.cells_done >= last_done,
+                "heartbeat progress went backwards"
+            );
+            assert_eq!(hb.cells_total, cells);
+            last_done = hb.cells_done;
+            lines += 1;
+        }
+        assert!(lines >= 2, "expected start+end heartbeat lines: {hb_text}");
+        assert_eq!(last_done, cells);
+        assert!(prom_text.contains(&format!("hetsched_campaign_cells_finished_total {cells}")));
+        assert!(prom_text.contains("hetsched_engine_generations_total"));
+        assert!(prom_text.contains("hetsched_campaign_cell_duration_seconds_bucket"));
+    }
+
+    #[test]
+    fn report_on_a_manifest_prints_cell_table_and_convergence() {
+        let dir = std::env::temp_dir();
+        let manifest = dir.join(format!(
+            "hetsched-cli-report-manifest-{}.jsonl",
+            std::process::id()
+        ));
+        let out = dir.join(format!(
+            "hetsched-cli-report-inspect-{}.txt",
+            std::process::id()
+        ));
+        let cmd = format!(
+            "run --set 1 --tasks 15 --pop 8 --scale 0.00002 --replicates 1 --manifest {}",
+            manifest.display()
+        );
+        assert!(run(&argv(&cmd)).is_ok());
+        let report_cmd = format!("report {} --out {}", manifest.display(), out.display());
+        assert!(run(&argv(&report_cmd)).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&manifest);
+        let _ = std::fs::remove_file(&out);
+        assert!(text.contains("campaign"), "missing header: {text}");
+        assert!(text.contains("done"), "missing cell status: {text}");
+        assert!(text.contains("nsga2"), "missing cell rows: {text}");
+    }
+
+    #[test]
+    fn report_on_garbage_path_is_a_runtime_error() {
+        assert!(run(&argv("report /nonexistent/path.jsonl")).is_err());
+    }
+
+    #[test]
+    fn heartbeat_flags_are_rejected_on_the_plain_run_path() {
+        let err = run(&argv(
+            "run --heartbeat-out hb.jsonl --tasks 15 --pop 8 --scale 0.00002",
+        ))
+        .unwrap_err();
+        assert!(err.is_usage());
+        let err = run(&argv(
+            "run --telemetry-out m.prom --tasks 15 --pop 8 --scale 0.00002",
+        ))
+        .unwrap_err();
+        assert!(err.is_usage());
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub struct Options {
     pub json: bool,
     /// Per-generation metrics journal path (JSONL; `run` command only).
     pub metrics_out: Option<String>,
+    /// Campaign heartbeat path (JSONL progress lines, appended; campaign
+    /// `run` only).
+    pub heartbeat_out: Option<String>,
+    /// Seconds between heartbeat lines.
+    pub heartbeat_every: f64,
+    /// Prometheus-style metrics snapshot path, written when the campaign
+    /// finishes (campaign `run` only).
+    pub telemetry_out: Option<String>,
     /// Stderr log verbosity for the tracing subscriber.
     pub log_level: tracing::Level,
 }
@@ -52,6 +60,9 @@ impl Default for Options {
             out: None,
             json: false,
             metrics_out: None,
+            heartbeat_out: None,
+            heartbeat_every: 5.0,
+            telemetry_out: None,
             log_level: tracing::Level::WARN,
         }
     }
@@ -129,6 +140,20 @@ impl Options {
                 "--metrics-out" => {
                     opts.metrics_out = Some(value_for("metrics-out")?.clone());
                 }
+                "--heartbeat-out" => {
+                    opts.heartbeat_out = Some(value_for("heartbeat-out")?.clone());
+                }
+                "--heartbeat-every" => {
+                    opts.heartbeat_every = value_for("heartbeat-every")?
+                        .parse()
+                        .map_err(|_| usage("--heartbeat-every must be a number of seconds"))?;
+                    if opts.heartbeat_every <= 0.0 || opts.heartbeat_every.is_nan() {
+                        return Err(usage("--heartbeat-every must be > 0"));
+                    }
+                }
+                "--telemetry-out" => {
+                    opts.telemetry_out = Some(value_for("telemetry-out")?.clone());
+                }
                 "--log-level" => {
                     opts.log_level = value_for("log-level")?.parse().map_err(|_| {
                         usage("--log-level must be error, warn, info, debug, or trace")
@@ -180,7 +205,9 @@ mod tests {
         let o = Options::parse(&argv(
             "5 --set 2 --scale 0.5 --tasks 42 --pop 10 --rng 7 --json \
              --algorithm spea2 --replicates 3 --manifest cells.jsonl \
-             --metrics-out run.jsonl --log-level debug",
+             --metrics-out run.jsonl --heartbeat-out hb.jsonl \
+             --heartbeat-every 0.5 --telemetry-out metrics.prom \
+             --log-level debug",
         ))
         .unwrap();
         assert_eq!(o.positional, vec!["5"]);
@@ -194,6 +221,9 @@ mod tests {
         assert_eq!(o.replicates, Some(3));
         assert_eq!(o.manifest.as_deref(), Some("cells.jsonl"));
         assert_eq!(o.metrics_out.as_deref(), Some("run.jsonl"));
+        assert_eq!(o.heartbeat_out.as_deref(), Some("hb.jsonl"));
+        assert_eq!(o.heartbeat_every, 0.5);
+        assert_eq!(o.telemetry_out.as_deref(), Some("metrics.prom"));
         assert_eq!(o.log_level, tracing::Level::DEBUG);
     }
 
@@ -222,6 +252,11 @@ mod tests {
         assert!(Options::parse(&argv("--algorithm genetic")).is_err());
         assert!(Options::parse(&argv("--replicates 0")).is_err());
         assert!(Options::parse(&argv("--manifest")).is_err());
+        assert!(Options::parse(&argv("--heartbeat-every 0")).is_err());
+        assert!(Options::parse(&argv("--heartbeat-every -1")).is_err());
+        assert!(Options::parse(&argv("--heartbeat-every soon")).is_err());
+        assert!(Options::parse(&argv("--heartbeat-out")).is_err());
+        assert!(Options::parse(&argv("--telemetry-out")).is_err());
     }
 
     #[test]

@@ -30,9 +30,12 @@
 use crate::config::{DatasetId, ExperimentConfig};
 use crate::framework::Framework;
 use crate::report::{AnalysisReport, PopulationRun};
+use crate::telemetry::{CampaignObserver, NullCampaignObserver};
 use crate::{CoreError, Result};
 use hetsched_heuristics::SeedKind;
-use hetsched_moea::Algorithm;
+use hetsched_moea::observe::GenerationStats;
+use hetsched_moea::{Algorithm, Individual};
+use hetsched_sim::Allocation;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -187,6 +190,8 @@ pub struct CellRecord {
     pub error: Option<String>,
     /// How many attempts were made.
     pub attempts: usize,
+    /// Wall-clock seconds the cell took, all attempts included.
+    pub duration_s: f64,
 }
 
 /// The manifest's first line, guarding resume against spec mismatches.
@@ -198,7 +203,10 @@ struct ManifestHeader {
     version: usize,
 }
 
-const MANIFEST_VERSION: usize = 1;
+/// Current manifest format version. Bumped to 2 when [`CellRecord`] grew
+/// `duration_s`: the vendored serde derive rejects missing fields, so a
+/// v1 manifest must be refused up front rather than half-parsed.
+const MANIFEST_VERSION: usize = 2;
 
 /// Cooperative cancellation flag, cloneable across threads: call
 /// [`CancelToken::cancel`] from anywhere (a ctrl-c handler, a watchdog)
@@ -286,11 +294,13 @@ pub struct Campaign {
     deadline: Option<Duration>,
     cancel: CancelToken,
     fault: Option<Arc<FaultHook>>,
+    observer: Arc<dyn CampaignObserver>,
 }
 
 impl Campaign {
     /// A campaign over `spec` with default resilience settings: 2
-    /// attempts per cell, no deadline, a fresh cancel token.
+    /// attempts per cell, no deadline, a fresh cancel token, no
+    /// telemetry.
     pub fn new(spec: CampaignSpec) -> Self {
         Campaign {
             spec,
@@ -298,6 +308,7 @@ impl Campaign {
             deadline: None,
             cancel: CancelToken::new(),
             fault: None,
+            observer: Arc::new(NullCampaignObserver),
         }
     }
 
@@ -328,6 +339,16 @@ impl Campaign {
     /// A clone of the campaign's cancel token.
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// Attaches a [`CampaignObserver`] receiving cell lifecycle events
+    /// and per-generation engine stats. When the observer's
+    /// [`enabled`](CampaignObserver::enabled) is `false` (the default
+    /// [`NullCampaignObserver`]) all event plumbing is skipped and the
+    /// engines run unobserved, so telemetry is pay-for-what-you-use.
+    pub fn with_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Injects a per-attempt fault: `hook(cell, attempt)` returning
@@ -404,6 +425,13 @@ impl Campaign {
             replayed,
             missing.len(),
         );
+        let observing = self.observer.enabled();
+        if observing {
+            self.observer.on_campaign_start(cells.len(), replayed);
+            for cell in cells.iter().filter(|c| known.contains_key(c)) {
+                self.observer.on_cell_replayed(cell);
+            }
+        }
         let results: Vec<Option<CellRecord>> = missing
             .par_iter()
             .map(|&cell| {
@@ -411,6 +439,9 @@ impl Campaign {
                     .deadline
                     .is_some_and(|budget| started.elapsed() >= budget);
                 if self.cancel.is_cancelled() || expired {
+                    if observing {
+                        self.observer.on_cell_skipped(&cell);
+                    }
                     return None;
                 }
                 let record =
@@ -436,17 +467,36 @@ impl Campaign {
         for record in results.into_iter().flatten() {
             known.insert(record.cell, record);
         }
+        if observing {
+            self.observer.on_campaign_end();
+        }
 
         Ok(self.assemble(&cells, known, skipped, executed, replayed))
     }
 
-    /// Runs one cell with the attempt budget, catching panics.
+    /// Runs one cell with the attempt budget, catching panics. Fires
+    /// observer lifecycle events when observation is enabled; the engine
+    /// itself is observed (per-generation stats routed to
+    /// [`CampaignObserver::on_generation`]) only then — the observation
+    /// contract guarantees the evolved population is identical either
+    /// way.
     fn execute_cell(&self, framework: &Framework, cell: CellId, stream: u64) -> CellRecord {
+        let observing = self.observer.enabled();
+        let cell_started = Instant::now();
+        if observing {
+            self.observer.on_cell_start(&cell);
+        }
         let mut last_error = String::new();
         for attempt in 1..=self.attempts {
+            if attempt > 1 && observing {
+                self.observer.on_cell_retry(&cell, attempt);
+            }
             if let Some(hook) = &self.fault {
                 if let Some(message) = hook(&cell, attempt) {
                     tracing::warn!("cell {cell} attempt {attempt} failed (injected): {message}");
+                    if observing {
+                        self.observer.on_cell_panic(&cell, attempt, &message);
+                    }
                     last_error = message;
                     continue;
                 }
@@ -455,26 +505,50 @@ impl Campaign {
                 Framework::replicate_seed(self.spec.base.rng_seed, cell.replicate as u64),
                 cell.algorithm,
             );
-            match catch_unwind(AssertUnwindSafe(|| fw.run_population(cell.seed, stream))) {
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                if observing {
+                    let mut bridge = CellStatsBridge {
+                        cell,
+                        observer: self.observer.as_ref(),
+                    };
+                    fw.run_population_observed(cell.seed, stream, &mut bridge)
+                } else {
+                    fw.run_population(cell.seed, stream)
+                }
+            }));
+            match run {
                 Ok(run) => {
+                    if observing {
+                        self.observer
+                            .on_cell_finish(&cell, attempt, cell_started.elapsed());
+                    }
                     return CellRecord {
                         cell,
                         run: Some(run),
                         error: None,
                         attempts: attempt,
-                    }
+                        duration_s: cell_started.elapsed().as_secs_f64(),
+                    };
                 }
                 Err(payload) => {
                     last_error = panic_message(payload);
                     tracing::warn!("cell {cell} attempt {attempt} panicked: {last_error}");
+                    if observing {
+                        self.observer.on_cell_panic(&cell, attempt, &last_error);
+                    }
                 }
             }
+        }
+        if observing {
+            self.observer
+                .on_cell_failed(&cell, self.attempts, &last_error);
         }
         CellRecord {
             cell,
             run: None,
             error: Some(last_error),
             attempts: self.attempts,
+            duration_s: cell_started.elapsed().as_secs_f64(),
         }
     }
 
@@ -533,6 +607,21 @@ impl Campaign {
             executed,
             replayed,
         }
+    }
+}
+
+/// Adapts the campaign observer to the engine's per-generation
+/// [`Observer`](hetsched_moea::observe::Observer) hook for one cell, so
+/// every observed generation anywhere in the grid rolls up to
+/// [`CampaignObserver::on_generation`].
+struct CellStatsBridge<'a> {
+    cell: CellId,
+    observer: &'a dyn CampaignObserver,
+}
+
+impl hetsched_moea::observe::Observer<Allocation> for CellStatsBridge<'_> {
+    fn on_generation(&mut self, stats: &GenerationStats, _population: &[Individual<Allocation>]) {
+        self.observer.on_generation(&self.cell, stats);
     }
 }
 
@@ -598,11 +687,37 @@ fn open_manifest(path: &Path, fingerprint: &str) -> Result<ManifestSink> {
 /// records. A torn final line (the process was killed mid-write) is
 /// tolerated; a torn or alien *header* is not.
 fn read_manifest(path: &Path, fingerprint: &str) -> Result<Vec<CellRecord>> {
+    match load_manifest(path)? {
+        None => Ok(Vec::new()), // empty file: fresh manifest
+        Some((owner, records)) => {
+            if owner != fingerprint {
+                return Err(CoreError::Manifest(format!(
+                    "manifest belongs to campaign {owner} but this campaign is {fingerprint}; \
+                     refusing to mix cells"
+                )));
+            }
+            Ok(records)
+        }
+    }
+}
+
+/// Reads a campaign manifest back without knowing its spec: returns the
+/// owning campaign's fingerprint and the cell records, or `None` for an
+/// empty file. A torn final line (the process was killed mid-write) is
+/// dropped; post-hoc inspection tooling (`hetsched report`) uses this
+/// directly, and resume layers a fingerprint check on top.
+///
+/// # Errors
+///
+/// I/O failures, a corrupt or torn header, an unsupported manifest
+/// version, or records after a torn line (they can't be trusted to
+/// belong where they claim).
+pub fn load_manifest(path: &Path) -> Result<Option<(String, Vec<CellRecord>)>> {
     let file = File::open(path)
         .map_err(|e| CoreError::Io(format!("open manifest {}: {e}", path.display())))?;
     let mut lines = BufReader::new(file).lines();
     let header_line = match lines.next() {
-        None => return Ok(Vec::new()), // empty file: fresh manifest
+        None => return Ok(None),
         Some(line) => line.map_err(|e| CoreError::Io(format!("read manifest: {e}")))?,
     };
     let header: ManifestHeader = serde_json::from_str(&header_line)
@@ -611,13 +726,6 @@ fn read_manifest(path: &Path, fingerprint: &str) -> Result<Vec<CellRecord>> {
         return Err(CoreError::Manifest(format!(
             "manifest version {} unsupported (expected {MANIFEST_VERSION})",
             header.version
-        )));
-    }
-    if header.fingerprint != fingerprint {
-        return Err(CoreError::Manifest(format!(
-            "manifest belongs to campaign {} but this campaign is {fingerprint}; \
-             refusing to mix cells",
-            header.fingerprint
         )));
     }
     let mut records = Vec::new();
@@ -636,7 +744,7 @@ fn read_manifest(path: &Path, fingerprint: &str) -> Result<Vec<CellRecord>> {
             Err(_) => torn = true, // killed mid-write: drop the tail record
         }
     }
-    Ok(records)
+    Ok(Some((header.fingerprint, records)))
 }
 
 #[cfg(test)]
@@ -834,6 +942,61 @@ mod tests {
         assert!(resumed.is_complete());
         assert_eq!(resumed.executed, 1, "exactly the torn cell re-runs");
         assert_eq!(resumed.reports, full.reports);
+    }
+
+    #[test]
+    fn observer_sees_full_cell_lifecycle_and_results_are_unchanged() {
+        use crate::telemetry::{Heartbeat, MetricsRegistry, TelemetryObserver};
+
+        let spec = tiny_spec();
+        let bare = Campaign::new(spec.clone()).run(None).unwrap();
+
+        let flaky = CellId {
+            dataset: DatasetId::One,
+            algorithm: Algorithm::Nsga2,
+            seed: SeedKind::Random,
+            replicate: 1,
+        };
+        let registry = Arc::new(MetricsRegistry::new());
+        let observer = Arc::new(TelemetryObserver::new(Arc::clone(&registry)));
+        let observed = Campaign::new(spec)
+            .attempts(2)
+            .with_fault_injection(move |cell, attempt| {
+                (*cell == flaky && attempt == 1).then(|| "injected".to_string())
+            })
+            .with_observer(observer)
+            .run(None)
+            .unwrap();
+
+        // Observation must not perturb the evolved populations.
+        assert_eq!(observed.reports, bare.reports);
+
+        let s = registry.snapshot();
+        assert_eq!(s.cells_total, 8);
+        assert_eq!(s.cells_started, 8);
+        assert_eq!(s.cells_finished, 8);
+        assert_eq!(s.cells_retried, 1);
+        assert_eq!(s.cells_panicked, 1);
+        assert_eq!(s.cells_failed, 0);
+        assert!(s.generations > 0, "engine stats reached the registry");
+        assert!(s.evaluations > 0);
+        assert!(s.phase_evaluation_s > 0.0);
+        assert_eq!(s.cell_duration_count, 8);
+        assert!(s.ewma_cell_s > 0.0);
+        // And the manifest-facing record carries the duration too.
+        let _ = Heartbeat::to_writer(Vec::new(), Duration::ZERO); // exercised elsewhere
+    }
+
+    #[test]
+    fn cell_records_carry_positive_durations() {
+        let spec = CampaignSpec::single(&tiny_spec().base);
+        let path = temp_manifest("duration");
+        let _ = std::fs::remove_file(&path);
+        Campaign::new(spec).run(Some(&path)).unwrap();
+        let (_, records) = load_manifest(&path).unwrap().expect("non-empty manifest");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.duration_s > 0.0));
     }
 
     #[test]

@@ -12,15 +12,15 @@ use hetsched_heuristics::SeedKind;
 use hetsched_moea::observe::{GenerationStats, Observer};
 use hetsched_moea::Individual;
 use hetsched_sim::Allocation;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
 /// One journal line: which population produced the generation, plus the
 /// engine's metrics record.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JournalRecord {
     /// Seeding-heuristic label of the population (e.g. `"Min Energy"`).
     pub population: String,
@@ -54,7 +54,9 @@ impl RunJournal {
         }
     }
 
-    /// Appends one record as a JSON line.
+    /// Appends one record as a JSON line and flushes it, so a killed run
+    /// loses at most the line being written — the same torn-tail
+    /// discipline as the campaign manifest.
     ///
     /// # Errors
     ///
@@ -63,7 +65,8 @@ impl RunJournal {
         let line = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let mut sink = self.sink.lock().expect("journal mutex poisoned");
-        writeln!(sink, "{line}")
+        writeln!(sink, "{line}")?;
+        sink.flush()
     }
 
     /// Flushes the underlying writer.
@@ -73,6 +76,46 @@ impl RunJournal {
     /// Write failures.
     pub fn flush(&self) -> io::Result<()> {
         self.sink.lock().expect("journal mutex poisoned").flush()
+    }
+
+    /// Reads a journal file back. A torn final line (the process was
+    /// killed mid-write) is dropped, matching the append-side discipline;
+    /// any *earlier* unparseable line is an error, since the file is
+    /// then corrupt rather than merely truncated.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a malformed line that is not the last.
+    pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<JournalRecord>> {
+        let file = File::open(path)?;
+        let mut records = Vec::new();
+        let mut torn = false;
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if torn {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "journal has records after a torn line",
+                ));
+            }
+            match serde_json::from_str::<JournalRecord>(&line) {
+                Ok(record) => records.push(record),
+                Err(_) => torn = true,
+            }
+        }
+        Ok(records)
+    }
+}
+
+impl Drop for RunJournal {
+    fn drop(&mut self) {
+        // A best-effort final flush; append already flushes per line, so
+        // this only matters for writers that buffer internally.
+        if let Ok(mut sink) = self.sink.lock() {
+            if let Err(e) = sink.flush() {
+                tracing::warn!("journal flush on drop failed: {e}");
+            }
+        }
     }
 }
 
@@ -179,6 +222,63 @@ mod tests {
                 "{rendered}"
             );
         }
+    }
+
+    #[test]
+    fn records_roundtrip_through_write_and_read() {
+        let path = std::env::temp_dir().join(format!(
+            "hetsched-journal-roundtrip-{}.jsonl",
+            std::process::id()
+        ));
+        let written: Vec<JournalRecord> = (1..=4).map(record).collect();
+        {
+            let journal = RunJournal::create(&path).unwrap();
+            for r in &written {
+                journal.append(r).unwrap();
+            }
+        } // drop flushes
+        let read = RunJournal::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read, written);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_on_read() {
+        let path = std::env::temp_dir().join(format!(
+            "hetsched-journal-torn-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let journal = RunJournal::create(&path).unwrap();
+            journal.append(&record(1)).unwrap();
+            journal.append(&record(2)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+        let read = RunJournal::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read, vec![record(1)]);
+    }
+
+    /// A writer that fails every operation, for the error path.
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("disk full"))
+        }
+    }
+
+    #[test]
+    fn append_surfaces_write_errors_and_drop_does_not_panic() {
+        let journal = RunJournal::to_writer(BrokenWriter);
+        let err = journal.append(&record(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(journal.flush().is_err());
+        drop(journal); // Drop swallows the flush failure (warns via tracing)
     }
 
     #[test]

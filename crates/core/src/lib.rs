@@ -25,15 +25,19 @@ pub mod campaign;
 pub mod config;
 pub mod figures;
 pub mod framework;
+pub mod inspect;
 pub mod journal;
 pub mod report;
 pub mod suite;
+pub mod telemetry;
 
 pub use campaign::{
-    Campaign, CampaignOutcome, CampaignReport, CampaignSpec, CancelToken, CellId, CellRecord,
+    load_manifest, Campaign, CampaignOutcome, CampaignReport, CampaignSpec, CancelToken, CellId,
+    CellRecord,
 };
 pub use config::{DatasetId, ExperimentConfig};
 pub use framework::Framework;
+pub use inspect::{inspect_path, Inspection};
 // The engine API the framework is parameterised over, re-exported so
 // downstream crates (notably the CLI) need not depend on the MOEA crate
 // directly to select an algorithm.
@@ -41,6 +45,10 @@ pub use hetsched_moea::{Algorithm, Engine, EngineCaps, EngineConfig, EngineConfi
 pub use journal::{JournalObserver, JournalRecord, RunJournal};
 pub use report::{AnalysisReport, PopulationRun};
 pub use suite::{check_report, verify_dataset, Check, DatasetVerdict};
+pub use telemetry::{
+    CampaignObserver, Heartbeat, HeartbeatLine, HeartbeatTicker, MetricsRegistry, MetricsSnapshot,
+    NullCampaignObserver, TelemetryObserver,
+};
 
 use hetsched_synth::SynthError;
 use hetsched_workload::WorkloadError;

@@ -18,7 +18,7 @@
 
 use crate::dominance::Objectives;
 use crate::nsga2::Individual;
-use crate::observe::{GenerationStats, NullObserver, Observer, PhaseTimings};
+use crate::observe::{lap, GenerationStats, NullObserver, Observer, PhaseTimings};
 use crate::problem::Problem;
 use crate::sort::fast_nondominated_sort;
 use rand::rngs::StdRng;
@@ -171,8 +171,14 @@ pub fn moead_observed<P: Problem, O: Observer<P::Genome>>(
     );
     let mut next_snapshot = 0usize;
     for generation in 1..=config.generations {
-        let started = observer.enabled().then(Instant::now);
+        let observing = observer.enabled();
+        // MOEA/D interleaves its phases per subproblem, so the timings
+        // are accumulated across the inner loop: mating = neighbour pick
+        // + variation, evaluation = the fitness call, sorting = ideal
+        // update + neighbourhood replacement (its selection analogue).
+        let mut timings = PhaseTimings::default();
         for i in 0..n {
+            let mark = observing.then(Instant::now);
             // Mate within the neighbourhood.
             let hood = neighbourhood(i);
             let a = rng.gen_range(hood.clone());
@@ -182,7 +188,9 @@ pub fn moead_observed<P: Problem, O: Observer<P::Genome>>(
             if rng.gen::<f64>() < config.mutation_rate {
                 problem.mutate(&mut rng, &mut child);
             }
+            let mark = lap(&mut timings.mating_s, mark);
             let objectives = problem.evaluate(&mut ev, &child);
+            let mark = lap(&mut timings.evaluation_s, mark);
             ideal[0] = ideal[0].min(objectives[0]);
             ideal[1] = ideal[1].min(objectives[1]);
             // Replace any neighbour the child improves on (bounded to the
@@ -197,15 +205,9 @@ pub fn moead_observed<P: Problem, O: Observer<P::Genome>>(
                     };
                 }
             }
+            lap(&mut timings.sorting_s, mark);
         }
-        if let Some(started) = started {
-            // MOEA/D interleaves mating and evaluation per subproblem, so
-            // the whole-generation wall-clock is reported as evaluation
-            // time (the dominant phase on non-trivial problems).
-            let timings = PhaseTimings {
-                evaluation_s: started.elapsed().as_secs_f64(),
-                ..Default::default()
-            };
+        if observing {
             let stats =
                 GenerationStats::compute(generation, &population, n, timings, config.hv_reference);
             observer.on_generation(&stats, &population);
@@ -295,6 +297,39 @@ mod tests {
         let pa: Vec<Objectives> = a.iter().map(|i| i.objectives).collect();
         let pb: Vec<Objectives> = b.iter().map(|i| i.objectives).collect();
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn observed_run_reports_all_three_phases() {
+        use crate::observe::StatsLog;
+
+        let problem = Schaffer::default();
+        let cfg = MoeadConfig {
+            subproblems: 30,
+            neighbours: 6,
+            mutation_rate: 0.5,
+            generations: 25,
+            hv_reference: Some([1e7, 1e7]),
+        };
+        let mut log = StatsLog::default();
+        let observed = moead_observed(&problem, cfg, vec![], 13, &[], |_, _| {}, &mut log);
+        assert_eq!(log.records.len(), 25);
+        // Per-generation clock reads can land on 0 for trivial problems;
+        // the sums across the run must not (NSGA-II-parity contract).
+        let mating: f64 = log.records.iter().map(|r| r.timings.mating_s).sum();
+        let evaluation: f64 = log.records.iter().map(|r| r.timings.evaluation_s).sum();
+        let sorting: f64 = log.records.iter().map(|r| r.timings.sorting_s).sum();
+        assert!(mating > 0.0, "mating untimed");
+        assert!(evaluation > 0.0, "evaluation untimed");
+        assert!(sorting > 0.0, "sorting untimed");
+        assert!(log.records.iter().all(|r| r.hypervolume.is_some()));
+
+        // And observation must not perturb the trajectory.
+        let bare = moead_observed(&problem, cfg, vec![], 13, &[], |_, _| {}, &mut NullObserver);
+        let pa: Vec<Objectives> = bare.iter().map(|i| i.objectives).collect();
+        let pb: Vec<Objectives> = observed.iter().map(|i| i.objectives).collect();
+        assert_eq!(pa, pb);
+        assert_eq!(observed.len(), cfg.subproblems);
     }
 
     #[test]

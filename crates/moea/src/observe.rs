@@ -25,6 +25,18 @@ pub struct PhaseTimings {
     pub sorting_s: f64,
 }
 
+/// Closes one timed phase segment: adds the elapsed time since `mark` to
+/// `acc` and returns a fresh mark for the next segment. `None`
+/// (observation disabled) stays `None`, keeping hot loops free of clock
+/// reads.
+#[inline]
+pub(crate) fn lap(acc: &mut f64, mark: Option<std::time::Instant>) -> Option<std::time::Instant> {
+    mark.map(|m| {
+        *acc += m.elapsed().as_secs_f64();
+        std::time::Instant::now()
+    })
+}
+
 /// One generation's metrics record — the unit the run journal serialises.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GenerationStats {
@@ -196,6 +208,47 @@ mod tests {
         let base = hypervolume_2d([[1.0, 2.0], [2.0, 1.0]], [4.0, 4.0]);
         let more = hypervolume_2d([[1.0, 2.0], [2.0, 1.0], [0.5, 3.0]], [4.0, 4.0]);
         assert!(more > base, "{more} <= {base}");
+    }
+
+    #[test]
+    fn hypervolume_of_duplicate_points_counts_once() {
+        // Duplicates add a zero-width slab: same value as a single copy.
+        let single = hypervolume_2d([[1.0, 1.0]], [3.0, 3.0]);
+        let duped = hypervolume_2d([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]], [3.0, 3.0]);
+        assert!((duped - single).abs() < 1e-12, "{duped} != {single}");
+    }
+
+    #[test]
+    fn hypervolume_excludes_points_exactly_on_the_reference_boundary() {
+        // The filter is strict `<`: a point sharing either coordinate
+        // with the reference dominates zero area and must contribute
+        // nothing (not a negative or NaN slab).
+        assert_eq!(hypervolume_2d([[3.0, 1.0]], [3.0, 3.0]), 0.0);
+        assert_eq!(hypervolume_2d([[1.0, 3.0]], [3.0, 3.0]), 0.0);
+        assert_eq!(hypervolume_2d([[3.0, 3.0]], [3.0, 3.0]), 0.0);
+        // A boundary point alongside an interior one changes nothing.
+        let hv = hypervolume_2d([[1.0, 1.0], [3.0, 1.0], [1.0, 3.0]], [3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12, "hv = {hv}");
+    }
+
+    #[test]
+    fn hypervolume_is_nan_free_under_total_cmp() {
+        // NaN coordinates fail the strict `<` filter (all comparisons
+        // with NaN are false), so they are dropped before the total_cmp
+        // sort ever sees them and the result stays finite.
+        let hv = hypervolume_2d(
+            [
+                [f64::NAN, 1.0],
+                [1.0, f64::NAN],
+                [f64::NAN, f64::NAN],
+                [1.0, 1.0],
+            ],
+            [3.0, 3.0],
+        );
+        assert!(hv.is_finite());
+        assert!((hv - 4.0).abs() < 1e-12, "hv = {hv}");
+        // An all-NaN input degenerates to the empty set, not NaN.
+        assert_eq!(hypervolume_2d([[f64::NAN, f64::NAN]], [3.0, 3.0]), 0.0);
     }
 
     #[test]

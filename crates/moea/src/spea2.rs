@@ -12,7 +12,7 @@
 
 use crate::dominance::{dominates, Objectives};
 use crate::nsga2::Individual;
-use crate::observe::{GenerationStats, NullObserver, Observer, PhaseTimings};
+use crate::observe::{lap, GenerationStats, NullObserver, Observer, PhaseTimings};
 use crate::problem::Problem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,7 +104,9 @@ pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
     let mut next_snapshot = 0usize;
 
     for generation in 1..=config.generations {
-        let started = observer.enabled().then(Instant::now);
+        let observing = observer.enabled();
+        let mut timings = PhaseTimings::default();
+        let mark = observing.then(Instant::now);
         // Union of population and archive; compute SPEA2 fitness.
         let mut union: Vec<Individual<P::Genome>> = archive.clone();
         union.extend(population.iter().cloned());
@@ -127,27 +129,15 @@ pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
             }
         }
         archive = selected.iter().map(|&i| union[i].clone()).collect();
-        if let Some(started) = started {
-            // Environmental selection dominates a SPEA2 generation; report
-            // the whole-generation wall-clock as sorting time.
-            let timings = PhaseTimings {
-                sorting_s: started.elapsed().as_secs_f64(),
-                ..Default::default()
-            };
-            let stats = GenerationStats::compute(
-                generation,
-                &archive,
-                config.population,
-                timings,
-                config.hv_reference,
-            );
-            observer.on_generation(&stats, &archive);
-        }
+        lap(&mut timings.sorting_s, mark);
         if next_snapshot < snapshots.len() && snapshots[next_snapshot] == generation {
             on_snapshot(generation, &archive);
             next_snapshot += 1;
         }
 
+        // Re-mark after the snapshot callback so its cost is not billed
+        // to the mating phase.
+        let mark = observing.then(Instant::now);
         // Mating: binary tournament on the archive by fitness.
         let arch_points: Vec<Objectives> = archive.iter().map(|i| i.objectives).collect();
         let arch_fit = spea2_fitness(&arch_points);
@@ -175,10 +165,27 @@ pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
             offspring.push(b);
         }
         offspring.truncate(config.population);
+        let mark = lap(&mut timings.mating_s, mark);
         population = offspring
             .into_iter()
             .map(|g| evaluate(g, &mut ev))
             .collect();
+        lap(&mut timings.evaluation_s, mark);
+        if observing {
+            // Stats are computed over the post-selection archive; the
+            // record is delivered after the generation's mating and
+            // offspring evaluation so all three phases carry real time
+            // (observer hooks never touch the RNG stream, so delivery
+            // order cannot perturb the trajectory).
+            let stats = GenerationStats::compute(
+                generation,
+                &archive,
+                config.population,
+                timings,
+                config.hv_reference,
+            );
+            observer.on_generation(&stats, &archive);
+        }
     }
     archive
 }
@@ -321,6 +328,38 @@ mod tests {
         let b = spea2(&problem, cfg, vec![], 11);
         let pa: Vec<Objectives> = a.iter().map(|i| i.objectives).collect();
         let pb: Vec<Objectives> = b.iter().map(|i| i.objectives).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn observed_run_reports_all_three_phases() {
+        use crate::observe::{NullObserver, StatsLog};
+
+        let problem = Schaffer::default();
+        let cfg = Spea2Config {
+            population: 30,
+            archive: 30,
+            mutation_rate: 0.5,
+            generations: 25,
+            hv_reference: Some([1e7, 1e7]),
+        };
+        let mut log = StatsLog::default();
+        let observed = spea2_observed(&problem, cfg, vec![], 13, &[], |_, _| {}, &mut log);
+        assert_eq!(log.records.len(), 25);
+        // Per-generation clock reads can land on 0 for trivial problems;
+        // the sums across the run must not (NSGA-II-parity contract).
+        let mating: f64 = log.records.iter().map(|r| r.timings.mating_s).sum();
+        let evaluation: f64 = log.records.iter().map(|r| r.timings.evaluation_s).sum();
+        let sorting: f64 = log.records.iter().map(|r| r.timings.sorting_s).sum();
+        assert!(mating > 0.0, "mating untimed");
+        assert!(evaluation > 0.0, "evaluation untimed");
+        assert!(sorting > 0.0, "sorting untimed");
+        assert!(log.records.iter().all(|r| r.hypervolume.is_some()));
+
+        // And observation must not perturb the trajectory.
+        let bare = spea2_observed(&problem, cfg, vec![], 13, &[], |_, _| {}, &mut NullObserver);
+        let pa: Vec<Objectives> = bare.iter().map(|i| i.objectives).collect();
+        let pb: Vec<Objectives> = observed.iter().map(|i| i.objectives).collect();
         assert_eq!(pa, pb);
     }
 

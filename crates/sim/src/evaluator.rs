@@ -9,6 +9,34 @@ use crate::Result;
 use hetsched_data::HcSystem;
 use hetsched_workload::Trace;
 
+/// Process-wide evaluation accounting, compiled only under the
+/// `eval-counters` feature. Unlike the per-instance counter below (which
+/// an observer cannot reach once the evaluator is buried inside an
+/// engine), this total is readable from anywhere — the telemetry
+/// registry routes it into its snapshots.
+#[cfg(feature = "eval-counters")]
+pub mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+    /// Adds `n` evaluations to the process-wide total.
+    pub fn add(n: u64) {
+        TOTAL.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The process-wide total of `Evaluator::evaluate` calls.
+    pub fn total() -> u64 {
+        TOTAL.load(Ordering::Relaxed)
+    }
+
+    /// Resets the total (tests only — the counter is process-global, so
+    /// concurrent tests should assert on deltas instead).
+    pub fn reset() {
+        TOTAL.store(0, Ordering::Relaxed);
+    }
+}
+
 /// The objective values of one allocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Outcome {
@@ -122,6 +150,7 @@ impl<'a> Evaluator<'a> {
         #[cfg(feature = "eval-counters")]
         {
             self.evaluations += 1;
+            counters::add(1);
         }
         let tasks = self.trace.tasks();
 
@@ -349,11 +378,15 @@ mod tests {
         let (sys, trace) = setup(10);
         let mut ev = Evaluator::new(&sys, &trace);
         assert_eq!(ev.evaluations(), 0);
+        let global_before = counters::total();
         let alloc = Allocation::with_arrival_order(vec![MachineId(0); 10]);
         for _ in 0..7 {
             ev.evaluate(&alloc);
         }
         assert_eq!(ev.evaluations(), 7);
+        // The process-wide total advanced by at least this instance's
+        // calls (other tests may run concurrently).
+        assert!(counters::total() >= global_before + 7);
         let clone = ev.clone();
         assert_eq!(clone.evaluations(), 7);
         ev.reset_evaluations();

@@ -21,6 +21,8 @@ pub mod online;
 pub use allocation::Allocation;
 pub use detail::{DetailedOutcome, TaskRecord};
 pub use dvfs::{DvfsAllocation, DvfsTable, PState};
+#[cfg(feature = "eval-counters")]
+pub use evaluator::counters as eval_counters;
 pub use evaluator::{Evaluator, Outcome};
 pub use events::evaluate_event_driven;
 pub use gantt::render_gantt;
