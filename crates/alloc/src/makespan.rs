@@ -103,6 +103,7 @@ impl<'a> MakespanProblem<'a> {
 impl<'a> Problem for MakespanProblem<'a> {
     type Genome = BagAssignment;
     type Evaluator = MakespanEvaluator;
+    type Move = ();
 
     fn evaluator(&self) -> MakespanEvaluator {
         MakespanEvaluator {

@@ -2,10 +2,27 @@
 //! to the [`hetsched_moea::Problem`] interface.
 
 use hetsched_data::{HcSystem, MachineId};
-use hetsched_moea::{Objectives, Problem};
-use hetsched_sim::{Allocation, Evaluator};
+use hetsched_moea::{Objectives, Problem, Variation};
+use hetsched_sim::{Allocation, Evaluator, TaskMove};
 use hetsched_workload::Trace;
 use rand::{Rng, RngCore};
+
+/// The exact base→child diff as a [`TaskMove`] list: one move per gene
+/// where the two allocations disagree, carrying the child's (absolute)
+/// machine and order values. Empty iff the allocations are identical.
+fn diff_moves(base: &Allocation, child: &Allocation) -> Vec<TaskMove> {
+    let mut moves = Vec::new();
+    for i in 0..child.len() {
+        if base.machine[i] != child.machine[i] || base.order[i] != child.order[i] {
+            moves.push(TaskMove {
+                task: i as u32,
+                machine: child.machine[i],
+                order: child.order[i],
+            });
+        }
+    }
+    moves
+}
 
 /// The bi-objective utility/energy scheduling problem over one system and
 /// trace.
@@ -57,6 +74,7 @@ impl<'a> AllocationProblem<'a> {
 impl<'a> Problem for AllocationProblem<'a> {
     type Genome = Allocation;
     type Evaluator = Evaluator<'a>;
+    type Move = TaskMove;
 
     fn evaluator(&self) -> Evaluator<'a> {
         Evaluator::new(self.system, self.trace)
@@ -111,6 +129,73 @@ impl<'a> Problem for AllocationProblem<'a> {
         // Swap the global scheduling order of two random genes.
         let other = rng.gen_range(0..n);
         genome.order.swap(g, other);
+    }
+
+    fn crossover_tracked(
+        &self,
+        rng: &mut dyn RngCore,
+        a: &Allocation,
+        b: &Allocation,
+    ) -> (
+        (Allocation, Variation<TaskMove>),
+        (Allocation, Variation<TaskMove>),
+    ) {
+        // Identical RNG draws to `crossover` (it is called directly), then
+        // each child is diffed against its base parent. Genes outside the
+        // swapped range are untouched, and genes inside it where the
+        // parents agree produce no move — so two identical parents yield
+        // empty move lists and the engines skip both evaluations.
+        let (c, d) = self.crossover(rng, a, b);
+        let vc = Variation::Moves(diff_moves(a, &c));
+        let vd = Variation::Moves(diff_moves(b, &d));
+        ((c, vc), (d, vd))
+    }
+
+    fn mutate_tracked(
+        &self,
+        rng: &mut dyn RngCore,
+        genome: &mut Allocation,
+        variation: &mut Variation<TaskMove>,
+    ) {
+        // Same three draws as `mutate`, with the edits appended to the
+        // child's move list (absolute post-mutation values, so re-moving a
+        // task the crossover already moved stays correct).
+        let n = self.trace.len();
+        let g = rng.gen_range(0..n);
+        let options = self.feasible[g];
+        genome.machine[g] = options[rng.gen_range(0..options.len())];
+        let other = rng.gen_range(0..n);
+        genome.order.swap(g, other);
+        if let Variation::Moves(moves) = variation {
+            moves.push(TaskMove {
+                task: g as u32,
+                machine: genome.machine[g],
+                order: genome.order[g],
+            });
+            if other != g {
+                moves.push(TaskMove {
+                    task: other as u32,
+                    machine: genome.machine[other],
+                    order: genome.order[other],
+                });
+            }
+        }
+    }
+
+    /// Incremental evaluation through the simulator's schedule cache; with
+    /// the `delta-eval` feature disabled this method is not compiled and
+    /// the trait default (full re-evaluation) applies — the bisection
+    /// switch for any suspected divergence.
+    #[cfg(feature = "delta-eval")]
+    fn evaluate_moves(
+        &self,
+        ev: &mut Evaluator<'a>,
+        base: &Allocation,
+        child: &Allocation,
+        moves: &[TaskMove],
+    ) -> Objectives {
+        let outcome = ev.evaluate_delta(base, child, moves);
+        [-outcome.utility, outcome.energy]
     }
 }
 

@@ -1,0 +1,81 @@
+//! Redundant-evaluation skip accounting (`eval-counters`).
+//!
+//! When crossover produces a child bit-identical to its base parent, the
+//! tracked operators report an *empty* move list and the engines reuse the
+//! parent's objectives instead of calling the evaluator at all. The
+//! process-wide counter (`hetsched_sim::eval_counters`) counts only
+//! evaluations that reach an `Evaluator` — full and delta alike — so the
+//! skip shows up as a counter that does not move.
+//!
+//! This lives in its own integration-test binary (its own process) because
+//! the counters are process-global: sharing a process with unrelated tests
+//! would race the deltas asserted here.
+
+#![cfg(feature = "eval-counters")]
+
+use hetsched_alloc::AllocationProblem;
+use hetsched_data::real_system;
+use hetsched_moea::{Nsga2, Nsga2Config, Problem};
+use hetsched_sim::eval_counters;
+use hetsched_workload::TraceGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One test fn covering both runs: two `#[test]`s would run concurrently
+/// in this process and race the global counter.
+#[test]
+fn identical_offspring_skip_evaluation() {
+    let sys = real_system();
+    let trace = TraceGenerator::new(16, 600.0, sys.task_type_count())
+        .generate(&mut StdRng::seed_from_u64(3))
+        .unwrap();
+    let problem = AllocationProblem::new(&sys, &trace);
+    let config = Nsga2Config {
+        population: 8,
+        mutation_rate: 0.0,
+        generations: 10,
+        parallel: false,
+        hv_reference: None,
+        ..Default::default()
+    };
+    let engine = Nsga2::new(&problem, config);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Clone-seeded population, mutation off: every crossover child is a
+    // bit-identical copy of its base parent, so only the 8 initial
+    // evaluations ever reach the evaluator — 80 offspring evaluations are
+    // skipped outright.
+    let seed_genome = problem.random_genome(&mut rng);
+    let before = eval_counters::total();
+    engine.run(vec![seed_genome; 8], 7);
+    let clone_run = eval_counters::total() - before;
+    assert_eq!(
+        clone_run, 8,
+        "clone-seeded run must evaluate the initial population only"
+    );
+
+    // Contrast: a diverse random population. Most offspring genuinely
+    // differ from their base parent and must be evaluated (8 initial +
+    // up to 8 x 10 offspring; self-mating still produces a few skips).
+    let seeds = (0..8).map(|_| problem.random_genome(&mut rng)).collect();
+    let before = eval_counters::total();
+    let hits_before = eval_counters::delta_hits();
+    engine.run(seeds, 7);
+    let diverse_run = eval_counters::total() - before;
+    assert!(
+        diverse_run > 4 * clone_run && diverse_run <= 88,
+        "diverse run should evaluate most offspring (got {diverse_run}, clone run {clone_run})"
+    );
+
+    // With the fast path enabled, some of those evaluations are served
+    // incrementally from pooled parent schedules.
+    let delta_hits = eval_counters::delta_hits() - hits_before;
+    if cfg!(feature = "delta-eval") {
+        assert!(
+            delta_hits > 0,
+            "delta-eval runs should hit the schedule-cache pool"
+        );
+    } else {
+        assert_eq!(delta_hits, 0, "no delta hits without the fast path");
+    }
+}

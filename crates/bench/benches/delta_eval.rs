@@ -1,0 +1,119 @@
+//! Incremental (delta) evaluation vs full re-evaluation on mutation-heavy
+//! workloads — the benchmark behind README § Performance.
+//!
+//! Models the engines' hot loop at population 100: each step picks one
+//! individual, applies a two-gene mutation (the allocation problem's
+//! mutation operator touches at most two tasks), and needs the mutant's
+//! objectives. The `full` arm re-runs the reference evaluator on the
+//! mutated genome (sort + full schedule walk); the `delta` arm asks the
+//! individual's persistent [`DeltaEval`] schedule cache to apply just the
+//! two moves. Both arms consume the *same* pre-generated move stream, so
+//! they score identical work.
+//!
+//! Run: `cargo bench -p hetsched-bench --bench delta_eval`
+//! Smoke: `cargo bench -p hetsched-bench -- --test`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsched_data::{real_system, HcSystem, MachineId, MachineInventory};
+use hetsched_sim::{Allocation, DeltaEval, Evaluator, TaskMove};
+use hetsched_workload::{Trace, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const POPULATION: usize = 100;
+const TASKS: usize = 400;
+
+fn random_genome(rng: &mut StdRng, system: &HcSystem, tasks: usize) -> Allocation {
+    Allocation {
+        machine: (0..tasks)
+            .map(|_| MachineId(rng.gen_range(0..system.machine_count() as u32)))
+            .collect(),
+        order: (0..tasks).map(|_| rng.gen_range(0..10_000u32)).collect(),
+    }
+}
+
+/// Pre-generated mutation stream: (individual, two task moves), mirroring
+/// the allocation problem's mutation operator (reassign one task, swap
+/// order keys with another).
+fn move_stream(
+    rng: &mut StdRng,
+    system: &HcSystem,
+    tasks: usize,
+    len: usize,
+) -> Vec<(usize, [TaskMove; 2])> {
+    (0..len)
+        .map(|_| {
+            let individual = rng.gen_range(0..POPULATION);
+            let moves = [
+                TaskMove {
+                    task: rng.gen_range(0..tasks as u32),
+                    machine: MachineId(rng.gen_range(0..system.machine_count() as u32)),
+                    order: rng.gen_range(0..10_000u32),
+                },
+                TaskMove {
+                    task: rng.gen_range(0..tasks as u32),
+                    machine: MachineId(rng.gen_range(0..system.machine_count() as u32)),
+                    order: rng.gen_range(0..10_000u32),
+                },
+            ];
+            (individual, moves)
+        })
+        .collect()
+}
+
+fn apply(genome: &mut Allocation, moves: &[TaskMove]) {
+    for mv in moves {
+        genome.machine[mv.task as usize] = mv.machine;
+        genome.order[mv.task as usize] = mv.order;
+    }
+}
+
+fn bench_system(c: &mut Criterion, label: &str, sys: &HcSystem, trace: &Trace) {
+    let mut rng = StdRng::seed_from_u64(33);
+    let genomes: Vec<Allocation> = (0..POPULATION)
+        .map(|_| random_genome(&mut rng, sys, trace.len()))
+        .collect();
+    let stream = move_stream(&mut rng, sys, trace.len(), 4096);
+
+    let mut group = c.benchmark_group(format!("delta_eval/{label}"));
+    group.bench_function("full", |b| {
+        let mut population = genomes.clone();
+        let mut ev = Evaluator::new(sys, trace);
+        let mut k = 0usize;
+        b.iter(|| {
+            let (i, moves) = &stream[k % stream.len()];
+            k += 1;
+            apply(&mut population[*i], moves);
+            ev.evaluate(&population[*i])
+        });
+    });
+    group.bench_function("delta", |b| {
+        let mut population: Vec<DeltaEval> = genomes
+            .iter()
+            .map(|g| DeltaEval::new(sys, trace, g))
+            .collect();
+        let mut k = 0usize;
+        b.iter(|| {
+            let (i, moves) = &stream[k % stream.len()];
+            k += 1;
+            population[*i].apply_moves(moves)
+        });
+    });
+    group.finish();
+}
+
+fn bench_delta_eval(c: &mut Criterion) {
+    let real = real_system();
+    let synthetic = real
+        .with_inventory(MachineInventory::from_counts(vec![6, 6, 6, 6, 6, 5, 5, 5, 5]).unwrap())
+        .unwrap();
+    for (label, sys) in [("real-9x5", &real), ("synthetic-50", &synthetic)] {
+        let trace = TraceGenerator::new(TASKS, 600.0, sys.task_type_count())
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        bench_system(c, label, sys, &trace);
+    }
+}
+
+criterion_group!(benches, bench_delta_eval);
+criterion_main!(benches);

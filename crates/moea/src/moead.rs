@@ -19,7 +19,7 @@
 use crate::dominance::Objectives;
 use crate::nsga2::Individual;
 use crate::observe::{lap, GenerationStats, NullObserver, Observer, PhaseTimings};
-use crate::problem::Problem;
+use crate::problem::{Problem, Variation};
 use crate::sort::fast_nondominated_sort;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -183,13 +183,21 @@ pub fn moead_observed<P: Problem, O: Observer<P::Genome>>(
             let hood = neighbourhood(i);
             let a = rng.gen_range(hood.clone());
             let b = rng.gen_range(hood.clone());
-            let (mut child, _) =
-                problem.crossover(&mut rng, &population[a].genome, &population[b].genome);
+            // The first tracked child's base is the first parent, so its
+            // variation is relative to `population[a]`.
+            let ((mut child, mut variation), _) =
+                problem.crossover_tracked(&mut rng, &population[a].genome, &population[b].genome);
             if rng.gen::<f64>() < config.mutation_rate {
-                problem.mutate(&mut rng, &mut child);
+                problem.mutate_tracked(&mut rng, &mut child, &mut variation);
             }
             let mark = lap(&mut timings.mating_s, mark);
-            let objectives = problem.evaluate(&mut ev, &child);
+            let objectives = match &variation {
+                Variation::Moves(moves) if moves.is_empty() => population[a].objectives,
+                Variation::Moves(moves) => {
+                    problem.evaluate_moves(&mut ev, &population[a].genome, &child, moves)
+                }
+                Variation::Unknown => problem.evaluate(&mut ev, &child),
+            };
             let mark = lap(&mut timings.evaluation_s, mark);
             ideal[0] = ideal[0].min(objectives[0]);
             ideal[1] = ideal[1].min(objectives[1]);

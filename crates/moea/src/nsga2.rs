@@ -2,7 +2,7 @@
 
 use crate::dominance::Objectives;
 use crate::observe::{GenerationStats, NullObserver, Observer, PhaseTimings};
-use crate::problem::Problem;
+use crate::problem::{Problem, Variation};
 use crate::sort::{crowding_distance, fast_nondominated_sort};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -121,7 +121,16 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         &self.config
     }
 
-    fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
+    /// Fully evaluates a batch of genomes. The serial path reuses the
+    /// long-lived evaluator in `slot` (created on first use) so evaluator
+    /// state — scratch buffers, the delta schedule pool — survives across
+    /// generations; evaluation is a pure function of the genome, so
+    /// persistence cannot change any result.
+    fn evaluate_all(
+        &self,
+        genomes: Vec<P::Genome>,
+        slot: &mut Option<P::Evaluator>,
+    ) -> Vec<Individual<P::Genome>> {
         if self.config.parallel {
             genomes
                 .into_par_iter()
@@ -134,14 +143,59 @@ impl<'a, P: Problem> Nsga2<'a, P> {
                 )
                 .collect()
         } else {
-            let mut ev = self.problem.evaluator();
-            genomes
-                .into_iter()
-                .map(|genome| {
-                    let objectives = self.problem.evaluate(ev_ref(&mut ev), &genome);
-                    Individual { genome, objectives }
-                })
+            let ev = slot.get_or_insert_with(|| self.problem.evaluator());
+            let mut out = Vec::with_capacity(genomes.len());
+            for genome in genomes {
+                let objectives = self.problem.evaluate(ev, &genome);
+                out.push(Individual { genome, objectives });
+            }
+            out
+        }
+    }
+
+    /// Evaluates one offspring given its base parent and tracked
+    /// variation: a certified no-op reuses the base objectives without
+    /// touching the evaluator, a tracked move set takes the problem's
+    /// incremental path, and an untracked child is fully evaluated.
+    fn evaluate_offspring_one(
+        &self,
+        ev: &mut P::Evaluator,
+        parents: &[Individual<P::Genome>],
+        (genome, base, variation): (P::Genome, usize, Variation<P::Move>),
+    ) -> Individual<P::Genome> {
+        let objectives = match &variation {
+            Variation::Moves(moves) if moves.is_empty() => parents[base].objectives,
+            Variation::Moves(moves) => {
+                self.problem
+                    .evaluate_moves(ev, &parents[base].genome, &genome, moves)
+            }
+            Variation::Unknown => self.problem.evaluate(ev, &genome),
+        };
+        Individual { genome, objectives }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn evaluate_offspring(
+        &self,
+        parents: &[Individual<P::Genome>],
+        offspring: Vec<(P::Genome, usize, Variation<P::Move>)>,
+        slot: &mut Option<P::Evaluator>,
+    ) -> Vec<Individual<P::Genome>> {
+        if self.config.parallel {
+            offspring
+                .into_par_iter()
+                .map_init(
+                    || self.problem.evaluator(),
+                    |ev, item| self.evaluate_offspring_one(ev, parents, item),
+                )
                 .collect()
+        } else {
+            let ev = slot.get_or_insert_with(|| self.problem.evaluator());
+            let mut out = Vec::with_capacity(offspring.len());
+            for item in offspring {
+                out.push(self.evaluate_offspring_one(ev, parents, item));
+            }
+            out
         }
     }
 
@@ -153,13 +207,14 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         &self,
         seeds: Vec<P::Genome>,
         rng: &mut StdRng,
+        slot: &mut Option<P::Evaluator>,
     ) -> Vec<Individual<P::Genome>> {
         let n = self.config.population;
         let mut genomes: Vec<P::Genome> = seeds.into_iter().take(n).collect();
         while genomes.len() < n {
             genomes.push(self.problem.random_genome(rng));
         }
-        self.evaluate_all(genomes)
+        self.evaluate_all(genomes, slot)
     }
 
     /// One generation: create N offspring by N/2 uniform-random crossovers,
@@ -174,6 +229,7 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         parents: Vec<Individual<P::Genome>>,
         rng: &mut StdRng,
         mut probe: Option<&mut StepProbe>,
+        slot: &mut Option<P::Evaluator>,
     ) -> Vec<Individual<P::Genome>> {
         let mut mark = probe.as_ref().map(|_| Instant::now());
         // Records the elapsed time since the last phase boundary and resets
@@ -218,28 +274,32 @@ impl<'a, P: Problem> Nsga2<'a, P> {
                 }
             }
         };
-        let mut offspring_genomes = Vec::with_capacity(n + 1);
-        while offspring_genomes.len() < n {
+        // Offspring carry their base parent's index plus the tracked
+        // variation so evaluation can go incremental (or be skipped for
+        // certified-identical children).
+        let mut offspring: Vec<(P::Genome, usize, Variation<P::Move>)> = Vec::with_capacity(n + 1);
+        while offspring.len() < n {
             let i = pick(rng);
             let j = pick(rng);
-            let (a, b) = self
-                .problem
-                .crossover(rng, &parents[i].genome, &parents[j].genome);
-            offspring_genomes.push(a);
-            offspring_genomes.push(b);
+            let ((a, va), (b, vb)) =
+                self.problem
+                    .crossover_tracked(rng, &parents[i].genome, &parents[j].genome);
+            offspring.push((a, i, va));
+            offspring.push((b, j, vb));
         }
-        offspring_genomes.truncate(n);
-        for genome in &mut offspring_genomes {
+        offspring.truncate(n);
+        for (genome, _, variation) in &mut offspring {
             if rng.gen::<f64>() < self.config.mutation_rate {
-                self.problem.mutate(rng, genome);
+                self.problem.mutate_tracked(rng, genome, variation);
             }
         }
         if let Some(p) = probe.as_mut() {
-            p.evaluations += offspring_genomes.len();
+            p.evaluations += offspring.len();
         }
         lap(|t| &mut t.mating_s, &mut probe);
+        let offspring = self.evaluate_offspring(&parents, offspring, slot);
         let mut meta = parents;
-        meta.extend(self.evaluate_all(offspring_genomes));
+        meta.extend(offspring);
         lap(|t| &mut t.evaluation_s, &mut probe);
 
         // Survival: fronts in order, crowding truncation on the last one.
@@ -322,7 +382,10 @@ impl<'a, P: Problem> Nsga2<'a, P> {
             "snapshots must ascend"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut population = self.initial_population(seeds, &mut rng);
+        // The serial evaluator lives for the whole run (parallel runs give
+        // each rayon worker a fresh one per batch instead).
+        let mut slot: Option<P::Evaluator> = None;
+        let mut population = self.initial_population(seeds, &mut rng, &mut slot);
         let mut next_snapshot = 0usize;
         let mut stagnant = 0usize;
         let mut best = best_corner(&population);
@@ -332,7 +395,7 @@ impl<'a, P: Problem> Nsga2<'a, P> {
             } else {
                 None
             };
-            population = self.step(population, &mut rng, probe.as_mut());
+            population = self.step(population, &mut rng, probe.as_mut(), &mut slot);
             if let Some(probe) = probe {
                 let stats = GenerationStats::compute(
                     generation,
@@ -400,13 +463,6 @@ fn best_corner<G>(population: &[Individual<G>]) -> [f64; 2] {
         corner[1] = corner[1].min(ind.objectives[1]);
     }
     corner
-}
-
-// Helper so the serial path can reborrow the evaluator without moving it
-// into the closure (keeps the two paths symmetric).
-#[inline]
-fn ev_ref<E>(ev: &mut E) -> &mut E {
-    ev
 }
 
 /// Extracts the rank-1 (nondominated) members of a population.
@@ -690,6 +746,7 @@ mod tests {
     impl Problem for Creep {
         type Genome = f64;
         type Evaluator = ();
+        type Move = ();
 
         fn evaluator(&self) {}
 

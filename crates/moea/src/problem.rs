@@ -3,17 +3,55 @@
 use crate::dominance::Objectives;
 use rand::RngCore;
 
+/// What a variation operator reports about the child it produced, enabling
+/// incremental (delta) evaluation downstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Variation<M> {
+    /// The operator did not track its edits; the child must be evaluated
+    /// from scratch.
+    Unknown,
+    /// The child equals its base genome with exactly these moves applied,
+    /// left to right. An **empty** list certifies the child bit-identical
+    /// to its base, so engines skip evaluation entirely and reuse the
+    /// base's objectives.
+    Moves(Vec<M>),
+}
+
+impl<M> Variation<M> {
+    /// Whether this variation certifies the child identical to its base.
+    pub fn is_noop(&self) -> bool {
+        matches!(self, Variation::Moves(moves) if moves.is_empty())
+    }
+}
+
 /// A bi-objective optimisation problem with genetic operators.
 ///
 /// Evaluation is split into a per-thread [`Problem::Evaluator`] so the
 /// engine can evaluate populations in parallel while each worker reuses its
 /// own scratch buffers (the scheduling evaluator sorts a sequence buffer
 /// and tracks machine-free times; sharing those across threads would race).
+///
+/// # Tracked variation (incremental evaluation)
+///
+/// Engines call the `*_tracked` operator variants, which additionally
+/// return a [`Variation`]: the move set the operator applied to turn the
+/// base parent into the child. Problems that can evaluate a child
+/// incrementally from its base override [`Problem::evaluate_moves`]; the
+/// defaults keep every existing problem working unchanged (operators
+/// report [`Variation::Unknown`], `evaluate_moves` falls back to a full
+/// [`Problem::evaluate`]).
+///
+/// **Contract:** a tracked operator must draw from the RNG exactly as its
+/// untracked counterpart (so trajectories are independent of tracking),
+/// and `Moves(v)` must mean "child = base with `v` applied" *exactly* —
+/// engines trust an empty `v` enough to skip evaluation.
 pub trait Problem: Sync {
     /// A candidate solution (the chromosome).
     type Genome: Clone + Send + Sync;
     /// Per-thread evaluation context.
     type Evaluator: Send;
+    /// One tracked edit of a variation operator (`()` when untracked).
+    type Move: Send;
 
     /// Creates a fresh evaluation context.
     fn evaluator(&self) -> Self::Evaluator;
@@ -34,6 +72,51 @@ pub trait Problem: Sync {
 
     /// Mutates a genome in place.
     fn mutate(&self, rng: &mut dyn RngCore, genome: &mut Self::Genome);
+
+    /// As [`Problem::crossover`], additionally reporting each child's
+    /// [`Variation`] relative to its base parent (first child ↔ `a`,
+    /// second child ↔ `b`).
+    #[allow(clippy::type_complexity)]
+    fn crossover_tracked(
+        &self,
+        rng: &mut dyn RngCore,
+        a: &Self::Genome,
+        b: &Self::Genome,
+    ) -> (
+        (Self::Genome, Variation<Self::Move>),
+        (Self::Genome, Variation<Self::Move>),
+    ) {
+        let (c, d) = self.crossover(rng, a, b);
+        ((c, Variation::Unknown), (d, Variation::Unknown))
+    }
+
+    /// As [`Problem::mutate`], updating the genome's accumulated
+    /// [`Variation`] to cover the mutation's edits (or degrading it to
+    /// [`Variation::Unknown`] when the operator cannot track them).
+    fn mutate_tracked(
+        &self,
+        rng: &mut dyn RngCore,
+        genome: &mut Self::Genome,
+        variation: &mut Variation<Self::Move>,
+    ) {
+        self.mutate(rng, genome);
+        *variation = Variation::Unknown;
+    }
+
+    /// Evaluates `child` given that it equals `base` with `moves` applied.
+    /// The default ignores the moves and fully evaluates; problems with an
+    /// incremental evaluator override this. Must return exactly what
+    /// `evaluate(ev, child)` would.
+    fn evaluate_moves(
+        &self,
+        ev: &mut Self::Evaluator,
+        base: &Self::Genome,
+        child: &Self::Genome,
+        moves: &[Self::Move],
+    ) -> Objectives {
+        let _ = (base, moves);
+        self.evaluate(ev, child)
+    }
 }
 
 /// Schaffer's single-variable problem (SCH): minimise `(x², (x−2)²)`.
@@ -59,6 +142,7 @@ impl Default for Schaffer {
 impl Problem for Schaffer {
     type Genome = f64;
     type Evaluator = ();
+    type Move = ();
 
     fn evaluator(&self) {}
 
@@ -103,6 +187,7 @@ impl Default for Zdt1 {
 impl Problem for Zdt1 {
     type Genome = Vec<f64>;
     type Evaluator = ();
+    type Move = ();
 
     fn evaluator(&self) {}
 

@@ -13,7 +13,7 @@
 use crate::dominance::{dominates, Objectives};
 use crate::nsga2::Individual;
 use crate::observe::{lap, GenerationStats, NullObserver, Observer, PhaseTimings};
-use crate::problem::Problem;
+use crate::problem::{Problem, Variation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -153,22 +153,31 @@ pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
                 }
             };
             let (i, j) = (pick(&mut rng), pick(&mut rng));
-            let (mut a, mut b) =
-                problem.crossover(&mut rng, &archive[i].genome, &archive[j].genome);
+            let ((mut a, mut va), (mut b, mut vb)) =
+                problem.crossover_tracked(&mut rng, &archive[i].genome, &archive[j].genome);
             if rng.gen::<f64>() < config.mutation_rate {
-                problem.mutate(&mut rng, &mut a);
+                problem.mutate_tracked(&mut rng, &mut a, &mut va);
             }
             if rng.gen::<f64>() < config.mutation_rate {
-                problem.mutate(&mut rng, &mut b);
+                problem.mutate_tracked(&mut rng, &mut b, &mut vb);
             }
-            offspring.push(a);
-            offspring.push(b);
+            offspring.push((a, i, va));
+            offspring.push((b, j, vb));
         }
         offspring.truncate(config.population);
         let mark = lap(&mut timings.mating_s, mark);
         population = offspring
             .into_iter()
-            .map(|g| evaluate(g, &mut ev))
+            .map(|(genome, base, variation)| {
+                let objectives = match &variation {
+                    Variation::Moves(moves) if moves.is_empty() => archive[base].objectives,
+                    Variation::Moves(moves) => {
+                        problem.evaluate_moves(&mut ev, &archive[base].genome, &genome, moves)
+                    }
+                    Variation::Unknown => problem.evaluate(&mut ev, &genome),
+                };
+                Individual { genome, objectives }
+            })
             .collect();
         lap(&mut timings.evaluation_s, mark);
         if observing {

@@ -1,0 +1,526 @@
+//! Incremental (delta) evaluation: recompute only the machines touched by
+//! a variation instead of re-simulating the whole allocation.
+//!
+//! Machine queues are independent under the paper's semantics — a task's
+//! start time depends only on its arrival and the previous finish time on
+//! *its own* machine — so the two objectives decompose into per-machine
+//! subtotals:
+//!
+//! ```text
+//! U = Σ_m U_m     E = Σ_m E_m     makespan = max_m last_finish_m
+//! ```
+//!
+//! [`ScheduleCache`] materialises that decomposition for one genome:
+//! per-machine task queues (in execution order), per-task finish times, and
+//! per-machine *prefix sums* of utility and energy. A [`TaskMove`] — one
+//! gene rewrite — invalidates only a suffix of at most two queues, so
+//! applying a typical mutation costs O(touched-queue tails) instead of
+//! O(tasks · log tasks).
+//!
+//! # Bit-identity contract
+//!
+//! The cache reproduces [`crate::Evaluator::evaluate`] **bit for bit**, not
+//! approximately, because both sides perform the exact same floating-point
+//! operations in the exact same order:
+//!
+//! * per machine, utility/energy are accumulated as a left fold in queue
+//!   order (the reference evaluator's global walk visits each machine's
+//!   queue members in that same order and folds into per-machine
+//!   accumulators);
+//! * the cross-machine totals are summed in ascending machine index, the
+//!   same loop the reference evaluator runs.
+//!
+//! The property suite in `tests/` asserts this equality with `total_cmp`
+//! on arbitrary genomes and move sequences.
+
+use crate::allocation::Allocation;
+use crate::evaluator::Outcome;
+use hetsched_data::{HcSystem, MachineId};
+use hetsched_workload::Trace;
+
+/// One gene rewrite: task `task` now runs on `machine` with global
+/// scheduling-order key `order` (absolute new values, not deltas).
+///
+/// A sequence of moves is applied left to right; a later move for the same
+/// task overrides an earlier one. The variation operators emit the exact
+/// base→child diff as a move list so the evaluator can take the
+/// incremental path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskMove {
+    /// Index of the rewritten task (gene) in the trace.
+    pub task: u32,
+    /// The task's new machine assignment.
+    pub machine: MachineId,
+    /// The task's new global scheduling-order key.
+    pub order: u32,
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn gene_hash(task: usize, machine: MachineId, order: u32) -> u64 {
+    splitmix64(splitmix64((task as u64) << 32 | machine.index() as u64) ^ order as u64)
+}
+
+/// Order-independent fingerprint of a genome (XOR of per-gene hashes), used
+/// as a cheap prefilter before full equality when looking up cached
+/// schedules. Collisions are harmless — lookups always confirm with `==`.
+pub fn genome_fingerprint(genome: &Allocation) -> u64 {
+    genome
+        .machine
+        .iter()
+        .zip(&genome.order)
+        .enumerate()
+        .fold(0u64, |acc, (i, (&m, &o))| acc ^ gene_hash(i, m, o))
+}
+
+/// A decomposed schedule for one genome: per-machine queues, finish times,
+/// and utility/energy prefix sums, kept consistent under [`TaskMove`]
+/// application.
+#[derive(Debug, Clone)]
+pub struct ScheduleCache {
+    /// The genome this cache currently describes.
+    baseline: Allocation,
+    /// [`genome_fingerprint`] of `baseline`, updated incrementally.
+    fingerprint: u64,
+    /// Task ids per machine, ascending (order key, task id).
+    queues: Vec<Vec<u32>>,
+    /// `finish[m][k]` = completion time of the k-th task on machine m.
+    queue_finish: Vec<Vec<f64>>,
+    /// `util_prefix[m][k]` = utility earned by the first k tasks on m
+    /// (length `queue + 1`, `[0]` always 0.0).
+    util_prefix: Vec<Vec<f64>>,
+    /// Energy analogue of `util_prefix`.
+    energy_prefix: Vec<Vec<f64>>,
+    /// First invalid queue position per machine; `usize::MAX` = clean.
+    dirty_from: Vec<usize>,
+    /// Machines with a pending recompute (scratch for `apply`).
+    dirty: Vec<u32>,
+}
+
+impl ScheduleCache {
+    /// Builds the cache for `genome` (one full evaluation's worth of work).
+    pub fn build(system: &HcSystem, trace: &Trace, genome: &Allocation) -> Self {
+        let mc = system.machine_count();
+        let mut cache = ScheduleCache {
+            baseline: Allocation {
+                machine: Vec::new(),
+                order: Vec::new(),
+            },
+            fingerprint: 0,
+            queues: vec![Vec::new(); mc],
+            queue_finish: vec![Vec::new(); mc],
+            util_prefix: vec![vec![0.0]; mc],
+            energy_prefix: vec![vec![0.0]; mc],
+            dirty_from: vec![usize::MAX; mc],
+            dirty: Vec::new(),
+        };
+        cache.rebuild(system, trace, genome);
+        cache
+    }
+
+    /// Re-targets the cache at a different genome, reusing its buffers.
+    /// Costs one full evaluation; `apply` afterwards is incremental.
+    pub fn rebuild(&mut self, system: &HcSystem, trace: &Trace, genome: &Allocation) {
+        debug_assert!(genome.validate(system, trace).is_ok());
+        debug_assert_eq!(self.queues.len(), system.machine_count());
+        self.baseline.clone_from(genome);
+        self.fingerprint = genome_fingerprint(genome);
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for (i, &m) in genome.machine.iter().enumerate() {
+            self.queues[m.index()].push(i as u32);
+        }
+        // Per-machine execution order = the machine's slice of the global
+        // sequence: ascending (order key, task id).
+        for q in &mut self.queues {
+            q.sort_unstable_by_key(|&i| (genome.order[i as usize], i));
+        }
+        for m in 0..self.queues.len() {
+            self.recompute(system, trace, m, 0);
+        }
+    }
+
+    /// Applies `moves` to the cached genome and returns the updated
+    /// objectives. Only queues touched by the moves are recomputed, from
+    /// the earliest edited position onward.
+    ///
+    /// Each move must name a task present in the cached baseline (any task
+    /// is, when the baseline covers the trace); debug builds assert the
+    /// queue bookkeeping stays consistent.
+    pub fn apply(&mut self, system: &HcSystem, trace: &Trace, moves: &[TaskMove]) -> Outcome {
+        debug_assert_eq!(self.queues.len(), system.machine_count());
+        for mv in moves {
+            let t = mv.task as usize;
+            let old_m = self.baseline.machine[t];
+            let old_o = self.baseline.order[t];
+            {
+                // Remove from the old queue: binary search on the (key, id)
+                // pair — unique per task, and every other queue member still
+                // carries its current key in `baseline.order`.
+                let order = &self.baseline.order;
+                let q = &mut self.queues[old_m.index()];
+                let pos = q.partition_point(|&u| (order[u as usize], u) < (old_o, mv.task));
+                debug_assert!(
+                    pos < q.len() && q[pos] == mv.task,
+                    "TaskMove does not match the cached baseline"
+                );
+                q.remove(pos);
+                mark_dirty(&mut self.dirty_from, &mut self.dirty, old_m.index(), pos);
+            }
+            self.fingerprint ^= gene_hash(t, old_m, old_o);
+            self.baseline.machine[t] = mv.machine;
+            self.baseline.order[t] = mv.order;
+            self.fingerprint ^= gene_hash(t, mv.machine, mv.order);
+            {
+                let order = &self.baseline.order;
+                let q = &mut self.queues[mv.machine.index()];
+                let pos = q.partition_point(|&u| (order[u as usize], u) < (mv.order, mv.task));
+                q.insert(pos, mv.task);
+                mark_dirty(
+                    &mut self.dirty_from,
+                    &mut self.dirty,
+                    mv.machine.index(),
+                    pos,
+                );
+            }
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        for &m in &dirty {
+            let from = self.dirty_from[m as usize];
+            self.dirty_from[m as usize] = usize::MAX;
+            self.recompute(system, trace, m as usize, from);
+        }
+        self.dirty = dirty;
+        self.dirty.clear();
+        self.outcome()
+    }
+
+    /// The objectives of the cached genome, summed across machines in
+    /// ascending machine index — the same loop the reference evaluator
+    /// runs, so the result is bit-identical to a full evaluation.
+    pub fn outcome(&self) -> Outcome {
+        let mut utility = 0.0;
+        let mut energy = 0.0;
+        let mut makespan = 0.0f64;
+        for m in 0..self.queues.len() {
+            utility += self.util_prefix[m].last().copied().unwrap_or(0.0);
+            energy += self.energy_prefix[m].last().copied().unwrap_or(0.0);
+            makespan = makespan.max(self.queue_finish[m].last().copied().unwrap_or(0.0));
+        }
+        Outcome {
+            utility,
+            energy,
+            makespan,
+        }
+    }
+
+    /// The genome this cache currently describes.
+    pub fn baseline(&self) -> &Allocation {
+        &self.baseline
+    }
+
+    /// The incrementally-maintained [`genome_fingerprint`] of the baseline.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Recomputes machine `m`'s finish times and prefix sums from queue
+    /// position `from`, resuming the left fold from the stored prefixes.
+    /// Prefix reuse is exact: `util_prefix[m][from]` *is* the fold of the
+    /// first `from` terms, so continuing from it performs the identical
+    /// addition sequence a from-scratch fold would.
+    fn recompute(&mut self, system: &HcSystem, trace: &Trace, m: usize, from: usize) {
+        let tasks = trace.tasks();
+        let machine = MachineId(m as u32);
+        let q = &self.queues[m];
+        let len = q.len();
+        let fin = &mut self.queue_finish[m];
+        let up = &mut self.util_prefix[m];
+        let ep = &mut self.energy_prefix[m];
+        fin.resize(len, 0.0);
+        up.resize(len + 1, 0.0);
+        ep.resize(len + 1, 0.0);
+        let from = from.min(len);
+        let mut free = if from == 0 { 0.0 } else { fin[from - 1] };
+        let mut utility = up[from];
+        let mut energy = ep[from];
+        for k in from..len {
+            let task = &tasks[q[k] as usize];
+            let exec = system.exec_time(task.task_type, machine);
+            let start = free.max(task.arrival);
+            let finish = start + exec;
+            free = finish;
+            utility += task.tuf.utility(finish - task.arrival);
+            energy += system.energy(task.task_type, machine);
+            fin[k] = finish;
+            up[k + 1] = utility;
+            ep[k + 1] = energy;
+        }
+    }
+}
+
+fn mark_dirty(dirty_from: &mut [usize], dirty: &mut Vec<u32>, m: usize, pos: usize) {
+    if dirty_from[m] == usize::MAX {
+        dirty.push(m as u32);
+        dirty_from[m] = pos;
+    } else if pos < dirty_from[m] {
+        dirty_from[m] = pos;
+    }
+}
+
+/// A [`ScheduleCache`] bound to one system and trace: the incremental
+/// counterpart of [`crate::Evaluator`].
+///
+/// ```
+/// use hetsched_data::{real_system, MachineId};
+/// use hetsched_sim::{Allocation, DeltaEval, Evaluator, TaskMove};
+/// use hetsched_workload::TraceGenerator;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let system = real_system();
+/// let trace = TraceGenerator::new(10, 900.0, system.task_type_count())
+///     .generate(&mut StdRng::seed_from_u64(1))
+///     .unwrap();
+/// let base = Allocation::with_arrival_order(vec![MachineId(0); 10]);
+/// let mut delta = DeltaEval::new(&system, &trace, &base);
+/// let mv = TaskMove { task: 3, machine: MachineId(5), order: base.order[3] };
+/// let fast = delta.apply(&base, &[mv]);
+///
+/// let mut child = base.clone();
+/// child.machine[3] = MachineId(5);
+/// let full = Evaluator::new(&system, &trace).evaluate(&child);
+/// assert!(fast.utility.total_cmp(&full.utility).is_eq());
+/// assert!(fast.energy.total_cmp(&full.energy).is_eq());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaEval<'a> {
+    system: &'a HcSystem,
+    trace: &'a Trace,
+    cache: ScheduleCache,
+}
+
+impl<'a> DeltaEval<'a> {
+    /// Builds the cache for `genome` (one full evaluation's worth of work).
+    pub fn new(system: &'a HcSystem, trace: &'a Trace, genome: &Allocation) -> Self {
+        DeltaEval {
+            system,
+            trace,
+            cache: ScheduleCache::build(system, trace, genome),
+        }
+    }
+
+    /// Re-targets the cache at `genome` (full recompute, buffers reused).
+    pub fn rebuild(&mut self, genome: &Allocation) {
+        self.cache.rebuild(self.system, self.trace, genome);
+    }
+
+    /// Evaluates `base` with `moves` applied. Incremental when `base` is
+    /// the currently cached genome (the common case: a parent varied into
+    /// a child); otherwise the cache is rebuilt at `base` first.
+    pub fn apply(&mut self, base: &Allocation, moves: &[TaskMove]) -> Outcome {
+        if self.cache.fingerprint() != genome_fingerprint(base) || self.cache.baseline() != base {
+            self.cache.rebuild(self.system, self.trace, base);
+        }
+        self.cache.apply(self.system, self.trace, moves)
+    }
+
+    /// Applies `moves` to the currently cached genome without any base
+    /// check — the zero-overhead path for callers that chain moves.
+    pub fn apply_moves(&mut self, moves: &[TaskMove]) -> Outcome {
+        self.cache.apply(self.system, self.trace, moves)
+    }
+
+    /// The objectives of the currently cached genome.
+    pub fn outcome(&self) -> Outcome {
+        self.cache.outcome()
+    }
+
+    /// The currently cached genome.
+    pub fn genome(&self) -> &Allocation {
+        self.cache.baseline()
+    }
+
+    /// The incrementally maintained fingerprint of the cached genome —
+    /// always equal to [`genome_fingerprint`]`(self.genome())`.
+    pub fn fingerprint(&self) -> u64 {
+        self.cache.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use hetsched_data::real_system;
+    use hetsched_workload::TraceGenerator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize) -> (HcSystem, Trace) {
+        let sys = real_system();
+        let trace = TraceGenerator::new(n, 900.0, sys.task_type_count())
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        (sys, trace)
+    }
+
+    fn assert_bit_identical(a: Outcome, b: Outcome) {
+        assert!(a.utility.total_cmp(&b.utility).is_eq(), "{a:?} vs {b:?}");
+        assert!(a.energy.total_cmp(&b.energy).is_eq(), "{a:?} vs {b:?}");
+        assert!(a.makespan.total_cmp(&b.makespan).is_eq(), "{a:?} vs {b:?}");
+    }
+
+    fn random_alloc(sys: &HcSystem, n: usize, rng: &mut StdRng) -> Allocation {
+        let machine = (0..n)
+            .map(|_| MachineId(rng.gen_range(0..sys.machine_count()) as u32))
+            .collect();
+        let order = (0..n).map(|_| rng.gen_range(0..n as u32 * 2)).collect();
+        Allocation { machine, order }
+    }
+
+    #[test]
+    fn build_matches_reference_evaluator() {
+        let (sys, trace) = setup(60);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let alloc = random_alloc(&sys, 60, &mut rng);
+            let cache = ScheduleCache::build(&sys, &trace, &alloc);
+            assert_bit_identical(cache.outcome(), ev.evaluate(&alloc));
+        }
+    }
+
+    #[test]
+    fn single_move_matches_full_reevaluation() {
+        let (sys, trace) = setup(40);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = random_alloc(&sys, 40, &mut rng);
+        let mut delta = DeltaEval::new(&sys, &trace, &base);
+        let mut current = base;
+        for _ in 0..200 {
+            let mv = TaskMove {
+                task: rng.gen_range(0..40u32),
+                machine: MachineId(rng.gen_range(0..sys.machine_count()) as u32),
+                order: rng.gen_range(0..100u32),
+            };
+            current.machine[mv.task as usize] = mv.machine;
+            current.order[mv.task as usize] = mv.order;
+            let fast = delta.apply_moves(&[mv]);
+            assert_bit_identical(fast, ev.evaluate(&current));
+            assert_eq!(delta.genome(), &current);
+        }
+    }
+
+    #[test]
+    fn batched_moves_match_full_reevaluation() {
+        let (sys, trace) = setup(50);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = random_alloc(&sys, 50, &mut rng);
+        let mut delta = DeltaEval::new(&sys, &trace, &base);
+        let mut current = base;
+        for _ in 0..50 {
+            let batch: Vec<TaskMove> = (0..rng.gen_range(1..6))
+                .map(|_| TaskMove {
+                    task: rng.gen_range(0..50u32),
+                    machine: MachineId(rng.gen_range(0..sys.machine_count()) as u32),
+                    order: rng.gen_range(0..200u32),
+                })
+                .collect();
+            for mv in &batch {
+                current.machine[mv.task as usize] = mv.machine;
+                current.order[mv.task as usize] = mv.order;
+            }
+            let fast = delta.apply_moves(&batch);
+            assert_bit_identical(fast, ev.evaluate(&current));
+        }
+    }
+
+    #[test]
+    fn noop_move_changes_nothing() {
+        let (sys, trace) = setup(20);
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = random_alloc(&sys, 20, &mut rng);
+        let mut delta = DeltaEval::new(&sys, &trace, &base);
+        let before = delta.outcome();
+        let mv = TaskMove {
+            task: 7,
+            machine: base.machine[7],
+            order: base.order[7],
+        };
+        let after = delta.apply_moves(&[mv]);
+        assert_bit_identical(before, after);
+        assert_eq!(delta.genome(), &base);
+    }
+
+    #[test]
+    fn fingerprint_tracks_incremental_edits() {
+        let (sys, trace) = setup(30);
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = random_alloc(&sys, 30, &mut rng);
+        let mut delta = DeltaEval::new(&sys, &trace, &base);
+        let mut current = base;
+        for _ in 0..50 {
+            let mv = TaskMove {
+                task: rng.gen_range(0..30u32),
+                machine: MachineId(rng.gen_range(0..sys.machine_count()) as u32),
+                order: rng.gen_range(0..60u32),
+            };
+            current.machine[mv.task as usize] = mv.machine;
+            current.order[mv.task as usize] = mv.order;
+            delta.apply_moves(&[mv]);
+        }
+        assert_eq!(delta.cache.fingerprint(), genome_fingerprint(&current));
+    }
+
+    #[test]
+    fn apply_rebuilds_on_unknown_base() {
+        let (sys, trace) = setup(25);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_alloc(&sys, 25, &mut rng);
+        let b = random_alloc(&sys, 25, &mut rng);
+        let mut delta = DeltaEval::new(&sys, &trace, &a);
+        // Different base: must rebuild, then still match the oracle.
+        let mv = TaskMove {
+            task: 0,
+            machine: b.machine[1],
+            order: 99,
+        };
+        let mut child = b.clone();
+        child.machine[0] = mv.machine;
+        child.order[0] = mv.order;
+        assert_bit_identical(delta.apply(&b, &[mv]), ev.evaluate(&child));
+    }
+
+    #[test]
+    fn all_tasks_on_one_machine_round_trip() {
+        let (sys, trace) = setup(15);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let base = Allocation::with_arrival_order(vec![MachineId(4); 15]);
+        let mut delta = DeltaEval::new(&sys, &trace, &base);
+        assert_bit_identical(delta.outcome(), ev.evaluate(&base));
+        // Move a task away and back: empties and refills queue positions.
+        let away = TaskMove {
+            task: 7,
+            machine: MachineId(0),
+            order: 7,
+        };
+        let back = TaskMove {
+            task: 7,
+            machine: MachineId(4),
+            order: 7,
+        };
+        delta.apply_moves(&[away]);
+        assert_bit_identical(delta.apply_moves(&[back]), ev.evaluate(&base));
+    }
+}

@@ -5,6 +5,8 @@
 //! performs no per-call allocation after warm-up.
 
 use crate::allocation::Allocation;
+#[cfg(feature = "delta-eval")]
+use crate::delta::{genome_fingerprint, ScheduleCache, TaskMove};
 use crate::Result;
 use hetsched_data::HcSystem;
 use hetsched_workload::Trace;
@@ -19,23 +21,49 @@ pub mod counters {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static TOTAL: AtomicU64 = AtomicU64::new(0);
+    static DELTA_HITS: AtomicU64 = AtomicU64::new(0);
 
     /// Adds `n` evaluations to the process-wide total.
     pub fn add(n: u64) {
         TOTAL.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// The process-wide total of `Evaluator::evaluate` calls.
+    /// The process-wide total of objective evaluations requested through
+    /// an `Evaluator` — full recomputations and incremental (delta)
+    /// updates alike. Evaluations *skipped* outright (an engine reusing a
+    /// parent's objectives for a bit-identical child) never reach the
+    /// evaluator and are therefore not counted; the drop is observable
+    /// here.
     pub fn total() -> u64 {
         TOTAL.load(Ordering::Relaxed)
     }
 
-    /// Resets the total (tests only — the counter is process-global, so
-    /// concurrent tests should assert on deltas instead).
+    /// Adds `n` delta-path cache hits to the process-wide total.
+    pub fn add_delta_hits(n: u64) {
+        DELTA_HITS.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The process-wide subset of [`total`] served by the incremental
+    /// path (`Evaluator::evaluate_delta` schedule-cache hits).
+    pub fn delta_hits() -> u64 {
+        DELTA_HITS.load(Ordering::Relaxed)
+    }
+
+    /// Resets the totals (tests only — the counters are process-global,
+    /// so concurrent tests should assert on deltas instead).
     pub fn reset() {
         TOTAL.store(0, Ordering::Relaxed);
+        DELTA_HITS.store(0, Ordering::Relaxed);
     }
 }
+
+/// Number of parent schedules the delta pool retains (LRU). Sized for a
+/// couple of generations of a population-100 run: large enough that every
+/// surviving parent's schedule is still cached when its offspring arrive,
+/// small enough that the linear fingerprint scan stays negligible next to
+/// one evaluation.
+#[cfg(feature = "delta-eval")]
+const DELTA_POOL_CAP: usize = 256;
 
 /// The objective values of one allocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,14 +106,27 @@ pub struct Evaluator<'a> {
     sequence: Vec<u32>,
     /// Scratch: next-free time per machine.
     machine_free: Vec<f64>,
+    /// Scratch: per-machine utility subtotals (see `evaluate` for why the
+    /// accumulation is decomposed per machine).
+    machine_util: Vec<f64>,
+    /// Scratch: per-machine energy subtotals.
+    machine_energy: Vec<f64>,
     /// Cached objective bounds — both are O(tasks) sums over the trace,
     /// and callers consult them once per evaluation in hot loops.
     min_energy: f64,
     max_utility: f64,
+    /// LRU pool of parent schedules for [`Evaluator::evaluate_delta`]:
+    /// most-recently-used last. Clones inherit the pool (caches are plain
+    /// data, so sharing them across threads by value is safe).
+    #[cfg(feature = "delta-eval")]
+    pool: Vec<ScheduleCache>,
     /// Calls to [`Evaluator::evaluate`] on this instance (clones inherit
     /// the count at the moment of cloning).
     #[cfg(feature = "eval-counters")]
     evaluations: u64,
+    /// Subset of `evaluations` served by the incremental path.
+    #[cfg(feature = "eval-counters")]
+    delta_hits: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -101,16 +142,24 @@ impl<'a> Evaluator<'a> {
             trace,
             sequence: Vec::with_capacity(trace.len()),
             machine_free: vec![0.0; system.machine_count()],
+            machine_util: vec![0.0; system.machine_count()],
+            machine_energy: vec![0.0; system.machine_count()],
             min_energy,
             max_utility: trace.max_possible_utility(),
+            #[cfg(feature = "delta-eval")]
+            pool: Vec::new(),
             #[cfg(feature = "eval-counters")]
             evaluations: 0,
+            #[cfg(feature = "eval-counters")]
+            delta_hits: 0,
         }
     }
 
-    /// Number of [`Evaluator::evaluate`] calls performed by this instance.
-    /// Always 0 unless the crate is built with the `eval-counters` feature
-    /// (off by default, keeping the hot path free of bookkeeping).
+    /// Number of objective evaluations performed by this instance —
+    /// [`Evaluator::evaluate`] calls plus `evaluate_delta` requests (both
+    /// hits and rebuilds). Always 0 unless the crate is built with the
+    /// `eval-counters` feature (off by default, keeping the hot path free
+    /// of bookkeeping).
     pub fn evaluations(&self) -> u64 {
         #[cfg(feature = "eval-counters")]
         {
@@ -122,11 +171,12 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Resets the evaluation counter (a no-op without `eval-counters`).
+    /// Resets the evaluation counters (a no-op without `eval-counters`).
     pub fn reset_evaluations(&mut self) {
         #[cfg(feature = "eval-counters")]
         {
             self.evaluations = 0;
+            self.delta_hits = 0;
         }
     }
 
@@ -161,29 +211,118 @@ impl<'a> Evaluator<'a> {
         self.sequence
             .sort_unstable_by_key(|&i| (order[i as usize], i));
 
+        let mc = self.system.machine_count();
         self.machine_free.clear();
-        self.machine_free.resize(self.system.machine_count(), 0.0);
+        self.machine_free.resize(mc, 0.0);
+        self.machine_util.clear();
+        self.machine_util.resize(mc, 0.0);
+        self.machine_energy.clear();
+        self.machine_energy.resize(mc, 0.0);
 
-        let mut utility = 0.0;
-        let mut energy = 0.0;
-        let mut makespan = 0.0f64;
+        // Accumulate per machine, then sum across machines in machine-index
+        // order. This is the contract the incremental path (`ScheduleCache`)
+        // reproduces: each machine subtotal is a left fold in queue order and
+        // the cross-machine sum is one fixed-order loop, so delta results are
+        // bit-identical to full evaluations — not merely close.
         for &i in &self.sequence {
             let task = &tasks[i as usize];
             let machine = alloc.machine[i as usize];
+            let mi = machine.index();
             let exec = self.system.exec_time(task.task_type, machine);
-            let free = &mut self.machine_free[machine.index()];
             // Machine idles until the task has arrived.
-            let start = free.max(task.arrival);
+            let start = self.machine_free[mi].max(task.arrival);
             let finish = start + exec;
-            *free = finish;
-            utility += task.tuf.utility(finish - task.arrival);
-            energy += self.system.energy(task.task_type, machine);
-            makespan = makespan.max(finish);
+            self.machine_free[mi] = finish;
+            self.machine_util[mi] += task.tuf.utility(finish - task.arrival);
+            self.machine_energy[mi] += self.system.energy(task.task_type, machine);
+        }
+        let mut utility = 0.0;
+        let mut energy = 0.0;
+        let mut makespan = 0.0f64;
+        for m in 0..mc {
+            utility += self.machine_util[m];
+            energy += self.machine_energy[m];
+            makespan = makespan.max(self.machine_free[m]);
         }
         Outcome {
             utility,
             energy,
             makespan,
+        }
+    }
+
+    /// Evaluates `child` incrementally: `child` must equal `base` with
+    /// `moves` applied left to right (the tracked variation operators emit
+    /// exactly that diff). When `base`'s schedule is in the pool the cost
+    /// is proportional to the touched queue tails; otherwise the child's
+    /// schedule is built from scratch — one full evaluation's worth of
+    /// work — and cached for future hits either way.
+    ///
+    /// The result is bit-identical to `evaluate(child)`; see
+    /// [`crate::delta`] for why.
+    #[cfg(feature = "delta-eval")]
+    pub fn evaluate_delta(
+        &mut self,
+        base: &Allocation,
+        child: &Allocation,
+        moves: &[TaskMove],
+    ) -> Outcome {
+        debug_assert!(child.validate(self.system, self.trace).is_ok());
+        #[cfg(feature = "eval-counters")]
+        {
+            self.evaluations += 1;
+            counters::add(1);
+        }
+        // A wide delta touches most queues anyway; rebuilding is cheaper
+        // than replaying the moves one by one.
+        if moves.len() * 4 <= self.trace.len() {
+            let fp = genome_fingerprint(base);
+            if let Some(idx) = self
+                .pool
+                .iter()
+                .position(|c| c.fingerprint() == fp && c.baseline() == base)
+            {
+                let mut cache = self.pool.remove(idx);
+                let out = cache.apply(self.system, self.trace, moves);
+                debug_assert_eq!(
+                    cache.baseline(),
+                    child,
+                    "moves must describe exactly the base→child diff"
+                );
+                #[cfg(feature = "eval-counters")]
+                {
+                    self.delta_hits += 1;
+                    counters::add_delta_hits(1);
+                }
+                self.pool.push(cache);
+                return out;
+            }
+        }
+        // Miss: build the child's schedule directly (never base + replay,
+        // which would cost a rebuild *and* the move application).
+        let cache = if self.pool.len() >= DELTA_POOL_CAP {
+            let mut evicted = self.pool.remove(0);
+            evicted.rebuild(self.system, self.trace, child);
+            evicted
+        } else {
+            ScheduleCache::build(self.system, self.trace, child)
+        };
+        let out = cache.outcome();
+        self.pool.push(cache);
+        out
+    }
+
+    /// Number of [`Evaluator::evaluate_delta`] calls on this instance that
+    /// were served incrementally from the schedule pool. Always 0 unless
+    /// built with the `eval-counters` feature.
+    pub fn delta_hits(&self) -> u64 {
+        #[cfg(feature = "eval-counters")]
+        {
+            self.delta_hits
+        }
+        #[cfg(not(feature = "eval-counters"))]
+        {
+            0
         }
     }
 

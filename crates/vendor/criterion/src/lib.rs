@@ -11,6 +11,10 @@
 //! are indicative timings, which is what the workspace's benches need in
 //! this offline environment. `--bench` style CLI filters are accepted and
 //! matched as substrings against benchmark names.
+//!
+//! `cargo bench -- --test` mirrors upstream's smoke mode: every benchmark
+//! body runs exactly once with no warm-up or timing, so CI can prove the
+//! benches still build and execute without paying for measurements.
 
 #![warn(missing_docs)]
 
@@ -69,6 +73,8 @@ pub struct Bencher {
     /// Mean per-iteration time of the measured run, set by `iter`.
     measured: Option<Measurement>,
     sample_size: usize,
+    /// Smoke mode (`--test`): run the payload once, skip measurement.
+    test_mode: bool,
 }
 
 /// One benchmark's timing result.
@@ -84,6 +90,10 @@ impl Bencher {
     /// Times `routine`, warming up first, then sampling `sample_size`
     /// batches whose sizes adapt to the routine's speed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm-up: run for ~50ms to stabilise caches/frequency and estimate
         // the per-iteration cost.
         let warmup_budget = Duration::from_millis(50);
@@ -128,16 +138,20 @@ impl Bencher {
 pub struct Criterion {
     filter: Option<String>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Accept (and use) a trailing CLI filter like `cargo bench -- sort`;
-        // ignore criterion flags such as `--bench`.
+        // honour `--test` (upstream's run-once smoke mode); ignore other
+        // criterion flags such as `--bench`.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
         Criterion {
             filter,
             sample_size: 20,
+            test_mode,
         }
     }
 }
@@ -153,6 +167,7 @@ impl Criterion {
             &name.into_name(),
             self.filter.as_deref(),
             self.sample_size,
+            self.test_mode,
             routine,
         );
         self
@@ -164,6 +179,7 @@ impl Criterion {
             name: name.into(),
             filter: self.filter.clone(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             _parent: std::marker::PhantomData,
         }
     }
@@ -174,6 +190,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     filter: Option<String>,
     sample_size: usize,
+    test_mode: bool,
     _parent: std::marker::PhantomData<&'a ()>,
 }
 
@@ -199,6 +216,7 @@ impl BenchmarkGroup<'_> {
             &name.into_name(),
             self.filter.as_deref(),
             self.sample_size,
+            self.test_mode,
             routine,
         );
         self
@@ -219,6 +237,7 @@ impl BenchmarkGroup<'_> {
             &id.name,
             self.filter.as_deref(),
             self.sample_size,
+            self.test_mode,
             |b| routine(b, input),
         );
         self
@@ -229,8 +248,14 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F>(group: Option<&str>, name: &str, filter: Option<&str>, sample_size: usize, mut f: F)
-where
+fn run_one<F>(
+    group: Option<&str>,
+    name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     let full_name = match group {
@@ -245,8 +270,13 @@ where
     let mut bencher = Bencher {
         measured: None,
         sample_size,
+        test_mode,
     };
     f(&mut bencher);
+    if test_mode {
+        println!("{full_name:<50} ok (test mode, 1 iteration)");
+        return;
+    }
     match bencher.measured {
         Some(m) => println!(
             "{full_name:<50} {:>12} /iter  (min {}, max {}, {} iters)",
@@ -308,6 +338,7 @@ mod tests {
         let mut b = Bencher {
             measured: None,
             sample_size: 3,
+            test_mode: false,
         };
         let mut acc = 0u64;
         b.iter(|| {

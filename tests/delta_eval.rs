@@ -1,0 +1,443 @@
+//! Differential tests for the incremental (delta) evaluation path.
+//!
+//! Strategy: a problem small enough to brute-force — 5 tasks on a
+//! 3-machine subset of the real dataset, 3^5 assignments x 5! global
+//! orders — gives the *true* Pareto front by enumeration. Each engine
+//! (NSGA-II, MOEA/D, SPEA2) is then run twice from the same seed: once on
+//! the tracked [`AllocationProblem`] (move-tracked operators, skip +
+//! delta-evaluation fast paths) and once on a `FullEval` wrapper that
+//! delegates the same genetic operators but keeps the default untracked
+//! `Problem` methods, forcing every child through the reference
+//! evaluator. The two runs must produce bit-identical populations and
+//! identical per-generation observer traces (hypervolume, ideal corner,
+//! evaluation counts), and every front point must be on the enumerated
+//! true front.
+//!
+//! The whole suite runs with and without the `delta-eval` cargo feature
+//! (CI covers both); the wrapper-vs-tracked comparison is meaningful in
+//! both configurations because the skip path is engine-level.
+
+use hetsched::alloc::AllocationProblem;
+use hetsched::core::{JournalObserver, RunJournal};
+use hetsched::data::{real_system, HcSystem, MachineId, MachineInventory};
+use hetsched::heuristics::SeedKind;
+use hetsched::moea::{
+    moead_observed, pareto_front, spea2_observed, GenerationStats, Individual, MoeadConfig, Nsga2,
+    Nsga2Config, Objectives, Problem, Spea2Config, StatsLog, Variation,
+};
+use hetsched::sim::{Allocation, Evaluator, TaskMove};
+use hetsched::workload::{Trace, TraceGenerator};
+use rand::RngCore;
+
+const TASKS: usize = 5;
+
+fn tiny_system() -> HcSystem {
+    // One machine each of the first three types; every task type is
+    // feasible everywhere (the real ETC matrix is fully finite).
+    real_system()
+        .with_inventory(MachineInventory::from_counts(vec![1, 1, 1, 0, 0, 0, 0, 0, 0]).unwrap())
+        .unwrap()
+}
+
+fn tiny_trace(system: &HcSystem) -> Trace {
+    use rand::SeedableRng;
+    TraceGenerator::new(TASKS, 400.0, system.task_type_count())
+        .generate(&mut rand::rngs::StdRng::seed_from_u64(42))
+        .unwrap()
+}
+
+/// Forces the reference path: delegates the allocation problem's genetic
+/// operators verbatim but keeps the trait's default *untracked* variation
+/// methods, so engines see `Variation::Unknown` and fully evaluate every
+/// child. The RNG draws are identical to the tracked problem's by the
+/// tracked-operator contract.
+struct FullEval<'a>(AllocationProblem<'a>);
+
+impl<'a> Problem for FullEval<'a> {
+    type Genome = Allocation;
+    type Evaluator = Evaluator<'a>;
+    type Move = TaskMove;
+
+    fn evaluator(&self) -> Self::Evaluator {
+        self.0.evaluator()
+    }
+
+    fn evaluate(&self, ev: &mut Self::Evaluator, genome: &Allocation) -> Objectives {
+        self.0.evaluate(ev, genome)
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Allocation {
+        self.0.random_genome(rng)
+    }
+
+    fn crossover(
+        &self,
+        rng: &mut dyn RngCore,
+        a: &Allocation,
+        b: &Allocation,
+    ) -> (Allocation, Allocation) {
+        self.0.crossover(rng, a, b)
+    }
+
+    fn mutate(&self, rng: &mut dyn RngCore, genome: &mut Allocation) {
+        self.0.mutate(rng, genome)
+    }
+}
+
+/// The tracked operators must draw from the RNG exactly as the untracked
+/// ones — otherwise the two runs diverge for trajectory reasons, not
+/// evaluation reasons, and the differential tests test nothing.
+#[test]
+fn tracked_operators_preserve_rng_stream() {
+    use rand::SeedableRng;
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let tracked = AllocationProblem::new(&sys, &trace);
+    let full = FullEval(AllocationProblem::new(&sys, &trace));
+    let mut rng_a = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng_b = rand::rngs::StdRng::seed_from_u64(5);
+    let (p, q) = (
+        tracked.random_genome(&mut rng_a),
+        full.random_genome(&mut rng_b),
+    );
+    assert_eq!(p, q);
+    let (r, s) = (
+        tracked.random_genome(&mut rng_a),
+        full.random_genome(&mut rng_b),
+    );
+    for _ in 0..50 {
+        let ((c1, v1), (d1, w1)) = tracked.crossover_tracked(&mut rng_a, &p, &r);
+        let ((c2, _), (d2, _)) = full.crossover_tracked(&mut rng_b, &q, &s);
+        assert_eq!(c1, c2);
+        assert_eq!(d1, d2);
+        // The tracked moves must reconstruct the children exactly.
+        for (child, base, var) in [(&c1, &p, v1), (&d1, &r, w1)] {
+            let Variation::Moves(moves) = var else {
+                panic!("allocation crossover must track its moves");
+            };
+            let mut rebuilt = base.clone();
+            for mv in &moves {
+                rebuilt.machine[mv.task as usize] = mv.machine;
+                rebuilt.order[mv.task as usize] = mv.order;
+            }
+            assert_eq!(&rebuilt, child);
+        }
+        let (mut m1, mut m2) = (c1.clone(), c1.clone());
+        let pre_mutation = c1;
+        let mut var = Variation::Moves(Vec::new());
+        tracked.mutate_tracked(&mut rng_a, &mut m1, &mut var);
+        full.mutate(&mut rng_b, &mut m2);
+        assert_eq!(m1, m2);
+        let Variation::Moves(moves) = var else {
+            panic!("allocation mutation must keep tracking");
+        };
+        let mut rebuilt = pre_mutation;
+        for mv in &moves {
+            rebuilt.machine[mv.task as usize] = mv.machine;
+            rebuilt.order[mv.task as usize] = mv.order;
+        }
+        assert_eq!(rebuilt, m1);
+    }
+}
+
+/// Enumerates every (assignment, global order) pair and returns all
+/// distinct objective vectors plus the true Pareto front among them.
+fn brute_force(sys: &HcSystem, trace: &Trace) -> (Vec<Objectives>, Vec<Objectives>) {
+    let machines = sys.machine_count();
+    let mut ev = Evaluator::new(sys, trace);
+    let mut all: Vec<Objectives> = Vec::new();
+    let mut perm: Vec<u32> = (0..TASKS as u32).collect();
+    let mut perms: Vec<Vec<u32>> = Vec::new();
+    heap_permutations(&mut perm, TASKS, &mut perms);
+    for code in 0..machines.pow(TASKS as u32) {
+        let mut c = code;
+        let machine: Vec<MachineId> = (0..TASKS)
+            .map(|_| {
+                let m = MachineId((c % machines) as u32);
+                c /= machines;
+                m
+            })
+            .collect();
+        for perm in &perms {
+            // order[task] = rank of the task in this execution sequence.
+            let mut order = vec![0u32; TASKS];
+            for (rank, &task) in perm.iter().enumerate() {
+                order[task as usize] = rank as u32;
+            }
+            let outcome = ev.evaluate(&Allocation {
+                machine: machine.clone(),
+                order,
+            });
+            all.push([-outcome.utility, outcome.energy]);
+        }
+    }
+    let front = true_front(&all);
+    (all, front)
+}
+
+fn heap_permutations(items: &mut Vec<u32>, k: usize, out: &mut Vec<Vec<u32>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permutations(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Nondominated subset (minimisation, both objectives), deduplicated
+/// bitwise and sorted for comparison.
+fn true_front(points: &[Objectives]) -> Vec<Objectives> {
+    let dominated = |p: &Objectives, q: &Objectives| {
+        // q dominates p
+        q[0] <= p[0] && q[1] <= p[1] && (q[0] < p[0] || q[1] < p[1])
+    };
+    let mut front: Vec<Objectives> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominated(p, q)))
+        .copied()
+        .collect();
+    front.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
+    front.dedup_by(|a, b| bits(*a) == bits(*b));
+    front
+}
+
+fn bits(p: Objectives) -> [u64; 2] {
+    [p[0].to_bits(), p[1].to_bits()]
+}
+
+fn sorted_front_bits(population: &[Individual<Allocation>]) -> Vec<[u64; 2]> {
+    let mut front: Vec<[u64; 2]> = pareto_front(population)
+        .iter()
+        .map(|ind| bits(ind.objectives))
+        .collect();
+    front.sort_unstable();
+    front.dedup();
+    front
+}
+
+fn assert_identical_populations(
+    tracked: &[Individual<Allocation>],
+    full: &[Individual<Allocation>],
+    engine: &str,
+) {
+    assert_eq!(tracked.len(), full.len(), "{engine}: population size");
+    for (i, (t, f)) in tracked.iter().zip(full).enumerate() {
+        assert_eq!(t.genome, f.genome, "{engine}: genome {i} diverged");
+        assert_eq!(
+            bits(t.objectives),
+            bits(f.objectives),
+            "{engine}: objectives of genome {i} diverged: {:?} vs {:?}",
+            t.objectives,
+            f.objectives
+        );
+    }
+}
+
+/// Compares everything in the per-generation traces except wall-clock
+/// timings (which legitimately differ between runs).
+fn assert_identical_traces(tracked: &[GenerationStats], full: &[GenerationStats], engine: &str) {
+    assert_eq!(tracked.len(), full.len(), "{engine}: trace length");
+    for (t, f) in tracked.iter().zip(full) {
+        assert_eq!(t.generation, f.generation, "{engine}: generation index");
+        assert_eq!(
+            t.front_sizes, f.front_sizes,
+            "{engine}: front sizes at generation {}",
+            t.generation
+        );
+        assert_eq!(
+            [t.ideal[0].to_bits(), t.ideal[1].to_bits()],
+            [f.ideal[0].to_bits(), f.ideal[1].to_bits()],
+            "{engine}: ideal corner at generation {}",
+            t.generation
+        );
+        assert_eq!(
+            t.hypervolume.map(f64::to_bits),
+            f.hypervolume.map(f64::to_bits),
+            "{engine}: hypervolume at generation {}",
+            t.generation
+        );
+        assert_eq!(
+            t.evaluations, f.evaluations,
+            "{engine}: evaluation count at generation {}",
+            t.generation
+        );
+    }
+}
+
+/// Hypervolume reference dominated by every enumerated point: utility is
+/// negated (so objective 0 is negative), energy bounded by the worst
+/// enumerated assignment.
+fn hv_reference(all: &[Objectives]) -> [f64; 2] {
+    let max_energy = all.iter().map(|p| p[1]).fold(0.0f64, f64::max);
+    [1.0, max_energy + 1.0]
+}
+
+#[test]
+fn nsga2_delta_and_full_runs_are_bit_identical() {
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let (all, front) = brute_force(&sys, &trace);
+    let tracked = AllocationProblem::new(&sys, &trace);
+    let full = FullEval(AllocationProblem::new(&sys, &trace));
+    let config = Nsga2Config {
+        population: 24,
+        generations: 60,
+        mutation_rate: 0.5,
+        parallel: false,
+        hv_reference: Some(hv_reference(&all)),
+        ..Default::default()
+    };
+    let mut log_t = StatsLog::default();
+    let mut log_f = StatsLog::default();
+    let pop_t =
+        Nsga2::new(&tracked, config).run_observed(Vec::new(), 11, &[], |_, _| {}, &mut log_t);
+    let pop_f = Nsga2::new(&full, config).run_observed(Vec::new(), 11, &[], |_, _| {}, &mut log_f);
+    assert_identical_populations(&pop_t, &pop_f, "nsga2");
+    assert_identical_traces(&log_t.records, &log_f.records, "nsga2");
+
+    // Every front point the engine reports exists in the enumerated space
+    // and is on the true Pareto front; on a problem this small NSGA-II
+    // recovers the complete front.
+    let engine_front = sorted_front_bits(&pop_t);
+    let mut true_bits: Vec<[u64; 2]> = front.iter().map(|&p| bits(p)).collect();
+    true_bits.sort_unstable();
+    assert_eq!(
+        engine_front, true_bits,
+        "engine front must equal the brute-forced true front"
+    );
+}
+
+#[test]
+fn nsga2_parallel_delta_and_full_runs_are_bit_identical() {
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let tracked = AllocationProblem::new(&sys, &trace);
+    let full = FullEval(AllocationProblem::new(&sys, &trace));
+    let config = Nsga2Config {
+        population: 16,
+        generations: 25,
+        mutation_rate: 0.5,
+        parallel: true,
+        hv_reference: None,
+        ..Default::default()
+    };
+    let pop_t = Nsga2::new(&tracked, config).run(Vec::new(), 23);
+    let pop_f = Nsga2::new(&full, config).run(Vec::new(), 23);
+    assert_identical_populations(&pop_t, &pop_f, "nsga2-parallel");
+}
+
+#[test]
+fn moead_delta_and_full_runs_are_bit_identical() {
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let (all, front) = brute_force(&sys, &trace);
+    let tracked = AllocationProblem::new(&sys, &trace);
+    let full = FullEval(AllocationProblem::new(&sys, &trace));
+    let config = MoeadConfig {
+        subproblems: 24,
+        neighbours: 6,
+        mutation_rate: 0.5,
+        generations: 60,
+        hv_reference: Some(hv_reference(&all)),
+    };
+    let mut log_t = StatsLog::default();
+    let mut log_f = StatsLog::default();
+    let pop_t = moead_observed(&tracked, config, Vec::new(), 11, &[], |_, _| {}, &mut log_t);
+    let pop_f = moead_observed(&full, config, Vec::new(), 11, &[], |_, _| {}, &mut log_f);
+    assert_identical_populations(&pop_t, &pop_f, "moead");
+    assert_identical_traces(&log_t.records, &log_f.records, "moead");
+
+    // MOEA/D's weighted decomposition need not recover the full front on
+    // every instance, but whatever it reports must be truly optimal.
+    let true_bits: Vec<[u64; 2]> = front.iter().map(|&p| bits(p)).collect();
+    for point in sorted_front_bits(&pop_t) {
+        assert!(
+            true_bits.contains(&point),
+            "moead front point {point:?} is not on the true Pareto front"
+        );
+    }
+}
+
+#[test]
+fn spea2_delta_and_full_runs_are_bit_identical() {
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let (all, front) = brute_force(&sys, &trace);
+    let tracked = AllocationProblem::new(&sys, &trace);
+    let full = FullEval(AllocationProblem::new(&sys, &trace));
+    let config = Spea2Config {
+        population: 24,
+        archive: 24,
+        mutation_rate: 0.5,
+        generations: 60,
+        hv_reference: Some(hv_reference(&all)),
+    };
+    let mut log_t = StatsLog::default();
+    let mut log_f = StatsLog::default();
+    let pop_t = spea2_observed(&tracked, config, Vec::new(), 11, &[], |_, _| {}, &mut log_t);
+    let pop_f = spea2_observed(&full, config, Vec::new(), 11, &[], |_, _| {}, &mut log_f);
+    assert_identical_populations(&pop_t, &pop_f, "spea2");
+    assert_identical_traces(&log_t.records, &log_f.records, "spea2");
+
+    let true_bits: Vec<[u64; 2]> = front.iter().map(|&p| bits(p)).collect();
+    for point in sorted_front_bits(&pop_t) {
+        assert!(
+            true_bits.contains(&point),
+            "spea2 front point {point:?} is not on the true Pareto front"
+        );
+    }
+}
+
+/// The persisted journal (what `hetsched report` reads) carries the same
+/// hypervolume trace whichever evaluation path produced it.
+#[test]
+fn run_journal_hypervolume_traces_are_identical() {
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let (all, _) = brute_force(&sys, &trace);
+    let tracked = AllocationProblem::new(&sys, &trace);
+    let full = FullEval(AllocationProblem::new(&sys, &trace));
+    let config = Nsga2Config {
+        population: 16,
+        generations: 30,
+        mutation_rate: 0.5,
+        parallel: false,
+        hv_reference: Some(hv_reference(&all)),
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir();
+    let path_t = dir.join("hetsched-delta-eval-journal-tracked.jsonl");
+    let path_f = dir.join("hetsched-delta-eval-journal-full.jsonl");
+    {
+        let journal = RunJournal::create(&path_t).unwrap();
+        let mut obs = JournalObserver::new(&journal, SeedKind::Random, 0);
+        Nsga2::new(&tracked, config).run_observed(Vec::new(), 31, &[], |_, _| {}, &mut obs);
+    }
+    {
+        let journal = RunJournal::create(&path_f).unwrap();
+        let mut obs = JournalObserver::new(&journal, SeedKind::Random, 0);
+        Nsga2::new(&full, config).run_observed(Vec::new(), 31, &[], |_, _| {}, &mut obs);
+    }
+    let rec_t = RunJournal::read(&path_t).unwrap();
+    let rec_f = RunJournal::read(&path_f).unwrap();
+    let _ = std::fs::remove_file(&path_t);
+    let _ = std::fs::remove_file(&path_f);
+    assert_eq!(rec_t.len(), rec_f.len());
+    assert!(!rec_t.is_empty());
+    for (t, f) in rec_t.iter().zip(&rec_f) {
+        assert_eq!(t.population, f.population);
+        assert_eq!(t.stream, f.stream);
+        assert_eq!(
+            t.stats.hypervolume.map(f64::to_bits),
+            f.stats.hypervolume.map(f64::to_bits),
+            "journalled hypervolume diverged at generation {}",
+            t.stats.generation
+        );
+    }
+}

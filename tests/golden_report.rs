@@ -1,0 +1,96 @@
+//! Golden-file regression tests for `hetsched report` and the evaluator's
+//! numerics.
+//!
+//! The fixtures under `tests/golden/` are frozen artifacts produced by a
+//! real (small) campaign run: a campaign manifest and a run journal, plus
+//! the exact text `hetsched report` rendered for each at freeze time. The
+//! tests assert the render is byte-identical — any change to journal
+//! parsing, summary statistics, or table formatting shows up as a diff
+//! here, and so does any drift in the objective values the engines write
+//! into manifests (the manifest fixture embeds full Pareto fronts).
+//!
+//! `hypervolume_trace_is_frozen` additionally pins the evaluator's
+//! floating-point results end to end: a fixed-seed engine run on the real
+//! dataset must reproduce a checked-in hypervolume trace *bit for bit*
+//! (the golden stores the f64 bit patterns). Regenerate with
+//! `GOLDEN_REGEN=1 cargo test --test golden_report` after an intentional
+//! numerics change.
+
+use hetsched::alloc::AllocationProblem;
+use hetsched::core::inspect_path;
+use hetsched::data::real_system;
+use hetsched::moea::{Nsga2, Nsga2Config, StatsLog};
+use hetsched::workload::TraceGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn assert_renders_identically(fixture: &str, expected: &str) {
+    let dir = golden_dir();
+    let rendered = inspect_path(&dir.join(fixture))
+        .expect("fixture must parse")
+        .render();
+    let expected = std::fs::read_to_string(dir.join(expected)).expect("expected render missing");
+    assert!(
+        rendered == expected,
+        "`hetsched report {fixture}` output drifted from the golden render.\n\
+         --- got ---\n{rendered}\n--- want ---\n{expected}"
+    );
+}
+
+#[test]
+fn campaign_manifest_renders_byte_identically() {
+    assert_renders_identically("campaign_manifest.jsonl", "campaign_manifest.report.txt");
+}
+
+#[test]
+fn run_journal_renders_byte_identically() {
+    assert_renders_identically("run_journal.jsonl", "run_journal.report.txt");
+}
+
+/// A fixed-seed NSGA-II run on the real dataset, hypervolume trace frozen
+/// as bit patterns. This is the canary for the evaluation pipeline: the
+/// delta fast path, the reference evaluator, and the hypervolume
+/// computation must all produce the exact same floats as at freeze time,
+/// with the `delta-eval` feature on or off.
+#[test]
+fn hypervolume_trace_is_frozen() {
+    let sys = real_system();
+    let trace = TraceGenerator::new(32, 600.0, sys.task_type_count())
+        .generate(&mut StdRng::seed_from_u64(5))
+        .unwrap();
+    let problem = AllocationProblem::new(&sys, &trace);
+    let config = Nsga2Config {
+        population: 16,
+        generations: 20,
+        mutation_rate: 0.5,
+        parallel: false,
+        hv_reference: Some([1.0, 1.0e6]),
+        ..Default::default()
+    };
+    let mut log = StatsLog::default();
+    Nsga2::new(&problem, config).run_observed(Vec::new(), 17, &[], |_, _| {}, &mut log);
+    let trace_lines: String = log
+        .records
+        .iter()
+        .map(|r| {
+            let hv = r.hypervolume.expect("hv reference is set");
+            format!("{} {:016x} {hv:.6}\n", r.generation, hv.to_bits())
+        })
+        .collect();
+    let path = golden_dir().join("hypervolume_trace.txt");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &trace_lines).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).expect("golden trace missing");
+    assert!(
+        trace_lines == expected,
+        "fixed-seed hypervolume trace drifted (evaluator numerics changed).\n\
+         --- got ---\n{trace_lines}\n--- want ---\n{expected}"
+    );
+}
