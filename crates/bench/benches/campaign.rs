@@ -10,6 +10,12 @@
 //! (registry, no heartbeat sink): the default `NullCampaignObserver`
 //! must stay within noise of the bare campaign, and the instrumented
 //! run shows what the per-event atomics and per-generation stats cost.
+//!
+//! With `--features chaos`, a fourth case runs the same campaign with
+//! the fault points compiled in but *no plan armed* — each fault point
+//! is then one relaxed atomic load. Its target is the same <2% envelope
+//! against the bare run: a chaos-capable build must cost nothing until
+//! a plan is armed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetsched_core::{
@@ -105,6 +111,17 @@ fn campaign_overhead(c: &mut Criterion) {
                     .unwrap(),
             )
         })
+    });
+    // Only meaningful in a chaos build: identical to `campaign_8_cells`
+    // except the binary carries the fault points (disarmed). Compare the
+    // two to measure the disarmed probe cost.
+    #[cfg(feature = "chaos")]
+    group.bench_function("campaign_8_cells_chaos_disarmed", |b| {
+        assert!(
+            !hetsched_core::chaos::is_armed(),
+            "disarmed-overhead bench must run without a plan"
+        );
+        b.iter(|| black_box(Campaign::new(spec.clone()).run(None).unwrap()))
     });
     group.finish();
 }

@@ -160,6 +160,11 @@ pub fn run_experiment(options: &Options) -> Result<(), CliError> {
                 .into(),
         ));
     }
+    if options.cell_timeout.is_some() {
+        return Err(CliError::Usage(
+            "--cell-timeout requires a campaign (add --replicates or --manifest)".into(),
+        ));
+    }
     let cfg = config_from(options);
     let fw = Framework::new(&cfg)?;
     let journal = match &options.metrics_out {
@@ -179,7 +184,7 @@ pub fn run_experiment(options: &Options) -> Result<(), CliError> {
         fw.config().snapshots,
         fw.config().algorithm
     );
-    summarise_report(&mut out, &report);
+    summarise_report(&mut out, &report)?;
     options.emit(&out)
 }
 
@@ -194,6 +199,12 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
     let mut spec = CampaignSpec::single(&cfg);
     spec.replicates = options.replicates.unwrap_or(1);
     let mut campaign = Campaign::new(spec);
+    if let Some(timeout) = options.cell_timeout {
+        campaign = campaign.cell_timeout(timeout);
+    }
+    if options.requeue_quarantined {
+        campaign = campaign.requeue_quarantined(true);
+    }
 
     // Telemetry: one shared observer feeds the registry; the heartbeat
     // appends progress lines (a ticker keeps them coming while cells run)
@@ -205,7 +216,7 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
             if let Some(path) = heartbeat_out {
                 let every = Duration::from_secs_f64(options.heartbeat_every);
                 let heartbeat =
-                    Heartbeat::create(path, every).map_err(|e| CliError::io(path, e))?;
+                    Heartbeat::create_durable(path, every).map_err(|e| CliError::io(path, e))?;
                 observer = observer.with_heartbeat(heartbeat);
             }
             Some(Arc::new(observer))
@@ -224,7 +235,7 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
     let outcome = campaign.run(options.manifest.as_deref().map(Path::new))?;
     drop(ticker);
     if let (Some(observer), Some(path)) = (&telemetry, &options.telemetry_out) {
-        std::fs::write(path, observer.registry().prometheus())
+        hetsched_core::durable_write(path, observer.registry().prometheus())
             .map_err(|e| CliError::io(path, e))?;
     }
     let mut out = String::new();
@@ -241,12 +252,16 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
     );
     for report in &outcome.reports {
         let _ = writeln!(out, "\nreplicate {}:", report.replicate);
-        summarise_report(&mut out, &report.report);
+        summarise_report(&mut out, &report.report)?;
     }
     for record in &outcome.failed {
+        let verdict = match record.outcome {
+            hetsched_core::CellOutcome::TimedOut => "TIMED OUT",
+            _ => "FAILED",
+        };
         let _ = writeln!(
             out,
-            "\nFAILED {} after {} attempt(s): {}",
+            "\n{verdict} {} after {} attempt(s): {}",
             record.cell,
             record.attempts,
             record.error.as_deref().unwrap_or("unknown error")
@@ -266,10 +281,23 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
 
 /// Appends the per-seed front table, combined front, and UPE peak of one
 /// report to `out` (shared by the plain and campaign arms of `run`).
-fn summarise_report(out: &mut String, report: &hetsched_core::AnalysisReport) {
+///
+/// # Errors
+///
+/// [`CliError::Failed`] when a population's final front is empty — a
+/// degenerate run the summary cannot describe (and previously a panic).
+fn summarise_report(
+    out: &mut String,
+    report: &hetsched_core::AnalysisReport,
+) -> Result<(), CliError> {
     for run in &report.runs {
         let front = run.final_front();
-        let (min_e, max_u) = (front.min_energy().unwrap(), front.max_utility().unwrap());
+        let (Some(min_e), Some(max_u)) = (front.min_energy(), front.max_utility()) else {
+            return Err(CliError::Failed(format!(
+                "front is empty for seed {}",
+                run.seed.label()
+            )));
+        };
         let _ = writeln!(
             out,
             "  {:<24} front {:>3} pts   energy [{:.3}, {:.3}] MJ   utility [{:.1}, {:.1}]",
@@ -292,6 +320,7 @@ fn summarise_report(out: &mut String, report: &hetsched_core::AnalysisReport) {
             upe.peak.energy / 1e6
         );
     }
+    Ok(())
 }
 
 /// `hetsched gantt`: render the Min-Min allocation of the data set as an
@@ -565,4 +594,50 @@ pub fn seeds(options: &Options) -> Result<(), CliError> {
         ev.min_possible_energy() / 1e6
     );
     options.emit(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::{AnalysisReport, PopulationRun};
+
+    #[test]
+    fn summarise_report_fails_cleanly_on_an_empty_front() {
+        // A degenerate report whose population produced no front at all
+        // used to panic on `min_energy().unwrap()`; it must surface as a
+        // runtime failure (exit code 1) instead.
+        use hetsched_analysis::ParetoFront;
+        let empty: [(f64, f64); 0] = [];
+        let report = AnalysisReport {
+            runs: vec![PopulationRun {
+                seed: SeedKind::Random,
+                fronts: vec![(2, ParetoFront::from_points(empty))],
+            }],
+            snapshots: vec![2],
+        };
+        let mut out = String::new();
+        let err = summarise_report(&mut out, &report).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(!err.is_usage());
+        assert!(
+            err.to_string().contains("front is empty for seed random"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn summarise_report_renders_a_populated_front() {
+        use hetsched_analysis::ParetoFront;
+        let report = AnalysisReport {
+            runs: vec![PopulationRun {
+                seed: SeedKind::Random,
+                fronts: vec![(2, ParetoFront::from_points([(1.5e6, 10.0), (2.0e6, 20.0)]))],
+            }],
+            snapshots: vec![2],
+        };
+        let mut out = String::new();
+        summarise_report(&mut out, &report).unwrap();
+        assert!(out.contains("random"), "{out}");
+        assert!(out.contains("combined front"), "{out}");
+    }
 }

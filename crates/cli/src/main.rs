@@ -22,6 +22,9 @@
 //!   --heartbeat-out <p> append JSONL campaign progress lines (campaign run only)
 //!   --heartbeat-every <s> seconds between heartbeat lines (default 5)
 //!   --telemetry-out <p> write a Prometheus-style metrics snapshot (campaign run only)
+//!   --cell-timeout <s> per-cell watchdog budget in seconds (campaign run only)
+//!   --requeue-quarantined  re-execute quarantined manifest cells on resume
+//!   --chaos-plan <spec> arm a fault-injection plan (chaos-enabled builds only)
 //!   --log-level <l>    stderr tracing verbosity (default warn)
 //! ```
 //!
@@ -64,6 +67,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::Usage("missing command".into()));
     };
     let options = Options::parse(&args[1..])?;
+    // Armed for the whole command; the guard disarms the global fault
+    // registry on drop (chaos-enabled builds only).
+    let _chaos = arm_chaos(&options)?;
     // Route engine/framework tracing to stderr at the requested verbosity.
     // try_init: repeated invocations (tests) keep the first subscriber.
     let _ = tracing_subscriber::fmt()
@@ -96,6 +102,33 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Parses and arms `--chaos-plan` when the build carries the `chaos`
+/// feature; the returned guard keeps the plan armed for the command and
+/// disarms on drop.
+#[cfg(feature = "chaos")]
+fn arm_chaos(options: &Options) -> Result<Option<hetsched_core::chaos::ArmedGuard>, CliError> {
+    let Some(text) = &options.chaos_plan else {
+        return Ok(None);
+    };
+    let plan = hetsched_core::chaos::FaultPlan::parse(text)
+        .map_err(|e| CliError::Usage(format!("--chaos-plan: {e}")))?;
+    Ok(Some(hetsched_core::chaos::armed(plan)))
+}
+
+/// Without the `chaos` feature there is nothing to arm: the fault points
+/// are compiled to no-ops, so accepting a plan would silently do nothing.
+#[cfg(not(feature = "chaos"))]
+fn arm_chaos(options: &Options) -> Result<Option<()>, CliError> {
+    if options.chaos_plan.is_some() {
+        return Err(CliError::Usage(
+            "--chaos-plan requires a chaos-enabled build \
+             (rebuild with --features chaos)"
+                .into(),
+        ));
+    }
+    Ok(None)
+}
+
 const HELP: &str = "\
 hetsched — energy/utility trade-off analysis framework
 
@@ -105,7 +138,8 @@ USAGE:
     hetsched run [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--rng SEED]
                  [--algorithm nsga2|moead|spea2] [--replicates N] [--manifest PATH]
                  [--metrics-out PATH] [--heartbeat-out PATH] [--heartbeat-every S]
-                 [--telemetry-out PATH] [--log-level error|warn|info|debug|trace]
+                 [--telemetry-out PATH] [--cell-timeout S] [--requeue-quarantined]
+                 [--chaos-plan SPEC] [--log-level error|warn|info|debug|trace]
     hetsched seeds [--set 1|2|3] [--tasks N] [--rng SEED]
     hetsched gantt [--set 1|2|3] [--tasks N]
     hetsched online [--set 1|2|3] [--tasks N]
@@ -127,6 +161,16 @@ PATH` writes a Prometheus-style metrics snapshot when the campaign ends.
 status and durations, per-population convergence) or a `--metrics-out`
 run journal (convergence and phase-time breakdown) without re-running
 anything; without a path it runs the full reproduction suite.
+
+`--cell-timeout S` puts each campaign cell under a wall-clock watchdog:
+an attempt that exceeds the budget is recorded as timed out (terminal,
+no retry) while the rest of the campaign carries on. Quarantined cells
+(timed out, or panicking through the whole attempt budget) stay failed
+across resumes until `--requeue-quarantined` re-executes them.
+`--chaos-plan SPEC` arms deterministic fault injection in builds
+compiled with `--features chaos` (e.g.
+`seed=7;campaign.cell.run@2=panic;manifest.append@1=io`); plain builds
+reject the flag, since their fault points are no-ops.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error.";
 
@@ -317,6 +361,44 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.is_usage());
+    }
+
+    #[test]
+    fn cell_timeout_is_rejected_on_the_plain_run_path() {
+        let err = run(&argv(
+            "run --cell-timeout 5 --tasks 15 --pop 8 --scale 0.00002",
+        ))
+        .unwrap_err();
+        assert!(err.is_usage(), "{err}");
+    }
+
+    #[test]
+    fn campaign_accepts_a_cell_timeout() {
+        assert!(run(&argv(
+            "run --set 1 --tasks 15 --pop 8 --scale 0.00002 --replicates 1 --cell-timeout 600",
+        ))
+        .is_ok());
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn chaos_plan_is_rejected_without_the_chaos_feature() {
+        let err = run(&argv(
+            "run --chaos-plan manifest.append@1=io --tasks 15 --pop 8 --scale 0.00002",
+        ))
+        .unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("chaos"), "{err}");
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn malformed_chaos_plans_are_usage_errors() {
+        let err = run(&argv(
+            "run --chaos-plan not-a-plan --tasks 15 --pop 8 --scale 0.00002",
+        ))
+        .unwrap_err();
+        assert!(err.is_usage(), "{err}");
     }
 
     #[test]

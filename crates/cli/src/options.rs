@@ -3,6 +3,7 @@
 
 use crate::error::CliError;
 use hetsched_core::Algorithm;
+use std::time::Duration;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -41,6 +42,15 @@ pub struct Options {
     /// Prometheus-style metrics snapshot path, written when the campaign
     /// finishes (campaign `run` only).
     pub telemetry_out: Option<String>,
+    /// Per-cell wall-clock watchdog budget (campaign `run` only): an
+    /// attempt exceeding it is recorded as timed out without retrying.
+    pub cell_timeout: Option<Duration>,
+    /// Fault-injection plan (chaos-enabled builds only), e.g.
+    /// `seed=7;campaign.cell.run@2=panic;manifest.append@1=io`.
+    pub chaos_plan: Option<String>,
+    /// Re-execute cells the manifest marks quarantined (timed out or
+    /// attempt-budget exhausted) instead of replaying the failure.
+    pub requeue_quarantined: bool,
     /// Stderr log verbosity for the tracing subscriber.
     pub log_level: tracing::Level,
 }
@@ -63,6 +73,9 @@ impl Default for Options {
             heartbeat_out: None,
             heartbeat_every: 5.0,
             telemetry_out: None,
+            cell_timeout: None,
+            chaos_plan: None,
+            requeue_quarantined: false,
             log_level: tracing::Level::WARN,
         }
     }
@@ -154,12 +167,25 @@ impl Options {
                 "--telemetry-out" => {
                     opts.telemetry_out = Some(value_for("telemetry-out")?.clone());
                 }
+                "--cell-timeout" => {
+                    let secs: f64 = value_for("cell-timeout")?
+                        .parse()
+                        .map_err(|_| usage("--cell-timeout must be a number of seconds"))?;
+                    if secs <= 0.0 || !secs.is_finite() {
+                        return Err(usage("--cell-timeout must be > 0"));
+                    }
+                    opts.cell_timeout = Some(Duration::from_secs_f64(secs));
+                }
+                "--chaos-plan" => {
+                    opts.chaos_plan = Some(value_for("chaos-plan")?.clone());
+                }
                 "--log-level" => {
                     opts.log_level = value_for("log-level")?.parse().map_err(|_| {
                         usage("--log-level must be error, warn, info, debug, or trace")
                     })?;
                 }
                 "--json" => opts.json = true,
+                "--requeue-quarantined" => opts.requeue_quarantined = true,
                 flag if flag.starts_with("--") => {
                     return Err(usage(format!("unknown flag `{flag}`")));
                 }
@@ -169,10 +195,14 @@ impl Options {
         Ok(opts)
     }
 
-    /// Writes `content` to `--out` or stdout.
+    /// Writes `content` to `--out` or stdout. File output goes through
+    /// [`hetsched_core::durable_write`], so an interrupted rerun never
+    /// leaves a half-written report over a previous good one.
     pub fn emit(&self, content: &str) -> Result<(), CliError> {
         match &self.out {
-            Some(path) => std::fs::write(path, content).map_err(|e| CliError::io(path, e)),
+            Some(path) => {
+                hetsched_core::durable_write(path, content).map_err(|e| CliError::io(path, e))
+            }
             None => {
                 println!("{content}");
                 Ok(())
@@ -207,7 +237,7 @@ mod tests {
              --algorithm spea2 --replicates 3 --manifest cells.jsonl \
              --metrics-out run.jsonl --heartbeat-out hb.jsonl \
              --heartbeat-every 0.5 --telemetry-out metrics.prom \
-             --log-level debug",
+             --cell-timeout 2.5 --log-level debug",
         ))
         .unwrap();
         assert_eq!(o.positional, vec!["5"]);
@@ -224,6 +254,7 @@ mod tests {
         assert_eq!(o.heartbeat_out.as_deref(), Some("hb.jsonl"));
         assert_eq!(o.heartbeat_every, 0.5);
         assert_eq!(o.telemetry_out.as_deref(), Some("metrics.prom"));
+        assert_eq!(o.cell_timeout, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(o.log_level, tracing::Level::DEBUG);
     }
 
@@ -257,6 +288,23 @@ mod tests {
         assert!(Options::parse(&argv("--heartbeat-every soon")).is_err());
         assert!(Options::parse(&argv("--heartbeat-out")).is_err());
         assert!(Options::parse(&argv("--telemetry-out")).is_err());
+        assert!(Options::parse(&argv("--cell-timeout 0")).is_err());
+        assert!(Options::parse(&argv("--cell-timeout -3")).is_err());
+        assert!(Options::parse(&argv("--cell-timeout later")).is_err());
+        assert!(Options::parse(&argv("--chaos-plan")).is_err());
+    }
+
+    #[test]
+    fn requeue_quarantined_is_a_bare_flag() {
+        assert!(!Options::parse(&[]).unwrap().requeue_quarantined);
+        let o = Options::parse(&argv("--requeue-quarantined")).unwrap();
+        assert!(o.requeue_quarantined);
+    }
+
+    #[test]
+    fn chaos_plan_is_captured_verbatim() {
+        let o = Options::parse(&argv("--chaos-plan seed=7;manifest.append@1=io")).unwrap();
+        assert_eq!(o.chaos_plan.as_deref(), Some("seed=7;manifest.append@1=io"));
     }
 
     #[test]

@@ -16,6 +16,18 @@
 //! * **isolation** — a panicking cell is caught, retried up to the
 //!   configured attempt budget, and then recorded as failed without
 //!   sinking the rest of the campaign;
+//! * **watchdog** — with a [`Campaign::cell_timeout`], a hung cell is
+//!   abandoned and recorded as [`CellOutcome::TimedOut`] instead of
+//!   stalling the whole campaign;
+//! * **backoff** — retries wait out a deterministic exponential backoff
+//!   with seeded jitter (kept entirely off the engine RNG streams, so
+//!   retried and first-try campaigns stay bit-identical);
+//! * **quarantine** — a cell that exhausts its budget is recorded as
+//!   [`CellOutcome::Poisoned`] and, on resume, *not* re-executed unless
+//!   [`Campaign::requeue_quarantined`] says so;
+//! * **durability** — each manifest append is flushed and fsynced (in
+//!   configurable batches), and a panic while holding the manifest lock
+//!   cannot disable checkpointing for the surviving cells;
 //! * **cooperative cancellation** — a [`CancelToken`] stops new cells
 //!   from starting (in-flight cells finish and are checkpointed);
 //! * **deadline** — a wall-clock budget after which remaining cells are
@@ -25,9 +37,16 @@
 //!   than silently mixing incompatible cells, and a torn final line
 //!   (killed mid-write) is ignored.
 //!
+//! The `chaos` feature threads deterministic fault points through this
+//! module (`campaign.cell.run`, `manifest.append`) so every one of these
+//! properties is exercised by injected panics, IO errors, hangs, and
+//! aborts — see README § Fault tolerance.
+//!
 //! [`Engine`]: hetsched_moea::Engine
 
+use crate::chaos_hooks;
 use crate::config::{DatasetId, ExperimentConfig};
+use crate::durable::lock_unpoisoned;
 use crate::framework::Framework;
 use crate::report::{AnalysisReport, PopulationRun};
 use crate::telemetry::{CampaignObserver, NullCampaignObserver};
@@ -44,7 +63,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The grid a campaign sweeps. `base` supplies everything the grid axes
@@ -133,12 +152,7 @@ impl CampaignSpec {
     /// against a different campaign.
     pub fn fingerprint(&self) -> String {
         let json = serde_json::to_string(self).unwrap_or_default();
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &b in json.as_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0100_0000_01b3);
-        }
-        format!("{h:016x}")
+        format!("{:016x}", fnv1a(json.as_bytes()))
     }
 }
 
@@ -176,10 +190,25 @@ impl std::fmt::Display for CellId {
     }
 }
 
+/// How a cell's execution ended — the quarantine-relevant classification
+/// of a [`CellRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// The cell completed and `run` holds its population.
+    Ok,
+    /// An attempt exceeded the campaign's [`Campaign::cell_timeout`];
+    /// the hung attempt was abandoned and the cell quarantined.
+    TimedOut,
+    /// Every attempt in the budget panicked or failed; the cell is
+    /// quarantined until the operator clears it (or the campaign runs
+    /// with [`Campaign::requeue_quarantined`]).
+    Poisoned,
+}
+
 /// One manifest line: a cell's outcome. Exactly one of `run` (success)
 /// and `error` (failed after all attempts) is set — a data-carrying enum
 /// would say this in the type, but the vendored serde derive only handles
-/// flat structs.
+/// flat structs; `outcome` classifies the failure side.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellRecord {
     /// Which cell this records.
@@ -188,6 +217,8 @@ pub struct CellRecord {
     pub run: Option<PopulationRun>,
     /// The last attempt's panic/failure message, on failure.
     pub error: Option<String>,
+    /// Terminal classification: success, watchdog timeout, or quarantine.
+    pub outcome: CellOutcome,
     /// How many attempts were made.
     pub attempts: usize,
     /// Wall-clock seconds the cell took, all attempts included.
@@ -204,9 +235,10 @@ struct ManifestHeader {
 }
 
 /// Current manifest format version. Bumped to 2 when [`CellRecord`] grew
-/// `duration_s`: the vendored serde derive rejects missing fields, so a
-/// v1 manifest must be refused up front rather than half-parsed.
-const MANIFEST_VERSION: usize = 2;
+/// `duration_s`, and to 3 when it grew `outcome` (timeout/quarantine
+/// classification): the vendored serde derive rejects missing fields, so
+/// an older manifest must be refused up front rather than half-parsed.
+const MANIFEST_VERSION: usize = 3;
 
 /// Cooperative cancellation flag, cloneable across threads: call
 /// [`CancelToken::cancel`] from anywhere (a ctrl-c handler, a watchdog)
@@ -288,10 +320,50 @@ type FaultHook = dyn Fn(&CellId, usize) -> Option<String> + Send + Sync;
 
 /// The orchestrator. Construct with [`Campaign::new`], tune with the
 /// builder-style methods, then [`Campaign::run`].
+///
+/// # Retry / timeout / quarantine state machine
+///
+/// Each cell moves through exactly one path:
+///
+/// ```text
+///             ┌────────────────────────────────────────────────┐
+///             │ attempt n (catch_unwind; watchdog if timeout)  │
+///             └────────────────────────────────────────────────┘
+///    completes │          panics/fails │           hangs │
+///              ▼                       ▼                 ▼
+///      outcome = Ok        n < attempts? ── yes ──► backoff(n+1),
+///      (recorded,              │                    retry (observer
+///       replayed on            no                   sees on_cell_retry)
+///       resume)                ▼
+///                     outcome = Poisoned     outcome = TimedOut
+///                     (on_cell_failed)       (on_cell_timed_out;
+///                                             terminal immediately —
+///                                             hangs are deterministic,
+///                                             retrying re-hangs)
+/// ```
+///
+/// * **Backoff** before attempt `n ≥ 2` sleeps an *equal-jitter*
+///   exponential delay: `window = min(cap, base · 2^(n-2))`, sleep =
+///   `window/2 + jitter` with the jitter drawn from a splitmix64 stream
+///   seeded off the spec fingerprint (see [`Campaign::retry_backoff`]) —
+///   never from the engine RNG, so results are bit-identical whatever
+///   the attempt budget.
+/// * **Quarantine**: `TimedOut`/`Poisoned` records persist in the
+///   manifest; a resumed campaign replays them as terminal (the grid
+///   point stays incomplete) rather than burning the budget again.
+///   [`Campaign::requeue_quarantined`] opts back into re-execution, and
+///   a fresh record then supersedes the quarantined one (last record
+///   wins on replay).
 pub struct Campaign {
     spec: CampaignSpec,
     attempts: usize,
     deadline: Option<Duration>,
+    cell_timeout: Option<Duration>,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    backoff_seed: u64,
+    requeue_quarantined: bool,
+    manifest_sync_every: usize,
     cancel: CancelToken,
     fault: Option<Arc<FaultHook>>,
     observer: Arc<dyn CampaignObserver>,
@@ -299,13 +371,22 @@ pub struct Campaign {
 
 impl Campaign {
     /// A campaign over `spec` with default resilience settings: 2
-    /// attempts per cell, no deadline, a fresh cancel token, no
-    /// telemetry.
+    /// attempts per cell, 25ms-base/1s-cap retry backoff seeded off the
+    /// spec fingerprint, no cell timeout, no deadline, quarantine
+    /// honoured on resume, per-record manifest fsync, a fresh cancel
+    /// token, no telemetry.
     pub fn new(spec: CampaignSpec) -> Self {
+        let backoff_seed = fnv1a(spec.fingerprint().as_bytes());
         Campaign {
             spec,
             attempts: 2,
             deadline: None,
+            cell_timeout: None,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            backoff_seed,
+            requeue_quarantined: false,
+            manifest_sync_every: 1,
             cancel: CancelToken::new(),
             fault: None,
             observer: Arc::new(NullCampaignObserver),
@@ -327,6 +408,53 @@ impl Campaign {
     /// cells not yet started when it expires are skipped.
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Arms the per-cell watchdog: an attempt running longer than
+    /// `timeout` is abandoned (its thread keeps running detached but can
+    /// no longer touch the observer) and the cell is recorded as
+    /// [`CellOutcome::TimedOut`] without retrying — a deterministic hang
+    /// would only hang again. Cells then run on a dedicated thread per
+    /// attempt; without a timeout they run inline on the rayon worker.
+    pub fn cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
+    /// Tunes the retry backoff window: attempt `n ≥ 2` waits
+    /// `min(cap, base · 2^(n-2))/2` plus seeded jitter up to the same
+    /// amount (equal jitter). A zero `base` disables the wait entirely
+    /// (used by tests that only care about retry counting).
+    pub fn retry_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// Overrides the backoff jitter seed (defaults to a hash of the spec
+    /// fingerprint). The stream is independent of every engine RNG, so
+    /// this changes only wait times, never results.
+    pub fn retry_backoff_seed(mut self, seed: u64) -> Self {
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// Re-executes quarantined (`TimedOut`/`Poisoned`) manifest records
+    /// on resume instead of replaying them as terminal. The default
+    /// (`false`) preserves the attempt budget's meaning across resumes:
+    /// a poisoned cell stays poisoned until an operator intervenes.
+    pub fn requeue_quarantined(mut self, requeue: bool) -> Self {
+        self.requeue_quarantined = requeue;
+        self
+    }
+
+    /// Fsyncs the manifest after every `every` appended records (min 1,
+    /// the default). Raising it trades a bounded window of re-executable
+    /// cells after a power loss for fewer fsyncs on large grids; the
+    /// campaign always fsyncs once more when the grid drains.
+    pub fn manifest_sync_every(mut self, every: usize) -> Self {
+        self.manifest_sync_every = every.max(1);
         self
     }
 
@@ -386,13 +514,14 @@ impl Campaign {
                         known.insert(record.cell, record);
                     }
                 }
-                Some(open_manifest(path, &fingerprint)?)
+                Some(open_manifest(path, &fingerprint, self.manifest_sync_every)?)
             }
             None => None,
         };
-        // Failed records get a fresh chance on resume; only successes are
-        // replayed.
-        known.retain(|_, r| r.run.is_some());
+        // Successes are replayed; quarantined (timed-out / poisoned)
+        // records are replayed as terminal unless the campaign was asked
+        // to requeue them for a fresh chance.
+        known.retain(|_, r| r.run.is_some() || !self.requeue_quarantined);
         let replayed = cells.iter().filter(|c| known.contains_key(c)).count();
 
         // One framework per dataset, built once and shared by its cells
@@ -447,15 +576,35 @@ impl Campaign {
                 let record =
                     self.execute_cell(&frameworks[&cell.dataset], cell, streams[&cell.seed]);
                 if let Some(sink) = &sink {
-                    if let Err(e) = sink.append(&record) {
-                        // A lost checkpoint only costs re-execution on the
-                        // next resume; the computed record is still used.
-                        tracing::warn!("manifest append failed for cell {cell}: {e}");
+                    // A lost checkpoint only costs re-execution on the
+                    // next resume; the computed record is still used. The
+                    // append is unwind-isolated so even a panic inside the
+                    // sink (chaos-injected or otherwise) can't take the
+                    // rayon worker down with it.
+                    match catch_unwind(AssertUnwindSafe(|| sink.append(&record))) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            tracing::warn!("manifest append failed for cell {cell}: {e}");
+                        }
+                        Err(payload) => {
+                            tracing::warn!(
+                                "manifest append panicked for cell {cell}: {}",
+                                panic_message(payload)
+                            );
+                        }
                     }
                 }
                 Some(record)
             })
             .collect();
+
+        if let Some(sink) = &sink {
+            // Drain the batched-fsync window so every record written this
+            // invocation is durable before we report the outcome.
+            if let Err(e) = sink.sync() {
+                tracing::warn!("manifest final sync failed: {e}");
+            }
+        }
 
         let executed = results.iter().flatten().count();
         let skipped: Vec<CellId> = missing
@@ -488,8 +637,15 @@ impl Campaign {
         }
         let mut last_error = String::new();
         for attempt in 1..=self.attempts {
-            if attempt > 1 && observing {
-                self.observer.on_cell_retry(&cell, attempt);
+            if attempt > 1 {
+                if observing {
+                    self.observer.on_cell_retry(&cell, attempt);
+                }
+                let delay = self.backoff_delay(&cell, attempt);
+                if !delay.is_zero() {
+                    tracing::debug!("cell {cell} attempt {attempt}: backing off {delay:?}");
+                    std::thread::sleep(delay);
+                }
             }
             if let Some(hook) = &self.fault {
                 if let Some(message) = hook(&cell, attempt) {
@@ -505,19 +661,8 @@ impl Campaign {
                 Framework::replicate_seed(self.spec.base.rng_seed, cell.replicate as u64),
                 cell.algorithm,
             );
-            let run = catch_unwind(AssertUnwindSafe(|| {
-                if observing {
-                    let mut bridge = CellStatsBridge {
-                        cell,
-                        observer: self.observer.as_ref(),
-                    };
-                    fw.run_population_observed(cell.seed, stream, &mut bridge)
-                } else {
-                    fw.run_population(cell.seed, stream)
-                }
-            }));
-            match run {
-                Ok(run) => {
+            match self.run_attempt(fw, cell, stream) {
+                AttemptOutcome::Completed(run) => {
                     if observing {
                         self.observer
                             .on_cell_finish(&cell, attempt, cell_started.elapsed());
@@ -526,16 +671,39 @@ impl Campaign {
                         cell,
                         run: Some(run),
                         error: None,
+                        outcome: CellOutcome::Ok,
                         attempts: attempt,
                         duration_s: cell_started.elapsed().as_secs_f64(),
                     };
                 }
-                Err(payload) => {
-                    last_error = panic_message(payload);
+                AttemptOutcome::Panicked(message) => {
+                    last_error = message;
                     tracing::warn!("cell {cell} attempt {attempt} panicked: {last_error}");
                     if observing {
                         self.observer.on_cell_panic(&cell, attempt, &last_error);
                     }
+                }
+                AttemptOutcome::TimedOut => {
+                    // Terminal without retry: a cell that hangs once will
+                    // hang again (everything it does is deterministic), so
+                    // retrying only multiplies abandoned threads.
+                    let timeout = self.cell_timeout.unwrap_or_default();
+                    last_error = format!(
+                        "attempt {attempt} exceeded the {:.3}s cell timeout",
+                        timeout.as_secs_f64()
+                    );
+                    tracing::warn!("cell {cell} timed out: {last_error}");
+                    if observing {
+                        self.observer.on_cell_timed_out(&cell, attempt, timeout);
+                    }
+                    return CellRecord {
+                        cell,
+                        run: None,
+                        error: Some(last_error),
+                        outcome: CellOutcome::TimedOut,
+                        attempts: attempt,
+                        duration_s: cell_started.elapsed().as_secs_f64(),
+                    };
                 }
             }
         }
@@ -547,9 +715,92 @@ impl Campaign {
             cell,
             run: None,
             error: Some(last_error),
+            outcome: CellOutcome::Poisoned,
             attempts: self.attempts,
             duration_s: cell_started.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Runs one attempt, inline or (with a [`Campaign::cell_timeout`])
+    /// on a watchdogged thread. The `campaign.cell.run` fault point sits
+    /// inside the unwind barrier, so injected panics behave exactly like
+    /// organic engine panics.
+    fn run_attempt(&self, fw: Framework, cell: CellId, stream: u64) -> AttemptOutcome {
+        let observing = self.observer.enabled();
+        let observer = Arc::clone(&self.observer);
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let body = {
+            let abandoned = Arc::clone(&abandoned);
+            move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    chaos_hooks::raise("campaign.cell.run", &cell);
+                    if observing {
+                        let mut bridge = CellStatsBridge {
+                            cell,
+                            observer,
+                            abandoned,
+                        };
+                        fw.run_population_observed(cell.seed, stream, &mut bridge)
+                    } else {
+                        fw.run_population(cell.seed, stream)
+                    }
+                }))
+            }
+        };
+        let Some(timeout) = self.cell_timeout else {
+            return match body() {
+                Ok(run) => AttemptOutcome::Completed(run),
+                Err(payload) => AttemptOutcome::Panicked(panic_message(payload)),
+            };
+        };
+        // The watchdog deliberately detaches instead of joining: joining a
+        // hung thread is the stall the watchdog exists to prevent. The
+        // abandoned flag silences the orphan's observer bridge so a cell
+        // recorded as TimedOut can't later pollute telemetry.
+        let (tx, rx) = mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name(format!("hetsched-cell-{cell}"))
+            .spawn(move || {
+                let _ = tx.send(body());
+            });
+        if let Err(e) = spawned {
+            return AttemptOutcome::Panicked(format!("failed to spawn cell thread: {e}"));
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(Ok(run)) => AttemptOutcome::Completed(run),
+            Ok(Err(payload)) => AttemptOutcome::Panicked(panic_message(payload)),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                abandoned.store(true, Ordering::Relaxed);
+                AttemptOutcome::TimedOut
+            }
+            // The sender dropped without sending: the thread died in a way
+            // catch_unwind can't report (e.g. an abort racing teardown).
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                AttemptOutcome::Panicked("cell thread terminated without a result".to_string())
+            }
+        }
+    }
+
+    /// The deterministic pre-retry sleep for `attempt` (≥ 2): equal
+    /// jitter over an exponentially growing, capped window, seeded off
+    /// the campaign's backoff stream and the cell's identity — two runs
+    /// of the same campaign back off identically, and no engine RNG is
+    /// consulted.
+    fn backoff_delay(&self, cell: &CellId, attempt: usize) -> Duration {
+        if self.backoff_base.is_zero() || attempt < 2 {
+            return Duration::ZERO;
+        }
+        let exponent = (attempt - 2).min(20) as u32;
+        let window = self
+            .backoff_cap
+            .min(self.backoff_base.saturating_mul(1u32 << exponent));
+        let window_ms = window.as_millis() as u64;
+        if window_ms == 0 {
+            return window;
+        }
+        let salt = fnv1a(cell.to_string().as_bytes()) ^ (attempt as u64);
+        let jitter = splitmix64(self.backoff_seed ^ salt) % (window_ms / 2 + 1);
+        Duration::from_millis(window_ms / 2 + jitter)
     }
 
     /// Groups cell records into per-grid-point reports, in canonical
@@ -610,19 +861,55 @@ impl Campaign {
     }
 }
 
+/// How one attempt of one cell ended (internal to the attempt loop).
+enum AttemptOutcome {
+    /// The engine finished; the population is in hand.
+    Completed(PopulationRun),
+    /// The attempt panicked (organically, via the test fault hook, or
+    /// via an injected chaos fault) — retryable.
+    Panicked(String),
+    /// The watchdog expired — terminal.
+    TimedOut,
+}
+
 /// Adapts the campaign observer to the engine's per-generation
 /// [`Observer`](hetsched_moea::observe::Observer) hook for one cell, so
 /// every observed generation anywhere in the grid rolls up to
-/// [`CampaignObserver::on_generation`].
-struct CellStatsBridge<'a> {
+/// [`CampaignObserver::on_generation`]. Owned (not borrowed) because a
+/// watchdogged attempt runs on its own thread; `abandoned` flips when
+/// that thread outlives its timeout, muting the orphan.
+struct CellStatsBridge {
     cell: CellId,
-    observer: &'a dyn CampaignObserver,
+    observer: Arc<dyn CampaignObserver>,
+    abandoned: Arc<AtomicBool>,
 }
 
-impl hetsched_moea::observe::Observer<Allocation> for CellStatsBridge<'_> {
+impl hetsched_moea::observe::Observer<Allocation> for CellStatsBridge {
     fn on_generation(&mut self, stats: &GenerationStats, _population: &[Individual<Allocation>]) {
-        self.observer.on_generation(&self.cell, stats);
+        if !self.abandoned.load(Ordering::Relaxed) {
+            self.observer.on_generation(&self.cell, stats);
+        }
     }
+}
+
+/// FNV-1a, the workspace's no-dependency stable hash (also behind
+/// [`CampaignSpec::fingerprint`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 — drives backoff jitter on a stream of its own.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Extracts a printable message from a panic payload.
@@ -637,24 +924,54 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// The append-side manifest: line-buffered behind a mutex, flushed per
-/// record so a kill loses at most the line being written.
+/// record so a kill loses at most the line being written, and fsynced
+/// every `sync_every` records so a power loss loses at most that window.
+/// The lock recovers from poisoning (a panicking appender leaves at worst
+/// a torn tail line, which the reader already tolerates) — one bad cell
+/// must not disable checkpointing for the rest of the campaign.
 struct ManifestSink {
-    writer: Mutex<BufWriter<File>>,
+    state: Mutex<SinkState>,
+    sync_every: usize,
+}
+
+struct SinkState {
+    writer: BufWriter<File>,
+    /// Records flushed to the OS but not yet fsynced.
+    pending: usize,
 }
 
 impl ManifestSink {
     fn append(&self, record: &CellRecord) -> std::io::Result<()> {
         let line = serde_json::to_string(record)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut writer = self.writer.lock().expect("manifest mutex poisoned");
-        writeln!(writer, "{line}")?;
-        writer.flush()
+        let mut state = lock_unpoisoned(&self.state);
+        // The fault point sits inside the critical section so an injected
+        // panic genuinely poisons the mutex — the scenario the recovery
+        // above exists for.
+        chaos_hooks::raise_io("manifest.append", &record.cell)?;
+        writeln!(state.writer, "{line}")?;
+        state.writer.flush()?;
+        state.pending += 1;
+        if state.pending >= self.sync_every {
+            state.writer.get_ref().sync_data()?;
+            state.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs whatever the batching window still holds.
+    fn sync(&self) -> std::io::Result<()> {
+        let mut state = lock_unpoisoned(&self.state);
+        state.writer.flush()?;
+        state.writer.get_ref().sync_data()?;
+        state.pending = 0;
+        Ok(())
     }
 }
 
-/// Opens `path` for appending, writing the fingerprint header if the file
-/// is new or empty.
-fn open_manifest(path: &Path, fingerprint: &str) -> Result<ManifestSink> {
+/// Opens `path` for appending, writing (and fsyncing) the fingerprint
+/// header if the file is new or empty.
+fn open_manifest(path: &Path, fingerprint: &str, sync_every: usize) -> Result<ManifestSink> {
     let file = OpenOptions::new()
         .create(true)
         .append(true)
@@ -676,10 +993,12 @@ fn open_manifest(path: &Path, fingerprint: &str) -> Result<ManifestSink> {
             serde_json::to_string(&header).expect("header serialises")
         )
         .and_then(|()| writer.flush())
+        .and_then(|()| writer.get_ref().sync_data())
         .map_err(|e| CoreError::Io(format!("write manifest header: {e}")))?;
     }
     Ok(ManifestSink {
-        writer: Mutex::new(writer),
+        state: Mutex::new(SinkState { writer, pending: 0 }),
+        sync_every: sync_every.max(1),
     })
 }
 
@@ -1019,5 +1338,234 @@ mod tests {
         assert_eq!(outcome.executed, 0);
         assert_eq!(outcome.skipped.len(), 8);
         assert!(outcome.reports.is_empty());
+    }
+
+    #[test]
+    fn load_manifest_rejects_corrupt_header_and_old_versions() {
+        let path = temp_manifest("badheader");
+
+        std::fs::write(&path, "{not json at all\n").unwrap();
+        let err = load_manifest(&path).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Manifest(m) if m.contains("corrupt manifest header")),
+            "got {err:?}"
+        );
+
+        // A v2 manifest (pre-`outcome` records) must be refused up front,
+        // not half-parsed.
+        std::fs::write(&path, "{\"fingerprint\":\"deadbeef\",\"version\":2}\n").unwrap();
+        let err = load_manifest(&path).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Manifest(m) if m.contains("version 2 unsupported")),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_manifest_handles_empty_and_header_only_files() {
+        let path = temp_manifest("headeronly");
+
+        std::fs::write(&path, "").unwrap();
+        assert_eq!(load_manifest(&path).unwrap(), None, "empty file is fresh");
+
+        let header = format!(
+            "{}\n",
+            serde_json::to_string(&ManifestHeader {
+                fingerprint: "cafe0000cafe0000".to_string(),
+                version: MANIFEST_VERSION,
+            })
+            .unwrap()
+        );
+        std::fs::write(&path, header).unwrap();
+        let (owner, records) = load_manifest(&path).unwrap().expect("header parses");
+        assert_eq!(owner, "cafe0000cafe0000");
+        assert!(records.is_empty(), "header-only file has no records");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn manifest_sink_survives_a_poisoned_lock() {
+        let path = temp_manifest("poison");
+        let _ = std::fs::remove_file(&path);
+        let sink = open_manifest(&path, "feedface00000000", 1).unwrap();
+
+        // Poison the sink's mutex the way a panicking appender would.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = sink.state.lock().unwrap();
+            panic!("injected panic while holding the manifest lock");
+        }));
+        assert!(caught.is_err());
+        assert!(sink.state.is_poisoned());
+
+        // Checkpointing keeps working for the surviving cells.
+        let record = CellRecord {
+            cell: tiny_spec().cells()[0],
+            run: None,
+            error: Some("x".to_string()),
+            outcome: CellOutcome::Poisoned,
+            attempts: 1,
+            duration_s: 0.1,
+        };
+        sink.append(&record).unwrap();
+        sink.sync().unwrap();
+        let (_, records) = load_manifest(&path).unwrap().unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(records, vec![record]);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_off_the_engine_rng() {
+        let spec = tiny_spec();
+        let cell = spec.cells()[0];
+        let other = spec.cells()[1];
+        let campaign = Campaign::new(spec.clone())
+            .retry_backoff(Duration::from_millis(40), Duration::from_millis(200));
+
+        // Same campaign, same cell, same attempt: identical delays.
+        let again = Campaign::new(spec.clone())
+            .retry_backoff(Duration::from_millis(40), Duration::from_millis(200));
+        for attempt in 2..=6 {
+            let d = campaign.backoff_delay(&cell, attempt);
+            assert_eq!(d, again.backoff_delay(&cell, attempt));
+            // Equal jitter: window/2 <= delay <= window.
+            let window = Duration::from_millis(200)
+                .min(Duration::from_millis(40u64 << (attempt as u64 - 2).min(20)));
+            assert!(d >= window / 2 && d <= window, "attempt {attempt}: {d:?}");
+        }
+        // Different cells draw different jitter (with overwhelming
+        // likelihood for this seed), decorrelating retry stampedes.
+        assert_ne!(
+            campaign.backoff_delay(&cell, 3),
+            campaign.backoff_delay(&other, 3)
+        );
+        // The first attempt and a zero base never wait.
+        assert_eq!(campaign.backoff_delay(&cell, 1), Duration::ZERO);
+        let no_backoff = Campaign::new(spec).retry_backoff(Duration::ZERO, Duration::ZERO);
+        assert_eq!(no_backoff.backoff_delay(&cell, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn attempt_budget_never_perturbs_engine_results() {
+        // The backoff/jitter stream is off the engine RNGs: a campaign
+        // retried through 4 injected failures produces reports
+        // byte-identical to a first-try campaign.
+        let spec = tiny_spec();
+        let clean = Campaign::new(spec.clone()).attempts(1).run(None).unwrap();
+        let flaky = CellId {
+            dataset: DatasetId::One,
+            algorithm: Algorithm::Nsga2,
+            seed: SeedKind::MinEnergy,
+            replicate: 0,
+        };
+        let retried = Campaign::new(spec)
+            .attempts(5)
+            .retry_backoff(Duration::from_millis(1), Duration::from_millis(2))
+            .with_fault_injection(move |cell, attempt| {
+                (*cell == flaky && attempt < 5).then(|| "transient".to_string())
+            })
+            .run(None)
+            .unwrap();
+        assert!(clean.is_complete() && retried.is_complete());
+        assert_eq!(clean.reports, retried.reports);
+        for (a, b) in clean.reports.iter().zip(&retried.reports) {
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn watchdogged_cells_match_inline_execution_bit_for_bit() {
+        // A generous timeout moves every cell onto the watchdog thread
+        // path without tripping it; results must not change.
+        let spec = CampaignSpec::single(&tiny_spec().base);
+        let inline = Campaign::new(spec.clone()).run(None).unwrap();
+        let watched = Campaign::new(spec)
+            .cell_timeout(Duration::from_secs(600))
+            .run(None)
+            .unwrap();
+        assert!(watched.is_complete());
+        assert_eq!(inline.reports, watched.reports);
+        for (a, b) in inline.reports.iter().zip(&watched.reports) {
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn expired_watchdog_records_timed_out_without_retrying() {
+        // A 1ns budget expires before any real cell can finish. The cells
+        // are sized up (vs `tiny_spec`) so none can sneak a result into
+        // the channel before the watchdog's first deadline check — a
+        // completed result always wins over an expired deadline.
+        let mut base = tiny_spec().base;
+        base.tasks = 200;
+        base.population = 48;
+        base.snapshots = vec![30];
+        let spec = CampaignSpec::single(&base);
+        let outcome = Campaign::new(spec)
+            .attempts(3)
+            .cell_timeout(Duration::from_nanos(1))
+            .run(None)
+            .unwrap();
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.failed.len(), 2);
+        for record in &outcome.failed {
+            assert_eq!(record.outcome, CellOutcome::TimedOut);
+            assert_eq!(record.attempts, 1, "timeouts are terminal, not retried");
+            assert!(record.error.as_deref().unwrap().contains("cell timeout"));
+        }
+    }
+
+    #[test]
+    fn quarantined_cells_stay_poisoned_across_resume_until_requeued() {
+        let spec = tiny_spec();
+        let doomed = CellId {
+            dataset: DatasetId::One,
+            algorithm: Algorithm::Spea2,
+            seed: SeedKind::Random,
+            replicate: 1,
+        };
+        let path = temp_manifest("quarantine");
+        let _ = std::fs::remove_file(&path);
+
+        let first = Campaign::new(spec.clone())
+            .attempts(1)
+            .retry_backoff(Duration::ZERO, Duration::ZERO)
+            .with_fault_injection(move |cell, _| {
+                (*cell == doomed).then(|| "injected permanent fault".to_string())
+            })
+            .run(Some(&path))
+            .unwrap();
+        assert_eq!(first.failed.len(), 1);
+        assert_eq!(first.failed[0].outcome, CellOutcome::Poisoned);
+
+        // Resume without the fault: the poisoned record is quarantined,
+        // not retried — the budget already condemned it.
+        let resumed = Campaign::new(spec.clone()).run(Some(&path)).unwrap();
+        assert_eq!(resumed.executed, 0, "quarantine re-executed a cell");
+        assert_eq!(resumed.replayed, 8);
+        assert_eq!(resumed.failed.len(), 1);
+        assert_eq!(resumed.failed[0].cell, doomed);
+
+        // Requeueing clears the quarantine; the fresh record supersedes
+        // the poisoned one and the campaign completes.
+        let requeued = Campaign::new(spec.clone())
+            .requeue_quarantined(true)
+            .run(Some(&path))
+            .unwrap();
+        assert_eq!(requeued.executed, 1);
+        assert!(requeued.is_complete());
+
+        // ...and the superseding record wins on the next replay too.
+        let settled = Campaign::new(spec).run(Some(&path)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(settled.is_complete());
+        assert_eq!(settled.executed, 0);
+        assert_eq!(settled.reports, requeued.reports);
     }
 }

@@ -16,7 +16,7 @@
 //!
 //! [`AnalysisReport::hypervolume_table`]: crate::report::AnalysisReport::hypervolume_table
 
-use crate::campaign::{load_manifest, CellRecord};
+use crate::campaign::{load_manifest, CellOutcome, CellRecord};
 use crate::journal::{JournalRecord, RunJournal};
 use crate::{CoreError, Result};
 use hetsched_moea::observe::GenerationStats;
@@ -138,24 +138,33 @@ pub enum CellStatus {
     Done,
     /// Succeeded after at least one retry.
     Retried,
-    /// Exhausted its attempt budget.
-    Failed,
+    /// An attempt exceeded the campaign's cell timeout (quarantined).
+    TimedOut,
+    /// Exhausted its attempt budget (quarantined).
+    Poisoned,
 }
 
 impl CellStatus {
     fn of(record: &CellRecord) -> Self {
-        match (&record.run, record.attempts) {
-            (Some(_), 1) => CellStatus::Done,
-            (Some(_), _) => CellStatus::Retried,
-            (None, _) => CellStatus::Failed,
+        match (record.outcome, record.attempts) {
+            (CellOutcome::Ok, 1) => CellStatus::Done,
+            (CellOutcome::Ok, _) => CellStatus::Retried,
+            (CellOutcome::TimedOut, _) => CellStatus::TimedOut,
+            (CellOutcome::Poisoned, _) => CellStatus::Poisoned,
         }
+    }
+
+    /// Whether the cell delivered a population.
+    fn succeeded(self) -> bool {
+        matches!(self, CellStatus::Done | CellStatus::Retried)
     }
 
     fn label(self) -> &'static str {
         match self {
             CellStatus::Done => "done",
             CellStatus::Retried => "retried",
-            CellStatus::Failed => "failed",
+            CellStatus::TimedOut => "timeout",
+            CellStatus::Poisoned => "poisoned",
         }
     }
 }
@@ -348,20 +357,26 @@ impl ManifestSummary {
     /// Renders the summary for the terminal.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let done = self
-            .cells
-            .iter()
-            .filter(|c| c.status != CellStatus::Failed)
-            .count();
+        let done = self.cells.iter().filter(|c| c.status.succeeded()).count();
         let retried = self
             .cells
             .iter()
             .filter(|c| c.status == CellStatus::Retried)
             .count();
-        let failed = self.cells.len() - done;
+        let timed_out = self
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::TimedOut)
+            .count();
+        let poisoned = self
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Poisoned)
+            .count();
         let _ = writeln!(
             out,
-            "campaign {}: {} cell(s) recorded ({done} done, {retried} retried, {failed} failed)\n",
+            "campaign {}: {} cell(s) recorded ({done} done, {retried} retried, \
+             {timed_out} timed out, {poisoned} poisoned)\n",
             self.fingerprint,
             self.cells.len(),
         );
@@ -491,6 +506,7 @@ mod tests {
             cell: sample_cell(),
             run: Some(run),
             error: None,
+            outcome: CellOutcome::Ok,
             attempts: 1,
             duration_s: 0.5,
         };
@@ -500,12 +516,20 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(CellStatus::of(&retried), CellStatus::Retried);
-        let failed = CellRecord {
+        let poisoned = CellRecord {
             run: None,
             error: Some("boom".to_string()),
+            outcome: CellOutcome::Poisoned,
+            ..base.clone()
+        };
+        assert_eq!(CellStatus::of(&poisoned), CellStatus::Poisoned);
+        let timed_out = CellRecord {
+            run: None,
+            error: Some("cell timeout".to_string()),
+            outcome: CellOutcome::TimedOut,
             ..base
         };
-        assert_eq!(CellStatus::of(&failed), CellStatus::Failed);
+        assert_eq!(CellStatus::of(&timed_out), CellStatus::TimedOut);
     }
 
     #[test]
@@ -524,6 +548,7 @@ mod tests {
                 ],
             }),
             error: None,
+            outcome: CellOutcome::Ok,
             attempts: 2,
             duration_s: 1.25,
         };
@@ -533,13 +558,14 @@ mod tests {
             cell: bad_cell,
             run: None,
             error: Some("panicked".to_string()),
+            outcome: CellOutcome::Poisoned,
             attempts: 2,
             duration_s: 0.1,
         };
         let summary = summarise_manifest("f00d".to_string(), &[ok, bad]);
         assert_eq!(summary.cells.len(), 2);
         assert_eq!(summary.cells[0].status, CellStatus::Retried);
-        assert_eq!(summary.cells[1].status, CellStatus::Failed);
+        assert_eq!(summary.cells[1].status, CellStatus::Poisoned);
         // Only the successful cell contributes a convergence row, at
         // snapshot resolution.
         assert_eq!(summary.populations.len(), 1);
@@ -549,7 +575,7 @@ mod tests {
         assert!(pop.final_hv.unwrap() >= pop.gens_to_95pct_peak.map_or(0.0, |_| 0.0));
         let rendered = summary.render();
         assert!(
-            rendered.contains("1 done, 1 retried, 1 failed"),
+            rendered.contains("1 done, 1 retried, 0 timed out, 1 poisoned"),
             "{rendered}"
         );
         assert!(rendered.contains("(panicked)"), "{rendered}");

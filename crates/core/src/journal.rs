@@ -8,6 +8,8 @@
 //!
 //! [`Framework`]: crate::Framework
 
+use crate::chaos_hooks;
+use crate::durable::lock_unpoisoned;
 use hetsched_heuristics::SeedKind;
 use hetsched_moea::observe::{GenerationStats, Observer};
 use hetsched_moea::Individual;
@@ -64,7 +66,11 @@ impl RunJournal {
     pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
         let line = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut sink = self.sink.lock().expect("journal mutex poisoned");
+        // Poison-recovering lock: a panicking writer leaves at worst a
+        // torn tail line, which the reader tolerates — the journal keeps
+        // accepting records from the surviving populations.
+        let mut sink = lock_unpoisoned(&self.sink);
+        chaos_hooks::raise_io("journal.write", &record.stream)?;
         writeln!(sink, "{line}")?;
         sink.flush()
     }
@@ -75,7 +81,7 @@ impl RunJournal {
     ///
     /// Write failures.
     pub fn flush(&self) -> io::Result<()> {
-        self.sink.lock().expect("journal mutex poisoned").flush()
+        lock_unpoisoned(&self.sink).flush()
     }
 
     /// Reads a journal file back. A torn final line (the process was
@@ -111,10 +117,8 @@ impl Drop for RunJournal {
     fn drop(&mut self) {
         // A best-effort final flush; append already flushes per line, so
         // this only matters for writers that buffer internally.
-        if let Ok(mut sink) = self.sink.lock() {
-            if let Err(e) = sink.flush() {
-                tracing::warn!("journal flush on drop failed: {e}");
-            }
+        if let Err(e) = lock_unpoisoned(&self.sink).flush() {
+            tracing::warn!("journal flush on drop failed: {e}");
         }
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod campaign;
 pub mod config;
+pub mod durable;
 pub mod figures;
 pub mod framework;
 pub mod inspect;
@@ -31,11 +32,46 @@ pub mod report;
 pub mod suite;
 pub mod telemetry;
 
+/// Deterministic fault injection (the `chaos` feature re-exports
+/// [`hetsched_chaos`] here so consumers address one crate). See
+/// README § Fault tolerance for the plan syntax and the fault points
+/// compiled into this crate.
+#[cfg(feature = "chaos")]
+pub mod chaos {
+    pub use hetsched_chaos::*;
+}
+
+/// Internal forwarding layer for fault points: with the `chaos` feature
+/// off these are empty inline functions the optimiser erases, so the
+/// production build carries zero fault-injection cost.
+pub(crate) mod chaos_hooks {
+    #[cfg(feature = "chaos")]
+    pub fn raise(point: &str, scope: &dyn std::fmt::Display) {
+        hetsched_chaos::raise(point, scope);
+    }
+
+    #[cfg(feature = "chaos")]
+    pub fn raise_io(point: &str, scope: &dyn std::fmt::Display) -> std::io::Result<()> {
+        hetsched_chaos::raise_io(point, scope)
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline(always)]
+    pub fn raise(_point: &str, _scope: &dyn std::fmt::Display) {}
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline(always)]
+    pub fn raise_io(_point: &str, _scope: &dyn std::fmt::Display) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 pub use campaign::{
     load_manifest, Campaign, CampaignOutcome, CampaignReport, CampaignSpec, CancelToken, CellId,
-    CellRecord,
+    CellOutcome, CellRecord,
 };
 pub use config::{DatasetId, ExperimentConfig};
+pub use durable::durable_write;
 pub use framework::Framework;
 pub use inspect::{inspect_path, Inspection};
 // The engine API the framework is parameterised over, re-exported so

@@ -27,6 +27,8 @@
 //! [`Campaign`]: crate::campaign::Campaign
 
 use crate::campaign::CellId;
+use crate::chaos_hooks;
+use crate::durable::{lock_unpoisoned, SyncOnFlush};
 use hetsched_moea::observe::GenerationStats;
 use serde::{Deserialize, Serialize};
 use std::fs::OpenOptions;
@@ -108,7 +110,8 @@ pub struct MetricsRegistry {
     cells_finished: AtomicU64,
     cells_retried: AtomicU64,
     cells_panicked: AtomicU64,
-    cells_failed: AtomicU64,
+    cells_timed_out: AtomicU64,
+    cells_poisoned: AtomicU64,
     cells_skipped: AtomicU64,
     generations: AtomicU64,
     evaluations: AtomicU64,
@@ -131,7 +134,8 @@ impl Default for MetricsRegistry {
             cells_finished: AtomicU64::new(0),
             cells_retried: AtomicU64::new(0),
             cells_panicked: AtomicU64::new(0),
-            cells_failed: AtomicU64::new(0),
+            cells_timed_out: AtomicU64::new(0),
+            cells_poisoned: AtomicU64::new(0),
             cells_skipped: AtomicU64::new(0),
             generations: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
@@ -207,9 +211,16 @@ impl MetricsRegistry {
         self.cells_panicked.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A cell exhausted its attempt budget.
-    pub fn cell_failed(&self) {
-        self.cells_failed.fetch_add(1, Ordering::Relaxed);
+    /// A cell's attempt exceeded the watchdog timeout (terminal; counts
+    /// toward the `cells_failed` rollup).
+    pub fn cell_timed_out(&self) {
+        self.cells_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cell exhausted its attempt budget and was quarantined (terminal;
+    /// counts toward the `cells_failed` rollup).
+    pub fn cell_poisoned(&self) {
+        self.cells_poisoned.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A cell was skipped (cancellation or deadline).
@@ -245,11 +256,15 @@ impl MetricsRegistry {
             cells_finished: self.cells_finished.load(Ordering::Relaxed),
             cells_retried: self.cells_retried.load(Ordering::Relaxed),
             cells_panicked: self.cells_panicked.load(Ordering::Relaxed),
-            cells_failed: self.cells_failed.load(Ordering::Relaxed),
+            cells_timed_out: self.cells_timed_out.load(Ordering::Relaxed),
+            cells_poisoned: self.cells_poisoned.load(Ordering::Relaxed),
+            cells_failed: self.cells_timed_out.load(Ordering::Relaxed)
+                + self.cells_poisoned.load(Ordering::Relaxed),
             cells_skipped: self.cells_skipped.load(Ordering::Relaxed),
             generations: self.generations.load(Ordering::Relaxed),
             evaluations: self.evaluations.load(Ordering::Relaxed),
             sim_evaluations: sim_evaluations_total(),
+            faults_injected: chaos_faults_injected_total(),
             phase_mating_s: load_secs(&self.phase_mating_ns),
             phase_evaluation_s: load_secs(&self.phase_evaluation_ns),
             phase_sorting_s: load_secs(&self.phase_sorting_ns),
@@ -309,9 +324,24 @@ impl MetricsRegistry {
             s.cells_panicked.to_string(),
         );
         metric(
+            "hetsched_campaign_cells_timed_out_total",
+            "counter",
+            s.cells_timed_out.to_string(),
+        );
+        metric(
+            "hetsched_campaign_cells_poisoned_total",
+            "counter",
+            s.cells_poisoned.to_string(),
+        );
+        metric(
             "hetsched_campaign_cells_failed_total",
             "counter",
             s.cells_failed.to_string(),
+        );
+        metric(
+            "hetsched_chaos_faults_injected_total",
+            "counter",
+            s.faults_injected.to_string(),
         );
         metric(
             "hetsched_campaign_cells_skipped_total",
@@ -392,6 +422,21 @@ fn sim_evaluations_total() -> u64 {
     }
 }
 
+/// The total chaos faults this process has injected, when built with the
+/// `chaos` feature; 0 otherwise. Monotone across arm/disarm cycles, so
+/// the telemetry layer accounts for every injected fault even after its
+/// plan is gone.
+fn chaos_faults_injected_total() -> u64 {
+    #[cfg(feature = "chaos")]
+    {
+        hetsched_chaos::injected_total()
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        0
+    }
+}
+
 /// A point-in-time copy of the registry, serialisable for exporters and
 /// tests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -410,7 +455,11 @@ pub struct MetricsSnapshot {
     pub cells_retried: u64,
     /// Attempts that panicked (or were failed by fault injection).
     pub cells_panicked: u64,
-    /// Cells that exhausted their attempt budget.
+    /// Cells whose attempt exceeded the watchdog timeout (terminal).
+    pub cells_timed_out: u64,
+    /// Cells quarantined after exhausting their attempt budget.
+    pub cells_poisoned: u64,
+    /// Terminal failures: `cells_timed_out + cells_poisoned`.
     pub cells_failed: u64,
     /// Cells skipped by cancellation or the deadline.
     pub cells_skipped: u64,
@@ -421,6 +470,9 @@ pub struct MetricsSnapshot {
     /// Process-wide simulator evaluation count (`eval-counters` builds
     /// only; 0 otherwise).
     pub sim_evaluations: u64,
+    /// Process-wide injected chaos fault count (`chaos` builds only; 0
+    /// otherwise).
+    pub faults_injected: u64,
     /// Wall-clock spent in mating across all observed generations.
     pub phase_mating_s: f64,
     /// Wall-clock spent in evaluation across all observed generations.
@@ -512,6 +564,22 @@ impl Heartbeat {
         Ok(Heartbeat::to_writer(BufWriter::new(file), every))
     }
 
+    /// Like [`Heartbeat::create`], but every emitted line is additionally
+    /// fsynced (`sync_data`) — the CLI uses this so the heartbeat file is
+    /// a durable checkpoint of campaign progress, not just a kernel
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// File open failures.
+    pub fn create_durable(path: impl AsRef<Path>, every: Duration) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Heartbeat::to_writer(
+            BufWriter::new(SyncOnFlush(file)),
+            every,
+        ))
+    }
+
     /// Wraps any writer — for tests and in-memory capture.
     pub fn to_writer(writer: impl Write + Send + 'static, every: Duration) -> Self {
         Heartbeat {
@@ -560,8 +628,14 @@ impl Heartbeat {
                 return;
             }
         };
-        let mut sink = self.sink.lock().expect("heartbeat mutex poisoned");
-        if let Err(e) = writeln!(sink, "{rendered}").and_then(|()| sink.flush()) {
+        // Poison-recovering lock + in-lock fault point: a heartbeat IO
+        // failure (injected or real) is logged and swallowed — progress
+        // reporting must never take the campaign down.
+        let mut sink = lock_unpoisoned(&self.sink);
+        let wrote = chaos_hooks::raise_io("heartbeat.tick", &line.cells_done)
+            .and_then(|()| writeln!(sink, "{rendered}"))
+            .and_then(|()| sink.flush());
+        if let Err(e) = wrote {
             tracing::warn!("heartbeat write failed: {e}");
         }
     }
@@ -614,7 +688,13 @@ pub trait CampaignObserver: Send + Sync {
         let _ = (cell, next_attempt);
     }
 
-    /// `cell` exhausted its attempt budget.
+    /// An attempt at `cell` exceeded the campaign's cell timeout; the
+    /// cell was recorded as timed out (terminal).
+    fn on_cell_timed_out(&self, cell: &CellId, attempt: usize, timeout: Duration) {
+        let _ = (cell, attempt, timeout);
+    }
+
+    /// `cell` exhausted its attempt budget and was quarantined.
     fn on_cell_failed(&self, cell: &CellId, attempts: usize, error: &str) {
         let _ = (cell, attempts, error);
     }
@@ -730,8 +810,14 @@ impl CampaignObserver for TelemetryObserver {
         self.registry.cell_retried();
     }
 
+    fn on_cell_timed_out(&self, _cell: &CellId, _attempt: usize, _timeout: Duration) {
+        self.registry.cell_timed_out();
+        self.progress_line();
+        self.maybe_heartbeat();
+    }
+
     fn on_cell_failed(&self, _cell: &CellId, _attempts: usize, _error: &str) {
-        self.registry.cell_failed();
+        self.registry.cell_poisoned();
         self.progress_line();
         self.maybe_heartbeat();
     }
@@ -839,7 +925,8 @@ mod tests {
         reg.cell_finished(Duration::from_millis(40));
         reg.cell_panicked();
         reg.cell_retried();
-        reg.cell_failed();
+        reg.cell_timed_out();
+        reg.cell_poisoned();
         reg.cell_skipped();
         reg.generation(&stats(16));
         reg.generation(&stats(16));
@@ -850,7 +937,9 @@ mod tests {
         assert_eq!(s.cells_finished, 1);
         assert_eq!(s.cells_panicked, 1);
         assert_eq!(s.cells_retried, 1);
-        assert_eq!(s.cells_failed, 1);
+        assert_eq!(s.cells_timed_out, 1);
+        assert_eq!(s.cells_poisoned, 1);
+        assert_eq!(s.cells_failed, 2, "failed rolls up timeouts + poisons");
         assert_eq!(s.cells_skipped, 1);
         assert_eq!(s.cells_done(), 4);
         assert_eq!(s.generations, 2);
@@ -962,21 +1051,28 @@ mod tests {
         obs.on_cell_panic(&cell, 1, "boom");
         obs.on_cell_retry(&cell, 2);
         obs.on_cell_finish(&cell, 2, Duration::from_millis(12));
+        obs.on_cell_timed_out(&cell, 1, Duration::from_millis(5));
+        obs.on_cell_failed(&cell, 2, "poisoned");
         obs.on_campaign_end();
         let s = reg.snapshot();
         assert_eq!(s.cells_started, 1);
         assert_eq!(s.cells_finished, 1);
         assert_eq!(s.cells_panicked, 1);
         assert_eq!(s.cells_retried, 1);
+        assert_eq!(s.cells_timed_out, 1);
+        assert_eq!(s.cells_poisoned, 1);
+        assert_eq!(s.cells_failed, 2);
         assert_eq!(s.evaluations, 8);
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let lines: Vec<HeartbeatLine> = text
             .lines()
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
-        // start + finish + end, interval 0 so nothing suppressed.
-        assert_eq!(lines.len(), 3);
+        // start + finish + timeout + failure + end, interval 0 so nothing
+        // suppressed.
+        assert_eq!(lines.len(), 5);
         assert_eq!(lines.last().unwrap().cells_done, 2);
+        assert_eq!(lines.last().unwrap().cells_failed, 2);
     }
 
     #[test]

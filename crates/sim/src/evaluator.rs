@@ -197,6 +197,8 @@ impl<'a> Evaluator<'a> {
     /// allocations). Debug builds assert feasibility.
     pub fn evaluate(&mut self, alloc: &Allocation) -> Outcome {
         debug_assert!(alloc.validate(self.system, self.trace).is_ok());
+        #[cfg(feature = "chaos")]
+        hetsched_chaos::raise("evaluator.evaluate", &"");
         #[cfg(feature = "eval-counters")]
         {
             self.evaluations += 1;

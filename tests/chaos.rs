@@ -1,0 +1,314 @@
+//! Chaos suite: deterministic fault injection against the hardened
+//! campaign executor (compiled only with `--features chaos`).
+//!
+//! Each test arms a [`FaultPlan`] on the process-global registry, runs a
+//! small campaign through the injected faults, and asserts the recovery
+//! contract from README § Fault tolerance:
+//!
+//! * injected panics and manifest I/O errors are invisible in the final
+//!   reports — byte-identical to an uninjected run, including across a
+//!   kill-and-resume;
+//! * a hung cell is recorded as timed out while every other cell's
+//!   result still matches the clean run;
+//! * telemetry counters account for every fault the plan injected.
+//!
+//! The registry is global, so the tests serialise on a lock; everything
+//! else in this binary stays chaos-armed-free.
+
+#![cfg(feature = "chaos")]
+
+use hetsched::core::chaos::{armed, injected_total, FaultPlan};
+use hetsched::core::{
+    Algorithm, Campaign, CampaignOutcome, CampaignSpec, CellOutcome, DatasetId, ExperimentConfig,
+    MetricsRegistry, RunJournal, TelemetryObserver,
+};
+use hetsched::heuristics::SeedKind;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serialises the tests: the chaos registry is process-global state.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// 1 dataset × 2 algorithms × 2 replicates × 2 seed kinds = 8 cells.
+fn tiny_spec() -> CampaignSpec {
+    let base = ExperimentConfig {
+        tasks: 20,
+        population: 8,
+        snapshots: vec![2, 4],
+        seeds: vec![SeedKind::MinEnergy, SeedKind::Random],
+        rng_seed: 0xC4405,
+        parallel: false,
+        ..ExperimentConfig::dataset1()
+    };
+    CampaignSpec {
+        datasets: vec![DatasetId::One],
+        algorithms: vec![Algorithm::Nsga2, Algorithm::Spea2],
+        replicates: 2,
+        base,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hetsched-chaos-{}-{tag}", std::process::id()))
+}
+
+/// The campaign reports, serialised for byte-identity comparison.
+fn report_bytes(outcome: &CampaignOutcome) -> Vec<String> {
+    outcome
+        .reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?}/{}/{}",
+                r.algorithm,
+                r.replicate,
+                serde_json::to_string(&r.report).unwrap()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn injected_faults_and_a_kill_are_invisible_after_resume() {
+    let _serial = serial();
+    let spec = tiny_spec();
+    let clean = Campaign::new(spec.clone()).run(None).unwrap();
+    assert!(clean.is_complete());
+
+    let manifest = scratch("differential.jsonl");
+    let _ = std::fs::remove_file(&manifest);
+
+    // Two cell panics (each recovered by a retry) plus one manifest
+    // append error (the checkpoint line is lost; the in-memory record is
+    // still used).
+    let plan = FaultPlan::parse(
+        "seed=7;campaign.cell.run@1=panic;campaign.cell.run@4=panic;manifest.append@2=io",
+    )
+    .unwrap();
+    let before = injected_total();
+    let faulted = {
+        let _armed = armed(plan);
+        Campaign::new(spec.clone())
+            .attempts(3)
+            .run(Some(&manifest))
+            .unwrap()
+    };
+    assert_eq!(injected_total() - before, 3, "every planned fault fired");
+    assert!(faulted.is_complete(), "retries absorb the injected panics");
+    assert_eq!(report_bytes(&clean), report_bytes(&faulted));
+
+    // The io fault cost exactly one checkpoint line: header + 7 records.
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    assert_eq!(text.lines().count(), 1 + 7, "{text}");
+
+    // Kill: truncate the manifest to header + 3 records, then resume with
+    // no faults armed. Only the missing cells re-execute, and the final
+    // reports are byte-identical to the uninterrupted, uninjected run.
+    let kept: Vec<&str> = text.lines().take(1 + 3).collect();
+    std::fs::write(&manifest, format!("{}\n", kept.join("\n"))).unwrap();
+    let resumed = Campaign::new(spec).run(Some(&manifest)).unwrap();
+    let _ = std::fs::remove_file(&manifest);
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.replayed, 3);
+    assert_eq!(resumed.executed, 5);
+    assert_eq!(report_bytes(&clean), report_bytes(&resumed));
+}
+
+#[test]
+fn hung_cell_times_out_while_every_other_cell_matches() {
+    let _serial = serial();
+    let spec = tiny_spec();
+    let clean = Campaign::new(spec.clone()).run(None).unwrap();
+
+    // One cell sleeps far past the watchdog budget; the injected delay is
+    // scoped so exactly that cell hangs.
+    let plan =
+        FaultPlan::parse("seed=3;campaign.cell.run[One/nsga2/min-energy/r0]@1=delay:1500").unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let observer = Arc::new(TelemetryObserver::new(Arc::clone(&registry)));
+    let outcome = {
+        let _armed = armed(plan);
+        Campaign::new(spec)
+            .cell_timeout(Duration::from_millis(300))
+            .with_observer(observer)
+            .run(None)
+            .unwrap()
+    };
+
+    assert_eq!(outcome.failed.len(), 1, "exactly one cell times out");
+    let record = &outcome.failed[0];
+    assert_eq!(record.outcome, CellOutcome::TimedOut);
+    assert_eq!(record.cell.to_string(), "One/nsga2/min-energy/r0");
+    assert_eq!(record.attempts, 1, "timeouts are terminal");
+    assert!(record.error.as_deref().unwrap().contains("cell timeout"));
+
+    // The timed-out cell removes its (algorithm, replicate) group's
+    // report; every surviving report matches the clean run byte for byte.
+    let clean_reports = report_bytes(&clean);
+    let survivors = report_bytes(&outcome);
+    assert_eq!(survivors.len(), clean_reports.len() - 1);
+    for line in &survivors {
+        assert!(clean_reports.contains(line), "report drifted: {line}");
+    }
+
+    // The timeout is visible in the telemetry counters.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.cells_timed_out, 1);
+    assert_eq!(snapshot.cells_poisoned, 0);
+    assert_eq!(snapshot.cells_failed, 1);
+
+    // Let the abandoned watchdog orphan drain before the next test arms
+    // its own plan (the orphan would otherwise consume its fault hits).
+    std::thread::sleep(Duration::from_millis(1700));
+}
+
+#[test]
+fn evaluator_faults_retry_to_identical_results() {
+    let _serial = serial();
+    let spec = tiny_spec();
+    let clean = Campaign::new(spec.clone()).run(None).unwrap();
+
+    // The panic fires deep inside the simulator on some cell's first
+    // evaluation; the attempt dies, the retry replays the cell from its
+    // own RNG stream and must land on identical results.
+    let plan = FaultPlan::parse("evaluator.evaluate@1=panic").unwrap();
+    let before = injected_total();
+    let outcome = {
+        let _armed = armed(plan);
+        Campaign::new(spec).attempts(2).run(None).unwrap()
+    };
+    assert_eq!(injected_total() - before, 1);
+    assert!(outcome.is_complete());
+    assert_eq!(report_bytes(&clean), report_bytes(&outcome));
+}
+
+#[test]
+fn journal_write_faults_surface_as_append_errors() {
+    let _serial = serial();
+    let path = scratch("journal.jsonl");
+    let plan = FaultPlan::parse("journal.write@1=io").unwrap();
+    let _armed = armed(plan);
+
+    let journal = RunJournal::create(&path).unwrap();
+    let record = hetsched::core::JournalRecord {
+        population: "Random".to_string(),
+        stream: 1,
+        stats: hetsched::moea::observe::GenerationStats {
+            generation: 1,
+            front_sizes: vec![2],
+            ideal: [-1.0, 1.0],
+            hypervolume: None,
+            crowding_spread: 0.0,
+            evaluations: 4,
+            timings: Default::default(),
+        },
+    };
+    let err = journal.append(&record).unwrap_err();
+    assert!(err.to_string().contains("journal.write"), "{err}");
+    // The sink survives the fault: the next append goes through.
+    journal.append(&record).unwrap();
+    drop(journal);
+    let read = RunJournal::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(read.len(), 1);
+}
+
+#[test]
+fn heartbeat_faults_are_swallowed_and_the_campaign_completes() {
+    let _serial = serial();
+    let heartbeat = scratch("heartbeat.jsonl");
+    let _ = std::fs::remove_file(&heartbeat);
+
+    let plan = FaultPlan::parse("heartbeat.tick@1=io").unwrap();
+    let hb = hetsched::core::Heartbeat::create_durable(&heartbeat, Duration::ZERO).unwrap();
+    let observer =
+        Arc::new(TelemetryObserver::new(Arc::new(MetricsRegistry::new())).with_heartbeat(hb));
+    let outcome = {
+        let _armed = armed(plan);
+        Campaign::new(tiny_spec())
+            .with_observer(observer)
+            .run(None)
+            .unwrap()
+    };
+    assert!(
+        outcome.is_complete(),
+        "a broken heartbeat never fails a run"
+    );
+
+    // One line was sacrificed to the fault; the rest are valid JSON.
+    let text = std::fs::read_to_string(&heartbeat).unwrap();
+    let _ = std::fs::remove_file(&heartbeat);
+    let mut lines = 0;
+    for line in text.lines() {
+        serde_json::from_str::<hetsched::core::HeartbeatLine>(line)
+            .unwrap_or_else(|e| panic!("bad heartbeat line {line:?}: {e}"));
+        lines += 1;
+    }
+    assert!(lines >= 1, "surviving heartbeat lines expected: {text}");
+}
+
+#[test]
+fn manifest_append_panic_poisons_the_sink_and_only_that_cell_reruns() {
+    let _serial = serial();
+    let manifest = scratch("poison.jsonl");
+    let _ = std::fs::remove_file(&manifest);
+
+    // The panic fires *inside* the sink's critical section, genuinely
+    // poisoning the mutex; later appends must recover the lock and keep
+    // checkpointing.
+    let plan = FaultPlan::parse("manifest.append[One/spea2/random/r1]@1=panic").unwrap();
+    let spec = tiny_spec();
+    let first = {
+        let _armed = armed(plan);
+        Campaign::new(spec.clone()).run(Some(&manifest)).unwrap()
+    };
+    assert!(first.is_complete(), "an append panic never fails the run");
+
+    // Exactly the faulted cell's checkpoint line is missing.
+    let lines = std::fs::read_to_string(&manifest).unwrap().lines().count();
+    assert_eq!(lines, 1 + 7);
+
+    // Resume re-executes just that cell.
+    let resumed = Campaign::new(spec).run(Some(&manifest)).unwrap();
+    let _ = std::fs::remove_file(&manifest);
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.replayed, 7);
+    assert_eq!(resumed.executed, 1);
+}
+
+#[test]
+fn telemetry_accounts_for_poisoned_cells_and_injected_faults() {
+    let _serial = serial();
+    // Both attempts of one cell panic: the cell exhausts its budget and
+    // is quarantined.
+    let plan = FaultPlan::parse("campaign.cell.run[One/spea2/min-energy/r0]@1x2=panic").unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let observer = Arc::new(TelemetryObserver::new(Arc::clone(&registry)));
+    let before = injected_total();
+    let outcome = {
+        let _armed = armed(plan);
+        Campaign::new(tiny_spec())
+            .attempts(2)
+            .retry_backoff(Duration::ZERO, Duration::ZERO)
+            .with_observer(observer)
+            .run(None)
+            .unwrap()
+    };
+    assert_eq!(outcome.failed.len(), 1);
+    assert_eq!(outcome.failed[0].outcome, CellOutcome::Poisoned);
+    assert_eq!(outcome.failed[0].attempts, 2);
+
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.cells_poisoned, 1);
+    assert_eq!(snapshot.cells_timed_out, 0);
+    assert_eq!(snapshot.cells_failed, 1);
+    // Global counter: exactly the two planned panics fired during the
+    // run, and the snapshot carries the cumulative total.
+    assert_eq!(injected_total() - before, 2);
+    assert_eq!(snapshot.faults_injected, injected_total());
+}

@@ -34,7 +34,12 @@ fn assert_renders_identically(fixture: &str, expected: &str) {
     let rendered = inspect_path(&dir.join(fixture))
         .expect("fixture must parse")
         .render();
-    let expected = std::fs::read_to_string(dir.join(expected)).expect("expected render missing");
+    let expected_path = dir.join(expected);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&expected_path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).expect("expected render missing");
     assert!(
         rendered == expected,
         "`hetsched report {fixture}` output drifted from the golden render.\n\
