@@ -2,8 +2,8 @@
 //! to the [`hetsched_moea::Problem`] interface.
 
 use hetsched_data::{HcSystem, MachineId};
-use hetsched_moea::{Objectives, Problem, Variation};
-use hetsched_sim::{Allocation, Evaluator, TaskMove};
+use hetsched_moea::{BatchRequest, Objectives, Problem, Variation};
+use hetsched_sim::{Allocation, BatchEvaluator, BatchJob, TaskMove};
 use hetsched_workload::Trace;
 use rand::{Rng, RngCore};
 
@@ -73,15 +73,20 @@ impl<'a> AllocationProblem<'a> {
 
 impl<'a> Problem for AllocationProblem<'a> {
     type Genome = Allocation;
-    type Evaluator = Evaluator<'a>;
+    /// Population-aware: engines hand whole offspring generations to
+    /// [`Problem::evaluate_batch`], and the [`BatchEvaluator`] keeps a pool
+    /// of persistent workers (warm delta-schedule caches) across
+    /// generations. Single-shot calls run on its primary worker, which is a
+    /// plain [`Evaluator`].
+    type Evaluator = BatchEvaluator<'a>;
     type Move = TaskMove;
 
-    fn evaluator(&self) -> Evaluator<'a> {
-        Evaluator::new(self.system, self.trace)
+    fn evaluator(&self) -> BatchEvaluator<'a> {
+        BatchEvaluator::new(self.system, self.trace)
     }
 
-    fn evaluate(&self, ev: &mut Evaluator<'a>, genome: &Allocation) -> Objectives {
-        let outcome = ev.evaluate(genome);
+    fn evaluate(&self, ev: &mut BatchEvaluator<'a>, genome: &Allocation) -> Objectives {
+        let outcome = ev.primary().evaluate(genome);
         [-outcome.utility, outcome.energy]
     }
 
@@ -189,13 +194,54 @@ impl<'a> Problem for AllocationProblem<'a> {
     #[cfg(feature = "delta-eval")]
     fn evaluate_moves(
         &self,
-        ev: &mut Evaluator<'a>,
+        ev: &mut BatchEvaluator<'a>,
         base: &Allocation,
         child: &Allocation,
         moves: &[TaskMove],
     ) -> Objectives {
-        let outcome = ev.evaluate_delta(base, child, moves);
+        let outcome = ev.primary().evaluate_delta(base, child, moves);
         [-outcome.utility, outcome.energy]
+    }
+
+    /// Whole-population evaluation in one simulator call: requests map to
+    /// [`BatchJob`]s (certified no-ops become [`BatchJob::Skip`] and never
+    /// reach a worker), and the [`BatchEvaluator`] owns the parallelism
+    /// split. Per job the simulator executes exactly the float operations
+    /// of the corresponding single-shot call, so batched results are
+    /// bit-identical to the per-item path.
+    fn evaluate_batch(
+        &self,
+        ev: &mut BatchEvaluator<'a>,
+        parallel: bool,
+        batch: &[BatchRequest<'_, Allocation, TaskMove>],
+    ) -> Vec<Objectives> {
+        let jobs: Vec<BatchJob<'_>> = batch
+            .iter()
+            .map(|request| match request {
+                BatchRequest::Full(genome) => BatchJob::Full(genome),
+                BatchRequest::Moves { moves, .. } if moves.is_empty() => BatchJob::Skip,
+                #[cfg(feature = "delta-eval")]
+                BatchRequest::Moves {
+                    base, child, moves, ..
+                } => BatchJob::Delta { base, child, moves },
+                #[cfg(not(feature = "delta-eval"))]
+                BatchRequest::Moves { child, .. } => BatchJob::Full(child),
+            })
+            .collect();
+        let outcomes = ev.evaluate_jobs(&jobs, parallel);
+        batch
+            .iter()
+            .zip(outcomes)
+            .map(|(request, outcome)| match outcome {
+                Some(o) => [-o.utility, o.energy],
+                None => match request {
+                    BatchRequest::Moves {
+                        base_objectives, ..
+                    } => *base_objectives,
+                    BatchRequest::Full(_) => unreachable!("full jobs always evaluate"),
+                },
+            })
+            .collect()
     }
 }
 
@@ -204,6 +250,7 @@ mod tests {
     use super::*;
     use hetsched_data::real_system;
     use hetsched_moea::{Nsga2, Nsga2Config};
+    use hetsched_sim::Evaluator;
     use hetsched_workload::TraceGenerator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

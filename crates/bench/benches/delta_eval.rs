@@ -10,12 +10,18 @@
 //! two moves. Both arms consume the *same* pre-generated move stream, so
 //! they score identical work.
 //!
+//! The `batched` arm evaluates one whole generation per iteration — 100
+//! two-move mutant offspring in a single [`BatchEvaluator::evaluate_jobs`]
+//! call, exactly how the engines now feed the evaluator — so its per-iter
+//! time covers 100 evaluations (divide by 100 to compare per-evaluation
+//! cost with the other arms).
+//!
 //! Run: `cargo bench -p hetsched-bench --bench delta_eval`
 //! Smoke: `cargo bench -p hetsched-bench -- --test`
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetsched_data::{real_system, HcSystem, MachineId, MachineInventory};
-use hetsched_sim::{Allocation, DeltaEval, Evaluator, TaskMove};
+use hetsched_sim::{Allocation, BatchEvaluator, BatchJob, DeltaEval, Evaluator, TaskMove};
 use hetsched_workload::{Trace, TraceGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,6 +103,49 @@ fn bench_system(c: &mut Criterion, label: &str, sys: &HcSystem, trace: &Trace) {
             let (i, moves) = &stream[k % stream.len()];
             k += 1;
             population[*i].apply_moves(moves)
+        });
+    });
+    group.bench_function("batched", |b| {
+        // One generation per iteration: POPULATION two-move offspring
+        // evaluated in a single call, then committed as the next bases so
+        // the worker pools stay warm, as in a real engine run.
+        let mut population = genomes.clone();
+        let mut batch = BatchEvaluator::new(sys, trace);
+        let mut k = 0usize;
+        b.iter(|| {
+            let start = k;
+            k += POPULATION;
+            let children: Vec<(usize, Allocation, [TaskMove; 2])> = (0..POPULATION)
+                .map(|j| {
+                    let (i, moves) = &stream[(start + j) % stream.len()];
+                    let mut child = population[*i].clone();
+                    apply(&mut child, moves);
+                    (*i, child, *moves)
+                })
+                .collect();
+            let jobs: Vec<BatchJob<'_>> = children
+                .iter()
+                .map(|(_base, child, _moves)| {
+                    #[cfg(feature = "delta-eval")]
+                    {
+                        BatchJob::Delta {
+                            base: &population[*_base],
+                            child,
+                            moves: _moves,
+                        }
+                    }
+                    #[cfg(not(feature = "delta-eval"))]
+                    {
+                        BatchJob::Full(child)
+                    }
+                })
+                .collect();
+            let outcomes = batch.evaluate_jobs(&jobs, true);
+            drop(jobs);
+            for (i, child, _) in children {
+                population[i] = child;
+            }
+            outcomes
         });
     });
     group.finish();

@@ -1,0 +1,314 @@
+//! Folds `BENCH_EXPORT` JSONL dumps into dated `BENCH_<date>.json`
+//! trajectory files and gates CI on regressions against a committed
+//! baseline.
+//!
+//! Two subcommands:
+//!
+//! * `collect <export.jsonl> <out.json> [--date YYYY-MM-DD]` — folds the
+//!   JSON-lines file the vendored criterion shim appends (one object per
+//!   measured benchmark) into a single snapshot document:
+//!
+//!   ```json
+//!   {"schema": 1, "date": "2026-08-08",
+//!    "benches": {"delta_eval/real_9x5/full": {"median_ns": 16890, ...}}}
+//!   ```
+//!
+//!   Later lines for the same benchmark name win, so re-running a bench
+//!   into the same export file self-corrects.
+//!
+//! * `compare <baseline.json> <current.json> [--threshold 1.5]
+//!   [--gate PREFIX]` — prints the median ratio (current/baseline) for
+//!   every benchmark present in both snapshots and exits non-zero when any
+//!   benchmark whose name starts with `PREFIX` (default: every benchmark)
+//!   regressed by more than the threshold. Benchmarks present on only one
+//!   side are reported but never fail the gate, so adding or retiring a
+//!   bench does not break CI.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde::{Number, Value};
+
+const USAGE: &str = "usage:
+  bench_compare collect <export.jsonl> <out.json> [--date YYYY-MM-DD]
+  bench_compare compare <baseline.json> <current.json> [--threshold 1.5] [--gate PREFIX]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("collect") => collect(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One benchmark's numbers as exported by the criterion shim.
+#[derive(Debug, Clone, Copy)]
+struct BenchStats {
+    median_ns: u64,
+    mean_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    iterations: u64,
+}
+
+fn collect(args: &[String]) -> Result<ExitCode, String> {
+    let mut positional = Vec::new();
+    let mut date = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--date" {
+            date = Some(
+                it.next()
+                    .ok_or_else(|| "--date requires a value".to_string())?
+                    .clone(),
+            );
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    let [input, output] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let date = match date {
+        Some(d) => {
+            validate_date(&d)?;
+            d
+        }
+        None => today_utc(),
+    };
+
+    let raw = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let mut benches: BTreeMap<String, BenchStats> = BTreeMap::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{input}:{}: invalid JSON: {e}", lineno + 1))?;
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{input}:{}: missing \"name\"", lineno + 1))?
+            .to_string();
+        let field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{input}:{}: missing \"{key}\"", lineno + 1))
+        };
+        benches.insert(
+            name,
+            BenchStats {
+                median_ns: field("median_ns")?,
+                mean_ns: field("mean_ns")?,
+                min_ns: field("min_ns")?,
+                max_ns: field("max_ns")?,
+                iterations: field("iterations")?,
+            },
+        );
+    }
+    if benches.is_empty() {
+        return Err(format!("{input}: no benchmark lines found"));
+    }
+
+    let uint = |v: u64| Value::Num(Number::U(v));
+    let bench_map: Vec<(String, Value)> = benches
+        .iter()
+        .map(|(name, s)| {
+            (
+                name.clone(),
+                Value::Object(vec![
+                    ("median_ns".to_string(), uint(s.median_ns)),
+                    ("mean_ns".to_string(), uint(s.mean_ns)),
+                    ("min_ns".to_string(), uint(s.min_ns)),
+                    ("max_ns".to_string(), uint(s.max_ns)),
+                    ("iterations".to_string(), uint(s.iterations)),
+                ]),
+            )
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("schema".to_string(), uint(1)),
+        ("date".to_string(), Value::Str(date.clone())),
+        ("benches".to_string(), Value::Object(bench_map)),
+    ]);
+    let mut rendered = serde_json::to_string_pretty(&doc).expect("static document serialises");
+    rendered.push('\n');
+    std::fs::write(output, rendered).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!("{output}: {} benches ({date})", benches.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut positional = Vec::new();
+    let mut threshold = 1.5_f64;
+    let mut gate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or_else(|| "--threshold requires a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("invalid --threshold: {e}"))?;
+                if !(threshold.is_finite() && threshold > 0.0) {
+                    return Err("--threshold must be a positive number".to_string());
+                }
+            }
+            "--gate" => {
+                gate = Some(
+                    it.next()
+                        .ok_or_else(|| "--gate requires a value".to_string())?
+                        .clone(),
+                );
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+
+    let baseline = load_snapshot(baseline_path)?;
+    let current = load_snapshot(current_path)?;
+
+    let mut failures = Vec::new();
+    for (name, base_ns) in &baseline {
+        let Some(cur_ns) = current.get(name) else {
+            println!("{name:<50} only in baseline (skipped)");
+            continue;
+        };
+        let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
+        let gated = gate.as_deref().is_none_or(|p| name.starts_with(p));
+        let verdict = if !gated {
+            "ungated"
+        } else if ratio > threshold {
+            failures.push((name.clone(), ratio));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<50} {:>10} ns -> {:>10} ns  x{ratio:.2}  {verdict}",
+            base_ns, cur_ns
+        );
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("{name:<50} new (no baseline, skipped)");
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench gate passed (threshold x{threshold:.2}, gate {})",
+            gate.as_deref().unwrap_or("<all>")
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for (name, ratio) in &failures {
+            eprintln!("regression: {name} is x{ratio:.2} over baseline (> x{threshold:.2})");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Reads a `BENCH_<date>.json` snapshot into name -> median_ns.
+fn load_snapshot(path: &str) -> Result<BTreeMap<String, u64>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: Value =
+        serde_json::from_str(&raw).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    if doc.get("schema").and_then(Value::as_u64) != Some(1) {
+        return Err(format!(
+            "{path}: unsupported or missing \"schema\" (want 1)"
+        ));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("{path}: missing \"benches\" object"))?;
+    let mut out = BTreeMap::new();
+    for (name, stats) in benches {
+        let median = stats
+            .get("median_ns")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: bench {name} missing \"median_ns\""))?;
+        out.insert(name.clone(), median);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: snapshot has no benches"));
+    }
+    Ok(out)
+}
+
+fn validate_date(date: &str) -> Result<(), String> {
+    let bytes = date.as_bytes();
+    let ok = bytes.len() == 10
+        && bytes[4] == b'-'
+        && bytes[7] == b'-'
+        && date
+            .bytes()
+            .enumerate()
+            .all(|(i, b)| matches!(i, 4 | 7) || b.is_ascii_digit());
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("--date must be YYYY-MM-DD, got {date:?}"))
+    }
+}
+
+/// Today's UTC civil date, from the Unix epoch via the days-to-civil
+/// algorithm (proleptic Gregorian; valid far beyond any plausible bench
+/// date). Avoids pulling a chrono-style dependency into the workspace.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("system clock is after 1970")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_conversion_matches_known_days() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_722), (2023, 12, 31));
+        // 2026-08-08 is 20_673 days after the epoch.
+        assert_eq!(civil_from_days(20_673), (2026, 8, 8));
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(validate_date("2026-08-08").is_ok());
+        assert!(validate_date("2026-8-8").is_err());
+        assert!(validate_date("not-a-date").is_err());
+    }
+}

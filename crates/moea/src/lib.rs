@@ -30,6 +30,6 @@ pub use engine::{Algorithm, Engine, EngineCaps, EngineConfig, EngineConfigBuilde
 pub use moead::{moead, moead_observed, MoeadConfig};
 pub use nsga2::{pareto_front, Individual, Mating, Nsga2, Nsga2Config, Stagnation, Survival};
 pub use observe::{GenerationStats, NullObserver, Observer, PhaseTimings, StatsLog};
-pub use problem::{Problem, Variation};
+pub use problem::{BatchRequest, Problem, Variation};
 pub use sort::{crowding_distance, fast_nondominated_sort};
 pub use spea2::{spea2, spea2_observed, Spea2Config};

@@ -19,7 +19,7 @@
 use crate::dominance::Objectives;
 use crate::nsga2::Individual;
 use crate::observe::{lap, GenerationStats, NullObserver, Observer, PhaseTimings};
-use crate::problem::{Problem, Variation};
+use crate::problem::{BatchRequest, Problem, Variation};
 use crate::sort::fast_nondominated_sort;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -191,13 +191,19 @@ pub fn moead_observed<P: Problem, O: Observer<P::Genome>>(
                 problem.mutate_tracked(&mut rng, &mut child, &mut variation);
             }
             let mark = lap(&mut timings.mating_s, mark);
-            let objectives = match &variation {
-                Variation::Moves(moves) if moves.is_empty() => population[a].objectives,
-                Variation::Moves(moves) => {
-                    problem.evaluate_moves(&mut ev, &population[a].genome, &child, moves)
-                }
-                Variation::Unknown => problem.evaluate(&mut ev, &child),
+            // Steady-state: the child must be evaluated before the next
+            // subproblem mates, so this is a batch of one — the shared
+            // request triage (skip / incremental / full), not a fan-out.
+            let request = match &variation {
+                Variation::Moves(moves) => BatchRequest::Moves {
+                    base: &population[a].genome,
+                    base_objectives: population[a].objectives,
+                    child: &child,
+                    moves,
+                },
+                Variation::Unknown => BatchRequest::Full(&child),
             };
+            let objectives = problem.evaluate_request(&mut ev, &request);
             let mark = lap(&mut timings.evaluation_s, mark);
             ideal[0] = ideal[0].min(objectives[0]);
             ideal[1] = ideal[1].min(objectives[1]);

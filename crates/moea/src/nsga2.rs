@@ -2,11 +2,10 @@
 
 use crate::dominance::Objectives;
 use crate::observe::{GenerationStats, NullObserver, Observer, PhaseTimings};
-use crate::problem::{Problem, Variation};
+use crate::problem::{BatchRequest, Problem, Variation};
 use crate::sort::{crowding_distance, fast_nondominated_sort};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use std::time::Instant;
 
 /// An evaluated member of the population.
@@ -121,59 +120,37 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         &self.config
     }
 
-    /// Fully evaluates a batch of genomes. The serial path reuses the
-    /// long-lived evaluator in `slot` (created on first use) so evaluator
-    /// state — scratch buffers, the delta schedule pool — survives across
-    /// generations; evaluation is a pure function of the genome, so
-    /// persistence cannot change any result.
+    /// Fully evaluates a batch of genomes through the problem's
+    /// population-level entry point ([`Problem::evaluate_batch`]). The
+    /// long-lived evaluator in `slot` (created on first use) persists
+    /// across generations so evaluator state — scratch buffers, the delta
+    /// schedule pool — stays warm; evaluation is a pure function of the
+    /// genome, so persistence cannot change any result.
     fn evaluate_all(
         &self,
         genomes: Vec<P::Genome>,
         slot: &mut Option<P::Evaluator>,
     ) -> Vec<Individual<P::Genome>> {
-        if self.config.parallel {
-            genomes
-                .into_par_iter()
-                .map_init(
-                    || self.problem.evaluator(),
-                    |ev, genome| {
-                        let objectives = self.problem.evaluate(ev, &genome);
-                        Individual { genome, objectives }
-                    },
-                )
-                .collect()
-        } else {
-            let ev = slot.get_or_insert_with(|| self.problem.evaluator());
-            let mut out = Vec::with_capacity(genomes.len());
-            for genome in genomes {
-                let objectives = self.problem.evaluate(ev, &genome);
-                out.push(Individual { genome, objectives });
-            }
-            out
-        }
+        let ev = slot.get_or_insert_with(|| self.problem.evaluator());
+        let requests: Vec<BatchRequest<'_, P::Genome, P::Move>> =
+            genomes.iter().map(BatchRequest::Full).collect();
+        let objectives = self
+            .problem
+            .evaluate_batch(ev, self.config.parallel, &requests);
+        drop(requests);
+        genomes
+            .into_iter()
+            .zip(objectives)
+            .map(|(genome, objectives)| Individual { genome, objectives })
+            .collect()
     }
 
-    /// Evaluates one offspring given its base parent and tracked
-    /// variation: a certified no-op reuses the base objectives without
-    /// touching the evaluator, a tracked move set takes the problem's
-    /// incremental path, and an untracked child is fully evaluated.
-    fn evaluate_offspring_one(
-        &self,
-        ev: &mut P::Evaluator,
-        parents: &[Individual<P::Genome>],
-        (genome, base, variation): (P::Genome, usize, Variation<P::Move>),
-    ) -> Individual<P::Genome> {
-        let objectives = match &variation {
-            Variation::Moves(moves) if moves.is_empty() => parents[base].objectives,
-            Variation::Moves(moves) => {
-                self.problem
-                    .evaluate_moves(ev, &parents[base].genome, &genome, moves)
-            }
-            Variation::Unknown => self.problem.evaluate(ev, &genome),
-        };
-        Individual { genome, objectives }
-    }
-
+    /// Evaluates a whole offspring generation in one
+    /// [`Problem::evaluate_batch`] call. Each offspring's tracked
+    /// [`Variation`] becomes a [`BatchRequest`]: a certified no-op (empty
+    /// move list) carries the base objectives so the problem skips it
+    /// without touching the evaluator, tracked moves take the incremental
+    /// path, and untracked children are fully evaluated.
     #[allow(clippy::type_complexity)]
     fn evaluate_offspring(
         &self,
@@ -181,22 +158,28 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         offspring: Vec<(P::Genome, usize, Variation<P::Move>)>,
         slot: &mut Option<P::Evaluator>,
     ) -> Vec<Individual<P::Genome>> {
-        if self.config.parallel {
-            offspring
-                .into_par_iter()
-                .map_init(
-                    || self.problem.evaluator(),
-                    |ev, item| self.evaluate_offspring_one(ev, parents, item),
-                )
-                .collect()
-        } else {
-            let ev = slot.get_or_insert_with(|| self.problem.evaluator());
-            let mut out = Vec::with_capacity(offspring.len());
-            for item in offspring {
-                out.push(self.evaluate_offspring_one(ev, parents, item));
-            }
-            out
-        }
+        let ev = slot.get_or_insert_with(|| self.problem.evaluator());
+        let requests: Vec<BatchRequest<'_, P::Genome, P::Move>> = offspring
+            .iter()
+            .map(|(genome, base, variation)| match variation {
+                Variation::Moves(moves) => BatchRequest::Moves {
+                    base: &parents[*base].genome,
+                    base_objectives: parents[*base].objectives,
+                    child: genome,
+                    moves,
+                },
+                Variation::Unknown => BatchRequest::Full(genome),
+            })
+            .collect();
+        let objectives = self
+            .problem
+            .evaluate_batch(ev, self.config.parallel, &requests);
+        drop(requests);
+        offspring
+            .into_iter()
+            .zip(objectives)
+            .map(|((genome, _, _), objectives)| Individual { genome, objectives })
+            .collect()
     }
 
     /// Builds the initial population: the provided `seeds` (truncated to the
@@ -382,8 +365,8 @@ impl<'a, P: Problem> Nsga2<'a, P> {
             "snapshots must ascend"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        // The serial evaluator lives for the whole run (parallel runs give
-        // each rayon worker a fresh one per batch instead).
+        // One evaluator lives for the whole run; how a batch is split
+        // across workers is the problem's call (`Problem::evaluate_batch`).
         let mut slot: Option<P::Evaluator> = None;
         let mut population = self.initial_population(seeds, &mut rng, &mut slot);
         let mut next_snapshot = 0usize;

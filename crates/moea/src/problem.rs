@@ -24,6 +24,42 @@ impl<M> Variation<M> {
     }
 }
 
+/// One evaluation request in a population-level batch (borrowed views into
+/// the engine's parent and offspring storage).
+///
+/// Engines translate each offspring's [`Variation`] into a request:
+/// [`Variation::Unknown`] becomes `Full`, tracked moves become `Moves`
+/// carrying the base parent's already-known objectives so a certified
+/// no-op (empty move list) costs nothing.
+#[derive(Debug)]
+pub enum BatchRequest<'p, G, M> {
+    /// Fully evaluate one genome.
+    Full(&'p G),
+    /// Evaluate `child`, which equals `base` with `moves` applied left to
+    /// right. An empty `moves` certifies `child == base`, so the problem
+    /// returns `base_objectives` without evaluating anything.
+    Moves {
+        /// The base parent genome.
+        base: &'p G,
+        /// The base parent's objectives (engines always know them).
+        base_objectives: Objectives,
+        /// The offspring genome to evaluate.
+        child: &'p G,
+        /// The exact base→child diff.
+        moves: &'p [M],
+    },
+}
+
+// Manual impls: the derive would demand `G: Clone`/`M: Clone`, but every
+// field is a reference (or `Objectives`), so requests copy regardless.
+impl<G, M> Clone for BatchRequest<'_, G, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<G, M> Copy for BatchRequest<'_, G, M> {}
+
 /// A bi-objective optimisation problem with genetic operators.
 ///
 /// Evaluation is split into a per-thread [`Problem::Evaluator`] so the
@@ -51,7 +87,9 @@ pub trait Problem: Sync {
     /// Per-thread evaluation context.
     type Evaluator: Send;
     /// One tracked edit of a variation operator (`()` when untracked).
-    type Move: Send;
+    /// `Sync` so batched requests (which borrow move slices) can cross
+    /// worker threads.
+    type Move: Send + Sync;
 
     /// Creates a fresh evaluation context.
     fn evaluator(&self) -> Self::Evaluator;
@@ -116,6 +154,66 @@ pub trait Problem: Sync {
     ) -> Objectives {
         let _ = (base, moves);
         self.evaluate(ev, child)
+    }
+
+    /// Resolves one [`BatchRequest`]: skip (empty tracked moves, reuse the
+    /// base objectives without touching the evaluator), incremental
+    /// ([`Problem::evaluate_moves`]), or full ([`Problem::evaluate`]) —
+    /// the same triage every engine used to inline.
+    fn evaluate_request(
+        &self,
+        ev: &mut Self::Evaluator,
+        request: &BatchRequest<'_, Self::Genome, Self::Move>,
+    ) -> Objectives {
+        match request {
+            BatchRequest::Full(genome) => self.evaluate(ev, genome),
+            BatchRequest::Moves {
+                base,
+                base_objectives,
+                child,
+                moves,
+            } => {
+                if moves.is_empty() {
+                    *base_objectives
+                } else {
+                    self.evaluate_moves(ev, base, child, moves)
+                }
+            }
+        }
+    }
+
+    /// Evaluates a whole batch of requests, returning objectives in
+    /// request order. Engines route their population loops through this
+    /// single entry point so problems can own the parallelism split.
+    ///
+    /// The default reproduces the engines' historical behaviour exactly:
+    /// serial batches run one request at a time on the caller's persistent
+    /// evaluator; parallel batches fan out with rayon, each worker
+    /// initialising a fresh evaluator. Problems with a population-aware
+    /// evaluator (the scheduling problem's `BatchEvaluator`) override this
+    /// to keep per-worker state warm across generations.
+    fn evaluate_batch(
+        &self,
+        ev: &mut Self::Evaluator,
+        parallel: bool,
+        batch: &[BatchRequest<'_, Self::Genome, Self::Move>],
+    ) -> Vec<Objectives> {
+        if parallel {
+            use rayon::prelude::*;
+            batch
+                .to_vec()
+                .into_par_iter()
+                .map_init(
+                    || self.evaluator(),
+                    |worker, request| self.evaluate_request(worker, &request),
+                )
+                .collect()
+        } else {
+            batch
+                .iter()
+                .map(|request| self.evaluate_request(ev, request))
+                .collect()
+        }
     }
 }
 

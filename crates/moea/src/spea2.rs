@@ -13,7 +13,7 @@
 use crate::dominance::{dominates, Objectives};
 use crate::nsga2::Individual;
 use crate::observe::{lap, GenerationStats, NullObserver, Observer, PhaseTimings};
-use crate::problem::{Problem, Variation};
+use crate::problem::{BatchRequest, Problem, Variation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -86,20 +86,25 @@ pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ev = problem.evaluator();
-    let evaluate = |genome: P::Genome, ev: &mut P::Evaluator| {
-        let objectives = problem.evaluate(ev, &genome);
-        Individual { genome, objectives }
-    };
-
-    let mut population: Vec<Individual<P::Genome>> = seeds
-        .into_iter()
-        .take(config.population)
-        .map(|g| evaluate(g, &mut ev))
-        .collect();
-    while population.len() < config.population {
-        let g = problem.random_genome(&mut rng);
-        population.push(evaluate(g, &mut ev));
+    // Generate every initial genome first, then evaluate them as one
+    // batch. Evaluation never touches the RNG, so hoisting the draws out
+    // of the evaluation loop leaves the stream — and thus the whole
+    // trajectory — unchanged.
+    let mut genomes: Vec<P::Genome> = seeds.into_iter().take(config.population).collect();
+    while genomes.len() < config.population {
+        genomes.push(problem.random_genome(&mut rng));
     }
+    let mut population: Vec<Individual<P::Genome>> = {
+        let requests: Vec<BatchRequest<'_, P::Genome, P::Move>> =
+            genomes.iter().map(BatchRequest::Full).collect();
+        let objectives = problem.evaluate_batch(&mut ev, true, &requests);
+        drop(requests);
+        genomes
+            .into_iter()
+            .zip(objectives)
+            .map(|(genome, objectives)| Individual { genome, objectives })
+            .collect()
+    };
     let mut archive: Vec<Individual<P::Genome>> = Vec::new();
     let mut next_snapshot = 0usize;
 
@@ -166,18 +171,26 @@ pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
         }
         offspring.truncate(config.population);
         let mark = lap(&mut timings.mating_s, mark);
+        // Whole-generation batch: each offspring's tracked variation
+        // becomes a request against its base archive member.
+        let requests: Vec<BatchRequest<'_, P::Genome, P::Move>> = offspring
+            .iter()
+            .map(|(genome, base, variation)| match variation {
+                Variation::Moves(moves) => BatchRequest::Moves {
+                    base: &archive[*base].genome,
+                    base_objectives: archive[*base].objectives,
+                    child: genome,
+                    moves,
+                },
+                Variation::Unknown => BatchRequest::Full(genome),
+            })
+            .collect();
+        let objectives = problem.evaluate_batch(&mut ev, true, &requests);
+        drop(requests);
         population = offspring
             .into_iter()
-            .map(|(genome, base, variation)| {
-                let objectives = match &variation {
-                    Variation::Moves(moves) if moves.is_empty() => archive[base].objectives,
-                    Variation::Moves(moves) => {
-                        problem.evaluate_moves(&mut ev, &archive[base].genome, &genome, moves)
-                    }
-                    Variation::Unknown => problem.evaluate(&mut ev, &genome),
-                };
-                Individual { genome, objectives }
-            })
+            .zip(objectives)
+            .map(|((genome, _, _), objectives)| Individual { genome, objectives })
             .collect();
         lap(&mut timings.evaluation_s, mark);
         if observing {

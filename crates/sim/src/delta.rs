@@ -83,21 +83,59 @@ pub fn genome_fingerprint(genome: &Allocation) -> u64 {
 /// A decomposed schedule for one genome: per-machine queues, finish times,
 /// and utility/energy prefix sums, kept consistent under [`TaskMove`]
 /// application.
+///
+/// # Data layout (SoA arena)
+///
+/// All per-machine data lives in a handful of flat arenas instead of nested
+/// vecs. Machine `m` owns the half-open slice `[seg_start[m], seg_start[m] +
+/// seg_cap[m])` of the per-slot arenas (`queue`, `finish`, …) (of which the first
+/// `seg_len[m]` entries are live), and — because each prefix segment is one
+/// slot longer than its queue — the slice starting at `seg_start[m] + m` of
+/// the `util_prefix`/`energy_prefix` arenas. Segments are laid out in
+/// ascending machine order with a little slack capacity so inserts rarely
+/// reallocate; a full insert triggers [`ScheduleCache::grow`], which shifts
+/// the arena tail (rare, amortised). The whole cache is a handful of flat
+/// allocations, and steady-state `apply` allocates nothing.
+///
+/// # Memoised slot values
+///
+/// Each queue slot also carries the task's execution time and energy —
+/// pure functions of (task type, machine), so they stay valid under any
+/// reordering of the segment. `recompute` therefore walks flat `f64`
+/// arenas instead of chasing the ETC matrices through the task structs.
 #[derive(Debug, Clone)]
 pub struct ScheduleCache {
     /// The genome this cache currently describes.
     baseline: Allocation,
     /// [`genome_fingerprint`] of `baseline`, updated incrementally.
     fingerprint: u64,
+    /// Arena offset of machine m's queue segment.
+    seg_start: Vec<u32>,
+    /// Capacity of machine m's queue segment.
+    seg_cap: Vec<u32>,
+    /// Live entries in machine m's queue segment.
+    seg_len: Vec<u32>,
     /// Task ids per machine, ascending (order key, task id).
-    queues: Vec<Vec<u32>>,
-    /// `finish[m][k]` = completion time of the k-th task on machine m.
-    queue_finish: Vec<Vec<f64>>,
-    /// `util_prefix[m][k]` = utility earned by the first k tasks on m
-    /// (length `queue + 1`, `[0]` always 0.0).
-    util_prefix: Vec<Vec<f64>>,
+    queue: Vec<u32>,
+    /// Completion time of the k-th task on machine m at `seg_start[m] + k`.
+    finish: Vec<f64>,
+    /// Execution time of the task in each slot on its segment's machine
+    /// (reorder-invariant, filled on insert/rebuild).
+    exec_t: Vec<f64>,
+    /// Energy analogue of `exec_t`.
+    energy_t: Vec<f64>,
+    /// Utility earned by the first k tasks on m at `seg_start[m] + m + k`
+    /// (segment length `seg_cap[m] + 1`; slot k = 0 is always 0.0).
+    util_prefix: Vec<f64>,
     /// Energy analogue of `util_prefix`.
-    energy_prefix: Vec<Vec<f64>>,
+    energy_prefix: Vec<f64>,
+    /// Per-machine objective totals, maintained by `recompute` so
+    /// [`ScheduleCache::outcome`] reduces three flat arrays.
+    total_util: Vec<f64>,
+    /// Energy analogue of `total_util`.
+    total_energy: Vec<f64>,
+    /// Finish time of machine m's last task (0.0 for an empty queue).
+    last_finish: Vec<f64>,
     /// First invalid queue position per machine; `usize::MAX` = clean.
     dirty_from: Vec<usize>,
     /// Machines with a pending recompute (scratch for `apply`).
@@ -114,10 +152,18 @@ impl ScheduleCache {
                 order: Vec::new(),
             },
             fingerprint: 0,
-            queues: vec![Vec::new(); mc],
-            queue_finish: vec![Vec::new(); mc],
-            util_prefix: vec![vec![0.0]; mc],
-            energy_prefix: vec![vec![0.0]; mc],
+            seg_start: Vec::with_capacity(mc),
+            seg_cap: Vec::with_capacity(mc),
+            seg_len: Vec::with_capacity(mc),
+            queue: Vec::new(),
+            finish: Vec::new(),
+            exec_t: Vec::new(),
+            energy_t: Vec::new(),
+            util_prefix: Vec::new(),
+            energy_prefix: Vec::new(),
+            total_util: Vec::with_capacity(mc),
+            total_energy: Vec::with_capacity(mc),
+            last_finish: Vec::with_capacity(mc),
             dirty_from: vec![usize::MAX; mc],
             dirty: Vec::new(),
         };
@@ -125,26 +171,89 @@ impl ScheduleCache {
         cache
     }
 
+    #[inline]
+    fn machine_count(&self) -> usize {
+        self.seg_start.len()
+    }
+
+    /// Start of machine m's prefix segment (queue offset plus one extra
+    /// leading slot per preceding machine).
+    #[inline]
+    fn prefix_start(&self, m: usize) -> usize {
+        self.seg_start[m] as usize + m
+    }
+
     /// Re-targets the cache at a different genome, reusing its buffers.
     /// Costs one full evaluation; `apply` afterwards is incremental.
     pub fn rebuild(&mut self, system: &HcSystem, trace: &Trace, genome: &Allocation) {
         debug_assert!(genome.validate(system, trace).is_ok());
-        debug_assert_eq!(self.queues.len(), system.machine_count());
+        let mc = system.machine_count();
         self.baseline.clone_from(genome);
         self.fingerprint = genome_fingerprint(genome);
-        for q in &mut self.queues {
-            q.clear();
+        // Pass 1: queue lengths per machine, then lay out the arena with
+        // slack so a burst of inserts doesn't immediately force a grow.
+        self.seg_len.clear();
+        self.seg_len.resize(mc, 0);
+        for &m in &genome.machine {
+            self.seg_len[m.index()] += 1;
         }
+        self.seg_start.clear();
+        self.seg_cap.clear();
+        let mut off: u32 = 0;
+        for m in 0..mc {
+            let len = self.seg_len[m];
+            let cap = len + (len / 4).max(4);
+            self.seg_start.push(off);
+            self.seg_cap.push(cap);
+            off += cap;
+        }
+        let qtotal = off as usize;
+        self.queue.clear();
+        self.queue.resize(qtotal, 0);
+        self.finish.clear();
+        self.finish.resize(qtotal, 0.0);
+        self.exec_t.clear();
+        self.exec_t.resize(qtotal, 0.0);
+        self.energy_t.clear();
+        self.energy_t.resize(qtotal, 0.0);
+        self.util_prefix.clear();
+        self.util_prefix.resize(qtotal + mc, 0.0);
+        self.energy_prefix.clear();
+        self.energy_prefix.resize(qtotal + mc, 0.0);
+        self.total_util.clear();
+        self.total_util.resize(mc, 0.0);
+        self.total_energy.clear();
+        self.total_energy.resize(mc, 0.0);
+        self.last_finish.clear();
+        self.last_finish.resize(mc, 0.0);
+        self.dirty_from.clear();
+        self.dirty_from.resize(mc, usize::MAX);
+        self.dirty.clear();
+        // Pass 2: scatter tasks into their segments (seg_len doubles as the
+        // write cursor), then sort each segment into execution order =
+        // ascending (order key, task id), the machine's slice of the global
+        // sequence.
+        self.seg_len.clear();
+        self.seg_len.resize(mc, 0);
         for (i, &m) in genome.machine.iter().enumerate() {
-            self.queues[m.index()].push(i as u32);
+            let mi = m.index();
+            self.queue[(self.seg_start[mi] + self.seg_len[mi]) as usize] = i as u32;
+            self.seg_len[mi] += 1;
         }
-        // Per-machine execution order = the machine's slice of the global
-        // sequence: ascending (order key, task id).
-        for q in &mut self.queues {
-            q.sort_unstable_by_key(|&i| (genome.order[i as usize], i));
+        let tasks = trace.tasks();
+        for m in 0..mc {
+            let s = self.seg_start[m] as usize;
+            let len = self.seg_len[m] as usize;
+            self.queue[s..s + len].sort_unstable_by_key(|&i| (genome.order[i as usize], i));
+            let machine = MachineId(m as u32);
+            for k in s..s + len {
+                let task = &tasks[self.queue[k] as usize];
+                self.exec_t[k] = system.exec_time(task.task_type, machine);
+                self.energy_t[k] = system.energy(task.task_type, machine);
+            }
         }
-        for m in 0..self.queues.len() {
-            self.recompute(system, trace, m, 0);
+        for m in 0..mc {
+            self.recompute(trace, m, 0);
         }
     }
 
@@ -156,7 +265,7 @@ impl ScheduleCache {
     /// is, when the baseline covers the trace); debug builds assert the
     /// queue bookkeeping stays consistent.
     pub fn apply(&mut self, system: &HcSystem, trace: &Trace, moves: &[TaskMove]) -> Outcome {
-        debug_assert_eq!(self.queues.len(), system.machine_count());
+        debug_assert_eq!(self.machine_count(), system.machine_count());
         for mv in moves {
             let t = mv.task as usize;
             let old_m = self.baseline.machine[t];
@@ -165,42 +274,105 @@ impl ScheduleCache {
                 // Remove from the old queue: binary search on the (key, id)
                 // pair — unique per task, and every other queue member still
                 // carries its current key in `baseline.order`.
+                let mi = old_m.index();
+                let s = self.seg_start[mi] as usize;
+                let len = self.seg_len[mi] as usize;
                 let order = &self.baseline.order;
-                let q = &mut self.queues[old_m.index()];
-                let pos = q.partition_point(|&u| (order[u as usize], u) < (old_o, mv.task));
+                let pos = self.queue[s..s + len]
+                    .partition_point(|&u| (order[u as usize], u) < (old_o, mv.task));
                 debug_assert!(
-                    pos < q.len() && q[pos] == mv.task,
+                    pos < len && self.queue[s + pos] == mv.task,
                     "TaskMove does not match the cached baseline"
                 );
-                q.remove(pos);
-                mark_dirty(&mut self.dirty_from, &mut self.dirty, old_m.index(), pos);
+                self.shift_slots_left(s + pos, s + len);
+                self.seg_len[mi] -= 1;
+                mark_dirty(&mut self.dirty_from, &mut self.dirty, mi, pos);
             }
             self.fingerprint ^= gene_hash(t, old_m, old_o);
             self.baseline.machine[t] = mv.machine;
             self.baseline.order[t] = mv.order;
             self.fingerprint ^= gene_hash(t, mv.machine, mv.order);
             {
+                let mi = mv.machine.index();
+                if self.seg_len[mi] == self.seg_cap[mi] {
+                    self.grow(mi);
+                }
+                let s = self.seg_start[mi] as usize;
+                let len = self.seg_len[mi] as usize;
                 let order = &self.baseline.order;
-                let q = &mut self.queues[mv.machine.index()];
-                let pos = q.partition_point(|&u| (order[u as usize], u) < (mv.order, mv.task));
-                q.insert(pos, mv.task);
-                mark_dirty(
-                    &mut self.dirty_from,
-                    &mut self.dirty,
-                    mv.machine.index(),
-                    pos,
-                );
+                let pos = self.queue[s..s + len]
+                    .partition_point(|&u| (order[u as usize], u) < (mv.order, mv.task));
+                self.shift_slots_right(s + pos, s + len);
+                let task = &trace.tasks()[t];
+                self.queue[s + pos] = mv.task;
+                self.exec_t[s + pos] = system.exec_time(task.task_type, mv.machine);
+                self.energy_t[s + pos] = system.energy(task.task_type, mv.machine);
+                self.seg_len[mi] += 1;
+                mark_dirty(&mut self.dirty_from, &mut self.dirty, mi, pos);
             }
         }
         let dirty = std::mem::take(&mut self.dirty);
         for &m in &dirty {
             let from = self.dirty_from[m as usize];
             self.dirty_from[m as usize] = usize::MAX;
-            self.recompute(system, trace, m as usize, from);
+            self.recompute(trace, m as usize, from);
         }
         self.dirty = dirty;
         self.dirty.clear();
         self.outcome()
+    }
+
+    /// Widens machine `m`'s segment by shifting every later segment towards
+    /// the arena tail. Rare: segments are laid out with slack, and removals
+    /// never grow. One `memmove` per arena, no recomputation — the shifted
+    /// bits are preserved exactly.
+    /// Shifts the per-slot arenas left by one over `[from + 1, end)`
+    /// (removal at `from`); the memoised values travel with their tasks.
+    #[inline]
+    fn shift_slots_left(&mut self, from: usize, end: usize) {
+        self.queue.copy_within(from + 1..end, from);
+        self.finish.copy_within(from + 1..end, from);
+        self.exec_t.copy_within(from + 1..end, from);
+        self.energy_t.copy_within(from + 1..end, from);
+    }
+
+    /// Shifts the per-slot arenas right by one over `[from, end)` (insert
+    /// at `from`); the caller fills slot `from` afterwards.
+    #[inline]
+    fn shift_slots_right(&mut self, from: usize, end: usize) {
+        self.queue.copy_within(from..end, from + 1);
+        self.finish.copy_within(from..end, from + 1);
+        self.exec_t.copy_within(from..end, from + 1);
+        self.energy_t.copy_within(from..end, from + 1);
+    }
+
+    #[cold]
+    fn grow(&mut self, m: usize) {
+        let extra = (self.seg_cap[m] / 2).max(4);
+        let mc = self.machine_count();
+        let old_q = self.queue.len();
+        let old_p = self.util_prefix.len();
+        self.queue.resize(old_q + extra as usize, 0);
+        self.finish.resize(old_q + extra as usize, 0.0);
+        self.exec_t.resize(old_q + extra as usize, 0.0);
+        self.energy_t.resize(old_q + extra as usize, 0.0);
+        self.util_prefix.resize(old_p + extra as usize, 0.0);
+        self.energy_prefix.resize(old_p + extra as usize, 0.0);
+        if m + 1 < mc {
+            let s = self.seg_start[m + 1] as usize;
+            self.queue.copy_within(s..old_q, s + extra as usize);
+            self.finish.copy_within(s..old_q, s + extra as usize);
+            self.exec_t.copy_within(s..old_q, s + extra as usize);
+            self.energy_t.copy_within(s..old_q, s + extra as usize);
+            let ps = s + (m + 1);
+            self.util_prefix.copy_within(ps..old_p, ps + extra as usize);
+            self.energy_prefix
+                .copy_within(ps..old_p, ps + extra as usize);
+            for j in m + 1..mc {
+                self.seg_start[j] += extra;
+            }
+        }
+        self.seg_cap[m] += extra;
     }
 
     /// The objectives of the cached genome, summed across machines in
@@ -210,10 +382,10 @@ impl ScheduleCache {
         let mut utility = 0.0;
         let mut energy = 0.0;
         let mut makespan = 0.0f64;
-        for m in 0..self.queues.len() {
-            utility += self.util_prefix[m].last().copied().unwrap_or(0.0);
-            energy += self.energy_prefix[m].last().copied().unwrap_or(0.0);
-            makespan = makespan.max(self.queue_finish[m].last().copied().unwrap_or(0.0));
+        for m in 0..self.machine_count() {
+            utility += self.total_util[m];
+            energy += self.total_energy[m];
+            makespan = makespan.max(self.last_finish[m]);
         }
         Outcome {
             utility,
@@ -234,36 +406,42 @@ impl ScheduleCache {
 
     /// Recomputes machine `m`'s finish times and prefix sums from queue
     /// position `from`, resuming the left fold from the stored prefixes.
-    /// Prefix reuse is exact: `util_prefix[m][from]` *is* the fold of the
+    /// Prefix reuse is exact: prefix slot `from` *is* the fold of the
     /// first `from` terms, so continuing from it performs the identical
-    /// addition sequence a from-scratch fold would.
-    fn recompute(&mut self, system: &HcSystem, trace: &Trace, m: usize, from: usize) {
+    /// addition sequence a from-scratch fold would. The per-machine totals
+    /// are refreshed at the end, keeping `outcome` a flat reduction.
+    fn recompute(&mut self, trace: &Trace, m: usize, from: usize) {
         let tasks = trace.tasks();
-        let machine = MachineId(m as u32);
-        let q = &self.queues[m];
-        let len = q.len();
-        let fin = &mut self.queue_finish[m];
-        let up = &mut self.util_prefix[m];
-        let ep = &mut self.energy_prefix[m];
-        fin.resize(len, 0.0);
-        up.resize(len + 1, 0.0);
-        ep.resize(len + 1, 0.0);
+        let s = self.seg_start[m] as usize;
+        let len = self.seg_len[m] as usize;
+        let ps = self.prefix_start(m);
         let from = from.min(len);
-        let mut free = if from == 0 { 0.0 } else { fin[from - 1] };
-        let mut utility = up[from];
-        let mut energy = ep[from];
+        let mut free = if from == 0 {
+            0.0
+        } else {
+            self.finish[s + from - 1]
+        };
+        let mut utility = self.util_prefix[ps + from];
+        let mut energy = self.energy_prefix[ps + from];
         for k in from..len {
-            let task = &tasks[q[k] as usize];
-            let exec = system.exec_time(task.task_type, machine);
+            let i = s + k;
+            let task = &tasks[self.queue[i] as usize];
             let start = free.max(task.arrival);
-            let finish = start + exec;
+            let finish = start + self.exec_t[i];
+            self.finish[i] = finish;
             free = finish;
             utility += task.tuf.utility(finish - task.arrival);
-            energy += system.energy(task.task_type, machine);
-            fin[k] = finish;
-            up[k + 1] = utility;
-            ep[k + 1] = energy;
+            energy += self.energy_t[i];
+            self.util_prefix[ps + k + 1] = utility;
+            self.energy_prefix[ps + k + 1] = energy;
         }
+        self.total_util[m] = utility;
+        self.total_energy[m] = energy;
+        self.last_finish[m] = if len == 0 {
+            0.0
+        } else {
+            self.finish[s + len - 1]
+        };
     }
 }
 

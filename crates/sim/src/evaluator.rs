@@ -98,7 +98,7 @@ pub struct Outcome {
 /// assert!(outcome.energy >= evaluator.min_possible_energy());
 /// assert!(outcome.utility <= evaluator.max_possible_utility());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Evaluator<'a> {
     system: &'a HcSystem,
     trace: &'a Trace,
@@ -116,8 +116,8 @@ pub struct Evaluator<'a> {
     min_energy: f64,
     max_utility: f64,
     /// LRU pool of parent schedules for [`Evaluator::evaluate_delta`]:
-    /// most-recently-used last. Clones inherit the pool (caches are plain
-    /// data, so sharing them across threads by value is safe).
+    /// most-recently-used last. Clones start with an empty pool — the pool
+    /// is a cache, and caches warm per instance.
     #[cfg(feature = "delta-eval")]
     pool: Vec<ScheduleCache>,
     /// Calls to [`Evaluator::evaluate`] on this instance (clones inherit
@@ -127,6 +127,33 @@ pub struct Evaluator<'a> {
     /// Subset of `evaluations` served by the incremental path.
     #[cfg(feature = "eval-counters")]
     delta_hits: u64,
+}
+
+// Hand-written: deriving `Clone` would deep-copy the warm delta pool — up
+// to [`DELTA_POOL_CAP`] `ScheduleCache`s, each O(tasks + machines) — which
+// broke the "cloning is cheap" contract per-thread evaluators rely on. A
+// clone is a fresh worker bound to the same system/trace: empty scratch,
+// empty pool, but it inherits the instance counters (they describe work
+// already attributed to this lineage).
+impl Clone for Evaluator<'_> {
+    fn clone(&self) -> Self {
+        Evaluator {
+            system: self.system,
+            trace: self.trace,
+            sequence: Vec::with_capacity(self.trace.len()),
+            machine_free: vec![0.0; self.system.machine_count()],
+            machine_util: vec![0.0; self.system.machine_count()],
+            machine_energy: vec![0.0; self.system.machine_count()],
+            min_energy: self.min_energy,
+            max_utility: self.max_utility,
+            #[cfg(feature = "delta-eval")]
+            pool: Vec::new(),
+            #[cfg(feature = "eval-counters")]
+            evaluations: self.evaluations,
+            #[cfg(feature = "eval-counters")]
+            delta_hits: self.delta_hits,
+        }
+    }
 }
 
 impl<'a> Evaluator<'a> {
@@ -312,6 +339,13 @@ impl<'a> Evaluator<'a> {
         let out = cache.outcome();
         self.pool.push(cache);
         out
+    }
+
+    /// Number of parent schedules currently held in the delta pool.
+    /// A freshly constructed or freshly cloned evaluator reports 0.
+    #[cfg(feature = "delta-eval")]
+    pub fn delta_pool_len(&self) -> usize {
+        self.pool.len()
     }
 
     /// Number of [`Evaluator::evaluate_delta`] calls on this instance that
@@ -532,6 +566,48 @@ mod tests {
         assert_eq!(clone.evaluations(), 7);
         ev.reset_evaluations();
         assert_eq!(ev.evaluations(), 0);
+    }
+
+    #[cfg(feature = "delta-eval")]
+    #[test]
+    fn clone_has_empty_pool_but_identical_outcomes() {
+        let (sys, trace) = setup(60);
+        let mut ev = Evaluator::new(&sys, &trace);
+        let mut rng = StdRng::seed_from_u64(77);
+        // Warm the pool with a handful of delta evaluations.
+        let mut base = Allocation::with_arrival_order(
+            (0..60)
+                .map(|_| MachineId(rng.gen_range(0..sys.machine_count()) as u32))
+                .collect(),
+        );
+        ev.evaluate_delta(&base, &base, &[]);
+        let mut allocs = vec![base.clone()];
+        for _ in 0..8 {
+            let mut child = base.clone();
+            let g = rng.gen_range(0..60);
+            child.machine[g] = MachineId(rng.gen_range(0..sys.machine_count()) as u32);
+            let moves = [TaskMove {
+                task: g as u32,
+                machine: child.machine[g],
+                order: child.order[g],
+            }];
+            ev.evaluate_delta(&base, &child, &moves);
+            allocs.push(child.clone());
+            base = child;
+        }
+        assert!(ev.delta_pool_len() > 0, "pool should be warm");
+
+        // The clone must NOT have deep-copied the warm pool...
+        let mut clone = ev.clone();
+        assert_eq!(clone.delta_pool_len(), 0, "clone must start cold");
+        // ...yet every outcome must match the warm original bit for bit.
+        for a in &allocs {
+            let warm = ev.evaluate(a);
+            let cold = clone.evaluate(a);
+            assert_eq!(warm.utility.to_bits(), cold.utility.to_bits());
+            assert_eq!(warm.energy.to_bits(), cold.energy.to_bits());
+            assert_eq!(warm.makespan.to_bits(), cold.makespan.to_bits());
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! case, the machine sits idle until this condition is met."
 
 pub mod allocation;
+pub mod batch;
 pub mod delta;
 pub mod detail;
 pub mod dvfs;
@@ -20,6 +21,7 @@ pub mod gantt;
 pub mod online;
 
 pub use allocation::Allocation;
+pub use batch::{BatchEvaluator, BatchJob};
 pub use delta::{genome_fingerprint, DeltaEval, ScheduleCache, TaskMove};
 pub use detail::{DetailedOutcome, TaskRecord};
 pub use dvfs::{DvfsAllocation, DvfsTable, PState};

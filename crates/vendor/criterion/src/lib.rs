@@ -7,14 +7,20 @@
 //! of iterations and reports the per-iteration mean, spread, and iteration
 //! count to stdout.
 //!
-//! No statistical regression analysis, plots, or saved baselines; results
-//! are indicative timings, which is what the workspace's benches need in
-//! this offline environment. `--bench` style CLI filters are accepted and
-//! matched as substrings against benchmark names.
+//! No statistical regression analysis or plots; results are indicative
+//! timings, which is what the workspace's benches need in this offline
+//! environment. `--bench` style CLI filters are accepted and matched as
+//! substrings against benchmark names.
 //!
 //! `cargo bench -- --test` mirrors upstream's smoke mode: every benchmark
 //! body runs exactly once with no warm-up or timing, so CI can prove the
 //! benches still build and execute without paying for measurements.
+//!
+//! When the `BENCH_EXPORT` environment variable names a file, every
+//! measured benchmark additionally appends one JSON line to it —
+//! `{"name": ..., "median_ns": ..., "mean_ns": ..., "min_ns": ...,
+//! "max_ns": ..., "iterations": ...}` — which the repo's `bench_compare`
+//! tool folds into the dated `BENCH_<date>.json` trajectory files.
 
 #![warn(missing_docs)]
 
@@ -81,6 +87,10 @@ pub struct Bencher {
 #[derive(Debug, Clone, Copy)]
 struct Measurement {
     mean: Duration,
+    /// Median of the per-sample per-iteration times — the statistic the
+    /// repo's `BENCH_*.json` trajectory tracks (robust to the odd sample
+    /// that catches a scheduler hiccup).
+    median: Duration,
     min: Duration,
     max: Duration,
     iterations: u64,
@@ -110,8 +120,7 @@ impl Bencher {
         let samples = self.sample_size.clamp(2, 100);
 
         let mut total = Duration::ZERO;
-        let mut min = Duration::MAX;
-        let mut max = Duration::ZERO;
+        let mut per_sample: Vec<Duration> = Vec::with_capacity(samples);
         let mut iterations = 0u64;
         for _ in 0..samples {
             let start = Instant::now();
@@ -119,16 +128,16 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            let per_iter = elapsed / batch as u32;
-            min = min.min(per_iter);
-            max = max.max(per_iter);
+            per_sample.push(elapsed / batch as u32);
             total += elapsed;
             iterations += batch;
         }
+        per_sample.sort_unstable();
         self.measured = Some(Measurement {
             mean: total / iterations.max(1) as u32,
-            min,
-            max,
+            median: per_sample[per_sample.len() / 2],
+            min: per_sample[0],
+            max: *per_sample.last().expect("samples >= 2"),
             iterations,
         });
     }
@@ -278,15 +287,53 @@ fn run_one<F>(
         return;
     }
     match bencher.measured {
-        Some(m) => println!(
-            "{full_name:<50} {:>12} /iter  (min {}, max {}, {} iters)",
-            fmt_duration(m.mean),
-            fmt_duration(m.min),
-            fmt_duration(m.max),
-            m.iterations,
-        ),
+        Some(m) => {
+            println!(
+                "{full_name:<50} {:>12} /iter median  (mean {}, min {}, max {}, {} iters)",
+                fmt_duration(m.median),
+                fmt_duration(m.mean),
+                fmt_duration(m.min),
+                fmt_duration(m.max),
+                m.iterations,
+            );
+            if let Ok(path) = std::env::var("BENCH_EXPORT") {
+                if !path.is_empty() {
+                    if let Err(e) = export_measurement(&path, &full_name, &m) {
+                        eprintln!("BENCH_EXPORT: cannot append to {path}: {e}");
+                    }
+                }
+            }
+        }
         None => println!("{full_name:<50} (no measurement: Bencher::iter never called)"),
     }
+}
+
+/// Appends one JSON line for a measured benchmark to the `BENCH_EXPORT`
+/// file. Hand-rolled serialisation: the shim is dependency-free, and the
+/// only string is the benchmark name (escaped minimally).
+fn export_measurement(path: &str, name: &str, m: &Measurement) -> std::io::Result<()> {
+    use std::io::Write;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        "{{\"name\":\"{escaped}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iterations\":{}}}",
+        m.median.as_nanos(),
+        m.mean.as_nanos(),
+        m.min.as_nanos(),
+        m.max.as_nanos(),
+        m.iterations,
+    )
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -347,6 +394,36 @@ mod tests {
         let m = b.measured.expect("measured");
         assert!(m.iterations > 0);
         assert!(m.mean <= m.max);
+        assert!(m.min <= m.median && m.median <= m.max);
+    }
+
+    #[test]
+    fn export_writes_one_json_line_per_measurement() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shim-export-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let m = Measurement {
+            mean: Duration::from_nanos(1_200),
+            median: Duration::from_nanos(1_000),
+            min: Duration::from_nanos(900),
+            max: Duration::from_nanos(2_000),
+            iterations: 42,
+        };
+        let path_str = path.to_str().expect("utf-8 temp path");
+        export_measurement(path_str, "group/bench \"quoted\"", &m).expect("append");
+        export_measurement(path_str, "group/other", &m).expect("append");
+        let contents = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"group/bench \\\"quoted\\\"\",\"median_ns\":1000,\
+             \"mean_ns\":1200,\"min_ns\":900,\"max_ns\":2000,\"iterations\":42}"
+        );
+        assert!(lines[1].starts_with("{\"name\":\"group/other\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

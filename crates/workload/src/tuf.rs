@@ -40,17 +40,79 @@ pub struct UtilityClass {
     pub urgency_modifier: f64,
 }
 
+/// One precomputed segment of the flattened evaluation table: everything
+/// [`Tuf::utility`] needs for its class, in one cache line, with the
+/// urgency product folded in ahead of time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TufSeg {
+    /// Exclusive upper bound of the segment (`start + duration`).
+    end: f64,
+    /// Inclusive lower bound (cumulative duration of earlier classes).
+    start: f64,
+    /// Utility fraction at `start`.
+    begin_fraction: f64,
+    /// Floor fraction inside the segment.
+    end_fraction: f64,
+    /// Precomputed `(-urgency) * urgency_modifier`; multiplying by
+    /// `t - start` reproduces the original decay exponent bit-exactly.
+    neg_rate: f64,
+    /// Smallest time at which the decayed value is *provably* at or below
+    /// the floor, so [`Tuf::utility`] may return `priority * end_fraction`
+    /// without calling `exp()` — with identical bits, because `max` would
+    /// pick the floor anyway. `INFINITY` when no such time exists in the
+    /// segment (floor at 0, or no decay). See [`floor_threshold`].
+    skip_t: f64,
+}
+
+/// Computes [`TufSeg::skip_t`]: the earliest `t` in `[start, seg_end)` past
+/// which `begin · exp(neg_rate·(t − start)) ≤ end` holds for every later
+/// point *as computed in floating point*, or `INFINITY` if none.
+///
+/// Starts from the analytic crossing `start + ln(end/begin)/neg_rate` and
+/// nudges forward until the computed value sits below `end` with margin
+/// (1 − 1e-12). The margin absorbs libm's ≤1 ulp `exp` error plus rounding
+/// of the surrounding ops, so monotone decay guarantees every `t` beyond the
+/// returned threshold computes a value strictly under the floor — the skip
+/// is bit-exact, not approximate.
+fn floor_threshold(start: f64, seg_end: f64, begin: f64, end: f64, neg_rate: f64) -> f64 {
+    if begin <= end {
+        // Decay can only lower the value, so the floor wins immediately
+        // (begin > end is enforced at build; equality means a flat class).
+        return start;
+    }
+    if end <= 0.0 || neg_rate >= 0.0 {
+        // exp() is strictly positive / there is no decay: never reaches it.
+        return f64::INFINITY;
+    }
+    let mut t = start + (end / begin).ln() / neg_rate;
+    if !t.is_finite() {
+        return f64::INFINITY;
+    }
+    let safe = end * (1.0 - 1e-12);
+    for _ in 0..128 {
+        if t >= seg_end {
+            return f64::INFINITY;
+        }
+        if begin * (neg_rate * (t - start)).exp() <= safe {
+            return t;
+        }
+        t += (t.abs() * 1e-12).max(1e-9);
+    }
+    f64::INFINITY
+}
+
 /// A monotonically non-increasing time-utility function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Tuf {
     priority: f64,
     urgency: f64,
     classes: Vec<UtilityClass>,
     /// Utility fraction after the last class.
     final_fraction: f64,
-    /// Precomputed class start offsets (len = classes.len()).
+    /// Precomputed evaluation table (len = classes.len()), rebuilt by every
+    /// construction path including [`Deserialize`].
     #[serde(skip)]
-    starts: Vec<f64>,
+    segs: Vec<TufSeg>,
 }
 
 impl Tuf {
@@ -86,35 +148,58 @@ impl Tuf {
     /// Evaluates the TUF at `elapsed` seconds since arrival. Negative input
     /// (completion before arrival — impossible in a valid schedule) is
     /// treated as 0.
+    #[inline]
     pub fn utility(&self, elapsed: f64) -> f64 {
         let t = elapsed.max(0.0);
-        // Linear scan: TUFs have a handful of classes, and this is the
-        // hot path of fitness evaluation — binary search would lose.
-        for (i, class) in self.classes.iter().enumerate() {
-            let start = self.starts[i];
-            if t < start + class.duration {
-                let decayed = class.begin_fraction
-                    * (-self.urgency * class.urgency_modifier * (t - start)).exp();
-                return self.priority * decayed.max(class.end_fraction);
-            }
+        // Segment ends are strictly ascending (durations are validated > 0),
+        // so the active segment is the first whose end exceeds t. TUFs have a
+        // handful of classes, so a branchless count beats both the original
+        // per-class branch walk and a binary search.
+        let mut idx = 0usize;
+        for seg in &self.segs {
+            idx += (t >= seg.end) as usize;
         }
-        self.priority * self.final_fraction
+        match self.segs.get(idx) {
+            Some(seg) => {
+                if t >= seg.skip_t {
+                    // Provably in the floor region: `max` below would pick
+                    // `end_fraction`, so skip the exp() — same bits, less math.
+                    return self.priority * seg.end_fraction;
+                }
+                let decayed = seg.begin_fraction * (seg.neg_rate * (t - seg.start)).exp();
+                self.priority * decayed.max(seg.end_fraction)
+            }
+            None => self.priority * self.final_fraction,
+        }
     }
 
-    /// Rebuilds the precomputed offsets (used after deserialisation, where
-    /// `starts` is skipped).
-    fn rebuild_starts(&mut self) {
-        self.starts.clear();
+    /// Rebuilds the precomputed evaluation table from `classes`.
+    fn rebuild_table(&mut self) {
+        self.segs.clear();
+        self.segs.reserve_exact(self.classes.len());
         let mut acc = 0.0;
         for c in &self.classes {
-            self.starts.push(acc);
+            let end = acc + c.duration;
+            let neg_rate = (-self.urgency) * c.urgency_modifier;
+            self.segs.push(TufSeg {
+                end,
+                start: acc,
+                begin_fraction: c.begin_fraction,
+                end_fraction: c.end_fraction,
+                neg_rate,
+                skip_t: floor_threshold(acc, end, c.begin_fraction, c.end_fraction, neg_rate),
+            });
             acc += c.duration;
         }
     }
 
     /// Restores derived state after serde deserialisation.
+    ///
+    /// Since [`Deserialize`] became self-restoring this is a backwards
+    /// compatible no-op (it rebuilds a table that is already correct); older
+    /// call sites may keep invoking it safely.
     pub fn after_deserialize(mut self) -> Self {
-        self.rebuild_starts();
+        self.rebuild_table();
         self
     }
 
@@ -285,9 +370,39 @@ impl TufBuilder {
             urgency: self.urgency,
             classes: self.classes,
             final_fraction: self.final_fraction,
-            starts: Vec::new(),
+            segs: Vec::new(),
         };
-        tuf.rebuild_starts();
+        tuf.rebuild_table();
+        Ok(tuf)
+    }
+}
+
+/// Mirror of [`Tuf`]'s serialised fields; deserialisation goes through it so
+/// the evaluation table can be rebuilt before the value is handed out.
+#[derive(Deserialize)]
+struct TufSerde {
+    priority: f64,
+    urgency: f64,
+    classes: Vec<UtilityClass>,
+    final_fraction: f64,
+}
+
+// Hand-written so a `Tuf` is valid straight out of serde: forgetting
+// `Trace::after_deserialize` used to leave the precomputed table empty and
+// every utility at the final-fraction level.
+impl<'de> serde::Deserialize<'de> for Tuf {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let raw = TufSerde::deserialize(deserializer)?;
+        let mut tuf = Tuf {
+            priority: raw.priority,
+            urgency: raw.urgency,
+            classes: raw.classes,
+            final_fraction: raw.final_fraction,
+            segs: Vec::new(),
+        };
+        tuf.rebuild_table();
         Ok(tuf)
     }
 }
@@ -480,6 +595,61 @@ mod tests {
         let back = back.after_deserialize();
         for t in [0.0, 10.0, 35.0, 47.0, 80.0, 200.0] {
             assert!((tuf.utility(t) - back.utility(t)).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn deserialize_is_self_restoring() {
+        // Regression: `Deserialize` must rebuild the evaluation table itself.
+        // Round-trip WITHOUT calling `after_deserialize` and demand bit-exact
+        // utilities — an empty table would flatline at the final fraction.
+        let tuf = fig1_like();
+        let json = serde_json::to_string(&tuf).unwrap();
+        let back: Tuf = serde_json::from_str(&json).unwrap();
+        assert_eq!(tuf, back);
+        for i in 0..=2000 {
+            let t = i as f64 * 0.1;
+            assert_eq!(
+                tuf.utility(t).to_bits(),
+                back.utility(t).to_bits(),
+                "t = {t}"
+            );
+        }
+        // `after_deserialize` stays a harmless no-op on the restored value.
+        let again = back.after_deserialize();
+        assert_eq!(tuf, again);
+    }
+
+    #[test]
+    fn table_scan_matches_piecewise_reference() {
+        // Differential check of the flattened-table fast path against a
+        // straightforward piecewise re-implementation of the docs' formula.
+        let tufs = [
+            fig1_like(),
+            Tuf::constant(7.5),
+            Tuf::hard_deadline(10.0, 60.0).unwrap(),
+        ];
+        for tuf in &tufs {
+            for i in -10..=3000 {
+                let elapsed = i as f64 * 0.05;
+                let t = elapsed.max(0.0);
+                let mut expect = tuf.priority() * tuf.final_fraction();
+                let mut start = 0.0;
+                for c in tuf.classes() {
+                    if t < start + c.duration {
+                        let decayed = c.begin_fraction
+                            * (-tuf.urgency() * c.urgency_modifier * (t - start)).exp();
+                        expect = tuf.priority() * decayed.max(c.end_fraction);
+                        break;
+                    }
+                    start += c.duration;
+                }
+                assert_eq!(
+                    tuf.utility(elapsed).to_bits(),
+                    expect.to_bits(),
+                    "elapsed = {elapsed}"
+                );
+            }
         }
     }
 }

@@ -25,7 +25,7 @@ use hetsched::moea::{
     moead_observed, pareto_front, spea2_observed, GenerationStats, Individual, MoeadConfig, Nsga2,
     Nsga2Config, Objectives, Problem, Spea2Config, StatsLog, Variation,
 };
-use hetsched::sim::{Allocation, Evaluator, TaskMove};
+use hetsched::sim::{Allocation, BatchEvaluator, BatchJob, Evaluator, TaskMove};
 use hetsched::workload::{Trace, TraceGenerator};
 use rand::RngCore;
 
@@ -49,13 +49,14 @@ fn tiny_trace(system: &HcSystem) -> Trace {
 /// Forces the reference path: delegates the allocation problem's genetic
 /// operators verbatim but keeps the trait's default *untracked* variation
 /// methods, so engines see `Variation::Unknown` and fully evaluate every
-/// child. The RNG draws are identical to the tracked problem's by the
-/// tracked-operator contract.
+/// child. It also keeps the default (per-item) `evaluate_batch`, so a run
+/// against it is both unbatched *and* fully evaluated. The RNG draws are
+/// identical to the tracked problem's by the tracked-operator contract.
 struct FullEval<'a>(AllocationProblem<'a>);
 
 impl<'a> Problem for FullEval<'a> {
     type Genome = Allocation;
-    type Evaluator = Evaluator<'a>;
+    type Evaluator = BatchEvaluator<'a>;
     type Move = TaskMove;
 
     fn evaluator(&self) -> Self::Evaluator {
@@ -81,6 +82,77 @@ impl<'a> Problem for FullEval<'a> {
 
     fn mutate(&self, rng: &mut dyn RngCore, genome: &mut Allocation) {
         self.0.mutate(rng, genome)
+    }
+}
+
+/// Tracked operators and incremental evaluation exactly as the real
+/// problem, but the trait's default *per-item* `evaluate_batch` — the
+/// control that isolates population-level batching. A run against this
+/// wrapper takes the same skip/delta/full decisions as one against
+/// [`AllocationProblem`]; only the batching differs, so any divergence is
+/// the batch path's fault.
+struct UnbatchedAlloc<'a>(AllocationProblem<'a>);
+
+impl<'a> Problem for UnbatchedAlloc<'a> {
+    type Genome = Allocation;
+    type Evaluator = BatchEvaluator<'a>;
+    type Move = TaskMove;
+
+    fn evaluator(&self) -> Self::Evaluator {
+        self.0.evaluator()
+    }
+
+    fn evaluate(&self, ev: &mut Self::Evaluator, genome: &Allocation) -> Objectives {
+        self.0.evaluate(ev, genome)
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Allocation {
+        self.0.random_genome(rng)
+    }
+
+    fn crossover(
+        &self,
+        rng: &mut dyn RngCore,
+        a: &Allocation,
+        b: &Allocation,
+    ) -> (Allocation, Allocation) {
+        self.0.crossover(rng, a, b)
+    }
+
+    fn mutate(&self, rng: &mut dyn RngCore, genome: &mut Allocation) {
+        self.0.mutate(rng, genome)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn crossover_tracked(
+        &self,
+        rng: &mut dyn RngCore,
+        a: &Allocation,
+        b: &Allocation,
+    ) -> (
+        (Allocation, Variation<TaskMove>),
+        (Allocation, Variation<TaskMove>),
+    ) {
+        self.0.crossover_tracked(rng, a, b)
+    }
+
+    fn mutate_tracked(
+        &self,
+        rng: &mut dyn RngCore,
+        genome: &mut Allocation,
+        variation: &mut Variation<TaskMove>,
+    ) {
+        self.0.mutate_tracked(rng, genome, variation)
+    }
+
+    fn evaluate_moves(
+        &self,
+        ev: &mut Self::Evaluator,
+        base: &Allocation,
+        child: &Allocation,
+        moves: &[TaskMove],
+    ) -> Objectives {
+        self.0.evaluate_moves(ev, base, child, moves)
     }
 }
 
@@ -390,6 +462,279 @@ fn spea2_delta_and_full_runs_are_bit_identical() {
         assert!(
             true_bits.contains(&point),
             "spea2 front point {point:?} is not on the true Pareto front"
+        );
+    }
+}
+
+/// Property test for [`BatchEvaluator`]: a random offspring population of
+/// full, delta and skip jobs, evaluated batched (serial and parallel),
+/// must be `total_cmp`-exact against one-at-a-time calls on a plain
+/// [`Evaluator`] — on the real 9×5 system and the synthetic-50 scale-up.
+#[test]
+fn batch_evaluator_matches_single_shot_on_real_and_synthetic_systems() {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let real = real_system();
+    let synthetic = real_system()
+        .with_inventory(MachineInventory::from_counts(vec![6, 6, 6, 6, 6, 5, 5, 5, 5]).unwrap())
+        .unwrap();
+    for (label, sys, tasks) in [
+        ("real-9x5", &real, 60usize),
+        ("synthetic-50", &synthetic, 120),
+    ] {
+        let trace = TraceGenerator::new(tasks, 600.0, sys.task_type_count())
+            .generate(&mut rand::rngs::StdRng::seed_from_u64(17))
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let random_alloc = |rng: &mut rand::rngs::StdRng| Allocation {
+            machine: (0..tasks)
+                .map(|_| hetsched::data::MachineId(rng.gen_range(0..sys.machine_count() as u32)))
+                .collect(),
+            order: (0..tasks).map(|_| rng.gen_range(0..10_000u32)).collect(),
+        };
+        let base = random_alloc(&mut rng);
+        // An offspring population: full evaluations, single- and
+        // multi-move deltas off one base, and explicit skips.
+        let mut fulls: Vec<Allocation> = Vec::new();
+        let mut deltas: Vec<(Allocation, Vec<TaskMove>)> = Vec::new();
+        for i in 0..40 {
+            if i % 3 == 0 {
+                fulls.push(random_alloc(&mut rng));
+            } else {
+                let mut child = base.clone();
+                let mut moves = Vec::new();
+                for _ in 0..rng.gen_range(1..=3) {
+                    let t = rng.gen_range(0..tasks);
+                    let mv = TaskMove {
+                        task: t as u32,
+                        machine: hetsched::data::MachineId(
+                            rng.gen_range(0..sys.machine_count() as u32),
+                        ),
+                        order: rng.gen_range(0..10_000),
+                    };
+                    child.machine[t] = mv.machine;
+                    child.order[t] = mv.order;
+                    moves.push(mv);
+                }
+                deltas.push((child, moves));
+            }
+        }
+        // Reference: one-at-a-time on a single warm evaluator.
+        let mut reference = Evaluator::new(sys, &trace);
+        let mut expected: Vec<Option<(u64, u64, u64)>> = Vec::new();
+        let mut jobs_spec: Vec<usize> = Vec::new(); // 0 = full, 1 = delta, 2 = skip
+        let (mut fi, mut di) = (0usize, 0usize);
+        for i in 0..40 {
+            if i % 3 == 0 {
+                let o = reference.evaluate(&fulls[fi]);
+                expected.push(Some((
+                    o.utility.to_bits(),
+                    o.energy.to_bits(),
+                    o.makespan.to_bits(),
+                )));
+                jobs_spec.push(0);
+                fi += 1;
+            } else {
+                let (child, moves) = &deltas[di];
+                #[cfg(feature = "delta-eval")]
+                let o = reference.evaluate_delta(&base, child, moves);
+                #[cfg(not(feature = "delta-eval"))]
+                let o = {
+                    let _ = moves;
+                    reference.evaluate(child)
+                };
+                expected.push(Some((
+                    o.utility.to_bits(),
+                    o.energy.to_bits(),
+                    o.makespan.to_bits(),
+                )));
+                jobs_spec.push(1);
+                di += 1;
+            }
+            if i % 7 == 0 {
+                expected.push(None);
+                jobs_spec.push(2);
+            }
+        }
+        // Batched, serial and parallel.
+        for parallel in [false, true] {
+            let mut batch = BatchEvaluator::new(sys, &trace);
+            let (mut fi, mut di) = (0usize, 0usize);
+            let jobs: Vec<BatchJob<'_>> = jobs_spec
+                .iter()
+                .map(|&kind| match kind {
+                    0 => {
+                        let job = BatchJob::Full(&fulls[fi]);
+                        fi += 1;
+                        job
+                    }
+                    1 => {
+                        let (child, moves) = &deltas[di];
+                        di += 1;
+                        #[cfg(feature = "delta-eval")]
+                        {
+                            BatchJob::Delta {
+                                base: &base,
+                                child,
+                                moves,
+                            }
+                        }
+                        #[cfg(not(feature = "delta-eval"))]
+                        {
+                            let _ = moves;
+                            BatchJob::Full(child)
+                        }
+                    }
+                    _ => BatchJob::Skip,
+                })
+                .collect();
+            let got = batch.evaluate_jobs(&jobs, parallel);
+            assert_eq!(got.len(), expected.len());
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                match (g, e) {
+                    (None, None) => {}
+                    (Some(o), Some(bits)) => {
+                        assert_eq!(
+                            (
+                                o.utility.to_bits(),
+                                o.energy.to_bits(),
+                                o.makespan.to_bits()
+                            ),
+                            *bits,
+                            "{label} parallel={parallel}: job {i} diverged"
+                        );
+                    }
+                    _ => panic!("{label} parallel={parallel}: job {i} skip mismatch"),
+                }
+            }
+        }
+    }
+}
+
+/// Each engine must walk a bit-identical trajectory whether offspring go
+/// through [`AllocationProblem`]'s population-level batch path or the
+/// trait's default per-item path (`UnbatchedAlloc`) — populations and
+/// per-generation observer traces alike.
+#[test]
+fn engines_batched_and_unbatched_runs_are_bit_identical() {
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let (all, _) = brute_force(&sys, &trace);
+    let batched = AllocationProblem::new(&sys, &trace);
+    let unbatched = UnbatchedAlloc(AllocationProblem::new(&sys, &trace));
+
+    // NSGA-II, serial and parallel batches.
+    for parallel in [false, true] {
+        let config = Nsga2Config {
+            population: 24,
+            generations: 40,
+            mutation_rate: 0.5,
+            parallel,
+            hv_reference: Some(hv_reference(&all)),
+            ..Default::default()
+        };
+        let mut log_b = StatsLog::default();
+        let mut log_u = StatsLog::default();
+        let pop_b =
+            Nsga2::new(&batched, config).run_observed(Vec::new(), 19, &[], |_, _| {}, &mut log_b);
+        let pop_u =
+            Nsga2::new(&unbatched, config).run_observed(Vec::new(), 19, &[], |_, _| {}, &mut log_u);
+        assert_identical_populations(&pop_b, &pop_u, "nsga2-batched");
+        assert_identical_traces(&log_b.records, &log_u.records, "nsga2-batched");
+    }
+
+    // MOEA/D (steady-state: batches of one).
+    let config = MoeadConfig {
+        subproblems: 24,
+        neighbours: 6,
+        mutation_rate: 0.5,
+        generations: 40,
+        hv_reference: Some(hv_reference(&all)),
+    };
+    let mut log_b = StatsLog::default();
+    let mut log_u = StatsLog::default();
+    let pop_b = moead_observed(&batched, config, Vec::new(), 19, &[], |_, _| {}, &mut log_b);
+    let pop_u = moead_observed(
+        &unbatched,
+        config,
+        Vec::new(),
+        19,
+        &[],
+        |_, _| {},
+        &mut log_u,
+    );
+    assert_identical_populations(&pop_b, &pop_u, "moead-batched");
+    assert_identical_traces(&log_b.records, &log_u.records, "moead-batched");
+
+    // SPEA2 (whole-generation batches).
+    let config = Spea2Config {
+        population: 24,
+        archive: 24,
+        mutation_rate: 0.5,
+        generations: 40,
+        hv_reference: Some(hv_reference(&all)),
+    };
+    let mut log_b = StatsLog::default();
+    let mut log_u = StatsLog::default();
+    let pop_b = spea2_observed(&batched, config, Vec::new(), 19, &[], |_, _| {}, &mut log_b);
+    let pop_u = spea2_observed(
+        &unbatched,
+        config,
+        Vec::new(),
+        19,
+        &[],
+        |_, _| {},
+        &mut log_u,
+    );
+    assert_identical_populations(&pop_b, &pop_u, "spea2-batched");
+    assert_identical_traces(&log_b.records, &log_u.records, "spea2-batched");
+}
+
+/// The persisted journal must also carry the same hypervolume trace
+/// batched vs. unbatched (the batching analogue of the tracked-vs-full
+/// journal test below).
+#[test]
+fn run_journal_traces_are_identical_batched_vs_unbatched() {
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let (all, _) = brute_force(&sys, &trace);
+    let batched = AllocationProblem::new(&sys, &trace);
+    let unbatched = UnbatchedAlloc(AllocationProblem::new(&sys, &trace));
+    let config = Nsga2Config {
+        population: 16,
+        generations: 25,
+        mutation_rate: 0.5,
+        parallel: true,
+        hv_reference: Some(hv_reference(&all)),
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir();
+    let path_b = dir.join("hetsched-delta-eval-journal-batched.jsonl");
+    let path_u = dir.join("hetsched-delta-eval-journal-unbatched.jsonl");
+    {
+        let journal = RunJournal::create(&path_b).unwrap();
+        let mut obs = JournalObserver::new(&journal, SeedKind::Random, 0);
+        Nsga2::new(&batched, config).run_observed(Vec::new(), 37, &[], |_, _| {}, &mut obs);
+    }
+    {
+        let journal = RunJournal::create(&path_u).unwrap();
+        let mut obs = JournalObserver::new(&journal, SeedKind::Random, 0);
+        Nsga2::new(&unbatched, config).run_observed(Vec::new(), 37, &[], |_, _| {}, &mut obs);
+    }
+    let rec_b = RunJournal::read(&path_b).unwrap();
+    let rec_u = RunJournal::read(&path_u).unwrap();
+    let _ = std::fs::remove_file(&path_b);
+    let _ = std::fs::remove_file(&path_u);
+    assert_eq!(rec_b.len(), rec_u.len());
+    assert!(!rec_b.is_empty());
+    for (b, u) in rec_b.iter().zip(&rec_u) {
+        assert_eq!(b.population, u.population);
+        assert_eq!(b.stream, u.stream);
+        assert_eq!(
+            b.stats.hypervolume.map(f64::to_bits),
+            u.stats.hypervolume.map(f64::to_bits),
+            "journalled hypervolume diverged at generation {}",
+            b.stats.generation
         );
     }
 }
