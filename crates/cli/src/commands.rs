@@ -596,6 +596,74 @@ pub fn seeds(options: &Options) -> Result<(), CliError> {
     options.emit(&out)
 }
 
+/// `hetsched serve`: run the long-lived scheduler daemon until SIGTERM,
+/// SIGINT, or ctrl-c. Campaign jobs arrive over HTTP (see the
+/// `hetsched-serve` crate docs for the endpoint table) and run on a
+/// shared worker pool with per-job manifests under `--state-dir`.
+pub fn serve(options: &Options) -> Result<(), CliError> {
+    let state_dir = options
+        .state_dir
+        .clone()
+        .unwrap_or_else(|| "hetsched-state".to_string());
+    let mut config = hetsched_serve::ServeConfig::new(&state_dir);
+    config.workers = options.workers;
+    config.cell_timeout = options.cell_timeout;
+    let service = hetsched_serve::SchedulerService::start(config)?;
+    let server = hetsched_serve::Server::bind(&options.addr)
+        .map_err(|e| hetsched_core::CoreError::Io(format!("bind {}: {e}", options.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| hetsched_core::CoreError::Io(format!("local addr: {e}")))?;
+    // The probe/scrape side parses this line to learn the bound port
+    // when --addr used port 0.
+    println!(
+        "hetsched serve listening on {addr} (state-dir {state_dir}, workers {})",
+        options.workers
+    );
+    let shutdown = hetsched_core::CancelToken::new();
+    watch_signals(shutdown.clone());
+    server
+        .run(&service, &shutdown)
+        .map_err(|e| hetsched_core::CoreError::Io(format!("serve loop: {e}")))?;
+    eprintln!("hetsched serve: shutting down");
+    service.shutdown();
+    Ok(())
+}
+
+/// Flips the daemon's shutdown token when SIGINT or SIGTERM arrives.
+/// The handler only stores into an atomic; a watcher thread does the
+/// actual cancellation. Registered through the C `signal` entry point
+/// std already links — the workspace is offline, so no libc crate.
+#[cfg(unix)]
+fn watch_signals(shutdown: hetsched_core::CancelToken) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+    std::thread::spawn(move || loop {
+        if REQUESTED.load(Ordering::SeqCst) {
+            shutdown.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+/// Non-unix builds run until the process is killed externally.
+#[cfg(not(unix))]
+fn watch_signals(_shutdown: hetsched_core::CancelToken) {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

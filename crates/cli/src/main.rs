@@ -6,6 +6,7 @@
 //! hetsched figure <1|2|3|4|5|6> [options]   emit a figure's data as CSV/JSON
 //! hetsched run [options]                    run one experiment, print fronts
 //! hetsched seeds [options]                  evaluate the four seeding heuristics
+//! hetsched serve [options]                  long-running scheduler daemon (HTTP API)
 //!
 //! common options:
 //!   --set <1|2|3>      data set (default 1)
@@ -94,6 +95,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "verify" => commands::verify(&options),
         "attain" => commands::attain(&options),
         "report" => commands::report(&options),
+        "serve" => commands::serve(&options),
         "help" | "--help" | "-h" => {
             println!("{}", HELP);
             Ok(())
@@ -147,6 +149,7 @@ USAGE:
     hetsched verify [--set 1|2|3] [--scale F]
     hetsched attain [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--replicates N]
     hetsched report [MANIFEST-OR-JOURNAL] [--scale F] [--out PATH]
+    hetsched serve [--addr HOST:PORT] [--state-dir DIR] [--workers N] [--cell-timeout S]
     hetsched help
 
 `run --replicates N` executes the experiment as a campaign: one cell per
@@ -171,6 +174,14 @@ across resumes until `--requeue-quarantined` re-executes them.
 compiled with `--features chaos` (e.g.
 `seed=7;campaign.cell.run@2=panic;manifest.append@1=io`); plain builds
 reject the flag, since their fault points are no-ops.
+
+`serve` runs the scheduler as a daemon: campaign jobs are submitted as
+JSON over HTTP (POST /v1/jobs), polled (GET /v1/jobs/ID), fetched
+(GET /v1/jobs/ID/report), cancelled (DELETE /v1/jobs/ID), and observed
+(GET /metrics, Prometheus text). Jobs run concurrently on `--workers`
+threads; per-job manifests live under `--state-dir`, so a restarted
+daemon resumes finished work instead of recomputing it. SIGINT/SIGTERM
+shut the daemon down cleanly. See README § Serve.
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error.";
 

@@ -51,6 +51,14 @@ pub struct Options {
     /// Re-execute cells the manifest marks quarantined (timed out or
     /// attempt-budget exhausted) instead of replaying the failure.
     pub requeue_quarantined: bool,
+    /// Listen address for the `serve` daemon (`host:port`; port 0 picks
+    /// an ephemeral port).
+    pub addr: String,
+    /// Daemon state directory holding per-job campaign manifests
+    /// (`serve` only; default `hetsched-state`).
+    pub state_dir: Option<String>,
+    /// Campaign worker threads for the `serve` daemon.
+    pub workers: usize,
     /// Stderr log verbosity for the tracing subscriber.
     pub log_level: tracing::Level,
 }
@@ -76,6 +84,9 @@ impl Default for Options {
             cell_timeout: None,
             chaos_plan: None,
             requeue_quarantined: false,
+            addr: "127.0.0.1:7878".to_string(),
+            state_dir: None,
+            workers: 2,
             log_level: tracing::Level::WARN,
         }
     }
@@ -178,6 +189,24 @@ impl Options {
                 }
                 "--chaos-plan" => {
                     opts.chaos_plan = Some(value_for("chaos-plan")?.clone());
+                }
+                "--addr" => {
+                    opts.addr = value_for("addr")?.clone();
+                    if !opts.addr.contains(':') {
+                        return Err(usage("--addr must be host:port"));
+                    }
+                }
+                "--state-dir" => {
+                    opts.state_dir = Some(value_for("state-dir")?.clone());
+                }
+                "--workers" => {
+                    let n: usize = value_for("workers")?
+                        .parse()
+                        .map_err(|_| usage("--workers must be a positive integer"))?;
+                    if n == 0 {
+                        return Err(usage("--workers must be >= 1"));
+                    }
+                    opts.workers = n;
                 }
                 "--log-level" => {
                     opts.log_level = value_for("log-level")?.parse().map_err(|_| {
@@ -292,6 +321,25 @@ mod tests {
         assert!(Options::parse(&argv("--cell-timeout -3")).is_err());
         assert!(Options::parse(&argv("--cell-timeout later")).is_err());
         assert!(Options::parse(&argv("--chaos-plan")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let o =
+            Options::parse(&argv("--addr 0.0.0.0:8080 --state-dir /tmp/st --workers 4")).unwrap();
+        assert_eq!(o.addr, "0.0.0.0:8080");
+        assert_eq!(o.state_dir.as_deref(), Some("/tmp/st"));
+        assert_eq!(o.workers, 4);
+        // Defaults.
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert!(o.state_dir.is_none());
+        assert_eq!(o.workers, 2);
+        // Rejections.
+        assert!(Options::parse(&argv("--addr localhost")).is_err());
+        assert!(Options::parse(&argv("--workers 0")).is_err());
+        assert!(Options::parse(&argv("--workers many")).is_err());
+        assert!(Options::parse(&argv("--state-dir")).is_err());
     }
 
     #[test]

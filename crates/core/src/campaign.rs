@@ -154,6 +154,57 @@ impl CampaignSpec {
         let json = serde_json::to_string(self).unwrap_or_default();
         format!("{:016x}", fnv1a(json.as_bytes()))
     }
+
+    /// A validating builder seeded from `base` (one dataset, one
+    /// algorithm, one replicate — the [`CampaignSpec::single`] grid), with
+    /// [`CampaignSpec::validate`] enforced at
+    /// [`CampaignSpecBuilder::build`].
+    pub fn builder(base: ExperimentConfig) -> CampaignSpecBuilder {
+        CampaignSpecBuilder {
+            spec: CampaignSpec::single(&base),
+        }
+    }
+}
+
+/// Builder for [`CampaignSpec`], mirroring
+/// [`hetsched_moea::EngineConfigBuilder`]: setters never fail, the grid
+/// rules (non-empty axes, no duplicates, at least one replicate) are
+/// checked once at [`CampaignSpecBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct CampaignSpecBuilder {
+    spec: CampaignSpec,
+}
+
+impl CampaignSpecBuilder {
+    /// Datasets to sweep (replaces the default single-dataset axis).
+    pub fn datasets(mut self, datasets: Vec<DatasetId>) -> Self {
+        self.spec.datasets = datasets;
+        self
+    }
+
+    /// Engines to sweep (replaces the default single-algorithm axis).
+    pub fn algorithms(mut self, algorithms: Vec<Algorithm>) -> Self {
+        self.spec.algorithms = algorithms;
+        self
+    }
+
+    /// Replicates per (dataset, algorithm) grid point.
+    pub fn replicates(mut self, replicates: usize) -> Self {
+        self.spec.replicates = replicates;
+        self
+    }
+
+    /// Validates the accumulated grid and returns the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] on an empty or duplicate-bearing
+    /// axis, zero replicates, or an invalid base configuration — the
+    /// same rules as [`CampaignSpec::validate`].
+    pub fn build(self) -> Result<CampaignSpec> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
 }
 
 fn unique_count<T: PartialEq>(items: &[T]) -> usize {
@@ -1082,6 +1133,44 @@ mod tests {
             algorithms: vec![Algorithm::Nsga2, Algorithm::Spea2],
             replicates: 2,
         }
+    }
+
+    #[test]
+    fn builder_defaults_to_the_single_grid() {
+        let base = ExperimentConfig::dataset1();
+        let spec = CampaignSpec::builder(base.clone()).build().unwrap();
+        assert_eq!(spec, CampaignSpec::single(&base));
+    }
+
+    #[test]
+    fn builder_sets_axes_and_validates_at_build() {
+        let spec = CampaignSpec::builder(ExperimentConfig::dataset1())
+            .datasets(vec![DatasetId::One, DatasetId::Two])
+            .algorithms(vec![Algorithm::Nsga2, Algorithm::Moead])
+            .replicates(3)
+            .build()
+            .unwrap();
+        assert_eq!(spec.datasets, vec![DatasetId::One, DatasetId::Two]);
+        assert_eq!(spec.algorithms, vec![Algorithm::Nsga2, Algorithm::Moead]);
+        assert_eq!(spec.replicates, 3);
+
+        // Empty axes, zero replicates, and duplicates are all rejected.
+        assert!(CampaignSpec::builder(ExperimentConfig::dataset1())
+            .datasets(vec![])
+            .build()
+            .is_err());
+        assert!(CampaignSpec::builder(ExperimentConfig::dataset1())
+            .algorithms(vec![])
+            .build()
+            .is_err());
+        assert!(CampaignSpec::builder(ExperimentConfig::dataset1())
+            .replicates(0)
+            .build()
+            .is_err());
+        assert!(CampaignSpec::builder(ExperimentConfig::dataset1())
+            .datasets(vec![DatasetId::One, DatasetId::One])
+            .build()
+            .is_err());
     }
 
     fn temp_manifest(tag: &str) -> std::path::PathBuf {

@@ -119,6 +119,16 @@ impl ExperimentConfig {
         Self::base(dataset, dataset.paper_snapshots())
     }
 
+    /// A validating builder seeded with the laptop-friendly defaults for
+    /// `dataset` — the mutation-friendly alternative to struct-literal
+    /// update syntax, with [`ExperimentConfig::validate`] enforced at
+    /// [`ExperimentConfigBuilder::build`].
+    pub fn builder(dataset: DatasetId) -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            config: Self::base(dataset, vec![100, 500, 2_000]),
+        }
+    }
+
     /// Scales every snapshot count by `factor` (rounded up, minimum 1),
     /// preserving the paper's logarithmic spacing; duplicate counts that
     /// appear after rounding are collapsed.
@@ -175,6 +185,83 @@ impl ExperimentConfig {
             ));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`ExperimentConfig`], mirroring
+/// [`hetsched_moea::EngineConfigBuilder`]: setters never fail, every
+/// consistency rule is checked once at [`ExperimentConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    config: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// MOEA family the framework evolves with.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Number of tasks in the trace.
+    pub fn tasks(mut self, tasks: usize) -> Self {
+        self.config.tasks = tasks;
+        self
+    }
+
+    /// Trace window in seconds.
+    pub fn duration(mut self, duration: f64) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Population size N.
+    pub fn population(mut self, population: usize) -> Self {
+        self.config.population = population;
+        self
+    }
+
+    /// Per-offspring mutation probability.
+    pub fn mutation_rate(mut self, rate: f64) -> Self {
+        self.config.mutation_rate = rate;
+        self
+    }
+
+    /// Ascending iteration counts at which fronts are captured.
+    pub fn snapshots(mut self, snapshots: Vec<usize>) -> Self {
+        self.config.snapshots = snapshots;
+        self
+    }
+
+    /// Seed configurations to compare.
+    pub fn seeds(mut self, seeds: Vec<SeedKind>) -> Self {
+        self.config.seeds = seeds;
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn rng_seed(mut self, rng_seed: u64) -> Self {
+        self.config.rng_seed = rng_seed;
+        self
+    }
+
+    /// Evaluate offspring in parallel (rayon).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+
+    /// Validates the accumulated configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::InvalidConfig`] on any rule
+    /// [`ExperimentConfig::validate`] enforces (zero tasks, population
+    /// below 2, empty or non-ascending snapshots, empty seed list, a
+    /// mutation rate outside `[0, 1]`).
+    pub fn build(self) -> crate::Result<ExperimentConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -254,5 +341,56 @@ mod tests {
     #[test]
     fn generations_is_last_snapshot() {
         assert_eq!(ExperimentConfig::dataset1().generations(), 2_000);
+    }
+
+    #[test]
+    fn builder_defaults_match_presets() {
+        let built = ExperimentConfig::builder(DatasetId::Two).build().unwrap();
+        assert_eq!(built, ExperimentConfig::dataset2());
+    }
+
+    #[test]
+    fn builder_setters_land_in_the_config() {
+        let cfg = ExperimentConfig::builder(DatasetId::One)
+            .algorithm(Algorithm::Spea2)
+            .tasks(40)
+            .duration(120.0)
+            .population(16)
+            .mutation_rate(0.25)
+            .snapshots(vec![5, 10])
+            .seeds(vec![SeedKind::Random])
+            .rng_seed(7)
+            .parallel(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.algorithm, Algorithm::Spea2);
+        assert_eq!(cfg.tasks, 40);
+        assert_eq!(cfg.duration, 120.0);
+        assert_eq!(cfg.population, 16);
+        assert_eq!(cfg.mutation_rate, 0.25);
+        assert_eq!(cfg.snapshots, vec![5, 10]);
+        assert_eq!(cfg.seeds, vec![SeedKind::Random]);
+        assert_eq!(cfg.rng_seed, 7);
+        assert!(!cfg.parallel);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistencies_at_build() {
+        assert!(ExperimentConfig::builder(DatasetId::One)
+            .tasks(0)
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder(DatasetId::One)
+            .snapshots(vec![])
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder(DatasetId::One)
+            .seeds(vec![])
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder(DatasetId::One)
+            .mutation_rate(1.5)
+            .build()
+            .is_err());
     }
 }

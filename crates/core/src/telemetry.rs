@@ -278,7 +278,16 @@ impl MetricsRegistry {
     /// Renders the registry in the Prometheus text exposition format —
     /// the on-demand snapshot `--telemetry-out` writes.
     pub fn prometheus(&self) -> String {
-        let s = self.snapshot();
+        self.snapshot().prometheus()
+    }
+}
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// The registry's [`MetricsRegistry::prometheus`] delegates here, and
+    /// services that aggregate several registries ([`MetricsSnapshot::merge`])
+    /// render the combined snapshot the same way.
+    pub fn prometheus(&self) -> String {
+        let s = self;
         let mut out = String::new();
         let mut metric = |name: &str, kind: &str, value: String| {
             out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
@@ -395,6 +404,64 @@ impl MetricsRegistry {
             s.cell_duration_count
         ));
         out
+    }
+
+    /// Folds `other` into this snapshot, for services aggregating several
+    /// per-campaign registries into one exposition: counters, phase times,
+    /// and histogram buckets add; `elapsed_s` takes the maximum (oldest
+    /// registry); the EWMA becomes a duration-count-weighted mean.
+    /// `sim_evaluations` and `faults_injected` are process-wide totals
+    /// every registry reports identically, so they take the maximum
+    /// rather than double-counting.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let self_w = self.cell_duration_count as f64;
+        let other_w = other.cell_duration_count as f64;
+        if self_w + other_w > 0.0 {
+            self.ewma_cell_s =
+                (self.ewma_cell_s * self_w + other.ewma_cell_s * other_w) / (self_w + other_w);
+        }
+        self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
+        self.cells_total += other.cells_total;
+        self.cells_replayed += other.cells_replayed;
+        self.cells_started += other.cells_started;
+        self.cells_finished += other.cells_finished;
+        self.cells_retried += other.cells_retried;
+        self.cells_panicked += other.cells_panicked;
+        self.cells_timed_out += other.cells_timed_out;
+        self.cells_poisoned += other.cells_poisoned;
+        self.cells_failed += other.cells_failed;
+        self.cells_skipped += other.cells_skipped;
+        self.generations += other.generations;
+        self.evaluations += other.evaluations;
+        self.sim_evaluations = self.sim_evaluations.max(other.sim_evaluations);
+        self.faults_injected = self.faults_injected.max(other.faults_injected);
+        self.phase_mating_s += other.phase_mating_s;
+        self.phase_evaluation_s += other.phase_evaluation_s;
+        self.phase_sorting_s += other.phase_sorting_s;
+        self.cell_duration_sum_s += other.cell_duration_sum_s;
+        self.cell_duration_count += other.cell_duration_count;
+        if self.cell_duration_buckets.len() < other.cell_duration_buckets.len() {
+            self.cell_duration_buckets
+                .resize(other.cell_duration_buckets.len(), 0);
+        }
+        for (mine, theirs) in self
+            .cell_duration_buckets
+            .iter_mut()
+            .zip(&other.cell_duration_buckets)
+        {
+            *mine += theirs;
+        }
+    }
+
+    /// Merges an iterator of snapshots into one ([`MetricsSnapshot::merge`]
+    /// folded over an all-zero start); `None` when the iterator is empty.
+    pub fn aggregate<'a>(snapshots: impl IntoIterator<Item = &'a MetricsSnapshot>) -> Option<Self> {
+        let mut iter = snapshots.into_iter();
+        let mut acc = iter.next()?.clone();
+        for s in iter {
+            acc.merge(s);
+        }
+        Some(acc)
     }
 }
 
@@ -999,6 +1066,47 @@ mod tests {
                 "unparseable value in {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_process_wide_totals() {
+        let a = MetricsRegistry::new();
+        a.set_grid(4, 1);
+        a.cell_started();
+        a.cell_finished(Duration::from_millis(10));
+        let b = MetricsRegistry::new();
+        b.set_grid(2, 0);
+        b.cell_started();
+        b.cell_started();
+        b.cell_finished(Duration::from_millis(700));
+        b.cell_retried();
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.cells_total, 6);
+        assert_eq!(merged.cells_replayed, 1);
+        assert_eq!(merged.cells_started, 3);
+        assert_eq!(merged.cells_finished, 2);
+        assert_eq!(merged.cells_retried, 1);
+        assert_eq!(merged.cell_duration_count, 2);
+        // Process-wide totals (sim evaluations, chaos faults) must not
+        // double: both registries report the same process counter.
+        assert_eq!(merged.sim_evaluations, a.snapshot().sim_evaluations);
+        // Histogram buckets add and the rendered exposition still sums.
+        let text = merged.prometheus();
+        assert!(text.contains("hetsched_campaign_cell_duration_seconds_count 2"));
+        assert!(text.contains("hetsched_campaign_cells 6"));
+
+        // Aggregating the same pair gives the same snapshot (modulo the
+        // monotone elapsed clock, which we zero for comparison).
+        let snaps = [a.snapshot(), b.snapshot()];
+        let mut agg = MetricsSnapshot::aggregate(&snaps).unwrap();
+        agg.elapsed_s = 0.0;
+        merged.elapsed_s = 0.0;
+        // The two a.snapshot() calls differ only in elapsed_s; counters agree.
+        assert_eq!(agg.cells_total, merged.cells_total);
+        assert_eq!(agg.cell_duration_buckets, merged.cell_duration_buckets);
+        assert!(MetricsSnapshot::aggregate([]).is_none());
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! `hetsched-probe`: the tiny test client CI uses against a running
+//! `hetsched serve` daemon — a curl stand-in for environments without
+//! one.
+//!
+//! ```text
+//! hetsched-probe <METHOD> <host:port> <path> [json-body]
+//! ```
+//!
+//! Prints `<status>` on the first line and the response body after it;
+//! exits 0 on a 2xx status, 1 otherwise, 2 on usage errors.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (method, addr, path, body) = match args.as_slice() {
+        [method, addr, path] => (method.as_str(), addr.as_str(), path.as_str(), None),
+        [method, addr, path, body] => (
+            method.as_str(),
+            addr.as_str(),
+            path.as_str(),
+            Some(body.as_str()),
+        ),
+        _ => {
+            eprintln!("usage: hetsched-probe <METHOD> <host:port> <path> [json-body]");
+            return ExitCode::from(2);
+        }
+    };
+    match hetsched_serve::client::request(addr, method, path, body) {
+        Ok(response) => {
+            println!("{}", response.status);
+            println!("{}", response.body);
+            if response.is_success() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("probe failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! A minimal blocking HTTP/1.1 client over [`TcpStream`] — the
+//! curl-equivalent the integration tests and the CI probe binary use
+//! against a running daemon. One request per connection, matching the
+//! server's `Connection: close` contract.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Socket budget for connect/read/write.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body as UTF-8 text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Issues one request against `addr` (`host:port`).
+///
+/// # Errors
+///
+/// Transport failures, or [`io::ErrorKind::InvalidData`] when the
+/// response is not parseable HTTP.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let payload = body.unwrap_or("");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if body.is_some() {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            payload.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> io::Result<ClientResponse> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad("unparseable status line"))?;
+    Ok(ClientResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+/// `GET` convenience wrapper around [`request`].
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: &str, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST` convenience wrapper around [`request`].
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// `DELETE` convenience wrapper around [`request`].
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn delete(addr: &str, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "DELETE", path, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let resp = parse_response(
+            "HTTP/1.1 201 Created\r\nContent-Type: application/json\r\n\r\n{\"ok\":true}",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.body, "{\"ok\":true}");
+        assert!(resp.is_success());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("HTTP/1.1 huh\r\n\r\n").is_err());
+    }
+}

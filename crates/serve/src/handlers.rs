@@ -1,0 +1,166 @@
+//! Route dispatch: the glue from parsed [`Request`]s to
+//! [`SchedulerService`] calls and back to [`Response`]s.
+//!
+//! # Contract
+//!
+//! - Every JSON response body is a [`crate::wire`] struct carrying a
+//!   `schema` field; `/metrics` is the one text/plain endpoint.
+//! - Service failures map through [`hetsched_core::Error::class`]:
+//!   invalid input → 400, unknown resource → 404, internal → 500 — the
+//!   handler never invents its own status for a service error.
+//! - `POST /v1/jobs` answers 201 for a newly admitted job and 200 for a
+//!   fingerprint-cache hit (`cached: true` in the body either way the
+//!   client can rely on).
+//! - `GET /v1/jobs/{id}/report` before completion answers 404 with the
+//!   job's [`wire::JobStatusBody`] so a poller learns the live state
+//!   from the same response.
+//! - Unroutable paths answer 404, a routable path with a bad body 400.
+
+use crate::http::{Request, Response};
+use crate::router::{route, Route};
+use crate::service::SchedulerService;
+use crate::wire::{class_status, ErrorBody, JobRequest};
+use hetsched_core::{CoreError, ErrorClass};
+
+/// Handles one request end to end. Infallible by design: every failure
+/// becomes an error [`Response`].
+pub fn handle(service: &SchedulerService, request: &Request) -> Response {
+    match route(&request.method, &request.path) {
+        None => Response::json(
+            404,
+            &ErrorBody::new(
+                ErrorClass::NotFound,
+                format!("no endpoint {} {}", request.method, request.path),
+            ),
+        ),
+        Some(Route::CreateJob) => create_job(service, request),
+        Some(Route::JobStatus(id)) => match service.status(&id) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => error_response(&e),
+        },
+        Some(Route::JobReport(id)) => match service.report(&id) {
+            Ok(Ok(report)) => Response::json(200, &report),
+            // Not done yet: 404 carrying the live status body.
+            Ok(Err(status)) => Response::json(404, &status),
+            Err(e) => error_response(&e),
+        },
+        Some(Route::CancelJob(id)) => match service.cancel(&id) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => error_response(&e),
+        },
+        Some(Route::Metrics) => Response::text(200, service.prometheus()),
+    }
+}
+
+fn create_job(service: &SchedulerService, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Response::json(
+                400,
+                &ErrorBody::new(ErrorClass::InvalidInput, "request body is not UTF-8"),
+            )
+        }
+    };
+    let parsed: JobRequest = match serde_json::from_str(text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            return Response::json(
+                400,
+                &ErrorBody::new(
+                    ErrorClass::InvalidInput,
+                    format!("invalid job request: {e}"),
+                ),
+            )
+        }
+    };
+    match service.submit(&parsed) {
+        Ok(created) => {
+            let status = if created.cached { 200 } else { 201 };
+            Response::json(status, &created)
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+/// The single mapping from the unified core error to an HTTP response.
+fn error_response(error: &CoreError) -> Response {
+    let class = error.class();
+    Response::json(
+        class_status(class),
+        &ErrorBody::new(class, error.to_string()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use crate::wire;
+    use hetsched_core::{CampaignSpec, DatasetId, ExperimentConfig, SeedKind};
+
+    fn service(tag: &str) -> SchedulerService {
+        let dir =
+            std::env::temp_dir().join(format!("hetsched-handlers-{tag}-{}", std::process::id()));
+        SchedulerService::start(ServeConfig::new(dir)).unwrap()
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn unknown_endpoint_is_404_with_error_body() {
+        let svc = service("routes");
+        let resp = handle(&svc, &request("GET", "/nope", ""));
+        assert_eq!(resp.status, 404);
+        let body: ErrorBody = serde_json::from_str(std::str::from_utf8(&resp.body).unwrap())
+            .expect("error body parses");
+        assert_eq!(body.class, "not-found");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_invalid_bodies_are_400() {
+        let svc = service("badbody");
+        let resp = handle(&svc, &request("POST", "/v1/jobs", "{not json"));
+        assert_eq!(resp.status, 400);
+
+        // Parses but fails validation server-side (zero replicates).
+        let base = ExperimentConfig::builder(DatasetId::One)
+            .tasks(20)
+            .population(8)
+            .snapshots(vec![2])
+            .seeds(vec![SeedKind::Random])
+            .build()
+            .unwrap();
+        let mut spec = CampaignSpec::single(&base);
+        spec.replicates = 0;
+        let body = serde_json::to_string(&wire::JobRequest::new(spec)).unwrap();
+        let resp = handle(&svc, &request("POST", "/v1/jobs", &body));
+        assert_eq!(resp.status, 400);
+        let err: ErrorBody =
+            serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(err.class, "invalid-input");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unknown_job_maps_to_404_and_metrics_serves_text() {
+        let svc = service("status");
+        let resp = handle(&svc, &request("GET", "/v1/jobs/j404", ""));
+        assert_eq!(resp.status, 404);
+        let resp = handle(&svc, &request("DELETE", "/v1/jobs/j404", ""));
+        assert_eq!(resp.status, 404);
+        let resp = handle(&svc, &request("GET", "/metrics", ""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("hetsched_serve_jobs{state=\"queued\"} 0"));
+        svc.shutdown();
+    }
+}

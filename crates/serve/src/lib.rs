@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! `hetsched serve`: the campaign machinery as a long-running service.
+//!
+//! The crate turns the one-shot batch tool into a daemon: a hand-rolled
+//! HTTP/1.1 server on [`std::net::TcpListener`] (the workspace is
+//! offline/vendored, so no hyper) in front of a [`SchedulerService`]
+//! that runs [`hetsched_core::Campaign`]s concurrently on a shared
+//! worker pool. The transport, routing, and application layers are
+//! deliberately separate modules so a real HTTP stack can replace
+//! [`http`]/[`server`] later without touching [`service`]:
+//!
+//! - [`http`] — request/response framing only;
+//! - [`router`] — path → [`router::Route`] mapping only;
+//! - [`handlers`] — routes to service calls, errors to statuses;
+//! - [`service`] — job registry, worker pool, fingerprint cache;
+//! - [`wire`] — the versioned JSON bodies served over HTTP;
+//! - [`client`] — a minimal blocking client for tests and CI probes.
+//!
+//! # Endpoints
+//!
+//! | Method   | Path                   | Body                                          |
+//! |----------|------------------------|-----------------------------------------------|
+//! | `POST`   | `/v1/jobs`             | [`wire::JobRequest`] → [`wire::JobCreated`]   |
+//! | `GET`    | `/v1/jobs/{id}`        | [`wire::JobStatusBody`] (live progress)       |
+//! | `GET`    | `/v1/jobs/{id}/report` | [`wire::JobReportBody`]; 404 + status earlier |
+//! | `DELETE` | `/v1/jobs/{id}`        | cancels via `CancelToken`, returns status     |
+//! | `GET`    | `/metrics`             | Prometheus text, aggregated across jobs       |
+//!
+//! Completed campaigns stay cached keyed by the spec fingerprint (the
+//! same FNV-1a fingerprint the manifest header carries), so a repeated
+//! identical `POST /v1/jobs` returns the finished job immediately, and
+//! per-job manifests under the state directory make that cache survive
+//! daemon restarts through the ordinary resume path.
+
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use server::Server;
+pub use service::{SchedulerService, ServeConfig};

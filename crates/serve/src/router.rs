@@ -1,0 +1,77 @@
+//! Path → route mapping, and nothing else.
+//!
+//! The router is a pure function from `(method, path)` to a [`Route`] so
+//! the URL scheme is testable without sockets and the handler layer
+//! ([`crate::handlers`]) never string-matches paths itself.
+
+/// The API surface, one variant per endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/jobs` — submit a campaign.
+    CreateJob,
+    /// `GET /v1/jobs/{id}` — live job progress.
+    JobStatus(String),
+    /// `GET /v1/jobs/{id}/report` — the finished campaign report.
+    JobReport(String),
+    /// `DELETE /v1/jobs/{id}` — cancel a job.
+    CancelJob(String),
+    /// `GET /metrics` — Prometheus text export across all jobs.
+    Metrics,
+}
+
+/// Resolves `(method, path)` to a route; `None` is the handler's 404.
+/// Query strings are ignored; paths match exactly (no trailing-slash
+/// forgiveness — the API is machine-facing).
+pub fn route(method: &str, path: &str) -> Option<Route> {
+    let path = path.split('?').next().unwrap_or(path);
+    let segments: Vec<&str> = path.strip_prefix('/')?.split('/').collect();
+    match (method, segments.as_slice()) {
+        ("POST", ["v1", "jobs"]) => Some(Route::CreateJob),
+        ("GET", ["v1", "jobs", id]) if !id.is_empty() => Some(Route::JobStatus(id.to_string())),
+        ("GET", ["v1", "jobs", id, "report"]) if !id.is_empty() => {
+            Some(Route::JobReport(id.to_string()))
+        }
+        ("DELETE", ["v1", "jobs", id]) if !id.is_empty() => Some(Route::CancelJob(id.to_string())),
+        ("GET", ["metrics"]) => Some(Route::Metrics),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_every_endpoint() {
+        assert_eq!(route("POST", "/v1/jobs"), Some(Route::CreateJob));
+        assert_eq!(
+            route("GET", "/v1/jobs/j001"),
+            Some(Route::JobStatus("j001".into()))
+        );
+        assert_eq!(
+            route("GET", "/v1/jobs/j001/report"),
+            Some(Route::JobReport("j001".into()))
+        );
+        assert_eq!(
+            route("DELETE", "/v1/jobs/j001"),
+            Some(Route::CancelJob("j001".into()))
+        );
+        assert_eq!(route("GET", "/metrics"), Some(Route::Metrics));
+    }
+
+    #[test]
+    fn ignores_query_strings() {
+        assert_eq!(route("GET", "/metrics?format=text"), Some(Route::Metrics));
+    }
+
+    #[test]
+    fn rejects_unknown_paths_and_methods() {
+        assert_eq!(route("GET", "/v1/jobs"), None);
+        assert_eq!(route("POST", "/v1/jobs/j001"), None);
+        assert_eq!(route("GET", "/v1/jobs/"), None);
+        assert_eq!(route("GET", "/v1/jobs/j001/reports"), None);
+        assert_eq!(route("PUT", "/metrics"), None);
+        assert_eq!(route("GET", "/"), None);
+        assert_eq!(route("GET", "metrics"), None);
+    }
+}

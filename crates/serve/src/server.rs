@@ -1,0 +1,97 @@
+//! The transport loop: accept connections, frame one request each, hand
+//! it to [`crate::handlers::handle`], write the response back.
+//!
+//! The listener runs non-blocking and polls a [`CancelToken`] between
+//! accepts, so shutdown needs no self-pipe or signal plumbing here —
+//! whoever owns the token (the CLI's signal watcher, a test) cancels it
+//! and [`Server::run`] returns.
+
+use crate::handlers;
+use crate::http::{Request, Response};
+use crate::service::SchedulerService;
+use hetsched_core::{CancelToken, ErrorClass};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-connection socket budget — a stalled client cannot wedge a
+/// connection thread forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A bound, not-yet-running HTTP server.
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 picks an ephemeral
+    /// port, see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure from the OS.
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener })
+    }
+
+    /// The actually-bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `shutdown` is cancelled. Each accepted connection is
+    /// handled on its own short-lived thread (one request, one response,
+    /// `Connection: close`), so a slow request never blocks the accept
+    /// loop or the other endpoints.
+    ///
+    /// # Errors
+    ///
+    /// A non-transient accept failure; individual connection errors are
+    /// logged and dropped.
+    pub fn run(&self, service: &SchedulerService, shutdown: &CancelToken) -> io::Result<()> {
+        while !shutdown.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = service.clone();
+                    thread::spawn(move || handle_connection(&service, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(service: &SchedulerService, stream: TcpStream) {
+    // The listener's non-blocking flag is inherited; connections are
+    // handled with ordinary blocking reads under a timeout.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(SOCKET_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(SOCKET_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let response = match Request::read_from(BufReader::new(&stream)) {
+        Ok(request) => handlers::handle(service, &request),
+        Err(e) => Response::json(
+            400,
+            &crate::wire::ErrorBody::new(ErrorClass::InvalidInput, format!("bad request: {e}")),
+        ),
+    };
+    if let Err(e) = response.write_to(&stream) {
+        tracing::debug!("dropping response: {e}");
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}

@@ -1,0 +1,551 @@
+//! The application layer: a job registry plus a shared worker pool that
+//! runs submitted campaigns through the existing
+//! [`hetsched_core::Campaign`] machinery — watchdog, deadline,
+//! quarantine, and manifest resume all unchanged.
+//!
+//! Jobs are keyed two ways: by server-assigned id (the REST `{id}`) and
+//! by [`CampaignSpec::fingerprint`]. The fingerprint index is the
+//! completed-front cache: a repeated identical `POST` resolves to the
+//! existing job — finished, running, or queued — without enqueuing any
+//! new cells. Each job writes its manifest to
+//! `<state-dir>/job-<fingerprint>.manifest.jsonl`, so even after a
+//! daemon restart a resubmitted spec replays from the manifest instead
+//! of re-executing.
+
+use crate::wire::{self, JobCreated, JobReportBody, JobRequest, JobStatusBody};
+use hetsched_core::{
+    Campaign, CampaignOutcome, CampaignSpec, CancelToken, CoreError, MetricsRegistry,
+    MetricsSnapshot, Result, TelemetryObserver,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory holding per-job campaign manifests.
+    pub state_dir: PathBuf,
+    /// Worker threads draining the job queue (the concurrency level for
+    /// whole campaigns; cells within a campaign still parallelise on the
+    /// process-wide rayon pool).
+    pub workers: usize,
+    /// Default per-cell watchdog budget for jobs that do not set one.
+    pub cell_timeout: Option<Duration>,
+}
+
+impl ServeConfig {
+    /// A config with `state_dir`, two workers, and no watchdog default.
+    pub fn new(state_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            state_dir: state_dir.into(),
+            workers: 2,
+            cell_timeout: None,
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobPhase {
+    fn label(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Mutable job state, behind the job's own lock.
+struct JobState {
+    phase: JobPhase,
+    error: Option<String>,
+    outcome: Option<CampaignOutcome>,
+}
+
+/// One submitted campaign.
+struct Job {
+    id: String,
+    fingerprint: String,
+    spec: CampaignSpec,
+    cell_timeout: Option<Duration>,
+    token: CancelToken,
+    registry: Arc<MetricsRegistry>,
+    state: Mutex<JobState>,
+}
+
+impl Job {
+    fn status_body(&self) -> JobStatusBody {
+        let state = self.state.lock().expect("job state lock");
+        JobStatusBody {
+            schema: wire::JOB_STATUS_SCHEMA.to_string(),
+            job_id: self.id.clone(),
+            fingerprint: self.fingerprint.clone(),
+            state: state.phase.label().to_string(),
+            error: state.error.clone(),
+            metrics: self.registry.snapshot(),
+        }
+    }
+}
+
+/// Both lookup maps behind one lock, so admission (check fingerprint,
+/// insert job) is atomic.
+#[derive(Default)]
+struct JobTable {
+    by_id: HashMap<String, Arc<Job>>,
+    by_fingerprint: HashMap<String, String>,
+}
+
+struct Inner {
+    config: ServeConfig,
+    jobs: Mutex<JobTable>,
+    queue: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+/// The scheduler service: cheaply cloneable handle, shared by every
+/// connection thread.
+#[derive(Clone)]
+pub struct SchedulerService {
+    inner: Arc<Inner>,
+}
+
+impl SchedulerService {
+    /// Creates the state directory and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] on zero workers, [`CoreError::Io`]
+    /// when the state directory cannot be created.
+    pub fn start(config: ServeConfig) -> Result<SchedulerService> {
+        if config.workers == 0 {
+            return Err(CoreError::InvalidConfig("serve needs >= 1 worker"));
+        }
+        std::fs::create_dir_all(&config.state_dir).map_err(|e| {
+            CoreError::Io(format!(
+                "create state dir {}: {e}",
+                config.state_dir.display()
+            ))
+        })?;
+        let (tx, rx) = mpsc::channel::<Arc<Job>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let inner = Arc::new(Inner {
+            config,
+            jobs: Mutex::new(JobTable::default()),
+            queue: Mutex::new(Some(tx)),
+            workers: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+        });
+        let mut handles = Vec::new();
+        for i in 0..inner.config.workers {
+            let inner_for_worker = Arc::clone(&inner);
+            let rx = Arc::clone(&rx);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("hetsched-serve-worker-{i}"))
+                    .spawn(move || worker_loop(inner_for_worker, rx))
+                    .expect("spawn worker thread"),
+            );
+        }
+        *inner.workers.lock().expect("workers lock") = handles;
+        Ok(SchedulerService { inner })
+    }
+
+    /// Admits a campaign: validates the request, resolves the
+    /// fingerprint cache, and either returns the existing job (`cached`)
+    /// or enqueues a new one.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] (→ 400) on a schema mismatch, an
+    /// invalid spec, or a non-positive timeout; [`CoreError::Io`]
+    /// (→ 500) when the daemon is shutting down.
+    pub fn submit(&self, request: &JobRequest) -> Result<JobCreated> {
+        if request.schema != wire::JOB_REQUEST_SCHEMA {
+            return Err(CoreError::InvalidConfig(
+                "unsupported job-request schema (expected hetsched.job-request.v1)",
+            ));
+        }
+        request.campaign.validate()?;
+        let cell_timeout = match request.cell_timeout_s {
+            Some(secs) if secs > 0.0 && secs.is_finite() => Some(Duration::from_secs_f64(secs)),
+            Some(_) => {
+                return Err(CoreError::InvalidConfig(
+                    "cell_timeout_s must be a positive number of seconds",
+                ))
+            }
+            None => self.inner.config.cell_timeout,
+        };
+        let fingerprint = request.campaign.fingerprint();
+
+        let mut table = self.inner.jobs.lock().expect("job table lock");
+        if let Some(existing_id) = table.by_fingerprint.get(&fingerprint) {
+            let job = table.by_id[existing_id].clone();
+            let phase = job.state.lock().expect("job state lock").phase;
+            return Ok(JobCreated {
+                schema: wire::JOB_CREATED_SCHEMA.to_string(),
+                job_id: job.id.clone(),
+                fingerprint,
+                state: phase.label().to_string(),
+                cached: true,
+            });
+        }
+        let id = format!("j{:03}", self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let job = Arc::new(Job {
+            id: id.clone(),
+            fingerprint: fingerprint.clone(),
+            spec: request.campaign.clone(),
+            cell_timeout,
+            token: CancelToken::new(),
+            registry: Arc::new(MetricsRegistry::new()),
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                error: None,
+                outcome: None,
+            }),
+        });
+        table.by_id.insert(id.clone(), Arc::clone(&job));
+        table.by_fingerprint.insert(fingerprint.clone(), id.clone());
+        drop(table);
+
+        let queue = self.inner.queue.lock().expect("queue lock");
+        match queue.as_ref().map(|tx| tx.send(Arc::clone(&job))) {
+            Some(Ok(())) => {}
+            _ => return Err(CoreError::Io("job queue is shut down".to_string())),
+        }
+        Ok(JobCreated {
+            schema: wire::JOB_CREATED_SCHEMA.to_string(),
+            job_id: id,
+            fingerprint,
+            state: JobPhase::Queued.label().to_string(),
+            cached: false,
+        })
+    }
+
+    fn job(&self, id: &str) -> Result<Arc<Job>> {
+        self.inner
+            .jobs
+            .lock()
+            .expect("job table lock")
+            .by_id
+            .get(id)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("job {id}")))
+    }
+
+    /// Live progress for a job.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id.
+    pub fn status(&self, id: &str) -> Result<JobStatusBody> {
+        Ok(self.job(id)?.status_body())
+    }
+
+    /// The finished report, or the job's status while it is not done —
+    /// the handler turns the latter into the 404-with-status response.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id.
+    pub fn report(&self, id: &str) -> Result<std::result::Result<JobReportBody, JobStatusBody>> {
+        let job = self.job(id)?;
+        let state = job.state.lock().expect("job state lock");
+        if state.phase == JobPhase::Done {
+            let outcome = state.outcome.as_ref().expect("done job has an outcome");
+            return Ok(Ok(JobReportBody::from_outcome(
+                &job.id,
+                &job.fingerprint,
+                outcome,
+            )));
+        }
+        drop(state);
+        Ok(Err(job.status_body()))
+    }
+
+    /// Cancels a job via its [`CancelToken`] (idempotent): a queued job
+    /// flips to `cancelled` immediately, a running one stops admitting
+    /// cells and is marked by its worker when the campaign unwinds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id.
+    pub fn cancel(&self, id: &str) -> Result<JobStatusBody> {
+        let job = self.job(id)?;
+        job.token.cancel();
+        {
+            let mut state = job.state.lock().expect("job state lock");
+            if state.phase == JobPhase::Queued {
+                state.phase = JobPhase::Cancelled;
+            }
+        }
+        Ok(job.status_body())
+    }
+
+    /// One [`MetricsSnapshot`] folded across every job's registry
+    /// (`None` before the first submission).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let table = self.inner.jobs.lock().expect("job table lock");
+        let snapshots: Vec<MetricsSnapshot> = table
+            .by_id
+            .values()
+            .map(|j| j.registry.snapshot())
+            .collect();
+        MetricsSnapshot::aggregate(&snapshots)
+    }
+
+    /// The Prometheus exposition for `GET /metrics`: the aggregated
+    /// campaign metrics plus per-state job gauges.
+    pub fn prometheus(&self) -> String {
+        let mut out = self
+            .metrics_snapshot()
+            .map(|s| s.prometheus())
+            .unwrap_or_default();
+        let table = self.inner.jobs.lock().expect("job table lock");
+        let mut counts = [0u64; 5];
+        for job in table.by_id.values() {
+            let phase = job.state.lock().expect("job state lock").phase;
+            counts[phase as usize] += 1;
+        }
+        drop(table);
+        out.push_str("# TYPE hetsched_serve_jobs gauge\n");
+        for (phase, count) in [
+            JobPhase::Queued,
+            JobPhase::Running,
+            JobPhase::Done,
+            JobPhase::Failed,
+            JobPhase::Cancelled,
+        ]
+        .into_iter()
+        .zip(counts)
+        {
+            out.push_str(&format!(
+                "hetsched_serve_jobs{{state=\"{}\"}} {count}\n",
+                phase.label()
+            ));
+        }
+        out
+    }
+
+    /// Graceful shutdown: cancels every job, closes the queue, and joins
+    /// the workers (waits for in-flight campaigns to unwind past their
+    /// current cell). Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let table = self.inner.jobs.lock().expect("job table lock");
+            for job in table.by_id.values() {
+                job.token.cancel();
+            }
+        }
+        *self.inner.queue.lock().expect("queue lock") = None;
+        let handles: Vec<_> = self
+            .inner
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<mpsc::Receiver<Arc<Job>>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the run, so
+        // the other workers keep draining while this one executes.
+        let job = match rx.lock().expect("queue receiver lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: shutdown
+        };
+        run_job(&inner, &job);
+    }
+}
+
+fn run_job(inner: &Inner, job: &Job) {
+    {
+        let mut state = job.state.lock().expect("job state lock");
+        if state.phase != JobPhase::Queued {
+            return; // cancelled while queued
+        }
+        state.phase = JobPhase::Running;
+    }
+    if job.token.is_cancelled() {
+        job.state.lock().expect("job state lock").phase = JobPhase::Cancelled;
+        return;
+    }
+    tracing::info!("job {} starting ({} cells)", job.id, job.spec.cells().len());
+    let observer = Arc::new(TelemetryObserver::new(Arc::clone(&job.registry)));
+    let mut campaign = Campaign::new(job.spec.clone())
+        .with_cancel_token(job.token.clone())
+        .with_observer(observer);
+    if let Some(timeout) = job.cell_timeout {
+        campaign = campaign.cell_timeout(timeout);
+    }
+    let manifest = inner
+        .config
+        .state_dir
+        .join(format!("job-{}.manifest.jsonl", job.fingerprint));
+    let result = campaign.run(Some(&manifest));
+    let mut state = job.state.lock().expect("job state lock");
+    match result {
+        Ok(outcome) => {
+            if outcome.is_complete() {
+                state.phase = JobPhase::Done;
+            } else if job.token.is_cancelled() {
+                state.phase = JobPhase::Cancelled;
+                state.error = Some("cancelled before completion".to_string());
+            } else {
+                state.phase = JobPhase::Failed;
+                state.error = Some(format!(
+                    "{} cells failed, {} skipped",
+                    outcome.failed.len(),
+                    outcome.skipped.len()
+                ));
+            }
+            state.outcome = Some(outcome);
+        }
+        Err(e) => {
+            state.phase = JobPhase::Failed;
+            state.error = Some(e.to_string());
+        }
+    }
+    tracing::info!("job {} finished: {}", job.id, state.phase.label());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::{DatasetId, ExperimentConfig, SeedKind};
+
+    fn tiny_request() -> JobRequest {
+        let base = ExperimentConfig::builder(DatasetId::One)
+            .tasks(20)
+            .population(8)
+            .snapshots(vec![2])
+            .seeds(vec![SeedKind::MinEnergy, SeedKind::Random])
+            .build()
+            .unwrap();
+        JobRequest::new(CampaignSpec::single(&base))
+    }
+
+    fn temp_state_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hetsched-serve-{tag}-{}", std::process::id()))
+    }
+
+    fn wait_done(service: &SchedulerService, id: &str) -> JobStatusBody {
+        for _ in 0..600 {
+            let status = service.status(id).unwrap();
+            if status.state != "queued" && status.state != "running" {
+                return status;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        panic!("job {id} never settled");
+    }
+
+    #[test]
+    fn submit_run_report_and_cache_hit() {
+        let dir = temp_state_dir("basic");
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let created = service.submit(&tiny_request()).unwrap();
+        assert!(!created.cached);
+        assert_eq!(created.state, "queued");
+
+        let status = wait_done(&service, &created.job_id);
+        assert_eq!(status.state, "done", "error: {:?}", status.error);
+        assert!(status.metrics.cells_finished > 0);
+
+        let report = service.report(&created.job_id).unwrap().unwrap();
+        assert_eq!(report.schema, wire::JOB_REPORT_SCHEMA);
+        assert_eq!(report.reports.len(), 1);
+        assert!(report.failed.is_empty());
+
+        // Identical resubmission hits the fingerprint cache: same job,
+        // no new cells started.
+        let started_before = service
+            .status(&created.job_id)
+            .unwrap()
+            .metrics
+            .cells_started;
+        let again = service.submit(&tiny_request()).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.job_id, created.job_id);
+        assert_eq!(again.state, "done");
+        let started_after = service
+            .status(&created.job_id)
+            .unwrap()
+            .metrics
+            .cells_started;
+        assert_eq!(started_before, started_after);
+
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_jobs_are_not_found_and_bad_specs_rejected() {
+        let dir = temp_state_dir("errors");
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let err = service.status("j999").unwrap_err();
+        assert_eq!(err.class(), hetsched_core::ErrorClass::NotFound);
+
+        let mut bad = tiny_request();
+        bad.campaign.replicates = 0;
+        let err = service.submit(&bad).unwrap_err();
+        assert_eq!(err.class(), hetsched_core::ErrorClass::InvalidInput);
+
+        let mut wrong_schema = tiny_request();
+        wrong_schema.schema = "hetsched.job-request.v0".to_string();
+        assert!(service.submit(&wrong_schema).is_err());
+
+        let mut bad_timeout = tiny_request();
+        bad_timeout.cell_timeout_s = Some(-1.0);
+        assert!(service.submit(&bad_timeout).is_err());
+
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_before_completion_returns_status() {
+        let dir = temp_state_dir("pending");
+        // Zero-throughput pool is impossible (workers >= 1), so submit a
+        // job and immediately ask: depending on timing the answer is the
+        // pending status or the report — both well-formed. Force the
+        // pending side with a cancelled-at-admission job.
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let created = service.submit(&tiny_request()).unwrap();
+        let _ = service.cancel(&created.job_id);
+        let settled = wait_done(&service, &created.job_id);
+        if settled.state == "cancelled" {
+            let pending = service.report(&created.job_id).unwrap();
+            assert!(pending.is_err(), "cancelled job must not serve a report");
+        }
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_workers_is_invalid() {
+        let mut config = ServeConfig::new(temp_state_dir("zero"));
+        config.workers = 0;
+        assert!(SchedulerService::start(config).is_err());
+    }
+}

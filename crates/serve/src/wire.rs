@@ -1,0 +1,238 @@
+//! The versioned JSON bodies served over HTTP.
+//!
+//! Every body carries a `schema` field (e.g. `hetsched.job-status.v1`)
+//! so clients can detect drift the way the campaign manifest's version
+//! header already does: a consumer checks the schema string before
+//! trusting the shape. The vendored serde derive rejects missing fields,
+//! which doubles as shape enforcement on the way in — an old client
+//! POSTing a pre-v1 body gets a 400, not a half-parsed struct.
+
+use hetsched_core::{CampaignOutcome, CampaignReport, CampaignSpec, CellId, CellRecord};
+use hetsched_core::{ErrorClass, MetricsSnapshot};
+use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
+
+/// Schema tag for [`JobRequest`].
+pub const JOB_REQUEST_SCHEMA: &str = "hetsched.job-request.v1";
+/// Schema tag for [`JobCreated`].
+pub const JOB_CREATED_SCHEMA: &str = "hetsched.job-created.v1";
+/// Schema tag for [`JobStatusBody`].
+pub const JOB_STATUS_SCHEMA: &str = "hetsched.job-status.v1";
+/// Schema tag for [`JobReportBody`].
+pub const JOB_REPORT_SCHEMA: &str = "hetsched.job-report.v1";
+/// Schema tag for [`ErrorBody`].
+pub const ERROR_SCHEMA: &str = "hetsched.error.v1";
+
+/// `POST /v1/jobs` request body: the campaign to run. The spec names the
+/// datasets (real ETC/EPC matrix or synth spec via [`CampaignSpec`]'s
+/// dataset axis), algorithms, and replicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Must equal [`JOB_REQUEST_SCHEMA`]; anything else is a 400.
+    pub schema: String,
+    /// The grid to run, validated server-side before admission.
+    pub campaign: CampaignSpec,
+    /// Optional per-cell watchdog budget in seconds (falls back to the
+    /// daemon's `--cell-timeout` when absent).
+    pub cell_timeout_s: Option<f64>,
+}
+
+impl JobRequest {
+    /// A request for `campaign` with the current schema tag.
+    pub fn new(campaign: CampaignSpec) -> Self {
+        JobRequest {
+            schema: JOB_REQUEST_SCHEMA.to_string(),
+            campaign,
+            cell_timeout_s: None,
+        }
+    }
+}
+
+// `cell_timeout_s` is genuinely optional on the wire (curl users should
+// not have to spell `null`), so the serde impls are hand-written — the
+// vendored derive would make a missing field a hard error.
+impl Serialize for JobRequest {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = vec![
+            ("schema".to_string(), serde::to_value(&self.schema)),
+            ("campaign".to_string(), serde::to_value(&self.campaign)),
+        ];
+        if let Some(timeout) = self.cell_timeout_s {
+            entries.push(("cell_timeout_s".to_string(), serde::to_value(&timeout)));
+        }
+        serializer.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<'de> Deserialize<'de> for JobRequest {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::__private::{from_field, into_object};
+        let mut entries = into_object::<D::Error>(deserializer.take_value()?, "JobRequest")?;
+        let schema: String = from_field(&mut entries, "schema")?;
+        let campaign: CampaignSpec = from_field(&mut entries, "campaign")?;
+        let cell_timeout_s: Option<f64> = if entries.iter().any(|(k, _)| k == "cell_timeout_s") {
+            from_field(&mut entries, "cell_timeout_s")?
+        } else {
+            None
+        };
+        Ok(JobRequest {
+            schema,
+            campaign,
+            cell_timeout_s,
+        })
+    }
+}
+
+/// `POST /v1/jobs` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobCreated {
+    /// [`JOB_CREATED_SCHEMA`].
+    pub schema: String,
+    /// Server-assigned job id, the `{id}` of the other endpoints.
+    pub job_id: String,
+    /// [`CampaignSpec::fingerprint`] of the submitted spec — also the
+    /// fingerprint-cache key and the manifest header value.
+    pub fingerprint: String,
+    /// Job state at admission (`queued`, or the cached job's state).
+    pub state: String,
+    /// Whether the spec hit the fingerprint cache (the returned job
+    /// already existed; no new cells were enqueued).
+    pub cached: bool,
+}
+
+/// `GET /v1/jobs/{id}` response body: live progress assembled from the
+/// job's [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatusBody {
+    /// [`JOB_STATUS_SCHEMA`].
+    pub schema: String,
+    /// The job id.
+    pub job_id: String,
+    /// The spec fingerprint.
+    pub fingerprint: String,
+    /// `queued` | `running` | `done` | `failed` | `cancelled`.
+    pub state: String,
+    /// Failure description when `state == "failed"`.
+    pub error: Option<String>,
+    /// Point-in-time telemetry for this job's registry.
+    pub metrics: MetricsSnapshot,
+}
+
+/// `GET /v1/jobs/{id}/report` response body: the finished campaign, in
+/// the same byte-stable serialisation the offline path emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReportBody {
+    /// [`JOB_REPORT_SCHEMA`].
+    pub schema: String,
+    /// The job id.
+    pub job_id: String,
+    /// The spec fingerprint.
+    pub fingerprint: String,
+    /// Complete per-grid-point reports, canonical order.
+    pub reports: Vec<CampaignReport>,
+    /// Cells that exhausted their attempts.
+    pub failed: Vec<CellRecord>,
+    /// Cells skipped by cancellation or deadline.
+    pub skipped: Vec<CellId>,
+    /// Cells executed by the serving daemon.
+    pub executed: u64,
+    /// Cells replayed from the manifest (resume / fingerprint cache).
+    pub replayed: u64,
+}
+
+impl JobReportBody {
+    /// Wraps a finished [`CampaignOutcome`] for the wire.
+    pub fn from_outcome(job_id: &str, fingerprint: &str, outcome: &CampaignOutcome) -> Self {
+        JobReportBody {
+            schema: JOB_REPORT_SCHEMA.to_string(),
+            job_id: job_id.to_string(),
+            fingerprint: fingerprint.to_string(),
+            reports: outcome.reports.clone(),
+            failed: outcome.failed.clone(),
+            skipped: outcome.skipped.clone(),
+            executed: outcome.executed as u64,
+            replayed: outcome.replayed as u64,
+        }
+    }
+}
+
+/// Error response body, for every non-2xx JSON response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// [`ERROR_SCHEMA`].
+    pub schema: String,
+    /// Machine-readable failure family, mirroring
+    /// [`hetsched_core::ErrorClass`]: `invalid-input` | `not-found` |
+    /// `internal`.
+    pub class: String,
+    /// Human-readable description.
+    pub error: String,
+}
+
+impl ErrorBody {
+    /// Builds the body for an error class + message.
+    pub fn new(class: ErrorClass, error: impl Into<String>) -> Self {
+        ErrorBody {
+            schema: ERROR_SCHEMA.to_string(),
+            class: class_label(class).to_string(),
+            error: error.into(),
+        }
+    }
+}
+
+/// The wire label of an [`ErrorClass`].
+pub fn class_label(class: ErrorClass) -> &'static str {
+    match class {
+        ErrorClass::InvalidInput => "invalid-input",
+        ErrorClass::NotFound => "not-found",
+        ErrorClass::Internal => "internal",
+    }
+}
+
+/// The HTTP status an [`ErrorClass`] maps to — the single place the
+/// unified error taxonomy meets HTTP.
+pub fn class_status(class: ErrorClass) -> u16 {
+    match class {
+        ErrorClass::InvalidInput => 400,
+        ErrorClass::NotFound => 404,
+        ErrorClass::Internal => 500,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_core::ExperimentConfig;
+
+    #[test]
+    fn job_request_roundtrips_and_tolerates_missing_timeout() {
+        let spec = CampaignSpec::single(&ExperimentConfig::dataset1());
+        let req = JobRequest::new(spec.clone());
+        let json = serde_json::to_string(&req).unwrap();
+        // Absent timeout serialises to an absent key, not `null`.
+        assert!(!json.contains("cell_timeout_s"));
+        let back: JobRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        let with_timeout = JobRequest {
+            cell_timeout_s: Some(1.5),
+            ..req.clone()
+        };
+        let json = serde_json::to_string(&with_timeout).unwrap();
+        assert!(json.contains("\"cell_timeout_s\":1.5"));
+        let back: JobRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with_timeout);
+    }
+
+    #[test]
+    fn class_mapping_is_total() {
+        assert_eq!(class_status(ErrorClass::InvalidInput), 400);
+        assert_eq!(class_status(ErrorClass::NotFound), 404);
+        assert_eq!(class_status(ErrorClass::Internal), 500);
+        assert_eq!(class_label(ErrorClass::NotFound), "not-found");
+        let body = ErrorBody::new(ErrorClass::InvalidInput, "bad spec");
+        assert_eq!(body.schema, ERROR_SCHEMA);
+        let json = serde_json::to_string(&body).unwrap();
+        let back: ErrorBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, body);
+    }
+}

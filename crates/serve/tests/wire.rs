@@ -1,0 +1,175 @@
+//! Wire-schema regression tests: every body served over HTTP round-trips
+//! through serde, and its serialisation is frozen as a golden fixture
+//! under `tests/golden/` — schema drift (renamed fields, reordered keys,
+//! a silent `v1` → `v2`) fails here before any client sees it.
+//!
+//! Regenerate after an intentional schema change with
+//! `GOLDEN_REGEN=1 cargo test -p hetsched-serve --test wire`.
+
+use hetsched_core::{
+    Algorithm, AnalysisReport, CampaignReport, CampaignSpec, DatasetId, ErrorClass,
+    ExperimentConfig, MetricsSnapshot, ParetoFront, PopulationRun, SeedKind,
+};
+use hetsched_serve::wire::{
+    ErrorBody, JobCreated, JobReportBody, JobRequest, JobStatusBody, ERROR_SCHEMA,
+    JOB_CREATED_SCHEMA, JOB_REPORT_SCHEMA, JOB_STATUS_SCHEMA,
+};
+use serde::{DeserializeOwned, Serialize};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Round-trips `value` through JSON and pins its serialisation to the
+/// committed fixture, byte for byte.
+fn assert_frozen<T>(value: &T, fixture: &str)
+where
+    T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("wire type serialises");
+    let back: T = serde_json::from_str(&json).expect("wire type parses back");
+    assert_eq!(&back, value, "round-trip must be lossless");
+
+    let path = golden_dir().join(fixture);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, format!("{json}\n")).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("fixture {fixture} missing — run with GOLDEN_REGEN=1"));
+    assert_eq!(
+        json,
+        expected.trim_end(),
+        "wire schema for {fixture} drifted — bump the schema version \
+         and regenerate the fixture if this is intentional"
+    );
+}
+
+/// A deterministic config (no wall-clock, fixed seeds) shared by the
+/// fixtures.
+fn fixture_config() -> ExperimentConfig {
+    ExperimentConfig::builder(DatasetId::One)
+        .tasks(20)
+        .population(8)
+        .snapshots(vec![2])
+        .seeds(vec![SeedKind::MinEnergy, SeedKind::Random])
+        .rng_seed(7)
+        .parallel(false)
+        .build()
+        .unwrap()
+}
+
+fn fixture_metrics() -> MetricsSnapshot {
+    MetricsSnapshot {
+        elapsed_s: 1.5,
+        cells_total: 4,
+        cells_replayed: 1,
+        cells_started: 3,
+        cells_finished: 2,
+        cells_retried: 1,
+        cells_panicked: 0,
+        cells_timed_out: 0,
+        cells_poisoned: 0,
+        cells_failed: 0,
+        cells_skipped: 0,
+        generations: 12,
+        evaluations: 96,
+        sim_evaluations: 0,
+        faults_injected: 0,
+        phase_mating_s: 0.25,
+        phase_evaluation_s: 0.5,
+        phase_sorting_s: 0.125,
+        ewma_cell_s: 0.75,
+        cell_duration_sum_s: 1.5,
+        cell_duration_count: 2,
+        cell_duration_buckets: vec![0, 1, 1, 0, 0, 0, 0, 0, 0],
+    }
+}
+
+#[test]
+fn job_request_is_frozen() {
+    let request = JobRequest {
+        cell_timeout_s: Some(2.5),
+        ..JobRequest::new(CampaignSpec::single(&fixture_config()))
+    };
+    assert_frozen(&request, "job_request.json");
+}
+
+#[test]
+fn job_created_is_frozen() {
+    let created = JobCreated {
+        schema: JOB_CREATED_SCHEMA.to_string(),
+        job_id: "j001".to_string(),
+        fingerprint: "00c0ffee00c0ffee".to_string(),
+        state: "queued".to_string(),
+        cached: false,
+    };
+    assert_frozen(&created, "job_created.json");
+}
+
+#[test]
+fn job_status_is_frozen() {
+    let status = JobStatusBody {
+        schema: JOB_STATUS_SCHEMA.to_string(),
+        job_id: "j001".to_string(),
+        fingerprint: "00c0ffee00c0ffee".to_string(),
+        state: "running".to_string(),
+        error: None,
+        metrics: fixture_metrics(),
+    };
+    assert_frozen(&status, "job_status.json");
+}
+
+#[test]
+fn job_report_is_frozen() {
+    let report = JobReportBody {
+        schema: JOB_REPORT_SCHEMA.to_string(),
+        job_id: "j001".to_string(),
+        fingerprint: "00c0ffee00c0ffee".to_string(),
+        reports: vec![CampaignReport {
+            dataset: DatasetId::One,
+            algorithm: Algorithm::Nsga2,
+            replicate: 0,
+            report: AnalysisReport {
+                runs: vec![PopulationRun {
+                    seed: SeedKind::Random,
+                    fronts: vec![(2, ParetoFront::from_points([(1.0, 2.0), (2.0, 1.0)]))],
+                }],
+                snapshots: vec![2],
+            },
+        }],
+        failed: vec![],
+        skipped: vec![],
+        executed: 2,
+        replayed: 0,
+    };
+    assert_frozen(&report, "job_report.json");
+}
+
+#[test]
+fn error_body_is_frozen() {
+    let error = ErrorBody::new(
+        ErrorClass::InvalidInput,
+        "invalid config: tasks must be > 0",
+    );
+    assert_eq!(error.schema, ERROR_SCHEMA);
+    assert_frozen(&error, "error_body.json");
+}
+
+#[test]
+fn schema_tags_are_versioned() {
+    // The drift-detection contract: every schema tag names the payload
+    // and carries an explicit version suffix.
+    for tag in [
+        hetsched_serve::wire::JOB_REQUEST_SCHEMA,
+        JOB_CREATED_SCHEMA,
+        JOB_STATUS_SCHEMA,
+        JOB_REPORT_SCHEMA,
+        ERROR_SCHEMA,
+    ] {
+        assert!(tag.starts_with("hetsched."), "{tag}");
+        assert!(tag.ends_with(".v1"), "{tag}");
+    }
+}

@@ -10,9 +10,7 @@
 //! cargo run --release --example admin_analysis
 //! ```
 
-use hetsched::core::DatasetId;
-use hetsched::core::{ExperimentConfig, Framework};
-use hetsched::heuristics::SeedKind;
+use hetsched::prelude::*;
 use hetsched::synth::builder::dataset2_system;
 use hetsched::workload::{ArrivalProcess, TraceGenerator, TufPolicy};
 use rand::rngs::StdRng;

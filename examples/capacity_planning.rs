@@ -9,9 +9,9 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
-use hetsched::analysis::{hypervolume, ParetoFront};
-use hetsched::core::{DatasetId, ExperimentConfig, Framework};
+use hetsched::analysis::hypervolume;
 use hetsched::data::MachineInventory;
+use hetsched::prelude::*;
 use hetsched::synth::builder::dataset2_system;
 use hetsched::workload::TraceGenerator;
 use rand::rngs::StdRng;

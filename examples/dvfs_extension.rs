@@ -7,11 +7,10 @@
 //! ```
 
 use hetsched::alloc::{AllocationProblem, DvfsAllocationProblem};
-use hetsched::analysis::ParetoFront;
 use hetsched::data::real_system;
 use hetsched::heuristics::{min_energy, min_min_completion_time};
-use hetsched::moea::EngineConfig;
-use hetsched::sim::{DvfsAllocation, DvfsTable, Evaluator};
+use hetsched::prelude::*;
+use hetsched::sim::{DvfsAllocation, DvfsTable};
 use hetsched::workload::TraceGenerator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -9,9 +9,9 @@
 //! ```
 
 use hetsched::alloc::{MakespanProblem, TaskBag};
-use hetsched::analysis::{knee_point, ParetoFront};
+use hetsched::analysis::knee_point;
 use hetsched::data::real_system;
-use hetsched::moea::EngineConfig;
+use hetsched::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

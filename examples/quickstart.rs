@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hetsched::core::{DatasetId, ExperimentConfig, Framework};
+use hetsched::prelude::*;
 
 fn main() {
     // Data set 1: the real 5×9 ETC/EPC matrices, one machine per type,

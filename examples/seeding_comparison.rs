@@ -7,8 +7,7 @@
 //! cargo run --release --example seeding_comparison
 //! ```
 
-use hetsched::core::{DatasetId, ExperimentConfig, Framework};
-use hetsched::heuristics::SeedKind;
+use hetsched::prelude::*;
 
 fn main() {
     let mut config = ExperimentConfig::scaled(DatasetId::One, 0.02);

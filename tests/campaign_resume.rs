@@ -5,29 +5,27 @@
 //! engines so every `Engine` implementation is exercised through the
 //! resume path.
 
-use hetsched::core::{Algorithm, Campaign, CampaignSpec, DatasetId, ExperimentConfig};
-use hetsched::heuristics::SeedKind;
+use hetsched::prelude::*;
 use proptest::prelude::*;
 use std::path::PathBuf;
 
 /// A laptop-instant grid: 1 dataset × 3 algorithms × 2 replicates ×
 /// 2 seed kinds = 12 cells.
 fn tiny_spec(rng_seed: u64) -> CampaignSpec {
-    let base = ExperimentConfig {
-        tasks: 20,
-        population: 8,
-        snapshots: vec![2, 4],
-        seeds: vec![SeedKind::MinEnergy, SeedKind::Random],
-        rng_seed,
-        parallel: false,
-        ..ExperimentConfig::dataset1()
-    };
-    CampaignSpec {
-        datasets: vec![DatasetId::One],
-        algorithms: vec![Algorithm::Nsga2, Algorithm::Moead, Algorithm::Spea2],
-        replicates: 2,
-        base,
-    }
+    let base = ExperimentConfig::builder(DatasetId::One)
+        .tasks(20)
+        .population(8)
+        .snapshots(vec![2, 4])
+        .seeds(vec![SeedKind::MinEnergy, SeedKind::Random])
+        .rng_seed(rng_seed)
+        .parallel(false)
+        .build()
+        .expect("tiny resume config is consistent");
+    CampaignSpec::builder(base)
+        .algorithms(vec![Algorithm::Nsga2, Algorithm::Moead, Algorithm::Spea2])
+        .replicates(2)
+        .build()
+        .expect("tiny resume grid is consistent")
 }
 
 /// A unique scratch path per proptest case (cases run sequentially within

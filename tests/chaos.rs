@@ -18,11 +18,8 @@
 #![cfg(feature = "chaos")]
 
 use hetsched::core::chaos::{armed, injected_total, FaultPlan};
-use hetsched::core::{
-    Algorithm, Campaign, CampaignOutcome, CampaignSpec, CellOutcome, DatasetId, ExperimentConfig,
-    MetricsRegistry, RunJournal, TelemetryObserver,
-};
-use hetsched::heuristics::SeedKind;
+use hetsched::core::RunJournal;
+use hetsched::prelude::*;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -36,21 +33,20 @@ fn serial() -> MutexGuard<'static, ()> {
 
 /// 1 dataset × 2 algorithms × 2 replicates × 2 seed kinds = 8 cells.
 fn tiny_spec() -> CampaignSpec {
-    let base = ExperimentConfig {
-        tasks: 20,
-        population: 8,
-        snapshots: vec![2, 4],
-        seeds: vec![SeedKind::MinEnergy, SeedKind::Random],
-        rng_seed: 0xC4405,
-        parallel: false,
-        ..ExperimentConfig::dataset1()
-    };
-    CampaignSpec {
-        datasets: vec![DatasetId::One],
-        algorithms: vec![Algorithm::Nsga2, Algorithm::Spea2],
-        replicates: 2,
-        base,
-    }
+    let base = ExperimentConfig::builder(DatasetId::One)
+        .tasks(20)
+        .population(8)
+        .snapshots(vec![2, 4])
+        .seeds(vec![SeedKind::MinEnergy, SeedKind::Random])
+        .rng_seed(0xC4405)
+        .parallel(false)
+        .build()
+        .expect("tiny chaos config is consistent");
+    CampaignSpec::builder(base)
+        .algorithms(vec![Algorithm::Nsga2, Algorithm::Spea2])
+        .replicates(2)
+        .build()
+        .expect("tiny chaos grid is consistent")
 }
 
 fn scratch(tag: &str) -> PathBuf {

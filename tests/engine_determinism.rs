@@ -5,17 +5,17 @@
 //! bind NSGA-II to an [`AllocationProblem`] over the paper's real system
 //! and a generated trace.
 
-use hetsched_alloc::AllocationProblem;
-use hetsched_data::real_system;
-use hetsched_heuristics::SeedKind;
-use hetsched_moea::observe::StatsLog;
-use hetsched_moea::{Nsga2, Nsga2Config, Objectives};
-use hetsched_sim::Allocation;
-use hetsched_workload::TraceGenerator;
+use hetsched::alloc::AllocationProblem;
+use hetsched::data::real_system;
+use hetsched::moea::observe::StatsLog;
+use hetsched::moea::{Nsga2, Nsga2Config, Objectives};
+use hetsched::prelude::SeedKind;
+use hetsched::sim::Allocation;
+use hetsched::workload::TraceGenerator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn fixture() -> (hetsched_data::HcSystem, hetsched_workload::Trace) {
+fn fixture() -> (hetsched::data::HcSystem, hetsched::workload::Trace) {
     let system = real_system();
     let trace = TraceGenerator::new(60, 900.0, system.task_type_count())
         .generate(&mut StdRng::seed_from_u64(7))
@@ -33,7 +33,7 @@ fn config(parallel: bool) -> Nsga2Config {
     }
 }
 
-fn objectives(pop: &[hetsched_moea::Individual<Allocation>]) -> Vec<Objectives> {
+fn objectives(pop: &[hetsched::moea::Individual<Allocation>]) -> Vec<Objectives> {
     pop.iter().map(|i| i.objectives).collect()
 }
 

@@ -4,32 +4,28 @@
 //! per-population convergence without re-running anything.
 
 use hetsched::core::inspect::Inspection;
-use hetsched::core::{
-    inspect_path, Algorithm, Campaign, CampaignObserver, CampaignSpec, DatasetId, ExperimentConfig,
-    Heartbeat, HeartbeatLine, MetricsRegistry, TelemetryObserver,
-};
-use hetsched::heuristics::SeedKind;
+use hetsched::core::{inspect_path, Heartbeat, HeartbeatLine};
+use hetsched::prelude::*;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// 1 dataset × 2 algorithms × 2 replicates × 2 seed kinds = 8 cells.
 fn tiny_spec() -> CampaignSpec {
-    let base = ExperimentConfig {
-        tasks: 20,
-        population: 8,
-        snapshots: vec![2, 4],
-        seeds: vec![SeedKind::MinEnergy, SeedKind::Random],
-        rng_seed: 0xBEA7,
-        parallel: false,
-        ..ExperimentConfig::dataset1()
-    };
-    CampaignSpec {
-        datasets: vec![DatasetId::One],
-        algorithms: vec![Algorithm::Nsga2, Algorithm::Spea2],
-        replicates: 2,
-        base,
-    }
+    let base = ExperimentConfig::builder(DatasetId::One)
+        .tasks(20)
+        .population(8)
+        .snapshots(vec![2, 4])
+        .seeds(vec![SeedKind::MinEnergy, SeedKind::Random])
+        .rng_seed(0xBEA7)
+        .parallel(false)
+        .build()
+        .expect("tiny telemetry config is consistent");
+    CampaignSpec::builder(base)
+        .algorithms(vec![Algorithm::Nsga2, Algorithm::Spea2])
+        .replicates(2)
+        .build()
+        .expect("tiny telemetry grid is consistent")
 }
 
 fn scratch(tag: &str) -> PathBuf {
