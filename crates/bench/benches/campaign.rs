@@ -11,7 +11,15 @@
 //! must stay within noise of the bare campaign, and the instrumented
 //! run shows what the per-event atomics and per-generation stats cost.
 //!
-//! With `--features chaos`, a fourth case runs the same campaign with
+//! A `tracing_disabled` case pins the span-instrumentation contract:
+//! every span site (campaign, cell, attempt, generation, engine phases,
+//! evaluator batches) is compiled in, but with no span sink installed
+//! each site must collapse to one relaxed atomic load — the case
+//! asserts the sink really is absent and must stay within the same <2%
+//! envelope of `campaign_8_cells` (gated against `BENCH_<date>.json`
+//! by CI's bench-smoke job).
+//!
+//! With `--features chaos`, a further case runs the same campaign with
 //! the fault points compiled in but *no plan armed* — each fault point
 //! is then one relaxed atomic load. Its target is the same <2% envelope
 //! against the bare run: a chaos-capable build must cost nothing until
@@ -111,6 +119,18 @@ fn campaign_overhead(c: &mut Criterion) {
                     .unwrap(),
             )
         })
+    });
+    // Identical work to `campaign_8_cells`, named separately so the
+    // bench trajectory records the cost of the compiled-in span sites
+    // while no sink is installed. The assertion keeps the case honest:
+    // if some other bench ever installs a process-global sink, this
+    // measurement would silently become "tracing enabled".
+    group.bench_function("campaign_8_cells_tracing_disabled", |b| {
+        assert!(
+            !tracing::span_enabled(tracing::Level::ERROR),
+            "disabled-tracing bench must run without a span sink installed"
+        );
+        b.iter(|| black_box(Campaign::new(spec.clone()).run(None).unwrap()))
     });
     // Only meaningful in a chaos build: identical to `campaign_8_cells`
     // except the binary carries the fault points (disarmed). Compare the

@@ -525,6 +525,28 @@ pub fn report(options: &Options) -> Result<(), CliError> {
     options.emit(&out)
 }
 
+/// `hetsched trace`: summarise a span trace (the JSONL `--trace-out`
+/// writes, or a serve job's trace file) without re-running anything:
+/// per-phase self-time breakdown, the `--top` slowest cells, the critical
+/// path through the longest trace, and wall-clock vs summed cell time.
+/// With `--json` the spans are exported as Chrome trace-event JSON
+/// instead, loadable in Perfetto or `chrome://tracing`.
+pub fn trace(options: &Options) -> Result<(), CliError> {
+    let Some(path) = options.positional.first() else {
+        return Err(CliError::Usage(
+            "trace requires a span-trace path (the JSONL written by --trace-out)".into(),
+        ));
+    };
+    let spans = hetsched_core::read_trace(Path::new(path))?;
+    if options.json {
+        let chrome = hetsched_core::chrome_trace(&spans);
+        options.emit(&serde_json::to_string(&chrome)?)
+    } else {
+        let analysis = hetsched_core::TraceAnalysis::from_records(&spans, options.top);
+        options.emit(&analysis.render())
+    }
+}
+
 /// `hetsched attain`: run the experiment `--replicates` times (default 5)
 /// and print each seed's median attainment curve — the robust across-run
 /// view of the trade-off.

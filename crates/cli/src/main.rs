@@ -26,8 +26,14 @@
 //!   --cell-timeout <s> per-cell watchdog budget in seconds (campaign run only)
 //!   --requeue-quarantined  re-execute quarantined manifest cells on resume
 //!   --chaos-plan <spec> arm a fault-injection plan (chaos-enabled builds only)
-//!   --log-level <l>    stderr tracing verbosity (default warn)
+//!   --log-level <l>    stderr verbosity: a level, optionally with
+//!                      RUST_LOG-style target=level rules (default warn)
+//!   --trace-out <p>    append completed spans to a JSONL trace file
 //! ```
+//!
+//! `hetsched trace <file>` summarises a recorded span trace (phase
+//! self-times, slowest cells, critical path); `--json` exports Chrome
+//! trace-event JSON for Perfetto / chrome://tracing.
 //!
 //! `hetsched report <manifest-or-journal>` summarises a finished run
 //! post hoc (per-cell status, per-population convergence) without
@@ -74,10 +80,24 @@ fn run(args: &[String]) -> Result<(), CliError> {
     // Route engine/framework tracing to stderr at the requested verbosity.
     // try_init: repeated invocations (tests) keep the first subscriber.
     let _ = tracing_subscriber::fmt()
-        .with_max_level(options.log_level)
+        .with_directives(options.log_directives.clone())
         .try_init();
-    match command.as_str() {
-        "dataset" => commands::dataset(&options),
+    // `--trace-out` arms the span sink for the whole command: every span
+    // the run closes is appended to the JSONL file as it completes.
+    if let Some(path) = &options.trace_out {
+        let writer = hetsched_core::TraceWriter::create(path)?;
+        hetsched_core::install_tracing(tracing::Level::TRACE, Some(std::sync::Arc::new(writer)))?;
+    }
+    let result = dispatch(command, &options);
+    if options.trace_out.is_some() {
+        tracing::flush_span_sink();
+    }
+    result
+}
+
+fn dispatch(command: &str, options: &Options) -> Result<(), CliError> {
+    match command {
+        "dataset" => commands::dataset(options),
         "figure" => {
             let which = options
                 .positional
@@ -85,17 +105,18 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("figure requires a number (1-6)".into()))?
                 .parse::<u8>()
                 .map_err(|_| CliError::Usage("figure number must be 1-6".into()))?;
-            commands::figure(which, &options)
+            commands::figure(which, options)
         }
-        "run" => commands::run_experiment(&options),
-        "seeds" => commands::seeds(&options),
-        "gantt" => commands::gantt(&options),
-        "online" => commands::online(&options),
-        "verify-synth" => commands::verify_synth(&options),
-        "verify" => commands::verify(&options),
-        "attain" => commands::attain(&options),
-        "report" => commands::report(&options),
-        "serve" => commands::serve(&options),
+        "run" => commands::run_experiment(options),
+        "seeds" => commands::seeds(options),
+        "gantt" => commands::gantt(options),
+        "online" => commands::online(options),
+        "verify-synth" => commands::verify_synth(options),
+        "verify" => commands::verify(options),
+        "attain" => commands::attain(options),
+        "report" => commands::report(options),
+        "trace" => commands::trace(options),
+        "serve" => commands::serve(options),
         "help" | "--help" | "-h" => {
             println!("{}", HELP);
             Ok(())
@@ -149,6 +170,7 @@ USAGE:
     hetsched verify [--set 1|2|3] [--scale F]
     hetsched attain [--set 1|2|3] [--tasks N] [--pop N] [--scale F] [--replicates N]
     hetsched report [MANIFEST-OR-JOURNAL] [--scale F] [--out PATH]
+    hetsched trace TRACE-FILE [--top N] [--json] [--out PATH]
     hetsched serve [--addr HOST:PORT] [--state-dir DIR] [--workers N] [--cell-timeout S]
     hetsched help
 
@@ -164,6 +186,16 @@ PATH` writes a Prometheus-style metrics snapshot when the campaign ends.
 status and durations, per-population convergence) or a `--metrics-out`
 run journal (convergence and phase-time breakdown) without re-running
 anything; without a path it runs the full reproduction suite.
+
+`--trace-out PATH` records every completed tracing span (campaign, cell,
+attempt, generation, engine phase, evaluator batch) to an append-mode
+JSONL file; `hetsched trace PATH` then prints the per-phase self-time
+breakdown, the `--top N` slowest cells, the critical path through the
+longest trace, and the parallel speedup (summed cell time over wall
+clock). `hetsched trace PATH --json` converts the trace to Chrome
+trace-event JSON for Perfetto or chrome://tracing. `--log-level` takes a
+default level or full RUST_LOG-style directives, e.g.
+`info,hetsched_core::campaign=debug,hetsched_sim=off`.
 
 `--cell-timeout S` puts each campaign cell under a wall-clock watchdog:
 an attempt that exceeds the budget is recorded as timed out (terminal,
@@ -358,6 +390,73 @@ mod tests {
     #[test]
     fn report_on_garbage_path_is_a_runtime_error() {
         assert!(run(&argv("report /nonexistent/path.jsonl")).is_err());
+    }
+
+    #[test]
+    fn trace_out_records_spans_and_trace_command_analyses_them() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let trace = dir.join(format!("hetsched-cli-trace-{pid}.jsonl"));
+        let out = dir.join(format!("hetsched-cli-trace-run-{pid}.txt"));
+        let _ = std::fs::remove_file(&trace);
+        let cmd = format!(
+            "run --set 1 --tasks 15 --pop 8 --scale 0.00002 --replicates 2 \
+             --trace-out {} --out {}",
+            trace.display(),
+            out.display()
+        );
+        assert!(run(&argv(&cmd)).is_ok());
+        let spans = hetsched_core::read_trace(&trace).unwrap();
+        assert!(
+            spans.iter().any(|s| s.name == "campaign"),
+            "no campaign span"
+        );
+        assert!(spans.iter().any(|s| s.name == "cell"), "no cell spans");
+        assert!(
+            spans.iter().any(|s| s.name == "generation"),
+            "no generation spans"
+        );
+
+        // Post-hoc analysis renders the report sections.
+        let report = dir.join(format!("hetsched-cli-trace-report-{pid}.txt"));
+        let report_cmd = format!(
+            "trace {} --top 3 --out {}",
+            trace.display(),
+            report.display()
+        );
+        assert!(run(&argv(&report_cmd)).is_ok());
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("self (s)"), "{text}");
+        assert!(text.contains("slowest cells"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+
+        // Chrome export is valid JSON with a traceEvents array.
+        let chrome = dir.join(format!("hetsched-cli-trace-chrome-{pid}.json"));
+        let chrome_cmd = format!(
+            "trace {} --json --out {}",
+            trace.display(),
+            chrome.display()
+        );
+        assert!(run(&argv(&chrome_cmd)).is_ok());
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        assert_eq!(events.len(), spans.len());
+
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&report);
+        let _ = std::fs::remove_file(&chrome);
+    }
+
+    #[test]
+    fn trace_command_requires_a_readable_path() {
+        let err = run(&argv("trace")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(run(&argv("trace /nonexistent/spans.jsonl")).is_err());
     }
 
     #[test]

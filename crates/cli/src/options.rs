@@ -59,8 +59,14 @@ pub struct Options {
     pub state_dir: Option<String>,
     /// Campaign worker threads for the `serve` daemon.
     pub workers: usize,
-    /// Stderr log verbosity for the tracing subscriber.
-    pub log_level: tracing::Level,
+    /// Stderr log verbosity: a default level plus optional RUST_LOG-style
+    /// `target=level` rules (e.g. `info,hetsched_core::campaign=debug`).
+    pub log_directives: tracing::Directives,
+    /// Span trace output path (JSONL, appended; installs the process
+    /// span sink).
+    pub trace_out: Option<String>,
+    /// Row budget for top-N listings (`trace` command).
+    pub top: usize,
 }
 
 impl Default for Options {
@@ -87,7 +93,9 @@ impl Default for Options {
             addr: "127.0.0.1:7878".to_string(),
             state_dir: None,
             workers: 2,
-            log_level: tracing::Level::WARN,
+            log_directives: tracing::Directives::new(tracing::Level::WARN),
+            trace_out: None,
+            top: 10,
         }
     }
 }
@@ -209,9 +217,25 @@ impl Options {
                     opts.workers = n;
                 }
                 "--log-level" => {
-                    opts.log_level = value_for("log-level")?.parse().map_err(|_| {
-                        usage("--log-level must be error, warn, info, debug, or trace")
+                    opts.log_directives = value_for("log-level")?.parse().map_err(|_| {
+                        usage(
+                            "--log-level must be error, warn, info, debug, or trace, \
+                             optionally with `target=level` rules \
+                             (e.g. info,hetsched_core::campaign=debug,hetsched_sim=off)",
+                        )
                     })?;
+                }
+                "--trace-out" => {
+                    opts.trace_out = Some(value_for("trace-out")?.clone());
+                }
+                "--top" => {
+                    let n: usize = value_for("top")?
+                        .parse()
+                        .map_err(|_| usage("--top must be a positive integer"))?;
+                    if n == 0 {
+                        return Err(usage("--top must be >= 1"));
+                    }
+                    opts.top = n;
                 }
                 "--json" => opts.json = true,
                 "--requeue-quarantined" => opts.requeue_quarantined = true,
@@ -284,7 +308,41 @@ mod tests {
         assert_eq!(o.heartbeat_every, 0.5);
         assert_eq!(o.telemetry_out.as_deref(), Some("metrics.prom"));
         assert_eq!(o.cell_timeout, Some(Duration::from_secs_f64(2.5)));
-        assert_eq!(o.log_level, tracing::Level::DEBUG);
+        assert_eq!(
+            o.log_directives,
+            tracing::Directives::new(tracing::Level::DEBUG)
+        );
+    }
+
+    #[test]
+    fn log_level_accepts_per_target_directives() {
+        let o = Options::parse(&argv(
+            "--log-level info,hetsched_core::campaign=debug,hetsched_sim=off",
+        ))
+        .unwrap();
+        assert_eq!(
+            o.log_directives.level_for("hetsched_core::campaign::inner"),
+            Some(tracing::Level::DEBUG)
+        );
+        assert_eq!(o.log_directives.level_for("hetsched_sim"), None);
+        assert_eq!(
+            o.log_directives.level_for("elsewhere"),
+            Some(tracing::Level::INFO)
+        );
+        assert!(Options::parse(&argv("--log-level info,=debug")).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = Options::parse(&argv("--trace-out spans.jsonl --top 3")).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("spans.jsonl"));
+        assert_eq!(o.top, 3);
+        let o = Options::parse(&[]).unwrap();
+        assert!(o.trace_out.is_none());
+        assert_eq!(o.top, 10);
+        assert!(Options::parse(&argv("--trace-out")).is_err());
+        assert!(Options::parse(&argv("--top 0")).is_err());
+        assert!(Options::parse(&argv("--top lots")).is_err());
     }
 
     #[test]

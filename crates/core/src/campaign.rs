@@ -605,9 +605,25 @@ impl Campaign {
             replayed,
             missing.len(),
         );
+        // The campaign span roots every cell's timeline (or nests under a
+        // serve job span when one is current). Cells run on rayon workers
+        // where this thread's span stack is invisible, so its context is
+        // captured here and re-parented explicitly per cell.
+        let campaign_span = tracing::span!(
+            tracing::Level::INFO,
+            "campaign",
+            fingerprint = fingerprint.as_str(),
+            cells = cells.len() as u64,
+            replayed = replayed as u64
+        );
+        let campaign_ctx = campaign_span.context();
+        let _campaign_entered = campaign_span.enter();
         let observing = self.observer.enabled();
         if observing {
             self.observer.on_campaign_start(cells.len(), replayed);
+            // The pool never runs more workers than there are cells left.
+            self.observer
+                .on_workers(rayon::current_num_threads().min(missing.len()).max(1));
             for cell in cells.iter().filter(|c| known.contains_key(c)) {
                 self.observer.on_cell_replayed(cell);
             }
@@ -624,8 +640,23 @@ impl Campaign {
                     }
                     return None;
                 }
+                let mut cell_span = tracing::Span::child_of(
+                    campaign_ctx,
+                    tracing::Level::INFO,
+                    module_path!(),
+                    "cell",
+                );
+                if cell_span.is_enabled() {
+                    cell_span.record("dataset", format!("{:?}", cell.dataset));
+                    cell_span.record("algorithm", cell.algorithm.to_string());
+                    cell_span.record("seed", cell.seed.label().to_string());
+                    cell_span.record("replicate", cell.replicate as u64);
+                }
+                let cell_entered = cell_span.enter();
                 let record =
                     self.execute_cell(&frameworks[&cell.dataset], cell, streams[&cell.seed]);
+                drop(cell_entered);
+                drop(cell_span);
                 if let Some(sink) = &sink {
                     // A lost checkpoint only costs re-execution on the
                     // next resume; the computed record is still used. The
@@ -712,7 +743,7 @@ impl Campaign {
                 Framework::replicate_seed(self.spec.base.rng_seed, cell.replicate as u64),
                 cell.algorithm,
             );
-            match self.run_attempt(fw, cell, stream) {
+            match self.run_attempt(fw, cell, stream, attempt) {
                 AttemptOutcome::Completed(run) => {
                     if observing {
                         self.observer
@@ -776,14 +807,32 @@ impl Campaign {
     /// on a watchdogged thread. The `campaign.cell.run` fault point sits
     /// inside the unwind barrier, so injected panics behave exactly like
     /// organic engine panics.
-    fn run_attempt(&self, fw: Framework, cell: CellId, stream: u64) -> AttemptOutcome {
+    fn run_attempt(
+        &self,
+        fw: Framework,
+        cell: CellId,
+        stream: u64,
+        attempt: usize,
+    ) -> AttemptOutcome {
         let observing = self.observer.enabled();
         let observer = Arc::clone(&self.observer);
         let abandoned = Arc::new(AtomicBool::new(false));
+        // The cell span is entered on the calling rayon worker; capture it
+        // so the attempt span parents correctly even when the watchdog
+        // moves the attempt to a dedicated thread.
+        let cell_ctx = tracing::current_span();
         let body = {
             let abandoned = Arc::clone(&abandoned);
             move || {
                 catch_unwind(AssertUnwindSafe(|| {
+                    let mut attempt_span = tracing::Span::child_of(
+                        cell_ctx,
+                        tracing::Level::DEBUG,
+                        module_path!(),
+                        "attempt",
+                    );
+                    attempt_span.record("attempt", attempt as u64);
+                    let _in_attempt = attempt_span.enter();
                     chaos_hooks::raise("campaign.cell.run", &cell);
                     if observing {
                         let mut bridge = CellStatsBridge {

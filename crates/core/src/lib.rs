@@ -31,6 +31,7 @@ pub mod journal;
 pub mod report;
 pub mod suite;
 pub mod telemetry;
+pub mod trace;
 
 /// Deterministic fault injection (the `chaos` feature re-exports
 /// [`hetsched_chaos`] here so consumers address one crate). See
@@ -86,6 +87,10 @@ pub use suite::{check_report, verify_dataset, Check, DatasetVerdict};
 pub use telemetry::{
     CampaignObserver, Heartbeat, HeartbeatLine, HeartbeatTicker, MetricsRegistry, MetricsSnapshot,
     NullCampaignObserver, TelemetryObserver,
+};
+pub use trace::{
+    chrome_trace, install_tracing, installed_mux, read_trace, SpanRecord, TraceAnalysis, TraceMux,
+    TraceWriter,
 };
 
 use hetsched_synth::SynthError;

@@ -115,6 +115,9 @@ pub struct MetricsRegistry {
     cells_skipped: AtomicU64,
     generations: AtomicU64,
     evaluations: AtomicU64,
+    /// Configured worker-thread count executing cells (0 = not reported;
+    /// the heartbeat ETA then falls back to the host's parallelism).
+    workers: AtomicU64,
     phase_mating_ns: AtomicU64,
     phase_evaluation_ns: AtomicU64,
     phase_sorting_ns: AtomicU64,
@@ -139,6 +142,7 @@ impl Default for MetricsRegistry {
             cells_skipped: AtomicU64::new(0),
             generations: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
             phase_mating_ns: AtomicU64::new(0),
             phase_evaluation_ns: AtomicU64::new(0),
             phase_sorting_ns: AtomicU64::new(0),
@@ -168,6 +172,24 @@ impl MetricsRegistry {
         self.cells_total.store(total as u64, Ordering::Relaxed);
         self.cells_replayed
             .store(replayed as u64, Ordering::Relaxed);
+    }
+
+    /// Records how many worker threads actually execute cells, so the
+    /// heartbeat's ETA divides by the configured pool rather than the
+    /// host's full parallelism (which overstates throughput for serve
+    /// jobs sharing a `--workers` pool). Called once at campaign start.
+    pub fn set_workers(&self, workers: usize) {
+        self.workers.store(workers as u64, Ordering::Relaxed);
+    }
+
+    /// As [`set_workers`](MetricsRegistry::set_workers), but only when no
+    /// count has been reported yet — an explicitly configured pool share
+    /// (serve's `--workers` split) wins over the campaign's own
+    /// observation of the global pool.
+    pub fn set_workers_if_unset(&self, workers: usize) {
+        let _ =
+            self.workers
+                .compare_exchange(0, workers as u64, Ordering::Relaxed, Ordering::Relaxed);
     }
 
     /// A cell began executing.
@@ -263,6 +285,7 @@ impl MetricsRegistry {
             cells_skipped: self.cells_skipped.load(Ordering::Relaxed),
             generations: self.generations.load(Ordering::Relaxed),
             evaluations: self.evaluations.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
             sim_evaluations: sim_evaluations_total(),
             faults_injected: chaos_faults_injected_total(),
             phase_mating_s: load_secs(&self.phase_mating_ns),
@@ -372,6 +395,7 @@ impl MetricsSnapshot {
             "counter",
             s.sim_evaluations.to_string(),
         );
+        metric("hetsched_campaign_workers", "gauge", s.workers.to_string());
         out.push_str("# TYPE hetsched_engine_phase_seconds_total counter\n");
         for (phase, value) in [
             ("mating", s.phase_mating_s),
@@ -433,6 +457,9 @@ impl MetricsSnapshot {
         self.cells_skipped += other.cells_skipped;
         self.generations += other.generations;
         self.evaluations += other.evaluations;
+        // Campaigns in one process share the worker pool, so the merged
+        // view keeps the widest reported pool instead of summing.
+        self.workers = self.workers.max(other.workers);
         self.sim_evaluations = self.sim_evaluations.max(other.sim_evaluations);
         self.faults_injected = self.faults_injected.max(other.faults_injected);
         self.phase_mating_s += other.phase_mating_s;
@@ -534,6 +561,8 @@ pub struct MetricsSnapshot {
     pub generations: u64,
     /// Fitness evaluations reported by engine generation stats.
     pub evaluations: u64,
+    /// Configured worker threads executing cells (0 = not reported).
+    pub workers: u64,
     /// Process-wide simulator evaluation count (`eval-counters` builds
     /// only; 0 otherwise).
     pub sim_evaluations: u64,
@@ -592,9 +621,17 @@ impl HeartbeatLine {
         let done = s.cells_done();
         let settled = done + s.cells_failed + s.cells_skipped;
         let remaining = s.cells_total.saturating_sub(settled);
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1) as f64;
+        // Prefer the registry's configured pool size — a serve job sharing
+        // a `--workers` pool must not assume the whole host; the host's
+        // parallelism is only the fallback for registries that never
+        // reported one.
+        let workers = if s.workers > 0 {
+            s.workers as f64
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1) as f64
+        };
         let eta_s =
             (s.ewma_cell_s > 0.0).then(|| s.ewma_cell_s * remaining as f64 / workers.max(1.0));
         HeartbeatLine {
@@ -728,6 +765,13 @@ pub trait CampaignObserver: Send + Sync {
         let _ = (total, replayed);
     }
 
+    /// How many worker threads will execute cells. Reported by the
+    /// campaign right after `on_campaign_start`, from the actual pool it
+    /// runs on — the number the heartbeat's ETA should divide by.
+    fn on_workers(&self, workers: usize) {
+        let _ = workers;
+    }
+
     /// `cell` was satisfied from the manifest instead of executed
     /// (resume-skip).
     fn on_cell_replayed(&self, cell: &CellId) {
@@ -857,6 +901,12 @@ impl CampaignObserver for TelemetryObserver {
         if let Some(hb) = &self.heartbeat {
             hb.emit(&self.registry);
         }
+    }
+
+    fn on_workers(&self, workers: usize) {
+        // `if_unset`: a daemon that already split its pool across jobs
+        // knows the real share better than the campaign does.
+        self.registry.set_workers_if_unset(workers);
     }
 
     fn on_cell_start(&self, _cell: &CellId) {
@@ -1107,6 +1157,122 @@ mod tests {
         assert_eq!(agg.cells_total, merged.cells_total);
         assert_eq!(agg.cell_duration_buckets, merged.cell_duration_buckets);
         assert!(MetricsSnapshot::aggregate([]).is_none());
+    }
+
+    #[test]
+    fn aggregate_of_an_empty_iterator_is_none() {
+        assert!(MetricsSnapshot::aggregate([]).is_none());
+        assert!(MetricsSnapshot::aggregate(Vec::<&MetricsSnapshot>::new()).is_none());
+        // A single snapshot aggregates to itself.
+        let reg = MetricsRegistry::new();
+        reg.set_grid(3, 1);
+        let s = reg.snapshot();
+        let agg = MetricsSnapshot::aggregate([&s]).unwrap();
+        assert_eq!(agg, s);
+    }
+
+    #[test]
+    fn merging_zero_total_grids_stays_all_zero() {
+        // Two registries that never saw a grid or a cell: every counter
+        // stays zero, the EWMA is untouched (no division by a zero
+        // weight), and the heartbeat derived from the merge has no ETA.
+        let mut merged = MetricsRegistry::new().snapshot();
+        merged.merge(&MetricsRegistry::new().snapshot());
+        assert_eq!(merged.cells_total, 0);
+        assert_eq!(merged.cells_done(), 0);
+        assert_eq!(merged.cell_duration_count, 0);
+        assert_eq!(merged.ewma_cell_s, 0.0);
+        assert!(merged.ewma_cell_s.is_finite());
+        let line = HeartbeatLine::from_snapshot(&merged);
+        assert_eq!(line.eta_s, None);
+    }
+
+    #[test]
+    fn merge_tolerates_mismatched_histogram_bucket_counts() {
+        // An older snapshot (fewer buckets, e.g. deserialised from a
+        // previous schema) must merge without truncating the newer one's
+        // tail, in either merge direction.
+        let reg = MetricsRegistry::new();
+        reg.cell_finished(Duration::from_millis(10));
+        let full = reg.snapshot();
+        let mut short = full.clone();
+        short.cell_duration_buckets.truncate(2);
+
+        let mut a = full.clone();
+        a.merge(&short);
+        assert_eq!(
+            a.cell_duration_buckets.len(),
+            full.cell_duration_buckets.len()
+        );
+        let merged_total: u64 = a.cell_duration_buckets.iter().sum();
+        let full_total: u64 = full.cell_duration_buckets.iter().sum();
+        let short_total: u64 = short.cell_duration_buckets.iter().sum();
+        assert_eq!(merged_total, full_total + short_total);
+
+        // Short-then-full: the accumulator grows to the longer shape.
+        let mut b = short.clone();
+        b.merge(&full);
+        assert_eq!(
+            b.cell_duration_buckets.len(),
+            full.cell_duration_buckets.len()
+        );
+        assert_eq!(b.cell_duration_buckets.iter().sum::<u64>(), merged_total);
+    }
+
+    #[test]
+    fn ewma_merge_ignores_the_empty_side() {
+        // One populated snapshot + one that never finished a cell: the
+        // merged EWMA must equal the populated side exactly (weight 0
+        // contributes nothing), regardless of merge order.
+        let reg = MetricsRegistry::new();
+        reg.cell_finished(Duration::from_secs(2));
+        let populated = reg.snapshot();
+        let empty = MetricsRegistry::new().snapshot();
+
+        let mut a = populated.clone();
+        a.merge(&empty);
+        assert_eq!(a.ewma_cell_s, populated.ewma_cell_s);
+
+        let mut b = empty.clone();
+        b.merge(&populated);
+        assert_eq!(b.ewma_cell_s, populated.ewma_cell_s);
+
+        // Both populated: duration-count-weighted mean.
+        let other = MetricsRegistry::new();
+        other.cell_finished(Duration::from_secs(4));
+        let mut c = populated.clone();
+        c.merge(&other.snapshot());
+        assert!((c.ewma_cell_s - 3.0).abs() < 1e-9, "{}", c.ewma_cell_s);
+    }
+
+    #[test]
+    fn heartbeat_eta_divides_by_the_configured_worker_count() {
+        // 10 cells remaining at an EWMA of 2 s/cell: with 2 configured
+        // workers the ETA is 10 s — not 20/host_cores, whatever the host.
+        let reg = MetricsRegistry::new();
+        reg.set_grid(11, 0);
+        reg.set_workers(2);
+        reg.cell_finished(Duration::from_secs(2));
+        let line = HeartbeatLine::from_snapshot(&reg.snapshot());
+        let eta = line.eta_s.expect("one finished cell seeds the EWMA");
+        assert!((eta - 10.0).abs() < 1e-9, "{eta}");
+    }
+
+    #[test]
+    fn workers_merge_takes_the_widest_pool() {
+        let a = MetricsRegistry::new();
+        a.set_workers(4);
+        let b = MetricsRegistry::new();
+        b.set_workers(2);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.workers, 4);
+        // if_unset respects an explicit value but fills a missing one.
+        b.set_workers_if_unset(8);
+        assert_eq!(b.snapshot().workers, 2);
+        let c = MetricsRegistry::new();
+        c.set_workers_if_unset(8);
+        assert_eq!(c.snapshot().workers, 8);
     }
 
     #[test]

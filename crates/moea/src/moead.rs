@@ -172,6 +172,12 @@ pub fn moead_observed<P: Problem, O: Observer<P::Genome>>(
     let mut next_snapshot = 0usize;
     for generation in 1..=config.generations {
         let observing = observer.enabled();
+        let gen_span = tracing::span!(
+            tracing::Level::DEBUG,
+            "generation",
+            generation = generation as u64
+        );
+        let _in_generation = gen_span.enter();
         // MOEA/D interleaves its phases per subproblem, so the timings
         // are accumulated across the inner loop: mating = neighbour pick
         // + variation, evaluation = the fitness call, sorting = ideal

@@ -225,6 +225,11 @@ impl<'a, P: Problem> Nsga2<'a, P> {
             }
         };
         let n = self.config.population;
+        // Phase spans mirror the probe's lap boundaries; they read clocks
+        // only (never the RNG), so traced and untraced steps are
+        // bit-identical.
+        let mating_span = tracing::span!(tracing::Level::TRACE, "mating");
+        let in_mating = mating_span.enter();
         // Crowded-tournament mating needs rank + crowding of the parents.
         let tournament_keys: Option<Vec<(usize, f64)>> = match self.config.mating {
             Mating::Uniform => None,
@@ -280,10 +285,18 @@ impl<'a, P: Problem> Nsga2<'a, P> {
             p.evaluations += offspring.len();
         }
         lap(|t| &mut t.mating_s, &mut probe);
+        drop(in_mating);
+        drop(mating_span);
+        let evaluation_span = tracing::span!(tracing::Level::TRACE, "evaluation");
+        let in_evaluation = evaluation_span.enter();
         let offspring = self.evaluate_offspring(&parents, offspring, slot);
         let mut meta = parents;
         meta.extend(offspring);
         lap(|t| &mut t.evaluation_s, &mut probe);
+        drop(in_evaluation);
+        drop(evaluation_span);
+        let sorting_span = tracing::span!(tracing::Level::TRACE, "sorting");
+        let in_sorting = sorting_span.enter();
 
         // Survival: fronts in order, crowding truncation on the last one.
         let points: Vec<Objectives> = meta.iter().map(|ind| ind.objectives).collect();
@@ -327,6 +340,8 @@ impl<'a, P: Problem> Nsga2<'a, P> {
         }
         debug_assert_eq!(survivors.len(), n);
         lap(|t| &mut t.sorting_s, &mut probe);
+        drop(in_sorting);
+        drop(sorting_span);
         survivors
     }
 
@@ -378,7 +393,15 @@ impl<'a, P: Problem> Nsga2<'a, P> {
             } else {
                 None
             };
+            let gen_span = tracing::span!(
+                tracing::Level::DEBUG,
+                "generation",
+                generation = generation as u64
+            );
+            let in_generation = gen_span.enter();
             population = self.step(population, &mut rng, probe.as_mut(), &mut slot);
+            drop(in_generation);
+            drop(gen_span);
             if let Some(probe) = probe {
                 let stats = GenerationStats::compute(
                     generation,

@@ -110,6 +110,12 @@ pub fn spea2_observed<P: Problem, O: Observer<P::Genome>>(
 
     for generation in 1..=config.generations {
         let observing = observer.enabled();
+        let gen_span = tracing::span!(
+            tracing::Level::DEBUG,
+            "generation",
+            generation = generation as u64
+        );
+        let _in_generation = gen_span.enter();
         let mut timings = PhaseTimings::default();
         let mark = observing.then(Instant::now);
         // Union of population and archive; compute SPEA2 fitness.

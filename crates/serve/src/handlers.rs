@@ -44,6 +44,10 @@ pub fn handle(service: &SchedulerService, request: &Request) -> Response {
             Ok(Err(status)) => Response::json(404, &status),
             Err(e) => error_response(&e),
         },
+        Some(Route::JobTrace(id)) => match service.trace(&id) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => error_response(&e),
+        },
         Some(Route::CancelJob(id)) => match service.cancel(&id) {
             Ok(body) => Response::json(200, &body),
             Err(e) => error_response(&e),
@@ -155,6 +159,8 @@ mod tests {
         let resp = handle(&svc, &request("GET", "/v1/jobs/j404", ""));
         assert_eq!(resp.status, 404);
         let resp = handle(&svc, &request("DELETE", "/v1/jobs/j404", ""));
+        assert_eq!(resp.status, 404);
+        let resp = handle(&svc, &request("GET", "/v1/jobs/j404/trace", ""));
         assert_eq!(resp.status, 404);
         let resp = handle(&svc, &request("GET", "/metrics", ""));
         assert_eq!(resp.status, 200);

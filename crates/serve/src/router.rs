@@ -13,6 +13,8 @@ pub enum Route {
     JobStatus(String),
     /// `GET /v1/jobs/{id}/report` — the finished campaign report.
     JobReport(String),
+    /// `GET /v1/jobs/{id}/trace` — the job's recorded span timeline.
+    JobTrace(String),
     /// `DELETE /v1/jobs/{id}` — cancel a job.
     CancelJob(String),
     /// `GET /metrics` — Prometheus text export across all jobs.
@@ -30,6 +32,9 @@ pub fn route(method: &str, path: &str) -> Option<Route> {
         ("GET", ["v1", "jobs", id]) if !id.is_empty() => Some(Route::JobStatus(id.to_string())),
         ("GET", ["v1", "jobs", id, "report"]) if !id.is_empty() => {
             Some(Route::JobReport(id.to_string()))
+        }
+        ("GET", ["v1", "jobs", id, "trace"]) if !id.is_empty() => {
+            Some(Route::JobTrace(id.to_string()))
         }
         ("DELETE", ["v1", "jobs", id]) if !id.is_empty() => Some(Route::CancelJob(id.to_string())),
         ("GET", ["metrics"]) => Some(Route::Metrics),
@@ -51,6 +56,10 @@ mod tests {
         assert_eq!(
             route("GET", "/v1/jobs/j001/report"),
             Some(Route::JobReport("j001".into()))
+        );
+        assert_eq!(
+            route("GET", "/v1/jobs/j001/trace"),
+            Some(Route::JobTrace("j001".into()))
         );
         assert_eq!(
             route("DELETE", "/v1/jobs/j001"),

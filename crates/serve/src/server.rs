@@ -84,7 +84,19 @@ fn handle_connection(service: &SchedulerService, stream: TcpStream) {
         return;
     }
     let response = match Request::read_from(BufReader::new(&stream)) {
-        Ok(request) => handlers::handle(service, &request),
+        Ok(request) => {
+            // Each request gets its own trace root; these spans land in
+            // the mux's default writer (jobs run asynchronously under
+            // their own roots, so request spans measure only dispatch).
+            let mut request_span =
+                tracing::Span::root(tracing::Level::DEBUG, module_path!(), "request");
+            if request_span.is_enabled() {
+                request_span.record("method", request.method.clone());
+                request_span.record("path", request.path.clone());
+            }
+            let _in_request = request_span.enter();
+            handlers::handle(service, &request)
+        }
         Err(e) => Response::json(
             400,
             &crate::wire::ErrorBody::new(ErrorClass::InvalidInput, format!("bad request: {e}")),

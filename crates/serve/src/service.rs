@@ -12,10 +12,10 @@
 //! daemon restart a resubmitted spec replays from the manifest instead
 //! of re-executing.
 
-use crate::wire::{self, JobCreated, JobReportBody, JobRequest, JobStatusBody};
+use crate::wire::{self, JobCreated, JobReportBody, JobRequest, JobStatusBody, JobTraceBody};
 use hetsched_core::{
-    Campaign, CampaignOutcome, CampaignSpec, CancelToken, CoreError, MetricsRegistry,
-    MetricsSnapshot, Result, TelemetryObserver,
+    read_trace, Campaign, CampaignOutcome, CampaignSpec, CancelToken, CoreError, MetricsRegistry,
+    MetricsSnapshot, Result, TelemetryObserver, TraceWriter,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -142,6 +142,13 @@ impl SchedulerService {
                 config.state_dir.display()
             ))
         })?;
+        // The span mux makes per-job timelines available through
+        // `GET /v1/jobs/{id}/trace`: each running job routes its trace id
+        // to its own writer. A pre-existing non-mux sink only costs the
+        // endpoint its data, never the daemon its startup.
+        if hetsched_core::install_tracing(tracing::Level::TRACE, None).is_err() {
+            tracing::warn!("a span sink is already installed; job traces will not be recorded");
+        }
         let (tx, rx) = mpsc::channel::<Arc<Job>>();
         let rx = Arc::new(Mutex::new(rx));
         let inner = Arc::new(Inner {
@@ -278,6 +285,29 @@ impl SchedulerService {
         Ok(Err(job.status_body()))
     }
 
+    /// The job's recorded span timeline: every completed span appended
+    /// to its trace file so far (empty until the campaign starts).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id; [`CoreError::Io`]
+    /// on a corrupt trace file.
+    pub fn trace(&self, id: &str) -> Result<JobTraceBody> {
+        let job = self.job(id)?;
+        let path = trace_path(&self.inner.config, &job.fingerprint);
+        let spans = if path.exists() {
+            read_trace(&path)?
+        } else {
+            Vec::new()
+        };
+        Ok(JobTraceBody {
+            schema: wire::JOB_TRACE_SCHEMA.to_string(),
+            job_id: job.id.clone(),
+            fingerprint: job.fingerprint.clone(),
+            spans,
+        })
+    }
+
     /// Cancels a job via its [`CancelToken`] (idempotent): a queued job
     /// flips to `cancelled` immediately, a running one stops admitting
     /// cells and is marked by its worker when the campaign unwinds.
@@ -366,6 +396,14 @@ impl SchedulerService {
     }
 }
 
+/// Where a job's span timeline lives, keyed by fingerprint like its
+/// manifest so a resubmitted spec appends to the same file.
+fn trace_path(config: &ServeConfig, fingerprint: &str) -> PathBuf {
+    config
+        .state_dir
+        .join(format!("job-{fingerprint}.trace.jsonl"))
+}
+
 fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<mpsc::Receiver<Arc<Job>>>>) {
     loop {
         // Hold the receiver lock only for the dequeue, not the run, so
@@ -391,6 +429,14 @@ fn run_job(inner: &Inner, job: &Job) {
         return;
     }
     tracing::info!("job {} starting ({} cells)", job.id, job.spec.cells().len());
+    // Jobs share the process-wide rayon pool across `workers` concurrent
+    // campaigns, so each job's fair share — not the whole host — is what
+    // its heartbeat/ETA arithmetic should divide by.
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    job.registry
+        .set_workers((host / inner.config.workers).max(1));
     let observer = Arc::new(TelemetryObserver::new(Arc::clone(&job.registry)));
     let mut campaign = Campaign::new(job.spec.clone())
         .with_cancel_token(job.token.clone())
@@ -402,7 +448,28 @@ fn run_job(inner: &Inner, job: &Job) {
         .config
         .state_dir
         .join(format!("job-{}.manifest.jsonl", job.fingerprint));
+    // Root span of the job's trace tree; its trace id is routed to the
+    // job's own writer so `GET /v1/jobs/{id}/trace` serves exactly this
+    // job's timeline even with several jobs in flight.
+    let job_span = tracing::Span::root(tracing::Level::INFO, module_path!(), "job")
+        .with("job_id", job.id.clone())
+        .with("fingerprint", job.fingerprint.clone());
+    let trace_route = job_span.is_enabled().then(|| job_span.context().trace_id());
+    if let (Some(trace_id), Some(mux)) = (trace_route, hetsched_core::installed_mux()) {
+        match TraceWriter::create(trace_path(&inner.config, &job.fingerprint)) {
+            Ok(writer) => mux.register(trace_id, Arc::new(writer)),
+            Err(e) => tracing::warn!("job {}: cannot open trace file: {e}", job.id),
+        }
+    }
+    let in_job = job_span.enter();
     let result = campaign.run(Some(&manifest));
+    drop(in_job);
+    drop(job_span); // close the root span before detaching its writer
+    if let (Some(trace_id), Some(mux)) = (trace_route, hetsched_core::installed_mux()) {
+        if let Some(writer) = mux.deregister(trace_id) {
+            writer.flush_writer();
+        }
+    }
     let mut state = job.state.lock().expect("job state lock");
     match result {
         Ok(outcome) => {

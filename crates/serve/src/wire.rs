@@ -19,6 +19,8 @@ pub const JOB_CREATED_SCHEMA: &str = "hetsched.job-created.v1";
 pub const JOB_STATUS_SCHEMA: &str = "hetsched.job-status.v1";
 /// Schema tag for [`JobReportBody`].
 pub const JOB_REPORT_SCHEMA: &str = "hetsched.job-report.v1";
+/// Schema tag for [`JobTraceBody`].
+pub const JOB_TRACE_SCHEMA: &str = "hetsched.job-trace.v1";
 /// Schema tag for [`ErrorBody`].
 pub const ERROR_SCHEMA: &str = "hetsched.error.v1";
 
@@ -115,6 +117,22 @@ pub struct JobStatusBody {
     pub error: Option<String>,
     /// Point-in-time telemetry for this job's registry.
     pub metrics: MetricsSnapshot,
+}
+
+/// `GET /v1/jobs/{id}/trace` response body: the job's recorded span
+/// timeline, one [`SpanRecord`](hetsched_core::SpanRecord) per completed
+/// span. Empty until the job's campaign starts executing (spans are
+/// appended as they close, so a running job serves a growing prefix).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTraceBody {
+    /// [`JOB_TRACE_SCHEMA`].
+    pub schema: String,
+    /// The job id.
+    pub job_id: String,
+    /// The spec fingerprint.
+    pub fingerprint: String,
+    /// Completed spans in close order (parents close after children).
+    pub spans: Vec<hetsched_core::SpanRecord>,
 }
 
 /// `GET /v1/jobs/{id}/report` response body: the finished campaign, in

@@ -76,6 +76,7 @@ fn fixture_metrics() -> MetricsSnapshot {
         cells_skipped: 0,
         generations: 12,
         evaluations: 96,
+        workers: 2,
         sim_evaluations: 0,
         faults_injected: 0,
         phase_mating_s: 0.25,

@@ -118,6 +118,16 @@ impl<'a> BatchEvaluator<'a> {
         } else {
             1
         };
+        // The batch span nests under the engine's evaluation phase via the
+        // caller's thread; worker chunks stay untraced (clock reads only —
+        // evaluation itself is RNG-free and bit-identical either way).
+        let batch_span = tracing::span!(
+            tracing::Level::TRACE,
+            "batch",
+            jobs = jobs.len() as u64,
+            threads = threads as u64
+        );
+        let _in_batch = batch_span.enter();
         if threads <= 1 || jobs.len() < 2 {
             let primary = &mut self.workers[0];
             return jobs.iter().map(|job| Self::run(primary, job)).collect();

@@ -20,12 +20,18 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
+/// The number of threads the (implicit) global pool would use — the
+/// host's available parallelism, mirroring upstream rayon's default
+/// global pool size.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Number of worker threads to use for `n` items.
 fn worker_count(n: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(n).max(1)
+    current_num_threads().min(n).max(1)
 }
 
 /// Applies `f` to every item in parallel, preserving input order.

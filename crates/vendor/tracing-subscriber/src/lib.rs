@@ -3,7 +3,9 @@
 //! Provides the `fmt()` builder the CLI uses to route `tracing` events to
 //! stderr: `tracing_subscriber::fmt().with_max_level(level).init()`.
 //! Each event prints as `LEVEL target: message` prefixed with the elapsed
-//! time since subscriber installation.
+//! time since subscriber installation. Per-target verbosity is available
+//! through [`SubscriberBuilder::with_directives`] (RUST_LOG-style
+//! `default,target=level` rules, parsed by [`tracing::Directives`]).
 
 #![warn(missing_docs)]
 
@@ -11,25 +13,33 @@ use std::fmt::Arguments;
 use std::io::Write;
 use std::time::Instant;
 
-use tracing::{Level, Subscriber};
+use tracing::{Directives, Level, Subscriber};
 
 /// Starts building an stderr formatting subscriber.
 pub fn fmt() -> SubscriberBuilder {
     SubscriberBuilder {
-        max_level: Level::INFO,
+        directives: Directives::new(Level::INFO),
     }
 }
 
 /// Configures and installs the stderr subscriber.
 #[derive(Debug, Clone)]
 pub struct SubscriberBuilder {
-    max_level: Level,
+    directives: Directives,
 }
 
 impl SubscriberBuilder {
-    /// Sets the most verbose level that will be printed.
+    /// Sets the most verbose level that will be printed (for every
+    /// target; replaces any per-target rules set so far).
     pub fn with_max_level(mut self, level: Level) -> Self {
-        self.max_level = level;
+        self.directives = Directives::new(level);
+        self
+    }
+
+    /// Sets the full per-target filter (default level plus
+    /// `target=level` rules).
+    pub fn with_directives(mut self, directives: Directives) -> Self {
+        self.directives = directives;
         self
     }
 
@@ -51,8 +61,8 @@ impl SubscriberBuilder {
     ///
     /// A subscriber was already installed.
     pub fn try_init(self) -> Result<(), tracing::SetGlobalError> {
-        tracing::set_global_subscriber(
-            self.max_level,
+        tracing::set_global_subscriber_with(
+            self.directives,
             Box::new(StderrSubscriber {
                 start: Instant::now(),
             }),
@@ -87,12 +97,15 @@ mod tests {
 
     #[test]
     fn builder_configures_and_installs_once() {
+        let directives: Directives = "debug,quiet_module=off".parse().unwrap();
         let b = fmt()
-            .with_max_level(Level::DEBUG)
+            .with_directives(directives)
             .with_writer(std::io::stderr);
         b.try_init().expect("first install succeeds");
         assert!(tracing::enabled(Level::DEBUG));
         assert!(!tracing::enabled(Level::TRACE));
+        assert!(tracing::enabled_for(Level::DEBUG, "elsewhere"));
+        assert!(!tracing::enabled_for(Level::ERROR, "quiet_module"));
         tracing::debug!("event after install: {}", 42);
         assert!(fmt().try_init().is_err(), "second install is rejected");
     }

@@ -1,21 +1,28 @@
 //! Vendored stand-in for `tracing`.
 //!
 //! Provides leveled event macros (`error!` … `trace!`) dispatching through
-//! a process-global [`Subscriber`]. Events carry a level, the emitting
-//! module path as target, and a formatted message. With no subscriber
-//! installed every event is a cheap atomic load and a branch — the
-//! "zero-cost when disabled" property the engine's instrumentation relies
-//! on.
+//! a process-global [`Subscriber`], plus timing [`Span`]s carrying
+//! structured key-value [`FieldValue`] fields and trace/span ids,
+//! dispatching through a process-global [`SpanSink`]. Both channels share
+//! the "zero-cost when disabled" property the engine's instrumentation
+//! relies on: with no subscriber installed an event is a relaxed atomic
+//! load and a branch, and with no span sink installed a span is a `None`
+//! — no id allocation, no clock read, no field evaluation (the [`span!`]
+//! macro evaluates field expressions only on the enabled path).
 //!
-//! Structured key-value fields and spans are not implemented; callers use
-//! format-string messages.
+//! Event verbosity can additionally be tuned per target with RUST_LOG
+//! style [`Directives`] (`info,hetsched_core::campaign=debug,noisy=off`);
+//! the target-specific rules also apply to spans, so a hot module's span
+//! noise can be silenced without recompiling.
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Event severity. Ordering matches upstream: `ERROR < WARN < INFO <
 /// DEBUG < TRACE`, so `level <= max` means "verbose enough to show".
@@ -34,7 +41,8 @@ pub enum Level {
 }
 
 impl Level {
-    fn as_str(self) -> &'static str {
+    /// The canonical upper-case name (`"INFO"`, ...).
+    pub fn as_str(self) -> &'static str {
         match self {
             Level::ERROR => "ERROR",
             Level::WARN => "WARN",
@@ -61,7 +69,7 @@ impl fmt::Display for Level {
     }
 }
 
-/// Error from parsing a [`Level`] name.
+/// Error from parsing a [`Level`] name or a [`Directives`] string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseLevelError {
     input: String,
@@ -71,7 +79,8 @@ impl fmt::Display for ParseLevelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown log level `{}` (expected error|warn|info|debug|trace)",
+            "unknown log level `{}` (expected error|warn|info|debug|trace, \
+             optionally `target=level` directives separated by commas)",
             self.input
         )
     }
@@ -96,6 +105,151 @@ impl FromStr for Level {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-target filtering.
+// ---------------------------------------------------------------------------
+
+/// RUST_LOG-style verbosity directives: a default [`Level`] plus
+/// target-prefix overrides. `"info,hetsched_core::campaign=debug,sim=off"`
+/// shows `info` everywhere except the campaign module (down to `debug`)
+/// and anything under a `sim` module path (silenced entirely).
+///
+/// A rule matches a target when it equals the rule's prefix or continues
+/// it at a `::` boundary; the longest matching prefix wins. The rules
+/// also gate spans (see [`span_enabled_for`]) so per-module tuning covers
+/// both channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directives {
+    default: Level,
+    /// `(target prefix, level)`; `None` silences the target entirely.
+    rules: Vec<(String, Option<Level>)>,
+}
+
+impl Directives {
+    /// Directives with only a default level and no per-target rules.
+    pub fn new(default: Level) -> Self {
+        Directives {
+            default,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a per-target rule (`None` = off).
+    pub fn with_target(mut self, prefix: impl Into<String>, level: Option<Level>) -> Self {
+        self.rules.push((prefix.into(), level));
+        self
+    }
+
+    /// The default level, for targets no rule matches.
+    pub fn default_level(&self) -> Level {
+        self.default
+    }
+
+    /// Whether any per-target rules are present.
+    pub fn has_rules(&self) -> bool {
+        !self.rules.is_empty()
+    }
+
+    /// The most verbose level any target can reach — the coarse gate the
+    /// macros check before consulting the rules.
+    fn max_rank(&self) -> u8 {
+        self.rules
+            .iter()
+            .filter_map(|(_, l)| l.map(Level::rank))
+            .fold(self.default.rank(), u8::max)
+    }
+
+    /// The effective level for `target` (`None` = silenced): the longest
+    /// matching prefix rule, falling back to the default.
+    pub fn level_for(&self, target: &str) -> Option<Level> {
+        self.rules
+            .iter()
+            .filter(|(prefix, _)| {
+                target == prefix
+                    || (target.starts_with(prefix.as_str())
+                        && target[prefix.len()..].starts_with("::"))
+            })
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map_or(Some(self.default), |(_, level)| *level)
+    }
+
+    /// As [`Directives::level_for`], but ignoring the default: only an
+    /// explicit per-target rule constrains the result. Used for spans,
+    /// whose baseline verbosity is the span sink's own max level.
+    fn rule_for(&self, target: &str) -> Option<Option<Level>> {
+        self.rules
+            .iter()
+            .filter(|(prefix, _)| {
+                target == prefix
+                    || (target.starts_with(prefix.as_str())
+                        && target[prefix.len()..].starts_with("::"))
+            })
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, level)| *level)
+    }
+}
+
+impl Default for Directives {
+    fn default() -> Self {
+        Directives::new(Level::INFO)
+    }
+}
+
+impl FromStr for Directives {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut directives = Directives::new(Level::INFO);
+        let mut saw_default = false;
+        for token in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match token.split_once('=') {
+                None => {
+                    if saw_default {
+                        return Err(ParseLevelError {
+                            input: s.to_string(),
+                        });
+                    }
+                    directives.default = token.parse()?;
+                    saw_default = true;
+                }
+                Some((target, level)) => {
+                    let target = target.trim();
+                    let level = level.trim();
+                    if target.is_empty() {
+                        return Err(ParseLevelError {
+                            input: s.to_string(),
+                        });
+                    }
+                    let level = if level.eq_ignore_ascii_case("off") {
+                        None
+                    } else {
+                        Some(level.parse()?)
+                    };
+                    directives.rules.push((target.to_string(), level));
+                }
+            }
+        }
+        Ok(directives)
+    }
+}
+
+impl fmt::Display for Directives {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.default.as_str().to_ascii_lowercase())?;
+        for (prefix, level) in &self.rules {
+            match level {
+                Some(level) => write!(f, ",{prefix}={}", level.as_str().to_ascii_lowercase())?,
+                None => write!(f, ",{prefix}=off")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events.
+// ---------------------------------------------------------------------------
+
 /// Receives events from the macros. Installed once per process.
 pub trait Subscriber: Send + Sync {
     /// Handles one event.
@@ -105,6 +259,7 @@ pub trait Subscriber: Send + Sync {
 static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
 /// 0 = disabled (no subscriber); otherwise the max enabled `Level::rank`.
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+static FILTER: OnceLock<Directives> = OnceLock::new();
 
 /// Installs the process-global subscriber. Events at levels above
 /// `max_level` are dropped before reaching it.
@@ -116,12 +271,26 @@ pub fn set_global_subscriber(
     max_level: Level,
     subscriber: Box<dyn Subscriber>,
 ) -> Result<(), SetGlobalError> {
+    set_global_subscriber_with(Directives::new(max_level), subscriber)
+}
+
+/// Installs the process-global subscriber with per-target [`Directives`].
+///
+/// # Errors
+///
+/// A subscriber was already installed.
+pub fn set_global_subscriber_with(
+    directives: Directives,
+    subscriber: Box<dyn Subscriber>,
+) -> Result<(), SetGlobalError> {
     SUBSCRIBER.set(subscriber).map_err(|_| SetGlobalError(()))?;
-    MAX_LEVEL.store(max_level.rank(), Ordering::Release);
+    let max = directives.max_rank();
+    let _ = FILTER.set(directives);
+    MAX_LEVEL.store(max, Ordering::Release);
     Ok(())
 }
 
-/// Error: a global subscriber was already installed.
+/// Error: a global subscriber (or span sink) was already installed.
 #[derive(Debug)]
 pub struct SetGlobalError(());
 
@@ -133,25 +302,453 @@ impl fmt::Display for SetGlobalError {
 
 impl std::error::Error for SetGlobalError {}
 
-/// Whether an event at `level` would reach the subscriber.
+/// Whether an event at `level` could reach the subscriber under *some*
+/// target — the coarse (target-agnostic) gate.
 #[inline]
 pub fn enabled(level: Level) -> bool {
     level.rank() <= MAX_LEVEL.load(Ordering::Relaxed)
 }
 
+/// Whether an event at `level` from `target` would reach the subscriber,
+/// per-target directives included.
+#[inline]
+pub fn enabled_for(level: Level, target: &str) -> bool {
+    if !enabled(level) {
+        return false;
+    }
+    match FILTER.get() {
+        Some(directives) if directives.has_rules() => directives
+            .level_for(target)
+            .is_some_and(|max| level.rank() <= max.rank()),
+        _ => true,
+    }
+}
+
 #[doc(hidden)]
 pub mod __private {
-    use super::{enabled, Level, SUBSCRIBER};
+    use super::{enabled_for, Level, SUBSCRIBER};
 
     #[inline]
     pub fn emit(level: Level, target: &str, message: std::fmt::Arguments<'_>) {
-        if !enabled(level) {
+        if !enabled_for(level, target) {
             return;
         }
         if let Some(subscriber) = SUBSCRIBER.get() {
             subscriber.event(level, target, message);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+/// A structured field value attached to a [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// The identity of a span: the trace it belongs to plus its own id.
+/// Copyable and `Send`, so it can cross threads to parent child spans
+/// explicitly ([`Span::child_of`]) where thread-locals cannot follow
+/// (rayon workers, watchdog threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    trace_id: u64,
+    span_id: u64,
+}
+
+impl SpanContext {
+    /// The absent context: spans created under it start a new trace.
+    pub const NONE: SpanContext = SpanContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Whether this is [`SpanContext::NONE`].
+    pub fn is_none(self) -> bool {
+        self.span_id == 0
+    }
+
+    /// The trace id (0 when none).
+    pub fn trace_id(self) -> u64 {
+        self.trace_id
+    }
+
+    /// The span id (0 when none).
+    pub fn span_id(self) -> u64 {
+        self.span_id
+    }
+}
+
+/// A completed span, delivered to the [`SpanSink`] when the [`Span`]
+/// drops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedSpan {
+    /// Trace (root-span lineage) id, shared by a whole causal tree.
+    pub trace_id: u64,
+    /// This span's process-unique id.
+    pub span_id: u64,
+    /// The parent span's id, absent for roots.
+    pub parent_id: Option<u64>,
+    /// The span's static name (`"cell"`, `"generation"`, ...).
+    pub name: &'static str,
+    /// The emitting module path.
+    pub target: &'static str,
+    /// Severity the span was created at.
+    pub level: Level,
+    /// Start time in nanoseconds since the sink's installation epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Small per-process thread number (first-use order, starting at 1).
+    pub thread: u64,
+    /// Structured key-value fields, in attachment order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Receives completed spans. Installed once per process.
+pub trait SpanSink: Send + Sync {
+    /// Handles one completed span.
+    fn on_span(&self, span: ClosedSpan);
+
+    /// Flushes any buffering (e.g. before process exit). Default no-op.
+    fn flush(&self) {}
+}
+
+static SPAN_SINK: OnceLock<Box<dyn SpanSink>> = OnceLock::new();
+/// 0 = disabled (no sink); otherwise the max enabled span `Level::rank`.
+static MAX_SPAN_LEVEL: AtomicU8 = AtomicU8::new(0);
+/// Process-unique id source for spans and traces (0 is reserved = none).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+/// The instant `start_ns` values are measured from.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// The span the current thread is inside of, for implicit parenting.
+    static CURRENT: Cell<SpanContext> = const { Cell::new(SpanContext::NONE) };
+    /// Small dense per-thread number for timeline lanes.
+    static THREAD_NUM: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+fn thread_num() -> u64 {
+    THREAD_NUM.with(|cell| {
+        let mut n = cell.get();
+        if n == 0 {
+            n = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            cell.set(n);
+        }
+        n
+    })
+}
+
+/// Installs the process-global span sink. Spans at levels above
+/// `max_level` are never created.
+///
+/// # Errors
+///
+/// A span sink was already installed.
+pub fn set_span_sink(max_level: Level, sink: Box<dyn SpanSink>) -> Result<(), SetGlobalError> {
+    SPAN_SINK.set(sink).map_err(|_| SetGlobalError(()))?;
+    let _ = EPOCH.set(Instant::now());
+    MAX_SPAN_LEVEL.store(max_level.rank(), Ordering::Release);
+    Ok(())
+}
+
+/// Flushes the installed span sink, if any.
+pub fn flush_span_sink() {
+    if let Some(sink) = SPAN_SINK.get() {
+        sink.flush();
+    }
+}
+
+/// Whether a span at `level` would be recorded — the coarse gate (one
+/// relaxed atomic load).
+#[inline]
+pub fn span_enabled(level: Level) -> bool {
+    level.rank() <= MAX_SPAN_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Whether a span at `level` from `target` would be recorded: the coarse
+/// gate plus any *explicit* per-target directive rule. The directives'
+/// default level does not apply — the span baseline is the sink's own
+/// max level — so `--log-level warn --trace-out t.jsonl` still records
+/// spans, while `--log-level info,hetsched_moea=off` silences both the
+/// engine's events and its spans.
+#[inline]
+pub fn span_enabled_for(level: Level, target: &str) -> bool {
+    if !span_enabled(level) {
+        return false;
+    }
+    match FILTER.get() {
+        Some(directives) if directives.has_rules() => match directives.rule_for(target) {
+            Some(Some(max)) => level.rank() <= max.rank(),
+            Some(None) => false,
+            None => true,
+        },
+        _ => true,
+    }
+}
+
+/// The current thread's innermost entered span context
+/// ([`SpanContext::NONE`] outside any span).
+pub fn current_span() -> SpanContext {
+    CURRENT.with(Cell::get)
+}
+
+struct SpanInner {
+    ctx: SpanContext,
+    parent_id: Option<u64>,
+    name: &'static str,
+    target: &'static str,
+    level: Level,
+    start: Instant,
+    start_ns: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An in-flight timing span. Created through [`Span::new`] /
+/// [`Span::child_of`] / [`span!`]; completed (and delivered to the
+/// [`SpanSink`]) on drop. When span recording is disabled the struct is
+/// an inert `None` — one machine word, no clock read.
+#[must_use = "a span measures the time until it is dropped"]
+pub struct Span {
+    inner: Option<Box<SpanInner>>,
+}
+
+impl Span {
+    /// A span parented to the current thread's entered span (a new trace
+    /// root when there is none).
+    pub fn new(level: Level, target: &'static str, name: &'static str) -> Span {
+        if !span_enabled_for(level, target) {
+            return Span { inner: None };
+        }
+        Self::build(level, target, name, current_span())
+    }
+
+    /// A span explicitly parented to `parent` — the cross-thread form
+    /// (`parent` may be [`SpanContext::NONE`] to start a new trace).
+    pub fn child_of(
+        parent: SpanContext,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+    ) -> Span {
+        if !span_enabled_for(level, target) {
+            return Span { inner: None };
+        }
+        Self::build(level, target, name, parent)
+    }
+
+    /// An always-root span (a fresh trace id), regardless of the current
+    /// thread's context.
+    pub fn root(level: Level, target: &'static str, name: &'static str) -> Span {
+        Span::child_of(SpanContext::NONE, level, target, name)
+    }
+
+    /// The inert span: never recorded, children of it start new traces.
+    pub fn none() -> Span {
+        Span { inner: None }
+    }
+
+    fn build(level: Level, target: &'static str, name: &'static str, parent: SpanContext) -> Span {
+        let span_id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let (trace_id, parent_id) = if parent.is_none() {
+            (NEXT_ID.fetch_add(1, Ordering::Relaxed), None)
+        } else {
+            (parent.trace_id, Some(parent.span_id))
+        };
+        let epoch = EPOCH.get_or_init(Instant::now);
+        let start = Instant::now();
+        Span {
+            inner: Some(Box::new(SpanInner {
+                ctx: SpanContext { trace_id, span_id },
+                parent_id,
+                name,
+                target,
+                level,
+                start,
+                start_ns: start.duration_since(*epoch).as_nanos() as u64,
+                fields: Vec::new(),
+            })),
+        }
+    }
+
+    /// Whether this span is actually being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's identity, for explicit cross-thread parenting
+    /// ([`SpanContext::NONE`] when disabled).
+    pub fn context(&self) -> SpanContext {
+        self.inner
+            .as_ref()
+            .map_or(SpanContext::NONE, |inner| inner.ctx)
+    }
+
+    /// Attaches a field (builder form). Prefer guarding costly value
+    /// construction with [`Span::is_enabled`] — the [`span!`] macro does.
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Span {
+        self.record(key, value);
+        self
+    }
+
+    /// Attaches a field to an in-flight span. No-op when disabled.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// Makes this span the current thread's context until the returned
+    /// guard drops. Entering an inert span clears the context (children
+    /// created meanwhile start new traces — they'd be unrecorded anyway).
+    pub fn enter(&self) -> Entered<'_> {
+        let prev = current_span();
+        CURRENT.with(|cell| cell.set(self.context()));
+        Entered {
+            prev,
+            _span: std::marker::PhantomData,
+        }
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Span(disabled)"),
+            Some(inner) => f
+                .debug_struct("Span")
+                .field("name", &inner.name)
+                .field("trace_id", &inner.ctx.trace_id)
+                .field("span_id", &inner.ctx.span_id)
+                .finish(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let Some(sink) = SPAN_SINK.get() else {
+            return;
+        };
+        sink.on_span(ClosedSpan {
+            trace_id: inner.ctx.trace_id,
+            span_id: inner.ctx.span_id,
+            parent_id: inner.parent_id,
+            name: inner.name,
+            target: inner.target,
+            level: inner.level,
+            start_ns: inner.start_ns,
+            duration_ns: inner.start.elapsed().as_nanos() as u64,
+            thread: thread_num(),
+            fields: inner.fields,
+        });
+    }
+}
+
+/// Guard restoring the previous thread-current span on drop.
+pub struct Entered<'a> {
+    prev: SpanContext,
+    _span: std::marker::PhantomData<&'a Span>,
+}
+
+impl Drop for Entered<'_> {
+    fn drop(&mut self) {
+        CURRENT.with(|cell| cell.set(self.prev));
+    }
+}
+
+/// Creates a [`Span`] named `$name` at `$level`, targeted at the calling
+/// module, with optional `key = value` fields. Field value expressions
+/// are evaluated only when the span is actually recorded.
+///
+/// ```
+/// let span = tracing::span!(tracing::Level::INFO, "cell", replicate = 3usize);
+/// let _guard = span.enter();
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr) => {
+        $crate::Span::new($level, module_path!(), $name)
+    };
+    ($level:expr, $name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let __span = $crate::Span::new($level, module_path!(), $name);
+        if __span.is_enabled() {
+            __span$(.with(stringify!($key), $value))+
+        } else {
+            __span
+        }
+    }};
 }
 
 /// Emits an event at the given level with a format-string message.
@@ -212,5 +809,50 @@ mod tests {
         // Macros must still compile and be callable.
         info!("no-op {}", 1);
         error!("also a no-op");
+    }
+
+    #[test]
+    fn directives_parse_and_filter() {
+        let d: Directives = "warn,hetsched_core::campaign=debug,noisy=off"
+            .parse()
+            .unwrap();
+        assert_eq!(d.default_level(), Level::WARN);
+        assert_eq!(d.level_for("hetsched_cli"), Some(Level::WARN));
+        assert_eq!(d.level_for("hetsched_core::campaign"), Some(Level::DEBUG));
+        assert_eq!(
+            d.level_for("hetsched_core::campaign::inner"),
+            Some(Level::DEBUG)
+        );
+        // `campaigner` must NOT match the `campaign` prefix.
+        assert_eq!(d.level_for("hetsched_core::campaigner"), Some(Level::WARN));
+        assert_eq!(d.level_for("noisy::sub"), None);
+        assert_eq!(d.max_rank(), Level::DEBUG.rank());
+        // Round-trip through Display.
+        assert_eq!(d.to_string().parse::<Directives>().unwrap(), d, "{d}");
+    }
+
+    #[test]
+    fn directives_longest_prefix_wins_and_rejects_junk() {
+        let d: Directives = "info,a=off,a::b=trace".parse().unwrap();
+        assert_eq!(d.level_for("a::c"), None);
+        assert_eq!(d.level_for("a::b::c"), Some(Level::TRACE));
+        assert!("info,=debug".parse::<Directives>().is_err());
+        assert!("info,debug".parse::<Directives>().is_err());
+        assert!("x=loud".parse::<Directives>().is_err());
+        let bare: Directives = "debug".parse().unwrap();
+        assert_eq!(bare.default_level(), Level::DEBUG);
+        assert!(!bare.has_rules());
+    }
+
+    #[test]
+    fn spans_disabled_are_inert() {
+        // No span sink is ever installed in this binary's unit tests (the
+        // sink-driven tests live in tests/spans.rs, a separate process).
+        assert!(!span_enabled(Level::ERROR));
+        let span = span!(Level::INFO, "nothing", key = 1u64);
+        assert!(!span.is_enabled());
+        assert!(span.context().is_none());
+        let _guard = span.enter();
+        assert!(current_span().is_none());
     }
 }

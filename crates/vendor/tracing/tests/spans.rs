@@ -1,0 +1,128 @@
+//! Span-sink behaviour, in its own process so installing the global sink
+//! cannot race the crate's "disabled by default" unit tests.
+
+use std::sync::{Mutex, OnceLock};
+use tracing::{
+    current_span, span, span_enabled, span_enabled_for, ClosedSpan, Directives, FieldValue, Level,
+    Span, SpanSink,
+};
+
+struct Collect(Mutex<Vec<ClosedSpan>>);
+
+impl SpanSink for Collect {
+    fn on_span(&self, span: ClosedSpan) {
+        self.0.lock().unwrap().push(span);
+    }
+}
+
+static COLLECTED: OnceLock<&'static Collect> = OnceLock::new();
+
+fn install() -> &'static Collect {
+    COLLECTED.get_or_init(|| {
+        let collect: &'static Collect = Box::leak(Box::new(Collect(Mutex::new(Vec::new()))));
+        struct Fwd(&'static Collect);
+        impl SpanSink for Fwd {
+            fn on_span(&self, span: ClosedSpan) {
+                self.0.on_span(span);
+            }
+        }
+        // Directives with a per-target `off` rule: events default to warn,
+        // the `muted` prefix is silenced for events AND spans.
+        struct Quiet;
+        impl tracing::Subscriber for Quiet {
+            fn event(&self, _: Level, _: &str, _: std::fmt::Arguments<'_>) {}
+        }
+        let directives: Directives = "warn,muted=off".parse().unwrap();
+        tracing::set_global_subscriber_with(directives, Box::new(Quiet)).unwrap();
+        tracing::set_span_sink(Level::DEBUG, Box::new(Fwd(collect))).unwrap();
+        collect
+    })
+}
+
+#[test]
+fn spans_record_lineage_fields_and_timing() {
+    let collect = install();
+    let root = span!(Level::INFO, "root", answer = 42u64);
+    assert!(root.is_enabled());
+    let root_ctx = root.context();
+    {
+        let _g = root.enter();
+        assert_eq!(current_span(), root_ctx);
+        let child = span!(Level::DEBUG, "child", label = "x");
+        assert_eq!(child.context().trace_id(), root_ctx.trace_id());
+        drop(child);
+    }
+    assert!(current_span().is_none());
+    drop(root);
+    let spans = collect.0.lock().unwrap();
+    let child = spans
+        .iter()
+        .find(|s| s.name == "child" && s.trace_id == root_ctx.trace_id())
+        .expect("child recorded");
+    assert_eq!(child.parent_id, Some(root_ctx.span_id()));
+    assert_eq!(child.fields, vec![("label", FieldValue::Str("x".into()))]);
+    let root = spans
+        .iter()
+        .find(|s| s.span_id == root_ctx.span_id())
+        .expect("root recorded");
+    assert_eq!(root.parent_id, None);
+    assert_eq!(root.fields, vec![("answer", FieldValue::U64(42))]);
+    // The child nests inside the root in time.
+    assert!(root.duration_ns >= child.duration_ns);
+    assert!(child.start_ns >= root.start_ns);
+}
+
+#[test]
+fn explicit_cross_thread_parenting() {
+    let collect = install();
+    let root = Span::root(Level::INFO, "t", "xthread-root");
+    let ctx = root.context();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let child = Span::child_of(ctx, Level::INFO, "t", "xthread-child");
+            assert_eq!(child.context().trace_id(), ctx.trace_id());
+        });
+    });
+    drop(root);
+    let spans = collect.0.lock().unwrap();
+    let child = spans
+        .iter()
+        .find(|s| s.name == "xthread-child")
+        .expect("recorded");
+    assert_eq!(child.parent_id, Some(ctx.span_id()));
+    let root = spans.iter().find(|s| s.name == "xthread-root").unwrap();
+    assert_ne!(child.thread, root.thread);
+}
+
+#[test]
+fn sink_level_and_target_rules_gate_spans() {
+    let collect = install();
+    // Sink max level is DEBUG: TRACE-level spans are never created.
+    assert!(span_enabled(Level::DEBUG));
+    assert!(!span_enabled(Level::TRACE));
+    let too_fine = Span::root(Level::TRACE, "t", "too-fine");
+    assert!(!too_fine.is_enabled());
+    drop(too_fine);
+    // The `muted=off` directive silences spans from that target, while
+    // the directives' default (warn) does NOT cap spans — the sink's own
+    // max level is the span baseline.
+    assert!(!span_enabled_for(Level::ERROR, "muted::hot"));
+    assert!(span_enabled_for(Level::DEBUG, "elsewhere"));
+    let muted = Span::child_of(tracing::SpanContext::NONE, Level::ERROR, "muted::hot", "m");
+    assert!(!muted.is_enabled());
+    drop(muted);
+    let spans = collect.0.lock().unwrap();
+    assert!(spans.iter().all(|s| s.name != "too-fine" && s.name != "m"));
+}
+
+#[test]
+fn event_macros_respect_target_directives() {
+    install();
+    // Default warn: info disabled coarsely for unknown targets.
+    assert!(tracing::enabled_for(Level::WARN, "anything"));
+    assert!(!tracing::enabled_for(Level::INFO, "anything"));
+    assert!(!tracing::enabled_for(Level::ERROR, "muted"));
+    assert!(!tracing::enabled_for(Level::ERROR, "muted::sub"));
+    // `mutedx` is not under the `muted` prefix.
+    assert!(tracing::enabled_for(Level::WARN, "mutedx"));
+}

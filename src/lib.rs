@@ -43,7 +43,8 @@ pub mod prelude {
         Algorithm, AnalysisReport, Campaign, CampaignObserver, CampaignOutcome, CampaignReport,
         CampaignSpec, CampaignSpecBuilder, CancelToken, CellId, CellOutcome, CellRecord, CoreError,
         DatasetId, Error, ErrorClass, ExperimentConfig, ExperimentConfigBuilder, Framework,
-        MetricsRegistry, MetricsSnapshot, ParetoFront, PopulationRun, SeedKind, TelemetryObserver,
+        MetricsRegistry, MetricsSnapshot, ParetoFront, PopulationRun, SeedKind, SpanRecord,
+        TelemetryObserver, TraceAnalysis, TraceWriter,
     };
     pub use hetsched_moea::{Engine, EngineConfig, EngineConfigBuilder};
     pub use hetsched_sim::Evaluator;

@@ -405,6 +405,40 @@ fn nsga2_parallel_delta_and_full_runs_are_bit_identical() {
 }
 
 #[test]
+fn traced_delta_run_is_bit_identical_to_untraced() {
+    // Arming the span sink at full verbosity must not move the delta
+    // path's trajectory: spans read clocks, never the RNG streams the
+    // skip/delta decisions and genetic operators draw from.
+    let sys = tiny_system();
+    let trace = tiny_trace(&sys);
+    let tracked = AllocationProblem::new(&sys, &trace);
+    let config = Nsga2Config {
+        population: 16,
+        generations: 25,
+        mutation_rate: 0.5,
+        parallel: true,
+        hv_reference: None,
+        ..Default::default()
+    };
+    let untraced = Nsga2::new(&tracked, config).run(Vec::new(), 29);
+
+    let path =
+        std::env::temp_dir().join(format!("hetsched-delta-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let writer = std::sync::Arc::new(hetsched::core::TraceWriter::create(&path).unwrap());
+    hetsched::core::install_tracing(tracing::Level::TRACE, Some(writer)).unwrap();
+    let traced = Nsga2::new(&tracked, config).run(Vec::new(), 29);
+    tracing::flush_span_sink();
+    let spans = hetsched::core::read_trace(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_identical_populations(&untraced, &traced, "nsga2-traced");
+    assert!(
+        spans.iter().any(|s| s.name == "generation"),
+        "the sink was armed but recorded no generation spans"
+    );
+}
+
+#[test]
 fn moead_delta_and_full_runs_are_bit_identical() {
     let sys = tiny_system();
     let trace = tiny_trace(&sys);

@@ -61,6 +61,40 @@ fn parallel_scheduling_runs_are_deterministic_per_seed() {
 }
 
 #[test]
+fn tracing_spans_leave_the_trajectory_bit_identical() {
+    // The span instrumentation reads only clocks, never the engine RNG
+    // streams, so installing a full-verbosity span sink mid-process must
+    // not perturb a single objective bit. The untraced baseline runs
+    // first; the sink is process-global and cannot be uninstalled.
+    let (system, trace) = fixture();
+    let problem = AllocationProblem::new(&system, &trace);
+    let engine = Nsga2::new(&problem, config(true));
+    let untraced = engine.run(vec![], 13);
+
+    let path =
+        std::env::temp_dir().join(format!("hetsched-det-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let writer = std::sync::Arc::new(hetsched::core::TraceWriter::create(&path).unwrap());
+    hetsched::core::install_tracing(tracing::Level::TRACE, Some(writer)).unwrap();
+    let traced = engine.run(vec![], 13);
+    assert_eq!(objectives(&untraced), objectives(&traced));
+
+    // The sink really was live: generation spans (DEBUG) and engine phase
+    // spans (TRACE) landed in the file.
+    tracing::flush_span_sink();
+    let spans = hetsched::core::read_trace(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        spans.iter().any(|s| s.name == "generation"),
+        "no generation spans recorded"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "evaluation"),
+        "no phase spans recorded"
+    );
+}
+
+#[test]
 fn observation_is_inert_on_the_scheduling_problem() {
     // Attaching a metrics observer must not change the trajectory, and the
     // journalled per-generation stats must themselves be deterministic

@@ -11,7 +11,7 @@
 
 use hetsched::prelude::*;
 use hetsched::serve::client;
-use hetsched::serve::wire::{JobCreated, JobReportBody, JobStatusBody};
+use hetsched::serve::wire::{JobCreated, JobReportBody, JobStatusBody, JobTraceBody};
 use hetsched::serve::{SchedulerService, ServeConfig, Server};
 use std::path::PathBuf;
 use std::thread;
@@ -187,6 +187,60 @@ fn concurrent_jobs_share_the_worker_pool_and_metrics_aggregate() {
         resp.body
     );
     assert!(resp.body.contains("hetsched_serve_jobs{state=\"done\"} 2"));
+}
+
+#[test]
+fn finished_job_serves_its_span_timeline() {
+    let daemon = Daemon::start("trace");
+    let spec = tiny_spec(0x7ACE);
+
+    let resp = client::post(&daemon.addr, "/v1/jobs", &job_body(&spec)).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body);
+    let created: JobCreated = serde_json::from_str(&resp.body).unwrap();
+    let status = daemon.wait_settled(&created.job_id);
+    assert_eq!(status.state, "done", "error: {:?}", status.error);
+
+    let resp = client::get(&daemon.addr, &format!("/v1/jobs/{}/trace", created.job_id)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let body: JobTraceBody = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(body.schema, "hetsched.job-trace.v1");
+    assert_eq!(body.job_id, created.job_id);
+
+    // The timeline covers every layer: the job root span, the campaign
+    // beneath it, and one cell per grid point — all on one trace id, all
+    // parented into a single tree.
+    let job = body
+        .spans
+        .iter()
+        .find(|s| s.name == "job")
+        .expect("job root span recorded");
+    assert_eq!(job.parent_id, None);
+    assert_eq!(
+        job.field("job_id").as_deref(),
+        Some(created.job_id.as_str())
+    );
+    let campaign = body
+        .spans
+        .iter()
+        .find(|s| s.name == "campaign")
+        .expect("campaign span recorded");
+    assert_eq!(campaign.parent_id, Some(job.span_id));
+    let cells: Vec<_> = body.spans.iter().filter(|s| s.name == "cell").collect();
+    assert_eq!(cells.len(), 2, "one cell span per grid point");
+    for cell in &cells {
+        assert_eq!(cell.trace_id, job.trace_id);
+        assert_eq!(cell.field("dataset").as_deref(), Some("One"));
+        assert!(cell.duration_ns <= job.duration_ns);
+    }
+
+    // The analysis layer accepts the endpoint's payload directly.
+    let analysis = hetsched::core::TraceAnalysis::from_records(&body.spans, 3);
+    let rendered = analysis.render();
+    assert!(rendered.contains("slowest cells"), "{rendered}");
+
+    // A trace for an unknown job stays a 404.
+    let resp = client::get(&daemon.addr, "/v1/jobs/j999/trace").unwrap();
+    assert_eq!(resp.status, 404);
 }
 
 #[test]

@@ -1,0 +1,297 @@
+//! Golden-file regression tests for the span-trace pipeline.
+//!
+//! A synthetic but realistic span tree — serve job → campaign → two
+//! cells → attempts → generations → engine phases → an evaluator batch —
+//! is constructed with fixed ids and timings, frozen as a JSONL trace
+//! fixture, and pinned in three directions:
+//!
+//! 1. `span_trace.jsonl` — the wire form `TraceWriter` appends; parsing
+//!    it back must reproduce the constructed records exactly.
+//! 2. `span_trace.report.txt` — the byte-exact `hetsched trace` render
+//!    (phase self-times, slowest cells, critical path, speedup).
+//! 3. `span_trace.chrome.json` — the Chrome trace-event export, which
+//!    must also survive the schema round trip back to span records.
+//!
+//! Regenerate after an intentional format change with
+//! `GOLDEN_REGEN=1 cargo test --test trace_golden`.
+
+use hetsched::core::trace::spans_from_chrome;
+use hetsched::core::{chrome_trace, read_trace, SpanRecord, TraceAnalysis};
+use serde::{Number, Value};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+fn u(v: u64) -> Value {
+    Value::Num(Number::U(v))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn span(
+    trace_id: u64,
+    span_id: u64,
+    parent_id: Option<u64>,
+    name: &str,
+    target: &str,
+    level: &str,
+    start_ns: u64,
+    duration_ns: u64,
+    thread: u64,
+    fields: Vec<(&str, Value)>,
+) -> SpanRecord {
+    SpanRecord {
+        trace_id,
+        span_id,
+        parent_id,
+        name: name.to_string(),
+        target: target.to_string(),
+        level: level.to_string(),
+        start_ns,
+        duration_ns,
+        thread,
+        fields: fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    }
+}
+
+/// The frozen span tree, in close order (children close before parents).
+/// Timings are hand-picked so the phase table, slowest-cell ranking, and
+/// critical path all exercise non-trivial branches.
+fn fixture_records() -> Vec<SpanRecord> {
+    const CAMPAIGN: &str = "hetsched_core::campaign";
+    const ENGINE: &str = "hetsched_moea::nsga2";
+    let cell_a = vec![
+        ("dataset", s("One")),
+        ("algorithm", s("nsga2")),
+        ("seed", s("random")),
+        ("replicate", u(0)),
+    ];
+    let cell_b = vec![
+        ("dataset", s("One")),
+        ("algorithm", s("nsga2")),
+        ("seed", s("min-energy")),
+        ("replicate", u(1)),
+    ];
+    vec![
+        span(
+            7001,
+            6,
+            Some(5),
+            "mating",
+            ENGINE,
+            "TRACE",
+            1_250_000,
+            1_000_000,
+            2,
+            vec![],
+        ),
+        span(
+            7001,
+            8,
+            Some(7),
+            "batch",
+            "hetsched_sim::batch",
+            "TRACE",
+            2_350_000,
+            5_200_000,
+            2,
+            vec![("jobs", u(16)), ("threads", u(4))],
+        ),
+        span(
+            7001,
+            7,
+            Some(5),
+            "evaluation",
+            ENGINE,
+            "TRACE",
+            2_300_000,
+            5_500_000,
+            2,
+            vec![],
+        ),
+        span(
+            7001,
+            9,
+            Some(5),
+            "sorting",
+            ENGINE,
+            "TRACE",
+            7_900_000,
+            1_200_000,
+            2,
+            vec![],
+        ),
+        span(
+            7001,
+            5,
+            Some(4),
+            "generation",
+            ENGINE,
+            "DEBUG",
+            1_200_000,
+            8_000_000,
+            2,
+            vec![("generation", u(1))],
+        ),
+        span(
+            7001,
+            12,
+            Some(11),
+            "attempt",
+            CAMPAIGN,
+            "DEBUG",
+            1_050_000,
+            11_800_000,
+            3,
+            vec![("attempt", u(1))],
+        ),
+        span(
+            7001,
+            11,
+            Some(2),
+            "cell",
+            CAMPAIGN,
+            "INFO",
+            1_000_000,
+            12_000_000,
+            3,
+            cell_b,
+        ),
+        span(
+            7001,
+            10,
+            Some(4),
+            "generation",
+            ENGINE,
+            "DEBUG",
+            9_300_000,
+            8_600_000,
+            2,
+            vec![("generation", u(2))],
+        ),
+        span(
+            7001,
+            4,
+            Some(3),
+            "attempt",
+            CAMPAIGN,
+            "DEBUG",
+            1_100_000,
+            17_000_000,
+            2,
+            vec![("attempt", u(1))],
+        ),
+        span(
+            7001,
+            3,
+            Some(2),
+            "cell",
+            CAMPAIGN,
+            "INFO",
+            1_000_000,
+            17_500_000,
+            2,
+            cell_a,
+        ),
+        span(
+            7001,
+            2,
+            Some(1),
+            "campaign",
+            CAMPAIGN,
+            "INFO",
+            500_000,
+            19_000_000,
+            1,
+            vec![
+                ("fingerprint", s("cafe1234")),
+                ("cells", u(2)),
+                ("replayed", u(0)),
+            ],
+        ),
+        span(
+            7001,
+            1,
+            None,
+            "job",
+            "hetsched_serve::service",
+            "INFO",
+            0,
+            20_000_000,
+            1,
+            vec![("job_id", s("j42")), ("fingerprint", s("cafe1234"))],
+        ),
+    ]
+}
+
+fn assert_matches_golden(rendered: &str, golden: &str) {
+    let path = golden_dir().join(golden);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).expect("golden file missing — regen first");
+    assert!(
+        rendered == expected,
+        "{golden} drifted from the golden copy.\n--- got ---\n{rendered}\n--- want ---\n{expected}"
+    );
+}
+
+#[test]
+fn span_trace_jsonl_fixture_roundtrips() {
+    let records = fixture_records();
+    let mut jsonl = String::new();
+    for record in &records {
+        jsonl.push_str(&serde_json::to_string(record).unwrap());
+        jsonl.push('\n');
+    }
+    assert_matches_golden(&jsonl, "span_trace.jsonl");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        return;
+    }
+    // The frozen wire form parses back into exactly the constructed
+    // records — field order, optional parent_id, and typed field values
+    // all survive.
+    let parsed = read_trace(golden_dir().join("span_trace.jsonl")).unwrap();
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn span_trace_analysis_renders_byte_identically() {
+    let analysis = TraceAnalysis::from_records(&fixture_records(), 5);
+    assert_matches_golden(&analysis.render(), "span_trace.report.txt");
+}
+
+#[test]
+fn chrome_export_is_frozen_and_survives_the_schema_round_trip() {
+    let records = fixture_records();
+    let chrome = chrome_trace(&records);
+    let json = serde_json::to_string(&chrome).unwrap();
+    assert_matches_golden(&json, "span_trace.chrome.json");
+
+    // Schema round trip: parse the exported JSON as a foreign consumer
+    // would and recover the span records bit-exactly.
+    let parsed: Value = serde_json::from_str(&json).unwrap();
+    let back = spans_from_chrome(&parsed).unwrap();
+    assert_eq!(back, records);
+
+    // Structural contract Perfetto relies on: every event is a complete
+    // event with microsecond float timestamps on a pid/tid lane.
+    let events = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert_eq!(events.len(), records.len());
+    for event in events {
+        assert_eq!(event.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(event.get("ts").and_then(Value::as_f64).is_some());
+        assert!(event.get("dur").and_then(Value::as_f64).is_some());
+        assert!(event.get("pid").and_then(Value::as_u64).is_some());
+        assert!(event.get("tid").and_then(Value::as_u64).is_some());
+    }
+}
