@@ -1,0 +1,187 @@
+//! Streaming scheduler throughput: sustained tasks/sec of the
+//! rolling-horizon pipeline and the warm-start payoff.
+//!
+//! Three measured cases drive the same seeded Poisson arrival stream
+//! (rate 1.5/s, 4 horizons of 20 s) through a [`StreamRunner`]:
+//!
+//! - `warm_4_horizons` — NSGA-II re-optimizer warm-started from the
+//!   previous front, on under a third of the cold generation budget;
+//! - `cold_4_horizons` — the same engine re-seeded from scratch every
+//!   horizon, with the generation budget it needs to reach the warm
+//!   run's final front quality;
+//! - `policy_gupta_4_horizons` — the non-evolutionary Gupta et al.
+//!   greedy baseline, bounding what a placement rule costs.
+//!
+//! The arrival stream is seeded, so every committed record and final
+//! front is bit-deterministic; a once-per-process report asserts the
+//! quality contract — the warm run's final-front hypervolume (at a
+//! reference shared with the cold run) must be at least the cold run's,
+//! i.e. "equal front quality" — and prints sustained tasks/sec plus the
+//! per-horizon warm:cold cost ratio. CI's bench-smoke job gates the
+//! `streaming/*` medians against `BENCH_<date>.json` via
+//! `bench_compare` and separately checks that the warm-start median is
+//! ≥ 2× cheaper per horizon than the cold-start median.
+//!
+//! Run:   BENCH_EXPORT=bench-export.jsonl cargo bench -p hetsched-bench --bench streaming
+//! Smoke: cargo bench -p hetsched-bench --bench streaming -- --test
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsched_core::{
+    EngineStreamSpec, HorizonConfig, HorizonRecord, OnlinePolicy, OptimizerSpec, StreamConfig,
+    StreamRunner,
+};
+use hetsched_data::real_system;
+use hetsched_heuristics::SeedKind;
+use hetsched_moea::observe::hypervolume_2d;
+use hetsched_moea::{Algorithm, EngineConfig};
+use hetsched_workload::{ArrivalSpec, ArrivalStream, TufPolicy};
+use std::hint::black_box;
+use std::sync::Once;
+use std::time::Instant;
+
+const HORIZON: f64 = 20.0;
+const UNTIL: f64 = 80.0;
+const ARRIVAL_RATE: f64 = 1.5;
+const ARRIVAL_SEED: u64 = 0xBE7C;
+const POPULATION: usize = 12;
+/// The cold baseline's per-horizon generation budget, and the much
+/// smaller one the warm-started engine gets. The report asserts the
+/// warm run's final-front hypervolume still reaches the cold run's, so
+/// the ≥2× per-horizon speed-up CI gates is earned, not configured.
+const COLD_GENS: usize = 28;
+const WARM_GENS: usize = 8;
+
+fn arrivals() -> ArrivalStream {
+    ArrivalStream::new(
+        ArrivalSpec::poisson(ARRIVAL_RATE).expect("valid rate"),
+        ARRIVAL_SEED,
+        real_system().task_type_count(),
+        TufPolicy::essc_default(),
+    )
+}
+
+fn engine_stream(warm_start: bool, generations: usize) -> StreamConfig {
+    let engine = EngineConfig::builder()
+        .algorithm(Algorithm::Nsga2)
+        .population(POPULATION)
+        .mutation_rate(0.08)
+        .generations(generations)
+        .parallel(false)
+        .build()
+        .expect("valid engine config");
+    StreamConfig {
+        horizon: HorizonConfig {
+            horizon: HORIZON,
+            energy_budget: f64::INFINITY,
+        },
+        optimizer: OptimizerSpec::Engine(EngineStreamSpec {
+            engine,
+            seed_kind: SeedKind::MinMinCompletionTime,
+            rng_seed: 42,
+            stream: 0,
+            warm_start,
+        }),
+    }
+}
+
+fn policy_stream() -> StreamConfig {
+    StreamConfig {
+        horizon: HorizonConfig {
+            horizon: HORIZON,
+            energy_budget: f64::INFINITY,
+        },
+        optimizer: OptimizerSpec::Policy(OnlinePolicy::GuptaGreedy),
+    }
+}
+
+/// Drives a fresh runner over the full arrival window; returns the
+/// committed records and the final front as engine objectives
+/// `[-utility, energy]` (empty for policy streams).
+fn drive(config: StreamConfig) -> (Vec<HorizonRecord>, Vec<[f64; 2]>) {
+    let mut runner = StreamRunner::new(real_system(), config).expect("stream config");
+    let records = runner.drive(&mut arrivals(), UNTIL).expect("stream drives");
+    let front = runner
+        .last_front()
+        .map(|f| f.points().iter().map(|p| [-p.utility, p.energy]).collect())
+        .unwrap_or_default();
+    (records, front)
+}
+
+fn streaming(c: &mut Criterion) {
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        let median_secs = |config: StreamConfig| -> f64 {
+            drive(config);
+            let mut samples: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t = Instant::now();
+                    black_box(drive(config));
+                    t.elapsed().as_secs_f64()
+                })
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            samples[samples.len() / 2]
+        };
+
+        let (warm, warm_front) = drive(engine_stream(true, WARM_GENS));
+        let (cold, cold_front) = drive(engine_stream(false, COLD_GENS));
+        let (w, c) = (warm.last().expect("4 ticks"), cold.last().expect("4 ticks"));
+        assert_eq!(warm.len(), cold.len());
+        assert_eq!(w.tasks, c.tasks, "both runs schedule the same arrivals");
+
+        // Front quality at a reference shared by both runs: the warm
+        // run's hypervolume must reach the cold run's despite the much
+        // smaller generation budget — otherwise the speed-up is bought
+        // with quality and the bench's claim is void.
+        let max_energy = warm_front
+            .iter()
+            .chain(&cold_front)
+            .map(|o| o[1])
+            .fold(0.0f64, f64::max)
+            * 1.000_001;
+        let reference = [1e-9, max_energy];
+        let warm_hv = hypervolume_2d(warm_front.iter().copied(), reference);
+        let cold_hv = hypervolume_2d(cold_front.iter().copied(), reference);
+        assert!(
+            warm_hv >= cold_hv,
+            "warm front hypervolume {warm_hv:.4e} ({WARM_GENS} gens) fell below \
+             cold {cold_hv:.4e} ({COLD_GENS} gens): the warm generation budget \
+             is too small for the quality contract",
+        );
+
+        let warm_t = median_secs(engine_stream(true, WARM_GENS));
+        let cold_t = median_secs(engine_stream(false, COLD_GENS));
+        let ticks = warm.len() as f64;
+        println!(
+            "streaming: {} tasks over {} horizons; sustained {:.0} tasks/sec warm \
+             ({:.2} ms/horizon), {:.0} tasks/sec cold ({:.2} ms/horizon); \
+             warm-start speed-up {:.2}x at equal front quality \
+             (hv {:.4e} @ {WARM_GENS} gens vs {:.4e} @ {COLD_GENS} gens)",
+            w.tasks,
+            warm.len(),
+            w.tasks as f64 / warm_t,
+            1e3 * warm_t / ticks,
+            c.tasks as f64 / cold_t,
+            1e3 * cold_t / ticks,
+            cold_t / warm_t,
+            warm_hv,
+            cold_hv,
+        );
+    });
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.bench_function("warm_4_horizons", |b| {
+        b.iter(|| black_box(drive(engine_stream(true, WARM_GENS))));
+    });
+    group.bench_function("cold_4_horizons", |b| {
+        b.iter(|| black_box(drive(engine_stream(false, COLD_GENS))));
+    });
+    group.bench_function("policy_gupta_4_horizons", |b| {
+        b.iter(|| black_box(drive(policy_stream())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, streaming);
+criterion_main!(benches);

@@ -29,6 +29,9 @@ fn config_from(options: &Options) -> ExperimentConfig {
     if let Some(tasks) = options.tasks {
         cfg.tasks = tasks;
     }
+    if let Some(duration) = options.duration {
+        cfg.duration = duration;
+    }
     cfg.population = options.population;
     cfg.rng_seed = options.rng_seed;
     cfg.algorithm = options.algorithm;
@@ -150,6 +153,14 @@ pub fn figure(which: u8, options: &Options) -> Result<(), CliError> {
 /// parallel, checkpointed to the manifest (when given) so a killed run
 /// resumes where it left off.
 pub fn run_experiment(options: &Options) -> Result<(), CliError> {
+    if options.online {
+        return run_online_stream(options);
+    }
+    if options.horizon.is_some() || options.arrivals.is_some() {
+        return Err(CliError::Usage(
+            "--horizon/--arrivals require --online".into(),
+        ));
+    }
     if options.replicates.is_some() || options.manifest.is_some() {
         return run_campaign(options);
     }
@@ -185,6 +196,122 @@ pub fn run_experiment(options: &Options) -> Result<(), CliError> {
         fw.config().algorithm
     );
     summarise_report(&mut out, &report)?;
+    options.emit(&out)
+}
+
+/// The `--online` arm of `hetsched run`: a rolling-horizon stream. A
+/// seeded arrival process feeds a [`hetsched_core::StreamRunner`]; every
+/// `--horizon` seconds the pending window is re-optimized — by the
+/// configured engine warm-started from the previous front (default), or
+/// by a per-arrival `--policy` — and the committed schedule is printed
+/// per tick. `--manifest PATH` makes the stream durable: feeds and
+/// commits are journalled, and rerunning the same command resumes
+/// mid-stream instead of starting over.
+fn run_online_stream(options: &Options) -> Result<(), CliError> {
+    use hetsched_core::{EngineStreamSpec, OptimizerSpec, StreamConfig, StreamRunner};
+    use hetsched_sim::HorizonConfig;
+    use hetsched_workload::{ArrivalSpec, ArrivalStream, TufPolicy};
+
+    if options.replicates.is_some() {
+        return Err(CliError::Usage(
+            "--replicates is not supported with --online".into(),
+        ));
+    }
+    let Some(arrivals_spec) = &options.arrivals else {
+        return Err(CliError::Usage(
+            "--online requires --arrivals (e.g. --arrivals poisson:2.5)".into(),
+        ));
+    };
+    let spec: ArrivalSpec = arrivals_spec
+        .parse()
+        .map_err(|e| CliError::Usage(format!("--arrivals: {e}")))?;
+    let cfg = config_from(options);
+    let fw = Framework::new(&cfg)?;
+    let system = fw.system().clone();
+    let horizon = HorizonConfig {
+        horizon: options.horizon.unwrap_or(60.0),
+        energy_budget: options.energy_budget.unwrap_or(f64::INFINITY),
+    };
+    let optimizer = match options.policy {
+        Some(policy) => OptimizerSpec::Policy(policy),
+        None => OptimizerSpec::Engine(EngineStreamSpec {
+            engine: hetsched_core::EngineConfig::builder()
+                .algorithm(cfg.algorithm)
+                .population(cfg.population)
+                .mutation_rate(cfg.mutation_rate)
+                .generations(cfg.generations())
+                .parallel(cfg.parallel)
+                .build()
+                .map_err(|e| CliError::Failed(format!("engine config: {e}")))?,
+            seed_kind: SeedKind::MinMinCompletionTime,
+            rng_seed: cfg.rng_seed,
+            stream: 0,
+            warm_start: !options.cold_start,
+        }),
+    };
+    let stream_config = StreamConfig { horizon, optimizer };
+    let mut runner = match &options.manifest {
+        Some(path) => StreamRunner::resume(system, stream_config, path)?,
+        None => StreamRunner::new(system, stream_config)?,
+    };
+    if let Some(path) = &options.metrics_out {
+        let journal = hetsched_core::RunJournal::create(path).map_err(|e| CliError::io(path, e))?;
+        runner = runner.with_journal(journal);
+    }
+    let mut arrivals = ArrivalStream::new(
+        spec,
+        cfg.rng_seed,
+        runner.system().task_type_count(),
+        TufPolicy::essc_default(),
+    );
+    let resumed_at = runner.scheduler().ticks();
+    let records = runner.drive(&mut arrivals, cfg.duration)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "streaming run: {} over {:.0}s, horizon {:.0}s, {}{}",
+        arrivals_spec,
+        cfg.duration,
+        runner.config().horizon.horizon,
+        runner.header().optimizer,
+        if resumed_at > 0 {
+            format!(" (resumed at tick {resumed_at})")
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "tick,now_s,tasks,frozen,rejected,utility,energy_megajoules,makespan_s"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "{},{:.2},{},{},{},{:.3},{:.6},{:.2}",
+            r.tick,
+            r.now,
+            r.tasks,
+            r.frozen,
+            r.rejected.len(),
+            r.utility,
+            r.energy / 1e6,
+            r.makespan
+        );
+    }
+    let sched = runner.scheduler();
+    if let Some(last) = sched.records().last() {
+        let _ = writeln!(
+            out,
+            "committed: {} tasks ({} rejected), utility {:.3}, energy {:.6} MJ, \
+             throughput {:.2} tasks/s",
+            last.tasks,
+            sched.rejected().len(),
+            last.utility,
+            last.energy / 1e6,
+            last.tasks as f64 / sched.now().max(f64::MIN_POSITIVE)
+        );
+    }
     options.emit(&out)
 }
 

@@ -17,6 +17,13 @@
 //!   --algorithm <a>    MOEA family: nsga2 (default), moead, or spea2
 //!   --replicates <n>   replicate the run on decorrelated RNG streams
 //!   --manifest <p>     campaign checkpoint file; rerun to resume (run only)
+//!   --online           rolling-horizon streaming run (see --arrivals/--horizon)
+//!   --arrivals <spec>  arrival process, e.g. poisson:2.5 or poisson:2,burst:4x60
+//!   --horizon <s>      re-optimization period in seconds (default 60)
+//!   --duration <s>     stream length in seconds (overrides the data set default)
+//!   --policy <p>       per-arrival rule instead of the MOEA: max-utility or gupta
+//!   --cold-start       re-seed every horizon from scratch (ablation baseline)
+//!   --energy-budget <j> stream-wide energy budget in joules
 //!   --out <path>       write output to a file instead of stdout
 //!   --json             emit JSON instead of CSV (figures only)
 //!   --metrics-out <p>  write a per-generation JSONL journal (run only)
@@ -163,6 +170,9 @@ USAGE:
                  [--metrics-out PATH] [--heartbeat-out PATH] [--heartbeat-every S]
                  [--telemetry-out PATH] [--cell-timeout S] [--requeue-quarantined]
                  [--chaos-plan SPEC] [--log-level error|warn|info|debug|trace]
+    hetsched run --online --arrivals SPEC [--horizon S] [--duration S]
+                 [--policy max-utility|gupta] [--cold-start] [--energy-budget J]
+                 [--manifest PATH] [--metrics-out PATH]
     hetsched seeds [--set 1|2|3] [--tasks N] [--rng SEED]
     hetsched gantt [--set 1|2|3] [--tasks N]
     hetsched online [--set 1|2|3] [--tasks N]
@@ -181,6 +191,18 @@ manifest and executes only the missing cells. `--heartbeat-out PATH`
 appends a tail-able JSONL progress line (cells done/total, ETA) every
 `--heartbeat-every` seconds, surviving kill-and-resume; `--telemetry-out
 PATH` writes a Prometheus-style metrics snapshot when the campaign ends.
+
+`run --online` streams instead of batching: a seeded arrival process
+(`--arrivals poisson:RATE[,burst:FACTORxPERIOD]`) feeds a
+rolling-horizon scheduler that re-optimizes the pending window every
+`--horizon` seconds with the configured MOEA, warm-started from the
+previous horizon's Pareto front (`--cold-start` disables the warm
+start; `--policy gupta|max-utility` swaps in a non-evolutionary
+per-arrival rule). Already-started tasks are frozen; the committed
+point is the knee of the front, or the best utility fitting
+`--energy-budget`. With `--manifest PATH` every feed and commit is
+journalled, and rerunning the same command resumes the stream
+mid-flight to a byte-identical schedule. See README § Streaming.
 
 `report` with a path summarises a finished campaign manifest (per-cell
 status and durations, per-population convergence) or a `--metrics-out`
@@ -518,6 +540,75 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.is_usage());
+    }
+
+    #[test]
+    fn tiny_online_stream_completes() {
+        let out = std::env::temp_dir().join(format!(
+            "hetsched-cli-stream-out-{}.txt",
+            std::process::id()
+        ));
+        let cmd = format!(
+            "run --online --arrivals poisson:1.5 --horizon 20 --duration 60 \
+             --set 1 --pop 8 --scale 0.00002 --out {}",
+            out.display()
+        );
+        assert!(run(&argv(&cmd)).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert!(text.contains("streaming run: poisson:1.5"), "{text}");
+        assert!(text.contains("engine:nsga2"), "{text}");
+        // Three horizons of 20 s over a 60 s stream; tick 2 plans at t=40.
+        assert!(text.contains("\n2,40.00,"), "{text}");
+        assert!(text.contains("committed:"), "{text}");
+    }
+
+    #[test]
+    fn online_stream_with_policy_and_budget_completes() {
+        assert!(run(&argv(
+            "run --online --arrivals poisson:2,burst:3x30 --horizon 15 --duration 45 \
+             --policy gupta --energy-budget 50000000 --set 1 --scale 0.00002"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn online_stream_manifest_resumes_mid_stream() {
+        let dir = std::env::temp_dir();
+        let manifest = dir.join(format!(
+            "hetsched-cli-stream-manifest-{}.jsonl",
+            std::process::id()
+        ));
+        let out = dir.join(format!(
+            "hetsched-cli-stream-resume-{}.txt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&manifest);
+        let base = format!(
+            "run --online --arrivals poisson:1.5 --horizon 20 --set 1 --pop 8 \
+             --scale 0.00002 --manifest {} --out {}",
+            manifest.display(),
+            out.display()
+        );
+        assert!(run(&argv(&format!("{base} --duration 40"))).is_ok());
+        assert!(run(&argv(&format!("{base} --duration 80"))).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&manifest);
+        let _ = std::fs::remove_file(&out);
+        assert!(text.contains("(resumed at tick 2)"), "{text}");
+    }
+
+    #[test]
+    fn streaming_flags_require_the_online_arm() {
+        for bad in [
+            "run --horizon 20 --tasks 15 --pop 8 --scale 0.00002",
+            "run --arrivals poisson:2 --tasks 15 --pop 8 --scale 0.00002",
+            "run --online --pop 8 --scale 0.00002",
+            "run --online --arrivals poisson:2 --replicates 2 --pop 8 --scale 0.00002",
+        ] {
+            let err = run(&argv(bad)).unwrap_err();
+            assert!(err.is_usage(), "{bad:?}: {err}");
+        }
     }
 
     #[test]

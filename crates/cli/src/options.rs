@@ -3,6 +3,7 @@
 
 use crate::error::CliError;
 use hetsched_core::Algorithm;
+use hetsched_sim::OnlinePolicy;
 use std::time::Duration;
 
 /// Parsed command-line options.
@@ -16,6 +17,23 @@ pub struct Options {
     pub scale: f64,
     /// Trace-length override.
     pub tasks: Option<usize>,
+    /// Trace/stream duration override in seconds.
+    pub duration: Option<f64>,
+    /// Rolling-horizon streaming mode (`run --online`).
+    pub online: bool,
+    /// Horizon tick length in seconds (streaming `run` only).
+    pub horizon: Option<f64>,
+    /// Arrival-process spec, e.g. `poisson:2.5` or
+    /// `poisson:2,burst:4x60` (streaming `run` only).
+    pub arrivals: Option<String>,
+    /// Use a non-evolutionary per-arrival policy instead of the engine
+    /// (streaming `run` only).
+    pub policy: Option<OnlinePolicy>,
+    /// Re-seed every horizon from scratch instead of warm-starting from
+    /// the previous front (streaming `run` only).
+    pub cold_start: bool,
+    /// Stream-wide committed-energy cap in joules (streaming `run` only).
+    pub energy_budget: Option<f64>,
     /// Population size.
     pub population: usize,
     /// Master RNG seed.
@@ -76,6 +94,13 @@ impl Default for Options {
             set: 1,
             scale: 0.001,
             tasks: None,
+            duration: None,
+            online: false,
+            horizon: None,
+            arrivals: None,
+            policy: None,
+            cold_start: false,
+            energy_budget: None,
             population: 100,
             rng_seed: 0x5EED,
             algorithm: Algorithm::default(),
@@ -138,6 +163,48 @@ impl Options {
                             .parse()
                             .map_err(|_| usage("--tasks must be a positive integer"))?,
                     );
+                }
+                "--duration" => {
+                    let d: f64 = value_for("duration")?
+                        .parse()
+                        .map_err(|_| usage("--duration must be a number of seconds"))?;
+                    if !(d.is_finite() && d > 0.0) {
+                        return Err(usage("--duration must be > 0"));
+                    }
+                    opts.duration = Some(d);
+                }
+                "--horizon" => {
+                    let h: f64 = value_for("horizon")?
+                        .parse()
+                        .map_err(|_| usage("--horizon must be a number of seconds"))?;
+                    if !(h.is_finite() && h > 0.0) {
+                        return Err(usage("--horizon must be > 0"));
+                    }
+                    opts.horizon = Some(h);
+                }
+                "--arrivals" => {
+                    let spec = value_for("arrivals")?.clone();
+                    // Validate the grammar up front so a typo is a usage
+                    // error, not a runtime failure mid-stream.
+                    spec.parse::<hetsched_workload::ArrivalSpec>()
+                        .map_err(|e| usage(format!("--arrivals: {e}")))?;
+                    opts.arrivals = Some(spec);
+                }
+                "--policy" => {
+                    opts.policy = Some(
+                        value_for("policy")?
+                            .parse()
+                            .map_err(|_| usage("--policy must be max-utility or gupta"))?,
+                    );
+                }
+                "--energy-budget" => {
+                    let b: f64 = value_for("energy-budget")?
+                        .parse()
+                        .map_err(|_| usage("--energy-budget must be a number of joules"))?;
+                    if !(b.is_finite() && b > 0.0) {
+                        return Err(usage("--energy-budget must be > 0"));
+                    }
+                    opts.energy_budget = Some(b);
                 }
                 "--pop" => {
                     opts.population = value_for("pop")?
@@ -238,6 +305,8 @@ impl Options {
                     opts.top = n;
                 }
                 "--json" => opts.json = true,
+                "--online" => opts.online = true,
+                "--cold-start" => opts.cold_start = true,
                 "--requeue-quarantined" => opts.requeue_quarantined = true,
                 flag if flag.starts_with("--") => {
                     return Err(usage(format!("unknown flag `{flag}`")));
@@ -398,6 +467,43 @@ mod tests {
         assert!(Options::parse(&argv("--workers 0")).is_err());
         assert!(Options::parse(&argv("--workers many")).is_err());
         assert!(Options::parse(&argv("--state-dir")).is_err());
+    }
+
+    #[test]
+    fn parses_streaming_flags() {
+        let o = Options::parse(&argv(
+            "--online --horizon 30 --arrivals poisson:2.5,burst:4x60 \
+             --duration 120 --energy-budget 5e6 --cold-start",
+        ))
+        .unwrap();
+        assert!(o.online);
+        assert_eq!(o.horizon, Some(30.0));
+        assert_eq!(o.arrivals.as_deref(), Some("poisson:2.5,burst:4x60"));
+        assert_eq!(o.duration, Some(120.0));
+        assert_eq!(o.energy_budget, Some(5e6));
+        assert!(o.cold_start);
+        assert!(o.policy.is_none());
+        let o = Options::parse(&argv("--online --arrivals poisson:1 --policy gupta")).unwrap();
+        assert_eq!(o.policy, Some(OnlinePolicy::GuptaGreedy));
+        // Defaults.
+        let o = Options::parse(&[]).unwrap();
+        assert!(!o.online);
+        assert!(!o.cold_start);
+        assert!(o.horizon.is_none() && o.arrivals.is_none() && o.energy_budget.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_streaming_values() {
+        assert!(Options::parse(&argv("--horizon 0")).is_err());
+        assert!(Options::parse(&argv("--horizon -5")).is_err());
+        assert!(Options::parse(&argv("--horizon soon")).is_err());
+        assert!(Options::parse(&argv("--duration 0")).is_err());
+        assert!(Options::parse(&argv("--energy-budget 0")).is_err());
+        assert!(Options::parse(&argv("--policy thorough")).is_err());
+        // The arrival grammar is validated at parse time.
+        assert!(Options::parse(&argv("--arrivals poisson:0")).is_err());
+        assert!(Options::parse(&argv("--arrivals uniform:3")).is_err());
+        assert!(Options::parse(&argv("--arrivals poisson:2,burst:0.5x60")).is_err());
     }
 
     #[test]

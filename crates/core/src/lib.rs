@@ -29,6 +29,7 @@ pub mod framework;
 pub mod inspect;
 pub mod journal;
 pub mod report;
+pub mod streaming;
 pub mod suite;
 pub mod telemetry;
 pub mod trace;
@@ -79,10 +80,20 @@ pub use inspect::{inspect_path, Inspection};
 // downstream crates (notably the CLI) need not depend on the MOEA crate
 // directly to select an algorithm.
 pub use hetsched_analysis::ParetoFront;
+pub use hetsched_data::HcSystem;
 pub use hetsched_heuristics::SeedKind;
 pub use hetsched_moea::{Algorithm, Engine, EngineCaps, EngineConfig, EngineConfigBuilder};
+// The streaming surface the serve daemon builds on: horizon mechanics
+// and records from the simulator, the arrival process and task shape
+// from the workload crate.
+pub use hetsched_sim::{HorizonConfig, HorizonRecord, OnlinePolicy, TaskRecord};
+pub use hetsched_workload::{ArrivalSpec, ArrivalStream, Task, TufPolicy};
 pub use journal::{JournalObserver, JournalRecord, RunJournal};
 pub use report::{AnalysisReport, PopulationRun};
+pub use streaming::{
+    EngineReoptimizer, EngineStreamSpec, OptimizerSpec, StreamConfig, StreamHeader, StreamRunner,
+    STREAM_MANIFEST_SCHEMA,
+};
 pub use suite::{check_report, verify_dataset, Check, DatasetVerdict};
 pub use telemetry::{
     CampaignObserver, Heartbeat, HeartbeatLine, HeartbeatTicker, MetricsRegistry, MetricsSnapshot,

@@ -22,6 +22,7 @@ pub mod moead;
 pub mod nsga2;
 pub mod observe;
 pub mod problem;
+pub mod seeding;
 pub mod sort;
 pub mod spea2;
 
@@ -31,5 +32,6 @@ pub use moead::{moead, moead_observed, MoeadConfig};
 pub use nsga2::{pareto_front, Individual, Mating, Nsga2, Nsga2Config, Stagnation, Survival};
 pub use observe::{GenerationStats, NullObserver, Observer, PhaseTimings, StatsLog};
 pub use problem::{BatchRequest, Problem, Variation};
+pub use seeding::prepare_warm_seeds;
 pub use sort::{crowding_distance, fast_nondominated_sort};
 pub use spea2::{spea2, spea2_observed, Spea2Config};

@@ -19,7 +19,7 @@
 use crate::http::{Request, Response};
 use crate::router::{route, Route};
 use crate::service::SchedulerService;
-use crate::wire::{class_status, ErrorBody, JobRequest};
+use crate::wire::{self, class_status, ErrorBody, JobRequest};
 use hetsched_core::{CoreError, ErrorClass};
 
 /// Handles one request end to end. Infallible by design: every failure
@@ -53,30 +53,65 @@ pub fn handle(service: &SchedulerService, request: &Request) -> Response {
             Err(e) => error_response(&e),
         },
         Some(Route::Metrics) => Response::text(200, service.prometheus()),
+        Some(Route::CreateStream) => create_stream(service, request),
+        Some(Route::FeedStream(id)) => feed_stream(service, &id, request),
+        Some(Route::StreamStatus(id)) => match service.stream_status(&id) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => error_response(&e),
+        },
+        Some(Route::StreamTimeline(id)) => match service.stream_timeline(&id) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => error_response(&e),
+        },
+    }
+}
+
+/// Parses a JSON request body, mapping UTF-8 and shape failures to one
+/// 400 response.
+fn parse_body<T: serde::DeserializeOwned>(request: &Request, what: &str) -> Result<T, Response> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| {
+        Response::json(
+            400,
+            &ErrorBody::new(ErrorClass::InvalidInput, "request body is not UTF-8"),
+        )
+    })?;
+    serde_json::from_str(text).map_err(|e| {
+        Response::json(
+            400,
+            &ErrorBody::new(ErrorClass::InvalidInput, format!("invalid {what}: {e}")),
+        )
+    })
+}
+
+fn create_stream(service: &SchedulerService, request: &Request) -> Response {
+    let parsed: wire::StreamRequest = match parse_body(request, "stream request") {
+        Ok(parsed) => parsed,
+        Err(resp) => return resp,
+    };
+    match service.create_stream(&parsed) {
+        Ok(created) => {
+            let status = if created.resumed { 200 } else { 201 };
+            Response::json(status, &created)
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+fn feed_stream(service: &SchedulerService, id: &str, request: &Request) -> Response {
+    let parsed: wire::StreamFeedRequest = match parse_body(request, "stream feed") {
+        Ok(parsed) => parsed,
+        Err(resp) => return resp,
+    };
+    match service.feed_stream(id, &parsed) {
+        Ok(body) => Response::json(200, &body),
+        Err(e) => error_response(&e),
     }
 }
 
 fn create_job(service: &SchedulerService, request: &Request) -> Response {
-    let text = match std::str::from_utf8(&request.body) {
-        Ok(text) => text,
-        Err(_) => {
-            return Response::json(
-                400,
-                &ErrorBody::new(ErrorClass::InvalidInput, "request body is not UTF-8"),
-            )
-        }
-    };
-    let parsed: JobRequest = match serde_json::from_str(text) {
+    let parsed: JobRequest = match parse_body(request, "job request") {
         Ok(parsed) => parsed,
-        Err(e) => {
-            return Response::json(
-                400,
-                &ErrorBody::new(
-                    ErrorClass::InvalidInput,
-                    format!("invalid job request: {e}"),
-                ),
-            )
-        }
+        Err(resp) => return resp,
     };
     match service.submit(&parsed) {
         Ok(created) => {
@@ -150,6 +185,51 @@ mod tests {
         let err: ErrorBody =
             serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(err.class, "invalid-input");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stream_endpoints_route_bodies_and_errors() {
+        let svc = service("streams");
+        // Bad JSON and wrong schema are 400s.
+        let resp = handle(&svc, &request("POST", "/v1/streams", "{not json"));
+        assert_eq!(resp.status, 400);
+        let bad = serde_json::to_string(&wire::StreamRequest {
+            schema: "hetsched.stream-request.v0".into(),
+            ..wire::StreamRequest::new("s1", 1, 20.0)
+        })
+        .unwrap();
+        assert_eq!(
+            handle(&svc, &request("POST", "/v1/streams", &bad)).status,
+            400
+        );
+        // Unknown streams are 404s on every read/feed route.
+        assert_eq!(
+            handle(&svc, &request("GET", "/v1/streams/s404", "")).status,
+            404
+        );
+        assert_eq!(
+            handle(&svc, &request("GET", "/v1/streams/s404/timeline", "")).status,
+            404
+        );
+        // A fresh stream answers 201, its reads 200.
+        let mut req_body = wire::StreamRequest::new("s1", 1, 20.0);
+        req_body.policy = Some("gupta".into());
+        let body = serde_json::to_string(&req_body).unwrap();
+        assert_eq!(
+            handle(&svc, &request("POST", "/v1/streams", &body)).status,
+            201
+        );
+        assert_eq!(
+            handle(&svc, &request("POST", "/v1/streams", &body)).status,
+            200
+        );
+        let resp = handle(&svc, &request("GET", "/v1/streams/s1", ""));
+        assert_eq!(resp.status, 200);
+        let status: wire::StreamStatusBody =
+            serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(status.schema, wire::STREAM_STATUS_SCHEMA);
+        assert_eq!(status.ticks, 0);
         svc.shutdown();
     }
 

@@ -26,6 +26,20 @@
 //! | `GET`    | `/v1/jobs/{id}/report` | [`wire::JobReportBody`]; 404 + status earlier |
 //! | `DELETE` | `/v1/jobs/{id}`        | cancels via `CancelToken`, returns status     |
 //! | `GET`    | `/metrics`             | Prometheus text, aggregated across jobs       |
+//! | `POST`   | `/v1/streams`          | [`wire::StreamRequest`] → [`wire::StreamCreated`] |
+//! | `POST`   | `/v1/streams/{id}/tasks` | [`wire::StreamFeedRequest`] → [`wire::StreamStatusBody`] |
+//! | `GET`    | `/v1/streams/{id}`     | [`wire::StreamStatusBody`] (committed totals) |
+//! | `GET`    | `/v1/streams/{id}/timeline` | [`wire::StreamTimelineBody`] (full schedule) |
+//!
+//! Streams are the rolling-horizon online path: `POST /v1/streams` opens
+//! (or resumes) a stream keyed by a client-chosen id, each
+//! `POST /v1/streams/{id}/tasks` appends one arrival window and
+//! synchronously commits every horizon the fed window covers, and the
+//! status/timeline routes expose the committed schedule. Every feed and
+//! commit is journalled to `stream-<id>.manifest.jsonl` under the state
+//! directory, so a restarted daemon replays the manifest and resumes the
+//! stream mid-flight, bit-identically (see
+//! [`hetsched_core::StreamRunner`]).
 //!
 //! Completed campaigns stay cached keyed by the spec fingerprint (the
 //! same FNV-1a fingerprint the manifest header carries), so a repeated

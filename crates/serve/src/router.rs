@@ -19,6 +19,15 @@ pub enum Route {
     CancelJob(String),
     /// `GET /metrics` — Prometheus text export across all jobs.
     Metrics,
+    /// `POST /v1/streams` — open (or resume) a rolling-horizon stream.
+    CreateStream,
+    /// `POST /v1/streams/{id}/tasks` — append one arrival window and run
+    /// every horizon the fed window covers.
+    FeedStream(String),
+    /// `GET /v1/streams/{id}` — committed-schedule totals.
+    StreamStatus(String),
+    /// `GET /v1/streams/{id}/timeline` — the committed schedule.
+    StreamTimeline(String),
 }
 
 /// Resolves `(method, path)` to a route; `None` is the handler's 404.
@@ -38,6 +47,16 @@ pub fn route(method: &str, path: &str) -> Option<Route> {
         }
         ("DELETE", ["v1", "jobs", id]) if !id.is_empty() => Some(Route::CancelJob(id.to_string())),
         ("GET", ["metrics"]) => Some(Route::Metrics),
+        ("POST", ["v1", "streams"]) => Some(Route::CreateStream),
+        ("POST", ["v1", "streams", id, "tasks"]) if !id.is_empty() => {
+            Some(Route::FeedStream(id.to_string()))
+        }
+        ("GET", ["v1", "streams", id]) if !id.is_empty() => {
+            Some(Route::StreamStatus(id.to_string()))
+        }
+        ("GET", ["v1", "streams", id, "timeline"]) if !id.is_empty() => {
+            Some(Route::StreamTimeline(id.to_string()))
+        }
         _ => None,
     }
 }
@@ -66,6 +85,19 @@ mod tests {
             Some(Route::CancelJob("j001".into()))
         );
         assert_eq!(route("GET", "/metrics"), Some(Route::Metrics));
+        assert_eq!(route("POST", "/v1/streams"), Some(Route::CreateStream));
+        assert_eq!(
+            route("POST", "/v1/streams/s1/tasks"),
+            Some(Route::FeedStream("s1".into()))
+        );
+        assert_eq!(
+            route("GET", "/v1/streams/s1"),
+            Some(Route::StreamStatus("s1".into()))
+        );
+        assert_eq!(
+            route("GET", "/v1/streams/s1/timeline"),
+            Some(Route::StreamTimeline("s1".into()))
+        );
     }
 
     #[test]
@@ -80,6 +112,9 @@ mod tests {
         assert_eq!(route("GET", "/v1/jobs/"), None);
         assert_eq!(route("GET", "/v1/jobs/j001/reports"), None);
         assert_eq!(route("PUT", "/metrics"), None);
+        assert_eq!(route("GET", "/v1/streams"), None);
+        assert_eq!(route("DELETE", "/v1/streams/s1"), None);
+        assert_eq!(route("POST", "/v1/streams//tasks"), None);
         assert_eq!(route("GET", "/"), None);
         assert_eq!(route("GET", "metrics"), None);
     }

@@ -12,10 +12,14 @@
 //! daemon restart a resubmitted spec replays from the manifest instead
 //! of re-executing.
 
-use crate::wire::{self, JobCreated, JobReportBody, JobRequest, JobStatusBody, JobTraceBody};
+use crate::wire::{
+    self, JobCreated, JobReportBody, JobRequest, JobStatusBody, JobTraceBody, StreamCreated,
+    StreamFeedRequest, StreamRequest, StreamStatusBody, StreamTimelineBody,
+};
 use hetsched_core::{
-    read_trace, Campaign, CampaignOutcome, CampaignSpec, CancelToken, CoreError, MetricsRegistry,
-    MetricsSnapshot, Result, TelemetryObserver, TraceWriter,
+    read_trace, Campaign, CampaignOutcome, CampaignSpec, CancelToken, CoreError, DatasetId,
+    EngineStreamSpec, ExperimentConfig, Framework, HorizonConfig, MetricsRegistry, MetricsSnapshot,
+    OptimizerSpec, Result, SeedKind, StreamConfig, StreamRunner, TelemetryObserver, TraceWriter,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -110,9 +114,19 @@ struct JobTable {
     by_fingerprint: HashMap<String, String>,
 }
 
+/// One open rolling-horizon stream. Feeds and ticks run synchronously on
+/// the request thread under the stream's own lock (streams are
+/// independent, so two streams never serialise on each other).
+struct StreamEntry {
+    id: String,
+    config: StreamConfig,
+    runner: Mutex<StreamRunner>,
+}
+
 struct Inner {
     config: ServeConfig,
     jobs: Mutex<JobTable>,
+    streams: Mutex<HashMap<String, Arc<StreamEntry>>>,
     queue: Mutex<Option<mpsc::Sender<Arc<Job>>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     next_id: AtomicU64,
@@ -154,6 +168,7 @@ impl SchedulerService {
         let inner = Arc::new(Inner {
             config,
             jobs: Mutex::new(JobTable::default()),
+            streams: Mutex::new(HashMap::new()),
             queue: Mutex::new(Some(tx)),
             workers: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
@@ -327,6 +342,135 @@ impl SchedulerService {
         Ok(job.status_body())
     }
 
+    /// Opens a rolling-horizon stream, or resumes one: if the id is live
+    /// in memory the existing stream is returned (idempotent POST), and
+    /// if only its manifest survives — e.g. after a daemon restart — the
+    /// manifest is replayed, which by determinism reproduces the
+    /// interrupted stream's state bit-for-bit. Either way the request's
+    /// configuration must match the stream's.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] (→ 400) on a schema mismatch, an
+    /// invalid id/parameter, or a configuration clash;
+    /// [`CoreError::Manifest`]/[`CoreError::Io`] (→ 500) on a corrupt
+    /// manifest or filesystem failure.
+    pub fn create_stream(&self, request: &StreamRequest) -> Result<StreamCreated> {
+        if request.schema != wire::STREAM_REQUEST_SCHEMA {
+            return Err(CoreError::InvalidConfig(
+                "unsupported stream-request schema (expected hetsched.stream-request.v1)",
+            ));
+        }
+        let config = stream_config(request)?;
+        let mut streams = self.inner.streams.lock().expect("stream table lock");
+        if let Some(entry) = streams.get(&request.stream_id) {
+            if entry.config != config {
+                return Err(CoreError::InvalidConfig(
+                    "stream exists with a different configuration",
+                ));
+            }
+            let runner = entry.runner.lock().expect("stream lock");
+            return Ok(StreamCreated {
+                schema: wire::STREAM_CREATED_SCHEMA.to_string(),
+                stream_id: entry.id.clone(),
+                optimizer: runner.header().optimizer,
+                resumed: true,
+                ticks: runner.scheduler().ticks() as u64,
+                fed_until: runner.fed_until(),
+            });
+        }
+        let system = stream_system(request.set)?;
+        let path = stream_path(&self.inner.config, &request.stream_id);
+        let runner = StreamRunner::resume(system, config, &path)?;
+        let resumed = runner.scheduler().ticks() > 0 || runner.fed_until() > 0.0;
+        let created = StreamCreated {
+            schema: wire::STREAM_CREATED_SCHEMA.to_string(),
+            stream_id: request.stream_id.clone(),
+            optimizer: runner.header().optimizer,
+            resumed,
+            ticks: runner.scheduler().ticks() as u64,
+            fed_until: runner.fed_until(),
+        };
+        streams.insert(
+            request.stream_id.clone(),
+            Arc::new(StreamEntry {
+                id: request.stream_id.clone(),
+                config,
+                runner: Mutex::new(runner),
+            }),
+        );
+        tracing::info!(
+            "stream {} {} ({})",
+            created.stream_id,
+            if resumed { "resumed" } else { "opened" },
+            created.optimizer
+        );
+        Ok(created)
+    }
+
+    fn stream(&self, id: &str) -> Result<Arc<StreamEntry>> {
+        self.inner
+            .streams
+            .lock()
+            .expect("stream table lock")
+            .get(id)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("stream {id}")))
+    }
+
+    /// Appends one arrival window to a stream and synchronously runs
+    /// every horizon the fed window now covers; answers with the
+    /// post-tick status.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id;
+    /// [`CoreError::InvalidConfig`] (→ 400) on a schema mismatch or a
+    /// retreating window; internal errors from the scheduler/manifest.
+    pub fn feed_stream(&self, id: &str, request: &StreamFeedRequest) -> Result<StreamStatusBody> {
+        if request.schema != wire::STREAM_FEED_SCHEMA {
+            return Err(CoreError::InvalidConfig(
+                "unsupported stream-feed schema (expected hetsched.stream-feed.v1)",
+            ));
+        }
+        let entry = self.stream(id)?;
+        let mut runner = entry.runner.lock().expect("stream lock");
+        runner.feed(request.until, request.tasks.clone())?;
+        let horizon = runner.config().horizon.horizon;
+        while runner.scheduler().now() + horizon <= runner.fed_until() {
+            runner.tick()?;
+        }
+        Ok(stream_status(&entry.id, &runner))
+    }
+
+    /// Committed-schedule totals for a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id.
+    pub fn stream_status(&self, id: &str) -> Result<StreamStatusBody> {
+        let entry = self.stream(id)?;
+        let runner = entry.runner.lock().expect("stream lock");
+        Ok(stream_status(&entry.id, &runner))
+    }
+
+    /// The stream's committed schedule: per-task placements plus the
+    /// per-tick records.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id.
+    pub fn stream_timeline(&self, id: &str) -> Result<StreamTimelineBody> {
+        let entry = self.stream(id)?;
+        let runner = entry.runner.lock().expect("stream lock");
+        Ok(StreamTimelineBody {
+            schema: wire::STREAM_TIMELINE_SCHEMA.to_string(),
+            stream_id: entry.id.clone(),
+            records: runner.scheduler().records().to_vec(),
+            timeline: runner.scheduler().timeline().to_vec(),
+        })
+    }
+
     /// One [`MetricsSnapshot`] folded across every job's registry
     /// (`None` before the first submission).
     pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
@@ -393,6 +537,106 @@ impl SchedulerService {
         for handle in handles {
             let _ = handle.join();
         }
+    }
+}
+
+/// Where a stream's manifest lives, keyed by the client-chosen id so a
+/// restarted daemon resumes the same file.
+fn stream_path(config: &ServeConfig, id: &str) -> PathBuf {
+    config.state_dir.join(format!("stream-{id}.manifest.jsonl"))
+}
+
+/// Validates a [`StreamRequest`] and assembles the [`StreamConfig`].
+fn stream_config(request: &StreamRequest) -> Result<StreamConfig> {
+    if request.stream_id.is_empty() || request.stream_id.len() > 64 {
+        return Err(CoreError::InvalidConfig(
+            "stream_id must be 1-64 characters",
+        ));
+    }
+    if !request
+        .stream_id
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(CoreError::InvalidConfig(
+            "stream_id may only contain [A-Za-z0-9_-]",
+        ));
+    }
+    if !(request.horizon.is_finite() && request.horizon > 0.0) {
+        return Err(CoreError::InvalidConfig("horizon must be finite and > 0"));
+    }
+    let energy_budget = match request.energy_budget {
+        Some(b) if b.is_finite() && b > 0.0 => b,
+        Some(_) => {
+            return Err(CoreError::InvalidConfig(
+                "energy_budget must be finite and > 0",
+            ))
+        }
+        None => f64::INFINITY,
+    };
+    let horizon = HorizonConfig {
+        horizon: request.horizon,
+        energy_budget,
+    };
+    let optimizer = match &request.policy {
+        Some(policy) => OptimizerSpec::Policy(policy.parse().map_err(|_| {
+            CoreError::InvalidConfig("unknown policy (expected max-utility or gupta)")
+        })?),
+        None => {
+            let algorithm = match &request.algorithm {
+                Some(name) => name.parse().map_err(|_| {
+                    CoreError::InvalidConfig("unknown algorithm (expected nsga2, moead, or spea2)")
+                })?,
+                None => hetsched_core::Algorithm::Nsga2,
+            };
+            let engine = hetsched_core::EngineConfig::builder()
+                .algorithm(algorithm)
+                .population(request.population.unwrap_or(24))
+                .generations(request.generations.unwrap_or(8))
+                .build()
+                .map_err(|_| CoreError::InvalidConfig("invalid engine parameters"))?;
+            OptimizerSpec::Engine(EngineStreamSpec {
+                engine,
+                seed_kind: SeedKind::MinMinCompletionTime,
+                rng_seed: request.rng_seed.unwrap_or(0x5EED),
+                stream: 0,
+                warm_start: request.warm_start.unwrap_or(true),
+            })
+        }
+    };
+    Ok(StreamConfig { horizon, optimizer })
+}
+
+/// The machine inventory a stream schedules onto (the data set's system;
+/// the trace the framework also generates is discarded — arrivals come
+/// over the wire).
+fn stream_system(set: u8) -> Result<hetsched_core::HcSystem> {
+    let dataset = match set {
+        1 => DatasetId::One,
+        2 => DatasetId::Two,
+        3 => DatasetId::Three,
+        _ => return Err(CoreError::InvalidConfig("set must be 1, 2, or 3")),
+    };
+    let cfg = ExperimentConfig::scaled(dataset, 0.001);
+    Ok(Framework::new(&cfg)?.system().clone())
+}
+
+/// Assembles the status body from a stream's runner state.
+fn stream_status(id: &str, runner: &StreamRunner) -> StreamStatusBody {
+    let sched = runner.scheduler();
+    let last = sched.records().last();
+    StreamStatusBody {
+        schema: wire::STREAM_STATUS_SCHEMA.to_string(),
+        stream_id: id.to_string(),
+        optimizer: runner.header().optimizer,
+        ticks: sched.ticks() as u64,
+        now: sched.now(),
+        fed_until: runner.fed_until(),
+        tasks: last.map_or(0, |r| r.tasks as u64),
+        frozen: last.map_or(0, |r| r.frozen as u64),
+        rejected: sched.rejected().len() as u64,
+        utility: last.map_or(0.0, |r| r.utility),
+        energy: last.map_or(0.0, |r| r.energy),
     }
 }
 
@@ -605,6 +849,144 @@ mod tests {
             let pending = service.report(&created.job_id).unwrap();
             assert!(pending.is_err(), "cancelled job must not serve a report");
         }
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn stream_request(id: &str) -> StreamRequest {
+        let mut req = StreamRequest::new(id, 1, 20.0);
+        req.population = Some(8);
+        req.generations = Some(4);
+        req
+    }
+
+    fn window(until: f64) -> StreamFeedRequest {
+        let mut arrivals = hetsched_core::ArrivalStream::new(
+            "poisson:1.5".parse().unwrap(),
+            7,
+            5,
+            hetsched_core::TufPolicy::essc_default(),
+        );
+        StreamFeedRequest {
+            schema: wire::STREAM_FEED_SCHEMA.to_string(),
+            until,
+            tasks: arrivals.until(until).unwrap(),
+        }
+    }
+
+    #[test]
+    fn stream_create_feed_and_restart_resume() {
+        let dir = temp_state_dir("stream");
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let req = stream_request("s-test");
+        let created = service.create_stream(&req).unwrap();
+        assert!(!created.resumed);
+        assert_eq!(created.optimizer, "engine:nsga2");
+        // Idempotent re-POST returns the live stream.
+        assert!(service.create_stream(&req).unwrap().resumed);
+        // A clashing configuration is rejected.
+        let mut other = req.clone();
+        other.horizon = 30.0;
+        assert!(service.create_stream(&other).is_err());
+
+        // One window covering two horizons → two synchronous ticks.
+        let status = service.feed_stream("s-test", &window(40.0)).unwrap();
+        assert_eq!(status.ticks, 2);
+        assert_eq!(status.now, 40.0);
+        assert!(status.tasks > 0);
+        let timeline = service.stream_timeline("s-test").unwrap();
+        assert_eq!(timeline.records.len(), 2);
+        assert!(!timeline.timeline.is_empty());
+
+        // Daemon restart: the manifest alone resumes the stream to the
+        // same committed schedule.
+        service.shutdown();
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let resumed = service.create_stream(&req).unwrap();
+        assert!(resumed.resumed);
+        assert_eq!(resumed.ticks, 2);
+        assert_eq!(resumed.fed_until, 40.0);
+        let replayed = service.stream_timeline("s-test").unwrap();
+        assert_eq!(replayed.records, timeline.records);
+        assert_eq!(replayed.timeline, timeline.timeline);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_requests_are_validated() {
+        let dir = temp_state_dir("stream-bad");
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let cases: Vec<StreamRequest> = vec![
+            {
+                let mut r = stream_request("ok");
+                r.schema = "hetsched.stream-request.v0".into();
+                r
+            },
+            stream_request("bad/../id"),
+            stream_request(""),
+            {
+                let mut r = stream_request("ok");
+                r.horizon = 0.0;
+                r
+            },
+            {
+                let mut r = stream_request("ok");
+                r.set = 9;
+                r
+            },
+            {
+                let mut r = stream_request("ok");
+                r.energy_budget = Some(-1.0);
+                r
+            },
+            {
+                let mut r = stream_request("ok");
+                r.policy = Some("thorough".into());
+                r
+            },
+            {
+                let mut r = stream_request("ok");
+                r.algorithm = Some("ga".into());
+                r
+            },
+        ];
+        for bad in cases {
+            let err = service.create_stream(&bad).unwrap_err();
+            assert_eq!(
+                err.class(),
+                hetsched_core::ErrorClass::InvalidInput,
+                "{bad:?}"
+            );
+        }
+        // Unknown ids are 404s; a retreating feed window is rejected.
+        assert!(service.stream_status("nope").is_err());
+        assert!(service.stream_timeline("nope").is_err());
+        assert!(service.feed_stream("nope", &window(20.0)).is_err());
+        service.create_stream(&stream_request("retreat")).unwrap();
+        service.feed_stream("retreat", &window(20.0)).unwrap();
+        let mut stale = window(40.0);
+        stale.tasks.retain(|t| t.arrival < 10.0);
+        stale.until = 40.0;
+        assert!(
+            service.feed_stream("retreat", &stale).is_err(),
+            "arrivals behind the committed frontier must be rejected"
+        );
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_streams_run_without_engine_state() {
+        let dir = temp_state_dir("stream-policy");
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let mut req = StreamRequest::new("gupta-stream", 1, 15.0);
+        req.policy = Some("gupta".into());
+        let created = service.create_stream(&req).unwrap();
+        assert_eq!(created.optimizer, "policy:gupta");
+        let status = service.feed_stream("gupta-stream", &window(30.0)).unwrap();
+        assert_eq!(status.ticks, 2);
         service.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

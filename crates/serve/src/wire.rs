@@ -23,6 +23,16 @@ pub const JOB_REPORT_SCHEMA: &str = "hetsched.job-report.v1";
 pub const JOB_TRACE_SCHEMA: &str = "hetsched.job-trace.v1";
 /// Schema tag for [`ErrorBody`].
 pub const ERROR_SCHEMA: &str = "hetsched.error.v1";
+/// Schema tag for [`StreamRequest`].
+pub const STREAM_REQUEST_SCHEMA: &str = "hetsched.stream-request.v1";
+/// Schema tag for [`StreamCreated`].
+pub const STREAM_CREATED_SCHEMA: &str = "hetsched.stream-created.v1";
+/// Schema tag for [`StreamFeedRequest`].
+pub const STREAM_FEED_SCHEMA: &str = "hetsched.stream-feed.v1";
+/// Schema tag for [`StreamStatusBody`].
+pub const STREAM_STATUS_SCHEMA: &str = "hetsched.stream-status.v1";
+/// Schema tag for [`StreamTimelineBody`].
+pub const STREAM_TIMELINE_SCHEMA: &str = "hetsched.stream-timeline.v1";
 
 /// `POST /v1/jobs` request body: the campaign to run. The spec names the
 /// datasets (real ETC/EPC matrix or synth spec via [`CampaignSpec`]'s
@@ -173,6 +183,203 @@ impl JobReportBody {
     }
 }
 
+/// `POST /v1/streams` request body: open (or resume) a rolling-horizon
+/// stream. The stream id keys the per-stream manifest under the state
+/// directory, so POSTing the same id + configuration after a daemon
+/// restart resumes the stream mid-flight instead of starting over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRequest {
+    /// Must equal [`STREAM_REQUEST_SCHEMA`]; anything else is a 400.
+    pub schema: String,
+    /// Client-chosen stream key (`[A-Za-z0-9_-]{1,64}`) — also the
+    /// manifest filename stem.
+    pub stream_id: String,
+    /// Data set whose machines serve the stream (1-3).
+    pub set: u8,
+    /// Re-optimization period in seconds.
+    pub horizon: f64,
+    /// Stream-wide energy budget in joules (absent = unconstrained).
+    pub energy_budget: Option<f64>,
+    /// Per-arrival placement rule (`max-utility` | `gupta`) instead of
+    /// the evolutionary re-optimizer.
+    pub policy: Option<String>,
+    /// MOEA family (`nsga2` | `moead` | `spea2`; default nsga2).
+    pub algorithm: Option<String>,
+    /// Engine population per tick (default 24).
+    pub population: Option<usize>,
+    /// Engine generations per tick (default 8).
+    pub generations: Option<usize>,
+    /// Master RNG seed (default 0x5EED).
+    pub rng_seed: Option<u64>,
+    /// Warm-start each tick from the previous front (default true).
+    pub warm_start: Option<bool>,
+}
+
+impl StreamRequest {
+    /// A minimal engine-backed request with the current schema tag.
+    pub fn new(stream_id: impl Into<String>, set: u8, horizon: f64) -> Self {
+        StreamRequest {
+            schema: STREAM_REQUEST_SCHEMA.to_string(),
+            stream_id: stream_id.into(),
+            set,
+            horizon,
+            energy_budget: None,
+            policy: None,
+            algorithm: None,
+            population: None,
+            generations: None,
+            rng_seed: None,
+            warm_start: None,
+        }
+    }
+}
+
+// Most knobs are genuinely optional on the wire, so the serde impls are
+// hand-written like [`JobRequest`]'s: absent keys stay absent (never
+// `null`), and the derive's missing-field strictness is kept for the
+// required trio (schema, stream_id, set, horizon).
+impl Serialize for StreamRequest {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = vec![
+            ("schema".to_string(), serde::to_value(&self.schema)),
+            ("stream_id".to_string(), serde::to_value(&self.stream_id)),
+            ("set".to_string(), serde::to_value(&self.set)),
+            ("horizon".to_string(), serde::to_value(&self.horizon)),
+        ];
+        if let Some(v) = self.energy_budget {
+            entries.push(("energy_budget".to_string(), serde::to_value(&v)));
+        }
+        if let Some(v) = &self.policy {
+            entries.push(("policy".to_string(), serde::to_value(v)));
+        }
+        if let Some(v) = &self.algorithm {
+            entries.push(("algorithm".to_string(), serde::to_value(v)));
+        }
+        if let Some(v) = self.population {
+            entries.push(("population".to_string(), serde::to_value(&v)));
+        }
+        if let Some(v) = self.generations {
+            entries.push(("generations".to_string(), serde::to_value(&v)));
+        }
+        if let Some(v) = self.rng_seed {
+            entries.push(("rng_seed".to_string(), serde::to_value(&v)));
+        }
+        if let Some(v) = self.warm_start {
+            entries.push(("warm_start".to_string(), serde::to_value(&v)));
+        }
+        serializer.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<'de> Deserialize<'de> for StreamRequest {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::__private::{from_field, into_object};
+        let mut entries = into_object::<D::Error>(deserializer.take_value()?, "StreamRequest")?;
+        fn optional<T: serde::DeserializeOwned, E: serde::de::Error>(
+            entries: &mut Vec<(String, Value)>,
+            name: &'static str,
+        ) -> Result<Option<T>, E> {
+            use serde::__private::from_field;
+            if entries.iter().any(|(k, _)| k == name) {
+                from_field::<Option<T>, E>(entries, name)
+            } else {
+                Ok(None)
+            }
+        }
+        let schema: String = from_field(&mut entries, "schema")?;
+        let stream_id: String = from_field(&mut entries, "stream_id")?;
+        let set: u8 = from_field(&mut entries, "set")?;
+        let horizon: f64 = from_field(&mut entries, "horizon")?;
+        Ok(StreamRequest {
+            schema,
+            stream_id,
+            set,
+            horizon,
+            energy_budget: optional(&mut entries, "energy_budget")?,
+            policy: optional(&mut entries, "policy")?,
+            algorithm: optional(&mut entries, "algorithm")?,
+            population: optional(&mut entries, "population")?,
+            generations: optional(&mut entries, "generations")?,
+            rng_seed: optional(&mut entries, "rng_seed")?,
+            warm_start: optional(&mut entries, "warm_start")?,
+        })
+    }
+}
+
+/// `POST /v1/streams` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCreated {
+    /// [`STREAM_CREATED_SCHEMA`].
+    pub schema: String,
+    /// The stream id (echoed back).
+    pub stream_id: String,
+    /// Re-optimizer fingerprint (`engine:nsga2`, `policy:gupta`, …).
+    pub optimizer: String,
+    /// Whether the stream already existed — in memory or as an on-disk
+    /// manifest replayed back to its interrupted state.
+    pub resumed: bool,
+    /// Horizon ticks already committed (0 for a fresh stream).
+    pub ticks: u64,
+    /// Exclusive end of the arrival window fed so far.
+    pub fed_until: f64,
+}
+
+/// `POST /v1/streams/{id}/tasks` request body: one arrival window. The
+/// daemon feeds the tasks, then synchronously runs every horizon the fed
+/// window now covers and answers with the post-tick status.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamFeedRequest {
+    /// Must equal [`STREAM_FEED_SCHEMA`].
+    pub schema: String,
+    /// Exclusive end of the window these tasks cover; must not retreat.
+    pub until: f64,
+    /// Arrivals in the window, in arrival order.
+    pub tasks: Vec<hetsched_core::Task>,
+}
+
+/// `GET /v1/streams/{id}` (and feed) response body: committed-schedule
+/// totals as of the last horizon tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatusBody {
+    /// [`STREAM_STATUS_SCHEMA`].
+    pub schema: String,
+    /// The stream id.
+    pub stream_id: String,
+    /// Re-optimizer fingerprint.
+    pub optimizer: String,
+    /// Horizon ticks committed so far.
+    pub ticks: u64,
+    /// Stream wall-clock (seconds; ticks × horizon).
+    pub now: f64,
+    /// Exclusive end of the arrival window fed so far.
+    pub fed_until: f64,
+    /// Tasks covered by the last committed schedule.
+    pub tasks: u64,
+    /// Tasks frozen (already started) after the last tick.
+    pub frozen: u64,
+    /// Tasks rejected stream-wide to fit the energy budget.
+    pub rejected: u64,
+    /// Committed total utility.
+    pub utility: f64,
+    /// Committed total energy in joules.
+    pub energy: f64,
+}
+
+/// `GET /v1/streams/{id}/timeline` response body: the full committed
+/// schedule (per-task placements) plus the per-tick records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamTimelineBody {
+    /// [`STREAM_TIMELINE_SCHEMA`].
+    pub schema: String,
+    /// The stream id.
+    pub stream_id: String,
+    /// One record per committed horizon tick.
+    pub records: Vec<hetsched_core::HorizonRecord>,
+    /// The committed schedule: start/finish/machine per task, in task
+    /// order.
+    pub timeline: Vec<hetsched_core::TaskRecord>,
+}
+
 /// Error response body, for every non-2xx JSON response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorBody {
@@ -239,6 +446,46 @@ mod tests {
         assert!(json.contains("\"cell_timeout_s\":1.5"));
         let back: JobRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, with_timeout);
+    }
+
+    #[test]
+    fn stream_request_roundtrips_with_and_without_optionals() {
+        let bare = StreamRequest::new("s1", 1, 30.0);
+        let json = serde_json::to_string(&bare).unwrap();
+        // Absent knobs serialise to absent keys, not `null`.
+        for key in [
+            "energy_budget",
+            "policy",
+            "algorithm",
+            "population",
+            "generations",
+            "rng_seed",
+            "warm_start",
+        ] {
+            assert!(!json.contains(key), "{key} leaked into {json}");
+        }
+        let back: StreamRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bare);
+
+        let full = StreamRequest {
+            energy_budget: Some(2.5e6),
+            policy: None,
+            algorithm: Some("spea2".into()),
+            population: Some(16),
+            generations: Some(5),
+            rng_seed: Some(42),
+            warm_start: Some(false),
+            ..bare.clone()
+        };
+        let json = serde_json::to_string(&full).unwrap();
+        let back: StreamRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, full);
+
+        // Missing required fields stay hard errors.
+        assert!(serde_json::from_str::<StreamRequest>(
+            "{\"schema\":\"hetsched.stream-request.v1\",\"set\":1,\"horizon\":30.0}"
+        )
+        .is_err());
     }
 
     #[test]

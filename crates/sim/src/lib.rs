@@ -18,6 +18,7 @@ pub mod dvfs;
 pub mod evaluator;
 pub mod events;
 pub mod gantt;
+pub mod horizon;
 pub mod online;
 
 pub use allocation::Allocation;
@@ -30,7 +31,14 @@ pub use evaluator::counters as eval_counters;
 pub use evaluator::{Evaluator, Outcome};
 pub use events::evaluate_event_driven;
 pub use gantt::render_gantt;
-pub use online::{schedule_online, OnlineConfig, OnlineOutcome};
+pub use horizon::{
+    FrozenTask, HorizonConfig, HorizonContext, HorizonRecord, HorizonScheduler, PolicyReoptimizer,
+    Reoptimize,
+};
+pub use online::{
+    online_as_detailed, schedule_online, schedule_online_policy, OnlineConfig, OnlineOutcome,
+    OnlinePolicy,
+};
 
 use hetsched_data::MachineId;
 use hetsched_workload::TaskId;
@@ -57,6 +65,13 @@ pub enum SimError {
     UnknownMachine(MachineId),
     /// A P-state index is out of range for the DVFS table.
     UnknownPState(u8),
+    /// A rolling-horizon configuration or feed is invalid.
+    InvalidHorizon(&'static str),
+    /// A committed plan failed to replay a frozen task's pinned start.
+    FrozenTaskMoved {
+        /// The task whose start drifted.
+        task: TaskId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +88,10 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownMachine(m) => write!(f, "machine {m} is not in the system"),
             SimError::UnknownPState(p) => write!(f, "P-state index {p} is out of range"),
+            SimError::InvalidHorizon(what) => write!(f, "invalid horizon stream: {what}"),
+            SimError::FrozenTaskMoved { task } => {
+                write!(f, "frozen task {task} moved in a re-optimized plan")
+            }
         }
     }
 }

@@ -1,0 +1,198 @@
+//! Property-based tests for the rolling-horizon substrate: arrival-stream
+//! determinism and window composition, the budget invariant at every
+//! horizon, and frozen-task immutability — over randomized rates, bursts,
+//! seeds, horizons, and policies rather than the unit tests' pinned
+//! values.
+
+use hetsched_data::real_system;
+use hetsched_sim::{HorizonConfig, HorizonScheduler, OnlinePolicy, PolicyReoptimizer, Reoptimize};
+use hetsched_workload::{ArrivalSpec, ArrivalStream, Burst, Task, TufPolicy};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ArrivalSpec> {
+    // The vendored proptest has no `prop::option::of`; an explicit coin
+    // flip selects between plain-Poisson and bursty specs.
+    (0.5f64..3.0, 0u8..2, 1.0f64..5.0, 2.0f64..30.0).prop_map(|(rate, bursty, factor, period)| {
+        ArrivalSpec {
+            rate,
+            burst: (bursty == 1).then_some(Burst { factor, period }),
+        }
+    })
+}
+
+fn arb_seed() -> impl Strategy<Value = u64> {
+    0u64..u64::MAX
+}
+
+fn arb_policy() -> impl Strategy<Value = OnlinePolicy> {
+    (0u8..2).prop_map(|i| {
+        if i == 0 {
+            OnlinePolicy::MaxUtility
+        } else {
+            OnlinePolicy::GuptaGreedy
+        }
+    })
+}
+
+/// Runs a policy stream for `ticks` horizons, returning the scheduler and
+/// the per-tick frozen-set snapshots.
+fn run_stream(
+    spec: ArrivalSpec,
+    seed: u64,
+    horizon: f64,
+    budget: f64,
+    ticks: usize,
+    policy: OnlinePolicy,
+) -> (HorizonScheduler, Vec<Vec<hetsched_sim::FrozenTask>>) {
+    let system = real_system();
+    let mut arrivals = ArrivalStream::new(
+        spec,
+        seed,
+        system.task_type_count(),
+        TufPolicy::essc_default(),
+    );
+    let mut sched = HorizonScheduler::new(HorizonConfig {
+        horizon,
+        energy_budget: budget,
+    })
+    .unwrap();
+    let mut reopt = PolicyReoptimizer::new(policy);
+    let mut frozen_history = Vec::new();
+    for k in 0..ticks {
+        let tasks = arrivals.until((k + 1) as f64 * horizon).unwrap();
+        sched.feed(tasks).unwrap();
+        sched.tick(&system, &mut reopt).unwrap();
+        frozen_history.push(sched.frozen().to_vec());
+    }
+    (sched, frozen_history)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same `(spec, seed)` always yields the identical stream, and
+    /// two disjoint adjacent windows concatenate to exactly the combined
+    /// window — the composition the manifest-resume path relies on.
+    #[test]
+    fn arrival_streams_are_deterministic_and_compose(
+        spec in arb_spec(),
+        seed in arb_seed(),
+        end in 10.0f64..60.0,
+        split_frac in 0.05f64..0.95,
+    ) {
+        let policy = TufPolicy::essc_default();
+        let whole = spec.generate(seed, 0.0..end, 5, &policy).unwrap();
+        let again = spec.generate(seed, 0.0..end, 5, &policy).unwrap();
+        prop_assert_eq!(&whole, &again, "same seed must replay bit-identically");
+
+        let split = end * split_frac;
+        let mut merged: Vec<Task> = spec.generate(seed, 0.0..split, 5, &policy).unwrap();
+        merged.extend(spec.generate(seed, split..end, 5, &policy).unwrap());
+        prop_assert_eq!(&merged, &whole, "windows must compose exactly");
+
+        // The stateful cursor is the same sampler behind a frontier.
+        let mut stream = ArrivalStream::new(spec, seed, 5, policy.clone());
+        let mut fed: Vec<Task> = stream.until(split).unwrap();
+        fed.extend(stream.until(end).unwrap());
+        prop_assert_eq!(&fed, &whole);
+
+        // A cursor resumed mid-stream continues it bit-identically.
+        let mut resumed = ArrivalStream::new(spec, seed, 5, policy);
+        resumed.seek(split);
+        let tail = resumed.until(end).unwrap();
+        prop_assert_eq!(&whole[whole.len() - tail.len()..], &tail[..]);
+    }
+
+    /// The committed schedule's energy stays within the budget at *every*
+    /// tick, and every fed task is accounted for as scheduled or rejected.
+    #[test]
+    fn budget_invariant_holds_at_every_horizon(
+        spec in arb_spec(),
+        seed in arb_seed(),
+        horizon in 6.0f64..15.0,
+        ticks in 2usize..4,
+        frac in 0.2f64..0.9,
+        policy in arb_policy(),
+    ) {
+        let (free, _) = run_stream(spec, seed, horizon, f64::INFINITY, ticks, policy);
+        let total = free.records().last().unwrap().energy;
+        if total <= 0.0 {
+            return Ok(());
+        }
+
+        let budget = total * frac;
+        let (capped, _) = run_stream(spec, seed, horizon, budget, ticks, policy);
+        for r in capped.records() {
+            prop_assert!(
+                r.energy <= budget,
+                "tick {} committed {} over budget {budget}",
+                r.tick,
+                r.energy
+            );
+        }
+        let last = capped.records().last().unwrap();
+        prop_assert_eq!(last.tasks + capped.rejected().len(), capped.task_count());
+        // Rejected ids never appear in the committed timeline.
+        for r in capped.timeline() {
+            prop_assert!(!capped.rejected().contains(&r.task.0));
+        }
+    }
+
+    /// Once frozen, a task's machine and start time are pinned bit-for-bit
+    /// in every later horizon, and its committed timeline entry replays
+    /// that start exactly. Frozen tasks never thaw and are never rejected.
+    #[test]
+    fn frozen_tasks_are_immutable_across_horizons(
+        spec in arb_spec(),
+        seed in arb_seed(),
+        horizon in 6.0f64..15.0,
+        ticks in 3usize..5,
+        policy in arb_policy(),
+    ) {
+        let (sched, history) = run_stream(spec, seed, horizon, f64::INFINITY, ticks, policy);
+        for window in history.windows(2) {
+            let (earlier, later) = (&window[0], &window[1]);
+            for f in earlier {
+                let survivor = later
+                    .iter()
+                    .find(|g| g.task == f.task);
+                prop_assert!(survivor.is_some(), "frozen task {} thawed", f.task);
+                let survivor = survivor.unwrap();
+                prop_assert_eq!(survivor.machine, f.machine);
+                prop_assert_eq!(
+                    survivor.start.to_bits(),
+                    f.start.to_bits(),
+                    "frozen task {} start drifted from {} to {}",
+                    f.task,
+                    f.start,
+                    survivor.start
+                );
+            }
+        }
+        // The final committed timeline replays every frozen start.
+        for f in sched.frozen() {
+            prop_assert!(!sched.rejected().contains(&f.task.0), "frozen task {} rejected", f.task);
+            let entry = sched
+                .timeline()
+                .iter()
+                .find(|r| r.task == f.task)
+                .expect("frozen tasks stay scheduled");
+            prop_assert_eq!(entry.machine, f.machine);
+            prop_assert_eq!(entry.start.to_bits(), f.start.to_bits());
+        }
+    }
+}
+
+/// Non-proptest sanity anchor: a stream that freezes nothing would make
+/// the immutability property vacuous — pin that the mechanics do freeze.
+#[test]
+fn streams_actually_freeze_tasks() {
+    let spec = ArrivalSpec::poisson(2.0).unwrap();
+    let (sched, history) = run_stream(spec, 11, 10.0, f64::INFINITY, 3, OnlinePolicy::MaxUtility);
+    assert!(!sched.frozen().is_empty());
+    assert!(history.iter().any(|h| !h.is_empty()));
+    // Silence the unused-trait-import lint pathway by exercising the
+    // reoptimizer trait object form the scheduler consumes.
+    let mut reopt = PolicyReoptimizer::new(OnlinePolicy::GuptaGreedy);
+    let _: &mut dyn Reoptimize = &mut reopt;
+}

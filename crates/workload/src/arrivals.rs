@@ -1,0 +1,477 @@
+//! Seeded streaming arrival processes for the online pipeline.
+//!
+//! The offline [`TraceGenerator`](crate::TraceGenerator) draws a whole
+//! window at once; a rolling-horizon scheduler instead consumes arrivals
+//! *incrementally* and must be able to regenerate any window of the stream
+//! bit-identically (for resume after a crash, and for the differential
+//! tests that replay a stream against its offline equivalent). This module
+//! provides that: a Poisson process with an optional periodic burst
+//! overlay, sampled **per one-second bin** from an RNG keyed on
+//! `(seed, bin index)` so that
+//!
+//! * the same `(spec, seed)` always produces the identical stream, and
+//! * arrivals over `[a, b)` followed by arrivals over `[b, c)` are exactly
+//!   the arrivals over `[a, c)` — windows compose with no shared cursor.
+//!
+//! # Grammar
+//!
+//! Specs parse from the CLI/serve surface syntax:
+//!
+//! ```text
+//! poisson:<rate>                  # rate in tasks/second
+//! poisson:<rate>,burst:<factor>x<period>
+//! ```
+//!
+//! With a burst clause, the intensity during the first second of every
+//! `period`-second cycle is `rate × factor` (evaluated at bin granularity),
+//! modelling periodic load spikes.
+
+use crate::policy::TufPolicy;
+use crate::trace::{Task, TaskId};
+use crate::{Result, WorkloadError};
+use hetsched_data::TaskTypeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+/// Sampling bin width in seconds. Each bin is drawn from its own RNG
+/// stream, which is what makes disjoint windows compose exactly.
+pub const BIN_SECONDS: f64 = 1.0;
+
+/// Upper bound on the effective intensity (rate × burst factor) in
+/// tasks/second: Knuth's Poisson sampler computes `exp(-λ)`, which
+/// underflows (and would loop forever) for λ ≳ 700.
+pub const MAX_RATE: f64 = 500.0;
+
+/// Periodic burst overlay: the first second of every `period`-second
+/// cycle runs at `rate × factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Intensity multiplier during the burst second (≥ 1).
+    pub factor: f64,
+    /// Cycle length in seconds (≥ 2 so burst and baseline both occur).
+    pub period: f64,
+}
+
+/// A parsed arrival-process specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSpec {
+    /// Baseline Poisson rate in tasks/second.
+    pub rate: f64,
+    /// Optional periodic burst overlay.
+    pub burst: Option<Burst>,
+}
+
+impl ArrivalSpec {
+    /// A plain Poisson process at `rate` tasks/second.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidTrace`] when the rate is not finite and in
+    /// `(0, MAX_RATE]`.
+    pub fn poisson(rate: f64) -> Result<Self> {
+        let spec = ArrivalSpec { rate, burst: None };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err(WorkloadError::InvalidTrace(
+                "arrival rate must be finite and > 0",
+            ));
+        }
+        let peak = match self.burst {
+            None => self.rate,
+            Some(b) => {
+                if !b.factor.is_finite() || b.factor < 1.0 {
+                    return Err(WorkloadError::InvalidTrace("burst factor must be >= 1"));
+                }
+                if !b.period.is_finite() || b.period < 2.0 * BIN_SECONDS {
+                    return Err(WorkloadError::InvalidTrace(
+                        "burst period must be >= 2 seconds",
+                    ));
+                }
+                self.rate * b.factor
+            }
+        };
+        if peak > MAX_RATE {
+            return Err(WorkloadError::InvalidTrace(
+                "effective arrival rate exceeds 500 tasks/s",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The intensity (tasks/second) in effect at time `t`, evaluated at
+    /// bin granularity (the value at the enclosing bin's start).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let bin_start = (t / BIN_SECONDS).floor() * BIN_SECONDS;
+        match self.burst {
+            Some(b) if bin_start.rem_euclid(b.period) < BIN_SECONDS => self.rate * b.factor,
+            _ => self.rate,
+        }
+    }
+
+    /// Draws every arrival with `window.start <= t < window.end`, in
+    /// ascending time order. Pure function of `(self, seed, window)`:
+    /// disjoint adjacent windows concatenate to exactly the combined
+    /// window's arrivals.
+    pub fn arrival_times(&self, seed: u64, window: Range<f64>) -> Vec<f64> {
+        self.sample(seed, window, |_, t| t)
+    }
+
+    /// Draws the tasks arriving in `window`: arrival times as in
+    /// [`arrival_times`](Self::arrival_times), plus a uniformly drawn task
+    /// type and a TUF from `policy` — all from the same per-bin stream, so
+    /// a task's full identity is a pure function of `(spec, seed, bin,
+    /// draw index)` and survives any re-windowing.
+    ///
+    /// Returned tasks carry the placeholder id `TaskId(0)`; callers assign
+    /// real ids by arrival rank ([`Trace::new`](crate::Trace::new) does).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidTrace`] when `task_types` is zero.
+    pub fn generate(
+        &self,
+        seed: u64,
+        window: Range<f64>,
+        task_types: usize,
+        policy: &TufPolicy,
+    ) -> Result<Vec<Task>> {
+        if task_types == 0 {
+            return Err(WorkloadError::InvalidTrace("task_types must be > 0"));
+        }
+        Ok(self.sample(seed, window, |rng, arrival| Task {
+            id: TaskId(0),
+            task_type: TaskTypeId(rng.gen_range(0..task_types) as u16),
+            arrival,
+            tuf: policy.draw(rng),
+        }))
+    }
+
+    /// Core per-bin sampler. `make` consumes the per-bin RNG *immediately
+    /// after* the arrival's offset is drawn, so every arrival's payload is
+    /// tied to its draw index within the bin.
+    fn sample<T>(
+        &self,
+        seed: u64,
+        window: Range<f64>,
+        mut make: impl FnMut(&mut StdRng, f64) -> T,
+    ) -> Vec<T> {
+        assert!(
+            window.start >= 0.0 && window.start.is_finite() && window.end.is_finite(),
+            "arrival window must be finite and non-negative"
+        );
+        let mut out: Vec<(f64, u32, T)> = Vec::new();
+        if window.end <= window.start {
+            return Vec::new();
+        }
+        let first_bin = (window.start / BIN_SECONDS).floor() as u64;
+        let last_bin = ((window.end / BIN_SECONDS).ceil() as u64).max(first_bin + 1);
+        for bin in first_bin..last_bin {
+            let bin_start = bin as f64 * BIN_SECONDS;
+            let lambda = self.rate_at(bin_start) * BIN_SECONDS;
+            let mut rng = StdRng::seed_from_u64(bin_stream(seed, bin));
+            let count = poisson(&mut rng, lambda);
+            let base = out.len();
+            for j in 0..count {
+                let t = bin_start + rng.gen::<f64>() * BIN_SECONDS;
+                let item = make(&mut rng, t);
+                if t >= window.start && t < window.end {
+                    out.push((t, j, item));
+                }
+            }
+            // Within a bin, order by (time, draw index); bins are already
+            // visited in time order.
+            out[base..].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        out.into_iter().map(|(_, _, item)| item).collect()
+    }
+}
+
+impl fmt::Display for ArrivalSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "poisson:{}", self.rate)?;
+        if let Some(b) = self.burst {
+            write!(f, ",burst:{}x{}", b.factor, b.period)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ArrivalSpec {
+    type Err = WorkloadError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let mut rate = None;
+        let mut burst = None;
+        for part in s.split(',') {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or(WorkloadError::InvalidTrace("expected <kind>:<value>"))?;
+            match key.trim() {
+                "poisson" => {
+                    let r: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| WorkloadError::InvalidTrace("bad poisson rate"))?;
+                    rate = Some(r);
+                }
+                "burst" => {
+                    let (factor, period) =
+                        value
+                            .trim()
+                            .split_once('x')
+                            .ok_or(WorkloadError::InvalidTrace(
+                                "expected burst:<factor>x<period>",
+                            ))?;
+                    burst = Some(Burst {
+                        factor: factor
+                            .parse()
+                            .map_err(|_| WorkloadError::InvalidTrace("bad burst factor"))?,
+                        period: period
+                            .parse()
+                            .map_err(|_| WorkloadError::InvalidTrace("bad burst period"))?,
+                    });
+                }
+                _ => {
+                    return Err(WorkloadError::InvalidTrace(
+                        "unknown arrival clause (expected poisson/burst)",
+                    ))
+                }
+            }
+        }
+        let spec = ArrivalSpec {
+            rate: rate.ok_or(WorkloadError::InvalidTrace("missing poisson:<rate> clause"))?,
+            burst,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// A stateful cursor over an arrival process: hands out the tasks arriving
+/// in `[frontier, until)` and advances the frontier. Because the
+/// underlying sampler is windowless, a stream rebuilt at any frontier
+/// (e.g. after a daemon restart) continues bit-identically.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    spec: ArrivalSpec,
+    seed: u64,
+    task_types: usize,
+    policy: TufPolicy,
+    frontier: f64,
+}
+
+impl ArrivalStream {
+    /// Creates a stream starting at time 0.
+    pub fn new(spec: ArrivalSpec, seed: u64, task_types: usize, policy: TufPolicy) -> Self {
+        ArrivalStream {
+            spec,
+            seed,
+            task_types,
+            policy,
+            frontier: 0.0,
+        }
+    }
+
+    /// Repositions the frontier (used when resuming a persisted stream).
+    pub fn seek(&mut self, frontier: f64) {
+        self.frontier = frontier;
+    }
+
+    /// The exclusive end of the last window handed out.
+    pub fn frontier(&self) -> f64 {
+        self.frontier
+    }
+
+    /// The spec this stream samples.
+    pub fn spec(&self) -> &ArrivalSpec {
+        &self.spec
+    }
+
+    /// Returns the tasks arriving in `[frontier, until)` and advances the
+    /// frontier to `until`. A non-advancing `until` yields no tasks.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArrivalSpec::generate`].
+    pub fn until(&mut self, until: f64) -> Result<Vec<Task>> {
+        if until <= self.frontier {
+            return Ok(Vec::new());
+        }
+        let tasks = self.spec.generate(
+            self.seed,
+            self.frontier..until,
+            self.task_types,
+            &self.policy,
+        )?;
+        self.frontier = until;
+        Ok(tasks)
+    }
+}
+
+/// Mixes a stream seed with a bin index into a per-bin RNG seed
+/// (SplitMix64-style finalizer, so neighbouring bins decorrelate).
+fn bin_stream(seed: u64, bin: u64) -> u64 {
+    let mut z = seed
+        ^ bin
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Knuth's Poisson sampler — exact for the λ range `validate` admits.
+fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    debug_assert!((0.0..=MAX_RATE * BIN_SECONDS).contains(&lambda));
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let floor = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= floor {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_roundtrips() {
+        let plain: ArrivalSpec = "poisson:2.5".parse().unwrap();
+        assert_eq!(plain.rate, 2.5);
+        assert!(plain.burst.is_none());
+        assert_eq!(plain.to_string().parse::<ArrivalSpec>().unwrap(), plain);
+
+        let bursty: ArrivalSpec = "poisson:1.5,burst:4x30".parse().unwrap();
+        assert_eq!(
+            bursty.burst,
+            Some(Burst {
+                factor: 4.0,
+                period: 30.0
+            })
+        );
+        assert_eq!(bursty.to_string().parse::<ArrivalSpec>().unwrap(), bursty);
+    }
+
+    #[test]
+    fn grammar_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "poisson",
+            "poisson:abc",
+            "poisson:0",
+            "poisson:-1",
+            "poisson:inf",
+            "poisson:9999",
+            "burst:2x30",
+            "poisson:1,burst:2",
+            "poisson:1,burst:0.5x30",
+            "poisson:1,burst:2x1",
+            "poisson:400,burst:2x30",
+            "uniform:3",
+        ] {
+            assert!(bad.parse::<ArrivalSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let spec: ArrivalSpec = "poisson:3,burst:2x10".parse().unwrap();
+        let a = spec.arrival_times(7, 0.0..120.0);
+        let b = spec.arrival_times(7, 0.0..120.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let other = spec.arrival_times(8, 0.0..120.0);
+        assert_ne!(a, other, "different seeds should differ");
+    }
+
+    #[test]
+    fn disjoint_windows_compose_exactly() {
+        let spec: ArrivalSpec = "poisson:2,burst:3x7".parse().unwrap();
+        let whole = spec.arrival_times(42, 0.0..60.0);
+        // Split at a bin boundary and at a mid-bin point.
+        for split in [20.0, 33.4] {
+            let mut merged = spec.arrival_times(42, 0.0..split);
+            merged.extend(spec.arrival_times(42, split..60.0));
+            assert_eq!(merged, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn burst_bins_run_hotter() {
+        let spec: ArrivalSpec = "poisson:2,burst:10x10".parse().unwrap();
+        assert_eq!(spec.rate_at(0.5), 20.0);
+        assert_eq!(spec.rate_at(1.5), 2.0);
+        assert_eq!(spec.rate_at(10.2), 20.0);
+        // Over a long window the burst seconds hold far more arrivals.
+        let times = spec.arrival_times(5, 0.0..500.0);
+        let in_burst = times.iter().filter(|t| t.rem_euclid(10.0) < 1.0).count();
+        assert!(
+            in_burst as f64 > times.len() as f64 * 0.4,
+            "burst seconds are 10% of time but held {in_burst}/{} arrivals",
+            times.len()
+        );
+    }
+
+    #[test]
+    fn generated_tasks_are_complete_and_windowed() {
+        let spec = ArrivalSpec::poisson(4.0).unwrap();
+        let tasks = spec
+            .generate(9, 10.0..40.0, 6, &TufPolicy::essc_default())
+            .unwrap();
+        assert!(!tasks.is_empty());
+        for pair in tasks.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        for t in &tasks {
+            assert!(t.arrival >= 10.0 && t.arrival < 40.0);
+            assert!((t.task_type.0 as usize) < 6);
+            assert!(t.tuf.priority() > 0.0);
+        }
+        assert!(spec
+            .generate(9, 0.0..10.0, 0, &TufPolicy::essc_default())
+            .is_err());
+    }
+
+    #[test]
+    fn stream_cursor_matches_one_shot_generation() {
+        let spec: ArrivalSpec = "poisson:2,burst:2x5".parse().unwrap();
+        let policy = TufPolicy::essc_default();
+        let whole = spec.generate(3, 0.0..30.0, 4, &policy).unwrap();
+        let mut stream = ArrivalStream::new(spec, 3, 4, policy.clone());
+        let mut fed = Vec::new();
+        for until in [7.5, 7.5, 12.0, 30.0] {
+            fed.extend(stream.until(until).unwrap());
+        }
+        assert_eq!(stream.frontier(), 30.0);
+        assert_eq!(fed, whole);
+
+        // A resumed cursor continues the same stream.
+        let mut resumed = ArrivalStream::new(spec, 3, 4, policy);
+        resumed.seek(12.0);
+        let tail = resumed.until(30.0).unwrap();
+        assert_eq!(&fed[fed.len() - tail.len()..], &tail[..]);
+    }
+
+    #[test]
+    fn empirical_rate_is_close_to_nominal() {
+        let spec = ArrivalSpec::poisson(5.0).unwrap();
+        let times = spec.arrival_times(11, 0.0..2000.0);
+        let rate = times.len() as f64 / 2000.0;
+        assert!((rate - 5.0).abs() < 0.25, "empirical rate {rate}");
+    }
+}

@@ -14,11 +14,13 @@
 //! (250 tasks / 15 min, 1000 tasks / 15 min, 4000 tasks / 1 h in the paper's
 //! three data sets).
 
+pub mod arrivals;
 pub mod io;
 pub mod policy;
 pub mod trace;
 pub mod tuf;
 
+pub use arrivals::{ArrivalSpec, ArrivalStream, Burst};
 pub use io::{trace_from_csv, trace_to_csv};
 pub use policy::TufPolicy;
 pub use trace::{ArrivalProcess, Task, TaskId, Trace, TraceGenerator};

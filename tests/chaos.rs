@@ -277,6 +277,105 @@ fn manifest_append_panic_poisons_the_sink_and_only_that_cell_reruns() {
     assert_eq!(resumed.executed, 1);
 }
 
+mod streaming {
+    use super::{armed, injected_total, scratch, serial, FaultPlan};
+    use hetsched::core::{
+        EngineStreamSpec, HorizonConfig, OptimizerSpec, StreamConfig, StreamRunner,
+    };
+    use hetsched::prelude::*;
+    use hetsched::workload::{ArrivalSpec, ArrivalStream, TufPolicy};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn stream_config() -> StreamConfig {
+        StreamConfig {
+            horizon: HorizonConfig {
+                horizon: 20.0,
+                energy_budget: f64::INFINITY,
+            },
+            optimizer: OptimizerSpec::Engine(EngineStreamSpec {
+                engine: EngineConfig::builder()
+                    .algorithm(Algorithm::Nsga2)
+                    .population(10)
+                    .mutation_rate(0.08)
+                    .generations(4)
+                    .parallel(false)
+                    .build()
+                    .unwrap(),
+                seed_kind: SeedKind::MinMinCompletionTime,
+                rng_seed: 0xC4405,
+                stream: 0,
+                warm_start: true,
+            }),
+        }
+    }
+
+    fn arrivals() -> ArrivalStream {
+        ArrivalStream::new(
+            ArrivalSpec::poisson(1.5).unwrap(),
+            13,
+            hetsched::data::real_system().task_type_count(),
+            TufPolicy::essc_default(),
+        )
+    }
+
+    /// Drives a manifested stream until an injected fault kills it, then
+    /// resumes from the manifest and verifies the finished stream is
+    /// byte-identical to an uninjected in-memory run.
+    fn kill_and_resume(tag: &str, plan: &str, expected_resumed_ticks: usize) {
+        let _serial = serial();
+        let config = stream_config();
+
+        // Uninjected reference (no manifest, same arrivals).
+        let mut clean = StreamRunner::new(hetsched::data::real_system(), config).unwrap();
+        clean.drive(&mut arrivals(), 80.0).unwrap();
+
+        // Durable run killed mid-stream by the armed fault.
+        let manifest = scratch(tag);
+        let _ = std::fs::remove_file(&manifest);
+        let plan = FaultPlan::parse(plan).unwrap();
+        let before = injected_total();
+        {
+            let _armed = armed(plan);
+            let mut doomed =
+                StreamRunner::resume(hetsched::data::real_system(), config, &manifest).unwrap();
+            let killed = catch_unwind(AssertUnwindSafe(|| doomed.drive(&mut arrivals(), 80.0)));
+            assert!(killed.is_err(), "the armed fault must kill the stream");
+        }
+        assert_eq!(injected_total() - before, 1, "exactly one fault fired");
+
+        // Resume with no faults armed: the manifest replays the committed
+        // prefix, and the continued stream matches the clean run exactly.
+        let mut resumed =
+            StreamRunner::resume(hetsched::data::real_system(), config, &manifest).unwrap();
+        assert_eq!(resumed.scheduler().ticks(), expected_resumed_ticks);
+        resumed.drive(&mut arrivals(), 80.0).unwrap();
+        let _ = std::fs::remove_file(&manifest);
+
+        assert_eq!(
+            serde_json::to_string(clean.scheduler().timeline()).unwrap(),
+            serde_json::to_string(resumed.scheduler().timeline()).unwrap(),
+            "manifest replay must re-commit a byte-identical schedule"
+        );
+        assert_eq!(clean.scheduler().records(), resumed.scheduler().records());
+    }
+
+    #[test]
+    fn stream_killed_mid_commit_resumes_byte_identically() {
+        // The panic fires inside tick 2's commit, before its manifest line
+        // is appended: the manifest holds two committed ticks plus tick
+        // 2's feed, which resume replays before re-running the tick.
+        kill_and_resume("stream-commit.jsonl", "scheduler.horizon.commit@3=panic", 2);
+    }
+
+    #[test]
+    fn stream_killed_mid_feed_resumes_byte_identically() {
+        // The panic fires entering the second feed, before any of its
+        // tasks are recorded: the manifest holds exactly one fed-and-
+        // committed horizon.
+        kill_and_resume("stream-feed.jsonl", "arrivals.feed@2=panic", 1);
+    }
+}
+
 #[test]
 fn telemetry_accounts_for_poisoned_cells_and_injected_faults() {
     let _serial = serial();
