@@ -315,13 +315,11 @@ fn run_online_stream(options: &Options) -> Result<(), CliError> {
     options.emit(&out)
 }
 
-/// The `--replicates`/`--manifest` arm of `hetsched run`.
-fn run_campaign(options: &Options) -> Result<(), CliError> {
-    if options.metrics_out.is_some() {
-        return Err(CliError::Usage(
-            "--metrics-out is not supported together with --replicates/--manifest".into(),
-        ));
-    }
+/// Builds the campaign for both the `--replicates`/`--manifest` arm of
+/// `hetsched run` and `hetsched work`. Both commands must construct it
+/// identically: the campaign fingerprint is derived from the spec, and a
+/// worker whose spec differs from the manifest owner's is refused.
+fn build_campaign(options: &Options) -> Campaign {
     let cfg = config_from(options);
     let mut spec = CampaignSpec::single(&cfg);
     spec.replicates = options.replicates.unwrap_or(1);
@@ -332,12 +330,16 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
     if options.requeue_quarantined {
         campaign = campaign.requeue_quarantined(true);
     }
+    campaign
+}
 
-    // Telemetry: one shared observer feeds the registry; the heartbeat
-    // appends progress lines (a ticker keeps them coming while cells run)
-    // and the registry is exported as Prometheus text after the run.
-    let telemetry = match (&options.heartbeat_out, &options.telemetry_out) {
-        (None, None) => None,
+/// Telemetry wiring shared by the campaign arm of `run` and by `work`:
+/// one shared observer feeds the registry; the heartbeat appends
+/// progress lines (a ticker keeps them coming while cells run) and the
+/// registry is exported as Prometheus text after the run.
+fn campaign_telemetry(options: &Options) -> Result<Option<Arc<TelemetryObserver>>, CliError> {
+    match (&options.heartbeat_out, &options.telemetry_out) {
+        (None, None) => Ok(None),
         (heartbeat_out, _) => {
             let mut observer = TelemetryObserver::new(Arc::new(MetricsRegistry::new()));
             if let Some(path) = heartbeat_out {
@@ -346,9 +348,32 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
                     Heartbeat::create_durable(path, every).map_err(|e| CliError::io(path, e))?;
                 observer = observer.with_heartbeat(heartbeat);
             }
-            Some(Arc::new(observer))
+            Ok(Some(Arc::new(observer)))
         }
-    };
+    }
+}
+
+/// `--reports-out`: the replicate reports as one canonical JSON array.
+/// Reports are assembled purely from the manifest's population runs —
+/// never from worker identity, lease epochs, or timings — so every
+/// process that merged the same campaign writes identical bytes. The CI
+/// distributed-smoke job `cmp`s these files to prove the merge.
+fn write_reports(path: &str, reports: &[hetsched_core::CampaignReport]) -> Result<(), CliError> {
+    let json = serde_json::to_string(reports)
+        .map_err(|e| CliError::Failed(format!("serialising reports: {e}")))?;
+    hetsched_core::durable_write(path, json).map_err(|e| CliError::io(path, e))
+}
+
+/// The `--replicates`/`--manifest` arm of `hetsched run`.
+fn run_campaign(options: &Options) -> Result<(), CliError> {
+    if options.metrics_out.is_some() {
+        return Err(CliError::Usage(
+            "--metrics-out is not supported together with --replicates/--manifest".into(),
+        ));
+    }
+    let cfg = config_from(options);
+    let mut campaign = build_campaign(options);
+    let telemetry = campaign_telemetry(options)?;
     if let Some(observer) = &telemetry {
         campaign = campaign.with_observer(Arc::clone(observer) as Arc<dyn CampaignObserver>);
     }
@@ -394,6 +419,9 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
             record.error.as_deref().unwrap_or("unknown error")
         );
     }
+    if let Some(path) = &options.reports_out {
+        write_reports(path, &outcome.reports)?;
+    }
     options.emit(&out)?;
     if outcome.is_complete() {
         Ok(())
@@ -402,6 +430,110 @@ fn run_campaign(options: &Options) -> Result<(), CliError> {
             "campaign incomplete: {} cell(s) failed, {} skipped",
             outcome.failed.len(),
             outcome.skipped.len()
+        )))
+    }
+}
+
+/// Default `hetsched work` identity: `host:pid`. The hostname
+/// distinguishes machines sharing a manifest over a network filesystem;
+/// the pid distinguishes workers on one machine.
+fn default_worker_id() -> String {
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .or_else(|| std::fs::read_to_string("/proc/sys/kernel/hostname").ok())
+        .map(|h| h.trim().to_string())
+        .filter(|h| !h.is_empty())
+        .unwrap_or_else(|| "host".to_string());
+    format!("{host}:{}", std::process::id())
+}
+
+/// `hetsched work`: join a campaign as one worker process. Workers
+/// coordinate purely through the shared `--manifest` file: each leases
+/// an unowned (or expired) cell, runs it through the same cell machinery
+/// as `run`, appends the result under its lease epoch, and releases.
+/// Start any number of workers concurrently, or late as failover
+/// replacements — every one of them merges the manifest to the same
+/// byte-identical reports a single-process `run` would produce.
+pub fn work(options: &Options) -> Result<(), CliError> {
+    let Some(manifest) = &options.manifest else {
+        return Err(CliError::Usage(
+            "work requires --manifest PATH (the shared campaign manifest)".into(),
+        ));
+    };
+    if options.online {
+        return Err(CliError::Usage(
+            "--online is not supported with work".into(),
+        ));
+    }
+    if options.metrics_out.is_some() {
+        return Err(CliError::Usage(
+            "--metrics-out is not supported with work".into(),
+        ));
+    }
+    let cfg = config_from(options);
+    let mut campaign = build_campaign(options);
+    let telemetry = campaign_telemetry(options)?;
+    if let Some(observer) = &telemetry {
+        campaign = campaign.with_observer(Arc::clone(observer) as Arc<dyn CampaignObserver>);
+    }
+    let ticker = match &telemetry {
+        Some(observer) if options.heartbeat_out.is_some() => {
+            Some(HeartbeatTicker::spawn(Arc::clone(observer)))
+        }
+        _ => None,
+    };
+    let worker_id = options.worker_id.clone().unwrap_or_else(default_worker_id);
+    let mut worker = hetsched_core::Worker::new(campaign, &worker_id);
+    if let Some(ttl) = options.lease_ttl {
+        worker = worker.lease_ttl(Duration::from_secs_f64(ttl));
+    }
+    let outcome = worker.run(Path::new(manifest))?;
+    drop(ticker);
+    if let (Some(observer), Some(path)) = (&telemetry, &options.telemetry_out) {
+        hetsched_core::durable_write(path, observer.registry().prometheus())
+            .map_err(|e| CliError::io(path, e))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "worker {}: data set {}, engine {} — {} cell(s) executed \
+         ({} stolen), {} fenced, {} merged from peers",
+        worker_id,
+        options.set,
+        cfg.algorithm,
+        outcome.executed,
+        outcome.stolen,
+        outcome.fenced,
+        outcome.outcome.replayed
+    );
+    for report in &outcome.outcome.reports {
+        let _ = writeln!(out, "\nreplicate {}:", report.replicate);
+        summarise_report(&mut out, &report.report)?;
+    }
+    for record in &outcome.outcome.failed {
+        let verdict = match record.outcome {
+            hetsched_core::CellOutcome::TimedOut => "TIMED OUT",
+            _ => "FAILED",
+        };
+        let _ = writeln!(
+            out,
+            "\n{verdict} {} after {} attempt(s): {}",
+            record.cell,
+            record.attempts,
+            record.error.as_deref().unwrap_or("unknown error")
+        );
+    }
+    if let Some(path) = &options.reports_out {
+        write_reports(path, &outcome.outcome.reports)?;
+    }
+    options.emit(&out)?;
+    if outcome.outcome.is_complete() {
+        Ok(())
+    } else {
+        Err(CliError::Failed(format!(
+            "campaign incomplete: {} cell(s) failed, {} skipped",
+            outcome.outcome.failed.len(),
+            outcome.outcome.skipped.len()
         )))
     }
 }

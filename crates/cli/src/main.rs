@@ -5,6 +5,7 @@
 //! hetsched dataset --set <1|2|3>            print the system (Tables I-III)
 //! hetsched figure <1|2|3|4|5|6> [options]   emit a figure's data as CSV/JSON
 //! hetsched run [options]                    run one experiment, print fronts
+//! hetsched work --manifest <p> [options]    join a distributed campaign as a worker
 //! hetsched seeds [options]                  evaluate the four seeding heuristics
 //! hetsched serve [options]                  long-running scheduler daemon (HTTP API)
 //!
@@ -115,6 +116,7 @@ fn dispatch(command: &str, options: &Options) -> Result<(), CliError> {
             commands::figure(which, options)
         }
         "run" => commands::run_experiment(options),
+        "work" => commands::work(options),
         "seeds" => commands::seeds(options),
         "gantt" => commands::gantt(options),
         "online" => commands::online(options),
@@ -173,6 +175,8 @@ USAGE:
     hetsched run --online --arrivals SPEC [--horizon S] [--duration S]
                  [--policy max-utility|gupta] [--cold-start] [--energy-budget J]
                  [--manifest PATH] [--metrics-out PATH]
+    hetsched work --manifest PATH [--worker-id ID] [--lease-ttl S]
+                  [--replicates N] [--reports-out PATH] [run options]
     hetsched seeds [--set 1|2|3] [--tasks N] [--rng SEED]
     hetsched gantt [--set 1|2|3] [--tasks N]
     hetsched online [--set 1|2|3] [--tasks N]
@@ -191,6 +195,19 @@ manifest and executes only the missing cells. `--heartbeat-out PATH`
 appends a tail-able JSONL progress line (cells done/total, ETA) every
 `--heartbeat-every` seconds, surviving kill-and-resume; `--telemetry-out
 PATH` writes a Prometheus-style metrics snapshot when the campaign ends.
+`--reports-out PATH` dumps the replicate reports as canonical JSON —
+identical bytes from every process that merged the same campaign.
+
+`work` joins the same campaign as one worker process among many: give
+every worker the same experiment flags (the campaign fingerprint must
+match) and the same shared `--manifest` file. Each worker leases a cell,
+runs it, appends the result, and releases; a worker that dies mid-cell
+stops renewing its lease, and after `--lease-ttl` seconds (default 30) a
+surviving peer steals the cell and re-runs it deterministically. Stale
+workers are fenced by lease epoch: their late results are discarded at
+append and at merge. Every worker exits with the merged campaign
+outcome, byte-identical to a single-process `run`. See README
+§ Distributed campaigns.
 
 `run --online` streams instead of batching: a seeded arrival process
 (`--arrivals poisson:RATE[,burst:FACTORxPERIOD]`) feeds a
@@ -381,6 +398,68 @@ mod tests {
         assert!(prom_text.contains(&format!("hetsched_campaign_cells_finished_total {cells}")));
         assert!(prom_text.contains("hetsched_engine_generations_total"));
         assert!(prom_text.contains("hetsched_campaign_cell_duration_seconds_bucket"));
+    }
+
+    #[test]
+    fn work_requires_a_manifest() {
+        let err = run(&argv("work --tasks 15 --pop 8 --scale 0.00002")).unwrap_err();
+        assert!(err.is_usage(), "{err}");
+        assert!(err.to_string().contains("--manifest"), "{err}");
+    }
+
+    #[test]
+    fn work_command_runs_a_campaign_and_matches_single_process_reports() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let solo_manifest = dir.join(format!("hetsched-cli-work-solo-{pid}.jsonl"));
+        let work_manifest = dir.join(format!("hetsched-cli-work-dist-{pid}.jsonl"));
+        let solo_reports = dir.join(format!("hetsched-cli-work-solo-{pid}.json"));
+        let work_reports = dir.join(format!("hetsched-cli-work-dist-{pid}.json"));
+        let out = dir.join(format!("hetsched-cli-work-out-{pid}.txt"));
+        let _ = std::fs::remove_file(&solo_manifest);
+        let _ = std::fs::remove_file(&work_manifest);
+        let flags = "--set 1 --tasks 15 --pop 8 --scale 0.00002 --replicates 1";
+        let solo = format!(
+            "run {flags} --manifest {} --reports-out {} --out {}",
+            solo_manifest.display(),
+            solo_reports.display(),
+            out.display()
+        );
+        assert!(run(&argv(&solo)).is_ok());
+        let work = format!(
+            "work {flags} --manifest {} --worker-id w1 --lease-ttl 30 \
+             --reports-out {} --out {}",
+            work_manifest.display(),
+            work_reports.display(),
+            out.display()
+        );
+        assert!(run(&argv(&work)).is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            text.contains("worker w1:") && text.contains("executed"),
+            "missing worker summary: {text}"
+        );
+        // The merge contract: a worker campaign's reports are
+        // byte-identical to a single-process run of the same spec.
+        let solo_json = std::fs::read(&solo_reports).unwrap();
+        let work_json = std::fs::read(&work_reports).unwrap();
+        assert!(!solo_json.is_empty());
+        assert_eq!(solo_json, work_json, "reports diverge across modes");
+        // The worker manifest carries lease records alongside cells.
+        let manifest_text = std::fs::read_to_string(&work_manifest).unwrap();
+        assert!(
+            manifest_text.contains("\"kind\":\"lease\""),
+            "no lease records: {manifest_text}"
+        );
+        for p in [
+            &solo_manifest,
+            &work_manifest,
+            &solo_reports,
+            &work_reports,
+            &out,
+        ] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

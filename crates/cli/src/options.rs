@@ -46,6 +46,15 @@ pub struct Options {
     /// Campaign manifest path (`run` only): checkpoint cells as they
     /// finish and resume from the file on restart.
     pub manifest: Option<String>,
+    /// Worker identity for `hetsched work` (defaults to `host:pid`).
+    pub worker_id: Option<String>,
+    /// Lease time-to-live in seconds for `hetsched work`: how long a
+    /// claimed cell stays fenced off before peers may steal it.
+    pub lease_ttl: Option<f64>,
+    /// Canonical JSON dump of the campaign's replicate reports
+    /// (campaign `run` and `work`): byte-identical across processes
+    /// that computed the same campaign, used for merge verification.
+    pub reports_out: Option<String>,
     /// Output path (stdout when absent).
     pub out: Option<String>,
     /// Emit JSON instead of CSV.
@@ -106,6 +115,9 @@ impl Default for Options {
             algorithm: Algorithm::default(),
             replicates: None,
             manifest: None,
+            worker_id: None,
+            lease_ttl: None,
+            reports_out: None,
             out: None,
             json: false,
             metrics_out: None,
@@ -232,6 +244,25 @@ impl Options {
                 }
                 "--manifest" => {
                     opts.manifest = Some(value_for("manifest")?.clone());
+                }
+                "--worker-id" => {
+                    let id = value_for("worker-id")?.clone();
+                    if id.is_empty() {
+                        return Err(usage("--worker-id must not be empty"));
+                    }
+                    opts.worker_id = Some(id);
+                }
+                "--lease-ttl" => {
+                    let ttl: f64 = value_for("lease-ttl")?
+                        .parse()
+                        .map_err(|_| usage("--lease-ttl must be a number of seconds"))?;
+                    if !(ttl.is_finite() && ttl > 0.0) {
+                        return Err(usage("--lease-ttl must be > 0"));
+                    }
+                    opts.lease_ttl = Some(ttl);
+                }
+                "--reports-out" => {
+                    opts.reports_out = Some(value_for("reports-out")?.clone());
                 }
                 "--out" => {
                     opts.out = Some(value_for("out")?.clone());
@@ -511,6 +542,28 @@ mod tests {
         assert!(!Options::parse(&[]).unwrap().requeue_quarantined);
         let o = Options::parse(&argv("--requeue-quarantined")).unwrap();
         assert!(o.requeue_quarantined);
+    }
+
+    #[test]
+    fn parses_worker_flags() {
+        let o = Options::parse(&argv(
+            "--worker-id w1 --lease-ttl 2.5 --reports-out reports.json",
+        ))
+        .unwrap();
+        assert_eq!(o.worker_id.as_deref(), Some("w1"));
+        assert_eq!(o.lease_ttl, Some(2.5));
+        assert_eq!(o.reports_out.as_deref(), Some("reports.json"));
+        // Defaults.
+        let o = Options::parse(&[]).unwrap();
+        assert!(o.worker_id.is_none() && o.lease_ttl.is_none() && o.reports_out.is_none());
+        // Rejections.
+        assert!(Options::parse(&argv("--worker-id")).is_err());
+        assert!(Options::parse(&["--worker-id".into(), String::new()]).is_err());
+        assert!(Options::parse(&argv("--lease-ttl 0")).is_err());
+        assert!(Options::parse(&argv("--lease-ttl -1")).is_err());
+        assert!(Options::parse(&argv("--lease-ttl inf")).is_err());
+        assert!(Options::parse(&argv("--lease-ttl soon")).is_err());
+        assert!(Options::parse(&argv("--reports-out")).is_err());
     }
 
     #[test]

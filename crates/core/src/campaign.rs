@@ -46,8 +46,8 @@
 
 use crate::chaos_hooks;
 use crate::config::{DatasetId, ExperimentConfig};
-use crate::durable::lock_unpoisoned;
 use crate::framework::Framework;
+use crate::manifest::{load_manifest_records, replay_records, LocalManifestStore, ManifestStore};
 use crate::report::{AnalysisReport, PopulationRun};
 use crate::telemetry::{CampaignObserver, NullCampaignObserver};
 use crate::{CoreError, Result};
@@ -56,14 +56,12 @@ use hetsched_moea::observe::GenerationStats;
 use hetsched_moea::{Algorithm, Individual};
 use hetsched_sim::Allocation;
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// The grid a campaign sweeps. `base` supplies everything the grid axes
@@ -260,7 +258,14 @@ pub enum CellOutcome {
 /// and `error` (failed after all attempts) is set — a data-carrying enum
 /// would say this in the type, but the vendored serde derive only handles
 /// flat structs; `outcome` classifies the failure side.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `worker` and `epoch` are set only by `hetsched work` (distributed
+/// mode): they name the worker that produced the record and the fencing
+/// epoch of the lease it held, so a stale worker's late append can be
+/// rejected at merge time (see [`crate::manifest::replay_records`]).
+/// Single-process campaigns leave both `None`, which also keeps their
+/// manifest lines byte-identical to the v3 format.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellRecord {
     /// Which cell this records.
     pub cell: CellId,
@@ -274,22 +279,63 @@ pub struct CellRecord {
     pub attempts: usize,
     /// Wall-clock seconds the cell took, all attempts included.
     pub duration_s: f64,
+    /// Worker id that appended the record (distributed mode only).
+    pub worker: Option<String>,
+    /// Fencing epoch of the lease held while running (distributed mode
+    /// only). A record whose epoch is older than the cell's newest lease
+    /// is dropped at merge time.
+    pub epoch: Option<u64>,
 }
 
-/// The manifest's first line, guarding resume against spec mismatches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ManifestHeader {
-    /// [`CampaignSpec::fingerprint`] of the campaign that owns the file.
-    fingerprint: String,
-    /// Manifest format version.
-    version: usize,
+// Hand-written so the v4 fields are *omitted* when absent: a
+// single-process manifest stays byte-identical to v3, and a v3 manifest
+// (no `worker`/`epoch` keys) deserialises cleanly with both `None`.
+impl Serialize for CellRecord {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        let mut entries = vec![
+            ("cell".to_string(), serde::to_value(&self.cell)),
+            ("run".to_string(), serde::to_value(&self.run)),
+            ("error".to_string(), serde::to_value(&self.error)),
+            ("outcome".to_string(), serde::to_value(&self.outcome)),
+            ("attempts".to_string(), serde::to_value(&self.attempts)),
+            ("duration_s".to_string(), serde::to_value(&self.duration_s)),
+        ];
+        if self.worker.is_some() {
+            entries.push(("worker".to_string(), serde::to_value(&self.worker)));
+        }
+        if self.epoch.is_some() {
+            entries.push(("epoch".to_string(), serde::to_value(&self.epoch)));
+        }
+        serializer.serialize_value(Value::Object(entries))
+    }
 }
 
-/// Current manifest format version. Bumped to 2 when [`CellRecord`] grew
-/// `duration_s`, and to 3 when it grew `outcome` (timeout/quarantine
-/// classification): the vendored serde derive rejects missing fields, so
-/// an older manifest must be refused up front rather than half-parsed.
-const MANIFEST_VERSION: usize = 3;
+impl<'de> Deserialize<'de> for CellRecord {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let mut entries = serde::__private::into_object::<D::Error>(value, "CellRecord")?;
+        let worker = if entries.iter().any(|(k, _)| k == "worker") {
+            serde::__private::from_field::<Option<String>, D::Error>(&mut entries, "worker")?
+        } else {
+            None
+        };
+        let epoch = if entries.iter().any(|(k, _)| k == "epoch") {
+            serde::__private::from_field::<Option<u64>, D::Error>(&mut entries, "epoch")?
+        } else {
+            None
+        };
+        Ok(Self {
+            cell: serde::__private::from_field(&mut entries, "cell")?,
+            run: serde::__private::from_field(&mut entries, "run")?,
+            error: serde::__private::from_field(&mut entries, "error")?,
+            outcome: serde::__private::from_field(&mut entries, "outcome")?,
+            attempts: serde::__private::from_field(&mut entries, "attempts")?,
+            duration_s: serde::__private::from_field(&mut entries, "duration_s")?,
+            worker,
+            epoch,
+        })
+    }
+}
 
 /// Cooperative cancellation flag, cloneable across threads: call
 /// [`CancelToken::cancel`] from anywhere (a ctrl-c handler, a watchdog)
@@ -520,6 +566,21 @@ impl Campaign {
         self.cancel.clone()
     }
 
+    /// The campaign's observer (shared with [`crate::worker::Worker`]).
+    pub(crate) fn observer(&self) -> &Arc<dyn CampaignObserver> {
+        &self.observer
+    }
+
+    /// Whether quarantined records are requeued on resume.
+    pub(crate) fn requeues_quarantined(&self) -> bool {
+        self.requeue_quarantined
+    }
+
+    /// The manifest fsync batching window.
+    pub(crate) fn sync_every(&self) -> usize {
+        self.manifest_sync_every
+    }
+
     /// Attaches a [`CampaignObserver`] receiving cell lifecycle events
     /// and per-generation engine stats. When the observer's
     /// [`enabled`](CampaignObserver::enabled) is `false` (the default
@@ -565,7 +626,11 @@ impl Campaign {
                         known.insert(record.cell, record);
                     }
                 }
-                Some(open_manifest(path, &fingerprint, self.manifest_sync_every)?)
+                Some(LocalManifestStore::open(
+                    path,
+                    &fingerprint,
+                    self.manifest_sync_every,
+                )?)
             }
             None => None,
         };
@@ -663,7 +728,7 @@ impl Campaign {
                     // append is unwind-isolated so even a panic inside the
                     // sink (chaos-injected or otherwise) can't take the
                     // rayon worker down with it.
-                    match catch_unwind(AssertUnwindSafe(|| sink.append(&record))) {
+                    match catch_unwind(AssertUnwindSafe(|| sink.append_cell(&record))) {
                         Ok(Ok(())) => {}
                         Ok(Err(e)) => {
                             tracing::warn!("manifest append failed for cell {cell}: {e}");
@@ -711,7 +776,12 @@ impl Campaign {
     /// [`CampaignObserver::on_generation`]) only then — the observation
     /// contract guarantees the evolved population is identical either
     /// way.
-    fn execute_cell(&self, framework: &Framework, cell: CellId, stream: u64) -> CellRecord {
+    pub(crate) fn execute_cell(
+        &self,
+        framework: &Framework,
+        cell: CellId,
+        stream: u64,
+    ) -> CellRecord {
         let observing = self.observer.enabled();
         let cell_started = Instant::now();
         if observing {
@@ -756,6 +826,8 @@ impl Campaign {
                         outcome: CellOutcome::Ok,
                         attempts: attempt,
                         duration_s: cell_started.elapsed().as_secs_f64(),
+                        worker: None,
+                        epoch: None,
                     };
                 }
                 AttemptOutcome::Panicked(message) => {
@@ -785,6 +857,8 @@ impl Campaign {
                         outcome: CellOutcome::TimedOut,
                         attempts: attempt,
                         duration_s: cell_started.elapsed().as_secs_f64(),
+                        worker: None,
+                        epoch: None,
                     };
                 }
             }
@@ -800,6 +874,8 @@ impl Campaign {
             outcome: CellOutcome::Poisoned,
             attempts: self.attempts,
             duration_s: cell_started.elapsed().as_secs_f64(),
+            worker: None,
+            epoch: None,
         }
     }
 
@@ -906,7 +982,7 @@ impl Campaign {
     /// Groups cell records into per-grid-point reports, in canonical
     /// order — the step that makes resumed and uninterrupted campaigns
     /// indistinguishable.
-    fn assemble(
+    pub(crate) fn assemble(
         &self,
         cells: &[CellId],
         known: HashMap<CellId, CellRecord>,
@@ -1023,88 +1099,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// The append-side manifest: line-buffered behind a mutex, flushed per
-/// record so a kill loses at most the line being written, and fsynced
-/// every `sync_every` records so a power loss loses at most that window.
-/// The lock recovers from poisoning (a panicking appender leaves at worst
-/// a torn tail line, which the reader already tolerates) — one bad cell
-/// must not disable checkpointing for the rest of the campaign.
-struct ManifestSink {
-    state: Mutex<SinkState>,
-    sync_every: usize,
-}
-
-struct SinkState {
-    writer: BufWriter<File>,
-    /// Records flushed to the OS but not yet fsynced.
-    pending: usize,
-}
-
-impl ManifestSink {
-    fn append(&self, record: &CellRecord) -> std::io::Result<()> {
-        let line = serde_json::to_string(record)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut state = lock_unpoisoned(&self.state);
-        // The fault point sits inside the critical section so an injected
-        // panic genuinely poisons the mutex — the scenario the recovery
-        // above exists for.
-        chaos_hooks::raise_io("manifest.append", &record.cell)?;
-        writeln!(state.writer, "{line}")?;
-        state.writer.flush()?;
-        state.pending += 1;
-        if state.pending >= self.sync_every {
-            state.writer.get_ref().sync_data()?;
-            state.pending = 0;
-        }
-        Ok(())
-    }
-
-    /// Flushes and fsyncs whatever the batching window still holds.
-    fn sync(&self) -> std::io::Result<()> {
-        let mut state = lock_unpoisoned(&self.state);
-        state.writer.flush()?;
-        state.writer.get_ref().sync_data()?;
-        state.pending = 0;
-        Ok(())
-    }
-}
-
-/// Opens `path` for appending, writing (and fsyncing) the fingerprint
-/// header if the file is new or empty.
-fn open_manifest(path: &Path, fingerprint: &str, sync_every: usize) -> Result<ManifestSink> {
-    let file = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .map_err(|e| CoreError::Io(format!("open manifest {}: {e}", path.display())))?;
-    let fresh = file
-        .metadata()
-        .map(|m| m.len() == 0)
-        .map_err(|e| CoreError::Io(format!("stat manifest {}: {e}", path.display())))?;
-    let mut writer = BufWriter::new(file);
-    if fresh {
-        let header = ManifestHeader {
-            fingerprint: fingerprint.to_string(),
-            version: MANIFEST_VERSION,
-        };
-        writeln!(
-            writer,
-            "{}",
-            serde_json::to_string(&header).expect("header serialises")
-        )
-        .and_then(|()| writer.flush())
-        .and_then(|()| writer.get_ref().sync_data())
-        .map_err(|e| CoreError::Io(format!("write manifest header: {e}")))?;
-    }
-    Ok(ManifestSink {
-        state: Mutex::new(SinkState { writer, pending: 0 }),
-        sync_every: sync_every.max(1),
-    })
-}
-
-/// Replays a manifest: checks the header fingerprint, then parses cell
-/// records. A torn final line (the process was killed mid-write) is
-/// tolerated; a torn or alien *header* is not.
+/// Replays a manifest: checks the header fingerprint, then parses and
+/// merges records. A torn final line (the process was killed mid-write)
+/// is tolerated; a torn or alien *header* is not.
 fn read_manifest(path: &Path, fingerprint: &str) -> Result<Vec<CellRecord>> {
     match load_manifest(path)? {
         None => Ok(Vec::new()), // empty file: fresh manifest
@@ -1121,49 +1118,26 @@ fn read_manifest(path: &Path, fingerprint: &str) -> Result<Vec<CellRecord>> {
 }
 
 /// Reads a campaign manifest back without knowing its spec: returns the
-/// owning campaign's fingerprint and the cell records, or `None` for an
-/// empty file. A torn final line (the process was killed mid-write) is
-/// dropped; post-hoc inspection tooling (`hetsched report`) uses this
-/// directly, and resume layers a fingerprint check on top.
+/// owning campaign's fingerprint and the *surviving* cell records (lease
+/// fencing applied — a stale worker's late append is dropped), or `None`
+/// for an empty file. Post-hoc inspection tooling (`hetsched report`)
+/// uses this directly, and resume layers a fingerprint check on top.
+///
+/// This is a convenience wrapper over
+/// [`crate::manifest::load_manifest_records`] +
+/// [`crate::manifest::replay_records`] for callers that only want the
+/// merged cell view; callers that also need lease state (who holds what,
+/// steal/fence counts) should use those directly.
 ///
 /// # Errors
 ///
-/// I/O failures, a corrupt or torn header, an unsupported manifest
-/// version, or records after a torn line (they can't be trusted to
-/// belong where they claim).
+/// I/O failures, a corrupt or torn header, or an unsupported manifest
+/// version (older than v3 or newer than v4).
 pub fn load_manifest(path: &Path) -> Result<Option<(String, Vec<CellRecord>)>> {
-    let file = File::open(path)
-        .map_err(|e| CoreError::Io(format!("open manifest {}: {e}", path.display())))?;
-    let mut lines = BufReader::new(file).lines();
-    let header_line = match lines.next() {
-        None => return Ok(None),
-        Some(line) => line.map_err(|e| CoreError::Io(format!("read manifest: {e}")))?,
-    };
-    let header: ManifestHeader = serde_json::from_str(&header_line)
-        .map_err(|e| CoreError::Manifest(format!("corrupt manifest header: {e}")))?;
-    if header.version != MANIFEST_VERSION {
-        return Err(CoreError::Manifest(format!(
-            "manifest version {} unsupported (expected {MANIFEST_VERSION})",
-            header.version
-        )));
+    match load_manifest_records(path)? {
+        None => Ok(None),
+        Some((owner, records)) => Ok(Some((owner, replay_records(&records).cells))),
     }
-    let mut records = Vec::new();
-    let mut torn = false;
-    for line in lines {
-        let line = line.map_err(|e| CoreError::Io(format!("read manifest: {e}")))?;
-        if torn {
-            // Records after a torn line can't be trusted to belong where
-            // they claim (the torn line may have swallowed a newline).
-            return Err(CoreError::Manifest(
-                "manifest has records after a torn line".to_string(),
-            ));
-        }
-        match serde_json::from_str::<CellRecord>(&line) {
-            Ok(record) => records.push(record),
-            Err(_) => torn = true, // killed mid-write: drop the tail record
-        }
-    }
-    Ok(Some((header.fingerprint, records)))
 }
 
 #[cfg(test)]
@@ -1501,6 +1475,40 @@ mod tests {
     }
 
     #[test]
+    fn v3_manifests_load_with_worker_and_epoch_defaulted() {
+        // A campaign written by the previous release: v3 header, cell
+        // records without `worker`/`epoch` keys. Must load with both
+        // fields defaulted to None rather than being refused.
+        let path = temp_manifest("v3compat");
+        let record = CellRecord {
+            cell: tiny_spec().cells()[0],
+            run: None,
+            error: Some("boom".to_string()),
+            outcome: CellOutcome::Poisoned,
+            attempts: 2,
+            duration_s: 0.25,
+            worker: None,
+            epoch: None,
+        };
+        let line = serde_json::to_string(&record).unwrap();
+        assert!(
+            !line.contains("worker") && !line.contains("epoch"),
+            "a record without worker/epoch serialises in the v3 shape: {line}"
+        );
+        std::fs::write(
+            &path,
+            format!("{{\"fingerprint\":\"cafe0000cafe0000\",\"version\":3}}\n{line}\n"),
+        )
+        .unwrap();
+        let (owner, records) = load_manifest(&path).unwrap().expect("v3 manifest loads");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(owner, "cafe0000cafe0000");
+        assert_eq!(records, vec![record]);
+        assert_eq!(records[0].worker, None);
+        assert_eq!(records[0].epoch, None);
+    }
+
+    #[test]
     fn load_manifest_handles_empty_and_header_only_files() {
         let path = temp_manifest("headeronly");
 
@@ -1508,48 +1516,14 @@ mod tests {
         assert_eq!(load_manifest(&path).unwrap(), None, "empty file is fresh");
 
         let header = format!(
-            "{}\n",
-            serde_json::to_string(&ManifestHeader {
-                fingerprint: "cafe0000cafe0000".to_string(),
-                version: MANIFEST_VERSION,
-            })
-            .unwrap()
+            "{{\"fingerprint\":\"cafe0000cafe0000\",\"version\":{}}}\n",
+            crate::manifest::MANIFEST_VERSION
         );
         std::fs::write(&path, header).unwrap();
         let (owner, records) = load_manifest(&path).unwrap().expect("header parses");
         assert_eq!(owner, "cafe0000cafe0000");
         assert!(records.is_empty(), "header-only file has no records");
         let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn manifest_sink_survives_a_poisoned_lock() {
-        let path = temp_manifest("poison");
-        let _ = std::fs::remove_file(&path);
-        let sink = open_manifest(&path, "feedface00000000", 1).unwrap();
-
-        // Poison the sink's mutex the way a panicking appender would.
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            let _guard = sink.state.lock().unwrap();
-            panic!("injected panic while holding the manifest lock");
-        }));
-        assert!(caught.is_err());
-        assert!(sink.state.is_poisoned());
-
-        // Checkpointing keeps working for the surviving cells.
-        let record = CellRecord {
-            cell: tiny_spec().cells()[0],
-            run: None,
-            error: Some("x".to_string()),
-            outcome: CellOutcome::Poisoned,
-            attempts: 1,
-            duration_s: 0.1,
-        };
-        sink.append(&record).unwrap();
-        sink.sync().unwrap();
-        let (_, records) = load_manifest(&path).unwrap().unwrap();
-        let _ = std::fs::remove_file(&path);
-        assert_eq!(records, vec![record]);
     }
 
     #[test]

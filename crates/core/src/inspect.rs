@@ -16,10 +16,12 @@
 //!
 //! [`AnalysisReport::hypervolume_table`]: crate::report::AnalysisReport::hypervolume_table
 
-use crate::campaign::{load_manifest, CellOutcome, CellRecord};
+use crate::campaign::{CellOutcome, CellRecord};
 use crate::journal::{JournalRecord, RunJournal};
+use crate::manifest::{load_manifest_records, replay_records, ManifestView};
 use crate::{CoreError, Result};
 use hetsched_moea::observe::GenerationStats;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -182,6 +184,25 @@ pub struct CellSummary {
     pub duration_s: f64,
     /// The last error, for failed cells.
     pub error: Option<String>,
+    /// Worker that appended the record (distributed campaigns only).
+    pub worker: Option<String>,
+}
+
+/// One worker's contribution, computed purely from the manifest (cell
+/// records it appended plus the replayed lease state machine). Also the
+/// wire shape of the serve daemon's per-worker view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSummary {
+    /// The worker's id.
+    pub worker: String,
+    /// Surviving cell records this worker appended.
+    pub cells: usize,
+    /// Leases this worker stole from expired holders.
+    pub stolen: usize,
+    /// Appends of this worker rejected by epoch fencing.
+    pub fenced: usize,
+    /// Wall-clock summed over this worker's surviving cells.
+    pub wall_clock_s: f64,
 }
 
 /// What [`summarise_manifest`] produces.
@@ -191,16 +212,21 @@ pub struct ManifestSummary {
     pub fingerprint: String,
     /// Per-cell status/duration/retry table, in manifest order.
     pub cells: Vec<CellSummary>,
+    /// Per-worker rollup (empty for single-process manifests, whose
+    /// records carry no worker tag).
+    pub workers: Vec<WorkerSummary>,
     /// Per-cell convergence over snapshot fronts, successful cells only.
     pub populations: Vec<ConvergenceSummary>,
 }
 
-/// Summarises manifest records: the cell table plus snapshot-resolution
-/// convergence, with hypervolume computed against a reference shared by
-/// every front of every cell (the report-wide worst corner), so rows
-/// are comparable.
-pub fn summarise_manifest(fingerprint: String, records: &[CellRecord]) -> ManifestSummary {
-    let cells = records
+/// Summarises a merged manifest view: the cell table (with the worker
+/// that ran each cell, for distributed campaigns), a per-worker rollup,
+/// and snapshot-resolution convergence with hypervolume computed against
+/// a reference shared by every front of every cell (the report-wide
+/// worst corner), so rows are comparable.
+pub fn summarise_manifest(fingerprint: String, view: &ManifestView) -> ManifestSummary {
+    let records: &[CellRecord] = &view.cells;
+    let cells: Vec<CellSummary> = records
         .iter()
         .map(|r| CellSummary {
             cell: r.cell.to_string(),
@@ -208,8 +234,47 @@ pub fn summarise_manifest(fingerprint: String, records: &[CellRecord]) -> Manife
             attempts: r.attempts,
             duration_s: r.duration_s,
             error: r.error.clone(),
+            worker: r.worker.clone(),
         })
         .collect();
+
+    // Per-worker rollup, in first-appearance order (cell records first,
+    // then workers known only from lease/fencing traffic).
+    let mut workers: Vec<WorkerSummary> = Vec::new();
+    fn rollup(workers: &mut Vec<WorkerSummary>, worker: &str) -> usize {
+        match workers.iter().position(|w| w.worker == worker) {
+            Some(i) => i,
+            None => {
+                workers.push(WorkerSummary {
+                    worker: worker.to_string(),
+                    cells: 0,
+                    stolen: 0,
+                    fenced: 0,
+                    wall_clock_s: 0.0,
+                });
+                workers.len() - 1
+            }
+        }
+    }
+    for record in records {
+        if let Some(worker) = &record.worker {
+            let i = rollup(&mut workers, worker);
+            workers[i].cells += 1;
+            workers[i].wall_clock_s += record.duration_s;
+        }
+    }
+    let mut stealers: Vec<(&String, &usize)> = view.leases.steals().iter().collect();
+    stealers.sort_unstable();
+    for (worker, stolen) in stealers {
+        let i = rollup(&mut workers, worker);
+        workers[i].stolen = *stolen;
+    }
+    let mut fenced_workers: Vec<(&String, &usize)> = view.fenced.iter().collect();
+    fenced_workers.sort_unstable();
+    for (worker, fenced) in fenced_workers {
+        let i = rollup(&mut workers, worker);
+        workers[i].fenced = *fenced;
+    }
 
     // Shared reference: min utility and max energy over all fronts.
     let mut ref_u = f64::INFINITY;
@@ -242,6 +307,7 @@ pub fn summarise_manifest(fingerprint: String, records: &[CellRecord]) -> Manife
     ManifestSummary {
         fingerprint,
         cells,
+        workers,
         populations,
     }
 }
@@ -269,13 +335,11 @@ pub fn inspect_path(path: &Path) -> Result<Inspection> {
         .unwrap_or_default()
         .to_string();
     if first_line.contains("\"fingerprint\"") {
-        let (fingerprint, records) = load_manifest(path)?.ok_or_else(|| {
+        let (fingerprint, records) = load_manifest_records(path)?.ok_or_else(|| {
             CoreError::Manifest(format!("{} is an empty manifest", path.display()))
         })?;
-        Ok(Inspection::Manifest(summarise_manifest(
-            fingerprint,
-            &records,
-        )))
+        let view = replay_records(&records);
+        Ok(Inspection::Manifest(summarise_manifest(fingerprint, &view)))
     } else {
         let records = RunJournal::read(path)
             .map_err(|e| CoreError::Io(format!("read journal {}: {e}", path.display())))?;
@@ -387,11 +451,26 @@ impl ManifestSummary {
             .max()
             .unwrap_or(0)
             .max("cell".len());
-        let _ = writeln!(
+        // The worker column only appears on distributed manifests — a
+        // single-process campaign's table stays exactly as before.
+        let distributed = self.cells.iter().any(|c| c.worker.is_some());
+        let worker_width = self
+            .cells
+            .iter()
+            .filter_map(|c| c.worker.as_deref())
+            .map(str::len)
+            .max()
+            .unwrap_or(0)
+            .max("worker".len());
+        let _ = write!(
             out,
             "{:width$}  {:>8}  {:>8}  {:>10}",
             "cell", "status", "attempts", "duration"
         );
+        if distributed {
+            let _ = write!(out, "  {:>worker_width$}", "worker");
+        }
+        out.push('\n');
         for cell in &self.cells {
             let _ = write!(
                 out,
@@ -401,10 +480,39 @@ impl ManifestSummary {
                 cell.attempts,
                 cell.duration_s,
             );
+            if distributed {
+                let _ = write!(
+                    out,
+                    "  {:>worker_width$}",
+                    cell.worker.as_deref().unwrap_or("-")
+                );
+            }
             if let Some(error) = &cell.error {
                 let _ = write!(out, "  ({error})");
             }
             out.push('\n');
+        }
+        if !self.workers.is_empty() {
+            let _ = writeln!(out, "\nworkers:\n");
+            let width = self
+                .workers
+                .iter()
+                .map(|w| w.worker.len())
+                .max()
+                .unwrap_or(0)
+                .max("worker".len());
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>6}  {:>6}  {:>6}  {:>11}",
+                "worker", "cells", "stolen", "fenced", "wall-clock"
+            );
+            for w in &self.workers {
+                let _ = writeln!(
+                    out,
+                    "{:width$}  {:>6}  {:>6}  {:>6}  {:>10.3}s",
+                    w.worker, w.cells, w.stolen, w.fenced, w.wall_clock_s
+                );
+            }
         }
         if !self.populations.is_empty() {
             let _ = writeln!(
@@ -509,6 +617,8 @@ mod tests {
             outcome: CellOutcome::Ok,
             attempts: 1,
             duration_s: 0.5,
+            worker: None,
+            epoch: None,
         };
         assert_eq!(CellStatus::of(&base), CellStatus::Done);
         let retried = CellRecord {
@@ -551,6 +661,8 @@ mod tests {
             outcome: CellOutcome::Ok,
             attempts: 2,
             duration_s: 1.25,
+            worker: None,
+            epoch: None,
         };
         let mut bad_cell = sample_cell();
         bad_cell.replicate = 1;
@@ -561,11 +673,18 @@ mod tests {
             outcome: CellOutcome::Poisoned,
             attempts: 2,
             duration_s: 0.1,
+            worker: None,
+            epoch: None,
         };
-        let summary = summarise_manifest("f00d".to_string(), &[ok, bad]);
+        let view = ManifestView {
+            cells: vec![ok, bad],
+            ..ManifestView::default()
+        };
+        let summary = summarise_manifest("f00d".to_string(), &view);
         assert_eq!(summary.cells.len(), 2);
         assert_eq!(summary.cells[0].status, CellStatus::Retried);
         assert_eq!(summary.cells[1].status, CellStatus::Poisoned);
+        assert!(summary.workers.is_empty(), "untagged records: no rollup");
         // Only the successful cell contributes a convergence row, at
         // snapshot resolution.
         assert_eq!(summary.populations.len(), 1);
@@ -579,6 +698,55 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("(panicked)"), "{rendered}");
+        assert!(
+            !rendered.contains("worker"),
+            "single-process table has no worker column: {rendered}"
+        );
+    }
+
+    #[test]
+    fn distributed_manifests_get_worker_column_and_rollup() {
+        use crate::lease::{LeaseAction, LeaseRecord};
+        use crate::manifest::{replay_records, ManifestRecord};
+
+        let tagged = |replicate: usize, worker: &str, epoch: u64| {
+            let mut cell = sample_cell();
+            cell.replicate = replicate;
+            CellRecord {
+                cell,
+                run: None,
+                error: Some("x".to_string()),
+                outcome: CellOutcome::Poisoned,
+                attempts: 1,
+                duration_s: 0.5,
+                worker: Some(worker.to_string()),
+                epoch: Some(epoch),
+            }
+        };
+        let cell0 = sample_cell();
+        let records = vec![
+            // w1 leases replicate 0 and dies; w2 steals it at epoch 2,
+            // records it, and w1's zombie append is fenced.
+            ManifestRecord::Lease(LeaseRecord::new(cell0, "w1", 1, LeaseAction::Acquire, 0.0)),
+            ManifestRecord::Lease(LeaseRecord::new(cell0, "w2", 2, LeaseAction::Acquire, 1e12)),
+            ManifestRecord::Cell(tagged(0, "w1", 1)),
+            ManifestRecord::Cell(tagged(0, "w2", 2)),
+            ManifestRecord::Cell(tagged(1, "w2", 1)),
+        ];
+        let view = replay_records(&records);
+        let summary = summarise_manifest("f00d".to_string(), &view);
+        assert_eq!(summary.cells.len(), 2);
+        assert_eq!(summary.cells[0].worker.as_deref(), Some("w2"));
+        assert_eq!(summary.workers.len(), 2);
+        let w1 = summary.workers.iter().find(|w| w.worker == "w1").unwrap();
+        let w2 = summary.workers.iter().find(|w| w.worker == "w2").unwrap();
+        assert_eq!((w1.cells, w1.stolen, w1.fenced), (0, 0, 1));
+        assert_eq!((w2.cells, w2.stolen, w2.fenced), (2, 1, 0));
+        assert!((w2.wall_clock_s - 1.0).abs() < 1e-9);
+        let rendered = summary.render();
+        assert!(rendered.contains("worker"), "{rendered}");
+        assert!(rendered.contains("wall-clock"), "{rendered}");
+        assert!(rendered.contains("w2"), "{rendered}");
     }
 
     fn sample_cell() -> crate::campaign::CellId {

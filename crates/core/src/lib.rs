@@ -28,11 +28,14 @@ pub mod figures;
 pub mod framework;
 pub mod inspect;
 pub mod journal;
+pub mod lease;
+pub mod manifest;
 pub mod report;
 pub mod streaming;
 pub mod suite;
 pub mod telemetry;
 pub mod trace;
+pub mod worker;
 
 /// Deterministic fault injection (the `chaos` feature re-exports
 /// [`hetsched_chaos`] here so consumers address one crate). See
@@ -75,7 +78,7 @@ pub use campaign::{
 pub use config::{DatasetId, ExperimentConfig, ExperimentConfigBuilder};
 pub use durable::durable_write;
 pub use framework::Framework;
-pub use inspect::{inspect_path, Inspection};
+pub use inspect::{inspect_path, summarise_manifest, Inspection, ManifestSummary, WorkerSummary};
 // The engine API the framework is parameterised over, re-exported so
 // downstream crates (notably the CLI) need not depend on the MOEA crate
 // directly to select an algorithm.
@@ -89,6 +92,11 @@ pub use hetsched_moea::{Algorithm, Engine, EngineCaps, EngineConfig, EngineConfi
 pub use hetsched_sim::{HorizonConfig, HorizonRecord, OnlinePolicy, TaskRecord};
 pub use hetsched_workload::{ArrivalSpec, ArrivalStream, Task, TufPolicy};
 pub use journal::{JournalObserver, JournalRecord, RunJournal};
+pub use lease::{LeaseAction, LeaseRecord, LeaseState, LeaseTable, DEFAULT_SKEW_SLACK_S};
+pub use manifest::{
+    load_manifest_records, replay_records, LocalManifestStore, ManifestRecord, ManifestStore,
+    ManifestView, StoreLock, COMPAT_MANIFEST_VERSION, MANIFEST_VERSION,
+};
 pub use report::{AnalysisReport, PopulationRun};
 pub use streaming::{
     EngineReoptimizer, EngineStreamSpec, OptimizerSpec, StreamConfig, StreamHeader, StreamRunner,
@@ -103,6 +111,7 @@ pub use trace::{
     chrome_trace, install_tracing, installed_mux, read_trace, SpanRecord, TraceAnalysis, TraceMux,
     TraceWriter,
 };
+pub use worker::{Worker, WorkerOutcome};
 
 use hetsched_synth::SynthError;
 use hetsched_workload::WorkloadError;

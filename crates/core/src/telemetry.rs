@@ -115,6 +115,11 @@ pub struct MetricsRegistry {
     cells_skipped: AtomicU64,
     generations: AtomicU64,
     evaluations: AtomicU64,
+    leases_acquired: AtomicU64,
+    leases_renewed: AtomicU64,
+    leases_expired: AtomicU64,
+    leases_stolen: AtomicU64,
+    leases_fenced: AtomicU64,
     /// Configured worker-thread count executing cells (0 = not reported;
     /// the heartbeat ETA then falls back to the host's parallelism).
     workers: AtomicU64,
@@ -142,6 +147,11 @@ impl Default for MetricsRegistry {
             cells_skipped: AtomicU64::new(0),
             generations: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
+            leases_acquired: AtomicU64::new(0),
+            leases_renewed: AtomicU64::new(0),
+            leases_expired: AtomicU64::new(0),
+            leases_stolen: AtomicU64::new(0),
+            leases_fenced: AtomicU64::new(0),
             workers: AtomicU64::new(0),
             phase_mating_ns: AtomicU64::new(0),
             phase_evaluation_ns: AtomicU64::new(0),
@@ -250,6 +260,30 @@ impl MetricsRegistry {
         self.cells_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A worker acquired a cell lease; `stolen` marks a takeover from an
+    /// expired holder.
+    pub fn lease_acquired(&self, stolen: bool) {
+        self.leases_acquired.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.leases_stolen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A worker's renewal thread extended a lease.
+    pub fn lease_renewed(&self) {
+        self.leases_renewed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker self-fenced an overdue lease.
+    pub fn lease_expired(&self) {
+        self.leases_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker's append was rejected because its lease was superseded.
+    pub fn lease_fenced(&self) {
+        self.leases_fenced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One engine generation completed somewhere in the campaign.
     pub fn generation(&self, stats: &GenerationStats) {
         self.generations.fetch_add(1, Ordering::Relaxed);
@@ -285,6 +319,11 @@ impl MetricsRegistry {
             cells_skipped: self.cells_skipped.load(Ordering::Relaxed),
             generations: self.generations.load(Ordering::Relaxed),
             evaluations: self.evaluations.load(Ordering::Relaxed),
+            leases_acquired: self.leases_acquired.load(Ordering::Relaxed),
+            leases_renewed: self.leases_renewed.load(Ordering::Relaxed),
+            leases_expired: self.leases_expired.load(Ordering::Relaxed),
+            leases_stolen: self.leases_stolen.load(Ordering::Relaxed),
+            leases_fenced: self.leases_fenced.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
             sim_evaluations: sim_evaluations_total(),
             faults_injected: chaos_faults_injected_total(),
@@ -395,6 +434,31 @@ impl MetricsSnapshot {
             "counter",
             s.sim_evaluations.to_string(),
         );
+        metric(
+            "hetsched_campaign_leases_acquired_total",
+            "counter",
+            s.leases_acquired.to_string(),
+        );
+        metric(
+            "hetsched_campaign_leases_renewed_total",
+            "counter",
+            s.leases_renewed.to_string(),
+        );
+        metric(
+            "hetsched_campaign_leases_expired_total",
+            "counter",
+            s.leases_expired.to_string(),
+        );
+        metric(
+            "hetsched_campaign_leases_stolen_total",
+            "counter",
+            s.leases_stolen.to_string(),
+        );
+        metric(
+            "hetsched_campaign_leases_fenced_total",
+            "counter",
+            s.leases_fenced.to_string(),
+        );
         metric("hetsched_campaign_workers", "gauge", s.workers.to_string());
         out.push_str("# TYPE hetsched_engine_phase_seconds_total counter\n");
         for (phase, value) in [
@@ -457,6 +521,11 @@ impl MetricsSnapshot {
         self.cells_skipped += other.cells_skipped;
         self.generations += other.generations;
         self.evaluations += other.evaluations;
+        self.leases_acquired += other.leases_acquired;
+        self.leases_renewed += other.leases_renewed;
+        self.leases_expired += other.leases_expired;
+        self.leases_stolen += other.leases_stolen;
+        self.leases_fenced += other.leases_fenced;
         // Campaigns in one process share the worker pool, so the merged
         // view keeps the widest reported pool instead of summing.
         self.workers = self.workers.max(other.workers);
@@ -561,6 +630,16 @@ pub struct MetricsSnapshot {
     pub generations: u64,
     /// Fitness evaluations reported by engine generation stats.
     pub evaluations: u64,
+    /// Cell leases acquired by workers (distributed mode).
+    pub leases_acquired: u64,
+    /// Lease renewals appended by worker heartbeat threads.
+    pub leases_renewed: u64,
+    /// Leases self-fenced by their holder after an overdue renewal.
+    pub leases_expired: u64,
+    /// Leases taken over from expired holders.
+    pub leases_stolen: u64,
+    /// Worker appends rejected because the lease was superseded.
+    pub leases_fenced: u64,
     /// Configured worker threads executing cells (0 = not reported).
     pub workers: u64,
     /// Process-wide simulator evaluation count (`eval-counters` builds
@@ -821,6 +900,28 @@ pub trait CampaignObserver: Send + Sync {
         let _ = (cell, stats);
     }
 
+    /// A worker acquired a lease on `cell`; `stolen` marks a takeover
+    /// from an expired holder. Distributed mode only.
+    fn on_lease_acquired(&self, cell: &CellId, worker: &str, stolen: bool) {
+        let _ = (cell, worker, stolen);
+    }
+
+    /// A worker's renewal thread extended its lease on `cell`.
+    fn on_lease_renewed(&self, cell: &CellId, worker: &str) {
+        let _ = (cell, worker);
+    }
+
+    /// A worker self-fenced its overdue lease on `cell`.
+    fn on_lease_expired(&self, cell: &CellId, worker: &str) {
+        let _ = (cell, worker);
+    }
+
+    /// A worker discarded a computed result because its lease on `cell`
+    /// had been superseded.
+    fn on_lease_fenced(&self, cell: &CellId, worker: &str) {
+        let _ = (cell, worker);
+    }
+
     /// The campaign invocation finished (successfully or not).
     fn on_campaign_end(&self) {}
 }
@@ -947,6 +1048,22 @@ impl CampaignObserver for TelemetryObserver {
 
     fn on_generation(&self, _cell: &CellId, stats: &GenerationStats) {
         self.registry.generation(stats);
+    }
+
+    fn on_lease_acquired(&self, _cell: &CellId, _worker: &str, stolen: bool) {
+        self.registry.lease_acquired(stolen);
+    }
+
+    fn on_lease_renewed(&self, _cell: &CellId, _worker: &str) {
+        self.registry.lease_renewed();
+    }
+
+    fn on_lease_expired(&self, _cell: &CellId, _worker: &str) {
+        self.registry.lease_expired();
+    }
+
+    fn on_lease_fenced(&self, _cell: &CellId, _worker: &str) {
+        self.registry.lease_fenced();
     }
 
     fn on_campaign_end(&self) {

@@ -2,6 +2,12 @@
 //! curl-equivalent the integration tests and the CI probe binary use
 //! against a running daemon. One request per connection, matching the
 //! server's `Connection: close` contract.
+//!
+//! Transient transport failures (connection refused, read timeout) are
+//! retried a bounded number of times with jittered exponential backoff,
+//! so a probe racing daemon startup or a momentary stall does not fail
+//! the whole run. Anything the server actually answered — any HTTP
+//! status — is returned as-is, never retried.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -9,6 +15,12 @@ use std::time::Duration;
 
 /// Socket budget for connect/read/write.
 const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Total connection attempts per request (1 initial + 3 retries).
+const RETRY_ATTEMPTS: u32 = 4;
+
+/// Base backoff; doubles per retry, scaled by the jitter factor.
+const RETRY_BASE: Duration = Duration::from_millis(50);
 
 /// One parsed response: status code and body text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,13 +38,62 @@ impl ClientResponse {
     }
 }
 
-/// Issues one request against `addr` (`host:port`).
+/// Whether a transport error is worth another attempt: the connection
+/// never happened (daemon still binding, listen backlog full) or the
+/// socket stalled past its budget. Parse errors and hard transport
+/// failures are returned immediately.
+fn is_transient(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::ConnectionRefused | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Backoff before retry `attempt` (1-based): `RETRY_BASE * 2^(attempt-1)`
+/// scaled by a deterministic jitter factor in [0.5, 1.5) derived from the
+/// pid and attempt number — concurrent probes spread out instead of
+/// hammering the daemon in lockstep, and tests stay reproducible.
+fn backoff(attempt: u32) -> Duration {
+    let mut x = u64::from(std::process::id())
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt));
+    // splitmix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let jitter = 0.5 + (x >> 11) as f64 / (1u64 << 53) as f64;
+    RETRY_BASE.mul_f64(f64::from(1 << (attempt - 1)) * jitter)
+}
+
+/// Issues one request against `addr` (`host:port`), retrying transient
+/// transport failures (see [`is_transient`]) up to four attempts with
+/// jittered exponential backoff.
 ///
 /// # Errors
 ///
-/// Transport failures, or [`io::ErrorKind::InvalidData`] when the
-/// response is not parseable HTTP.
+/// Transport failures after the retry budget, or
+/// [`io::ErrorKind::InvalidData`] when the response is not parseable
+/// HTTP.
 pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut attempt = 1;
+    loop {
+        match request_once(addr, method, path, body) {
+            Err(err) if attempt < RETRY_ATTEMPTS && is_transient(&err) => {
+                std::thread::sleep(backoff(attempt));
+                attempt += 1;
+            }
+            outcome => return outcome,
+        }
+    }
+}
+
+/// One connection, one request, no retries.
+fn request_once(
     addr: &str,
     method: &str,
     path: &str,
@@ -122,5 +183,62 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response("not http").is_err());
         assert!(parse_response("HTTP/1.1 huh\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn transient_errors_are_retryable_hard_errors_are_not() {
+        for kind in [
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+        ] {
+            assert!(is_transient(&io::Error::from(kind)), "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::BrokenPipe,
+        ] {
+            assert!(!is_transient(&io::Error::from(kind)), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_within_jitter_bounds() {
+        for attempt in 1..RETRY_ATTEMPTS {
+            let d = backoff(attempt);
+            let base = RETRY_BASE.mul_f64(f64::from(1 << (attempt - 1)));
+            assert!(d >= base.mul_f64(0.5), "attempt {attempt}: {d:?}");
+            assert!(d < base.mul_f64(1.5), "attempt {attempt}: {d:?}");
+        }
+        // Deterministic within a process.
+        assert_eq!(backoff(1), backoff(1));
+    }
+
+    #[test]
+    fn retries_ride_out_a_daemon_that_binds_late() {
+        use std::net::TcpListener;
+        // Learn a free port, then leave it unbound so the first
+        // attempt(s) get connection-refused.
+        let port = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let addr = format!("127.0.0.1:{port}");
+        let server = std::thread::spawn(move || {
+            // Bind after the first attempt has failed; the retry loop's
+            // smallest first backoff is 25 ms.
+            std::thread::sleep(Duration::from_millis(10));
+            let listener = TcpListener::bind(("127.0.0.1", port)).unwrap();
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = conn.read(&mut buf);
+            let _ = conn.write_all(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nok");
+        });
+        let resp = get(&addr, "/metrics").unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok");
     }
 }

@@ -48,6 +48,10 @@ pub fn handle(service: &SchedulerService, request: &Request) -> Response {
             Ok(body) => Response::json(200, &body),
             Err(e) => error_response(&e),
         },
+        Some(Route::JobWorkers(id)) => match service.workers(&id) {
+            Ok(body) => Response::json(200, &body),
+            Err(e) => error_response(&e),
+        },
         Some(Route::CancelJob(id)) => match service.cancel(&id) {
             Ok(body) => Response::json(200, &body),
             Err(e) => error_response(&e),
@@ -241,6 +245,8 @@ mod tests {
         let resp = handle(&svc, &request("DELETE", "/v1/jobs/j404", ""));
         assert_eq!(resp.status, 404);
         let resp = handle(&svc, &request("GET", "/v1/jobs/j404/trace", ""));
+        assert_eq!(resp.status, 404);
+        let resp = handle(&svc, &request("GET", "/v1/jobs/j404/workers", ""));
         assert_eq!(resp.status, 404);
         let resp = handle(&svc, &request("GET", "/metrics", ""));
         assert_eq!(resp.status, 200);

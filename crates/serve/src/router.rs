@@ -15,6 +15,9 @@ pub enum Route {
     JobReport(String),
     /// `GET /v1/jobs/{id}/trace` — the job's recorded span timeline.
     JobTrace(String),
+    /// `GET /v1/jobs/{id}/workers` — per-worker lease/progress view
+    /// computed from the job's manifest.
+    JobWorkers(String),
     /// `DELETE /v1/jobs/{id}` — cancel a job.
     CancelJob(String),
     /// `GET /metrics` — Prometheus text export across all jobs.
@@ -44,6 +47,9 @@ pub fn route(method: &str, path: &str) -> Option<Route> {
         }
         ("GET", ["v1", "jobs", id, "trace"]) if !id.is_empty() => {
             Some(Route::JobTrace(id.to_string()))
+        }
+        ("GET", ["v1", "jobs", id, "workers"]) if !id.is_empty() => {
+            Some(Route::JobWorkers(id.to_string()))
         }
         ("DELETE", ["v1", "jobs", id]) if !id.is_empty() => Some(Route::CancelJob(id.to_string())),
         ("GET", ["metrics"]) => Some(Route::Metrics),
@@ -81,6 +87,10 @@ mod tests {
             Some(Route::JobTrace("j001".into()))
         );
         assert_eq!(
+            route("GET", "/v1/jobs/j001/workers"),
+            Some(Route::JobWorkers("j001".into()))
+        );
+        assert_eq!(
             route("DELETE", "/v1/jobs/j001"),
             Some(Route::CancelJob("j001".into()))
         );
@@ -111,6 +121,8 @@ mod tests {
         assert_eq!(route("POST", "/v1/jobs/j001"), None);
         assert_eq!(route("GET", "/v1/jobs/"), None);
         assert_eq!(route("GET", "/v1/jobs/j001/reports"), None);
+        assert_eq!(route("POST", "/v1/jobs/j001/workers"), None);
+        assert_eq!(route("GET", "/v1/jobs//workers"), None);
         assert_eq!(route("PUT", "/metrics"), None);
         assert_eq!(route("GET", "/v1/streams"), None);
         assert_eq!(route("DELETE", "/v1/streams/s1"), None);

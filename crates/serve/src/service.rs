@@ -13,16 +13,17 @@
 //! of re-executing.
 
 use crate::wire::{
-    self, JobCreated, JobReportBody, JobRequest, JobStatusBody, JobTraceBody, StreamCreated,
-    StreamFeedRequest, StreamRequest, StreamStatusBody, StreamTimelineBody,
+    self, JobCreated, JobReportBody, JobRequest, JobStatusBody, JobTraceBody, JobWorkersBody,
+    StreamCreated, StreamFeedRequest, StreamRequest, StreamStatusBody, StreamTimelineBody,
 };
 use hetsched_core::{
-    read_trace, Campaign, CampaignOutcome, CampaignSpec, CancelToken, CoreError, DatasetId,
-    EngineStreamSpec, ExperimentConfig, Framework, HorizonConfig, MetricsRegistry, MetricsSnapshot,
-    OptimizerSpec, Result, SeedKind, StreamConfig, StreamRunner, TelemetryObserver, TraceWriter,
+    load_manifest_records, read_trace, replay_records, summarise_manifest, Campaign,
+    CampaignOutcome, CampaignSpec, CancelToken, CoreError, DatasetId, EngineStreamSpec,
+    ExperimentConfig, Framework, HorizonConfig, MetricsRegistry, MetricsSnapshot, OptimizerSpec,
+    Result, SeedKind, StreamConfig, StreamRunner, TelemetryObserver, TraceWriter, WorkerSummary,
 };
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -323,6 +324,28 @@ impl SchedulerService {
         })
     }
 
+    /// The per-worker view of a job's campaign, computed purely from its
+    /// manifest: surviving cell records per worker plus the replayed
+    /// lease state machine (steals, fenced appends, wall-clock). Empty
+    /// for a job whose manifest has no worker-tagged records — i.e. one
+    /// only ever run single-process by the daemon itself; external
+    /// `hetsched work` processes sharing the job's manifest each get a
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] (→ 404) for an unknown id;
+    /// [`CoreError::Manifest`] on a corrupt or foreign manifest.
+    pub fn workers(&self, id: &str) -> Result<JobWorkersBody> {
+        let job = self.job(id)?;
+        Ok(JobWorkersBody {
+            schema: wire::JOB_WORKERS_SCHEMA.to_string(),
+            job_id: job.id.clone(),
+            fingerprint: job.fingerprint.clone(),
+            workers: manifest_workers(&manifest_path(&self.inner.config, &job.fingerprint))?,
+        })
+    }
+
     /// Cancels a job via its [`CancelToken`] (idempotent): a queued job
     /// flips to `cancelled` immediately, a running one stops admitting
     /// cells and is marked by its worker when the campaign unwinds.
@@ -513,6 +536,55 @@ impl SchedulerService {
                 phase.label()
             ));
         }
+        out.push_str(&self.worker_gauges());
+        out
+    }
+
+    /// Per-worker gauges for distributed jobs: one sample per (job,
+    /// worker) replayed from the job's manifest. Jobs whose manifests
+    /// carry no worker-tagged records (single-process) contribute
+    /// nothing, so the plain daemon's exposition is unchanged.
+    fn worker_gauges(&self) -> String {
+        let jobs: Vec<(String, String)> = {
+            let table = self.inner.jobs.lock().expect("job table lock");
+            table
+                .by_id
+                .values()
+                .map(|j| (j.id.clone(), j.fingerprint.clone()))
+                .collect()
+        };
+        let mut rows = String::new();
+        for (job_id, fingerprint) in jobs {
+            let path = manifest_path(&self.inner.config, &fingerprint);
+            let workers = match manifest_workers(&path) {
+                Ok(workers) => workers,
+                Err(e) => {
+                    tracing::warn!("job {job_id}: cannot replay manifest for /metrics: {e}");
+                    continue;
+                }
+            };
+            for w in workers {
+                for (name, value) in [
+                    ("cells", w.cells as u64),
+                    ("leases_stolen", w.stolen as u64),
+                    ("appends_fenced", w.fenced as u64),
+                ] {
+                    rows.push_str(&format!(
+                        "hetsched_serve_job_worker_{name}{{job=\"{job_id}\",\
+                         worker=\"{}\"}} {value}\n",
+                        w.worker
+                    ));
+                }
+            }
+        }
+        if rows.is_empty() {
+            return rows;
+        }
+        let mut out = String::new();
+        for name in ["cells", "leases_stolen", "appends_fenced"] {
+            out.push_str(&format!("# TYPE hetsched_serve_job_worker_{name} gauge\n"));
+        }
+        out.push_str(&rows);
         out
     }
 
@@ -648,6 +720,29 @@ fn trace_path(config: &ServeConfig, fingerprint: &str) -> PathBuf {
         .join(format!("job-{fingerprint}.trace.jsonl"))
 }
 
+/// Where a job's campaign manifest lives: also the rendezvous point for
+/// external `hetsched work` processes joining the job's campaign.
+fn manifest_path(config: &ServeConfig, fingerprint: &str) -> PathBuf {
+    config
+        .state_dir
+        .join(format!("job-{fingerprint}.manifest.jsonl"))
+}
+
+/// Per-worker rollups replayed from a job manifest (empty when the file
+/// does not exist yet or carries no worker-tagged records).
+fn manifest_workers(path: &Path) -> Result<Vec<WorkerSummary>> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    match load_manifest_records(path)? {
+        None => Ok(Vec::new()),
+        Some((fingerprint, records)) => {
+            let view = replay_records(&records);
+            Ok(summarise_manifest(fingerprint, &view).workers)
+        }
+    }
+}
+
 fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<mpsc::Receiver<Arc<Job>>>>) {
     loop {
         // Hold the receiver lock only for the dequeue, not the run, so
@@ -688,10 +783,7 @@ fn run_job(inner: &Inner, job: &Job) {
     if let Some(timeout) = job.cell_timeout {
         campaign = campaign.cell_timeout(timeout);
     }
-    let manifest = inner
-        .config
-        .state_dir
-        .join(format!("job-{}.manifest.jsonl", job.fingerprint));
+    let manifest = manifest_path(&inner.config, &job.fingerprint);
     // Root span of the job's trace tree; its trace id is routed to the
     // job's own writer so `GET /v1/jobs/{id}/trace` serves exactly this
     // job's timeline even with several jobs in flight.
@@ -806,6 +898,67 @@ mod tests {
             .cells_started;
         assert_eq!(started_before, started_after);
 
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workers_view_is_empty_for_single_process_jobs() {
+        let dir = temp_state_dir("workers-empty");
+        let service = SchedulerService::start(ServeConfig::new(&dir)).unwrap();
+        let created = service.submit(&tiny_request()).unwrap();
+        let status = wait_done(&service, &created.job_id);
+        assert_eq!(status.state, "done", "error: {:?}", status.error);
+        let body = service.workers(&created.job_id).unwrap();
+        assert_eq!(body.schema, wire::JOB_WORKERS_SCHEMA);
+        assert_eq!(body.job_id, created.job_id);
+        assert!(
+            body.workers.is_empty(),
+            "daemon-run cells are untagged: {:?}",
+            body.workers
+        );
+        assert!(service.workers("j999").is_err());
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workers_view_reports_external_workers_from_the_manifest() {
+        let dir = temp_state_dir("workers-dist");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // An external `hetsched work` process runs the whole campaign
+        // into the job's manifest path before the job is submitted; the
+        // daemon then resumes from the manifest (zero cells executed)
+        // and the workers view reports the external worker's rows.
+        let request = tiny_request();
+        let fingerprint = request.campaign.fingerprint();
+        let config = ServeConfig::new(&dir);
+        let manifest = manifest_path(&config, &fingerprint);
+        let campaign = Campaign::new(request.campaign.clone());
+        let outcome = hetsched_core::Worker::new(campaign, "ext-worker-1")
+            .run(&manifest)
+            .unwrap();
+        assert_eq!(outcome.executed, 2);
+
+        let service = SchedulerService::start(config).unwrap();
+        let created = service.submit(&request).unwrap();
+        let status = wait_done(&service, &created.job_id);
+        assert_eq!(status.state, "done", "error: {:?}", status.error);
+        let body = service.workers(&created.job_id).unwrap();
+        assert_eq!(body.workers.len(), 1, "{:?}", body.workers);
+        assert_eq!(body.workers[0].worker, "ext-worker-1");
+        assert_eq!(body.workers[0].cells, 2);
+        assert_eq!(body.workers[0].stolen, 0);
+        assert_eq!(body.workers[0].fenced, 0);
+        // The per-worker gauges surface in the Prometheus exposition.
+        let prom = service.prometheus();
+        assert!(
+            prom.contains(
+                "hetsched_serve_job_worker_cells{job=\"j001\",worker=\"ext-worker-1\"} 2"
+            ),
+            "{prom}"
+        );
         service.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

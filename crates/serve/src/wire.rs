@@ -15,12 +15,15 @@ use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
 pub const JOB_REQUEST_SCHEMA: &str = "hetsched.job-request.v1";
 /// Schema tag for [`JobCreated`].
 pub const JOB_CREATED_SCHEMA: &str = "hetsched.job-created.v1";
-/// Schema tag for [`JobStatusBody`].
-pub const JOB_STATUS_SCHEMA: &str = "hetsched.job-status.v1";
+/// Schema tag for [`JobStatusBody`]. v2: the embedded
+/// [`MetricsSnapshot`] gained the five lease counters.
+pub const JOB_STATUS_SCHEMA: &str = "hetsched.job-status.v2";
 /// Schema tag for [`JobReportBody`].
 pub const JOB_REPORT_SCHEMA: &str = "hetsched.job-report.v1";
 /// Schema tag for [`JobTraceBody`].
 pub const JOB_TRACE_SCHEMA: &str = "hetsched.job-trace.v1";
+/// Schema tag for [`JobWorkersBody`].
+pub const JOB_WORKERS_SCHEMA: &str = "hetsched.job-workers.v1";
 /// Schema tag for [`ErrorBody`].
 pub const ERROR_SCHEMA: &str = "hetsched.error.v1";
 /// Schema tag for [`StreamRequest`].
@@ -143,6 +146,24 @@ pub struct JobTraceBody {
     pub fingerprint: String,
     /// Completed spans in close order (parents close after children).
     pub spans: Vec<hetsched_core::SpanRecord>,
+}
+
+/// `GET /v1/jobs/{id}/workers` response body: the per-worker view of a
+/// distributed campaign, computed purely from the job's manifest — cell
+/// records each worker appended plus the replayed lease state machine.
+/// A single-process job reports one worker (the daemon's own id);
+/// external `hetsched work` processes sharing the job's manifest each
+/// get a row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobWorkersBody {
+    /// [`JOB_WORKERS_SCHEMA`].
+    pub schema: String,
+    /// The job id.
+    pub job_id: String,
+    /// The spec fingerprint.
+    pub fingerprint: String,
+    /// Per-worker rollups, sorted by worker id.
+    pub workers: Vec<hetsched_core::WorkerSummary>,
 }
 
 /// `GET /v1/jobs/{id}/report` response body: the finished campaign, in

@@ -11,8 +11,8 @@ use hetsched_core::{
     ExperimentConfig, MetricsSnapshot, ParetoFront, PopulationRun, SeedKind,
 };
 use hetsched_serve::wire::{
-    ErrorBody, JobCreated, JobReportBody, JobRequest, JobStatusBody, ERROR_SCHEMA,
-    JOB_CREATED_SCHEMA, JOB_REPORT_SCHEMA, JOB_STATUS_SCHEMA,
+    ErrorBody, JobCreated, JobReportBody, JobRequest, JobStatusBody, JobWorkersBody, ERROR_SCHEMA,
+    JOB_CREATED_SCHEMA, JOB_REPORT_SCHEMA, JOB_STATUS_SCHEMA, JOB_WORKERS_SCHEMA,
 };
 use serde::{DeserializeOwned, Serialize};
 use std::path::{Path, PathBuf};
@@ -76,6 +76,11 @@ fn fixture_metrics() -> MetricsSnapshot {
         cells_skipped: 0,
         generations: 12,
         evaluations: 96,
+        leases_acquired: 3,
+        leases_renewed: 5,
+        leases_expired: 1,
+        leases_stolen: 1,
+        leases_fenced: 1,
         workers: 2,
         sim_evaluations: 0,
         faults_injected: 0,
@@ -150,6 +155,32 @@ fn job_report_is_frozen() {
 }
 
 #[test]
+fn job_workers_is_frozen() {
+    let body = JobWorkersBody {
+        schema: JOB_WORKERS_SCHEMA.to_string(),
+        job_id: "j001".to_string(),
+        fingerprint: "00c0ffee00c0ffee".to_string(),
+        workers: vec![
+            hetsched_core::WorkerSummary {
+                worker: "alpha:100".to_string(),
+                cells: 3,
+                stolen: 1,
+                fenced: 0,
+                wall_clock_s: 2.5,
+            },
+            hetsched_core::WorkerSummary {
+                worker: "beta:200".to_string(),
+                cells: 1,
+                stolen: 0,
+                fenced: 1,
+                wall_clock_s: 0.75,
+            },
+        ],
+    };
+    assert_frozen(&body, "job_workers.json");
+}
+
+#[test]
 fn error_body_is_frozen() {
     let error = ErrorBody::new(
         ErrorClass::InvalidInput,
@@ -168,9 +199,14 @@ fn schema_tags_are_versioned() {
         JOB_CREATED_SCHEMA,
         JOB_STATUS_SCHEMA,
         JOB_REPORT_SCHEMA,
+        JOB_WORKERS_SCHEMA,
         ERROR_SCHEMA,
     ] {
         assert!(tag.starts_with("hetsched."), "{tag}");
-        assert!(tag.ends_with(".v1"), "{tag}");
+        let (_, version) = tag.rsplit_once(".v").expect(tag);
+        assert!(version.parse::<u32>().is_ok(), "{tag}");
     }
+    // The status body embeds the metrics snapshot, which gained the
+    // lease counters — v2 on the wire.
+    assert_eq!(JOB_STATUS_SCHEMA, "hetsched.job-status.v2");
 }

@@ -43,8 +43,9 @@ pub mod prelude {
         Algorithm, AnalysisReport, Campaign, CampaignObserver, CampaignOutcome, CampaignReport,
         CampaignSpec, CampaignSpecBuilder, CancelToken, CellId, CellOutcome, CellRecord, CoreError,
         DatasetId, Error, ErrorClass, ExperimentConfig, ExperimentConfigBuilder, Framework,
-        MetricsRegistry, MetricsSnapshot, ParetoFront, PopulationRun, SeedKind, SpanRecord,
-        TelemetryObserver, TraceAnalysis, TraceWriter,
+        LeaseAction, LeaseRecord, LeaseTable, LocalManifestStore, ManifestStore, MetricsRegistry,
+        MetricsSnapshot, ParetoFront, PopulationRun, SeedKind, SpanRecord, TelemetryObserver,
+        TraceAnalysis, TraceWriter, Worker, WorkerOutcome,
     };
     pub use hetsched_moea::{Engine, EngineConfig, EngineConfigBuilder};
     pub use hetsched_sim::Evaluator;

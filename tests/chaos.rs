@@ -277,6 +277,146 @@ fn manifest_append_panic_poisons_the_sink_and_only_that_cell_reruns() {
     assert_eq!(resumed.executed, 1);
 }
 
+mod distributed {
+    use super::{armed, injected_total, report_bytes, scratch, serial, tiny_spec, FaultPlan};
+    use hetsched::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    /// A worker killed at the lease-acquire fault point leaves no trace:
+    /// the panic fires before the acquire line is appended, so a
+    /// survivor starts from an empty grid and the merged reports are
+    /// byte-identical to an uninjected single-process run.
+    #[test]
+    fn worker_killed_mid_acquire_leaves_no_trace() {
+        let _serial = serial();
+        let spec = tiny_spec();
+        let clean = Campaign::new(spec.clone()).run(None).unwrap();
+        let manifest = scratch("dist-acquire.jsonl");
+        let _ = std::fs::remove_file(&manifest);
+
+        let plan = FaultPlan::parse("seed=11;lease.acquire@1=panic").unwrap();
+        let before = injected_total();
+        {
+            let _armed = armed(plan);
+            let victim = Worker::new(Campaign::new(spec.clone()), "victim")
+                .lease_ttl(Duration::from_millis(150))
+                .skew_slack(0.0);
+            let killed = catch_unwind(AssertUnwindSafe(|| victim.run(&manifest)));
+            assert!(killed.is_err(), "the armed fault must kill the worker");
+        }
+        assert_eq!(injected_total() - before, 1);
+
+        let survivor = Worker::new(Campaign::new(spec), "survivor")
+            .skew_slack(0.0)
+            .poll_interval(Duration::from_millis(5))
+            .run(&manifest)
+            .unwrap();
+        let _ = std::fs::remove_file(&manifest);
+        assert_eq!(survivor.executed, 8);
+        assert_eq!(survivor.stolen, 0, "no lease was ever appended");
+        assert!(survivor.outcome.is_complete());
+        assert_eq!(report_bytes(&clean), report_bytes(&survivor.outcome));
+    }
+
+    /// A worker killed between finishing a cell and appending its result
+    /// dies holding the lease. Once the lease lapses a survivor steals
+    /// it, re-runs the cell on the same decorrelated RNG stream, and the
+    /// merged reports never drift.
+    #[test]
+    fn worker_killed_mid_append_is_stolen_from_and_reports_match() {
+        let _serial = serial();
+        let spec = tiny_spec();
+        let clean = Campaign::new(spec.clone()).run(None).unwrap();
+        let manifest = scratch("dist-append.jsonl");
+        let _ = std::fs::remove_file(&manifest);
+
+        let plan = FaultPlan::parse("seed=12;worker.cell.append@1=panic").unwrap();
+        let before = injected_total();
+        {
+            let _armed = armed(plan);
+            let victim = Worker::new(Campaign::new(spec.clone()), "victim")
+                .lease_ttl(Duration::from_millis(150))
+                .skew_slack(0.0)
+                .poll_interval(Duration::from_millis(5));
+            let killed = catch_unwind(AssertUnwindSafe(|| victim.run(&manifest)));
+            assert!(killed.is_err(), "the armed fault must kill the worker");
+        }
+        assert_eq!(injected_total() - before, 1);
+
+        // Let the orphaned lease lapse, then take over.
+        std::thread::sleep(Duration::from_millis(500));
+        let survivor = Worker::new(Campaign::new(spec), "survivor")
+            .skew_slack(0.0)
+            .poll_interval(Duration::from_millis(5))
+            .run(&manifest)
+            .unwrap();
+        let _ = std::fs::remove_file(&manifest);
+        assert_eq!(survivor.executed, 8, "the lost cell re-ran");
+        assert_eq!(survivor.stolen, 1, "exactly the victim's lease was stolen");
+        assert!(survivor.outcome.is_complete());
+        assert_eq!(report_bytes(&clean), report_bytes(&survivor.outcome));
+    }
+
+    /// The zombie scenario: a worker stalls inside a cell past its TTL
+    /// (its renewal heartbeat killed by the armed fault), a survivor
+    /// steals the cell at a higher epoch, and the zombie's late commit is
+    /// rejected by epoch fencing — the merge never sees it, and the
+    /// final reports stay byte-identical to the clean run.
+    #[test]
+    fn zombie_commit_is_fenced_and_the_merge_stays_clean() {
+        let _serial = serial();
+        let spec = tiny_spec();
+        let clean = Campaign::new(spec.clone()).run(None).unwrap();
+        let manifest = scratch("dist-zombie.jsonl");
+        let _ = std::fs::remove_file(&manifest);
+
+        // First renewal attempt panics (killing the heartbeat), and the
+        // first cell in grid order stalls well past the 150ms TTL.
+        let plan = FaultPlan::parse(
+            "seed=13;lease.renew@1=panic;campaign.cell.run[One/nsga2/min-energy/r0]@1=delay:700",
+        )
+        .unwrap();
+        let before = injected_total();
+        let _armed = armed(plan);
+
+        let zombie_spec = spec.clone();
+        let zombie_manifest = manifest.clone();
+        let zombie = std::thread::spawn(move || {
+            Worker::new(Campaign::new(zombie_spec), "zombie")
+                .lease_ttl(Duration::from_millis(150))
+                .skew_slack(0.0)
+                .poll_interval(Duration::from_millis(5))
+                .run(&zombie_manifest)
+                .unwrap()
+        });
+
+        // Wait past the zombie's deadline, then take over the grid while
+        // it is still stalled inside the delayed cell.
+        std::thread::sleep(Duration::from_millis(300));
+        let survivor = Worker::new(Campaign::new(spec), "survivor")
+            .skew_slack(0.0)
+            .poll_interval(Duration::from_millis(5))
+            .run(&manifest)
+            .unwrap();
+        let zombie = zombie.join().unwrap();
+        let _ = std::fs::remove_file(&manifest);
+
+        assert_eq!(injected_total() - before, 2, "renew panic + cell delay");
+        assert_eq!(survivor.stolen, 1, "the stalled cell was taken over");
+        assert_eq!(zombie.fenced, 1, "the zombie's late commit was discarded");
+        assert_eq!(
+            zombie.executed + survivor.executed,
+            8,
+            "every cell merged exactly once"
+        );
+        assert!(zombie.outcome.is_complete());
+        assert!(survivor.outcome.is_complete());
+        assert_eq!(report_bytes(&clean), report_bytes(&survivor.outcome));
+        assert_eq!(report_bytes(&clean), report_bytes(&zombie.outcome));
+    }
+}
+
 mod streaming {
     use super::{armed, injected_total, scratch, serial, FaultPlan};
     use hetsched::core::{
